@@ -1,0 +1,65 @@
+#ifndef DNSTTL_BENCH_COMMON_H
+#define DNSTTL_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "atlas/platform.h"
+#include "core/world.h"
+
+namespace dnsttl::bench {
+
+/// Command-line knobs shared by every experiment binary:
+///   --scale <f>   scale probe/resolver counts (default 1.0 = paper scale)
+///   --seed <n>    RNG seed (default 1)
+///   --full        alias for --scale 1.0 (paper scale, the default)
+///   --quick       alias for --scale 0.1 (CI-friendly)
+struct BenchArgs {
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+        args.scale = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        args.scale = 0.1;
+      } else if (std::strcmp(argv[i], "--full") == 0) {
+        args.scale = 1.0;
+      }
+    }
+    if (args.scale <= 0.0) {
+      args.scale = 1.0;
+    }
+    return args;
+  }
+
+  atlas::PlatformSpec platform_spec() const {
+    atlas::PlatformSpec spec;
+    spec.probe_count =
+        static_cast<std::size_t>(9000 * scale) < 50
+            ? 50
+            : static_cast<std::size_t>(9000 * scale);
+    spec.resolver_count =
+        static_cast<std::size_t>(6000 * scale) < 40
+            ? 40
+            : static_cast<std::size_t>(6000 * scale);
+    return spec;
+  }
+};
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("Cache Me If You Can: Effects of DNS Time-to-Live (IMC'19)\n");
+  std::printf("==========================================================\n");
+}
+
+}  // namespace dnsttl::bench
+
+#endif  // DNSTTL_BENCH_COMMON_H

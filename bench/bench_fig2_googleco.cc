@@ -1,0 +1,99 @@
+// Reproduces Figure 2: observed TTLs for google.co NS queries — a
+// second-level domain with a 900 s TTL at the parent (.co) and 345600 s at
+// the child (ns[1-4].google.com).  About 70% of answers exceed 900 s
+// (child-centric), ~15% sit at the 21599 s public-resolver cap, and ~9%
+// show a fresh 900 s parent copy.
+
+#include "bench_common.h"
+#include "core/centricity_experiment.h"
+#include "dns/rr.h"
+#include "stats/table.h"
+
+using namespace dnsttl;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 2", "google.co NS centricity (SLD)");
+
+  core::World world{core::World::Options{args.seed, 0.002, {}}};
+
+  // .co and .com registries.
+  auto co_zone = world.add_tld("co", "a.nic", dns::kTtl2Days, dns::kTtl1Day,
+                               dns::kTtl1Day,
+                               net::Location{net::Region::kSA, 1.0});
+  auto com_zone = world.add_tld("com", "a.gtld", dns::kTtl2Days,
+                                dns::kTtl1Day, dns::kTtl1Day,
+                                net::Location{net::Region::kNA, 1.0});
+
+  // Google's own servers host google.com (with the nameserver addresses)
+  // and google.co.
+  const auto ns1 = dns::Name::from_string("ns1.google.com");
+  const auto googleco = dns::Name::from_string("google.co");
+  const auto googlecom = dns::Name::from_string("google.com");
+
+  auto googlecom_zone = world.create_zone("google.com", dns::kTtl4Days);
+  auto googleco_zone = world.create_zone("google.co", dns::kTtl4Days);
+  auto& gserver = world.add_server("google-auth",
+                                   net::Location{net::Region::kNA, 1.0});
+  gserver.add_zone(googlecom_zone);
+  gserver.add_zone(googleco_zone);
+  auto gaddr = world.address_of("google-auth");
+
+  googlecom_zone->add(dns::make_ns(googlecom, dns::kTtl4Days, ns1));
+  googlecom_zone->add(dns::make_a(ns1, dns::kTtl4Days, gaddr));
+  googleco_zone->add(dns::make_ns(googleco, dns::kTtl4Days, ns1));
+
+  // Delegations: .com -> google.com (standard 2-day copies);
+  // .co -> google.co with the paper's 900 s parent TTL, out-of-bailiwick.
+  world.delegate(*com_zone, googlecom, {{ns1, gaddr}}, dns::kTtl2Days,
+                 dns::kTtl2Days);
+  world.delegate(*co_zone, googleco, {{ns1, gaddr}}, dns::kTtl15Min,
+                 dns::kTtl15Min);
+
+  auto platform = atlas::Platform::build(world.network(), world.hints(),
+                                         world.root_zone(),
+                                         args.platform_spec(), world.rng());
+  std::printf("platform: %zu probes, %zu VPs\n\n", platform.probes().size(),
+              platform.vp_count());
+
+  core::CentricitySetup setup;
+  setup.name = "google.co-NS";
+  setup.qname = googleco;
+  setup.qtype = dns::RRType::kNS;
+  setup.parent_ttl = dns::kTtl15Min;
+  setup.child_ttl = dns::kTtl4Days;
+  setup.duration = 1 * sim::kHour;
+  auto result = core::run_centricity(world, platform, setup);
+
+  std::printf("VPs=%zu queries=%zu responses=%zu valid=%zu disc=%zu\n\n",
+              platform.vp_count(), result.run.query_count(),
+              result.run.response_count(), result.run.valid_count(),
+              result.run.discarded_count());
+
+  auto cdf = result.run.ttl_cdf();
+  std::printf("%s\n",
+              cdf.render({300, 900, 21599, 86400, 172800, 345600},
+                         "TTL CDF google.co-NS")
+                  .c_str());
+
+  double above_900 = 1.0 - cdf.fraction_at_most(900.0);
+  // Fresh-at-cap at paper scale needs Google's million-frontend cache
+  // fragmentation; at simulator scale the capped population shows up as the
+  // (900, 21599] band (cap value counting down) instead — same resolvers,
+  // same cause (see DESIGN.md).
+  double capped = cdf.fraction_at_most(21599.0) - cdf.fraction_at_most(900.0);
+  double exact_900 = cdf.fraction_equal(900.0);
+  std::printf("%s", stats::compare_line("answers > 900 s (child data)",
+                                        "~70%",
+                                        stats::fmt("%.0f%%", 100 * above_900))
+                        .c_str());
+  std::printf("%s", stats::compare_line(
+                        "answers in the 21599 s cap band", "~15%",
+                        stats::fmt("%.0f%%", 100 * capped))
+                        .c_str());
+  std::printf("%s", stats::compare_line("answers at fresh parent 900 s",
+                                        "~9%",
+                                        stats::fmt("%.0f%%", 100 * exact_900))
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,240 @@
+// Library micro-benchmarks (google-benchmark): wire codec, cache
+// operations, zone lookups, and full recursive resolutions — the raw
+// throughput behind the experiment harness.
+
+#include <benchmark/benchmark.h>
+
+#include "auth/auth_server.h"
+#include "auth/entrada.h"
+#include "crawl/population_generator.h"
+#include "dns/dnssec.h"
+#include "dns/master_file.h"
+#include "cache/cache.h"
+#include "core/world.h"
+#include "dns/wire.h"
+#include "resolver/recursive_resolver.h"
+
+using namespace dnsttl;
+
+namespace {
+
+dns::Message sample_response() {
+  auto query = dns::Message::make_query(
+      42, dns::Name::from_string("a.nic.cl"), dns::RRType::kNS);
+  auto response = dns::Message::make_response(query);
+  response.flags.aa = true;
+  auto zone = dns::Name::from_string("cl");
+  for (char c : {'a', 'b', 'c', 'd'}) {
+    auto ns = dns::Name::from_string(std::string(1, c) + ".nic.cl");
+    response.answers.push_back(dns::make_ns(zone, 3600, ns));
+    response.additionals.push_back(
+        dns::make_a(ns, 43200, dns::Ipv4(190, 124, 27, 10)));
+  }
+  return response;
+}
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dns::Name::from_string("very.long.sub.domain.example.org"));
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameBailiwickCheck(benchmark::State& state) {
+  auto host = dns::Name::from_string("ns1.sub.cachetest.net");
+  auto zone = dns::Name::from_string("cachetest.net");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.in_bailiwick_of(zone));
+  }
+}
+BENCHMARK(BM_NameBailiwickCheck);
+
+void BM_WireEncode(benchmark::State& state) {
+  auto message = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(message));
+  }
+}
+BENCHMARK(BM_WireEncode);
+
+void BM_WireDecode(benchmark::State& state) {
+  auto wire = dns::encode(sample_response());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_WireDecode);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  auto message = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(dns::encode(message)));
+  }
+}
+BENCHMARK(BM_WireRoundTrip);
+
+void BM_CacheInsert(benchmark::State& state) {
+  cache::Cache cache;
+  dns::RRset rrset(dns::Name::from_string("x.example.org"),
+                   dns::RClass::kIN, 3600);
+  rrset.add(dns::ARdata{dns::Ipv4(1, 2, 3, 4)});
+  sim::Time t = 0;
+  for (auto _ : state) {
+    cache.insert(rrset, cache::Credibility::kAuthAnswer, t);
+    t += sim::kSecond;
+  }
+}
+BENCHMARK(BM_CacheInsert);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  cache::Cache cache;
+  for (int i = 0; i < 1000; ++i) {
+    dns::RRset rrset(
+        dns::Name::from_string("h" + std::to_string(i) + ".example.org"),
+        dns::RClass::kIN, 86400);
+    rrset.add(dns::ARdata{dns::Ipv4(static_cast<std::uint32_t>(i))});
+    cache.insert(rrset, cache::Credibility::kAuthAnswer, 0);
+  }
+  auto name = dns::Name::from_string("h500.example.org");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(name, dns::RRType::kA, 1000));
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_ZoneLookup(benchmark::State& state) {
+  dns::Zone zone{dns::Name::from_string("example.org")};
+  zone.add(dns::make_soa(dns::Name::from_string("example.org"), 3600,
+                         dns::Name::from_string("ns1.example.org"), 1));
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    zone.add(dns::make_a(
+        dns::Name::from_string("h" + std::to_string(i) + ".example.org"),
+        300, dns::Ipv4(static_cast<std::uint32_t>(i))));
+  }
+  auto qname = dns::Name::from_string(
+      "h" + std::to_string(state.range(0) / 2) + ".example.org");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zone.lookup(qname, dns::RRType::kA));
+  }
+}
+BENCHMARK(BM_ZoneLookup)->Arg(100)->Arg(10000)->Arg(100000);
+
+void BM_FullResolutionColdCache(benchmark::State& state) {
+  core::World world{core::World::Options{1, 0.0, {}}};
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+                net::Location{net::Region::kSA, 1.0});
+  resolver::RecursiveResolver resolver("bench",
+                                       resolver::child_centric_config(),
+                                       world.network(), world.hints());
+  net::Location location{net::Region::kEU, 1.0};
+  auto address = world.network().attach(resolver, location);
+  resolver.set_node_ref(net::NodeRef{address, location});
+  dns::Question question{dns::Name::from_string("uy"), dns::RRType::kNS,
+                         dns::RClass::kIN};
+  sim::Time t = 0;
+  for (auto _ : state) {
+    resolver.flush();
+    benchmark::DoNotOptimize(resolver.resolve(question, t));
+    t += sim::kSecond;
+  }
+}
+BENCHMARK(BM_FullResolutionColdCache);
+
+void BM_FullResolutionWarmCache(benchmark::State& state) {
+  core::World world{core::World::Options{1, 0.0, {}}};
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl1Day, dns::kTtl1Day,
+                net::Location{net::Region::kSA, 1.0});
+  resolver::RecursiveResolver resolver("bench",
+                                       resolver::child_centric_config(),
+                                       world.network(), world.hints());
+  net::Location location{net::Region::kEU, 1.0};
+  auto address = world.network().attach(resolver, location);
+  resolver.set_node_ref(net::NodeRef{address, location});
+  dns::Question question{dns::Name::from_string("uy"), dns::RRType::kNS,
+                         dns::RClass::kIN};
+  resolver.resolve(question, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve(question, sim::kSecond));
+  }
+}
+BENCHMARK(BM_FullResolutionWarmCache);
+
+void BM_MasterFileParse(benchmark::State& state) {
+  std::string text = "$ORIGIN bench.example.\n$TTL 3600\n";
+  text += "@ IN SOA ns1 hostmaster 1 7200 3600 1209600 3600\n";
+  for (int i = 0; i < 200; ++i) {
+    text += "h" + std::to_string(i) + " 300 IN A 10.0.0." +
+            std::to_string(i % 250 + 1) + "\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::parse_master_file(
+        text, dns::Name::from_string("bench.example")));
+  }
+}
+BENCHMARK(BM_MasterFileParse);
+
+void BM_DnssecSignZone(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    dns::Zone zone{dns::Name::from_string("bench.example")};
+    zone.add(dns::make_soa(dns::Name::from_string("bench.example"), 3600,
+                           dns::Name::from_string("ns1.bench.example"), 1));
+    for (int i = 0; i < 100; ++i) {
+      zone.add(dns::make_a(
+          dns::Name::from_string("h" + std::to_string(i) + ".bench.example"),
+          300, dns::Ipv4(static_cast<std::uint32_t>(i))));
+    }
+    state.ResumeTiming();
+    dns::sign_zone(zone, dns::make_zone_key(
+                             dns::Name::from_string("bench.example")));
+  }
+}
+BENCHMARK(BM_DnssecSignZone);
+
+void BM_DnssecVerify(benchmark::State& state) {
+  auto key = dns::make_zone_key(dns::Name::from_string("bench.example"));
+  dns::RRset rrset(dns::Name::from_string("www.bench.example"),
+                   dns::RClass::kIN, 300);
+  rrset.add(dns::ARdata{dns::Ipv4(10, 0, 0, 1)});
+  auto rrsig = dns::make_rrsig(rrset, dns::Name::from_string("bench.example"),
+                               key);
+  const auto& sig = std::get<dns::RrsigRdata>(rrsig.rdata);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::verify_rrsig(rrset, sig, key));
+  }
+}
+BENCHMARK(BM_DnssecVerify);
+
+void BM_PopulationGenerate(benchmark::State& state) {
+  auto params = crawl::alexa_params(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sim::Rng rng(7);
+    benchmark::DoNotOptimize(crawl::generate_population(params, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PopulationGenerate)->Arg(1000)->Arg(10000);
+
+void BM_EntradaAnalysis(benchmark::State& state) {
+  auth::QueryLog log;
+  sim::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    log.record({static_cast<sim::Time>(rng.uniform_int(0, 48)) * sim::kHour,
+                dns::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1, 500))),
+                dns::Name::from_string(
+                    "ns" + std::to_string(rng.uniform_int(1, 4)) + ".dns.nl"),
+                dns::RRType::kA});
+  }
+  for (auto _ : state) {
+    auth::Entrada store;
+    store.ingest(log, "bench");
+    benchmark::DoNotOptimize(store.queries_per_group());
+    benchmark::DoNotOptimize(store.min_interarrival_hours());
+  }
+}
+BENCHMARK(BM_EntradaAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

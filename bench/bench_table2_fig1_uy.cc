@@ -1,0 +1,112 @@
+// Reproduces Table 2 and Figure 1: resolver centricity for Uruguay's .uy,
+// measured from ~15k vantage points.  Parent (root) TTL is 172800 s while
+// the child's own NS TTL is 300 s and a.nic.uy's A TTL is 120 s; the
+// distribution of observed TTLs separates child- from parent-centric
+// resolvers.  Also runs uy-NS-new (child TTL raised to 86400 s, §5.3).
+
+#include "bench_common.h"
+#include "core/centricity_experiment.h"
+#include "stats/table.h"
+
+using namespace dnsttl;
+
+namespace {
+
+void report(const char* name, const core::CentricityResult& result,
+            const core::CentricitySetup& setup, std::size_t vps) {
+  std::printf("--- %s (parent TTL %u, child TTL %u) ---\n", name,
+              setup.parent_ttl, setup.child_ttl);
+  std::printf("VPs=%zu  queries=%zu  responses=%zu  valid=%zu  disc=%zu\n",
+              vps, result.run.query_count(), result.run.response_count(),
+              result.run.valid_count(), result.run.discarded_count());
+  std::printf("%s\n", result.summary().c_str());
+
+  auto cdf = result.run.ttl_cdf();
+  std::printf("%s", cdf.render(
+                        {0, 60, 120, 300, 600, 3600, 21599, 86400, 172800},
+                        std::string("TTL CDF ") + name)
+                        .c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Table 2 + Figure 1",
+                      ".uy centricity from RIPE-Atlas-like VPs");
+
+  core::World world{core::World::Options{args.seed, 0.002, {}}};
+  auto uy_zone = world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min,
+                               120, net::Location{net::Region::kSA, 1.0});
+
+  auto platform = atlas::Platform::build(world.network(), world.hints(),
+                                         world.root_zone(),
+                                         args.platform_spec(), world.rng());
+  std::printf("platform: %zu probes, %zu VPs, %zu resolvers\n\n",
+              platform.probes().size(), platform.vp_count(),
+              platform.resolver_population().size());
+
+  // --- uy-NS: child TTL 300 s ---
+  core::CentricitySetup ns_setup;
+  ns_setup.name = "uy-NS";
+  ns_setup.qname = dns::Name::from_string("uy");
+  ns_setup.qtype = dns::RRType::kNS;
+  ns_setup.parent_ttl = dns::kTtl2Days;
+  ns_setup.child_ttl = dns::kTtl5Min;
+  ns_setup.duration = 2 * sim::kHour;
+  auto ns_result = core::run_centricity(world, platform, ns_setup);
+  report("uy-NS", ns_result, ns_setup, platform.vp_count());
+
+  std::printf("%s", stats::compare_line(
+                        "uy-NS answers <= 300 s (child-centric)", "90%",
+                        stats::fmt("%.0f%%", 100 * ns_result.at_most_child))
+                        .c_str());
+  std::printf("%s", stats::compare_line(
+                        "uy-NS full 172800 s TTL", "2.9%",
+                        stats::fmt("%.1f%%",
+                                   100 * ns_result.exact_full_parent))
+                        .c_str());
+  std::printf("\n");
+
+  // --- a.nic.uy-A: child TTL 120 s ---
+  core::CentricitySetup a_setup;
+  a_setup.name = "a.nic.uy-A";
+  a_setup.qname = dns::Name::from_string("a.nic.uy");
+  a_setup.qtype = dns::RRType::kA;
+  a_setup.parent_ttl = dns::kTtl2Days;
+  a_setup.child_ttl = 120;
+  a_setup.duration = 3 * sim::kHour;
+  a_setup.start = world.simulation().now() + sim::kHour;
+  platform.flush_all();
+  auto a_result = core::run_centricity(world, platform, a_setup);
+  report("a.nic.uy-A", a_result, a_setup, platform.vp_count());
+
+  std::printf("%s", stats::compare_line(
+                        "a.nic.uy-A answers <= 120 s (child-centric)", "88%",
+                        stats::fmt("%.0f%%", 100 * a_result.at_most_child))
+                        .c_str());
+  std::printf("%s", stats::compare_line(
+                        "a.nic.uy-A full 172800 s TTL", "2.2%",
+                        stats::fmt("%.1f%%", 100 * a_result.exact_full_parent))
+                        .c_str());
+  std::printf("\n");
+
+  // --- uy-NS-new: the child raised its NS TTL to one day (§5.3) ---
+  uy_zone->set_ttl(dns::Name::from_string("uy"), dns::RRType::kNS,
+                   dns::kTtl1Day);
+  core::CentricitySetup new_setup = ns_setup;
+  new_setup.name = "uy-NS-new";
+  new_setup.child_ttl = dns::kTtl1Day;
+  new_setup.start = world.simulation().now() + sim::kHour;
+  platform.flush_all();
+  auto new_result = core::run_centricity(world, platform, new_setup);
+  report("uy-NS-new", new_result, new_setup, platform.vp_count());
+
+  std::printf("%s",
+              stats::compare_line(
+                  "uy-NS-new answers <= 86400 s (child share)", "~90%",
+                  stats::fmt("%.0f%%", 100 * new_result.at_most_child))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// DDoS resilience: the motivating scenario from the paper's introduction
+// (the 2016 Dyn attack).  An authoritative service goes dark for an hour;
+// clients behind resolvers with long-TTL cached data sail through, clients
+// whose operator chose a short TTL see failures — unless their resolver
+// serves stale (RFC 8767).
+//
+//   $ ./build/examples/ddos_resilience
+
+#include <cstdio>
+
+#include "core/world.h"
+#include "dns/rr.h"
+#include "resolver/recursive_resolver.h"
+
+using namespace dnsttl;
+
+namespace {
+
+struct Client {
+  const char* label;
+  resolver::RecursiveResolver* resolver;
+  int ok = 0;
+  int failed = 0;
+};
+
+}  // namespace
+
+int main() {
+  core::World world;
+
+  // Two domains on the same (soon to be attacked) DNS provider: one with a
+  // 5-minute TTL, one with a 1-day TTL.
+  auto zone = world.add_tld("shop", "ns1", dns::kTtl1Day, dns::kTtl1Day,
+                            dns::kTtl1Day,
+                            net::Location{net::Region::kNA, 1.0});
+  zone->add(dns::make_a(dns::Name::from_string("short.shop"), dns::kTtl5Min,
+                        dns::Ipv4(10, 1, 0, 1)));
+  zone->add(dns::make_a(dns::Name::from_string("long.shop"), dns::kTtl1Day,
+                        dns::Ipv4(10, 1, 0, 2)));
+
+  // Two resolvers: a plain one and a serve-stale one.
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver::RecursiveResolver plain("plain",
+                                    resolver::child_centric_config(),
+                                    world.network(), world.hints());
+  plain.set_node_ref(net::NodeRef{world.network().attach(plain, eu), eu});
+
+  auto stale_config = resolver::child_centric_config();
+  stale_config.serve_stale = true;
+  resolver::RecursiveResolver stale("serve-stale", stale_config,
+                                    world.network(), world.hints());
+  stale.set_node_ref(net::NodeRef{world.network().attach(stale, eu), eu});
+
+  // Warm both caches.
+  for (auto* resolver : {&plain, &stale}) {
+    for (const char* name : {"short.shop", "long.shop"}) {
+      resolver->resolve(
+          {dns::Name::from_string(name), dns::RRType::kA, dns::RClass::kIN},
+          0);
+    }
+  }
+  std::printf("caches warmed at t=0; DDoS takes the provider down at "
+              "t=10min for 60 minutes\n\n");
+
+  // The attack: every authoritative server for .shop goes dark.
+  world.server("ns1.shop.").set_online(false);
+
+  // Clients query every 5 minutes during the attack window.
+  struct Row {
+    const char* qname;
+    Client clients[2];
+  };
+  Row rows[] = {
+      {"short.shop", {{"plain", &plain}, {"serve-stale", &stale}}},
+      {"long.shop", {{"plain", &plain}, {"serve-stale", &stale}}},
+  };
+
+  for (sim::Time t = 10 * sim::kMinute; t <= 70 * sim::kMinute;
+       t += 5 * sim::kMinute) {
+    for (auto& row : rows) {
+      for (auto& client : row.clients) {
+        auto result = client.resolver->resolve(
+            {dns::Name::from_string(row.qname), dns::RRType::kA,
+             dns::RClass::kIN},
+            t);
+        bool ok = result.response.flags.rcode == dns::Rcode::kNoError &&
+                  !result.response.answers.empty();
+        (ok ? client.ok : client.failed)++;
+      }
+    }
+  }
+
+  std::printf("%-12s %-12s %8s %8s\n", "domain", "resolver", "answered",
+              "failed");
+  for (const auto& row : rows) {
+    for (const auto& client : row.clients) {
+      std::printf("%-12s %-12s %8d %8d\n", row.qname, client.label,
+                  client.ok, client.failed);
+    }
+  }
+
+  std::printf(
+      "\nlessons (paper §6.1):\n"
+      "  - the 1-day TTL rode out the whole attack from cache\n"
+      "  - the 5-minute TTL failed once its cache drained — unless the\n"
+      "    resolver served stale data (RFC 8767)\n"
+      "  - longer caching is DDoS resilience you configure for free\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// dnsdig: a dig-style query tool against a simulated Internet.
+//
+//   $ ./build/examples/dnsdig uy NS
+//   $ ./build/examples/dnsdig a.nic.uy A @a.nic.uy.
+//   $ ./build/examples/dnsdig www.gub.uy A +parent
+//
+// Without @server the query goes through a recursive resolver (child-
+// centric by default; "+parent" switches to a parent-centric one).  With
+// @server it is an iterative query straight at that authoritative server —
+// exactly how the paper's Table 1 was produced.
+//
+// The built-in world carries the paper's .uy layout (parent 172800 s vs
+// child 300 s) plus a .cl clone of Table 1, so every example from the
+// paper's §2-3 can be poked at interactively.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/world.h"
+#include "dns/rr.h"
+#include "resolver/recursive_resolver.h"
+
+using namespace dnsttl;
+
+int main(int argc, char** argv) {
+  std::string qname_text = argc > 1 ? argv[1] : "uy";
+  std::string qtype_text = argc > 2 ? argv[2] : "NS";
+  std::string server_arg;
+  bool parent_centric = false;
+  for (int i = 3; i < argc; ++i) {
+    if (argv[i][0] == '@') {
+      server_arg = argv[i] + 1;
+    } else if (std::strcmp(argv[i], "+parent") == 0) {
+      parent_centric = true;
+    }
+  }
+
+  dns::Name qname;
+  dns::RRType qtype;
+  try {
+    qname = dns::Name::from_string(qname_text);
+    qtype = dns::rrtype_from_string(qtype_text);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "usage: dnsdig <qname> <qtype> [@server] [+parent]\n"
+                         "error: %s\n",
+                 error.what());
+    return 1;
+  }
+
+  // The world: .uy and .cl as the paper measured them, plus a host record.
+  core::World world;
+  auto uy = world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+                          net::Location{net::Region::kSA, 1.0});
+  uy->add(dns::make_a(dns::Name::from_string("www.gub.uy"), 600,
+                      dns::Ipv4(10, 77, 0, 1)));
+  world.add_tld("cl", "a.nic", dns::kTtl2Days, dns::kTtl1Hour,
+                dns::kTtl12Hours, net::Location{net::Region::kSA, 1.0});
+
+  if (!server_arg.empty()) {
+    // Iterative query at a specific authoritative server.
+    std::string ident = server_arg;
+    if (ident.back() != '.') ident += '.';
+    net::Address address;
+    try {
+      address = world.address_of(ident);
+    } catch (const std::out_of_range&) {
+      std::fprintf(stderr, "unknown server %s (try a.nic.uy. / a.nic.cl. / "
+                           "k.root-servers.net)\n",
+                   server_arg.c_str());
+      return 1;
+    }
+    net::NodeRef client{dns::Ipv4(10, 200, 0, 1),
+                        net::Location{net::Region::kEU, 1.0}};
+    auto query = dns::Message::make_query(1, qname, qtype, false);
+    auto outcome = world.network().query(client, address, query, 0);
+    if (!outcome.response) {
+      std::printf(";; no response (timeout after %.0f ms)\n",
+                  sim::to_milliseconds(outcome.elapsed));
+      return 2;
+    }
+    std::printf(";; iterative query to %s, %.1f ms\n%s", ident.c_str(),
+                sim::to_milliseconds(outcome.elapsed),
+                outcome.response->to_string().c_str());
+    return 0;
+  }
+
+  auto config = parent_centric ? resolver::parent_centric_config()
+                               : resolver::child_centric_config();
+  resolver::RecursiveResolver resolver("dnsdig", config, world.network(),
+                                       world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+
+  auto result = resolver.resolve({qname, qtype, dns::RClass::kIN}, 0);
+  std::printf(";; recursive (%s), %.1f ms, %d upstream queries\n%s",
+              resolver::to_string(config.centricity).data(),
+              sim::to_milliseconds(result.elapsed), result.upstream_queries,
+              result.response.to_string().c_str());
+  return 0;
+}

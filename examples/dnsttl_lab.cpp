@@ -1,0 +1,199 @@
+// dnsttl_lab: one CLI over the experiment drivers, for running your own
+// parameterizations of the paper's studies.
+//
+//   dnsttl_lab centricity --parent 172800 --child 300 [--probes 2000]
+//       § 3-style study: who follows which TTL for your layout?
+//   dnsttl_lab bailiwick [--in|--out] [--ns-ttl 3600] [--a-ttl 7200]
+//       § 4-style renumbering study: when do resolvers let go of the old
+//       server?
+//   dnsttl_lab latency --ttl 300 --ttl 86400 ...
+//       § 5.3-style RTT comparison across child NS TTL choices.
+//   dnsttl_lab advise [--cdn|--ddos|--registry|--general]
+//       § 6.3 recommendations with reasoning.
+//
+// Every run is deterministic; add --seed N to vary.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/bailiwick_experiment.h"
+#include "core/centricity_experiment.h"
+#include "core/effective_ttl.h"
+#include "core/latency_experiment.h"
+#include "core/world.h"
+#include "stats/table.h"
+
+using namespace dnsttl;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> repeated_ttls;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        std::string key = token.substr(2);
+        std::string value = "1";
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          value = argv[++i];
+        }
+        if (key == "ttl") {
+          args.repeated_ttls.push_back(value);
+        } else {
+          args.flags[key] = value;
+        }
+      } else {
+        args.positional.push_back(token);
+      }
+    }
+    return args;
+  }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoull(it->second);
+  }
+  bool has(const std::string& key) const { return flags.contains(key); }
+};
+
+atlas::Platform make_platform(core::World& world, const Args& args) {
+  atlas::PlatformSpec spec;
+  spec.probe_count = args.u64("probes", 2000);
+  spec.resolver_count = args.u64("resolvers", spec.probe_count * 2 / 3);
+  return atlas::Platform::build(world.network(), world.hints(),
+                                world.root_zone(), spec, world.rng());
+}
+
+int cmd_centricity(const Args& args) {
+  auto parent = static_cast<dns::Ttl>(args.u64("parent", 172800));
+  auto child = static_cast<dns::Ttl>(args.u64("child", 300));
+  core::World world{core::World::Options{args.u64("seed", 1), 0.002, {}}};
+  world.add_tld("example", "a.nic", parent, child, child,
+                net::Location{net::Region::kEU, 1.0});
+  auto platform = make_platform(world, args);
+
+  core::CentricitySetup setup;
+  setup.name = "lab";
+  setup.qname = dns::Name::from_string("example");
+  setup.qtype = dns::RRType::kNS;
+  setup.parent_ttl = parent;
+  setup.child_ttl = child;
+  setup.duration = args.u64("hours", 2) * sim::kHour;
+  auto result = core::run_centricity(world, platform, setup);
+
+  std::printf("parent TTL %u s, child TTL %u s, %zu VPs\n%s\n", parent,
+              child, platform.vp_count(), result.summary().c_str());
+  std::printf("%s", result.run.ttl_cdf()
+                        .render({0, 60, static_cast<double>(child),
+                                 3600, 21599, 86400,
+                                 static_cast<double>(parent)},
+                                "observed TTLs")
+                        .c_str());
+  return 0;
+}
+
+int cmd_bailiwick(const Args& args) {
+  core::World world{core::World::Options{args.u64("seed", 1), 0.002, {}}};
+  auto platform = make_platform(world, args);
+  core::BailiwickConfig config;
+  config.in_bailiwick = !args.has("out");
+  config.ns_ttl = static_cast<dns::Ttl>(args.u64("ns-ttl", 3600));
+  config.a_ttl = static_cast<dns::Ttl>(args.u64("a-ttl", 7200));
+  auto result = core::run_bailiwick(world, platform, config);
+
+  std::printf("%s renumbering, NS TTL %u / A TTL %u, %zu VPs\n\n",
+              config.in_bailiwick ? "in-bailiwick" : "out-of-bailiwick",
+              config.ns_ttl, config.a_ttl, platform.vp_count());
+  std::printf("%s\n", result.series.render().c_str());
+  std::printf("sticky VPs: %zu (%.1f%%)\n", result.sticky_vp_count(),
+              100.0 * static_cast<double>(result.sticky_vp_count()) /
+                  static_cast<double>(platform.vp_count()));
+  return 0;
+}
+
+int cmd_latency(const Args& args) {
+  std::vector<dns::Ttl> ttls;
+  for (const auto& text : args.repeated_ttls) {
+    ttls.push_back(static_cast<dns::Ttl>(std::stoul(text)));
+  }
+  if (ttls.empty()) {
+    ttls = {300, 86400};
+  }
+
+  stats::TablePrinter table({"child NS TTL", "median RTT", "p75", "p95"});
+  for (dns::Ttl ttl : ttls) {
+    core::World world{core::World::Options{args.u64("seed", 1), 0.002, {}}};
+    world.add_tld("example", "a.nic", dns::kTtl2Days, ttl, ttl,
+                  net::Location{net::Region::kSA, 1.0});
+    auto platform = make_platform(world, args);
+    atlas::MeasurementSpec spec;
+    spec.name = "latency";
+    spec.qname = dns::Name::from_string("example");
+    spec.qtype = dns::RRType::kNS;
+    spec.duration = args.u64("hours", 2) * sim::kHour;
+    auto run = atlas::MeasurementRun::execute(
+        world.simulation(), world.network(), platform, spec, world.rng());
+    auto cdf = run.rtt_cdf_ms();
+    table.add_row({std::to_string(ttl) + " s",
+                   stats::fmt("%.1f ms", cdf.median()),
+                   stats::fmt("%.1f ms", cdf.quantile(0.75)),
+                   stats::fmt("%.1f ms", cdf.quantile(0.95))});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  core::OperatorProfile profile;
+  if (args.has("cdn")) {
+    profile.kind = core::OperatorProfile::Kind::kCdnLoadBalancer;
+    profile.in_bailiwick_ns = false;
+  } else if (args.has("ddos")) {
+    profile.kind = core::OperatorProfile::Kind::kDdosMitigation;
+  } else if (args.has("registry")) {
+    profile.kind = core::OperatorProfile::Kind::kTldRegistry;
+    profile.controls_parent_ttl = true;
+  } else {
+    profile.kind = core::OperatorProfile::Kind::kGeneralZone;
+  }
+  profile.dns_service_metered = args.has("metered");
+  std::printf("%s", core::recommend(profile).render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = Args::parse(argc, argv);
+  if (args.positional.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: dnsttl_lab <centricity|bailiwick|latency|advise> [flags]\n"
+        "  centricity --parent T --child T [--probes N] [--hours H]\n"
+        "  bailiwick  [--out] [--ns-ttl T] [--a-ttl T] [--probes N]\n"
+        "  latency    --ttl T [--ttl T ...] [--probes N]\n"
+        "  advise     [--cdn|--ddos|--registry] [--metered]\n"
+        "  (all: --seed N)\n");
+    return 1;
+  }
+  const auto& command = args.positional[0];
+  try {
+    if (command == "centricity") return cmd_centricity(args);
+    if (command == "bailiwick") return cmd_bailiwick(args);
+    if (command == "latency") return cmd_latency(args);
+    if (command == "advise") return cmd_advise(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}

@@ -1,0 +1,102 @@
+// TTL advisor: the paper's §6.3 operational recommendations as a tool.
+// Given an operator situation, print recommended NS / address TTLs with the
+// reasoning, plus the §2-4 "effective TTL" analysis showing what resolvers
+// in the wild will actually do with the chosen values.
+//
+//   $ ./build/examples/ttl_advisor
+
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "core/effective_ttl.h"
+#include "resolver/config.h"
+
+using namespace dnsttl;
+
+namespace {
+
+void advise(const char* title, const core::OperatorProfile& profile) {
+  std::printf("== %s ==\n%s\n", title,
+              core::recommend(profile).render().c_str());
+}
+
+void analyze(const char* title, const core::DelegationLayout& layout) {
+  std::printf("-- %s --\n", title);
+  struct Case {
+    const char* who;
+    resolver::ResolverConfig config;
+  };
+  const Case cases[] = {
+      {"child-centric (most resolvers)", resolver::child_centric_config()},
+      {"child-centric, unlinked cache", [] {
+         auto c = resolver::child_centric_config();
+         c.link_glue_to_ns = false;
+         return c;
+       }()},
+      {"parent-centric (OpenDNS-like)", resolver::parent_centric_config()},
+      {"sticky", resolver::sticky_config()},
+  };
+  for (const auto& c : cases) {
+    auto effective = core::effective_ttl(layout, c.config);
+    std::printf("  %-32s NS=%7u s  addr=%7u s  %s\n", c.who,
+                effective.ns_ttl, effective.address_ttl,
+                effective.address_linked_to_ns ? "(addr tied to NS)" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TTL recommendations (per the IMC'19 paper, §6.3)\n");
+  std::printf("=================================================\n\n");
+
+  core::OperatorProfile general;
+  general.kind = core::OperatorProfile::Kind::kGeneralZone;
+  general.controls_parent_ttl = false;
+  advise("General zone owner (web + mail)", general);
+
+  core::OperatorProfile registry;
+  registry.kind = core::OperatorProfile::Kind::kTldRegistry;
+  registry.controls_parent_ttl = true;
+  registry.dns_service_metered = false;
+  advise("TLD / registry operator", registry);
+
+  core::OperatorProfile cdn;
+  cdn.kind = core::OperatorProfile::Kind::kCdnLoadBalancer;
+  cdn.controls_parent_ttl = false;
+  cdn.in_bailiwick_ns = false;
+  advise("CDN / DNS-based load balancing", cdn);
+
+  core::OperatorProfile ddos;
+  ddos.kind = core::OperatorProfile::Kind::kDdosMitigation;
+  advise("DDoS-scrubbing standby", ddos);
+
+  std::printf("\nEffective TTLs: what resolvers actually do with a layout\n");
+  std::printf("=========================================================\n\n");
+
+  core::DelegationLayout uy_before;
+  uy_before.parent_ns_ttl = dns::kTtl2Days;
+  uy_before.child_ns_ttl = dns::kTtl5Min;
+  uy_before.parent_glue_ttl = dns::kTtl2Days;
+  uy_before.child_a_ttl = 120;
+  uy_before.in_bailiwick = true;
+  analyze(".uy before 2019-03-04 (parent 2 d / child 300 s)", uy_before);
+
+  core::DelegationLayout uy_after = uy_before;
+  uy_after.child_ns_ttl = dns::kTtl1Day;
+  uy_after.child_a_ttl = dns::kTtl1Day;
+  analyze(".uy after raising the child TTL to one day", uy_after);
+
+  core::DelegationLayout out_of_bailiwick;
+  out_of_bailiwick.parent_ns_ttl = dns::kTtl1Hour;
+  out_of_bailiwick.child_ns_ttl = dns::kTtl1Hour;
+  out_of_bailiwick.child_a_ttl = dns::kTtl2Hours;
+  out_of_bailiwick.in_bailiwick = false;
+  analyze("out-of-bailiwick NS (the §4.3 layout)", out_of_bailiwick);
+
+  std::printf(
+      "Bottom line: set the TTL in the child zone, mirror it in the parent\n"
+      "where you can, and keep A/AAAA <= NS for in-bailiwick servers.\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// TTL rollout: the paper's §6.1 operational playbook, end to end.
+//
+//   "when deployments are planned in advance, TTLs can be lowered
+//    'just-before' a major operational change, and raised again once
+//    accomplished."
+//
+// Two operators migrate a web server to a new address.  Operator A keeps a
+// 1-day TTL and renumbers cold; operator B lowers the TTL to 5 minutes one
+// day ahead (one old-TTL period), renumbers, confirms, and raises it back.
+// The example measures what clients actually see: how long stale answers
+// linger, and what the authoritative query load looks like — including the
+// secondary-server propagation delay that real zone pushes have.
+//
+//   $ ./build/examples/ttl_rollout
+
+#include <cstdio>
+
+#include "auth/secondary.h"
+#include "core/world.h"
+#include "dns/rr.h"
+#include "resolver/recursive_resolver.h"
+
+using namespace dnsttl;
+
+namespace {
+
+struct Rollout {
+  const char* label;
+  bool lower_first;
+  double stale_minutes = 0;
+  std::uint64_t auth_queries = 0;
+};
+
+void run(core::World& world, Rollout& rollout) {
+  const auto site = dns::Name::from_string(
+      std::string("www.") + (rollout.lower_first ? "planned" : "cold") +
+      ".shop");
+  const auto zone_name = site.parent();
+
+  // Primary + one secondary (refresh every 10 minutes).
+  auto zone = world.create_zone(zone_name.to_string(), 3600);
+  auto ns_name = zone_name.prepend("ns1");
+  auto& primary =
+      world.add_server(ns_name.to_string(), net::Location{net::Region::kNA, 1.0});
+  primary.add_zone(zone);
+  auto& secondary_server = world.add_server(
+      zone_name.prepend("ns2").to_string(), net::Location{net::Region::kEU, 1.0});
+  auth::Secondary secondary(world.simulation(), zone, secondary_server, 600);
+
+  zone->add(dns::make_ns(zone_name, 3600, ns_name));
+  zone->add(dns::make_a(ns_name, 3600, world.address_of(ns_name.to_string())));
+  zone->add(dns::make_a(site, dns::kTtl1Day, dns::Ipv4(10, 1, 0, 1)));
+  zone->bump_serial();
+  world.delegate(*world.root_zone(), zone_name,
+                 {{ns_name, world.address_of(ns_name.to_string())},
+                  {zone_name.prepend("ns2"),
+                   world.address_of(zone_name.prepend("ns2").to_string())}},
+                 dns::kTtl1Day, dns::kTtl1Day);
+
+  // A client population behind one resolver, querying every 2 minutes.
+  resolver::RecursiveResolver resolver("clients",
+                                       resolver::child_centric_config(),
+                                       world.network(), world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+
+  const sim::Time day = sim::kDay;
+  const sim::Time migration = 2 * day;  // the planned cutover moment
+
+  // Day 1: steady state.  (Planned operator lowers the TTL at migration -
+  // 1 day, i.e. one old-TTL period ahead, so every cache drains in time.)
+  sim::Time lower_at = migration - day;
+
+  double first_fresh = -1;
+  std::uint64_t queries_before = 0;
+  for (sim::Time t = 0; t < migration + 4 * sim::kHour;
+       t += 2 * sim::kMinute) {
+    world.simulation().run_until(t);  // let secondary refreshes fire
+
+    if (rollout.lower_first && t == lower_at) {
+      zone->set_ttl(site, dns::RRType::kA, dns::kTtl5Min);
+      zone->bump_serial();
+    }
+    if (t == migration) {
+      zone->renumber_a(site, dns::Ipv4(10, 2, 0, 99));
+      zone->bump_serial();
+      queries_before = primary.queries_answered() +
+                       secondary_server.queries_answered();
+    }
+    if (rollout.lower_first && t == migration + 2 * sim::kHour) {
+      // Confirmed: raise the TTL back (the .uy epilogue).
+      zone->set_ttl(site, dns::RRType::kA, dns::kTtl1Day);
+      zone->bump_serial();
+    }
+
+    auto result = resolver.resolve({site, dns::RRType::kA, dns::RClass::kIN},
+                                   t);
+    if (t >= migration && first_fresh < 0 &&
+        !result.response.answers.empty() &&
+        dns::rdata_to_string(result.response.answers[0].rdata) ==
+            "10.2.0.99") {
+      first_fresh = sim::to_seconds(t - migration) / 60.0;
+    }
+  }
+  rollout.stale_minutes = first_fresh;
+  rollout.auth_queries = primary.queries_answered() +
+                         secondary_server.queries_answered() -
+                         queries_before;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TTL rollout playbook (paper §6.1)\n");
+  std::printf("==================================\n\n");
+
+  Rollout cold{"cold renumber, TTL stays 1 day", false};
+  Rollout planned{"planned: lower to 5 min 1 day ahead, raise after",
+                  true};
+  {
+    core::World world_a{core::World::Options{1, 0.0, {}}};
+    run(world_a, cold);
+  }
+  {
+    core::World world_b{core::World::Options{1, 0.0, {}}};
+    run(world_b, planned);
+  }
+
+  std::printf("%-50s %22s %16s\n", "strategy", "stale window (min)",
+              "auth queries*");
+  for (const auto& rollout : {cold, planned}) {
+    char stale[32];
+    if (rollout.stale_minutes < 0) {
+      std::snprintf(stale, sizeof(stale), ">240 (beyond obs.)");
+    } else {
+      std::snprintf(stale, sizeof(stale), "%.0f", rollout.stale_minutes);
+    }
+    std::printf("%-50s %22s %16llu\n", rollout.label, stale,
+                static_cast<unsigned long long>(rollout.auth_queries));
+  }
+  std::printf("  (*queries at the authoritatives after the cutover — the\n"
+              "   price of the short-TTL window; it returns to normal once\n"
+              "   the TTL is raised back)\n\n");
+
+  std::printf(
+      "reading:\n"
+      "  - cold renumber with a 1-day TTL leaves clients on the dead\n"
+      "    address for up to a day; here the resolver even re-fetched the\n"
+      "    OLD address from a not-yet-refreshed secondary right at the\n"
+      "    cutover, restarting the full day of staleness\n"
+      "  - the planned playbook cuts the stale window to the low TTL\n"
+      "    (~%.0f minutes), at the cost of one day of extra query load\n"
+      "  - the secondary picks up each TTL change only at its next\n"
+      "    refresh, so lower the TTL at least one refresh period early\n",
+      planned.stale_minutes);
+  return 0;
+}

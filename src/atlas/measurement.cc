@@ -1,0 +1,113 @@
+#include "atlas/measurement.h"
+
+#include <unordered_map>
+
+namespace dnsttl::atlas {
+
+MeasurementRun MeasurementRun::execute(sim::Simulation& simulation,
+                                       net::Network& network,
+                                       Platform& platform,
+                                       MeasurementSpec spec, sim::Rng& rng) {
+  MeasurementRun run;
+  run.spec_ = spec;
+
+  std::uint16_t next_id = 1;
+  for (auto& probe : platform.probes()) {
+    dns::Name qname = spec.per_probe_qname
+                          ? spec.qname.prepend("p" + std::to_string(probe.id))
+                          : spec.qname;
+    for (net::Address resolver : probe.resolvers) {
+      // Atlas schedules each VP at a random phase within the period.
+      sim::Time phase = static_cast<sim::Time>(
+          rng.uniform(0.0, static_cast<double>(spec.frequency)));
+      for (sim::Time offset = phase; offset < spec.duration;
+           offset += spec.frequency) {
+        sim::Time at = spec.start + offset;
+        std::uint16_t id = next_id++;
+        simulation.schedule_at(at, [&run, &network, &probe, resolver, qname,
+                                    qtype = spec.qtype, id, at] {
+          auto query = dns::Message::make_query(id, qname, qtype);
+          query.add_edns();
+          auto outcome = network.query(probe.ref, resolver, query, at);
+
+          Sample sample;
+          sample.probe_id = probe.id;
+          sample.resolver = resolver;
+          sample.sent = at;
+          sample.rtt = outcome.elapsed;
+          if (!outcome.response) {
+            sample.timeout = true;
+          } else {
+            sample.rcode = outcome.response->flags.rcode;
+            for (const auto& rr : outcome.response->answers) {
+              if (rr.type() == qtype && rr.name == qname) {
+                sample.has_answer = true;
+                sample.ttl = rr.ttl;
+                sample.rdata = dns::rdata_to_string(rr.rdata);
+                break;
+              }
+            }
+          }
+          run.samples_.push_back(std::move(sample));
+        });
+      }
+    }
+  }
+
+  simulation.run_until(spec.start + spec.duration + sim::kMinute);
+  return run;
+}
+
+std::size_t MeasurementRun::timeout_count() const {
+  std::size_t count = 0;
+  for (const auto& sample : samples_) {
+    if (sample.timeout) ++count;
+  }
+  return count;
+}
+
+std::size_t MeasurementRun::valid_count() const {
+  std::size_t count = 0;
+  for (const auto& sample : samples_) {
+    if (!sample.timeout && sample.has_answer) ++count;
+  }
+  return count;
+}
+
+stats::Cdf MeasurementRun::ttl_cdf() const {
+  stats::Cdf cdf;
+  for (const auto& sample : samples_) {
+    if (!sample.timeout && sample.has_answer) {
+      cdf.add(static_cast<double>(sample.ttl));
+    }
+  }
+  return cdf;
+}
+
+stats::Cdf MeasurementRun::rtt_cdf_ms() const {
+  stats::Cdf cdf;
+  for (const auto& sample : samples_) {
+    if (!sample.timeout && sample.has_answer) {
+      cdf.add(sim::to_milliseconds(sample.rtt));
+    }
+  }
+  return cdf;
+}
+
+stats::Cdf MeasurementRun::rtt_cdf_ms(net::Region region,
+                                      const Platform& platform) const {
+  std::unordered_map<int, net::Region> probe_region;
+  for (const auto& probe : platform.probes()) {
+    probe_region[probe.id] = probe.ref.location.region;
+  }
+  stats::Cdf cdf;
+  for (const auto& sample : samples_) {
+    if (!sample.timeout && sample.has_answer &&
+        probe_region[sample.probe_id] == region) {
+      cdf.add(sim::to_milliseconds(sample.rtt));
+    }
+  }
+  return cdf;
+}
+
+}  // namespace dnsttl::atlas

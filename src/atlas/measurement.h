@@ -1,0 +1,79 @@
+#ifndef DNSTTL_ATLAS_MEASUREMENT_H
+#define DNSTTL_ATLAS_MEASUREMENT_H
+
+#include <string>
+#include <vector>
+
+#include "atlas/platform.h"
+#include "dns/message.h"
+#include "sim/simulation.h"
+#include "stats/cdf.h"
+
+namespace dnsttl::atlas {
+
+/// One periodic measurement, RIPE-Atlas style: every VP sends the query
+/// every `frequency` for `duration`, with a random phase inside the first
+/// interval (Atlas spreads probes across the period).
+struct MeasurementSpec {
+  std::string name;
+  dns::Name qname;
+  /// When set, the qname becomes "p<probe-id>.<qname>" — the paper's
+  /// PROBEID.sub.cachetest.net trick that defeats cross-probe caching.
+  bool per_probe_qname = false;
+  dns::RRType qtype = dns::RRType::kAAAA;
+  sim::Duration frequency = 600 * sim::kSecond;
+  sim::Duration duration = 2 * sim::kHour;
+  sim::Time start = 0;
+};
+
+/// One VP's observation for one round.
+struct Sample {
+  int probe_id = 0;
+  net::Address resolver;
+  sim::Time sent = 0;
+  sim::Duration rtt = 0;
+  bool timeout = false;
+  dns::Rcode rcode = dns::Rcode::kNoError;
+  bool has_answer = false;
+  dns::Ttl ttl = 0;        ///< answer-section TTL for the queried type
+  std::string rdata;       ///< answer identity (e.g. the returned address)
+};
+
+/// Executes a measurement over the platform inside a simulation and holds
+/// the collected samples with the summaries the paper reports.
+class MeasurementRun {
+ public:
+  /// Schedules all VP queries and runs the simulation to the measurement's
+  /// end.  Events already scheduled on @p simulation (zone renumberings,
+  /// TTL changes) interleave at their own times.
+  static MeasurementRun execute(sim::Simulation& simulation,
+                                net::Network& network, Platform& platform,
+                                MeasurementSpec spec, sim::Rng& rng);
+
+  const MeasurementSpec& spec() const noexcept { return spec_; }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  std::size_t query_count() const noexcept { return samples_.size(); }
+  std::size_t timeout_count() const;
+  std::size_t response_count() const { return samples_.size() - timeout_count(); }
+  /// Responses carrying the expected answer type.
+  std::size_t valid_count() const;
+  /// Responses that are not valid answers (Table 2's "disc." row).
+  std::size_t discarded_count() const { return response_count() - valid_count(); }
+
+  /// TTLs seen in valid answers (Figures 1 and 2).
+  stats::Cdf ttl_cdf() const;
+
+  /// Client-side RTT in milliseconds over valid answers (Figures 10/11).
+  stats::Cdf rtt_cdf_ms() const;
+  /// Same, restricted to probes in one region (Figure 10b).
+  stats::Cdf rtt_cdf_ms(net::Region region, const Platform& platform) const;
+
+ private:
+  MeasurementSpec spec_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dnsttl::atlas
+
+#endif  // DNSTTL_ATLAS_MEASUREMENT_H

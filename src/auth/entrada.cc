@@ -1,0 +1,159 @@
+#include "auth/entrada.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dnsttl::auth {
+
+void Entrada::ingest(const QueryLog& log, const std::string& server_ident) {
+  rows_.reserve(rows_.size() + log.size());
+  for (const auto& entry : log.entries()) {
+    rows_.push_back(
+        Row{entry.time, server_ident, entry.client, entry.qname, entry.qtype});
+  }
+}
+
+std::string Entrada::to_csv() const {
+  std::string out = "time_us,server,client,qname,qtype\n";
+  for (const auto& row : rows_) {
+    out += std::to_string(row.time) + "," + row.server + "," +
+           row.client.to_string() + "," + row.qname.to_string() + "," +
+           std::string(dns::to_string(row.qtype)) + "\n";
+  }
+  return out;
+}
+
+Entrada Entrada::from_csv(std::string_view csv) {
+  Entrada store;
+  std::size_t pos = 0;
+  bool header = true;
+  std::size_t line_no = 0;
+  while (pos < csv.size()) {
+    std::size_t eol = csv.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? csv.substr(pos)
+                                : csv.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? csv.size() : eol + 1;
+    ++line_no;
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    while (true) {
+      std::size_t comma = line.find(',', start);
+      if (comma == std::string_view::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, comma - start));
+      start = comma + 1;
+    }
+    if (fields.size() != 5) {
+      throw std::invalid_argument("entrada csv line " +
+                                  std::to_string(line_no) +
+                                  ": expected 5 fields");
+    }
+    Row row;
+    auto [ptr, ec] = std::from_chars(
+        fields[0].data(), fields[0].data() + fields[0].size(), row.time);
+    if (ec != std::errc{} || ptr != fields[0].data() + fields[0].size()) {
+      throw std::invalid_argument("entrada csv line " +
+                                  std::to_string(line_no) + ": bad time");
+    }
+    row.server = std::string(fields[1]);
+    row.client = dns::Ipv4::from_string(std::string(fields[2]));
+    row.qname = dns::Name::from_string(fields[3]);
+    row.qtype = dns::rrtype_from_string(fields[4]);
+    store.rows_.push_back(std::move(row));
+  }
+  return store;
+}
+
+std::size_t Entrada::unique_clients() const {
+  std::unordered_set<std::uint32_t> clients;
+  for (const auto& row : rows_) {
+    clients.insert(row.client.value());
+  }
+  return clients.size();
+}
+
+std::map<std::pair<std::uint32_t, dns::Name>, std::vector<sim::Time>>
+Entrada::group_times(const std::set<dns::Name>& qnames) const {
+  std::map<std::pair<std::uint32_t, dns::Name>, std::vector<sim::Time>>
+      groups;
+  for (const auto& row : rows_) {
+    if (!qnames.empty() && !qnames.contains(row.qname)) {
+      continue;
+    }
+    groups[{row.client.value(), row.qname}].push_back(row.time);
+  }
+  for (auto& [key, times] : groups) {
+    std::sort(times.begin(), times.end());
+  }
+  return groups;
+}
+
+stats::Cdf Entrada::queries_per_group(
+    const std::set<dns::Name>& qnames) const {
+  stats::Cdf cdf;
+  for (const auto& [key, times] : group_times(qnames)) {
+    cdf.add(static_cast<double>(times.size()));
+  }
+  return cdf;
+}
+
+stats::Cdf Entrada::min_interarrival_hours(const std::set<dns::Name>& qnames,
+                                           sim::Duration dedup_window) const {
+  stats::Cdf cdf;
+  for (const auto& [key, times] : group_times(qnames)) {
+    sim::Duration best = -1;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      sim::Duration gap = times[i] - times[i - 1];
+      if (gap <= dedup_window) {
+        continue;  // retransmission-like duplicate
+      }
+      if (best < 0 || gap < best) {
+        best = gap;
+      }
+    }
+    if (best >= 0) {
+      cdf.add(sim::to_seconds(best) / 3600.0);
+    }
+  }
+  return cdf;
+}
+
+stats::BinnedSeries Entrada::load_series(sim::Duration bin_width) const {
+  stats::BinnedSeries series(bin_width);
+  for (const auto& row : rows_) {
+    series.record(row.server, row.time);
+  }
+  return series;
+}
+
+std::vector<std::pair<dns::Name, std::size_t>> Entrada::top_qnames(
+    std::size_t k) const {
+  std::map<dns::Name, std::size_t> counts;
+  for (const auto& row : rows_) {
+    ++counts[row.qname];
+  }
+  std::vector<std::pair<dns::Name, std::size_t>> ranked(counts.begin(),
+                                                        counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (ranked.size() > k) {
+    ranked.resize(k);
+  }
+  return ranked;
+}
+
+}  // namespace dnsttl::auth

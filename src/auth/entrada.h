@@ -1,0 +1,74 @@
+#ifndef DNSTTL_AUTH_ENTRADA_H
+#define DNSTTL_AUTH_ENTRADA_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "auth/query_log.h"
+#include "stats/cdf.h"
+#include "stats/timeseries.h"
+
+namespace dnsttl::auth {
+
+/// ENTRADA-style query warehouse (after SIDN's streaming DNS warehouse the
+/// paper's §3.4 analysis ran on): ingests authoritative query logs from any
+/// number of servers, round-trips a portable CSV form, and answers the
+/// aggregate questions the paper's passive analyses ask — per-(source,
+/// qname) grouping, interarrival statistics, client counts, load series.
+class Entrada {
+ public:
+  struct Row {
+    sim::Time time = 0;
+    std::string server;
+    net::Address client;
+    dns::Name qname;
+    dns::RRType qtype = dns::RRType::kA;
+  };
+
+  /// Copies one server's log into the store.
+  void ingest(const QueryLog& log, const std::string& server_ident);
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  /// "time_us,server,client,qname,qtype" lines with a header row.
+  std::string to_csv() const;
+
+  /// Parses the to_csv() format; throws std::invalid_argument on bad rows.
+  static Entrada from_csv(std::string_view csv);
+
+  // ---- the §3.4 analysis primitives ----
+
+  /// Distinct client addresses.
+  std::size_t unique_clients() const;
+
+  /// Query counts per (client, qname) group, optionally restricted to a
+  /// qname set (Figure 3's curve).
+  stats::Cdf queries_per_group(const std::set<dns::Name>& qnames = {}) const;
+
+  /// Minimum interarrival per multi-query (client, qname) group, in hours
+  /// (Figure 4's curve).  @p dedup_window drops retransmission-like
+  /// duplicates closer than the window.
+  stats::Cdf min_interarrival_hours(
+      const std::set<dns::Name>& qnames = {},
+      sim::Duration dedup_window = 2 * sim::kSecond) const;
+
+  /// Queries per bin across all servers (load time series).
+  stats::BinnedSeries load_series(sim::Duration bin_width) const;
+
+  /// The @p k most queried names with their counts.
+  std::vector<std::pair<dns::Name, std::size_t>> top_qnames(
+      std::size_t k) const;
+
+ private:
+  std::map<std::pair<std::uint32_t, dns::Name>, std::vector<sim::Time>>
+  group_times(const std::set<dns::Name>& qnames) const;
+
+  std::vector<Row> rows_;
+};
+
+}  // namespace dnsttl::auth
+
+#endif  // DNSTTL_AUTH_ENTRADA_H

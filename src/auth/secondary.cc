@@ -1,0 +1,96 @@
+#include "auth/secondary.h"
+
+namespace dnsttl::auth {
+
+namespace {
+
+std::uint32_t soa_serial(const dns::Zone& zone) {
+  if (auto soa = zone.soa()) {
+    return std::get<dns::SoaRdata>(soa->rdata).serial;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Secondary::Secondary(sim::Simulation& simulation,
+                     std::shared_ptr<const dns::Zone> primary,
+                     AuthServer& server, std::uint32_t refresh_override)
+    : simulation_(simulation),
+      primary_(std::move(primary)),
+      server_(server),
+      copy_(std::make_shared<dns::Zone>(primary_->origin())),
+      refresh_override_(refresh_override) {
+  transfer(simulation_.now());
+  server_.add_zone(copy_);
+  schedule_next(0);
+}
+
+std::uint32_t Secondary::serial() const { return soa_serial(*copy_); }
+
+void Secondary::transfer(sim::Time now) {
+  copy_->clear();
+  for (const auto& rrset : primary_->all_rrsets()) {
+    copy_->replace(rrset);
+  }
+  last_success_ = now;
+  ++transfers_;
+}
+
+void Secondary::schedule_next(std::uint32_t delay_seconds) {
+  if (delay_seconds == 0) {
+    // First call: derive the refresh interval.
+    std::uint32_t refresh = refresh_override_;
+    if (refresh == 0) {
+      if (auto soa = primary_->soa()) {
+        refresh = std::get<dns::SoaRdata>(soa->rdata).refresh;
+      } else {
+        refresh = 7200;
+      }
+    }
+    delay_seconds = refresh;
+  }
+  simulation_.schedule_after(
+      static_cast<sim::Duration>(delay_seconds) * sim::kSecond,
+      [this] { check(); });
+}
+
+void Secondary::check() {
+  std::uint32_t refresh = refresh_override_;
+  std::uint32_t retry = 3600;
+  std::uint32_t expire = 1209600;
+  if (auto soa = primary_->soa()) {
+    const auto& rdata = std::get<dns::SoaRdata>(soa->rdata);
+    if (refresh == 0) refresh = rdata.refresh;
+    retry = refresh_override_ != 0 ? refresh_override_ : rdata.retry;
+    expire = rdata.expire;
+  }
+  if (refresh == 0) refresh = 7200;
+
+  sim::Time now = simulation_.now();
+  if (reachable_) {
+    if (expired_) {
+      // Back from the dead: resume service with a fresh transfer.
+      transfer(now);
+      server_.add_zone(copy_);
+      expired_ = false;
+    } else if (soa_serial(*primary_) != soa_serial(*copy_)) {
+      transfer(now);
+    } else {
+      last_success_ = now;
+    }
+    schedule_next(refresh);
+    return;
+  }
+
+  // Primary unreachable: retry faster; expire the copy when too stale.
+  if (!expired_ &&
+      now - last_success_ >
+          static_cast<sim::Duration>(expire) * sim::kSecond) {
+    server_.remove_zone(copy_);
+    expired_ = true;
+  }
+  schedule_next(retry);
+}
+
+}  // namespace dnsttl::auth

@@ -1,0 +1,75 @@
+#ifndef DNSTTL_AUTH_SECONDARY_H
+#define DNSTTL_AUTH_SECONDARY_H
+
+#include <cstdint>
+#include <memory>
+
+#include "auth/auth_server.h"
+#include "dns/zone.h"
+#include "sim/simulation.h"
+
+namespace dnsttl::auth {
+
+/// A secondary (slave) copy of a zone, kept in sync by SOA serial polling
+/// per the zone's SOA timers (RFC 1034 §4.3.5).
+///
+/// This is how TTL changes actually roll out in multi-server deployments:
+/// when .uy raised its NS TTL (§5.3 of the paper), each secondary kept
+/// serving the old TTL until its next successful refresh.  The simulator
+/// makes that propagation delay observable.
+///
+/// Behavior:
+/// - Every `refresh` seconds (from the primary's SOA, overridable) the
+///   secondary compares serials and copies the zone when the primary's is
+///   newer.  Remember to call Zone::bump_serial() after editing a primary.
+/// - While the primary is unreachable it retries every `retry` seconds;
+///   after `expire` seconds without contact the copy is withdrawn from the
+///   server (queries are REFUSED), per the SOA expire rule.
+class Secondary {
+ public:
+  /// Starts serving a copy of @p primary on @p server, with refresh checks
+  /// scheduled on @p simulation.  @p refresh_override (seconds, 0 = use the
+  /// SOA value) shortens the poll interval for experiments.
+  Secondary(sim::Simulation& simulation,
+            std::shared_ptr<const dns::Zone> primary, AuthServer& server,
+            std::uint32_t refresh_override = 0);
+
+  Secondary(const Secondary&) = delete;
+  Secondary& operator=(const Secondary&) = delete;
+
+  /// The served copy (shared with the AuthServer while healthy).
+  const std::shared_ptr<dns::Zone>& zone() const noexcept { return copy_; }
+
+  /// Serial of the currently served copy.
+  std::uint32_t serial() const;
+
+  /// Number of zone transfers performed (including the initial one).
+  std::uint32_t transfers() const noexcept { return transfers_; }
+
+  /// Simulates loss/restoration of connectivity to the primary.
+  void set_primary_reachable(bool reachable) noexcept {
+    reachable_ = reachable;
+  }
+
+  /// True once the copy passed its SOA expire time and was withdrawn.
+  bool expired() const noexcept { return expired_; }
+
+ private:
+  void transfer(sim::Time now);
+  void check();
+  void schedule_next(std::uint32_t delay_seconds);
+
+  sim::Simulation& simulation_;
+  std::shared_ptr<const dns::Zone> primary_;
+  AuthServer& server_;
+  std::shared_ptr<dns::Zone> copy_;
+  std::uint32_t refresh_override_ = 0;
+  bool reachable_ = true;
+  bool expired_ = false;
+  sim::Time last_success_ = 0;
+  std::uint32_t transfers_ = 0;
+};
+
+}  // namespace dnsttl::auth
+
+#endif  // DNSTTL_AUTH_SECONDARY_H

@@ -1,0 +1,246 @@
+#include "cache/cache.h"
+
+#include <algorithm>
+
+namespace dnsttl::cache {
+
+std::string_view to_string(Credibility credibility) {
+  switch (credibility) {
+    case Credibility::kAdditional:
+      return "additional";
+    case Credibility::kGlue:
+      return "glue";
+    case Credibility::kNonAuthAnswer:
+      return "non-auth-answer";
+    case Credibility::kAuthAnswer:
+      return "auth-answer";
+  }
+  return "credibility?";
+}
+
+dns::Ttl Cache::clamp_ttl(dns::Ttl ttl) const {
+  return std::clamp(ttl, config_.min_ttl, config_.max_ttl);
+}
+
+bool Cache::entry_live(const Entry& entry, sim::Time now) const {
+  return entry.expires > now;
+}
+
+bool Cache::ns_link_broken(const Entry& entry, sim::Time now) const {
+  if (!config_.link_glue_to_ns || !entry.linked_ns_owner) {
+    return false;
+  }
+  auto ns = entries_.find(Key{*entry.linked_ns_owner, dns::RRType::kNS});
+  if (ns == entries_.end() || !entry_live(ns->second, now)) {
+    return true;
+  }
+  // The covering NS set was replaced since this entry was cached: the old
+  // delegation instance this address rode with no longer exists (§4.2).
+  return ns->second.inserted != entry.linked_ns_inserted;
+}
+
+bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
+                   sim::Time now, std::optional<dns::Name> linked_ns_owner) {
+  Key key{rrset.name(), rrset.type()};
+  auto it = entries_.find(key);
+  if (it != entries_.end() && entry_live(it->second, now) &&
+      !ns_link_broken(it->second, now)) {
+    int have = static_cast<int>(it->second.credibility);
+    int incoming = static_cast<int>(credibility);
+    if (have > incoming) {
+      // RFC 2181 §5.4.1: never replace live, more-credible data.
+      ++stats_.downgrades_refused;
+      return false;
+    }
+    if (have == incoming && !config_.replace_same_credibility) {
+      ++stats_.downgrades_refused;
+      return false;
+    }
+    if (config_.prefer_parent_delegation &&
+        (it->second.credibility == Credibility::kGlue ||
+         it->second.credibility == Credibility::kAdditional) &&
+        incoming > have) {
+      // Parent-centric: the parent's delegation copy wins while it lives.
+      ++stats_.downgrades_refused;
+      return false;
+    }
+  }
+  Entry entry;
+  entry.rrset = rrset;
+  entry.credibility = credibility;
+  entry.inserted = now;
+  entry.original_ttl = rrset.ttl();
+  dns::Ttl effective = clamp_ttl(rrset.ttl());
+  entry.rrset.set_ttl(effective);
+  entry.expires = now + static_cast<sim::Duration>(effective) * sim::kSecond;
+  entry.linked_ns_owner = std::move(linked_ns_owner);
+  if (entry.linked_ns_owner) {
+    auto ns = entries_.find(Key{*entry.linked_ns_owner, dns::RRType::kNS});
+    if (ns != entries_.end() && entry_live(ns->second, now)) {
+      entry.linked_ns_inserted = ns->second.inserted;
+    } else {
+      entry.linked_ns_owner.reset();  // no live covering NS: unlinked
+    }
+  }
+  entries_[key] = std::move(entry);
+  ++stats_.inserts;
+  // Fresh positive data supersedes any negative entry.
+  negatives_.erase(key);
+  return true;
+}
+
+void Cache::insert_negative(const dns::Name& name, dns::RRType type,
+                            dns::Rcode rcode, dns::Ttl ttl, sim::Time now) {
+  dns::Ttl effective = clamp_ttl(ttl);
+  negatives_[Key{name, type}] = NegativeEntry{
+      rcode, now + static_cast<sim::Duration>(effective) * sim::kSecond};
+}
+
+std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
+                                      sim::Time now, bool allow_stale) {
+  auto it = entries_.find(Key{name, type});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const Entry& entry = it->second;
+  if (ns_link_broken(entry, now)) {
+    // In-bailiwick policy: glue dies with its NS record (§4.2).
+    ++stats_.ns_linked_drops;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (!entry_live(entry, now)) {
+    bool within_stale_window =
+        config_.serve_stale && allow_stale &&
+        now < entry.expires + config_.stale_window;
+    if (!within_stale_window) {
+      ++stats_.expired;
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.stale_serves;
+    ++stats_.hits;
+    CacheHit hit;
+    hit.rrset = entry.rrset;
+    // RFC 8767: stale answers are served with a short fixed TTL.
+    hit.rrset.set_ttl(30);
+    hit.credibility = entry.credibility;
+    hit.stale = true;
+    hit.original_ttl = entry.original_ttl;
+    return hit;
+  }
+  ++stats_.hits;
+  CacheHit hit;
+  hit.rrset = entry.rrset;
+  hit.rrset.set_ttl(
+      static_cast<dns::Ttl>((entry.expires - now) / sim::kSecond));
+  hit.credibility = entry.credibility;
+  hit.original_ttl = entry.original_ttl;
+  return hit;
+}
+
+std::optional<CacheHit> Cache::peek(const dns::Name& name, dns::RRType type,
+                                    sim::Time now) const {
+  auto it = entries_.find(Key{name, type});
+  if (it == entries_.end() || !entry_live(it->second, now) ||
+      ns_link_broken(it->second, now)) {
+    return std::nullopt;
+  }
+  CacheHit hit;
+  hit.rrset = it->second.rrset;
+  hit.rrset.set_ttl(
+      static_cast<dns::Ttl>((it->second.expires - now) / sim::kSecond));
+  hit.credibility = it->second.credibility;
+  hit.original_ttl = it->second.original_ttl;
+  return hit;
+}
+
+std::optional<NegativeHit> Cache::lookup_negative(const dns::Name& name,
+                                                  dns::RRType type,
+                                                  sim::Time now) {
+  auto it = negatives_.find(Key{name, type});
+  if (it == negatives_.end() || it->second.expires <= now) {
+    return std::nullopt;
+  }
+  return NegativeHit{
+      it->second.rcode,
+      static_cast<dns::Ttl>((it->second.expires - now) / sim::kSecond)};
+}
+
+bool Cache::evict(const dns::Name& name, dns::RRType type) {
+  return entries_.erase(Key{name, type}) > 0;
+}
+
+std::size_t Cache::purge_expired(sim::Time now) {
+  std::size_t removed = 0;
+  sim::Duration grace = config_.serve_stale ? config_.stale_window : 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires + grace <= now) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = negatives_.begin(); it != negatives_.end();) {
+    if (it->second.expires <= now) {
+      it = negatives_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void Cache::clear() {
+  entries_.clear();
+  negatives_.clear();
+}
+
+std::string Cache::dump(sim::Time now) const {
+  std::string out;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry_live(entry, now)) {
+      continue;
+    }
+    auto remaining =
+        static_cast<dns::Ttl>((entry.expires - now) / sim::kSecond);
+    for (const auto& rdata : entry.rrset.rdatas()) {
+      out += key.name.to_string() + " " + std::to_string(remaining) + " " +
+             std::string(dns::to_string(key.type)) + " " +
+             dns::rdata_to_string(rdata) + " ; " +
+             std::string(to_string(entry.credibility));
+      if (entry.linked_ns_owner) {
+        out += " linked=" + entry.linked_ns_owner->to_string();
+        if (ns_link_broken(entry, now)) {
+          out += " (broken)";
+        }
+      }
+      out += "\n";
+    }
+  }
+  for (const auto& [key, entry] : negatives_) {
+    if (entry.expires <= now) {
+      continue;
+    }
+    out += key.name.to_string() + " " +
+           std::to_string((entry.expires - now) / sim::kSecond) + " " +
+           std::string(dns::to_string(key.type)) + " ; negative " +
+           std::string(dns::to_string(entry.rcode)) + "\n";
+  }
+  return out;
+}
+
+std::optional<dns::Ttl> Cache::remaining_ttl(const dns::Name& name,
+                                             dns::RRType type,
+                                             sim::Time now) const {
+  auto hit = peek(name, type, now);
+  if (!hit) {
+    return std::nullopt;
+  }
+  return hit->rrset.ttl();
+}
+
+}  // namespace dnsttl::cache

@@ -1,0 +1,163 @@
+#ifndef DNSTTL_CACHE_CACHE_H
+#define DNSTTL_CACHE_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dns/types.h"
+#include "sim/time.h"
+
+namespace dnsttl::cache {
+
+/// RFC 2181 §5.4.1 data ranking.  Higher values are more credible; a cache
+/// must not replace more-credible data with less-credible data, and
+/// parent-side glue (ranked low) must not override child authoritative
+/// answers (ranked top).  Which rank *wins in practice* for TTL purposes is
+/// exactly the parent/child-centricity question of the paper's §3.
+enum class Credibility : std::uint8_t {
+  kAdditional = 1,    ///< additional section of a non-authoritative response
+  kGlue = 2,          ///< referral authority/glue from the parent
+  kNonAuthAnswer = 3, ///< answer section, AA not set
+  kAuthAnswer = 4,    ///< answer section with AA set (child zone data)
+};
+
+std::string_view to_string(Credibility credibility);
+
+/// What a cache lookup returns on a hit.
+struct CacheHit {
+  dns::RRset rrset;           ///< TTL field = remaining seconds at lookup
+  Credibility credibility = Credibility::kGlue;
+  bool stale = false;         ///< served past expiry (serve-stale mode)
+  dns::Ttl original_ttl = 0;  ///< TTL as received, before counting down
+};
+
+/// A cached negative result (RFC 2308).
+struct NegativeHit {
+  dns::Rcode rcode = dns::Rcode::kNXDomain;
+  dns::Ttl remaining = 0;
+};
+
+/// TTL-driven DNS cache with credibility ranks, TTL clamping, optional
+/// NS-linked glue expiry and optional serve-stale.
+///
+/// The `link_glue_to_ns` knob reproduces the paper's §4.2 finding: for
+/// in-bailiwick servers most resolvers tie the glue A record's lifetime to
+/// the NS record and re-fetch both when the NS expires, even if the A's own
+/// TTL has time left.
+class Cache {
+ public:
+  struct Config {
+    dns::Ttl max_ttl = dns::kTtl1Week;  ///< BIND default max-cache-ttl
+    dns::Ttl min_ttl = 0;
+    bool link_glue_to_ns = true;
+    bool serve_stale = false;
+    sim::Duration stale_window = 3 * sim::kDay;  ///< how long stale data lives
+    /// When false, a live entry is kept even if equally-credible fresh data
+    /// arrives (the "trust your cache to its TTL" style some resolvers show
+    /// in §4.2: they keep a still-valid glue A past an NS refresh).
+    bool replace_same_credibility = true;
+    /// Parent-centric mode (§3): a live glue/referral entry is *not*
+    /// overridden by child authoritative data; the parent's copy rules
+    /// until it expires.
+    bool prefer_parent_delegation = false;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t expired = 0;      ///< misses caused by TTL expiry
+    std::uint64_t ns_linked_drops = 0;  ///< glue dropped due to expired NS
+    std::uint64_t stale_serves = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t downgrades_refused = 0;  ///< less-credible insert ignored
+  };
+
+  Cache() = default;
+  explicit Cache(Config config) : config_(config) {}
+
+  /// Inserts @p rrset observed at @p now with the given credibility.
+  /// If @p linked_ns_owner is set, the entry is glue whose usability is tied
+  /// to the liveness of that NS RRset (when config.link_glue_to_ns).
+  /// Returns true if stored, false if refused by the credibility rule.
+  bool insert(const dns::RRset& rrset, Credibility credibility, sim::Time now,
+              std::optional<dns::Name> linked_ns_owner = std::nullopt);
+
+  /// Caches a negative answer for (name, type) with TTL @p ttl.
+  void insert_negative(const dns::Name& name, dns::RRType type,
+                       dns::Rcode rcode, dns::Ttl ttl, sim::Time now);
+
+  /// Looks up (name, type); counts down TTL; honours NS-glue links and
+  /// serve-stale.  @p allow_stale lets the caller enable stale answers for
+  /// this lookup only (resolvers serve stale only when upstream fails).
+  std::optional<CacheHit> lookup(const dns::Name& name, dns::RRType type,
+                                 sim::Time now, bool allow_stale = false);
+
+  /// Peeks without touching statistics (used by analyzers/tests).
+  std::optional<CacheHit> peek(const dns::Name& name, dns::RRType type,
+                               sim::Time now) const;
+
+  std::optional<NegativeHit> lookup_negative(const dns::Name& name,
+                                             dns::RRType type, sim::Time now);
+
+  /// Drops the (name, type) entry; returns true if present.
+  bool evict(const dns::Name& name, dns::RRType type);
+
+  /// Removes entries that expired before @p now (and past any stale window).
+  std::size_t purge_expired(sim::Time now);
+
+  void clear();
+  std::size_t size() const noexcept { return entries_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+
+  /// Remaining TTL of an entry in whole seconds, or nullopt (test hook).
+  std::optional<dns::Ttl> remaining_ttl(const dns::Name& name,
+                                        dns::RRType type,
+                                        sim::Time now) const;
+
+  /// Human-readable dump of every live entry ("rndc dumpdb" style):
+  /// one line per record with remaining TTL, credibility and link state.
+  std::string dump(sim::Time now) const;
+
+ private:
+  struct Key {
+    dns::Name name;
+    dns::RRType type;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    dns::RRset rrset;
+    Credibility credibility = Credibility::kGlue;
+    sim::Time inserted = 0;
+    sim::Time expires = 0;
+    dns::Ttl original_ttl = 0;
+    std::optional<dns::Name> linked_ns_owner;
+    /// Insert time of the NS entry this one rode in with.  If the NS RRset
+    /// is later replaced (even by identical data), the link is considered
+    /// broken: the address must be re-learned with the fresh delegation.
+    sim::Time linked_ns_inserted = 0;
+  };
+  struct NegativeEntry {
+    dns::Rcode rcode = dns::Rcode::kNXDomain;
+    sim::Time expires = 0;
+  };
+
+  dns::Ttl clamp_ttl(dns::Ttl ttl) const;
+  bool entry_live(const Entry& entry, sim::Time now) const;
+  /// True if the glue link invalidates @p entry at @p now.
+  bool ns_link_broken(const Entry& entry, sim::Time now) const;
+
+  Config config_;
+  Stats stats_;
+  std::map<Key, Entry> entries_;
+  std::map<Key, NegativeEntry> negatives_;
+};
+
+}  // namespace dnsttl::cache
+
+#endif  // DNSTTL_CACHE_CACHE_H

@@ -1,0 +1,98 @@
+#include "core/advisor.h"
+
+namespace dnsttl::core {
+
+std::string Recommendation::render() const {
+  std::string out;
+  out += "  NS TTL:      " + std::to_string(ns_ttl) + " s (" +
+         std::to_string(ns_ttl / 3600) + " h)\n";
+  out += "  A/AAAA TTL:  " + std::to_string(address_ttl) + " s\n";
+  out += std::string("  parent copy: ") +
+         (set_parent_equal ? "set identical TTLs in parent and child"
+                           : "parent copy not under operator control; expect "
+                             "a resolver minority to use the parent's TTL") +
+         "\n";
+  for (const auto& reason : reasons) {
+    out += "  - " + reason + "\n";
+  }
+  return out;
+}
+
+Recommendation recommend(const OperatorProfile& profile) {
+  Recommendation rec;
+  using Kind = OperatorProfile::Kind;
+
+  switch (profile.kind) {
+    case Kind::kGeneralZone:
+      rec.ns_ttl = dns::kTtl1Day;
+      rec.address_ttl = dns::kTtl4Hours;
+      rec.reasons.push_back(
+          "general zones: longer caching means faster responses (median "
+          "cache hit ~8 ms vs ~180 ms misses, §5.3) and DDoS resilience");
+      if (profile.planned_maintenance_possible) {
+        rec.reasons.push_back(
+            "planned changes: lower the TTL just before maintenance and "
+            "raise it afterwards (§6.1)");
+      } else {
+        rec.ns_ttl = dns::kTtl4Hours;
+        rec.address_ttl = dns::kTtl1Hour;
+        rec.reasons.push_back(
+            "unscheduled changes likely: a few hours balances agility "
+            "against caching");
+      }
+      break;
+
+    case Kind::kTldRegistry:
+      rec.ns_ttl = dns::kTtl1Day;
+      rec.address_ttl = dns::kTtl1Day;
+      rec.reasons.push_back(
+          "registries: at least one hour, preferably more, for NS records "
+          "of both parent and child (§6.3; .uy moved 300 s -> 86400 s and "
+          "median latency fell from 28.7 ms to 8 ms)");
+      rec.reasons.push_back(
+          "a parent-centric resolver minority (10-48%, §3) uses the "
+          "delegation copy: keep both copies equal");
+      break;
+
+    case Kind::kCdnLoadBalancer:
+      rec.ns_ttl = dns::kTtl1Day;
+      rec.address_ttl = dns::kTtl15Min;
+      rec.reasons.push_back(
+          "DNS-based load balancing needs short *address* TTLs (5-15 min); "
+          "15 min provides sufficient agility for most operators (§6.3)");
+      rec.reasons.push_back(
+          "NS records rarely change even for CDNs: keep them long");
+      break;
+
+    case Kind::kDdosMitigation:
+      rec.ns_ttl = dns::kTtl1Day;
+      rec.address_ttl = dns::kTtl5Min;
+      rec.reasons.push_back(
+          "DNS-based DDoS scrubbing requires permanently low address TTLs "
+          "(attacks arrive unannounced, §6.1)");
+      break;
+  }
+
+  if (profile.in_bailiwick_ns &&
+      rec.address_ttl > rec.ns_ttl) {
+    rec.address_ttl = rec.ns_ttl;
+    rec.reasons.push_back(
+        "in-bailiwick servers: A/AAAA TTL <= NS TTL, because most "
+        "resolvers tie the address's life to the NS record anyway (§4.2)");
+  }
+
+  rec.set_parent_equal = profile.controls_parent_ttl;
+  if (!profile.controls_parent_ttl) {
+    rec.reasons.push_back(
+        "without control of the parent's TTL (EPP cannot set it), "
+        "resolvers will see a mix of parent and child TTLs (§3)");
+  }
+  if (profile.dns_service_metered) {
+    rec.reasons.push_back(
+        "metered DNS service: longer caching cut authoritative query "
+        "volume by ~77% in the §6.2 controlled experiment");
+  }
+  return rec;
+}
+
+}  // namespace dnsttl::core

@@ -1,0 +1,45 @@
+#ifndef DNSTTL_CORE_ADVISOR_H
+#define DNSTTL_CORE_ADVISOR_H
+
+#include <string>
+#include <vector>
+
+#include "dns/types.h"
+
+namespace dnsttl::core {
+
+/// The operator situations the paper's §6 distinguishes.
+struct OperatorProfile {
+  enum class Kind {
+    kGeneralZone,     ///< ordinary zone owner (web/mail hosting)
+    kTldRegistry,     ///< TLD / registry operator with public registrations
+    kCdnLoadBalancer, ///< DNS-based load balancing (CDN, traffic steering)
+    kDdosMitigation,  ///< DNS-based DDoS scrubbing redirection on standby
+  };
+
+  Kind kind = Kind::kGeneralZone;
+  bool controls_parent_ttl = false;  ///< can the operator set the parent copy?
+  bool in_bailiwick_ns = true;
+  bool planned_maintenance_possible = true;  ///< can lower TTLs before changes
+  bool dns_service_metered = false;          ///< per-query billing (§6.1)
+};
+
+/// A concrete recommendation with its reasoning, one line per §6 factor.
+struct Recommendation {
+  dns::Ttl ns_ttl = dns::kTtl1Day;
+  dns::Ttl address_ttl = dns::kTtl1Hour;
+  bool set_parent_equal = true;  ///< mirror TTLs into the parent copy
+  std::vector<std::string> reasons;
+
+  std::string render() const;
+};
+
+/// Encodes the paper's §6.3 recommendations: long TTLs (hours to a day)
+/// for general zones and registries; 5–15 minutes only where DNS-based
+/// agility is genuinely required; A/AAAA <= NS for in-bailiwick servers;
+/// parent and child copies kept equal where possible.
+Recommendation recommend(const OperatorProfile& profile);
+
+}  // namespace dnsttl::core
+
+#endif  // DNSTTL_CORE_ADVISOR_H

@@ -1,0 +1,77 @@
+#include "core/effective_ttl.h"
+
+#include <algorithm>
+
+namespace dnsttl::core {
+
+EffectiveTtl effective_ttl(const DelegationLayout& layout,
+                           const resolver::ResolverConfig& config) {
+  EffectiveTtl result;
+  auto clamp = [&config](dns::Ttl ttl) {
+    return std::clamp(ttl, config.min_ttl, config.max_ttl);
+  };
+
+  if (config.sticky) {
+    // Sticky resolvers ignore TTLs outright once a server answered.
+    result.ns_ttl = dns::kMaxTtl;
+    result.address_ttl = dns::kMaxTtl;
+    result.explanation =
+        "sticky resolver: first responsive server is pinned; configured "
+        "TTLs have no effect";
+    return result;
+  }
+
+  const bool parent = config.centricity ==
+                      resolver::Centricity::kParentCentric;
+  if (parent) {
+    // Parent-centric: referral NS + glue rule until they expire.  With a
+    // local root mirror the parent copy never even decays (always fresh).
+    result.parent_controls_ns = true;
+    result.ns_ttl = clamp(layout.parent_ns_ttl);
+    if (layout.in_bailiwick) {
+      result.parent_controls_address = true;
+      result.address_ttl = clamp(layout.parent_glue_ttl);
+    } else {
+      // No glue exists; even a parent-centric resolver must take the
+      // address from whoever is authoritative for the NS name.
+      result.address_ttl = clamp(layout.child_a_ttl);
+    }
+    result.explanation =
+        "parent-centric: the delegation copy (NS " +
+        std::to_string(result.ns_ttl) + " s" +
+        (result.parent_controls_address
+             ? ", glue " + std::to_string(result.address_ttl) + " s"
+             : "") +
+        ") rules; child changes invisible until parent data expires";
+    if (config.local_root) {
+      result.explanation +=
+          "; local root mirror keeps the parent copy permanently fresh";
+    }
+    return result;
+  }
+
+  // Child-centric: the authoritative (child) copies win.
+  result.ns_ttl = clamp(layout.child_ns_ttl);
+  result.address_ttl = clamp(layout.child_a_ttl);
+  if (layout.in_bailiwick && config.link_glue_to_ns) {
+    // §4.2: in-bailiwick address lifetime is tied to the NS RRset.
+    if (result.ns_ttl < result.address_ttl) {
+      result.address_ttl = result.ns_ttl;
+      result.address_linked_to_ns = true;
+    }
+    result.explanation =
+        "child-centric, in-bailiwick: child TTLs rule and the address "
+        "expires with the NS RRset (effective address TTL " +
+        std::to_string(result.address_ttl) + " s)";
+  } else {
+    result.explanation =
+        layout.in_bailiwick
+            ? "child-centric, unlinked cache: child TTLs rule, address "
+              "trusted to its own TTL"
+            : "child-centric, out-of-bailiwick: NS and address cached "
+              "independently at their own child TTLs";
+  }
+  return result;
+}
+
+}  // namespace dnsttl::core

@@ -1,0 +1,41 @@
+#ifndef DNSTTL_CORE_EFFECTIVE_TTL_H
+#define DNSTTL_CORE_EFFECTIVE_TTL_H
+
+#include <string>
+
+#include "dns/types.h"
+#include "resolver/config.h"
+
+namespace dnsttl::core {
+
+/// How a zone's delegation is laid out — the knobs an operator actually
+/// controls and the paper's §4 distinguishes.
+struct DelegationLayout {
+  dns::Ttl parent_ns_ttl = dns::kTtl2Days;   ///< NS TTL in the parent zone
+  dns::Ttl child_ns_ttl = dns::kTtl1Hour;    ///< NS TTL at the child apex
+  dns::Ttl parent_glue_ttl = dns::kTtl2Days; ///< glue A TTL in the parent
+  dns::Ttl child_a_ttl = dns::kTtl1Hour;     ///< NS address TTL in the child
+  bool in_bailiwick = true;  ///< nameserver names under the zone itself
+};
+
+/// What effectively controls caching for one (layout, resolver policy)
+/// combination: the paper's central question, answered analytically.
+struct EffectiveTtl {
+  dns::Ttl ns_ttl = 0;       ///< effective NS cache lifetime (seconds)
+  dns::Ttl address_ttl = 0;  ///< effective NS-address cache lifetime
+  bool parent_controls_ns = false;
+  bool parent_controls_address = false;
+  /// Address lifetime shortened by NS expiry (the §4.2 linkage)?
+  bool address_linked_to_ns = false;
+  std::string explanation;  ///< human-readable reasoning chain
+};
+
+/// Computes which TTL wins for a resolver with @p config resolving through
+/// @p layout.  Mirrors (and is validated against) the simulator's observed
+/// behavior; used by the advisor and the Table 1 bench.
+EffectiveTtl effective_ttl(const DelegationLayout& layout,
+                           const resolver::ResolverConfig& config);
+
+}  // namespace dnsttl::core
+
+#endif  // DNSTTL_CORE_EFFECTIVE_TTL_H

@@ -1,0 +1,49 @@
+#include "core/hit_rate_model.h"
+
+#include <cmath>
+
+namespace dnsttl::core {
+
+double poisson_hit_rate(double arrivals_per_second, dns::Ttl ttl) {
+  if (arrivals_per_second <= 0.0 || ttl == 0) {
+    return 0.0;
+  }
+  double lambda_t = arrivals_per_second * static_cast<double>(ttl);
+  return lambda_t / (1.0 + lambda_t);
+}
+
+double periodic_hit_rate(double period_s, dns::Ttl ttl) {
+  if (period_s <= 0.0 || ttl == 0 ||
+      period_s > static_cast<double>(ttl)) {
+    return 0.0;
+  }
+  double per_window =
+      std::floor(static_cast<double>(ttl) / period_s) + 1.0;
+  return (per_window - 1.0) / per_window;
+}
+
+double authoritative_rate(double arrivals_per_second, dns::Ttl ttl) {
+  if (arrivals_per_second <= 0.0) {
+    return 0.0;
+  }
+  return arrivals_per_second /
+         (1.0 + arrivals_per_second * static_cast<double>(ttl));
+}
+
+dns::Ttl ttl_for_hit_rate(double arrivals_per_second,
+                          double target_hit_rate) {
+  if (arrivals_per_second <= 0.0 || target_hit_rate >= 1.0) {
+    return dns::kMaxTtl;
+  }
+  if (target_hit_rate <= 0.0) {
+    return 0;
+  }
+  double ttl = target_hit_rate /
+               (arrivals_per_second * (1.0 - target_hit_rate));
+  if (ttl >= static_cast<double>(dns::kMaxTtl)) {
+    return dns::kMaxTtl;
+  }
+  return static_cast<dns::Ttl>(std::ceil(ttl));
+}
+
+}  // namespace dnsttl::core

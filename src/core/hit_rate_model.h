@@ -1,0 +1,35 @@
+#ifndef DNSTTL_CORE_HIT_RATE_MODEL_H
+#define DNSTTL_CORE_HIT_RATE_MODEL_H
+
+#include "dns/types.h"
+
+namespace dnsttl::core {
+
+/// Analytic TTL-cache models from the paper's related work (§7):
+/// Jung et al. modeled DNS caches as renewal processes and showed that
+/// TTLs beyond ~1000 s capture most of the attainable hit rate; Moura et
+/// al. measured ~70% hit rates for TTLs of 1800-86400 s.  These functions
+/// give the closed forms the simulator is validated against
+/// (bench_ablation_hitrate).
+
+/// Steady-state hit rate of a single cache fed by Poisson(λ) lookups for
+/// one record with TTL T: each miss starts a TTL window; the expected
+/// number of queries per window is 1 + λT, of which one is a miss:
+///   hit_rate = λT / (1 + λT).
+double poisson_hit_rate(double arrivals_per_second, dns::Ttl ttl);
+
+/// Hit rate for a strictly periodic client (one query every `period_s`):
+/// one miss per ⌊T/p⌋+1 queries while p <= T, zero hits otherwise.
+double periodic_hit_rate(double period_s, dns::Ttl ttl);
+
+/// Authoritative query rate (per second) implied by Poisson(λ) client
+/// demand through one cache: miss rate = λ / (1 + λT).
+double authoritative_rate(double arrivals_per_second, dns::Ttl ttl);
+
+/// The TTL needed to reach a target hit rate under Poisson(λ):
+///   T = h / (λ (1 - h)).  Returns kMaxTtl when unreachable.
+dns::Ttl ttl_for_hit_rate(double arrivals_per_second, double target_hit_rate);
+
+}  // namespace dnsttl::core
+
+#endif  // DNSTTL_CORE_HIT_RATE_MODEL_H

@@ -1,0 +1,97 @@
+#ifndef DNSTTL_CORE_WORLD_H
+#define DNSTTL_CORE_WORLD_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auth/auth_server.h"
+#include "dns/zone.h"
+#include "net/network.h"
+#include "resolver/root_hints.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace dnsttl::core {
+
+/// A self-contained simulated Internet: event loop, network, RNG, a root
+/// zone served by three root servers, and helpers to stand up TLDs and
+/// lower zones with independently chosen parent/child TTLs — the raw
+/// material of every experiment in the paper.
+class World {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double loss_rate = 0.002;
+    net::LatencyModel::Params latency = {};
+  };
+
+  World() : World(Options{}) {}
+  explicit World(Options options);
+
+  sim::Simulation& simulation() noexcept { return simulation_; }
+  net::Network& network() noexcept { return network_; }
+  sim::Rng& rng() noexcept { return rng_; }
+
+  const std::shared_ptr<dns::Zone>& root_zone() const noexcept {
+    return root_zone_;
+  }
+  const resolver::RootHints& hints() const noexcept { return hints_; }
+
+  /// Creates and attaches an authoritative server.  The server is owned by
+  /// the World and addressable by its ident.
+  auth::AuthServer& add_server(const std::string& ident, net::Location location,
+                               std::optional<net::Address> fixed = std::nullopt);
+
+  auth::AuthServer& server(const std::string& ident);
+  net::Address address_of(const std::string& ident) const;
+  bool has_server(const std::string& ident) const {
+    return servers_.contains(ident);
+  }
+
+  /// Creates an anycast service of @p sites replicas (idents
+  /// "<prefix>-<i>"), all serving @p zone, behind one shared address.
+  /// Query logs of the replicas can be read via server("<prefix>-<i>").
+  net::Address add_anycast_service(const std::string& prefix,
+                                   std::shared_ptr<dns::Zone> zone,
+                                   const std::vector<net::Location>& sites,
+                                   bool logging = false);
+
+  /// Creates an empty zone with a SOA record (TTL = @p soa_ttl).
+  std::shared_ptr<dns::Zone> create_zone(const std::string& origin,
+                                         dns::Ttl soa_ttl = 3600);
+
+  /// Adds a delegation for @p child into @p parent: NS records with
+  /// @p ns_ttl, plus glue A records with @p glue_ttl for every nameserver
+  /// name that is in bailiwick of the child (out-of-bailiwick names get no
+  /// glue, per RFC rules).
+  void delegate(dns::Zone& parent, const dns::Name& child,
+                const std::vector<std::pair<dns::Name, net::Address>>& servers,
+                dns::Ttl ns_ttl, dns::Ttl glue_ttl);
+
+  /// Convenience: builds a complete TLD — child zone with apex NS
+  /// (@p child_ns_ttl) and nameserver A records (@p child_a_ttl), one
+  /// authoritative server in @p location serving it, and the root-side
+  /// delegation with @p parent_ttl NS/glue.  Returns the child zone.
+  std::shared_ptr<dns::Zone> add_tld(const std::string& tld,
+                                     const std::string& ns_label,
+                                     dns::Ttl parent_ttl,
+                                     dns::Ttl child_ns_ttl,
+                                     dns::Ttl child_a_ttl,
+                                     net::Location location);
+
+ private:
+  sim::Simulation simulation_;
+  sim::Rng rng_;
+  net::Network network_;
+  std::shared_ptr<dns::Zone> root_zone_;
+  resolver::RootHints hints_;
+  std::map<std::string, std::unique_ptr<auth::AuthServer>> servers_;
+  std::map<std::string, net::Address> addresses_;
+};
+
+}  // namespace dnsttl::core
+
+#endif  // DNSTTL_CORE_WORLD_H

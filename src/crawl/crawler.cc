@@ -1,0 +1,131 @@
+#include "crawl/crawler.h"
+
+#include <optional>
+#include <set>
+
+namespace dnsttl::crawl {
+
+namespace {
+
+bool ends_with(const std::string& value, const std::string& suffix) {
+  return value.size() >= suffix.size() &&
+         value.compare(value.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace
+
+int classify_bailiwick(const GeneratedDomain& domain) {
+  bool any_in = false;
+  bool any_out = false;
+  for (const auto& record : domain.records) {
+    if (record.type != dns::RRType::kNS) continue;
+    // In bailiwick: the NS target name lies under the domain itself.
+    if (ends_with(record.value, "." + domain.name)) {
+      any_in = true;
+    } else {
+      any_out = true;
+    }
+  }
+  if (any_in && any_out) return 2;
+  return any_in ? 1 : 0;
+}
+
+CrawlReport crawl(const std::string& list,
+                  const std::vector<GeneratedDomain>& population) {
+  CrawlReport report;
+  report.list = list;
+  report.domains = population.size();
+
+  std::map<dns::RRType, std::set<std::string>> uniques;
+
+  for (const auto& domain : population) {
+    if (!domain.responsive) continue;
+    ++report.responsive;
+    ++report.bailiwick.responsive;
+
+    switch (domain.ns_answer) {
+      case NsAnswerKind::kCname:
+        ++report.bailiwick.cname;
+        break;
+      case NsAnswerKind::kSoa:
+        ++report.bailiwick.soa;
+        break;
+      case NsAnswerKind::kNsRecords: {
+        bool has_ns = false;
+        for (const auto& record : domain.records) {
+          if (record.type == dns::RRType::kNS) {
+            has_ns = true;
+            break;
+          }
+        }
+        if (has_ns) {
+          ++report.bailiwick.respond_ns;
+          switch (classify_bailiwick(domain)) {
+            case 0:
+              ++report.bailiwick.out_only;
+              break;
+            case 1:
+              ++report.bailiwick.in_only;
+              break;
+            default:
+              ++report.bailiwick.mixed;
+          }
+        }
+        break;
+      }
+    }
+
+    std::set<dns::RRType> ttl_zero_seen;
+    for (const auto& record : domain.records) {
+      auto& tally = report.by_type[record.type];
+      ++tally.records;
+      tally.ttl_cdf.add(static_cast<double>(record.ttl));
+      uniques[record.type].insert(record.value);
+      if (record.ttl == 0 && !ttl_zero_seen.contains(record.type)) {
+        ttl_zero_seen.insert(record.type);
+        ++tally.ttl_zero_domains;
+      }
+    }
+  }
+
+  for (auto& [type, tally] : report.by_type) {
+    tally.unique_values = uniques[type].size();
+  }
+  return report;
+}
+
+ParentChildReport compare_parent_child(
+    const std::vector<GeneratedDomain>& population) {
+  ParentChildReport report;
+  for (const auto& domain : population) {
+    if (!domain.responsive ||
+        domain.ns_answer != NsAnswerKind::kNsRecords) {
+      continue;
+    }
+    std::optional<dns::Ttl> child_ttl;
+    for (const auto& record : domain.records) {
+      if (record.type == dns::RRType::kNS) {
+        child_ttl = record.ttl;
+        break;
+      }
+    }
+    if (!child_ttl || domain.parent_ns_ttl == 0) {
+      continue;
+    }
+    ++report.compared;
+    if (*child_ttl < domain.parent_ns_ttl) {
+      ++report.child_shorter;
+    } else if (*child_ttl == domain.parent_ns_ttl) {
+      ++report.equal;
+    } else {
+      ++report.child_longer;
+    }
+    report.child_over_parent_ratio.add(
+        static_cast<double>(*child_ttl) /
+        static_cast<double>(domain.parent_ns_ttl));
+  }
+  return report;
+}
+
+}  // namespace dnsttl::crawl

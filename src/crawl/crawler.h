@@ -1,0 +1,86 @@
+#ifndef DNSTTL_CRAWL_CRAWLER_H
+#define DNSTTL_CRAWL_CRAWLER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crawl/population_generator.h"
+#include "stats/cdf.h"
+
+namespace dnsttl::crawl {
+
+/// Per-record-type tabulation for one list — a Table 5 column.
+struct TypeTally {
+  std::size_t records = 0;
+  std::size_t unique_values = 0;
+  std::size_t ttl_zero_domains = 0;  ///< Table 8's per-type domain counts
+  stats::Cdf ttl_cdf;                ///< Figure 9's curves
+
+  double unique_ratio() const {
+    return unique_values == 0
+               ? 0.0
+               : static_cast<double>(records) /
+                     static_cast<double>(unique_values);
+  }
+};
+
+/// Bailiwick classification of NS-responding domains — a Table 9 column.
+struct BailiwickTally {
+  std::size_t responsive = 0;
+  std::size_t cname = 0;
+  std::size_t soa = 0;
+  std::size_t respond_ns = 0;
+  std::size_t out_only = 0;
+  std::size_t in_only = 0;
+  std::size_t mixed = 0;
+};
+
+/// Everything the §5.1 analyses extract from one list crawl.
+struct CrawlReport {
+  std::string list;
+  std::size_t domains = 0;
+  std::size_t responsive = 0;
+  std::map<dns::RRType, TypeTally> by_type;
+  BailiwickTally bailiwick;
+
+  double responsive_ratio() const {
+    return domains == 0 ? 0.0
+                        : static_cast<double>(responsive) /
+                              static_cast<double>(domains);
+  }
+};
+
+/// Tabulates a generated population exactly as the paper's crawler
+/// tabulated its DNS harvest: counts, unique values, TTL CDFs, TTL=0
+/// domains, and the bailiwick configuration of each domain's NS set.
+CrawlReport crawl(const std::string& list,
+                  const std::vector<GeneratedDomain>& population);
+
+/// Classifies one domain's NS targets against its own name:
+/// 0 = out-of-bailiwick only, 1 = in-bailiwick only, 2 = mixed.
+int classify_bailiwick(const GeneratedDomain& domain);
+
+/// The parent-vs-child TTL comparison the paper lists as future work
+/// (§5.1): for every NS-responding domain, compare the child's apex NS TTL
+/// with the registry's delegation copy.
+struct ParentChildReport {
+  std::size_t compared = 0;
+  std::size_t child_shorter = 0;
+  std::size_t equal = 0;
+  std::size_t child_longer = 0;
+  stats::Cdf child_over_parent_ratio;  ///< child TTL / parent TTL
+
+  double child_shorter_fraction() const {
+    return compared == 0 ? 0.0
+                         : static_cast<double>(child_shorter) /
+                               static_cast<double>(compared);
+  }
+};
+
+ParentChildReport compare_parent_child(
+    const std::vector<GeneratedDomain>& population);
+
+}  // namespace dnsttl::crawl
+
+#endif  // DNSTTL_CRAWL_CRAWLER_H

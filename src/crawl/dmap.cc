@@ -1,0 +1,38 @@
+#include "crawl/dmap.h"
+
+#include "stats/cdf.h"
+
+namespace dnsttl::crawl {
+
+std::size_t DmapReport::total_classified() const {
+  std::size_t total = 0;
+  for (const auto& [content, count] : class_counts) {
+    if (content != ContentClass::kUnclassified) {
+      total += count;
+    }
+  }
+  return total;
+}
+
+DmapReport classify_content(const std::vector<GeneratedDomain>& population) {
+  DmapReport report;
+  std::map<std::pair<ContentClass, dns::RRType>, stats::Cdf> ttls;
+
+  for (const auto& domain : population) {
+    if (!domain.responsive) continue;
+    ++report.class_counts[domain.content];
+    if (domain.content == ContentClass::kUnclassified) continue;
+    for (const auto& record : domain.records) {
+      ttls[{domain.content, record.type}].add(static_cast<double>(record.ttl));
+    }
+  }
+
+  for (const auto& [key, cdf] : ttls) {
+    if (!cdf.empty()) {
+      report.median_ttl_hours[key] = cdf.median() / 3600.0;
+    }
+  }
+  return report;
+}
+
+}  // namespace dnsttl::crawl

@@ -1,0 +1,145 @@
+#include "crawl/live_check.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+namespace dnsttl::crawl {
+
+namespace {
+
+/// Deterministic value→address mappings so both sides of the check derive
+/// addresses from the same opaque record values.
+dns::Ipv4 ipv4_for(const std::string& value) {
+  auto h = static_cast<std::uint32_t>(std::hash<std::string>{}(value));
+  return dns::Ipv4{0x0a000000u | (h & 0x00ffffffu)};  // 10.x.y.z
+}
+
+dns::Ipv6 ipv6_for(const std::string& value) {
+  auto h = std::hash<std::string>{}(value);
+  std::array<std::uint8_t, 16> octets{};
+  octets[0] = 0x20;
+  octets[1] = 0x01;
+  for (int i = 0; i < 8; ++i) {
+    octets[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(h >> (i * 8));
+  }
+  return dns::Ipv6{octets};
+}
+
+dns::Rdata materialize(const HarvestedRecord& record,
+                       const dns::Name& owner) {
+  switch (record.type) {
+    case dns::RRType::kA:
+      return dns::ARdata{ipv4_for(record.value)};
+    case dns::RRType::kAAAA:
+      return dns::AaaaRdata{ipv6_for(record.value)};
+    case dns::RRType::kNS:
+      return dns::NsRdata{dns::Name::from_string(record.value)};
+    case dns::RRType::kMX:
+      return dns::MxRdata{10, dns::Name::from_string(record.value)};
+    case dns::RRType::kCNAME:
+      return dns::CnameRdata{dns::Name::from_string(record.value)};
+    case dns::RRType::kDNSKEY: {
+      dns::DnskeyRdata key;
+      key.public_key = record.value;
+      return key;
+    }
+    default:
+      (void)owner;
+      return dns::TxtRdata{record.value};
+  }
+}
+
+dns::Name owner_for(const GeneratedDomain& domain, dns::RRType type) {
+  auto base = dns::Name::from_string(domain.name);
+  // CNAMEs cannot coexist with other data at a node; crawlers harvest them
+  // from www-style aliases.
+  return type == dns::RRType::kCNAME ? base.prepend("alias") : base;
+}
+
+}  // namespace
+
+LiveCheckReport verify_population_live(
+    core::World& world, const std::vector<GeneratedDomain>& population,
+    std::size_t sample_size, sim::Rng& rng) {
+  LiveCheckReport report;
+  auto& server =
+      world.add_server("live-check", net::Location{net::Region::kEU, 1.0});
+  auto address = world.address_of("live-check");
+  net::NodeRef client{dns::Ipv4(10, 250, 0, 1),
+                      net::Location{net::Region::kEU, 1.0}};
+
+  std::size_t attempts = 0;
+  while (report.domains_checked < sample_size &&
+         attempts < sample_size * 20) {
+    ++attempts;
+    const auto& domain =
+        population[rng.uniform_int(0, population.size() - 1)];
+    if (!domain.responsive || domain.records.empty() ||
+        domain.ns_answer != NsAnswerKind::kNsRecords) {
+      continue;
+    }
+
+    // Materialize the domain as a live zone.
+    auto origin = dns::Name::from_string(domain.name);
+    auto zone = std::make_shared<dns::Zone>(origin);
+    zone->add(dns::make_soa(origin, 3600, origin.prepend("ns1"), 1));
+    for (const auto& record : domain.records) {
+      zone->add(dns::ResourceRecord{owner_for(domain, record.type),
+                                    dns::RClass::kIN, record.ttl,
+                                    materialize(record, origin)});
+    }
+    server.add_zone(zone);
+    ++report.domains_checked;
+
+    // Crawl it back through the wire and compare with the tabulated view.
+    std::map<dns::RRType, std::vector<const HarvestedRecord*>> expected;
+    for (const auto& record : domain.records) {
+      expected[record.type].push_back(&record);
+    }
+    for (const auto& [type, records] : expected) {
+      auto query = dns::Message::make_query(1, owner_for(domain, type), type);
+      query.add_edns();
+      auto outcome = world.network().query(client, address, query, 0);
+      ++report.records_checked;
+      if (!outcome.response || !outcome.response->flags.aa) {
+        ++report.mismatches;
+        continue;
+      }
+      std::size_t harvested = 0;
+      bool bad = false;
+      for (const auto& rr : outcome.response->answers) {
+        if (rr.type() != type) {
+          continue;  // RRSIGs etc.
+        }
+        ++harvested;
+        if (rr.ttl != records.front()->ttl) {
+          bad = true;
+        }
+        // Value check: the harvested rdata must equal some generated
+        // record's materialization.
+        bool matched = false;
+        for (const auto* record : records) {
+          if (rr.rdata == materialize(*record, origin)) {
+            matched = true;
+            break;
+          }
+        }
+        bad |= !matched;
+      }
+      // Duplicate generated values collapse into one RRset member.
+      std::set<std::string> distinct;
+      for (const auto* record : records) {
+        distinct.insert(record->value);
+      }
+      if (bad || harvested != distinct.size()) {
+        ++report.mismatches;
+      }
+    }
+    server.remove_zone(zone);
+  }
+  return report;
+}
+
+}  // namespace dnsttl::crawl

@@ -1,0 +1,34 @@
+#ifndef DNSTTL_CRAWL_LIVE_CHECK_H
+#define DNSTTL_CRAWL_LIVE_CHECK_H
+
+#include <cstddef>
+
+#include "core/world.h"
+#include "crawl/population_generator.h"
+
+namespace dnsttl::crawl {
+
+/// Result of cross-checking generated crawl data against live servers.
+struct LiveCheckReport {
+  std::size_t domains_checked = 0;
+  std::size_t records_checked = 0;
+  std::size_t mismatches = 0;
+
+  bool clean() const noexcept { return mismatches == 0; }
+};
+
+/// Integrity check for the synthetic-crawl shortcut: materializes a sample
+/// of generated domains as real zones on a real authoritative server inside
+/// @p world, queries every record through the simulator's DNS path, and
+/// verifies that what a live crawl harvests equals what the generator
+/// tabulated.  This is what justifies tabulating the §5 analyses directly
+/// from generator output at full scale (DESIGN.md §5).
+LiveCheckReport verify_population_live(core::World& world,
+                                       const std::vector<GeneratedDomain>&
+                                           population,
+                                       std::size_t sample_size,
+                                       sim::Rng& rng);
+
+}  // namespace dnsttl::crawl
+
+#endif  // DNSTTL_CRAWL_LIVE_CHECK_H

@@ -1,0 +1,180 @@
+#include "crawl/passive_workload.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "resolver/population.h"
+
+namespace dnsttl::crawl {
+
+PassiveReport run_passive_nl(core::World& world, const PassiveConfig& config) {
+  const auto nl = dns::Name::from_string("nl");
+  const auto dnsnl = dns::Name::from_string("dns.nl");
+
+  // The .nl zone and the dns.nl zone that carries the nameserver addresses,
+  // both served by all four servers (as SIDN does).
+  auto nl_zone = world.create_zone("nl", 3600);
+  auto dnsnl_zone = world.create_zone("dns.nl", 3600);
+
+  std::vector<std::pair<dns::Name, net::Address>> servers;
+  std::vector<std::string> observed;  // we watch 2 of the 4
+  for (int i = 1; i <= 4; ++i) {
+    auto ns_name = dnsnl.prepend("ns" + std::to_string(i));
+    auto& server = world.add_server(ns_name.to_string(),
+                                    net::Location{net::Region::kEU, 1.0});
+    server.add_zone(nl_zone);
+    server.add_zone(dnsnl_zone);
+    if (i == 1 || i == 3) {
+      server.set_logging(true);
+      observed.push_back(ns_name.to_string());
+    }
+    auto address = world.address_of(ns_name.to_string());
+    servers.emplace_back(ns_name, address);
+
+    nl_zone->add(dns::make_ns(nl, 3600, ns_name));
+    dnsnl_zone->add(dns::make_ns(dnsnl, 3600, ns_name));
+    // Child copy of the address: the 1-hour TTL the paper contrasts with
+    // the root's 2-day glue.
+    dnsnl_zone->add(dns::make_a(ns_name, config.child_a_ttl, address));
+  }
+  // dns.nl is a delegation inside .nl served by the same hosts.
+  for (const auto& [ns_name, address] : servers) {
+    nl_zone->add(dns::make_ns(dnsnl, 3600, ns_name));
+  }
+  // Root-side delegation with the 2-day glue.
+  world.delegate(*world.root_zone(), nl, servers, config.parent_glue_ttl,
+                 config.parent_glue_ttl);
+
+  // The resolver population generating demand.
+  sim::Rng rng = world.rng().fork(0x9a551e);
+  auto population = resolver::ResolverPopulation::build(
+      world.network(), world.hints(), world.root_zone(),
+      resolver::paper_profiles(), config.resolver_count,
+      resolver::atlas_region_weights(), rng);
+
+  PassiveReport report;
+
+  // Poisson demand per resolver, rate Pareto-distributed across resolvers.
+  struct Demand {
+    resolver::RecursiveResolver* resolver;
+    double mean_gap_seconds;
+    std::uint64_t counter = 0;
+  };
+  auto demands = std::make_shared<std::vector<Demand>>();
+  demands->reserve(population.size());
+  for (auto& member : population.members()) {
+    double per_day = std::min(config.demand_cap_per_day,
+                              rng.pareto(config.demand_xm_per_day,
+                                         config.demand_alpha));
+    demands->push_back(Demand{member.resolver.get(), 86400.0 / per_day});
+  }
+
+  auto& simulation = world.simulation();
+  auto rng_ptr = std::make_shared<sim::Rng>(rng.fork(0xdeaadd));
+  auto client_queries = std::make_shared<std::size_t>(0);
+
+  std::function<void(std::size_t)> schedule_next =
+      [&simulation, demands, rng_ptr, client_queries, &schedule_next,
+       end = config.duration](std::size_t index) {
+        auto& demand = (*demands)[index];
+        double gap = rng_ptr->exponential(demand.mean_gap_seconds);
+        sim::Time at = simulation.now() + sim::seconds(gap);
+        if (at >= end) {
+          return;
+        }
+        simulation.schedule_at(at, [&simulation, demands, rng_ptr,
+                                    client_queries, &schedule_next, index] {
+          auto& d = (*demands)[index];
+          dns::Name qname = dns::Name::from_string(
+              "u" + std::to_string(d.counter++) + "-r" +
+              std::to_string(index) + ".nl");
+          d.resolver->resolve(
+              dns::Question{qname, dns::RRType::kA, dns::RClass::kIN},
+              simulation.now());
+          ++*client_queries;
+          schedule_next(index);
+        });
+      };
+
+  for (std::size_t i = 0; i < demands->size(); ++i) {
+    schedule_next(i);
+  }
+  simulation.run_until(config.duration);
+  report.client_queries = *client_queries;
+
+  // ENTRADA-style analysis over the two observed servers: group queries
+  // for the four nameserver address records by (source, qname).
+  std::set<std::string> ns_names;
+  for (const auto& [ns_name, address] : servers) {
+    ns_names.insert(ns_name.to_string());
+  }
+
+  std::map<std::pair<std::uint32_t, std::string>, std::vector<sim::Time>>
+      group_times;
+  std::set<std::uint32_t> sources;
+  for (const auto& ident : observed) {
+    const auto& log = world.server(ident).log();
+    for (const auto& entry : log.entries()) {
+      ++report.logged_queries;
+      sources.insert(entry.client.value());
+      std::string qname = entry.qname.to_string();
+      if ((entry.qtype == dns::RRType::kA ||
+           entry.qtype == dns::RRType::kAAAA) &&
+          ns_names.contains(qname)) {
+        group_times[{entry.client.value(), qname}].push_back(entry.time);
+      }
+    }
+  }
+  report.unique_resolvers = sources.size();
+
+  std::set<std::uint32_t> single_ips;
+  std::set<std::uint32_t> multi_ips;
+  for (auto& [key, times] : group_times) {
+    std::sort(times.begin(), times.end());
+    ++report.groups;
+    report.queries_per_group.add(static_cast<double>(times.size()));
+
+    // Figure 3's "filtered" curve: drop retransmission-like duplicates
+    // (interarrival <= 2 s).
+    std::size_t filtered = 1;
+    sim::Duration min_gap = -1;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      sim::Duration gap = times[i] - times[i - 1];
+      if (gap > 2 * sim::kSecond) {
+        ++filtered;
+      }
+      if (min_gap < 0 || gap < min_gap) {
+        min_gap = gap;
+      }
+    }
+    report.queries_per_group_filtered.add(static_cast<double>(filtered));
+
+    if (times.size() == 1) {
+      ++report.single_query_groups;
+      single_ips.insert(key.first);
+    } else {
+      multi_ips.insert(key.first);
+      report.min_interarrival_hours.add(sim::to_seconds(min_gap) / 3600.0);
+    }
+  }
+
+  if (report.groups > 0) {
+    report.single_fraction = static_cast<double>(report.single_query_groups) /
+                             static_cast<double>(report.groups);
+    report.multi_fraction = 1.0 - report.single_fraction;
+  }
+  if (!single_ips.empty()) {
+    std::size_t also_multi = 0;
+    for (std::uint32_t ip : single_ips) {
+      if (multi_ips.contains(ip)) ++also_multi;
+    }
+    report.single_ips_also_multi =
+        static_cast<double>(also_multi) / static_cast<double>(single_ips.size());
+  }
+  return report;
+}
+
+}  // namespace dnsttl::crawl

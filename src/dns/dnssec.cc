@@ -1,0 +1,114 @@
+#include "dns/dnssec.h"
+
+#include <cstdio>
+
+namespace dnsttl::dns {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view data) {
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_u32(std::uint64_t hash, std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u", value);
+  return fnv1a(hash, buf);
+}
+
+/// Digest of the canonical RRset content: owner, type, TTL and every
+/// rdata's presentation form (sorted by the map-backed zone storage is
+/// already deterministic; we hash in stored order).
+std::uint64_t rrset_digest(const RRset& rrset, const DnskeyRdata& key) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = fnv1a(hash, rrset.name().to_string());
+  hash = fnv1a(hash, to_string(rrset.type()));
+  hash = fnv1a_u32(hash, rrset.ttl());
+  for (const auto& rdata : rrset.rdatas()) {
+    hash = fnv1a(hash, rdata_to_string(rdata));
+  }
+  hash = fnv1a(hash, key.public_key);
+  hash = fnv1a_u32(hash, key.flags);
+  return hash;
+}
+
+}  // namespace
+
+std::uint16_t key_tag(const DnskeyRdata& key) {
+  std::uint64_t hash = fnv1a(0xcbf29ce484222325ULL, key.public_key);
+  hash = fnv1a_u32(hash, key.flags);
+  return static_cast<std::uint16_t>(hash & 0xffff);
+}
+
+std::string compute_signature(const RRset& rrset, const DnskeyRdata& key) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "sig-%016llx",
+                static_cast<unsigned long long>(rrset_digest(rrset, key)));
+  return buf;
+}
+
+ResourceRecord make_rrsig(const RRset& rrset, const Name& signer,
+                          const DnskeyRdata& key) {
+  RrsigRdata sig;
+  sig.type_covered = rrset.type();
+  sig.algorithm = key.algorithm;
+  sig.labels = static_cast<std::uint8_t>(rrset.name().label_count());
+  sig.original_ttl = rrset.ttl();
+  sig.inception = 0;
+  sig.expiration = 0x7fffffff;  // never expires within an experiment
+  sig.key_tag = key_tag(key);
+  sig.signer = signer;
+  sig.signature = compute_signature(rrset, key);
+  return ResourceRecord{rrset.name(), rrset.rclass(), rrset.ttl(),
+                        std::move(sig)};
+}
+
+bool verify_rrsig(const RRset& rrset, const RrsigRdata& sig,
+                  const DnskeyRdata& key) {
+  if (sig.type_covered != rrset.type()) {
+    return false;
+  }
+  if (sig.key_tag != key_tag(key)) {
+    return false;
+  }
+  // The signature covers the *original* TTL; a validator reconstructs it
+  // (RFC 4035 §5.3.3) so cache countdown does not break validation.
+  RRset original = rrset;
+  original.set_ttl(sig.original_ttl);
+  return compute_signature(original, key) == sig.signature;
+}
+
+void sign_zone(Zone& zone, const DnskeyRdata& key) {
+  // Install (or replace) the apex DNSKEY first so it is covered below.
+  RRset key_set(zone.origin(), RClass::kIN, 3600);
+  if (auto existing = zone.find(zone.origin(), RRType::kDNSKEY)) {
+    key_set = *existing;
+  }
+  key_set.add(Rdata{key});
+  zone.replace(key_set);
+
+  for (const auto& rrset : zone.all_rrsets()) {
+    if (rrset.type() == RRType::kRRSIG) {
+      continue;
+    }
+    // Delegation NS sets and anything below a zone cut (glue) are not
+    // authoritative here and carry no signature (RFC 4035 §2.2).
+    if (zone.is_delegated(rrset.name())) {
+      continue;
+    }
+    zone.add(make_rrsig(rrset, zone.origin(), key));
+  }
+}
+
+DnskeyRdata make_zone_key(const Name& origin) {
+  DnskeyRdata key;
+  key.flags = 257;  // KSK-style flags; one key signs everything here
+  key.public_key = "zsk-" + origin.to_string();
+  return key;
+}
+
+}  // namespace dnsttl::dns

@@ -1,0 +1,56 @@
+#ifndef DNSTTL_DNS_DNSSEC_H
+#define DNSTTL_DNS_DNSSEC_H
+
+#include <string>
+
+#include "dns/rr.h"
+#include "dns/zone.h"
+
+namespace dnsttl::dns {
+
+/// DNSSEC-lite: the structural half of RFC 4033-4035, without real
+/// cryptography.
+///
+/// The paper leans on DNSSEC for one argument (§2, §6.3): *validators must
+/// fetch records from the child zone*, because only the child's RRSIGs
+/// cover the authoritative TTL values — which pushes the ecosystem toward
+/// child-centric resolution.  To exercise that code path the library
+/// implements signing and verification with a deterministic digest in
+/// place of RSA: signatures are unforgeable within the simulation (any
+/// mutation of the RRset or key changes the digest) but obviously not
+/// cryptographically secure.
+///
+/// Simplifications (documented in DESIGN.md): no chain-of-trust walk to a
+/// root anchor (a zone's own DNSKEY is the trust point), no NSEC denial of
+/// existence, no key rollover machinery.
+
+/// RFC 4034 Appendix B-style key tag (deterministic digest of the key).
+std::uint16_t key_tag(const DnskeyRdata& key);
+
+/// Deterministic "signature" over the canonical form of @p rrset with
+/// @p key.  Stands in for the RSA signature bytes.
+std::string compute_signature(const RRset& rrset, const DnskeyRdata& key);
+
+/// Builds the RRSIG record covering @p rrset, signed by @p signer's key.
+/// The RRSIG carries the RRset's TTL (RFC 4034 §3: TTL must equal the TTL
+/// of the covered RRset).
+ResourceRecord make_rrsig(const RRset& rrset, const Name& signer,
+                          const DnskeyRdata& key);
+
+/// Verifies @p sig over @p rrset with @p key: recomputes the digest and
+/// checks signer consistency.
+bool verify_rrsig(const RRset& rrset, const RrsigRdata& sig,
+                  const DnskeyRdata& key);
+
+/// Signs a zone in place: installs the DNSKEY at the apex and an RRSIG for
+/// every authoritative RRset.  Delegation NS sets and glue below zone cuts
+/// are not signed (RFC 4035 §2.2), which is exactly why the parent's copy
+/// can never carry validated TTLs.
+void sign_zone(Zone& zone, const DnskeyRdata& key);
+
+/// Convenience: a deterministic zone-signing key derived from the origin.
+DnskeyRdata make_zone_key(const Name& origin);
+
+}  // namespace dnsttl::dns
+
+#endif  // DNSTTL_DNS_DNSSEC_H

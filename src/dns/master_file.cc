@@ -1,0 +1,321 @@
+#include "dns/master_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <vector>
+
+namespace dnsttl::dns {
+
+namespace {
+
+/// One logical line, parentheses-joined, comments stripped, tokenized.
+/// Tracks whether the raw line began with whitespace (owner repetition).
+struct LogicalLine {
+  std::size_t number = 0;
+  bool leading_whitespace = false;
+  std::vector<std::string> tokens;
+};
+
+/// Strips a ';' comment (quote-aware) from one raw line.
+std::string strip_comment(std::string_view line) {
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') {
+      quoted = !quoted;
+    } else if (line[i] == ';' && !quoted) {
+      return std::string(line.substr(0, i));
+    }
+  }
+  return std::string(line);
+}
+
+std::vector<std::string> tokenize(std::size_t line_no, std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+      continue;
+    }
+    if (text[i] == '"') {
+      std::size_t end = text.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        throw MasterFileError(line_no, "unterminated quoted string");
+      }
+      tokens.emplace_back(text.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[end])) == 0 &&
+           text[end] != '"') {
+      ++end;
+    }
+    tokens.emplace_back(text.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+/// Splits text into logical lines, joining across ( ... ).
+std::vector<LogicalLine> logical_lines(std::string_view text) {
+  std::vector<LogicalLine> lines;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  int paren_depth = 0;
+  LogicalLine current;
+
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view raw = eol == std::string_view::npos
+                               ? text.substr(pos)
+                               : text.substr(pos, eol - pos);
+    ++line_no;
+    std::string stripped = strip_comment(raw);
+
+    if (paren_depth == 0) {
+      current = LogicalLine{};
+      current.number = line_no;
+      current.leading_whitespace =
+          !stripped.empty() &&
+          std::isspace(static_cast<unsigned char>(stripped[0])) != 0;
+    }
+    for (auto& token : tokenize(line_no, stripped)) {
+      // Parentheses may be glued to tokens; handle the standalone forms
+      // plus leading '(' / trailing ')'.
+      std::string body = token;
+      while (!body.empty() && body.front() == '(') {
+        ++paren_depth;
+        body.erase(body.begin());
+      }
+      int trailing = 0;
+      while (!body.empty() && body.back() == ')') {
+        ++trailing;
+        body.pop_back();
+      }
+      if (!body.empty()) {
+        current.tokens.push_back(body);
+      }
+      paren_depth -= trailing;
+      if (paren_depth < 0) {
+        throw MasterFileError(line_no, "unbalanced ')'");
+      }
+    }
+    if (paren_depth == 0 && !current.tokens.empty()) {
+      lines.push_back(current);
+      current.tokens.clear();
+    }
+    if (eol == std::string_view::npos) {
+      break;
+    }
+    pos = eol + 1;
+  }
+  if (paren_depth != 0) {
+    throw MasterFileError(line_no, "unbalanced '('");
+  }
+  return lines;
+}
+
+bool is_number(const std::string& token) {
+  return !token.empty() &&
+         std::all_of(token.begin(), token.end(), [](unsigned char c) {
+           return std::isdigit(c) != 0;
+         });
+}
+
+std::uint32_t parse_u32(std::size_t line, const std::string& token) {
+  std::uint32_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw MasterFileError(line, "bad number: " + token);
+  }
+  return value;
+}
+
+Name parse_name(std::size_t line, const std::string& token,
+                const Name& origin) {
+  try {
+    if (token == "@") {
+      return origin;
+    }
+    if (!token.empty() && token.back() == '.') {
+      return Name::from_string(token);
+    }
+    // Relative name: append the origin.
+    Name relative = Name::from_string(token);
+    std::vector<std::string> labels = relative.labels();
+    labels.insert(labels.end(), origin.labels().begin(),
+                  origin.labels().end());
+    return Name(std::move(labels));
+  } catch (const std::invalid_argument& error) {
+    throw MasterFileError(line, error.what());
+  }
+}
+
+}  // namespace
+
+Zone parse_master_file(std::string_view text, const Name& default_origin) {
+  Zone zone{default_origin};
+  Name origin = default_origin;
+  Ttl default_ttl = 3600;
+  std::optional<Name> previous_owner;
+
+  for (const auto& line : logical_lines(text)) {
+    std::size_t cursor = 0;
+    const auto& tokens = line.tokens;
+
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) {
+        throw MasterFileError(line.number, "$ORIGIN needs one argument");
+      }
+      origin = parse_name(line.number, tokens[1], Name{});
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2) {
+        throw MasterFileError(line.number, "$TTL needs one argument");
+      }
+      default_ttl = parse_u32(line.number, tokens[1]);
+      continue;
+    }
+    if (tokens[0].starts_with("$")) {
+      throw MasterFileError(line.number, "unsupported directive " + tokens[0]);
+    }
+
+    // Owner: explicit unless the raw line began with whitespace.
+    Name owner;
+    if (line.leading_whitespace) {
+      if (!previous_owner) {
+        throw MasterFileError(line.number,
+                              "record with no previous owner to repeat");
+      }
+      owner = *previous_owner;
+    } else {
+      owner = parse_name(line.number, tokens[cursor++], origin);
+    }
+    previous_owner = owner;
+
+    // Optional TTL and class, in either order.
+    Ttl ttl = default_ttl;
+    for (int i = 0; i < 2 && cursor < tokens.size(); ++i) {
+      if (is_number(tokens[cursor])) {
+        ttl = parse_u32(line.number, tokens[cursor]);
+        ++cursor;
+      } else if (tokens[cursor] == "IN" || tokens[cursor] == "CH") {
+        ++cursor;  // class accepted and ignored (always IN here)
+      }
+    }
+    if (cursor >= tokens.size()) {
+      throw MasterFileError(line.number, "missing record type");
+    }
+
+    std::string type = tokens[cursor++];
+    auto need = [&](std::size_t count) {
+      if (tokens.size() - cursor < count) {
+        throw MasterFileError(line.number,
+                              type + " record needs more fields");
+      }
+    };
+
+    ResourceRecord rr;
+    rr.name = owner;
+    rr.ttl = ttl;
+    if (type == "A") {
+      need(1);
+      try {
+        rr.rdata = ARdata{Ipv4::from_string(tokens[cursor])};
+      } catch (const std::invalid_argument& error) {
+        throw MasterFileError(line.number, error.what());
+      }
+    } else if (type == "AAAA") {
+      need(1);
+      try {
+        rr.rdata = AaaaRdata{Ipv6::from_string(tokens[cursor])};
+      } catch (const std::invalid_argument& error) {
+        throw MasterFileError(line.number, error.what());
+      }
+    } else if (type == "NS") {
+      need(1);
+      rr.rdata = NsRdata{parse_name(line.number, tokens[cursor], origin)};
+    } else if (type == "CNAME") {
+      need(1);
+      rr.rdata = CnameRdata{parse_name(line.number, tokens[cursor], origin)};
+    } else if (type == "MX") {
+      need(2);
+      MxRdata mx;
+      mx.preference =
+          static_cast<std::uint16_t>(parse_u32(line.number, tokens[cursor]));
+      mx.exchange = parse_name(line.number, tokens[cursor + 1], origin);
+      rr.rdata = std::move(mx);
+    } else if (type == "PTR") {
+      need(1);
+      rr.rdata = PtrRdata{parse_name(line.number, tokens[cursor], origin)};
+    } else if (type == "SRV") {
+      need(4);
+      SrvRdata srv;
+      srv.priority =
+          static_cast<std::uint16_t>(parse_u32(line.number, tokens[cursor]));
+      srv.weight = static_cast<std::uint16_t>(
+          parse_u32(line.number, tokens[cursor + 1]));
+      srv.port = static_cast<std::uint16_t>(
+          parse_u32(line.number, tokens[cursor + 2]));
+      srv.target = parse_name(line.number, tokens[cursor + 3], origin);
+      rr.rdata = std::move(srv);
+    } else if (type == "TXT") {
+      need(1);
+      std::string joined;
+      for (std::size_t i = cursor; i < tokens.size(); ++i) {
+        joined += tokens[i];
+        if (i + 1 < tokens.size()) joined += " ";
+      }
+      rr.rdata = TxtRdata{std::move(joined)};
+    } else if (type == "SOA") {
+      need(7);
+      SoaRdata soa;
+      soa.mname = parse_name(line.number, tokens[cursor], origin);
+      soa.rname = parse_name(line.number, tokens[cursor + 1], origin);
+      soa.serial = parse_u32(line.number, tokens[cursor + 2]);
+      soa.refresh = parse_u32(line.number, tokens[cursor + 3]);
+      soa.retry = parse_u32(line.number, tokens[cursor + 4]);
+      soa.expire = parse_u32(line.number, tokens[cursor + 5]);
+      soa.minimum = parse_u32(line.number, tokens[cursor + 6]);
+      rr.rdata = std::move(soa);
+    } else if (type == "DNSKEY") {
+      need(4);
+      DnskeyRdata key;
+      key.flags =
+          static_cast<std::uint16_t>(parse_u32(line.number, tokens[cursor]));
+      key.protocol =
+          static_cast<std::uint8_t>(parse_u32(line.number, tokens[cursor + 1]));
+      key.algorithm =
+          static_cast<std::uint8_t>(parse_u32(line.number, tokens[cursor + 2]));
+      key.public_key = tokens[cursor + 3];
+      rr.rdata = std::move(key);
+    } else {
+      throw MasterFileError(line.number, "unsupported record type " + type);
+    }
+
+    try {
+      zone.add(rr);
+    } catch (const std::invalid_argument& error) {
+      throw MasterFileError(line.number, error.what());
+    }
+  }
+  return zone;
+}
+
+std::string render_master_file(const Zone& zone) {
+  std::string out = "$ORIGIN " + zone.origin().to_string() + "\n";
+  for (const auto& rrset : zone.all_rrsets()) {
+    for (const auto& rr : rrset.to_records()) {
+      out += rr.to_string() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsttl::dns

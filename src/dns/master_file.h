@@ -1,0 +1,43 @@
+#ifndef DNSTTL_DNS_MASTER_FILE_H
+#define DNSTTL_DNS_MASTER_FILE_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "dns/zone.h"
+
+namespace dnsttl::dns {
+
+/// Thrown on malformed zone-file text, with a 1-based line number.
+class MasterFileError : public std::runtime_error {
+ public:
+  MasterFileError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses RFC 1035 §5 master-file text into a Zone.
+///
+/// Supported: `$ORIGIN` and `$TTL` directives, `@` for the origin, relative
+/// and absolute owner names, blank owner (repeat previous), `;` comments,
+/// optional per-record TTL and class fields, and the record types the
+/// library models (SOA, NS, A, AAAA, CNAME, MX, TXT, DNSKEY).
+/// Multi-line parentheses are supported for SOA.
+///
+/// @p default_origin is used until a `$ORIGIN` directive appears; it also
+/// becomes the zone's origin.
+Zone parse_master_file(std::string_view text, const Name& default_origin);
+
+/// Renders a zone back to master-file text (one record per line, absolute
+/// names, explicit TTLs) — `parse_master_file(render_master_file(z), o)`
+/// reproduces the zone.
+std::string render_master_file(const Zone& zone);
+
+}  // namespace dnsttl::dns
+
+#endif  // DNSTTL_DNS_MASTER_FILE_H

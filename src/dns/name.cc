@@ -1,0 +1,151 @@
+#include "dns/name.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <stdexcept>
+
+namespace dnsttl::dns {
+
+namespace {
+
+constexpr std::size_t kMaxLabelLen = 63;
+constexpr std::size_t kMaxWireLen = 255;
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+void validate_label(std::string_view label) {
+  if (label.empty()) {
+    throw std::invalid_argument("DNS label must not be empty");
+  }
+  if (label.size() > kMaxLabelLen) {
+    throw std::invalid_argument("DNS label exceeds 63 octets: " +
+                                std::string(label));
+  }
+  if (label.find('.') != std::string_view::npos) {
+    throw std::invalid_argument("DNS label must not contain '.'");
+  }
+}
+
+}  // namespace
+
+Name::Name(std::vector<std::string> labels) : labels_(std::move(labels)) {
+  for (auto& label : labels_) {
+    validate_label(label);
+    label = lower(label);
+  }
+  if (wire_length() > kMaxWireLen) {
+    throw std::invalid_argument("DNS name exceeds 255 octets");
+  }
+}
+
+Name Name::from_string(std::string_view text) {
+  if (text.empty()) {
+    throw std::invalid_argument("empty string is not a DNS name; use \".\"");
+  }
+  if (text == ".") {
+    return Name{};
+  }
+  if (text.back() == '.') {
+    text.remove_suffix(1);
+  }
+  std::vector<std::string> labels;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t dot = text.find('.', start);
+    if (dot == std::string_view::npos) {
+      labels.emplace_back(text.substr(start));
+      break;
+    }
+    labels.emplace_back(text.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return Name{std::move(labels)};
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) {
+    return ".";
+  }
+  std::string out;
+  for (const auto& label : labels_) {
+    out += label;
+    out += '.';
+  }
+  return out;
+}
+
+Name Name::parent() const {
+  if (labels_.empty()) {
+    return Name{};
+  }
+  Name p;
+  p.labels_.assign(labels_.begin() + 1, labels_.end());
+  return p;
+}
+
+Name Name::prepend(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return Name{std::move(labels)};
+}
+
+bool Name::is_subdomain_of(const Name& ancestor) const noexcept {
+  if (ancestor.labels_.size() > labels_.size()) {
+    return false;
+  }
+  return std::equal(ancestor.labels_.rbegin(), ancestor.labels_.rend(),
+                    labels_.rbegin());
+}
+
+bool Name::is_strict_subdomain_of(const Name& ancestor) const noexcept {
+  return labels_.size() > ancestor.labels_.size() && is_subdomain_of(ancestor);
+}
+
+std::size_t Name::common_suffix_labels(const Name& other) const noexcept {
+  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  std::size_t shared = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels_[labels_.size() - 1 - i] !=
+        other.labels_[other.labels_.size() - 1 - i]) {
+      break;
+    }
+    ++shared;
+  }
+  return shared;
+}
+
+std::size_t Name::wire_length() const noexcept {
+  std::size_t len = 1;  // terminating root label
+  for (const auto& label : labels_) {
+    len += 1 + label.size();
+  }
+  return len;
+}
+
+std::strong_ordering Name::operator<=>(const Name& other) const noexcept {
+  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = labels_[labels_.size() - 1 - i];
+    const auto& b = other.labels_[other.labels_.size() - 1 - i];
+    if (auto cmp = a.compare(b); cmp != 0) {
+      return cmp < 0 ? std::strong_ordering::less
+                     : std::strong_ordering::greater;
+    }
+  }
+  return labels_.size() <=> other.labels_.size();
+}
+
+std::ostream& operator<<(std::ostream& os, const Name& name) {
+  return os << name.to_string();
+}
+
+}  // namespace dnsttl::dns

@@ -1,0 +1,103 @@
+#ifndef DNSTTL_DNS_NAME_H
+#define DNSTTL_DNS_NAME_H
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsttl::dns {
+
+/// A fully-qualified DNS domain name.
+///
+/// Labels are stored in presentation order (leftmost / most specific first),
+/// canonicalized to lower case (DNS names are case-insensitive, RFC 1035
+/// §2.3.3).  The root name has zero labels.
+///
+/// Invariants (RFC 1035 §3.1): every label is 1..63 octets; the wire-format
+/// length of the whole name (labels + length octets + terminating zero) is
+/// at most 255 octets.  Construction enforces both.
+class Name {
+ public:
+  /// The root name ".".
+  Name() = default;
+
+  /// Builds a name from explicit labels, most specific first.
+  /// Throws std::invalid_argument on label/name length violations.
+  explicit Name(std::vector<std::string> labels);
+
+  /// Parses presentation format ("www.example.org", trailing dot optional,
+  /// "." is the root).  Throws std::invalid_argument on malformed input.
+  static Name from_string(std::string_view text);
+
+  /// Presentation format with trailing dot ("www.example.org.", root = ".").
+  std::string to_string() const;
+
+  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+
+  /// The label at @p i, 0 = most specific.
+  const std::string& label(std::size_t i) const { return labels_.at(i); }
+
+  /// Name with the most specific label removed; parent of the root is root.
+  Name parent() const;
+
+  /// New name @p label + "." + *this.  Throws on invalid label.
+  Name prepend(std::string_view label) const;
+
+  /// True if *this is @p ancestor or is below it in the tree (RFC 8499:
+  /// every domain is a subdomain of itself).
+  bool is_subdomain_of(const Name& ancestor) const noexcept;
+
+  /// True if *this is strictly below @p ancestor.
+  bool is_strict_subdomain_of(const Name& ancestor) const noexcept;
+
+  /// Bailiwick test (RFC 8499): a server name is in bailiwick of a zone if
+  /// it is a subdomain of the zone origin.  Alias for is_subdomain_of.
+  bool in_bailiwick_of(const Name& zone) const noexcept {
+    return is_subdomain_of(zone);
+  }
+
+  /// Number of trailing labels shared with @p other (length of the longest
+  /// common ancestor).
+  std::size_t common_suffix_labels(const Name& other) const noexcept;
+
+  /// Wire-format length in octets (length bytes + labels + root byte).
+  std::size_t wire_length() const noexcept;
+
+  /// Canonical DNS ordering (RFC 4034 §6.1): compare label-by-label from the
+  /// rightmost (least specific) label.
+  std::strong_ordering operator<=>(const Name& other) const noexcept;
+  bool operator==(const Name& other) const noexcept = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Name& name);
+
+}  // namespace dnsttl::dns
+
+template <>
+struct std::hash<dnsttl::dns::Name> {
+  std::size_t operator()(const dnsttl::dns::Name& n) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const auto& label : n.labels()) {
+      for (char c : label) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+      }
+      h ^= 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+#endif  // DNSTTL_DNS_NAME_H

@@ -1,0 +1,98 @@
+#include "dns/types.h"
+
+#include <stdexcept>
+
+namespace dnsttl::dns {
+
+std::string_view to_string(RRType type) {
+  switch (type) {
+    case RRType::kA:
+      return "A";
+    case RRType::kNS:
+      return "NS";
+    case RRType::kCNAME:
+      return "CNAME";
+    case RRType::kSOA:
+      return "SOA";
+    case RRType::kPTR:
+      return "PTR";
+    case RRType::kMX:
+      return "MX";
+    case RRType::kTXT:
+      return "TXT";
+    case RRType::kAAAA:
+      return "AAAA";
+    case RRType::kSRV:
+      return "SRV";
+    case RRType::kOPT:
+      return "OPT";
+    case RRType::kRRSIG:
+      return "RRSIG";
+    case RRType::kDNSKEY:
+      return "DNSKEY";
+    case RRType::kANY:
+      return "ANY";
+  }
+  return "TYPE?";
+}
+
+std::string_view to_string(RClass rclass) {
+  switch (rclass) {
+    case RClass::kIN:
+      return "IN";
+    case RClass::kCH:
+      return "CH";
+  }
+  return "CLASS?";
+}
+
+std::string_view to_string(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError:
+      return "NOERROR";
+    case Rcode::kFormErr:
+      return "FORMERR";
+    case Rcode::kServFail:
+      return "SERVFAIL";
+    case Rcode::kNXDomain:
+      return "NXDOMAIN";
+    case Rcode::kNotImp:
+      return "NOTIMP";
+    case Rcode::kRefused:
+      return "REFUSED";
+  }
+  return "RCODE?";
+}
+
+std::string_view to_string(Section section) {
+  switch (section) {
+    case Section::kQuestion:
+      return "question";
+    case Section::kAnswer:
+      return "answer";
+    case Section::kAuthority:
+      return "authority";
+    case Section::kAdditional:
+      return "additional";
+  }
+  return "section?";
+}
+
+RRType rrtype_from_string(std::string_view text) {
+  if (text == "A") return RRType::kA;
+  if (text == "NS") return RRType::kNS;
+  if (text == "CNAME") return RRType::kCNAME;
+  if (text == "SOA") return RRType::kSOA;
+  if (text == "PTR") return RRType::kPTR;
+  if (text == "MX") return RRType::kMX;
+  if (text == "SRV") return RRType::kSRV;
+  if (text == "TXT") return RRType::kTXT;
+  if (text == "AAAA") return RRType::kAAAA;
+  if (text == "OPT") return RRType::kOPT;
+  if (text == "RRSIG") return RRType::kRRSIG;
+  if (text == "DNSKEY") return RRType::kDNSKEY;
+  if (text == "ANY") return RRType::kANY;
+  throw std::invalid_argument("unknown RR type mnemonic: " + std::string(text));
+}
+
+}  // namespace dnsttl::dns

@@ -1,0 +1,91 @@
+#ifndef DNSTTL_DNS_TYPES_H
+#define DNSTTL_DNS_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnsttl::dns {
+
+/// Resource record types (RFC 1035 §3.2.2 and successors).
+/// Values are the IANA-assigned wire values.
+enum class RRType : std::uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kSRV = 33,
+  kOPT = 41,
+  kRRSIG = 46,
+  kDNSKEY = 48,
+  kANY = 255,
+};
+
+/// Record classes (RFC 1035 §3.2.4); only IN is used in practice.
+enum class RClass : std::uint16_t {
+  kIN = 1,
+  kCH = 3,
+};
+
+/// Response codes (RFC 1035 §4.1.1).
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNXDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+/// Query opcodes (RFC 1035 §4.1.1).
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+/// Message sections (RFC 1035 §4.1).
+enum class Section : std::uint8_t {
+  kQuestion = 0,
+  kAnswer = 1,
+  kAuthority = 2,
+  kAdditional = 3,
+};
+
+std::string_view to_string(RRType type);
+std::string_view to_string(RClass rclass);
+std::string_view to_string(Rcode rcode);
+std::string_view to_string(Section section);
+
+/// Parses a type mnemonic ("A", "NS", ...); throws std::invalid_argument on
+/// unknown mnemonics.
+RRType rrtype_from_string(std::string_view text);
+
+/// TTL type alias: seconds, 32-bit per RFC 2181 §8 (top bit must be zero).
+using Ttl = std::uint32_t;
+
+/// Maximum sensible TTL: RFC 2181 §8 caps TTLs at 2^31 - 1.
+inline constexpr Ttl kMaxTtl = 0x7fffffff;
+
+/// Common TTL constants used throughout the paper.
+inline constexpr Ttl kTtl1Min = 60;
+inline constexpr Ttl kTtl5Min = 300;
+inline constexpr Ttl kTtl10Min = 600;
+inline constexpr Ttl kTtl15Min = 900;
+inline constexpr Ttl kTtl1Hour = 3600;
+inline constexpr Ttl kTtl2Hours = 7200;
+inline constexpr Ttl kTtl4Hours = 14400;
+inline constexpr Ttl kTtl6Hours = 21600;
+inline constexpr Ttl kTtl12Hours = 43200;
+inline constexpr Ttl kTtl1Day = 86400;
+inline constexpr Ttl kTtl2Days = 172800;
+inline constexpr Ttl kTtl4Days = 345600;
+inline constexpr Ttl kTtl1Week = 604800;
+
+}  // namespace dnsttl::dns
+
+#endif  // DNSTTL_DNS_TYPES_H

@@ -1,0 +1,429 @@
+#include "dns/wire.h"
+
+#include <cstring>
+
+namespace dnsttl::dns {
+
+namespace {
+
+constexpr std::uint16_t kPointerMask = 0xc000;
+constexpr std::size_t kMaxPointerTarget = 0x3fff;
+
+}  // namespace
+
+// ---------------------------------------------------------------- WireWriter
+
+void WireWriter::u8(std::uint8_t value) { buffer_.push_back(value); }
+
+void WireWriter::u16(std::uint16_t value) {
+  buffer_.push_back(static_cast<std::uint8_t>(value >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+void WireWriter::u32(std::uint32_t value) {
+  u16(static_cast<std::uint16_t>(value >> 16));
+  u16(static_cast<std::uint16_t>(value & 0xffff));
+}
+
+void WireWriter::bytes(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void WireWriter::patch_u16(std::size_t offset, std::uint16_t value) {
+  buffer_.at(offset) = static_cast<std::uint8_t>(value >> 8);
+  buffer_.at(offset + 1) = static_cast<std::uint8_t>(value & 0xff);
+}
+
+void WireWriter::name(const Name& n) {
+  // Emit labels until a known suffix allows a compression pointer.
+  const auto& labels = n.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Name suffix(std::vector<std::string>(labels.begin() + static_cast<long>(i),
+                                         labels.end()));
+    std::string key = suffix.to_string();
+    if (auto it = offsets_.find(key); it != offsets_.end()) {
+      u16(static_cast<std::uint16_t>(kPointerMask | it->second));
+      return;
+    }
+    if (buffer_.size() <= kMaxPointerTarget) {
+      offsets_.emplace(std::move(key),
+                       static_cast<std::uint16_t>(buffer_.size()));
+    }
+    u8(static_cast<std::uint8_t>(labels[i].size()));
+    bytes(std::span(reinterpret_cast<const std::uint8_t*>(labels[i].data()),
+                    labels[i].size()));
+  }
+  u8(0);  // root label
+}
+
+void WireWriter::name_uncompressed(const Name& n) {
+  for (const auto& label : n.labels()) {
+    u8(static_cast<std::uint8_t>(label.size()));
+    bytes(std::span(reinterpret_cast<const std::uint8_t*>(label.data()),
+                    label.size()));
+  }
+  u8(0);
+}
+
+// ---------------------------------------------------------------- WireReader
+
+void WireReader::require(std::size_t count) const {
+  if (offset_ + count > data_.size()) {
+    throw WireError("truncated DNS message");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  require(1);
+  return data_[offset_++];
+}
+
+std::uint16_t WireReader::u16() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[offset_] << 8) |
+                    data_[offset_ + 1];
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  std::uint32_t hi = u16();
+  std::uint32_t lo = u16();
+  return (hi << 16) | lo;
+}
+
+std::vector<std::uint8_t> WireReader::bytes(std::size_t count) {
+  require(count);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(offset_),
+                                data_.begin() +
+                                    static_cast<long>(offset_ + count));
+  offset_ += count;
+  return out;
+}
+
+void WireReader::seek(std::size_t offset) {
+  if (offset > data_.size()) {
+    throw WireError("seek past end of message");
+  }
+  offset_ = offset;
+}
+
+Name WireReader::name() {
+  std::vector<std::string> labels;
+  std::size_t cursor = offset_;
+  bool jumped = false;
+  std::size_t jumps = 0;
+
+  while (true) {
+    if (cursor >= data_.size()) {
+      throw WireError("name runs past end of message");
+    }
+    std::uint8_t len = data_[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (cursor + 1 >= data_.size()) {
+        throw WireError("truncated compression pointer");
+      }
+      std::size_t target = (static_cast<std::size_t>(len & 0x3f) << 8) |
+                           data_[cursor + 1];
+      if (!jumped) {
+        offset_ = cursor + 2;
+        jumped = true;
+      }
+      if (++jumps > 128 || target >= cursor) {
+        throw WireError("compression pointer loop");
+      }
+      cursor = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) {
+      throw WireError("reserved label type");
+    }
+    if (len == 0) {
+      if (!jumped) {
+        offset_ = cursor + 1;
+      }
+      break;
+    }
+    if (cursor + 1 + len > data_.size()) {
+      throw WireError("label runs past end of message");
+    }
+    labels.emplace_back(
+        reinterpret_cast<const char*>(data_.data() + cursor + 1), len);
+    cursor += 1 + len;
+  }
+  return Name{std::move(labels)};
+}
+
+// ------------------------------------------------------------ RDATA codecs
+
+namespace {
+
+void encode_rdata(WireWriter& w, const Rdata& rdata) {
+  std::size_t len_at = w.size();
+  w.u16(0);  // RDLENGTH back-filled below
+  std::size_t start = w.size();
+
+  std::visit(
+      [&w](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          w.u32(v.address.value());
+        } else if constexpr (std::is_same_v<T, AaaaRdata>) {
+          w.bytes(std::span(v.address.octets().data(), 16));
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          w.name(v.nsdname);
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          w.name(v.target);
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          w.name(v.mname);
+          w.name(v.rname);
+          w.u32(v.serial);
+          w.u32(v.refresh);
+          w.u32(v.retry);
+          w.u32(v.expire);
+          w.u32(v.minimum);
+        } else if constexpr (std::is_same_v<T, MxRdata>) {
+          w.u16(v.preference);
+          w.name(v.exchange);
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          // character-strings of <=255 bytes each
+          std::string_view rest = v.text;
+          do {
+            std::string_view chunk = rest.substr(0, 255);
+            rest.remove_prefix(chunk.size());
+            w.u8(static_cast<std::uint8_t>(chunk.size()));
+            w.bytes(std::span(
+                reinterpret_cast<const std::uint8_t*>(chunk.data()),
+                chunk.size()));
+          } while (!rest.empty());
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          w.name(v.target);
+        } else if constexpr (std::is_same_v<T, SrvRdata>) {
+          w.u16(v.priority);
+          w.u16(v.weight);
+          w.u16(v.port);
+          w.name_uncompressed(v.target);  // RFC 2782: no compression
+        } else if constexpr (std::is_same_v<T, DnskeyRdata>) {
+          w.u16(v.flags);
+          w.u8(v.protocol);
+          w.u8(v.algorithm);
+          w.bytes(std::span(
+              reinterpret_cast<const std::uint8_t*>(v.public_key.data()),
+              v.public_key.size()));
+        } else if constexpr (std::is_same_v<T, RrsigRdata>) {
+          w.u16(static_cast<std::uint16_t>(v.type_covered));
+          w.u8(v.algorithm);
+          w.u8(v.labels);
+          w.u32(v.original_ttl);
+          w.u32(v.expiration);
+          w.u32(v.inception);
+          w.u16(v.key_tag);
+          w.name_uncompressed(v.signer);  // RFC 4034 §3.1.7: no compression
+          w.bytes(std::span(
+              reinterpret_cast<const std::uint8_t*>(v.signature.data()),
+              v.signature.size()));
+        } else if constexpr (std::is_same_v<T, OptRdata>) {
+          // OPT carries its payload size in the CLASS field; RDATA empty.
+        }
+      },
+      rdata);
+
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - start));
+}
+
+Rdata decode_rdata(WireReader& r, RRType type, std::size_t rdlength) {
+  std::size_t end = r.offset() + rdlength;
+  Rdata out;
+  switch (type) {
+    case RRType::kA: {
+      out = ARdata{Ipv4{r.u32()}};
+      break;
+    }
+    case RRType::kAAAA: {
+      auto raw = r.bytes(16);
+      std::array<std::uint8_t, 16> octets{};
+      std::memcpy(octets.data(), raw.data(), 16);
+      out = AaaaRdata{Ipv6{octets}};
+      break;
+    }
+    case RRType::kNS:
+      out = NsRdata{r.name()};
+      break;
+    case RRType::kCNAME:
+      out = CnameRdata{r.name()};
+      break;
+    case RRType::kSOA: {
+      SoaRdata soa;
+      soa.mname = r.name();
+      soa.rname = r.name();
+      soa.serial = r.u32();
+      soa.refresh = r.u32();
+      soa.retry = r.u32();
+      soa.expire = r.u32();
+      soa.minimum = r.u32();
+      out = std::move(soa);
+      break;
+    }
+    case RRType::kMX: {
+      MxRdata mx;
+      mx.preference = r.u16();
+      mx.exchange = r.name();
+      out = std::move(mx);
+      break;
+    }
+    case RRType::kTXT: {
+      TxtRdata txt;
+      while (r.offset() < end) {
+        std::uint8_t len = r.u8();
+        auto chunk = r.bytes(len);
+        txt.text.append(reinterpret_cast<const char*>(chunk.data()),
+                        chunk.size());
+      }
+      out = std::move(txt);
+      break;
+    }
+    case RRType::kPTR:
+      out = PtrRdata{r.name()};
+      break;
+    case RRType::kSRV: {
+      SrvRdata srv;
+      srv.priority = r.u16();
+      srv.weight = r.u16();
+      srv.port = r.u16();
+      srv.target = r.name();
+      out = std::move(srv);
+      break;
+    }
+    case RRType::kDNSKEY: {
+      DnskeyRdata key;
+      key.flags = r.u16();
+      key.protocol = r.u8();
+      key.algorithm = r.u8();
+      auto raw = r.bytes(end - r.offset());
+      key.public_key.assign(reinterpret_cast<const char*>(raw.data()),
+                            raw.size());
+      out = std::move(key);
+      break;
+    }
+    case RRType::kRRSIG: {
+      RrsigRdata sig;
+      sig.type_covered = static_cast<RRType>(r.u16());
+      sig.algorithm = r.u8();
+      sig.labels = r.u8();
+      sig.original_ttl = r.u32();
+      sig.expiration = r.u32();
+      sig.inception = r.u32();
+      sig.key_tag = r.u16();
+      sig.signer = r.name();
+      auto raw = r.bytes(end - r.offset());
+      sig.signature.assign(reinterpret_cast<const char*>(raw.data()),
+                           raw.size());
+      out = std::move(sig);
+      break;
+    }
+    case RRType::kOPT: {
+      r.bytes(rdlength);  // ignore EDNS options
+      out = OptRdata{};
+      break;
+    }
+    default:
+      throw WireError("cannot decode RDATA of type " +
+                      std::string(to_string(type)));
+  }
+  if (r.offset() != end) {
+    throw WireError("RDLENGTH mismatch decoding " +
+                    std::string(to_string(type)));
+  }
+  return out;
+}
+
+void encode_rr(WireWriter& w, const ResourceRecord& rr) {
+  w.name(rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type()));
+  w.u16(static_cast<std::uint16_t>(rr.rclass));
+  w.u32(rr.ttl);
+  encode_rdata(w, rr.rdata);
+}
+
+ResourceRecord decode_rr(WireReader& r) {
+  ResourceRecord rr;
+  rr.name = r.name();
+  auto type = static_cast<RRType>(r.u16());
+  rr.rclass = static_cast<RClass>(r.u16());
+  rr.ttl = r.u32();
+  std::uint16_t rdlength = r.u16();
+  rr.rdata = decode_rdata(r, type, rdlength);
+  return rr;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ full message
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  WireWriter w;
+  w.u16(m.id);
+
+  std::uint16_t flags = 0;
+  if (m.flags.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(m.flags.opcode) & 0xf) << 11);
+  if (m.flags.aa) flags |= 0x0400;
+  if (m.flags.tc) flags |= 0x0200;
+  if (m.flags.rd) flags |= 0x0100;
+  if (m.flags.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(m.flags.rcode) & 0xf;
+  w.u16(flags);
+
+  w.u16(static_cast<std::uint16_t>(m.questions.size()));
+  w.u16(static_cast<std::uint16_t>(m.answers.size()));
+  w.u16(static_cast<std::uint16_t>(m.authorities.size()));
+  w.u16(static_cast<std::uint16_t>(m.additionals.size()));
+
+  for (const auto& q : m.questions) {
+    w.name(q.qname);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : m.answers) encode_rr(w, rr);
+  for (const auto& rr : m.authorities) encode_rr(w, rr);
+  for (const auto& rr : m.additionals) encode_rr(w, rr);
+  return std::move(w).take();
+}
+
+Message decode(std::span<const std::uint8_t> wire) {
+  WireReader r(wire);
+  Message m;
+  m.id = r.u16();
+  std::uint16_t flags = r.u16();
+  m.flags.qr = (flags & 0x8000) != 0;
+  m.flags.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  m.flags.aa = (flags & 0x0400) != 0;
+  m.flags.tc = (flags & 0x0200) != 0;
+  m.flags.rd = (flags & 0x0100) != 0;
+  m.flags.ra = (flags & 0x0080) != 0;
+  m.flags.rcode = static_cast<Rcode>(flags & 0xf);
+
+  std::uint16_t qd = r.u16();
+  std::uint16_t an = r.u16();
+  std::uint16_t ns = r.u16();
+  std::uint16_t ar = r.u16();
+
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    Question q;
+    q.qname = r.name();
+    q.qtype = static_cast<RRType>(r.u16());
+    q.qclass = static_cast<RClass>(r.u16());
+    m.questions.push_back(std::move(q));
+  }
+  for (std::uint16_t i = 0; i < an; ++i) m.answers.push_back(decode_rr(r));
+  for (std::uint16_t i = 0; i < ns; ++i) m.authorities.push_back(decode_rr(r));
+  for (std::uint16_t i = 0; i < ar; ++i) m.additionals.push_back(decode_rr(r));
+  return m;
+}
+
+std::size_t encoded_size(const Message& message) {
+  return encode(message).size();
+}
+
+}  // namespace dnsttl::dns

@@ -1,0 +1,90 @@
+#ifndef DNSTTL_DNS_WIRE_H
+#define DNSTTL_DNS_WIRE_H
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/name.h"
+
+namespace dnsttl::dns {
+
+/// Thrown on malformed wire data (truncation, bad pointers, bad lengths).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes DNS data into RFC 1035 wire format with name compression
+/// (§4.1.4).  Compression targets are remembered for every name written
+/// whose offset fits in the 14-bit pointer space.
+class WireWriter {
+ public:
+  void u8(std::uint8_t value);
+  void u16(std::uint16_t value);
+  void u32(std::uint32_t value);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Writes @p name using compression pointers where a suffix was already
+  /// emitted.
+  void name(const Name& name);
+
+  /// Writes @p name without compression and without registering it
+  /// (required inside RDATA of types not in the RFC 3597 compression list;
+  /// we compress only NS/CNAME/SOA/MX targets, like BIND).
+  void name_uncompressed(const Name& name);
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return buffer_; }
+  std::vector<std::uint8_t> take() && { return std::move(buffer_); }
+
+  /// Patches a previously written u16 at @p offset (for RDLENGTH back-fill).
+  void patch_u16(std::size_t offset, std::uint16_t value);
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  // Maps a name suffix (presentation form) to its first wire offset.
+  std::unordered_map<std::string, std::uint16_t> offsets_;
+};
+
+/// Reads RFC 1035 wire format; bounds-checked, loop-safe pointer chasing.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::vector<std::uint8_t> bytes(std::size_t count);
+
+  /// Decodes a (possibly compressed) domain name at the cursor.
+  Name name();
+
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  bool at_end() const noexcept { return offset_ == data_.size(); }
+  void seek(std::size_t offset);
+
+ private:
+  void require(std::size_t count) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Encodes a full message into wire format.
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Decodes a full message; throws WireError on malformed input.
+Message decode(std::span<const std::uint8_t> wire);
+
+/// Wire size of the encoded message (convenience; encodes internally).
+std::size_t encoded_size(const Message& message);
+
+}  // namespace dnsttl::dns
+
+#endif  // DNSTTL_DNS_WIRE_H

@@ -1,0 +1,303 @@
+#include "dns/zone.h"
+
+#include <stdexcept>
+
+namespace dnsttl::dns {
+
+void Zone::add(const ResourceRecord& rr) {
+  if (!rr.name.is_subdomain_of(origin_)) {
+    throw std::invalid_argument("record " + rr.name.to_string() +
+                                " not under zone origin " +
+                                origin_.to_string());
+  }
+  auto& by_type = nodes_[rr.name];
+  auto [it, inserted] =
+      by_type.try_emplace(rr.type(), rr.name, rr.rclass, rr.ttl);
+  it->second.set_ttl(rr.ttl);
+  it->second.add(rr.rdata);
+}
+
+void Zone::replace(const RRset& rrset) {
+  if (rrset.empty()) {
+    throw std::invalid_argument("cannot store an empty RRset");
+  }
+  if (!rrset.name().is_subdomain_of(origin_)) {
+    throw std::invalid_argument("RRset not under zone origin");
+  }
+  nodes_[rrset.name()][rrset.type()] = rrset;
+}
+
+bool Zone::remove(const Name& name, RRType type) {
+  auto node = nodes_.find(name);
+  if (node == nodes_.end()) {
+    return false;
+  }
+  bool erased = node->second.erase(type) > 0;
+  if (node->second.empty()) {
+    nodes_.erase(node);
+  }
+  return erased;
+}
+
+bool Zone::set_ttl(const Name& name, RRType type, Ttl ttl) {
+  auto node = nodes_.find(name);
+  if (node == nodes_.end()) {
+    return false;
+  }
+  auto it = node->second.find(type);
+  if (it == node->second.end()) {
+    return false;
+  }
+  it->second.set_ttl(ttl);
+  return true;
+}
+
+bool Zone::renumber_a(const Name& name, Ipv4 address) {
+  auto existing = find(name, RRType::kA);
+  if (!existing) {
+    return false;
+  }
+  RRset fresh(name, existing->rclass(), existing->ttl());
+  fresh.add(ARdata{address});
+  replace(fresh);
+  return true;
+}
+
+bool Zone::renumber_aaaa(const Name& name, Ipv6 address) {
+  auto existing = find(name, RRType::kAAAA);
+  if (!existing) {
+    return false;
+  }
+  RRset fresh(name, existing->rclass(), existing->ttl());
+  fresh.add(AaaaRdata{address});
+  replace(fresh);
+  return true;
+}
+
+std::optional<RRset> Zone::find(const Name& name, RRType type) const {
+  auto node = nodes_.find(name);
+  if (node == nodes_.end()) {
+    return std::nullopt;
+  }
+  auto it = node->second.find(type);
+  if (it == node->second.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool Zone::has_node(const Name& name) const { return nodes_.contains(name); }
+
+std::optional<Name> Zone::find_zone_cut(const Name& name) const {
+  // Walk from just below the origin down to the name itself, looking for a
+  // node with an NS RRset (a delegation).  The apex NS set is not a cut.
+  std::size_t origin_depth = origin_.label_count();
+  std::size_t name_depth = name.label_count();
+  for (std::size_t depth = origin_depth + 1; depth <= name_depth; ++depth) {
+    // Ancestor of `name` with `depth` labels.
+    std::vector<std::string> labels(
+        name.labels().begin() +
+            static_cast<long>(name_depth - depth),
+        name.labels().end());
+    Name ancestor(std::move(labels));
+    auto node = nodes_.find(ancestor);
+    if (node != nodes_.end() && node->second.contains(RRType::kNS)) {
+      return ancestor;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Zone::is_delegated(const Name& name) const {
+  return name.is_subdomain_of(origin_) && find_zone_cut(name).has_value();
+}
+
+void Zone::attach_glue(const std::vector<ResourceRecord>& ns_records,
+                       std::vector<ResourceRecord>& additionals) const {
+  for (const auto& rr : ns_records) {
+    if (rr.type() != RRType::kNS) {
+      continue;  // signed answers interleave RRSIGs with the NS records
+    }
+    const auto& target = std::get<NsRdata>(rr.rdata).nsdname;
+    if (!target.is_subdomain_of(origin_)) {
+      continue;  // out-of-bailiwick: no glue available in this zone
+    }
+    for (RRType type : {RRType::kA, RRType::kAAAA}) {
+      if (auto glue = find(target, type)) {
+        auto records = glue->to_records();
+        additionals.insert(additionals.end(), records.begin(), records.end());
+      }
+    }
+  }
+}
+
+void Zone::append_soa_to(std::vector<ResourceRecord>& authorities) const {
+  if (auto soa_rr = soa()) {
+    authorities.push_back(*soa_rr);
+  }
+}
+
+LookupResult Zone::lookup_internal(const Name& qname, RRType qtype,
+                                   int cname_depth) const {
+  LookupResult result;
+  if (!qname.is_subdomain_of(origin_)) {
+    result.kind = LookupResult::Kind::kNotInZone;
+    return result;
+  }
+
+  // Delegation check: a zone cut strictly above or at qname ends our
+  // authority (RFC 1034 §4.3.2 step 3b).
+  if (auto cut = find_zone_cut(qname)) {
+    const auto ns_set = find(*cut, RRType::kNS);
+    result.kind = LookupResult::Kind::kDelegation;
+    result.authoritative = false;
+    result.authorities = ns_set->to_records();
+    attach_glue(result.authorities, result.additionals);
+    return result;
+  }
+
+  auto node = nodes_.find(qname);
+  if (node != nodes_.end()) {
+    // CNAME takes over unless the query asked for CNAME/ANY (RFC 1034
+    // §4.3.2 step 3a).
+    if (qtype != RRType::kCNAME && qtype != RRType::kANY) {
+      if (auto cname = node->second.find(RRType::kCNAME);
+          cname != node->second.end()) {
+        result.kind = LookupResult::Kind::kAnswer;
+        result.authoritative = true;
+        auto records = cname->second.to_records();
+        result.answers.insert(result.answers.end(), records.begin(),
+                              records.end());
+        // Chase the chain inside this zone where possible; bounded depth
+        // guards against CNAME loops (RFC 1034 warns of them).
+        const auto& target = std::get<CnameRdata>(records.front().rdata).target;
+        if (cname_depth < 8 && target.is_subdomain_of(origin_) &&
+            target != qname) {
+          auto chased = lookup_internal(target, qtype, cname_depth + 1);
+          result.answers.insert(result.answers.end(), chased.answers.begin(),
+                                chased.answers.end());
+        }
+        return result;
+      }
+    }
+
+    if (qtype == RRType::kANY) {
+      result.kind = LookupResult::Kind::kAnswer;
+      result.authoritative = true;
+      for (const auto& [type, rrset] : node->second) {
+        auto records = rrset.to_records();
+        result.answers.insert(result.answers.end(), records.begin(),
+                              records.end());
+      }
+      return result;
+    }
+
+    if (auto it = node->second.find(qtype); it != node->second.end()) {
+      result.kind = LookupResult::Kind::kAnswer;
+      result.authoritative = true;
+      result.answers = it->second.to_records();
+      // Covering RRSIGs ride along with signed answers (DNSSEC-lite).
+      if (qtype != RRType::kRRSIG) {
+        if (auto sigs = node->second.find(RRType::kRRSIG);
+            sigs != node->second.end()) {
+          for (const auto& rdata : sigs->second.rdatas()) {
+            if (std::get<RrsigRdata>(rdata).type_covered == qtype) {
+              result.answers.push_back(ResourceRecord{
+                  qname, sigs->second.rclass(), sigs->second.ttl(), rdata});
+            }
+          }
+        }
+      }
+      // Helpful additionals, as real servers send them: addresses for NS/MX
+      // targets inside the zone (the paper's Table 1 "Add." rows).
+      if (qtype == RRType::kNS) {
+        attach_glue(result.answers, result.additionals);
+      } else if (qtype == RRType::kMX) {
+        for (const auto& rr : result.answers) {
+          if (rr.type() != RRType::kMX) {
+            continue;
+          }
+          const auto& exchange = std::get<MxRdata>(rr.rdata).exchange;
+          if (!exchange.is_subdomain_of(origin_)) {
+            continue;
+          }
+          for (RRType type : {RRType::kA, RRType::kAAAA}) {
+            if (auto addr = find(exchange, type)) {
+              auto records = addr->to_records();
+              result.additionals.insert(result.additionals.end(),
+                                        records.begin(), records.end());
+            }
+          }
+        }
+      }
+      return result;
+    }
+
+    // Node exists but not this type: NODATA.
+    result.kind = LookupResult::Kind::kNoData;
+    result.authoritative = true;
+    append_soa_to(result.authorities);
+    return result;
+  }
+
+  // Empty non-terminal check: a name exists implicitly if anything lives
+  // below it (RFC 8020).  Canonical ordering places all subdomains of qname
+  // in a contiguous range immediately after it, so one probe suffices.
+  if (auto it = nodes_.upper_bound(qname);
+      it != nodes_.end() && it->first.is_strict_subdomain_of(qname)) {
+    result.kind = LookupResult::Kind::kNoData;
+    result.authoritative = true;
+    append_soa_to(result.authorities);
+    return result;
+  }
+
+  result.kind = LookupResult::Kind::kNxDomain;
+  result.authoritative = true;
+  append_soa_to(result.authorities);
+  return result;
+}
+
+std::vector<RRset> Zone::all_rrsets() const {
+  std::vector<RRset> out;
+  for (const auto& [name, by_type] : nodes_) {
+    for (const auto& [type, rrset] : by_type) {
+      out.push_back(rrset);
+    }
+  }
+  return out;
+}
+
+std::size_t Zone::rrset_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [name, by_type] : nodes_) {
+    count += by_type.size();
+  }
+  return count;
+}
+
+bool Zone::bump_serial() {
+  auto node = nodes_.find(origin_);
+  if (node == nodes_.end()) {
+    return false;
+  }
+  auto it = node->second.find(RRType::kSOA);
+  if (it == node->second.end() || it->second.empty()) {
+    return false;
+  }
+  RRset updated(origin_, it->second.rclass(), it->second.ttl());
+  for (auto rdata : it->second.rdatas()) {
+    ++std::get<SoaRdata>(rdata).serial;
+    updated.add(std::move(rdata));
+  }
+  it->second = std::move(updated);
+  return true;
+}
+
+std::optional<ResourceRecord> Zone::soa() const {
+  if (auto rrset = find(origin_, RRType::kSOA); rrset && !rrset->empty()) {
+    return rrset->to_records().front();
+  }
+  return std::nullopt;
+}
+
+}  // namespace dnsttl::dns

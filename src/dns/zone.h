@@ -1,0 +1,121 @@
+#ifndef DNSTTL_DNS_ZONE_H
+#define DNSTTL_DNS_ZONE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dns/types.h"
+
+namespace dnsttl::dns {
+
+/// Result of an authoritative lookup into one zone: the classified response
+/// content before it is stitched into a Message by the server.
+struct LookupResult {
+  enum class Kind {
+    kAnswer,      ///< authoritative data found (AA=1)
+    kDelegation,  ///< referral to a child zone (AA=0, NS in authority + glue)
+    kNxDomain,    ///< name does not exist (AA=1, SOA in authority)
+    kNoData,      ///< name exists but not this type (AA=1, SOA in authority)
+    kNotInZone,   ///< qname not under this zone's origin (REFUSED)
+  };
+
+  Kind kind = Kind::kNotInZone;
+  bool authoritative = false;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+};
+
+/// One DNS zone: an origin plus the RRsets at and below it, including
+/// delegation NS sets and glue for child zones.
+///
+/// The zone is the unit the paper's operators configure: TTLs of a child
+/// zone's records live here, and TTLs of the *delegation copy* (NS + glue)
+/// live in the parent's Zone object — possibly different, which is exactly
+/// the ambiguity §3 of the paper studies.
+class Zone {
+ public:
+  explicit Zone(Name origin) : origin_(std::move(origin)) {}
+
+  const Name& origin() const noexcept { return origin_; }
+
+  /// Adds one record.  Records of the same (name, type) merge into one
+  /// RRset; the RRset TTL becomes the last-added record's TTL (operators
+  /// configure one TTL per set, RFC 2181 §5.2).
+  void add(const ResourceRecord& rr);
+
+  /// Replaces the whole (name, type) RRset with @p rrset.
+  void replace(const RRset& rrset);
+
+  /// Removes the (name, type) RRset; returns true if it existed.
+  bool remove(const Name& name, RRType type);
+
+  /// Changes the TTL of an existing RRset; returns false if absent.
+  bool set_ttl(const Name& name, RRType type, Ttl ttl);
+
+  /// Renumbers all A records at @p name to @p address (the §4 experiments'
+  /// "renumber the authoritative server" step); returns false if absent.
+  bool renumber_a(const Name& name, Ipv4 address);
+  bool renumber_aaaa(const Name& name, Ipv6 address);
+
+  /// Fetches the (name, type) RRset stored in this zone, or nullopt.
+  std::optional<RRset> find(const Name& name, RRType type) const;
+
+  /// True if any RRset exists at @p name.
+  bool has_node(const Name& name) const;
+
+  /// True if @p name is at or below a zone cut (delegation) in this zone,
+  /// i.e. this zone is not authoritative for it.
+  bool is_delegated(const Name& name) const;
+
+  /// Performs the RFC 1034 §4.3.2 lookup algorithm for (qname, qtype).
+  /// In-zone CNAME chains are chased up to a bounded depth (loops and
+  /// over-long chains stop, leaving the partial chain in the answer).
+  LookupResult lookup(const Name& qname, RRType qtype) const {
+    return lookup_internal(qname, qtype, 0);
+  }
+
+  /// All RRsets, in canonical name order (used by RFC 7706 zone transfer
+  /// and by the crawler).
+  std::vector<RRset> all_rrsets() const;
+
+  /// Number of RRsets stored.
+  std::size_t rrset_count() const noexcept;
+
+  /// The zone's SOA record, if configured.
+  std::optional<ResourceRecord> soa() const;
+
+  /// Increments the SOA serial (operators do this on every zone edit so
+  /// secondaries notice at their next refresh); returns false without SOA.
+  bool bump_serial();
+
+  /// Removes every RRset (used by secondaries on zone expiry/transfer).
+  void clear() { nodes_.clear(); }
+
+ private:
+  LookupResult lookup_internal(const Name& qname, RRType qtype,
+                               int cname_depth) const;
+
+  /// Deepest delegation cut on the path from origin to @p name (exclusive of
+  /// the origin itself), or nullopt if the name is inside this zone's
+  /// authoritative data.
+  std::optional<Name> find_zone_cut(const Name& name) const;
+
+  /// Appends A/AAAA glue from this zone for each NS target under origin.
+  void attach_glue(const std::vector<ResourceRecord>& ns_records,
+                   std::vector<ResourceRecord>& additionals) const;
+
+  void append_soa_to(std::vector<ResourceRecord>& authorities) const;
+
+  Name origin_;
+  std::map<Name, std::map<RRType, RRset>> nodes_;
+};
+
+}  // namespace dnsttl::dns
+
+#endif  // DNSTTL_DNS_ZONE_H

@@ -1,0 +1,75 @@
+#include "net/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnsttl::net {
+
+std::string_view to_string(Region region) {
+  switch (region) {
+    case Region::kAF:
+      return "AF";
+    case Region::kAS:
+      return "AS";
+    case Region::kEU:
+      return "EU";
+    case Region::kNA:
+      return "NA";
+    case Region::kOC:
+      return "OC";
+    case Region::kSA:
+      return "SA";
+  }
+  return "??";
+}
+
+double LatencyModel::base_oneway_ms(Region a, Region b) {
+  // One-way base delays in ms, symmetric.  Diagonal = intra-region.
+  // Calibrated so that region->EU (Frankfurt) RTTs match the spread in the
+  // paper's Figure 10b: EU low tens, NA ~90-120, SA/AF ~150-250,
+  // AS ~150-250, OC ~250-320.
+  static constexpr double kMatrix[6][6] = {
+      //        AF     AS     EU     NA     OC     SA
+      /*AF*/ {22.0, 120.0, 75.0, 110.0, 160.0, 130.0},
+      /*AS*/ {120.0, 25.0, 95.0, 100.0, 75.0, 150.0},
+      /*EU*/ {75.0, 95.0, 7.0, 48.0, 140.0, 105.0},
+      /*NA*/ {110.0, 100.0, 48.0, 18.0, 85.0, 80.0},
+      /*OC*/ {160.0, 75.0, 140.0, 85.0, 15.0, 140.0},
+      /*SA*/ {130.0, 150.0, 105.0, 80.0, 140.0, 20.0},
+  };
+  return kMatrix[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+namespace {
+
+/// Metro-scale one-way delay between co-located (same PoP) nodes.
+constexpr double kSamePopOnewayMs = 0.6;
+
+double pair_base_oneway_ms(const Location& a, const Location& b) {
+  if (a.pop_id >= 0 && a.pop_id == b.pop_id && a.region == b.region) {
+    return kSamePopOnewayMs;
+  }
+  return LatencyModel::base_oneway_ms(a.region, b.region);
+}
+
+}  // namespace
+
+sim::Duration LatencyModel::rtt(const Location& a, const Location& b,
+                                sim::Rng& rng) const {
+  double base = pair_base_oneway_ms(a, b);
+  double jitter = rng.lognormal(0.0, params_.jitter_sigma);
+  double oneway = base * jitter + a.access_ms + b.access_ms;
+  double rtt_ms = 2.0 * oneway;
+  if (rng.chance(params_.tail_probability)) {
+    rtt_ms += rng.uniform(params_.tail_min_ms, params_.tail_max_ms);
+  }
+  return sim::milliseconds(std::max(rtt_ms, 0.1));
+}
+
+sim::Duration LatencyModel::expected_rtt(const Location& a,
+                                         const Location& b) const {
+  double oneway = pair_base_oneway_ms(a, b) + a.access_ms + b.access_ms;
+  return sim::milliseconds(2.0 * oneway);
+}
+
+}  // namespace dnsttl::net

@@ -1,0 +1,38 @@
+#ifndef DNSTTL_NET_LOCATION_H
+#define DNSTTL_NET_LOCATION_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dnsttl::net {
+
+/// Continental regions, matching the paper's Figure 10b buckets
+/// (AF, AS, EU, NA, OC, SA).
+enum class Region : std::uint8_t { kAF = 0, kAS, kEU, kNA, kOC, kSA };
+
+inline constexpr std::array<Region, 6> kAllRegions = {
+    Region::kAF, Region::kAS, Region::kEU,
+    Region::kNA, Region::kOC, Region::kSA};
+
+std::string_view to_string(Region region);
+
+/// Where a node sits: its region, a per-node access ("last mile") one-way
+/// latency in milliseconds, and an optional point-of-presence id.
+///
+/// Two nodes sharing a non-negative pop_id are topologically adjacent (a
+/// probe and its ISP resolver): the inter-node base delay collapses to a
+/// metro-scale constant instead of the intra-region average.  This is how
+/// the simulator reproduces the paper's ~8 ms cache-hit RTTs (Figure 10a)
+/// next to ~15-30 ms intra-region hops.
+struct Location {
+  Region region = Region::kEU;
+  double access_ms = 2.0;
+  int pop_id = -1;
+
+  bool operator==(const Location&) const = default;
+};
+
+}  // namespace dnsttl::net
+
+#endif  // DNSTTL_NET_LOCATION_H

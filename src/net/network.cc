@@ -1,0 +1,131 @@
+#include "net/network.h"
+
+#include "dns/wire.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dnsttl::net {
+
+Address Network::allocate() {
+  while (attachments_.contains(next_address_)) {
+    ++next_address_;
+  }
+  return Address{next_address_++};
+}
+
+Address Network::attach(DnsNode& node, Location location,
+                        std::optional<Address> fixed) {
+  Address addr = fixed.value_or(Address{});
+  if (!fixed) {
+    addr = allocate();
+  } else if (attachments_.contains(addr.value())) {
+    throw std::invalid_argument("address already attached: " +
+                                addr.to_string());
+  }
+  attachments_[addr.value()] = Attachment{{Site{&node, location}}};
+  return addr;
+}
+
+Address Network::attach_anycast(
+    std::vector<std::pair<DnsNode*, Location>> sites,
+    std::optional<Address> fixed) {
+  if (sites.empty()) {
+    throw std::invalid_argument("anycast service needs at least one site");
+  }
+  Address addr = fixed.value_or(Address{});
+  if (!fixed) {
+    addr = allocate();
+  } else if (attachments_.contains(addr.value())) {
+    throw std::invalid_argument("address already attached: " +
+                                addr.to_string());
+  }
+  Attachment attachment;
+  for (auto& [node, location] : sites) {
+    attachment.sites.push_back(Site{node, location});
+  }
+  attachments_[addr.value()] = std::move(attachment);
+  return addr;
+}
+
+void Network::detach(Address address) { attachments_.erase(address.value()); }
+
+bool Network::is_attached(Address address) const {
+  return attachments_.contains(address.value());
+}
+
+std::size_t Network::site_count(Address address) const {
+  auto it = attachments_.find(address.value());
+  return it == attachments_.end() ? 0 : it->second.sites.size();
+}
+
+QueryOutcome Network::query(const NodeRef& from, Address to,
+                            const dns::Message& query_msg, sim::Time now,
+                            Transport transport) {
+  ++carried_;
+  auto it = attachments_.find(to.value());
+  if (it == attachments_.end()) {
+    // Nothing listening: the query is silently dropped; the caller waits
+    // out its timeout, exactly like querying a decommissioned server.
+    return QueryOutcome{std::nullopt, params_.query_timeout};
+  }
+
+  // Anycast site selection: stable lowest-expected-RTT routing.
+  const Site* chosen = nullptr;
+  sim::Duration best = std::numeric_limits<sim::Duration>::max();
+  for (const auto& site : it->second.sites) {
+    sim::Duration expected = latency_.expected_rtt(from.location, site.location);
+    if (expected < best) {
+      best = expected;
+      chosen = &site;
+    }
+  }
+
+  if (params_.loss_rate > 0.0 && rng_.chance(params_.loss_rate)) {
+    return QueryOutcome{std::nullopt, params_.query_timeout};
+  }
+
+  sim::Duration rtt = latency_.rtt(from.location, chosen->location, rng_);
+  if (transport == Transport::kTcp) {
+    rtt *= 2;  // connection handshake before the query round trip
+  }
+  auto reply =
+      chosen->node->handle_query(query_msg, from.address, now + rtt / 2);
+  if (!reply) {
+    return QueryOutcome{std::nullopt, params_.query_timeout};
+  }
+
+  // UDP size limit (RFC 1035 §4.2.1 / RFC 6891): without EDNS the classic
+  // 512-byte ceiling applies; with it, the advertised size capped by the
+  // path limit.  Oversized responses are truncated — the header survives
+  // with TC=1, the sections do not.
+  std::size_t udp_limit = 512;
+  if (auto advertised = query_msg.edns_udp_size()) {
+    udp_limit = std::min<std::size_t>(*advertised, params_.udp_payload_limit);
+  }
+  if (params_.exercise_wire_codec) {
+    auto decoded = dns::decode(dns::encode(reply->message));
+    if (decoded != reply->message) {
+      throw std::logic_error(
+          "wire codec round trip changed a response for " +
+          (query_msg.questions.empty()
+               ? std::string("<no question>")
+               : query_msg.question().to_string()));
+    }
+    reply->message = std::move(decoded);
+  }
+
+  if (transport == Transport::kUdp &&
+      dns::encoded_size(reply->message) > udp_limit) {
+    dns::Message truncated;
+    truncated.id = reply->message.id;
+    truncated.flags = reply->message.flags;
+    truncated.flags.tc = true;
+    truncated.questions = reply->message.questions;
+    return QueryOutcome{std::move(truncated), rtt + reply->processing};
+  }
+  return QueryOutcome{std::move(reply->message), rtt + reply->processing};
+}
+
+}  // namespace dnsttl::net

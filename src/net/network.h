@@ -1,0 +1,146 @@
+#ifndef DNSTTL_NET_NETWORK_H
+#define DNSTTL_NET_NETWORK_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/rdata.h"
+#include "net/latency.h"
+#include "net/location.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace dnsttl::net {
+
+/// Node addresses are IPv4 values from the dns library (one address space
+/// shared by servers, resolvers and probes).
+using Address = dns::Ipv4;
+
+/// What a server hands back for one query: the response message plus the
+/// server-side time consumed producing it (zero for authoritative lookups;
+/// for a recursive resolver, the full upstream resolution time on a cache
+/// miss).
+struct ServerReply {
+  dns::Message message;
+  sim::Duration processing = 0;
+};
+
+/// Anything attached to the network that answers DNS queries.
+class DnsNode {
+ public:
+  virtual ~DnsNode() = default;
+
+  /// Handles @p query arriving from @p client at virtual time @p now.
+  /// Returning std::nullopt models a dead/unresponsive server (the client
+  /// sees a timeout).
+  virtual std::optional<ServerReply> handle_query(const dns::Message& query,
+                                                  Address client,
+                                                  sim::Time now) = 0;
+};
+
+/// Identity of a sending node: its address (shown to servers, used by query
+/// logs) and its location (used by the latency model and anycast routing).
+struct NodeRef {
+  Address address;
+  Location location;
+};
+
+/// Result of one query exchange as seen by the sender.
+struct QueryOutcome {
+  std::optional<dns::Message> response;  ///< nullopt on timeout/loss
+  sim::Duration elapsed = 0;  ///< wire RTT + server processing, or the
+                              ///< timeout duration on loss
+};
+
+/// The message fabric: address allocation, unicast and anycast attachment,
+/// latency/loss application, and synchronous query exchange.
+///
+/// Transmission model: a query either reaches a live server and produces a
+/// response after rtt + processing, or is lost (probability `loss_rate`
+/// per attempt, covering either direction) and costs the caller its timeout.
+/// Retries are the caller's (resolver's) job, matching real DNS.
+class Network {
+ public:
+  struct Params {
+    double loss_rate = 0.0;
+    sim::Duration query_timeout = 3 * sim::kSecond;
+    /// UDP payload ceiling (RFC 6891 default): larger responses are
+    /// delivered truncated (TC=1, answer sections stripped) and the client
+    /// must retry over TCP.
+    std::size_t udp_payload_limit = 1232;
+
+    /// Push every response through the RFC 1035 wire codec (encode +
+    /// decode) before delivery.  Costs CPU but guarantees that everything
+    /// the experiments exchange is representable on the wire; throws
+    /// std::logic_error if a round trip ever changes a message.
+    bool exercise_wire_codec = false;
+  };
+
+  /// Transport for one query exchange.
+  enum class Transport : std::uint8_t { kUdp, kTcp };
+
+  explicit Network(sim::Rng rng) : rng_(rng) {}
+  Network(sim::Rng rng, LatencyModel latency) : rng_(rng), latency_(latency) {}
+  Network(sim::Rng rng, LatencyModel latency, Params params)
+      : rng_(rng), latency_(latency), params_(params) {}
+
+  /// Attaches a unicast node; allocates an address if @p fixed is not given.
+  Address attach(DnsNode& node, Location location,
+                 std::optional<Address> fixed = std::nullopt);
+
+  /// Attaches an anycast service: one shared address, many (node, site)
+  /// replicas; clients reach the site with the lowest expected RTT.
+  Address attach_anycast(std::vector<std::pair<DnsNode*, Location>> sites,
+                         std::optional<Address> fixed = std::nullopt);
+
+  /// Detaches an address (server decommissioned); later queries time out.
+  void detach(Address address);
+
+  /// True if anything is attached at @p address.
+  bool is_attached(Address address) const;
+
+  /// Sends @p query from node @p from to @p to, at time @p now.
+  /// UDP responses larger than the payload limit come back truncated
+  /// (TC=1, sections stripped); retry with Transport::kTcp, which carries
+  /// any size at the cost of one extra round trip (the handshake).
+  QueryOutcome query(const NodeRef& from, Address to,
+                     const dns::Message& query_msg, sim::Time now,
+                     Transport transport = Transport::kUdp);
+
+  /// Number of anycast sites behind @p address (1 for unicast).
+  std::size_t site_count(Address address) const;
+
+  const LatencyModel& latency_model() const noexcept { return latency_; }
+  const Params& params() const noexcept { return params_; }
+  void set_loss_rate(double rate) { params_.loss_rate = rate; }
+
+  /// Total queries carried (attempts, including lost ones).
+  std::uint64_t queries_carried() const noexcept { return carried_; }
+
+ private:
+  struct Site {
+    DnsNode* node = nullptr;
+    Location location;
+  };
+  struct Attachment {
+    std::vector<Site> sites;  // 1 for unicast, >1 for anycast
+  };
+
+  Address allocate();
+
+  sim::Rng rng_;
+  LatencyModel latency_;
+  Params params_;
+  std::uint32_t next_address_ = 0x0a000001;  // 10.0.0.1
+  std::unordered_map<std::uint32_t, Attachment> attachments_;
+  std::uint64_t carried_ = 0;
+};
+
+}  // namespace dnsttl::net
+
+#endif  // DNSTTL_NET_NETWORK_H

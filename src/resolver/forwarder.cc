@@ -1,0 +1,32 @@
+#include "resolver/forwarder.h"
+
+namespace dnsttl::resolver {
+
+std::optional<net::ServerReply> Forwarder::handle_query(
+    const dns::Message& query, net::Address /*client*/, sim::Time now) {
+  if (backends_.empty()) {
+    return std::nullopt;
+  }
+  std::size_t index = 0;
+  if (backends_.size() > 1) {
+    switch (selection_) {
+      case Selection::kRoundRobin:
+        index = counter_++ % backends_.size();
+        break;
+      case Selection::kHashQname: {
+        std::size_t h = query.questions.empty()
+                            ? 0
+                            : std::hash<dns::Name>{}(query.question().qname);
+        index = h % backends_.size();
+        break;
+      }
+    }
+  }
+  auto outcome = network_.query(self_, backends_[index], query, now);
+  if (!outcome.response) {
+    return std::nullopt;
+  }
+  return net::ServerReply{std::move(*outcome.response), outcome.elapsed};
+}
+
+}  // namespace dnsttl::resolver

@@ -1,0 +1,70 @@
+#ifndef DNSTTL_RESOLVER_POPULATION_H
+#define DNSTTL_RESOLVER_POPULATION_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/zone.h"
+#include "net/network.h"
+#include "resolver/config.h"
+#include "resolver/recursive_resolver.h"
+#include "resolver/root_hints.h"
+#include "sim/rng.h"
+
+namespace dnsttl::resolver {
+
+/// One resolver behavior profile with its share of the deployed base.
+struct Profile {
+  std::string tag;
+  ResolverConfig config;
+  double weight = 1.0;
+};
+
+/// The mixture calibrated to the paper's measured behavior fractions
+/// (DESIGN.md §4): mostly child-centric, a Google-style capped slice, a
+/// parent-centric slice (some RFC 7706), a small sticky tail, a minority
+/// that trusts cached glue to its own TTL, and a serve-stale slice.
+std::vector<Profile> paper_profiles();
+
+/// A deployed population of recursive resolvers attached to a network.
+class ResolverPopulation {
+ public:
+  struct Member {
+    std::shared_ptr<RecursiveResolver> resolver;
+    net::Address address;
+    net::Location location;
+    std::string profile;
+  };
+
+  /// Builds @p count resolvers drawn from @p profiles, placed in regions
+  /// drawn from @p region_weights (indexed by net::kAllRegions order), each
+  /// attached to @p network.  @p local_root_zone is installed on profiles
+  /// with config.local_root.
+  static ResolverPopulation build(
+      net::Network& network, const RootHints& hints,
+      std::shared_ptr<const dns::Zone> local_root_zone,
+      const std::vector<Profile>& profiles, std::size_t count,
+      const std::vector<double>& region_weights, sim::Rng& rng);
+
+  std::vector<Member>& members() noexcept { return members_; }
+  const std::vector<Member>& members() const noexcept { return members_; }
+  std::size_t size() const noexcept { return members_.size(); }
+
+  /// Members matching a profile tag.
+  std::vector<const Member*> with_profile(const std::string& tag) const;
+
+  /// Flushes every member's cache (fresh experiment).
+  void flush_all();
+
+ private:
+  std::vector<Member> members_;
+};
+
+/// RIPE-Atlas-like region distribution (probe density skewed to EU/NA,
+/// per the platform-bias discussion in the paper's §7).
+std::vector<double> atlas_region_weights();
+
+}  // namespace dnsttl::resolver
+
+#endif  // DNSTTL_RESOLVER_POPULATION_H

@@ -1,0 +1,198 @@
+#ifndef DNSTTL_RESOLVER_RECURSIVE_RESOLVER_H
+#define DNSTTL_RESOLVER_RECURSIVE_RESOLVER_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "dns/message.h"
+#include "dns/zone.h"
+#include "net/network.h"
+#include "resolver/config.h"
+#include "resolver/root_hints.h"
+#include "sim/time.h"
+
+namespace dnsttl::resolver {
+
+/// Result of resolving one question at the resolver, before the stub-side
+/// RTT is added by the network.
+struct ResolutionResult {
+  dns::Message response;
+  sim::Duration elapsed = 0;       ///< upstream time consumed (0 = pure hit)
+  bool answered_from_cache = false;
+  bool answered_from_referral = false;  ///< parent-centric referral answer
+  bool served_stale = false;
+  int upstream_queries = 0;
+};
+
+/// An iterative ("recursive" in DNS parlance) resolver with the policy knob
+/// set from ResolverConfig.
+///
+/// The engine is one RFC 1034 §5.3.3 loop — find the closest enclosing
+/// cached NS set, query a server, follow referrals, chase CNAMEs, resolve
+/// out-of-bailiwick nameserver addresses via sub-resolution — and every
+/// behavior the paper observes (§3 centricity, §4 bailiwick linkage, §4.4
+/// stickiness, TTL capping, RFC 7706, serve-stale) is a configuration of
+/// that single loop, so populations of differently-configured instances can
+/// be compared on identical workloads.
+class RecursiveResolver : public net::DnsNode {
+ public:
+  struct Stats {
+    std::uint64_t client_queries = 0;
+    std::uint64_t cache_answers = 0;
+    std::uint64_t referral_answers = 0;
+    std::uint64_t full_resolutions = 0;
+    std::uint64_t upstream_queries = 0;
+    std::uint64_t servfails = 0;
+    std::uint64_t stale_answers = 0;
+    std::uint64_t prefetches = 0;
+    std::uint64_t tcp_retries = 0;
+    std::uint64_t validations = 0;
+    std::uint64_t validation_failures = 0;
+  };
+
+  RecursiveResolver(std::string ident, ResolverConfig config,
+                    net::Network& network, RootHints hints);
+
+  /// Must be called once after the resolver is attached to the network so
+  /// it knows its own address/location for upstream queries.
+  void set_node_ref(net::NodeRef self) { self_ = self; }
+  const net::NodeRef& node_ref() const noexcept { return self_; }
+
+  /// Installs the RFC 7706 local root mirror (only used when
+  /// config.local_root is set).
+  void set_local_root_zone(std::shared_ptr<const dns::Zone> root) {
+    local_root_zone_ = std::move(root);
+  }
+
+  const std::string& ident() const noexcept { return ident_; }
+  const ResolverConfig& config() const noexcept { return config_; }
+  const Stats& stats() const noexcept { return stats_; }
+  cache::Cache& cache() noexcept { return cache_; }
+  const cache::Cache& cache() const noexcept { return cache_; }
+
+  /// Clears cache and sticky pins (fresh resolver).
+  void flush();
+
+  /// Resolves @p question at virtual time @p now.
+  ResolutionResult resolve(const dns::Question& question, sim::Time now);
+
+  /// net::DnsNode: stub-facing entry point.
+  std::optional<net::ServerReply> handle_query(const dns::Message& query,
+                                               net::Address client,
+                                               sim::Time now) override;
+
+ private:
+  struct Context {
+    sim::Duration elapsed = 0;
+    int upstream_queries = 0;
+    int depth = 0;  ///< sub-resolution / CNAME recursion depth
+    /// Nameserver names whose address fetch is in flight (re-entrancy guard
+    /// for authoritative address verification).
+    std::vector<dns::Name> fetching;
+  };
+
+  struct ServerCandidate {
+    dns::Name ns_name;
+    net::Address address;
+  };
+
+  /// Cache-only answer if the policy allows it (credibility threshold
+  /// depends on centricity).  Chases cached CNAME chains.
+  std::optional<dns::Message> answer_from_cache(const dns::Question& question,
+                                                sim::Time now);
+
+  /// RFC 7706: answers root-zone questions from the local mirror.
+  std::optional<dns::Message> answer_from_local_root(
+      const dns::Question& question);
+
+  /// Core iterative loop.
+  dns::Message resolve_iterative(const dns::Question& question, sim::Time now,
+                                 Context& ctx);
+
+  /// Finds the deepest zone with usable cached NS + address data; fills
+  /// @p servers (already rotated/pinned per config) and returns the zone.
+  dns::Name find_servers(const dns::Name& qname, sim::Time now, Context& ctx,
+                         std::vector<ServerCandidate>& servers);
+
+  /// Walk variant used after the local-root mirror seeded the cache.
+  dns::Name find_servers_from_cache(const dns::Name& qname, sim::Time now,
+                                    Context& ctx,
+                                    std::vector<ServerCandidate>& servers,
+                                    const dns::Name& floor);
+
+  /// Collects usable addresses for one NS RRset; triggers glue verification
+  /// and sub-resolution per policy.  Returns true if any server was found.
+  bool collect_addresses(const cache::CacheHit& ns, const dns::Name& zone,
+                         sim::Time now, Context& ctx,
+                         std::vector<ServerCandidate>& servers);
+
+  /// Applies round-robin rotation per config.
+  void rotate(std::vector<ServerCandidate>& servers);
+
+  /// Resolves an out-of-bailiwick nameserver address via sub-resolution.
+  std::optional<net::Address> resolve_ns_address(const dns::Name& ns_name,
+                                                 sim::Time now, Context& ctx);
+
+  /// The ancestor zone whose NS set names @p owner as a target, if any —
+  /// the NS RRset the owner's address cache entry should be linked to.
+  std::optional<dns::Name> linked_ns_owner_for(const dns::Name& owner,
+                                               sim::Time now);
+
+  /// Stores a negative answer per RFC 2308 (TTL from the SOA).
+  void cache_negative(const dns::Message& response,
+                      const dns::Question& question, sim::Time now);
+
+  /// DNSSEC-lite: verifies the answer RRset's RRSIG against the signer's
+  /// DNSKEY (fetched from the child zone if not cached).  Returns false
+  /// for bogus data; unsigned data is accepted as insecure.
+  bool validate_answer(const dns::Message& response,
+                       const dns::Question& question, sim::Time now,
+                       Context& ctx);
+
+  /// Pre-expiry background refresh of a just-hit cache entry.
+  void maybe_prefetch(const dns::Question& question, sim::Time now);
+
+  /// Caches the sections of @p response received from a server for
+  /// delegation @p zone; returns the child zone cut if it was a referral.
+  std::optional<dns::Name> ingest_response(const dns::Message& response,
+                                           const dns::Name& zone,
+                                           sim::Time now);
+
+  /// Parent-centric shortcut: answers the question straight from a
+  /// referral's authority/additional sections when they cover it.
+  std::optional<dns::Message> answer_from_referral(
+      const dns::Question& question, const dns::Message& referral);
+
+  dns::Message servfail(const dns::Question& question) const;
+  dns::Message positive_response(const dns::Question& question,
+                                 std::vector<dns::ResourceRecord> answers,
+                                 bool aa_seen) const;
+
+  cache::Credibility answer_threshold() const;
+
+  std::string ident_;
+  ResolverConfig config_;
+  net::Network& network_;
+  RootHints hints_;
+  net::NodeRef self_;
+  cache::Cache cache_;
+  std::shared_ptr<const dns::Zone> local_root_zone_;
+  Stats stats_;
+  std::uint16_t next_id_ = 1;
+  std::uint64_t rotate_counter_ = 0;
+  /// Smoothed per-server RTT estimates in ms (BIND-style selection).
+  std::unordered_map<std::uint32_t, double> srtt_ms_;
+  bool prefetching_ = false;  ///< re-entrancy guard for maybe_prefetch
+  /// Sticky pins: zone -> (ns name, server address) of first success.
+  std::map<dns::Name, ServerCandidate> sticky_pins_;
+};
+
+}  // namespace dnsttl::resolver
+
+#endif  // DNSTTL_RESOLVER_RECURSIVE_RESOLVER_H

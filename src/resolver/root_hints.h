@@ -1,0 +1,26 @@
+#ifndef DNSTTL_RESOLVER_ROOT_HINTS_H
+#define DNSTTL_RESOLVER_ROOT_HINTS_H
+
+#include <vector>
+
+#include "dns/name.h"
+#include "net/network.h"
+
+namespace dnsttl::resolver {
+
+/// The resolver's compiled-in knowledge of the root: names and addresses of
+/// root servers (the root.hints file of real resolvers).  Hints never
+/// expire — they are configuration, not cache.
+struct RootHints {
+  struct Entry {
+    dns::Name name;     ///< e.g. k.root-servers.net.
+    net::Address address;
+  };
+  std::vector<Entry> servers;
+
+  bool empty() const noexcept { return servers.empty(); }
+};
+
+}  // namespace dnsttl::resolver
+
+#endif  // DNSTTL_RESOLVER_ROOT_HINTS_H

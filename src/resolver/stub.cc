@@ -1,0 +1,46 @@
+#include "resolver/stub.h"
+
+namespace dnsttl::resolver {
+
+StubResolver::Result StubResolver::query(const dns::Name& qname,
+                                         dns::RRType qtype, sim::Time now) {
+  Result result;
+  if (servers_.empty()) {
+    return result;
+  }
+
+  for (int round = 0; round < options_.attempts; ++round) {
+    for (net::Address server : servers_) {
+      auto message = dns::Message::make_query(next_id_++, qname, qtype);
+      message.add_edns();
+      auto outcome =
+          network_.query(self_, server, message, now + result.elapsed);
+      result.elapsed += outcome.elapsed;
+      ++result.attempts_used;
+      if (!outcome.response) {
+        continue;  // timeout: next server
+      }
+      if (outcome.response->flags.tc) {
+        auto tcp = network_.query(self_, server, message,
+                                  now + result.elapsed,
+                                  net::Network::Transport::kTcp);
+        result.elapsed += tcp.elapsed;
+        ++result.attempts_used;
+        if (!tcp.response) {
+          continue;
+        }
+        outcome.response = std::move(tcp.response);
+      }
+      if (options_.skip_servfail &&
+          outcome.response->flags.rcode == dns::Rcode::kServFail) {
+        continue;  // maybe another server is healthier
+      }
+      result.response = std::move(outcome.response);
+      result.server = server;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace dnsttl::resolver

@@ -1,0 +1,66 @@
+#ifndef DNSTTL_RESOLVER_STUB_H
+#define DNSTTL_RESOLVER_STUB_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "net/network.h"
+#include "sim/time.h"
+
+namespace dnsttl::resolver {
+
+/// A stub resolver — the OS-library side of DNS (the paper's first tier):
+/// it holds a resolv.conf-style list of recursive resolvers and walks them
+/// with per-server timeouts and retry rounds, returning the first usable
+/// answer.  RIPE Atlas probes are exactly this plus a scheduler.
+class StubResolver {
+ public:
+  struct Options {
+    /// Full passes over the server list before giving up (resolv.conf
+    /// "attempts", default 2).
+    int attempts = 2;
+    /// Retry a server that answered SERVFAIL with the next one.
+    bool skip_servfail = true;
+  };
+
+  struct Result {
+    std::optional<dns::Message> response;  ///< nullopt: every attempt failed
+    sim::Duration elapsed = 0;             ///< total wall time spent
+    int attempts_used = 0;
+    std::optional<net::Address> server;    ///< who finally answered
+  };
+
+  StubResolver(net::NodeRef self, net::Network& network,
+               std::vector<net::Address> servers)
+      : StubResolver(self, network, std::move(servers), Options{}) {}
+
+  StubResolver(net::NodeRef self, net::Network& network,
+               std::vector<net::Address> servers, Options options)
+      : self_(self),
+        network_(network),
+        servers_(std::move(servers)),
+        options_(options) {}
+
+  const std::vector<net::Address>& servers() const noexcept {
+    return servers_;
+  }
+
+  /// Resolves (qname, qtype) at virtual time @p now, walking the server
+  /// list like libc does: first server, on timeout/SERVFAIL the next, with
+  /// `attempts` full rounds.  Truncated UDP answers are retried over TCP.
+  Result query(const dns::Name& qname, dns::RRType qtype, sim::Time now);
+
+ private:
+  net::NodeRef self_;
+  net::Network& network_;
+  std::vector<net::Address> servers_;
+  Options options_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace dnsttl::resolver
+
+#endif  // DNSTTL_RESOLVER_STUB_H

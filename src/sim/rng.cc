@@ -1,0 +1,130 @@
+#include "sim/rng.h"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace dnsttl::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  seed_ = seed;
+  std::uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("uniform_int: lo > hi");
+  }
+  std::uint64_t span = hi - lo + 1;
+  if (span == 0) {  // full 64-bit range
+    return next();
+  }
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t value;
+  do {
+    value = next();
+  } while (value >= limit);
+  return lo + value % span;
+}
+
+bool Rng::chance(double probability) { return uniform() < probability; }
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  double u2 = uniform();
+  double z = std::sqrt(-2.0 * std::log(u1)) *
+             std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("weighted_index: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_index: weights sum to zero");
+  }
+  double target = uniform() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Derive a child seed from our original seed and the stream id so that
+  // forked streams are stable regardless of how much the parent was used.
+  std::uint64_t mix = seed_ ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+  return Rng{splitmix64(mix)};
+}
+
+}  // namespace dnsttl::sim

@@ -1,0 +1,60 @@
+#ifndef DNSTTL_SIM_RNG_H
+#define DNSTTL_SIM_RNG_H
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace dnsttl::sim {
+
+/// Deterministic random source for the whole simulator (xoshiro256**,
+/// seeded via SplitMix64).  Every experiment takes an explicit seed so each
+/// table/figure regenerates identically.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed0d05) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Exponential with the given mean (for Poisson interarrivals).
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Pareto with scale xm and shape alpha (heavy-tailed demand).
+  double pareto(double xm, double alpha);
+
+  /// Index drawn according to non-negative weights (must not sum to zero).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fork a child generator with an independent stream derived from this
+  /// generator's state plus @p stream_id (stable across runs).
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t state_[4] = {};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace dnsttl::sim
+
+#endif  // DNSTTL_SIM_RNG_H

@@ -1,0 +1,73 @@
+#include "sim/simulation.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dnsttl::sim {
+
+std::string format_time(Time t) {
+  std::int64_t total_seconds = t / kSecond;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld",
+                static_cast<long long>(total_seconds / 3600),
+                static_cast<long long>((total_seconds / 60) % 60),
+                static_cast<long long>(total_seconds % 60));
+  return buf;
+}
+
+std::uint64_t Simulation::schedule_at(Time at, Handler handler) {
+  if (at < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  std::uint64_t id = next_seq_++;
+  queue_.push(Event{at, id});
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+std::uint64_t Simulation::schedule_after(Duration delay, Handler handler) {
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Simulation::cancel(std::uint64_t event_id) {
+  if (handlers_.erase(event_id) > 0) {
+    ++cancelled_;
+    return true;
+  }
+  return false;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(ev.seq);
+    if (it == handlers_.end()) {
+      --cancelled_;  // was cancelled; skip
+      continue;
+    }
+    now_ = ev.at;
+    Handler handler = std::move(it->second);
+    handlers_.erase(it);
+    ++processed_;
+    handler();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace dnsttl::sim

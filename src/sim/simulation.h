@@ -1,0 +1,70 @@
+#ifndef DNSTTL_SIM_SIMULATION_H
+#define DNSTTL_SIM_SIMULATION_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dnsttl::sim {
+
+/// Discrete-event simulation core: a virtual clock plus an event queue.
+///
+/// All network transmission, cache expiry and measurement scheduling in the
+/// library run on one Simulation instance; nothing reads wall-clock time.
+/// Events at equal timestamps run in scheduling (FIFO) order, which makes
+/// every experiment deterministic given a fixed Rng seed.
+class Simulation {
+ public:
+  using Handler = std::function<void()>;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedules @p handler at absolute virtual time @p at (>= now).
+  /// Returns an event id usable with cancel().
+  std::uint64_t schedule_at(Time at, Handler handler);
+
+  /// Schedules @p handler @p delay after the current time.
+  std::uint64_t schedule_after(Duration delay, Handler handler);
+
+  /// Cancels a pending event; returns false if it already ran or is unknown.
+  bool cancel(std::uint64_t event_id);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs events with time <= @p deadline, then sets now to the deadline.
+  void run_until(Time deadline);
+
+  std::size_t pending() const noexcept { return queue_.size() - cancelled_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    // Handlers are stored out-of-line so cancel() is O(1).
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  bool step();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t cancelled_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // seq -> handler; erased entries mean the event was cancelled.
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+};
+
+}  // namespace dnsttl::sim
+
+#endif  // DNSTTL_SIM_SIMULATION_H

@@ -1,0 +1,42 @@
+#ifndef DNSTTL_SIM_TIME_H
+#define DNSTTL_SIM_TIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace dnsttl::sim {
+
+/// Virtual time: microseconds since experiment start.  Integral so that
+/// event ordering is exact and runs are reproducible.
+using Time = std::int64_t;
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+constexpr Duration milliseconds(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// "h:mm:ss" rendering for logs.
+std::string format_time(Time t);
+
+}  // namespace dnsttl::sim
+
+#endif  // DNSTTL_SIM_TIME_H

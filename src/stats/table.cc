@@ -1,0 +1,66 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdarg>
+
+namespace dnsttl::stats {
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < widths.size()) {
+        line += "  ";
+      }
+    }
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule += std::string(widths[i], '-');
+    if (i + 1 < widths.size()) {
+      rule += "  ";
+    }
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+std::string compare_line(const std::string& what, const std::string& paper,
+                         const std::string& measured) {
+  return "  [compare] " + what + ": paper=" + paper +
+         " measured=" + measured + "\n";
+}
+
+}  // namespace dnsttl::stats

@@ -1,0 +1,39 @@
+#ifndef DNSTTL_STATS_TABLE_H
+#define DNSTTL_STATS_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dnsttl::stats {
+
+/// Aligned-column text tables, used by every bench binary to print the
+/// paper's tables in a diff-friendly fixed format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with columns padded to the widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper for table cells.
+std::string fmt(const char* format, ...);
+
+/// "paper=<x> measured=<y>" comparison line used by benches and recorded in
+/// EXPERIMENTS.md.
+std::string compare_line(const std::string& what, const std::string& paper,
+                         const std::string& measured);
+
+}  // namespace dnsttl::stats
+
+#endif  // DNSTTL_STATS_TABLE_H

@@ -1,0 +1,60 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dnsttl::stats {
+
+void BinnedSeries::record(const std::string& series, sim::Time at,
+                          double value) {
+  auto bin = static_cast<std::size_t>(at / bin_width_);
+  series_[series][bin] += value;
+  max_bin_ = std::max(max_bin_, bin);
+}
+
+std::size_t BinnedSeries::bin_count() const {
+  return series_.empty() ? 0 : max_bin_ + 1;
+}
+
+double BinnedSeries::at(const std::string& series, std::size_t index) const {
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    return 0.0;
+  }
+  auto bin = it->second.find(index);
+  return bin == it->second.end() ? 0.0 : bin->second;
+}
+
+std::vector<std::string> BinnedSeries::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, bins] : series_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string BinnedSeries::render() const {
+  auto names = series_names();
+  std::string out = "minute";
+  for (const auto& name : names) {
+    out += "\t" + name;
+  }
+  out += "\n";
+  char buf[64];
+  for (std::size_t bin = 0; bin < bin_count(); ++bin) {
+    double minute = sim::to_seconds(static_cast<sim::Duration>(bin) *
+                                    bin_width_) /
+                    60.0;
+    std::snprintf(buf, sizeof(buf), "%6.0f", minute);
+    out += buf;
+    for (const auto& name : names) {
+      std::snprintf(buf, sizeof(buf), "\t%8.0f", at(name, bin));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dnsttl::stats

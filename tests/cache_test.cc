@@ -1,0 +1,298 @@
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "dns/rr.h"
+
+namespace dnsttl::cache {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using sim::kSecond;
+
+dns::RRset make_a_set(const std::string& name, dns::Ttl ttl,
+                      const std::string& addr = "1.2.3.4") {
+  dns::RRset set(Name::from_string(name), dns::RClass::kIN, ttl);
+  set.add(dns::ARdata{dns::Ipv4::from_string(addr)});
+  return set;
+}
+
+dns::RRset make_ns_set(const std::string& zone, dns::Ttl ttl,
+                       const std::string& target) {
+  dns::RRset set(Name::from_string(zone), dns::RClass::kIN, ttl);
+  set.add(dns::NsRdata{Name::from_string(target)});
+  return set;
+}
+
+TEST(CacheTest, HitWithinTtlCountsDown) {
+  Cache cache;
+  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  auto hit = cache.lookup(Name::from_string("x.org"), RRType::kA,
+                          100 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rrset.ttl(), 200u);
+  EXPECT_EQ(hit->original_ttl, 300u);
+  EXPECT_FALSE(hit->stale);
+}
+
+TEST(CacheTest, MissAfterExpiry) {
+  Cache cache;
+  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  EXPECT_FALSE(
+      cache.lookup(Name::from_string("x.org"), RRType::kA, 300 * kSecond)
+          .has_value());
+  EXPECT_EQ(cache.stats().expired, 1u);
+}
+
+TEST(CacheTest, MaxTtlClampsLongTtls) {
+  // Google-style 21599 s cap: the Figure 2 plateau.
+  Cache::Config config;
+  config.max_ttl = 21599;
+  Cache cache(config);
+  cache.insert(make_ns_set("google.co", 345600, "ns1.google.com"),
+               Credibility::kAuthAnswer, 0);
+  auto hit = cache.lookup(Name::from_string("google.co"), RRType::kNS, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rrset.ttl(), 21599u);
+}
+
+TEST(CacheTest, MinTtlRaisesShortTtls) {
+  Cache::Config config;
+  config.min_ttl = 60;
+  Cache cache(config);
+  cache.insert(make_a_set("x.org", 5), Credibility::kAuthAnswer, 0);
+  auto hit = cache.lookup(Name::from_string("x.org"), RRType::kA, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rrset.ttl(), 60u);
+}
+
+TEST(CacheTest, HigherCredibilityReplacesGlue) {
+  // Child-centric: the child's AA answer overrides parent glue (§3).
+  Cache cache;
+  cache.insert(make_ns_set("uy", 172800, "a.nic.uy"), Credibility::kGlue, 0);
+  cache.insert(make_ns_set("uy", 300, "a.nic.uy"), Credibility::kAuthAnswer,
+               0);
+  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rrset.ttl(), 300u);
+  EXPECT_EQ(hit->credibility, Credibility::kAuthAnswer);
+}
+
+TEST(CacheTest, LowerCredibilityRefusedWhileLive) {
+  // RFC 2181 §5.4.1: glue must not override a live authoritative answer.
+  Cache cache;
+  cache.insert(make_ns_set("uy", 300, "a.nic.uy"), Credibility::kAuthAnswer,
+               0);
+  EXPECT_FALSE(cache.insert(make_ns_set("uy", 172800, "a.nic.uy"),
+                            Credibility::kGlue, 0));
+  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, 0);
+  EXPECT_EQ(hit->rrset.ttl(), 300u);
+  EXPECT_EQ(cache.stats().downgrades_refused, 1u);
+}
+
+TEST(CacheTest, LowerCredibilityAcceptedAfterExpiry) {
+  Cache cache;
+  cache.insert(make_ns_set("uy", 300, "a.nic.uy"), Credibility::kAuthAnswer,
+               0);
+  EXPECT_TRUE(cache.insert(make_ns_set("uy", 172800, "a.nic.uy"),
+                           Credibility::kGlue, 301 * kSecond));
+}
+
+TEST(CacheTest, ParentCentricKeepsGlueAgainstAuthUpgrade) {
+  Cache::Config config;
+  config.prefer_parent_delegation = true;
+  Cache cache(config);
+  cache.insert(make_ns_set("uy", 172800, "a.nic.uy"), Credibility::kGlue, 0);
+  EXPECT_FALSE(cache.insert(make_ns_set("uy", 300, "a.nic.uy"),
+                            Credibility::kAuthAnswer, 0));
+  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, 0);
+  EXPECT_EQ(hit->rrset.ttl(), 172800u);
+}
+
+TEST(CacheTest, SameCredibilityReplaceIsConfigurable) {
+  Cache::Config config;
+  config.replace_same_credibility = false;
+  Cache cache(config);
+  cache.insert(make_a_set("ns1.sub.example", 7200, "1.1.1.1"),
+               Credibility::kGlue, 0);
+  // A refresh with a new address is ignored while the old entry lives —
+  // the §4.2 "ride the cached A to 120 minutes" minority.
+  EXPECT_FALSE(cache.insert(make_a_set("ns1.sub.example", 7200, "2.2.2.2"),
+                            Credibility::kGlue, 3600 * kSecond));
+  auto hit = cache.lookup(Name::from_string("ns1.sub.example"), RRType::kA,
+                          3600 * kSecond);
+  EXPECT_EQ(dns::rdata_to_string(hit->rrset.rdatas()[0]), "1.1.1.1");
+}
+
+TEST(CacheTest, GlueLinkedToNsDiesWithNs) {
+  // The §4.2 in-bailiwick finding: a still-valid A expires when its
+  // covering NS RRset does.
+  Cache cache;
+  Name zone = Name::from_string("sub.cachetest.net");
+  cache.insert(make_ns_set("sub.cachetest.net", 3600,
+                           "ns1.sub.cachetest.net"),
+               Credibility::kGlue, 0);
+  cache.insert(make_a_set("ns1.sub.cachetest.net", 7200),
+               Credibility::kGlue, 0, zone);
+
+  // At t=30min both live.
+  EXPECT_TRUE(cache
+                  .lookup(Name::from_string("ns1.sub.cachetest.net"),
+                          RRType::kA, 1800 * kSecond)
+                  .has_value());
+  // At t=61min the NS is gone; the A has 1h of its own TTL left but is
+  // dropped anyway.
+  EXPECT_FALSE(cache
+                   .lookup(Name::from_string("ns1.sub.cachetest.net"),
+                           RRType::kA, 3660 * kSecond)
+                   .has_value());
+  EXPECT_EQ(cache.stats().ns_linked_drops, 1u);
+}
+
+TEST(CacheTest, UnlinkedGlueSurvivesNsExpiry) {
+  Cache::Config config;
+  config.link_glue_to_ns = false;
+  Cache cache(config);
+  Name zone = Name::from_string("sub.cachetest.net");
+  cache.insert(make_ns_set("sub.cachetest.net", 3600,
+                           "ns1.sub.cachetest.net"),
+               Credibility::kGlue, 0);
+  cache.insert(make_a_set("ns1.sub.cachetest.net", 7200),
+               Credibility::kGlue, 0, zone);
+  EXPECT_TRUE(cache
+                  .lookup(Name::from_string("ns1.sub.cachetest.net"),
+                          RRType::kA, 3660 * kSecond)
+                  .has_value());
+}
+
+TEST(CacheTest, ServeStaleOnlyWhenAllowed) {
+  Cache::Config config;
+  config.serve_stale = true;
+  config.stale_window = 3600 * kSecond;
+  Cache cache(config);
+  cache.insert(make_a_set("x.org", 60), Credibility::kAuthAnswer, 0);
+
+  // Normal lookup past expiry: miss.
+  EXPECT_FALSE(cache.lookup(Name::from_string("x.org"), RRType::kA,
+                            120 * kSecond, false)
+                   .has_value());
+  // Upstream-failed lookup: stale answer with short TTL.
+  auto stale = cache.lookup(Name::from_string("x.org"), RRType::kA,
+                            120 * kSecond, true);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_TRUE(stale->stale);
+  EXPECT_EQ(stale->rrset.ttl(), 30u);
+  // Past the stale window: gone for good.
+  EXPECT_FALSE(cache.lookup(Name::from_string("x.org"), RRType::kA,
+                            2 * 3600 * kSecond, true)
+                   .has_value());
+}
+
+TEST(CacheTest, NegativeCacheHonoursTtl) {
+  Cache cache;
+  cache.insert_negative(Name::from_string("nx.org"), RRType::kA,
+                        dns::Rcode::kNXDomain, 60, 0);
+  auto hit = cache.lookup_negative(Name::from_string("nx.org"), RRType::kA,
+                                   30 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rcode, dns::Rcode::kNXDomain);
+  EXPECT_EQ(hit->remaining, 30u);
+  EXPECT_FALSE(cache
+                   .lookup_negative(Name::from_string("nx.org"), RRType::kA,
+                                    61 * kSecond)
+                   .has_value());
+}
+
+TEST(CacheTest, PositiveInsertClearsNegative) {
+  Cache cache;
+  cache.insert_negative(Name::from_string("x.org"), RRType::kA,
+                        dns::Rcode::kNXDomain, 600, 0);
+  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer,
+               10 * kSecond);
+  EXPECT_FALSE(cache
+                   .lookup_negative(Name::from_string("x.org"), RRType::kA,
+                                    20 * kSecond)
+                   .has_value());
+}
+
+TEST(CacheTest, EvictAndClear) {
+  Cache cache;
+  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.evict(Name::from_string("x.org"), RRType::kA));
+  EXPECT_FALSE(cache.evict(Name::from_string("x.org"), RRType::kA));
+  cache.insert(make_a_set("y.org", 300), Credibility::kAuthAnswer, 0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheTest, PurgeExpiredRemovesOnlyDeadEntries) {
+  Cache cache;
+  cache.insert(make_a_set("short.org", 60), Credibility::kAuthAnswer, 0);
+  cache.insert(make_a_set("long.org", 3600), Credibility::kAuthAnswer, 0);
+  EXPECT_EQ(cache.purge_expired(120 * kSecond), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheTest, PeekDoesNotTouchStats) {
+  Cache cache;
+  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  cache.peek(Name::from_string("x.org"), RRType::kA, 0);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(CacheTest, RemainingTtlHelper) {
+  Cache cache;
+  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  EXPECT_EQ(cache.remaining_ttl(Name::from_string("x.org"), RRType::kA,
+                                100 * kSecond),
+            200u);
+  EXPECT_FALSE(cache
+                   .remaining_ttl(Name::from_string("y.org"), RRType::kA, 0)
+                   .has_value());
+}
+
+// Parameterized invariant: for any TTL and clamp configuration, the served
+// remaining TTL never exceeds the clamp nor the original TTL.
+struct ClampCase {
+  dns::Ttl ttl;
+  dns::Ttl max_ttl;
+  dns::Ttl min_ttl;
+};
+
+class CacheClampTest : public ::testing::TestWithParam<ClampCase> {};
+
+TEST_P(CacheClampTest, ServedTtlRespectsClampInvariant) {
+  const auto& param = GetParam();
+  Cache::Config config;
+  config.max_ttl = param.max_ttl;
+  config.min_ttl = param.min_ttl;
+  Cache cache(config);
+  cache.insert(make_a_set("x.org", param.ttl), Credibility::kAuthAnswer, 0);
+  auto hit = cache.lookup(Name::from_string("x.org"), RRType::kA, 0);
+  dns::Ttl effective =
+      std::clamp(param.ttl, std::min(param.min_ttl, param.max_ttl),
+                 param.max_ttl);
+  if (effective == 0) {
+    // TTL 0 undermines caching entirely (§5.1.2): never served from cache.
+    EXPECT_FALSE(hit.has_value());
+    return;
+  }
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_LE(hit->rrset.ttl(), param.max_ttl);
+  EXPECT_GE(hit->rrset.ttl(), std::min(param.min_ttl, param.max_ttl));
+  EXPECT_LE(hit->rrset.ttl(), std::max(param.ttl, param.min_ttl));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheClampTest,
+    ::testing::Values(ClampCase{300, 21599, 0}, ClampCase{345600, 21599, 0},
+                      ClampCase{0, 604800, 0}, ClampCase{5, 604800, 60},
+                      ClampCase{172800, 604800, 0},
+                      ClampCase{604800, 86400, 30},
+                      ClampCase{1, 1, 1}));
+
+}  // namespace
+}  // namespace dnsttl::cache

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/effective_ttl.h"
+#include "core/world.h"
+#include "dns/rr.h"
+#include "resolver/recursive_resolver.h"
+
+namespace dnsttl::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+TEST(WorldTest, RootServersAnswerFromHints) {
+  World world;
+  ASSERT_EQ(world.hints().servers.size(), 3u);
+  net::NodeRef client{dns::Ipv4(10, 200, 0, 1),
+                      net::Location{net::Region::kEU, 1.0}};
+  auto query = dns::Message::make_query(1, Name{}, RRType::kNS);
+  auto outcome = world.network().query(
+      client, world.hints().servers[0].address, query, 0);
+  ASSERT_TRUE(outcome.response.has_value());
+  EXPECT_TRUE(outcome.response->flags.aa);
+  EXPECT_EQ(outcome.response->answers.size(), 3u);
+}
+
+TEST(WorldTest, AddTldDelegatesFromRoot) {
+  World world;
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+                net::Location{net::Region::kSA, 1.0});
+  // Root has NS + glue with parent TTLs.
+  auto ns = world.root_zone()->find(Name::from_string("uy"), RRType::kNS);
+  ASSERT_TRUE(ns.has_value());
+  EXPECT_EQ(ns->ttl(), dns::kTtl2Days);
+  auto glue = world.root_zone()->find(Name::from_string("a.nic.uy"),
+                                      RRType::kA);
+  ASSERT_TRUE(glue.has_value());
+  EXPECT_EQ(glue->ttl(), dns::kTtl2Days);
+  // The child zone carries its own TTLs and is served by its server.
+  auto& server = world.server("a.nic.uy.");
+  ASSERT_EQ(server.zones().size(), 1u);
+  EXPECT_EQ(server.zones()[0]->find(Name::from_string("uy"), RRType::kNS)
+                ->ttl(),
+            dns::kTtl5Min);
+}
+
+TEST(WorldTest, DuplicateServerIdentRejected) {
+  World world;
+  world.add_server("x", net::Location{});
+  EXPECT_THROW(world.add_server("x", net::Location{}),
+               std::invalid_argument);
+  EXPECT_THROW(world.server("unknown"), std::out_of_range);
+  EXPECT_THROW(world.address_of("unknown"), std::out_of_range);
+}
+
+TEST(WorldTest, DelegateAddsGlueOnlyForInBailiwickNames) {
+  World world;
+  auto zone = world.create_zone("net");
+  world.delegate(*zone, Name::from_string("cachetest.net"),
+                 {{Name::from_string("ns1.cachetest.net"),
+                   dns::Ipv4(10, 0, 0, 1)},
+                  {Name::from_string("ns1.elsewhere.org"),
+                   dns::Ipv4(10, 0, 0, 2)}},
+                 3600, 7200);
+  EXPECT_TRUE(zone->find(Name::from_string("ns1.cachetest.net"), RRType::kA)
+                  .has_value());
+  EXPECT_FALSE(zone->find(Name::from_string("ns1.elsewhere.org"), RRType::kA)
+                   .has_value());
+  auto ns = zone->find(Name::from_string("cachetest.net"), RRType::kNS);
+  ASSERT_TRUE(ns.has_value());
+  EXPECT_EQ(ns->size(), 2u);
+}
+
+TEST(WorldTest, AnycastServiceSharesOneAddress) {
+  World world;
+  auto zone = world.create_zone("example");
+  zone->add(dns::make_a(Name::from_string("www.example"), 60,
+                        dns::Ipv4(1, 1, 1, 1)));
+  auto address = world.add_anycast_service(
+      "svc", zone,
+      {net::Location{net::Region::kEU, 1.0},
+       net::Location{net::Region::kOC, 1.0}},
+      true);
+  EXPECT_EQ(world.network().site_count(address), 2u);
+
+  net::NodeRef oc_client{dns::Ipv4(10, 200, 0, 9),
+                         net::Location{net::Region::kOC, 1.0}};
+  auto query = dns::Message::make_query(
+      1, Name::from_string("www.example"), RRType::kA);
+  world.network().query(oc_client, address, query, 0);
+  EXPECT_EQ(world.server("svc-1").log().size(), 1u);  // the OC replica
+  EXPECT_EQ(world.server("svc-0").log().size(), 0u);
+}
+
+// ----------------------------------------------------------- EffectiveTtl
+
+TEST(EffectiveTtlTest, ChildCentricInBailiwickLinksAddressToNs) {
+  DelegationLayout layout;
+  layout.parent_ns_ttl = dns::kTtl2Days;
+  layout.child_ns_ttl = 3600;
+  layout.child_a_ttl = 7200;
+  layout.in_bailiwick = true;
+  auto result = effective_ttl(layout, resolver::child_centric_config());
+  EXPECT_EQ(result.ns_ttl, 3600u);
+  EXPECT_EQ(result.address_ttl, 3600u);  // capped by the NS lifetime (§4.2)
+  EXPECT_TRUE(result.address_linked_to_ns);
+  EXPECT_FALSE(result.parent_controls_ns);
+}
+
+TEST(EffectiveTtlTest, ChildCentricOutOfBailiwickIndependentTtls) {
+  DelegationLayout layout;
+  layout.child_ns_ttl = 3600;
+  layout.child_a_ttl = 7200;
+  layout.in_bailiwick = false;
+  auto result = effective_ttl(layout, resolver::child_centric_config());
+  EXPECT_EQ(result.address_ttl, 7200u);
+  EXPECT_FALSE(result.address_linked_to_ns);
+}
+
+TEST(EffectiveTtlTest, UnlinkedCacheKeepsOwnAddressTtl) {
+  DelegationLayout layout;
+  layout.child_ns_ttl = 3600;
+  layout.child_a_ttl = 7200;
+  layout.in_bailiwick = true;
+  auto config = resolver::child_centric_config();
+  config.link_glue_to_ns = false;
+  auto result = effective_ttl(layout, config);
+  EXPECT_EQ(result.address_ttl, 7200u);
+}
+
+TEST(EffectiveTtlTest, ParentCentricUsesParentCopies) {
+  DelegationLayout layout;
+  layout.parent_ns_ttl = dns::kTtl2Days;
+  layout.child_ns_ttl = dns::kTtl5Min;
+  layout.parent_glue_ttl = dns::kTtl2Days;
+  layout.child_a_ttl = 120;
+  auto result = effective_ttl(layout, resolver::parent_centric_config());
+  EXPECT_EQ(result.ns_ttl, dns::kTtl2Days);
+  EXPECT_TRUE(result.parent_controls_ns);
+  EXPECT_TRUE(result.parent_controls_address);
+}
+
+TEST(EffectiveTtlTest, ParentCentricOutOfBailiwickStillNeedsChildAddress) {
+  DelegationLayout layout;
+  layout.in_bailiwick = false;
+  layout.child_a_ttl = 7200;
+  auto result = effective_ttl(layout, resolver::parent_centric_config());
+  EXPECT_FALSE(result.parent_controls_address);
+  EXPECT_EQ(result.address_ttl, 7200u);
+}
+
+TEST(EffectiveTtlTest, StickyIgnoresTtlsEntirely) {
+  DelegationLayout layout;
+  auto result = effective_ttl(layout, resolver::sticky_config());
+  EXPECT_EQ(result.ns_ttl, dns::kMaxTtl);
+  EXPECT_EQ(result.address_ttl, dns::kMaxTtl);
+}
+
+TEST(EffectiveTtlTest, CapsApplyToEffectiveValues) {
+  DelegationLayout layout;
+  layout.child_ns_ttl = dns::kTtl4Days;
+  layout.child_a_ttl = dns::kTtl4Days;
+  auto result = effective_ttl(layout, resolver::google_like_config());
+  EXPECT_EQ(result.ns_ttl, 21599u);
+}
+
+/// The analytical model must agree with the simulator: a child-centric
+/// resolver really does see the child TTL.
+TEST(EffectiveTtlTest, AgreesWithSimulatedResolver) {
+  World world;
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+                net::Location{net::Region::kSA, 1.0});
+  resolver::RecursiveResolver resolver("check",
+                                       resolver::child_centric_config(),
+                                       world.network(), world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+  auto result = resolver.resolve(
+      {Name::from_string("uy"), RRType::kNS, dns::RClass::kIN}, 0);
+
+  DelegationLayout layout;
+  layout.parent_ns_ttl = dns::kTtl2Days;
+  layout.child_ns_ttl = dns::kTtl5Min;
+  auto analytical = effective_ttl(layout, resolver::child_centric_config());
+  EXPECT_EQ(result.response.answers.at(0).ttl, analytical.ns_ttl);
+}
+
+// --------------------------------------------------------------- Advisor
+
+TEST(AdvisorTest, GeneralZoneGetsLongTtls) {
+  OperatorProfile profile;
+  profile.kind = OperatorProfile::Kind::kGeneralZone;
+  auto rec = recommend(profile);
+  EXPECT_GE(rec.ns_ttl, dns::kTtl4Hours);
+  EXPECT_GE(rec.address_ttl, dns::kTtl1Hour);
+}
+
+TEST(AdvisorTest, LoadBalancerGetsShortAddressLongNs) {
+  OperatorProfile profile;
+  profile.kind = OperatorProfile::Kind::kCdnLoadBalancer;
+  profile.in_bailiwick_ns = false;
+  auto rec = recommend(profile);
+  EXPECT_LE(rec.address_ttl, dns::kTtl15Min);
+  EXPECT_GE(rec.ns_ttl, dns::kTtl1Hour);
+}
+
+TEST(AdvisorTest, DdosStandbyGetsFiveMinutes) {
+  OperatorProfile profile;
+  profile.kind = OperatorProfile::Kind::kDdosMitigation;
+  auto rec = recommend(profile);
+  EXPECT_EQ(rec.address_ttl, dns::kTtl5Min);
+}
+
+TEST(AdvisorTest, InBailiwickClampsAddressToNs) {
+  OperatorProfile profile;
+  profile.kind = OperatorProfile::Kind::kGeneralZone;
+  profile.in_bailiwick_ns = true;
+  auto rec = recommend(profile);
+  EXPECT_LE(rec.address_ttl, rec.ns_ttl);
+}
+
+TEST(AdvisorTest, UncontrolledParentIsFlagged) {
+  OperatorProfile profile;
+  profile.controls_parent_ttl = false;
+  auto rec = recommend(profile);
+  EXPECT_FALSE(rec.set_parent_equal);
+  bool mentions_mix = false;
+  for (const auto& reason : rec.reasons) {
+    if (reason.find("mix of parent and child") != std::string::npos) {
+      mentions_mix = true;
+    }
+  }
+  EXPECT_TRUE(mentions_mix);
+  EXPECT_FALSE(rec.render().empty());
+}
+
+TEST(AdvisorTest, MeteredServiceMentionsQuerySavings) {
+  OperatorProfile profile;
+  profile.dns_service_metered = true;
+  auto rec = recommend(profile);
+  bool mentions = false;
+  for (const auto& reason : rec.reasons) {
+    if (reason.find("77%") != std::string::npos) mentions = true;
+  }
+  EXPECT_TRUE(mentions);
+}
+
+}  // namespace
+}  // namespace dnsttl::core

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "auth/entrada.h"
+#include "auth/secondary.h"
+#include "core/world.h"
+#include "dns/rr.h"
+#include "resolver/recursive_resolver.h"
+
+namespace dnsttl::auth {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+QueryLog sample_log() {
+  QueryLog log;
+  auto ns1 = Name::from_string("ns1.dns.nl");
+  auto ns2 = Name::from_string("ns2.dns.nl");
+  dns::Ipv4 client_a(10, 0, 0, 1);
+  dns::Ipv4 client_b(10, 0, 0, 2);
+  // client_a asks ns1 three times: at 0, +1s (retransmission), +1h.
+  log.record({0, client_a, ns1, RRType::kA});
+  log.record({1 * sim::kSecond, client_a, ns1, RRType::kA});
+  log.record({1 * sim::kHour, client_a, ns1, RRType::kA});
+  // client_a asks ns2 once; client_b asks ns1 once.
+  log.record({5 * sim::kMinute, client_a, ns2, RRType::kA});
+  log.record({10 * sim::kMinute, client_b, ns1, RRType::kA});
+  return log;
+}
+
+TEST(EntradaTest, IngestAndBasicCounts) {
+  Entrada store;
+  store.ingest(sample_log(), "ns1.dns.nl");
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.unique_clients(), 2u);
+}
+
+TEST(EntradaTest, QueriesPerGroup) {
+  Entrada store;
+  store.ingest(sample_log(), "s");
+  auto cdf = store.queries_per_group();
+  EXPECT_EQ(cdf.count(), 3u);  // (a,ns1), (a,ns2), (b,ns1)
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  // Restricted to ns2 only.
+  auto ns2_only = store.queries_per_group({Name::from_string("ns2.dns.nl")});
+  EXPECT_EQ(ns2_only.count(), 1u);
+}
+
+TEST(EntradaTest, MinInterarrivalSkipsRetransmissions) {
+  Entrada store;
+  store.ingest(sample_log(), "s");
+  auto cdf = store.min_interarrival_hours();
+  // Only (a, ns1) has multiple spaced queries; the 1 s duplicate is
+  // filtered, leaving the ~1 h gap.
+  ASSERT_EQ(cdf.count(), 1u);
+  EXPECT_NEAR(cdf.median(), 1.0, 0.01);
+}
+
+TEST(EntradaTest, CsvRoundTrip) {
+  Entrada store;
+  store.ingest(sample_log(), "ns1.dns.nl");
+  auto csv = store.to_csv();
+  auto reloaded = Entrada::from_csv(csv);
+  EXPECT_EQ(reloaded.size(), store.size());
+  EXPECT_EQ(reloaded.unique_clients(), store.unique_clients());
+  EXPECT_EQ(reloaded.to_csv(), csv);
+}
+
+TEST(EntradaTest, FromCsvRejectsMalformedRows) {
+  EXPECT_THROW(Entrada::from_csv("header\n1,2,3\n"), std::invalid_argument);
+  EXPECT_THROW(Entrada::from_csv("header\nx,s,10.0.0.1,a.nl.,A\n"),
+               std::invalid_argument);
+}
+
+TEST(EntradaTest, LoadSeriesAndTopQnames) {
+  Entrada store;
+  store.ingest(sample_log(), "ns1");
+  auto series = store.load_series(10 * sim::kMinute);
+  EXPECT_GT(series.bin_count(), 1u);
+  EXPECT_DOUBLE_EQ(series.at("ns1", 0), 3.0);  // 0s, 1s, 5min
+  EXPECT_DOUBLE_EQ(series.at("ns1", 1), 1.0);  // the 10min query
+
+  auto top = store.top_qnames(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, Name::from_string("ns1.dns.nl"));
+  EXPECT_EQ(top[0].second, 4u);
+}
+
+// ---------------------------------------------------------------- secondary
+
+class SecondaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world = std::make_unique<core::World>(core::World::Options{1, 0.0, {}});
+    primary_zone = world->create_zone("shop", 3600);
+    // Short SOA refresh so tests stay fast: refresh=600, retry=300.
+    dns::SoaRdata soa;
+    soa.mname = Name::from_string("ns1.shop");
+    soa.rname = Name::from_string("hostmaster.shop");
+    soa.serial = 1;
+    soa.refresh = 600;
+    soa.retry = 300;
+    soa.expire = 3600;
+    soa.minimum = 300;
+    dns::RRset soa_set(Name::from_string("shop"), dns::RClass::kIN, 3600);
+    soa_set.add(soa);
+    primary_zone->replace(soa_set);
+    primary_zone->add(dns::make_ns(Name::from_string("shop"), 300,
+                                   Name::from_string("ns1.shop")));
+    primary_zone->add(dns::make_a(Name::from_string("www.shop"), 300,
+                                  dns::Ipv4(10, 0, 0, 1)));
+
+    secondary_server = &world->add_server(
+        "ns2.shop", net::Location{net::Region::kEU, 1.0});
+  }
+
+  std::unique_ptr<core::World> world;
+  std::shared_ptr<dns::Zone> primary_zone;
+  AuthServer* secondary_server = nullptr;
+};
+
+TEST_F(SecondaryTest, InitialTransferServesTheZone) {
+  Secondary secondary(world->simulation(), primary_zone, *secondary_server);
+  EXPECT_EQ(secondary.transfers(), 1u);
+  EXPECT_EQ(secondary.serial(), 1u);
+
+  net::NodeRef client{dns::Ipv4(10, 9, 9, 9),
+                      net::Location{net::Region::kEU, 1.0}};
+  auto query = dns::Message::make_query(1, Name::from_string("www.shop"),
+                                        RRType::kA);
+  auto outcome = world->network().query(
+      client, world->address_of("ns2.shop"), query, 0);
+  ASSERT_TRUE(outcome.response.has_value());
+  EXPECT_TRUE(outcome.response->flags.aa);
+  EXPECT_EQ(outcome.response->answers.size(), 1u);
+}
+
+TEST_F(SecondaryTest, EditWithoutSerialBumpIsInvisible) {
+  Secondary secondary(world->simulation(), primary_zone, *secondary_server);
+  primary_zone->set_ttl(Name::from_string("shop"), RRType::kNS, 86400);
+  world->simulation().run_until(30 * sim::kMinute);
+  EXPECT_EQ(secondary.transfers(), 1u);  // serial unchanged: no transfer
+  EXPECT_EQ(secondary.zone()
+                ->find(Name::from_string("shop"), RRType::kNS)
+                ->ttl(),
+            300u);
+}
+
+TEST_F(SecondaryTest, TtlChangePropagatesAtNextRefresh) {
+  // The §5.3 operational reality: .uy's TTL change reached each secondary
+  // only at its next successful refresh.
+  Secondary secondary(world->simulation(), primary_zone, *secondary_server);
+  primary_zone->set_ttl(Name::from_string("shop"), RRType::kNS, 86400);
+  primary_zone->bump_serial();
+
+  // Before the refresh interval the secondary still serves the old TTL.
+  world->simulation().run_until(5 * sim::kMinute);
+  EXPECT_EQ(secondary.zone()
+                ->find(Name::from_string("shop"), RRType::kNS)
+                ->ttl(),
+            300u);
+
+  // After a refresh period the new TTL is live.
+  world->simulation().run_until(15 * sim::kMinute);
+  EXPECT_EQ(secondary.transfers(), 2u);
+  EXPECT_EQ(secondary.serial(), 2u);
+  EXPECT_EQ(secondary.zone()
+                ->find(Name::from_string("shop"), RRType::kNS)
+                ->ttl(),
+            86400u);
+}
+
+TEST_F(SecondaryTest, ExpiresAfterPrimaryOutageAndRecovers) {
+  Secondary secondary(world->simulation(), primary_zone, *secondary_server);
+  secondary.set_primary_reachable(false);
+
+  // Within the expire window the stale copy keeps being served.
+  world->simulation().run_until(30 * sim::kMinute);
+  EXPECT_FALSE(secondary.expired());
+
+  // Past SOA expire (3600 s) the copy is withdrawn: REFUSED.
+  world->simulation().run_until(2 * sim::kHour);
+  EXPECT_TRUE(secondary.expired());
+  net::NodeRef client{dns::Ipv4(10, 9, 9, 9),
+                      net::Location{net::Region::kEU, 1.0}};
+  auto query = dns::Message::make_query(1, Name::from_string("www.shop"),
+                                        RRType::kA);
+  auto outcome = world->network().query(
+      client, world->address_of("ns2.shop"), query,
+      world->simulation().now());
+  ASSERT_TRUE(outcome.response.has_value());
+  EXPECT_EQ(outcome.response->flags.rcode, dns::Rcode::kRefused);
+
+  // Connectivity returns: service resumes at the next retry.
+  secondary.set_primary_reachable(true);
+  world->simulation().run_until(world->simulation().now() + sim::kHour);
+  EXPECT_FALSE(secondary.expired());
+  auto after = world->network().query(
+      client, world->address_of("ns2.shop"), query,
+      world->simulation().now());
+  EXPECT_EQ(after.response->flags.rcode, dns::Rcode::kNoError);
+}
+
+TEST_F(SecondaryTest, RefreshOverrideSpeedsPolling) {
+  Secondary secondary(world->simulation(), primary_zone, *secondary_server,
+                      60);
+  primary_zone->bump_serial();
+  world->simulation().run_until(3 * sim::kMinute);
+  EXPECT_GE(secondary.transfers(), 2u);
+}
+
+TEST(ZoneSerialTest, BumpSerialIncrements) {
+  dns::Zone zone{Name::from_string("shop")};
+  EXPECT_FALSE(zone.bump_serial());  // no SOA yet
+  zone.add(dns::make_soa(Name::from_string("shop"), 3600,
+                         Name::from_string("ns1.shop"), 41));
+  EXPECT_TRUE(zone.bump_serial());
+  EXPECT_EQ(std::get<dns::SoaRdata>(zone.soa()->rdata).serial, 42u);
+}
+
+}  // namespace
+}  // namespace dnsttl::auth

@@ -1,0 +1,169 @@
+// End-to-end reproductions of the paper's headline behaviors at small
+// scale, with single-profile resolver populations so each §4 claim can be
+// asserted deterministically.
+
+#include <gtest/gtest.h>
+
+#include "core/bailiwick_experiment.h"
+#include "core/centricity_experiment.h"
+#include "core/world.h"
+
+namespace dnsttl::core {
+namespace {
+
+atlas::Platform single_profile_platform(World& world,
+                                        const resolver::ResolverConfig& config,
+                                        const std::string& tag) {
+  atlas::PlatformSpec spec;
+  spec.probe_count = 60;
+  spec.resolver_count = 40;
+  spec.public_resolver_fraction = 0.0;
+  spec.forwarder_fraction = 0.0;
+  spec.profiles = {{tag, config, 1.0}};
+  return atlas::Platform::build(world.network(), world.hints(),
+                                world.root_zone(), spec, world.rng());
+}
+
+BailiwickResult run(World& world, atlas::Platform& platform,
+                    bool in_bailiwick) {
+  BailiwickConfig config;
+  config.in_bailiwick = in_bailiwick;
+  return run_bailiwick(world, platform, config);
+}
+
+TEST(BailiwickIntegrationTest, ChildCentricSwitchesAtNsExpiryInBailiwick) {
+  World world{World::Options{3, 0.0, {}}};
+  auto platform = single_profile_platform(
+      world, resolver::child_centric_config(), "child");
+  auto result = run(world, platform, true);
+
+  // §4.2: ~everyone refreshes both NS and A when the NS expires (60 min).
+  EXPECT_LT(result.switched_fraction_by(55), 0.35);
+  EXPECT_GT(result.switched_fraction_by(85), 0.95);
+  EXPECT_EQ(result.sticky_vp_count(), 0u);
+}
+
+TEST(BailiwickIntegrationTest, ChildCentricTrustsAddressOutOfBailiwick) {
+  World world{World::Options{3, 0.0, {}}};
+  auto platform = single_profile_platform(
+      world, resolver::child_centric_config(), "child");
+  auto result = run(world, platform, false);
+
+  // §4.3: the cached A is trusted to its full 120 minutes.
+  EXPECT_LT(result.switched_fraction_by(85), 0.35);
+  EXPECT_GT(result.switched_fraction_by(145), 0.95);
+}
+
+TEST(BailiwickIntegrationTest, UnlinkedCacheRidesAddressTo120InBailiwick) {
+  auto config = resolver::child_centric_config();
+  config.link_glue_to_ns = false;
+  World world{World::Options{3, 0.0, {}}};
+  auto platform = single_profile_platform(world, config, "unlinked");
+  auto result = run(world, platform, true);
+
+  // The §4.2 minority: still on the old server between 60 and 120 min.
+  EXPECT_LT(result.switched_fraction_by(85), 0.35);
+  EXPECT_GT(result.switched_fraction_by(145), 0.95);
+}
+
+TEST(BailiwickIntegrationTest, StickyNeverSwitches) {
+  World world{World::Options{3, 0.0, {}}};
+  auto platform =
+      single_profile_platform(world, resolver::sticky_config(), "sticky");
+  auto result = run(world, platform, true);
+  // VPs whose very first query lands after the 9-minute renumber pin to
+  // the new server; everyone else must never switch.
+  EXPECT_LT(result.switched_fraction_by(230), 0.05);
+  EXPECT_GT(result.sticky_vp_count(), result.vps.size() * 9 / 10);
+}
+
+TEST(BailiwickIntegrationTest, ParentCentricSticksOutOfBailiwickOnly) {
+  // §4.4/§4.5: OpenDNS-style resolvers look sticky out-of-bailiwick (they
+  // trust the .com glue for two days) but behave normally in-bailiwick
+  // (where parent and child TTLs are equal).
+  World world_out{World::Options{3, 0.0, {}}};
+  auto platform_out = single_profile_platform(
+      world_out, resolver::parent_centric_config(), "parent");
+  auto out = run(world_out, platform_out, false);
+  EXPECT_LT(out.switched_fraction_by(230), 0.05);
+  EXPECT_GT(out.sticky_vp_count(), out.vps.size() * 9 / 10);
+
+  World world_in{World::Options{3, 0.0, {}}};
+  auto platform_in = single_profile_platform(
+      world_in, resolver::parent_centric_config(), "parent");
+  auto in = run(world_in, platform_in, true);
+  EXPECT_GT(in.switched_fraction_by(85), 0.95);
+}
+
+TEST(BailiwickIntegrationTest, MatchedVpAnalysisLinksTheTwoRuns) {
+  World world_in{World::Options{5, 0.0, {}}};
+  World world_out{World::Options{5, 0.0, {}}};
+  auto platform_in = single_profile_platform(
+      world_in, resolver::parent_centric_config(), "parent");
+  auto platform_out = single_profile_platform(
+      world_out, resolver::parent_centric_config(), "parent");
+  auto in = run(world_in, platform_in, true);
+  auto out = run(world_out, platform_out, false);
+
+  auto ratios = matched_vp_new_ratios(in, out);
+  ASSERT_FALSE(ratios.empty());
+  // Out-sticky parent-centric VPs mostly fetch new data in-bailiwick.
+  for (double ratio : ratios) {
+    EXPECT_GT(ratio, 0.5);
+  }
+}
+
+TEST(CentricityIntegrationTest, PureChildPopulationFollowsChildTtl) {
+  World world{World::Options{4, 0.0, {}}};
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+                net::Location{net::Region::kSA, 1.0});
+  auto platform = single_profile_platform(
+      world, resolver::child_centric_config(), "child");
+  CentricitySetup setup;
+  setup.name = "uy-NS";
+  setup.qname = dns::Name::from_string("uy");
+  setup.qtype = dns::RRType::kNS;
+  setup.parent_ttl = dns::kTtl2Days;
+  setup.child_ttl = dns::kTtl5Min;
+  auto result = run_centricity(world, platform, setup);
+  EXPECT_GT(result.at_most_child, 0.99);
+}
+
+TEST(CentricityIntegrationTest, PureParentPopulationFollowsParentTtl) {
+  World world{World::Options{4, 0.0, {}}};
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+                net::Location{net::Region::kSA, 1.0});
+  auto platform = single_profile_platform(
+      world, resolver::parent_centric_config(), "parent");
+  CentricitySetup setup;
+  setup.name = "uy-NS";
+  setup.qname = dns::Name::from_string("uy");
+  setup.qtype = dns::RRType::kNS;
+  setup.parent_ttl = dns::kTtl2Days;
+  setup.child_ttl = dns::kTtl5Min;
+  auto result = run_centricity(world, platform, setup);
+  EXPECT_LT(result.at_most_child, 0.01);
+  EXPECT_GT(result.above_child, 0.99);
+}
+
+TEST(CentricityIntegrationTest, CapPopulationPlateausAtCap) {
+  World world{World::Options{4, 0.0, {}}};
+  world.add_tld("co", "a.nic", dns::kTtl2Days, dns::kTtl4Days, dns::kTtl4Days,
+                net::Location{net::Region::kSA, 1.0});
+  auto platform = single_profile_platform(
+      world, resolver::google_like_config(), "google");
+  CentricitySetup setup;
+  setup.name = "co-NS";
+  setup.qname = dns::Name::from_string("co");
+  setup.qtype = dns::RRType::kNS;
+  setup.parent_ttl = dns::kTtl2Days;
+  setup.child_ttl = dns::kTtl4Days;
+  setup.duration = sim::kHour;
+  auto result = run_centricity(world, platform, setup);
+  auto cdf = result.run.ttl_cdf();
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(21599), 1.0);
+  EXPECT_GT(cdf.max(), 21000.0);
+}
+
+}  // namespace
+}  // namespace dnsttl::core

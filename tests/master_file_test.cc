@@ -1,0 +1,154 @@
+#include "dns/master_file.h"
+
+#include <gtest/gtest.h>
+
+#include "dns/rr.h"
+
+namespace dnsttl::dns {
+namespace {
+
+constexpr const char* kClZone = R"(
+; the .cl child zone from Table 1
+$ORIGIN cl.
+$TTL 3600
+@       IN SOA a.nic.cl. hostmaster.nic.cl. ( 2019021201 7200 3600
+                                              1209600 3600 )
+@       IN NS  a.nic.cl.
+a.nic   43200 IN A    190.124.27.10
+a.nic   43200 IN AAAA 2001:1398:1::6002
+)";
+
+TEST(MasterFileTest, ParsesTheTable1Zone) {
+  Zone zone = parse_master_file(kClZone, Name::from_string("cl"));
+  auto soa = zone.soa();
+  ASSERT_TRUE(soa.has_value());
+  EXPECT_EQ(std::get<SoaRdata>(soa->rdata).serial, 2019021201u);
+  EXPECT_EQ(std::get<SoaRdata>(soa->rdata).minimum, 3600u);
+
+  auto ns = zone.find(Name::from_string("cl"), RRType::kNS);
+  ASSERT_TRUE(ns.has_value());
+  EXPECT_EQ(ns->ttl(), 3600u);  // $TTL default
+  EXPECT_EQ(std::get<NsRdata>(ns->rdatas()[0]).nsdname,
+            Name::from_string("a.nic.cl"));
+
+  auto a = zone.find(Name::from_string("a.nic.cl"), RRType::kA);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->ttl(), 43200u);  // explicit per-record TTL
+  EXPECT_EQ(rdata_to_string(a->rdatas()[0]), "190.124.27.10");
+
+  auto aaaa = zone.find(Name::from_string("a.nic.cl"), RRType::kAAAA);
+  ASSERT_TRUE(aaaa.has_value());
+  EXPECT_EQ(rdata_to_string(aaaa->rdatas()[0]), "2001:1398:1::6002");
+}
+
+TEST(MasterFileTest, RelativeAndAbsoluteNames) {
+  Zone zone = parse_master_file(
+      "www 300 IN A 1.2.3.4\n"
+      "mail.example.org. 300 IN A 5.6.7.8\n",
+      Name::from_string("example.org"));
+  EXPECT_TRUE(zone.find(Name::from_string("www.example.org"), RRType::kA)
+                  .has_value());
+  EXPECT_TRUE(zone.find(Name::from_string("mail.example.org"), RRType::kA)
+                  .has_value());
+}
+
+TEST(MasterFileTest, BlankOwnerRepeatsPrevious) {
+  Zone zone = parse_master_file(
+      "www 300 IN A 1.2.3.4\n"
+      "    300 IN A 5.6.7.8\n",
+      Name::from_string("example.org"));
+  auto rrset = zone.find(Name::from_string("www.example.org"), RRType::kA);
+  ASSERT_TRUE(rrset.has_value());
+  EXPECT_EQ(rrset->size(), 2u);
+}
+
+TEST(MasterFileTest, OriginDirectiveSwitchesContext) {
+  Zone zone = parse_master_file(
+      "$ORIGIN sub.example.org.\n"
+      "host 60 IN A 9.9.9.9\n",
+      Name::from_string("example.org"));
+  EXPECT_TRUE(
+      zone.find(Name::from_string("host.sub.example.org"), RRType::kA)
+          .has_value());
+}
+
+TEST(MasterFileTest, MxTxtDnskeyCname) {
+  Zone zone = parse_master_file(
+      "@ 3600 IN MX 10 mail\n"
+      "@ 3600 IN TXT \"v=spf1 -all\"\n"
+      "@ 3600 IN DNSKEY 257 3 8 AwEAAc3dsA==\n"
+      "alias 60 IN CNAME www\n",
+      Name::from_string("example.org"));
+  auto mx = zone.find(Name::from_string("example.org"), RRType::kMX);
+  ASSERT_TRUE(mx.has_value());
+  EXPECT_EQ(std::get<MxRdata>(mx->rdatas()[0]).exchange,
+            Name::from_string("mail.example.org"));
+  auto txt = zone.find(Name::from_string("example.org"), RRType::kTXT);
+  ASSERT_TRUE(txt.has_value());
+  EXPECT_EQ(std::get<TxtRdata>(txt->rdatas()[0]).text, "v=spf1 -all");
+  EXPECT_TRUE(zone.find(Name::from_string("example.org"), RRType::kDNSKEY)
+                  .has_value());
+  auto cname =
+      zone.find(Name::from_string("alias.example.org"), RRType::kCNAME);
+  ASSERT_TRUE(cname.has_value());
+  EXPECT_EQ(std::get<CnameRdata>(cname->rdatas()[0]).target,
+            Name::from_string("www.example.org"));
+}
+
+TEST(MasterFileTest, CommentsInsideQuotesPreserved) {
+  Zone zone = parse_master_file(
+      "@ 60 IN TXT \"semi;colon\" ; trailing comment\n",
+      Name::from_string("example.org"));
+  auto txt = zone.find(Name::from_string("example.org"), RRType::kTXT);
+  ASSERT_TRUE(txt.has_value());
+  EXPECT_EQ(std::get<TxtRdata>(txt->rdatas()[0]).text, "semi;colon");
+}
+
+TEST(MasterFileTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_master_file("www 300 IN A 1.2.3.4\nbad 300 IN A not-an-ip\n",
+                      Name::from_string("example.org"));
+    FAIL() << "expected MasterFileError";
+  } catch (const MasterFileError& error) {
+    EXPECT_EQ(error.line(), 2u);
+  }
+}
+
+TEST(MasterFileTest, RejectsMalformedInput) {
+  Name origin = Name::from_string("example.org");
+  EXPECT_THROW(parse_master_file("$ORIGIN\n", origin), MasterFileError);
+  EXPECT_THROW(parse_master_file("$TTL\n", origin), MasterFileError);
+  EXPECT_THROW(parse_master_file("$INCLUDE foo\n", origin), MasterFileError);
+  EXPECT_THROW(parse_master_file("www 300 IN A\n", origin), MasterFileError);
+  EXPECT_THROW(parse_master_file("www 300 IN WKS 1.2.3.4\n", origin),
+               MasterFileError);
+  EXPECT_THROW(parse_master_file("@ IN SOA ns hostmaster ( 1 2 3\n", origin),
+               MasterFileError);
+  EXPECT_THROW(parse_master_file("   300 IN A 1.2.3.4\n", origin),
+               MasterFileError);  // repeat with no previous owner
+  EXPECT_THROW(parse_master_file("@ 60 IN TXT \"open\n", origin),
+               MasterFileError);
+  EXPECT_THROW(
+      parse_master_file("other.net. 60 IN A 1.2.3.4\n", origin),
+      MasterFileError);  // outside the zone
+}
+
+TEST(MasterFileTest, RenderParseRoundTrip) {
+  Zone zone = parse_master_file(kClZone, Name::from_string("cl"));
+  std::string rendered = render_master_file(zone);
+  Zone reparsed = parse_master_file(rendered, Name::from_string("cl"));
+  EXPECT_EQ(reparsed.rrset_count(), zone.rrset_count());
+  EXPECT_EQ(reparsed.find(Name::from_string("a.nic.cl"), RRType::kA)->ttl(),
+            43200u);
+  EXPECT_EQ(reparsed.soa()->rdata, zone.soa()->rdata);
+}
+
+TEST(MasterFileTest, ParsedZoneAnswersLookups) {
+  Zone zone = parse_master_file(kClZone, Name::from_string("cl"));
+  auto result = zone.lookup(Name::from_string("a.nic.cl"), RRType::kA);
+  EXPECT_EQ(result.kind, LookupResult::Kind::kAnswer);
+  EXPECT_EQ(result.answers[0].ttl, 43200u);
+}
+
+}  // namespace
+}  // namespace dnsttl::dns

@@ -1,0 +1,133 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+#include "dns/rr.h"
+
+namespace dnsttl::dns {
+namespace {
+
+Message referral_for_uy() {
+  auto query = Message::make_query(9, Name::from_string("www.gub.uy"),
+                                   RRType::kA);
+  auto response = Message::make_response(query);
+  response.authorities.push_back(
+      make_ns(Name::from_string("uy"), 172800, Name::from_string("a.nic.uy")));
+  response.additionals.push_back(
+      make_a(Name::from_string("a.nic.uy"), 172800, Ipv4(10, 0, 0, 1)));
+  return response;
+}
+
+TEST(MessageTest, MakeQuerySetsQuestionAndFlags) {
+  auto query = Message::make_query(7, Name::from_string("uy"), RRType::kNS);
+  EXPECT_EQ(query.id, 7);
+  EXPECT_FALSE(query.flags.qr);
+  EXPECT_TRUE(query.flags.rd);
+  ASSERT_EQ(query.questions.size(), 1u);
+  EXPECT_EQ(query.question().qtype, RRType::kNS);
+
+  auto iterative =
+      Message::make_query(8, Name::from_string("uy"), RRType::kNS, false);
+  EXPECT_FALSE(iterative.flags.rd);
+}
+
+TEST(MessageTest, MakeResponseEchoesIdAndQuestion) {
+  auto query = Message::make_query(0xabcd, Name::from_string("uy"),
+                                   RRType::kNS);
+  auto response = Message::make_response(query);
+  EXPECT_EQ(response.id, 0xabcd);
+  EXPECT_TRUE(response.flags.qr);
+  EXPECT_EQ(response.questions, query.questions);
+}
+
+TEST(MessageTest, SectionAccessors) {
+  auto message = referral_for_uy();
+  EXPECT_EQ(message.section(Section::kAuthority).size(), 1u);
+  EXPECT_EQ(message.section(Section::kAdditional).size(), 1u);
+  EXPECT_EQ(message.section(Section::kAnswer).size(), 0u);
+  EXPECT_THROW(message.section(Section::kQuestion), std::invalid_argument);
+}
+
+TEST(MessageTest, AnswerRrsetGroupsMatchingRecords) {
+  auto query = Message::make_query(1, Name::from_string("uy"), RRType::kNS);
+  auto response = Message::make_response(query);
+  response.answers.push_back(
+      make_ns(Name::from_string("uy"), 300, Name::from_string("a.nic.uy")));
+  response.answers.push_back(
+      make_ns(Name::from_string("uy"), 300, Name::from_string("b.nic.uy")));
+  response.answers.push_back(
+      make_a(Name::from_string("a.nic.uy"), 120, Ipv4(10, 0, 0, 1)));
+
+  auto rrset = response.answer_rrset(Name::from_string("uy"), RRType::kNS);
+  ASSERT_TRUE(rrset.has_value());
+  EXPECT_EQ(rrset->size(), 2u);
+  EXPECT_FALSE(response.answer_rrset(Name::from_string("uy"), RRType::kMX)
+                   .has_value());
+}
+
+TEST(MessageTest, FirstAnswerFindsByType) {
+  auto query = Message::make_query(1, Name::from_string("x.uy"), RRType::kA);
+  auto response = Message::make_response(query);
+  response.answers.push_back(make_cname(Name::from_string("x.uy"), 60,
+                                        Name::from_string("y.uy")));
+  response.answers.push_back(
+      make_a(Name::from_string("y.uy"), 60, Ipv4(10, 0, 0, 2)));
+  ASSERT_NE(response.first_answer(RRType::kA), nullptr);
+  EXPECT_EQ(response.first_answer(RRType::kA)->name,
+            Name::from_string("y.uy"));
+  EXPECT_EQ(response.first_answer(RRType::kMX), nullptr);
+}
+
+TEST(MessageTest, ReferralDetection) {
+  EXPECT_TRUE(referral_for_uy().is_referral());
+
+  auto answer = referral_for_uy();
+  answer.answers.push_back(
+      make_a(Name::from_string("www.gub.uy"), 60, Ipv4(1, 1, 1, 1)));
+  EXPECT_FALSE(answer.is_referral());
+
+  auto aa = referral_for_uy();
+  aa.flags.aa = true;
+  EXPECT_FALSE(aa.is_referral());
+
+  auto nx = referral_for_uy();
+  nx.flags.rcode = Rcode::kNXDomain;
+  EXPECT_FALSE(nx.is_referral());
+}
+
+TEST(MessageTest, ToStringShowsAllSections) {
+  auto message = referral_for_uy();
+  message.answers.push_back(
+      make_a(Name::from_string("www.gub.uy"), 60, Ipv4(1, 1, 1, 1)));
+  std::string text = message.to_string();
+  EXPECT_NE(text.find("QUESTION"), std::string::npos);
+  EXPECT_NE(text.find("ANSWER"), std::string::npos);
+  EXPECT_NE(text.find("AUTHORITY"), std::string::npos);
+  EXPECT_NE(text.find("ADDITIONAL"), std::string::npos);
+  EXPECT_NE(text.find("a.nic.uy."), std::string::npos);
+}
+
+TEST(MessageTest, QuestionToString) {
+  Question q{Name::from_string("uy"), RRType::kNS, RClass::kIN};
+  EXPECT_EQ(q.to_string(), "uy. IN NS");
+}
+
+TEST(TypesTest, MnemonicsRoundTrip) {
+  for (RRType type : {RRType::kA, RRType::kNS, RRType::kCNAME, RRType::kSOA,
+                      RRType::kMX, RRType::kTXT, RRType::kAAAA, RRType::kOPT,
+                      RRType::kRRSIG, RRType::kDNSKEY, RRType::kANY}) {
+    EXPECT_EQ(rrtype_from_string(std::string(to_string(type))), type);
+  }
+  EXPECT_THROW(rrtype_from_string("NOPE"), std::invalid_argument);
+}
+
+TEST(TypesTest, RcodeAndSectionNames) {
+  EXPECT_EQ(to_string(Rcode::kNoError), "NOERROR");
+  EXPECT_EQ(to_string(Rcode::kNXDomain), "NXDOMAIN");
+  EXPECT_EQ(to_string(Rcode::kServFail), "SERVFAIL");
+  EXPECT_EQ(to_string(Section::kAdditional), "additional");
+  EXPECT_EQ(to_string(RClass::kIN), "IN");
+}
+
+}  // namespace
+}  // namespace dnsttl::dns

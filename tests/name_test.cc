@@ -1,0 +1,140 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dnsttl::dns {
+namespace {
+
+TEST(NameTest, RootParsesFromDot) {
+  Name root = Name::from_string(".");
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.label_count(), 0u);
+  EXPECT_EQ(root.to_string(), ".");
+}
+
+TEST(NameTest, ParsesWithAndWithoutTrailingDot) {
+  EXPECT_EQ(Name::from_string("a.nic.cl"), Name::from_string("a.nic.cl."));
+  EXPECT_EQ(Name::from_string("a.nic.cl").label_count(), 3u);
+}
+
+TEST(NameTest, ToStringAppendsTrailingDot) {
+  EXPECT_EQ(Name::from_string("www.example.org").to_string(),
+            "www.example.org.");
+}
+
+TEST(NameTest, CanonicalizesToLowerCase) {
+  EXPECT_EQ(Name::from_string("WWW.Example.ORG"),
+            Name::from_string("www.example.org"));
+}
+
+TEST(NameTest, RejectsEmptyString) {
+  EXPECT_THROW(Name::from_string(""), std::invalid_argument);
+}
+
+TEST(NameTest, RejectsEmptyLabel) {
+  EXPECT_THROW(Name::from_string("a..b"), std::invalid_argument);
+}
+
+TEST(NameTest, RejectsOversizedLabel) {
+  std::string big(64, 'x');
+  EXPECT_THROW(Name::from_string(big + ".com"), std::invalid_argument);
+}
+
+TEST(NameTest, AcceptsMaxLengthLabel) {
+  std::string label(63, 'x');
+  EXPECT_NO_THROW(Name::from_string(label + ".com"));
+}
+
+TEST(NameTest, RejectsOversizedName) {
+  // Four 63-byte labels == 4*64 + 1 = 257 wire bytes: too long.
+  std::string label(63, 'a');
+  std::string name = label + "." + label + "." + label + "." + label;
+  EXPECT_THROW(Name::from_string(name), std::invalid_argument);
+}
+
+TEST(NameTest, ParentWalksUpTheTree) {
+  Name name = Name::from_string("a.nic.cl");
+  EXPECT_EQ(name.parent(), Name::from_string("nic.cl"));
+  EXPECT_EQ(name.parent().parent(), Name::from_string("cl"));
+  EXPECT_TRUE(name.parent().parent().parent().is_root());
+  EXPECT_TRUE(Name{}.parent().is_root());
+}
+
+TEST(NameTest, PrependBuildsChildName) {
+  Name zone = Name::from_string("cachetest.net");
+  EXPECT_EQ(zone.prepend("sub"), Name::from_string("sub.cachetest.net"));
+}
+
+TEST(NameTest, SubdomainIncludesSelf) {
+  Name zone = Name::from_string("example.org");
+  EXPECT_TRUE(zone.is_subdomain_of(zone));
+  EXPECT_FALSE(zone.is_strict_subdomain_of(zone));
+}
+
+TEST(NameTest, SubdomainRelation) {
+  Name zone = Name::from_string("example.org");
+  Name host = Name::from_string("ns1.example.org");
+  EXPECT_TRUE(host.is_subdomain_of(zone));
+  EXPECT_TRUE(host.is_strict_subdomain_of(zone));
+  EXPECT_FALSE(zone.is_subdomain_of(host));
+  EXPECT_TRUE(host.is_subdomain_of(Name{}));  // everything under the root
+}
+
+TEST(NameTest, LabelBoundaryRespectedInSubdomainCheck) {
+  // "badexample.org" is NOT a subdomain of "example.org".
+  EXPECT_FALSE(Name::from_string("badexample.org")
+                   .is_subdomain_of(Name::from_string("example.org")));
+}
+
+TEST(NameTest, BailiwickMatchesPaperExamples) {
+  // From the paper's §2: ns.example.org is in bailiwick of example.org;
+  // ns.example.com is not.
+  Name zone = Name::from_string("example.org");
+  EXPECT_TRUE(
+      Name::from_string("ns.example.org").in_bailiwick_of(zone));
+  EXPECT_FALSE(
+      Name::from_string("ns.example.com").in_bailiwick_of(zone));
+}
+
+TEST(NameTest, CommonSuffixLabels) {
+  Name a = Name::from_string("a.nic.cl");
+  Name b = Name::from_string("b.nic.cl");
+  EXPECT_EQ(a.common_suffix_labels(b), 2u);
+  EXPECT_EQ(a.common_suffix_labels(a), 3u);
+  EXPECT_EQ(a.common_suffix_labels(Name{}), 0u);
+}
+
+TEST(NameTest, WireLength) {
+  EXPECT_EQ(Name{}.wire_length(), 1u);
+  // "a.nic.cl" -> 1+1 + 1+3 + 1+2 + 1 = 10
+  EXPECT_EQ(Name::from_string("a.nic.cl").wire_length(), 10u);
+}
+
+TEST(NameTest, CanonicalOrderingComparesFromRightmostLabel) {
+  // RFC 4034 §6.1 ordering: example < a.example < yljkjljk.a.example.
+  Name example = Name::from_string("example");
+  Name a_example = Name::from_string("a.example");
+  Name deep = Name::from_string("yljkjljk.a.example");
+  EXPECT_LT(example, a_example);
+  EXPECT_LT(a_example, deep);
+  EXPECT_LT(example, deep);
+}
+
+TEST(NameTest, SubdomainsSortContiguouslyAfterAncestor) {
+  Name zone = Name::from_string("example.org");
+  Name sub = Name::from_string("a.example.org");
+  Name sibling = Name::from_string("examplf.org");
+  EXPECT_LT(zone, sub);
+  EXPECT_LT(sub, sibling);
+}
+
+TEST(NameTest, HashConsistentWithEquality) {
+  std::hash<Name> hasher;
+  EXPECT_EQ(hasher(Name::from_string("WWW.org")),
+            hasher(Name::from_string("www.org")));
+}
+
+}  // namespace
+}  // namespace dnsttl::dns

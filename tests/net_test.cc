@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "auth/auth_server.h"
+#include "dns/rr.h"
+#include "net/latency.h"
+#include "net/network.h"
+
+namespace dnsttl::net {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+std::shared_ptr<dns::Zone> tiny_zone() {
+  auto zone = std::make_shared<dns::Zone>(Name::from_string("example.org"));
+  zone->add(dns::make_soa(Name::from_string("example.org"), 3600,
+                          Name::from_string("ns.example.org"), 1));
+  zone->add(dns::make_a(Name::from_string("www.example.org"), 300,
+                        dns::Ipv4(10, 1, 1, 1)));
+  return zone;
+}
+
+TEST(LatencyTest, MatrixIsSymmetric) {
+  for (Region a : kAllRegions) {
+    for (Region b : kAllRegions) {
+      EXPECT_DOUBLE_EQ(LatencyModel::base_oneway_ms(a, b),
+                       LatencyModel::base_oneway_ms(b, a));
+    }
+  }
+}
+
+TEST(LatencyTest, IntraRegionFasterThanInterRegion) {
+  for (Region a : kAllRegions) {
+    for (Region b : kAllRegions) {
+      if (a == b) continue;
+      EXPECT_LT(LatencyModel::base_oneway_ms(a, a),
+                LatencyModel::base_oneway_ms(a, b));
+    }
+  }
+}
+
+TEST(LatencyTest, SamePopCollapsesToMetroDelay) {
+  LatencyModel model;
+  Location probe{Region::kEU, 1.0, 7};
+  Location resolver{Region::kEU, 1.0, 7};
+  Location other{Region::kEU, 1.0, 8};
+  EXPECT_LT(model.expected_rtt(probe, resolver),
+            model.expected_rtt(probe, other));
+  EXPECT_LT(sim::to_milliseconds(model.expected_rtt(probe, resolver)), 10.0);
+}
+
+TEST(LatencyTest, SampledRttPositiveAndJittered) {
+  LatencyModel model;
+  sim::Rng rng(1);
+  Location eu{Region::kEU, 2.0};
+  Location na{Region::kNA, 2.0};
+  double lo = 1e18;
+  double hi = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    double ms = sim::to_milliseconds(model.rtt(eu, na, rng));
+    EXPECT_GT(ms, 0.0);
+    lo = std::min(lo, ms);
+    hi = std::max(hi, ms);
+  }
+  EXPECT_LT(lo, hi);  // jitter produces a spread
+  EXPECT_GT(hi / lo, 1.1);
+}
+
+TEST(NetworkTest, AttachAllocatesDistinctAddresses) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer s1{"one"};
+  auth::AuthServer s2{"two"};
+  Address a1 = network.attach(s1, Location{});
+  Address a2 = network.attach(s2, Location{});
+  EXPECT_NE(a1, a2);
+  EXPECT_TRUE(network.is_attached(a1));
+  EXPECT_EQ(network.site_count(a1), 1u);
+}
+
+TEST(NetworkTest, FixedAddressRespectedAndCollisionRejected) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer s1{"one"};
+  auth::AuthServer s2{"two"};
+  Address want = dns::Ipv4::from_string("190.124.27.10");
+  EXPECT_EQ(network.attach(s1, Location{}, want), want);
+  EXPECT_THROW(network.attach(s2, Location{}, want), std::invalid_argument);
+}
+
+TEST(NetworkTest, QueryReachesServerAndReturnsAnswer) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer server{"auth"};
+  server.add_zone(tiny_zone());
+  Address addr = network.attach(server, Location{Region::kEU, 1.0});
+
+  NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{Region::kEU, 1.0}};
+  auto query = dns::Message::make_query(
+      7, Name::from_string("www.example.org"), RRType::kA);
+  auto outcome = network.query(client, addr, query, 0);
+  ASSERT_TRUE(outcome.response.has_value());
+  EXPECT_EQ(outcome.response->id, 7);
+  EXPECT_TRUE(outcome.response->flags.aa);
+  ASSERT_EQ(outcome.response->answers.size(), 1u);
+  EXPECT_GT(outcome.elapsed, 0);
+}
+
+TEST(NetworkTest, DetachedAddressTimesOut) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer server{"auth"};
+  server.add_zone(tiny_zone());
+  Address addr = network.attach(server, Location{});
+  network.detach(addr);
+
+  NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
+  auto query = dns::Message::make_query(
+      1, Name::from_string("www.example.org"), RRType::kA);
+  auto outcome = network.query(client, addr, query, 0);
+  EXPECT_FALSE(outcome.response.has_value());
+  EXPECT_EQ(outcome.elapsed, network.params().query_timeout);
+}
+
+TEST(NetworkTest, OfflineServerTimesOut) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer server{"auth"};
+  server.add_zone(tiny_zone());
+  server.set_online(false);
+  Address addr = network.attach(server, Location{});
+  NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
+  auto query = dns::Message::make_query(
+      1, Name::from_string("www.example.org"), RRType::kA);
+  EXPECT_FALSE(network.query(client, addr, query, 0).response.has_value());
+}
+
+TEST(NetworkTest, TotalLossDropsEverything) {
+  Network::Params params;
+  params.loss_rate = 1.0;
+  Network network{sim::Rng{1}, LatencyModel{}, params};
+  auth::AuthServer server{"auth"};
+  server.add_zone(tiny_zone());
+  Address addr = network.attach(server, Location{});
+  NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
+  auto query = dns::Message::make_query(
+      1, Name::from_string("www.example.org"), RRType::kA);
+  EXPECT_FALSE(network.query(client, addr, query, 0).response.has_value());
+}
+
+TEST(NetworkTest, AnycastRoutesToNearestSite) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer eu_site{"eu"};
+  auth::AuthServer oc_site{"oc"};
+  auto zone = tiny_zone();
+  eu_site.add_zone(zone);
+  oc_site.add_zone(zone);
+  Address anycast = network.attach_anycast(
+      {{&eu_site, Location{Region::kEU, 1.0}},
+       {&oc_site, Location{Region::kOC, 1.0}}});
+  EXPECT_EQ(network.site_count(anycast), 2u);
+
+  NodeRef oc_client{dns::Ipv4(10, 0, 0, 99), Location{Region::kOC, 1.0}};
+  auto query = dns::Message::make_query(
+      1, Name::from_string("www.example.org"), RRType::kA);
+  for (int i = 0; i < 5; ++i) {
+    network.query(oc_client, anycast, query, 0);
+  }
+  EXPECT_EQ(oc_site.queries_answered(), 5u);
+  EXPECT_EQ(eu_site.queries_answered(), 0u);
+}
+
+TEST(AuthServerTest, RefusesForeignZone) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer server{"auth"};
+  server.add_zone(tiny_zone());
+  Address addr = network.attach(server, Location{});
+  NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
+  auto query = dns::Message::make_query(
+      1, Name::from_string("www.elsewhere.net"), RRType::kA);
+  auto outcome = network.query(client, addr, query, 0);
+  ASSERT_TRUE(outcome.response.has_value());
+  EXPECT_EQ(outcome.response->flags.rcode, dns::Rcode::kRefused);
+}
+
+TEST(AuthServerTest, LogsQueriesWhenEnabled) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer server{"auth"};
+  server.add_zone(tiny_zone());
+  server.set_logging(true);
+  Address addr = network.attach(server, Location{});
+  NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
+  auto query = dns::Message::make_query(
+      1, Name::from_string("www.example.org"), RRType::kA);
+  network.query(client, addr, query, 5 * sim::kSecond);
+  ASSERT_EQ(server.log().size(), 1u);
+  EXPECT_EQ(server.log().entries()[0].client, client.address);
+  EXPECT_EQ(server.log().entries()[0].qname,
+            Name::from_string("www.example.org"));
+  EXPECT_GT(server.log().entries()[0].time, 5 * sim::kSecond);
+  EXPECT_EQ(server.log().unique_clients(), 1u);
+}
+
+TEST(AuthServerTest, DeepestZoneWins) {
+  Network network{sim::Rng{1}};
+  auth::AuthServer server{"auth"};
+  auto parent = std::make_shared<dns::Zone>(Name::from_string("net"));
+  parent->add(dns::make_soa(Name::from_string("net"), 3600,
+                            Name::from_string("ns.net"), 1));
+  parent->add(dns::make_ns(Name::from_string("cachetest.net"), 3600,
+                           Name::from_string("ns1.cachetest.net")));
+  auto child =
+      std::make_shared<dns::Zone>(Name::from_string("cachetest.net"));
+  child->add(dns::make_soa(Name::from_string("cachetest.net"), 3600,
+                           Name::from_string("ns1.cachetest.net"), 1));
+  child->add(dns::make_a(Name::from_string("www.cachetest.net"), 60,
+                         dns::Ipv4(1, 1, 1, 1)));
+  server.add_zone(parent);
+  server.add_zone(child);
+  Address addr = network.attach(server, Location{});
+  NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
+  auto query = dns::Message::make_query(
+      1, Name::from_string("www.cachetest.net"), RRType::kA);
+  auto outcome = network.query(client, addr, query, 0);
+  ASSERT_TRUE(outcome.response.has_value());
+  // Served from the child zone (authoritative answer), not a referral.
+  EXPECT_TRUE(outcome.response->flags.aa);
+  EXPECT_EQ(outcome.response->answers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dnsttl::net

@@ -1,0 +1,181 @@
+// Interaction tests: policy knobs combined — the configurations real
+// deployments actually run (validating + minimizing, stale + prefetch,
+// local-root + child-centric, caps + parent-centric...).
+
+#include <gtest/gtest.h>
+
+#include "core/world.h"
+#include "dns/dnssec.h"
+#include "dns/rr.h"
+#include "resolver/forwarder.h"
+#include "resolver/recursive_resolver.h"
+
+namespace dnsttl::resolver {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+class ComboTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world = std::make_unique<core::World>(core::World::Options{1, 0.0, {}});
+    zone = world->add_tld("org", "ns1", dns::kTtl2Days, 3600, 3600,
+                          net::Location{net::Region::kEU, 1.0});
+    zone->add(dns::make_a(Name::from_string("www.deep.example.org"), 600,
+                          dns::Ipv4(10, 0, 0, 1)));
+    dns::sign_zone(*zone, dns::make_zone_key(Name::from_string("org")));
+  }
+
+  RecursiveResolver make(const ResolverConfig& config) {
+    RecursiveResolver r("combo", config, world->network(), world->hints());
+    net::Location eu{net::Region::kEU, 1.0};
+    r.set_node_ref(net::NodeRef{world->network().attach(r, eu), eu});
+    if (config.local_root) {
+      r.set_local_root_zone(world->root_zone());
+    }
+    return r;
+  }
+
+  dns::Question deep_q() {
+    return {Name::from_string("www.deep.example.org"), RRType::kA,
+            dns::RClass::kIN};
+  }
+
+  std::unique_ptr<core::World> world;
+  std::shared_ptr<dns::Zone> zone;
+};
+
+TEST_F(ComboTest, ValidatingMinimizerResolvesSignedNames) {
+  auto config = child_centric_config();
+  config.validate_dnssec = true;
+  config.qname_minimization = true;
+  auto r = make(config);
+  auto result = r.resolve(deep_q(), 0);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
+  ASSERT_FALSE(result.response.answers.empty());
+  EXPECT_GT(r.stats().validations, 0u);
+}
+
+TEST_F(ComboTest, ValidatingMinimizerRejectsTamperedData) {
+  zone->renumber_a(Name::from_string("www.deep.example.org"),
+                   dns::Ipv4(66, 6, 6, 6));
+  auto config = child_centric_config();
+  config.validate_dnssec = true;
+  config.qname_minimization = true;
+  auto r = make(config);
+  auto result = r.resolve(deep_q(), 0);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
+}
+
+TEST_F(ComboTest, StaleAndPrefetchTogether) {
+  auto config = child_centric_config();
+  config.serve_stale = true;
+  config.prefetch = true;
+  auto r = make(config);
+  r.resolve(deep_q(), 0);
+
+  // Prefetch keeps the entry alive across the nominal expiry...
+  r.resolve(deep_q(), 580 * sim::kSecond);  // <10% left: refresh fires
+  auto refreshed = r.resolve(deep_q(), 700 * sim::kSecond);
+  EXPECT_TRUE(refreshed.answered_from_cache);
+
+  // ...and serve-stale covers a later total outage.
+  world->server("ns1.org.").set_online(false);
+  auto stale = r.resolve(deep_q(), 3 * sim::kHour);
+  EXPECT_TRUE(stale.served_stale);
+}
+
+TEST_F(ComboTest, LocalRootChildCentricSkipsRootsButHonorsChild) {
+  auto config = child_centric_config();  // NOT parent-centric
+  config.local_root = true;
+  auto r = make(config);
+  auto result = r.resolve(
+      {Name::from_string("org"), RRType::kNS, dns::RClass::kIN}, 0);
+  // Child-centric: the child's 3600 s wins even with a root mirror.
+  ASSERT_FALSE(result.response.answers.empty());
+  EXPECT_EQ(result.response.answers[0].ttl, 3600u);
+  // But no root server was consulted.
+  EXPECT_EQ(world->server("a.root-servers.net").queries_answered(), 0u);
+  EXPECT_EQ(world->server("k.root-servers.net").queries_answered(), 0u);
+  EXPECT_EQ(world->server("m.root-servers.net").queries_answered(), 0u);
+}
+
+TEST_F(ComboTest, ParentCentricWithLowCap) {
+  auto config = parent_centric_config();
+  config.max_ttl = 600;
+  auto r = make(config);
+  auto result = r.resolve(
+      {Name::from_string("org"), RRType::kNS, dns::RClass::kIN}, 0);
+  ASSERT_FALSE(result.response.answers.empty());
+  // Parent copy (172800) selected, then clamped by the cap.
+  EXPECT_EQ(result.response.answers[0].ttl, 600u);
+}
+
+TEST_F(ComboTest, StickyMinimizerStillPins) {
+  auto config = sticky_config();
+  config.qname_minimization = true;
+  auto r = make(config);
+  auto first = r.resolve(deep_q(), 0);
+  ASSERT_FALSE(first.response.answers.empty());
+
+  // Renumber the whole world away; the sticky resolver keeps asking the
+  // pinned (old) server, which still answers with old data.
+  auto fresh_zone = world->create_zone("org", 3600);
+  for (const auto& rrset : zone->all_rrsets()) {
+    fresh_zone->replace(rrset);
+  }
+  fresh_zone->renumber_a(Name::from_string("www.deep.example.org"),
+                         dns::Ipv4(99, 9, 9, 9));
+  auto& new_server = world->add_server("ns1b.org",
+                                       net::Location{net::Region::kEU, 1.0});
+  new_server.add_zone(fresh_zone);
+  world->root_zone()->renumber_a(Name::from_string("ns1.org"),
+                                 world->address_of("ns1b.org"));
+
+  auto later = r.resolve(deep_q(), 3 * sim::kDay);
+  ASSERT_FALSE(later.response.answers.empty());
+  EXPECT_EQ(dns::rdata_to_string(later.response.answers[0].rdata),
+            "10.0.0.1");
+}
+
+TEST_F(ComboTest, ForwarderChainToValidatingBackend) {
+  auto config = child_centric_config();
+  config.validate_dnssec = true;
+  auto backend = std::make_shared<RecursiveResolver>(
+      "backend", config, world->network(), world->hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  backend->set_node_ref(
+      net::NodeRef{world->network().attach(*backend, eu), eu});
+
+  Forwarder outer{"outer", world->network(), {backend->node_ref().address}};
+  auto outer_addr = world->network().attach(outer, eu);
+  outer.set_node_ref(net::NodeRef{outer_addr, eu});
+
+  net::NodeRef client{dns::Ipv4(11, 1, 1, 1), eu};
+  auto query = dns::Message::make_query(
+      5, Name::from_string("www.deep.example.org"), RRType::kA);
+  auto outcome = world->network().query(client, outer_addr, query, 0);
+  ASSERT_TRUE(outcome.response.has_value());
+  EXPECT_EQ(outcome.response->flags.rcode, dns::Rcode::kNoError);
+  EXPECT_FALSE(outcome.response->answers.empty());
+  EXPECT_GT(backend->stats().validations, 0u);
+}
+
+TEST_F(ComboTest, TtlZeroRecordWithPrefetchDoesNotLoop) {
+  zone->add(dns::make_a(Name::from_string("zero.org"), 0,
+                        dns::Ipv4(10, 0, 0, 2)));
+  auto config = child_centric_config();
+  config.prefetch = true;
+  auto r = make(config);
+  for (int i = 0; i < 5; ++i) {
+    auto result = r.resolve(
+        {Name::from_string("zero.org"), RRType::kA, dns::RClass::kIN},
+        i * sim::kSecond);
+    EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
+    EXPECT_FALSE(result.answered_from_cache);
+  }
+}
+
+}  // namespace
+}  // namespace dnsttl::resolver

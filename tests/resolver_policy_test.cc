@@ -1,0 +1,204 @@
+// Parameterized sweeps over resolver policy and zone-layout space: for any
+// (parent TTL, child TTL, centricity, cap) combination, the TTL the
+// resolver serves must match the analytical effective-TTL model, and core
+// invariants must hold under failure injection.
+
+#include <gtest/gtest.h>
+
+#include "core/effective_ttl.h"
+#include "core/world.h"
+#include "dns/rr.h"
+#include "resolver/recursive_resolver.h"
+
+namespace dnsttl::resolver {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+struct SweepCase {
+  dns::Ttl parent_ttl;
+  dns::Ttl child_ttl;
+  Centricity centricity;
+  dns::Ttl max_ttl;
+};
+
+class TtlSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TtlSweepTest, ServedNsTtlMatchesEffectiveTtlModel) {
+  const auto& param = GetParam();
+  core::World world{core::World::Options{1, 0.0, {}}};
+  world.add_tld("zz", "a.nic", param.parent_ttl, param.child_ttl,
+                param.child_ttl, net::Location{net::Region::kEU, 1.0});
+
+  ResolverConfig config;
+  config.centricity = param.centricity;
+  config.max_ttl = param.max_ttl;
+  if (param.centricity == Centricity::kParentCentric) {
+    config.fetch_authoritative_ns_addresses = false;
+  }
+  RecursiveResolver resolver("sweep", config, world.network(),
+                             world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+
+  auto result = resolver.resolve(
+      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, 0);
+  ASSERT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
+  ASSERT_FALSE(result.response.answers.empty());
+
+  core::DelegationLayout layout;
+  layout.parent_ns_ttl = param.parent_ttl;
+  layout.child_ns_ttl = param.child_ttl;
+  layout.parent_glue_ttl = param.parent_ttl;
+  layout.child_a_ttl = param.child_ttl;
+  auto expected = core::effective_ttl(layout, config);
+  EXPECT_EQ(result.response.answers[0].ttl, expected.ns_ttl)
+      << "parent=" << param.parent_ttl << " child=" << param.child_ttl
+      << " " << to_string(param.centricity) << " cap=" << param.max_ttl;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutAndPolicy, TtlSweepTest,
+    ::testing::Values(
+        // The paper's real-world pairs.
+        SweepCase{172800, 300, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{172800, 300, Centricity::kParentCentric, dns::kTtl1Week},
+        SweepCase{900, 345600, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{900, 345600, Centricity::kChildCentric, 21599},
+        SweepCase{900, 345600, Centricity::kParentCentric, dns::kTtl1Week},
+        SweepCase{172800, 86400, Centricity::kChildCentric, dns::kTtl1Week},
+        // Equal copies: centricity becomes invisible.
+        SweepCase{3600, 3600, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{3600, 3600, Centricity::kParentCentric, dns::kTtl1Week},
+        // Degenerate: child shorter than any cap, parent capped.
+        SweepCase{172800, 60, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{172800, 60, Centricity::kParentCentric, 21599}));
+
+// ---------------------------------------------------------------- failures
+
+TEST(FailureInjectionTest, HighLossStillResolvesViaRetries) {
+  core::World world{core::World::Options{7, 0.20, {}}};  // 20% loss
+  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+                net::Location{net::Region::kEU, 1.0});
+  RecursiveResolver resolver("lossy", child_centric_config(),
+                             world.network(), world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+
+  int ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto result = resolver.resolve(
+        {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN},
+        i * sim::kHour * 2);  // past TTL each round: full resolution
+    if (result.response.flags.rcode == dns::Rcode::kNoError) ++ok;
+  }
+  // With 3 root servers and retries, the vast majority must succeed.
+  EXPECT_GT(ok, 40);
+}
+
+TEST(FailureInjectionTest, AllRootsDeadMeansServfailNotHang) {
+  core::World world{core::World::Options{7, 0.0, {}}};
+  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+                net::Location{net::Region::kEU, 1.0});
+  for (const auto& hint : world.hints().servers) {
+    world.network().detach(hint.address);
+  }
+  RecursiveResolver resolver("dark", child_centric_config(),
+                             world.network(), world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+  auto result = resolver.resolve(
+      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, 0);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
+  EXPECT_GT(result.elapsed, 0);
+}
+
+TEST(FailureInjectionTest, OneDeadRootIsInvisible) {
+  core::World world{core::World::Options{7, 0.0, {}}};
+  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+                net::Location{net::Region::kEU, 1.0});
+  world.network().detach(world.hints().servers[0].address);
+  RecursiveResolver resolver("resilient", child_centric_config(),
+                             world.network(), world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+  auto result = resolver.resolve(
+      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, 0);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
+}
+
+TEST(FailureInjectionTest, LameDelegationEventuallyServfails) {
+  core::World world{core::World::Options{7, 0.0, {}}};
+  // Delegation points at a server that is not authoritative for the zone.
+  auto& lame = world.add_server("lame", net::Location{net::Region::kEU, 1.0});
+  lame.add_zone(world.create_zone("other.example"));
+  world.delegate(*world.root_zone(), Name::from_string("zz"),
+                 {{Name::from_string("ns1.zz"), world.address_of("lame")}},
+                 3600, 3600);
+  RecursiveResolver resolver("victim", child_centric_config(),
+                             world.network(), world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+  auto result = resolver.resolve(
+      {Name::from_string("www.zz"), RRType::kA, dns::RClass::kIN}, 0);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
+}
+
+TEST(FailureInjectionTest, CnameLoopTerminates) {
+  core::World world{core::World::Options{7, 0.0, {}}};
+  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+                            net::Location{net::Region::kEU, 1.0});
+  zone->add(dns::make_cname(Name::from_string("a.zz"), 300,
+                            Name::from_string("b.zz")));
+  zone->add(dns::make_cname(Name::from_string("b.zz"), 300,
+                            Name::from_string("a.zz")));
+  RecursiveResolver resolver("looped", child_centric_config(),
+                             world.network(), world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+  auto result = resolver.resolve(
+      {Name::from_string("a.zz"), RRType::kA, dns::RClass::kIN}, 0);
+  // Must terminate (bounded iterations), not hang; SERVFAIL is acceptable.
+  EXPECT_NE(result.response.flags.rcode, dns::Rcode::kNoError);
+}
+
+TEST(FailureInjectionTest, MidRunServerLossTriggersStaleOrServfail) {
+  core::World world{core::World::Options{7, 0.0, {}}};
+  auto zone = world.add_tld("zz", "a.nic", 3600, 300, 300,
+                            net::Location{net::Region::kEU, 1.0});
+  zone->add(dns::make_a(Name::from_string("www.zz"), 60, dns::Ipv4(1, 1, 1, 1)));
+
+  for (bool stale : {false, true}) {
+    auto config = child_centric_config();
+    config.serve_stale = stale;
+    RecursiveResolver resolver(stale ? "stale" : "plain", config,
+                               world.network(), world.hints());
+    net::Location eu{net::Region::kEU, 1.0};
+    resolver.set_node_ref(
+        net::NodeRef{world.network().attach(resolver, eu), eu});
+    resolver.resolve({Name::from_string("www.zz"), RRType::kA,
+                      dns::RClass::kIN},
+                     0);
+    world.server("a.nic.zz.").set_online(false);
+    auto result = resolver.resolve(
+        {Name::from_string("www.zz"), RRType::kA, dns::RClass::kIN},
+        10 * sim::kMinute);
+    if (stale) {
+      EXPECT_TRUE(result.served_stale);
+      EXPECT_FALSE(result.response.answers.empty());
+    } else {
+      EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
+    }
+    world.server("a.nic.zz.").set_online(true);
+  }
+}
+
+}  // namespace
+}  // namespace dnsttl::resolver

@@ -1,0 +1,374 @@
+#include "resolver/recursive_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "auth/auth_server.h"
+#include "dns/rr.h"
+#include "resolver/forwarder.h"
+#include "resolver/population.h"
+
+namespace dnsttl::resolver {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using sim::kSecond;
+
+/// A miniature Internet mirroring the paper's §3 setup: a root zone
+/// delegating .uy with 172800 s NS/glue TTLs, and the .uy child zone
+/// carrying a 300 s NS TTL and a 120 s address TTL for a.nic.uy.
+class ResolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network = std::make_unique<net::Network>(sim::Rng{1});
+
+    root_zone = std::make_shared<dns::Zone>(Name{});
+    root_zone->add(dns::make_soa(Name{}, 86400,
+                                 Name::from_string("a.root-servers.net"), 1));
+    root_zone->add(dns::make_ns(Name{}, 518400,
+                                Name::from_string("a.root-servers.net")));
+
+    root_server = std::make_unique<auth::AuthServer>("a.root-servers.net");
+    root_server->add_zone(root_zone);
+    root_addr = network->attach(*root_server, net::Location{net::Region::kNA});
+    root_zone->add(dns::make_a(Name::from_string("a.root-servers.net"),
+                               518400, root_addr));
+    hints.servers.push_back({Name::from_string("a.root-servers.net"),
+                             root_addr});
+
+    // .uy child zone and server.
+    uy_zone = std::make_shared<dns::Zone>(Name::from_string("uy"));
+    uy_zone->add(dns::make_soa(Name::from_string("uy"), 300,
+                               Name::from_string("a.nic.uy"), 1));
+    uy_zone->add(dns::make_ns(Name::from_string("uy"), 300,
+                              Name::from_string("a.nic.uy")));
+    uy_server = std::make_unique<auth::AuthServer>("a.nic.uy");
+    uy_server->add_zone(uy_zone);
+    uy_addr = network->attach(*uy_server, net::Location{net::Region::kSA});
+    uy_zone->add(dns::make_a(Name::from_string("a.nic.uy"), 120, uy_addr));
+    uy_zone->add(dns::make_a(Name::from_string("www.gub.uy"), 600,
+                             dns::Ipv4(10, 77, 0, 1)));
+
+    // Root-side delegation: the 2-day parent copies.
+    root_zone->add(dns::make_ns(Name::from_string("uy"), 172800,
+                                Name::from_string("a.nic.uy")));
+    root_zone->add(dns::make_a(Name::from_string("a.nic.uy"), 172800,
+                               uy_addr));
+  }
+
+  std::unique_ptr<RecursiveResolver> make_resolver(ResolverConfig config) {
+    auto resolver = std::make_unique<RecursiveResolver>("test", config,
+                                                        *network, hints);
+    auto location = net::Location{net::Region::kEU, 1.0};
+    auto address = network->attach(*resolver, location);
+    resolver->set_node_ref(net::NodeRef{address, location});
+    if (config.local_root) {
+      resolver->set_local_root_zone(root_zone);
+    }
+    return resolver;
+  }
+
+  static dns::Ttl answer_ttl(const dns::Message& response, RRType type) {
+    for (const auto& rr : response.answers) {
+      if (rr.type() == type) {
+        return rr.ttl;
+      }
+    }
+    ADD_FAILURE() << "no answer of requested type:\n" << response.to_string();
+    return 0;
+  }
+
+  std::unique_ptr<net::Network> network;
+  std::shared_ptr<dns::Zone> root_zone;
+  std::shared_ptr<dns::Zone> uy_zone;
+  std::unique_ptr<auth::AuthServer> root_server;
+  std::unique_ptr<auth::AuthServer> uy_server;
+  net::Address root_addr;
+  net::Address uy_addr;
+  RootHints hints;
+};
+
+TEST_F(ResolverTest, ChildCentricSeesChildNsTtl) {
+  auto resolver = make_resolver(child_centric_config());
+  auto result = resolver->resolve(
+      dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
+      0);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), 300u);
+  EXPECT_FALSE(result.answered_from_cache);
+  EXPECT_GT(result.elapsed, 0);
+}
+
+TEST_F(ResolverTest, ParentCentricSeesParentNsTtl) {
+  auto resolver = make_resolver(parent_centric_config());
+  auto result = resolver->resolve(
+      dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
+      0);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), 172800u);
+  // Parent-centric resolvers never consult the child for the NS copy.
+  EXPECT_EQ(uy_server->queries_answered(), 0u);
+}
+
+TEST_F(ResolverTest, ChildCentricSeesChildAddressTtl) {
+  auto resolver = make_resolver(child_centric_config());
+  auto result = resolver->resolve(
+      dns::Question{Name::from_string("a.nic.uy"), RRType::kA,
+                    dns::RClass::kIN},
+      0);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kA), 120u);
+}
+
+TEST_F(ResolverTest, ParentCentricSeesGlueAddressTtl) {
+  auto resolver = make_resolver(parent_centric_config());
+  auto result = resolver->resolve(
+      dns::Question{Name::from_string("a.nic.uy"), RRType::kA,
+                    dns::RClass::kIN},
+      0);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kA), 172800u);
+}
+
+TEST_F(ResolverTest, SecondQueryServedFromCacheWithCountedDownTtl) {
+  auto resolver = make_resolver(child_centric_config());
+  dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
+                         dns::RClass::kIN};
+  auto first = resolver->resolve(question, 0);
+  EXPECT_EQ(answer_ttl(first.response, RRType::kA), 600u);
+
+  auto second = resolver->resolve(question, 100 * kSecond);
+  EXPECT_TRUE(second.answered_from_cache);
+  EXPECT_EQ(second.elapsed, 0);
+  EXPECT_EQ(answer_ttl(second.response, RRType::kA), 500u);
+
+  // Past the TTL, a full re-resolution happens.
+  auto third = resolver->resolve(question, 700 * kSecond);
+  EXPECT_FALSE(third.answered_from_cache);
+  EXPECT_EQ(answer_ttl(third.response, RRType::kA), 600u);
+}
+
+TEST_F(ResolverTest, GoogleLikeCapsServedTtl) {
+  // A 21599 s cap flattens long TTLs — the Figure 2 plateau.
+  auto resolver = make_resolver(google_like_config());
+  auto result = resolver->resolve(
+      dns::Question{Name::from_string("a.nic.uy"), RRType::kA,
+                    dns::RClass::kIN},
+      0);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kA), 120u);  // under cap
+
+  auto ns = resolver->resolve(
+      dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
+      0);
+  EXPECT_EQ(answer_ttl(ns.response, RRType::kNS), 300u);  // child copy
+}
+
+TEST_F(ResolverTest, LocalRootAnswersWithFullParentTtlEveryTime) {
+  // RFC 7706 + parent-centric: the §3.2 VPs that always report 172800 s.
+  auto resolver = make_resolver(opendns_like_config());
+  for (sim::Time t : {sim::Time{0}, 10 * sim::kMinute, 3 * sim::kHour}) {
+    auto result = resolver->resolve(
+        dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
+        t);
+    EXPECT_EQ(answer_ttl(result.response, RRType::kNS), 172800u);
+    EXPECT_TRUE(result.answered_from_referral);
+  }
+  // Nothing left the resolver toward the root.
+  EXPECT_EQ(root_server->queries_answered(), 0u);
+}
+
+TEST_F(ResolverTest, LocalRootStillForwardsChildQuestions) {
+  auto resolver = make_resolver(opendns_like_config());
+  auto result = resolver->resolve(
+      dns::Question{Name::from_string("www.gub.uy"), RRType::kA,
+                    dns::RClass::kIN},
+      0);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kA), 600u);
+  EXPECT_EQ(root_server->queries_answered(), 0u);
+  EXPECT_GT(uy_server->queries_answered(), 0u);
+}
+
+TEST_F(ResolverTest, ParentCentricCountsDownCachedReferralTtl) {
+  auto resolver = make_resolver(parent_centric_config());
+  dns::Question question{Name::from_string("uy"), RRType::kNS,
+                         dns::RClass::kIN};
+  resolver->resolve(question, 0);
+  auto later = resolver->resolve(question, 1000 * kSecond);
+  EXPECT_TRUE(later.answered_from_cache);
+  EXPECT_EQ(answer_ttl(later.response, RRType::kNS), 172800u - 1000u);
+}
+
+TEST_F(ResolverTest, NxDomainIsNegativeCached) {
+  auto resolver = make_resolver(child_centric_config());
+  dns::Question question{Name::from_string("nope.uy"), RRType::kA,
+                         dns::RClass::kIN};
+  auto first = resolver->resolve(question, 0);
+  EXPECT_EQ(first.response.flags.rcode, dns::Rcode::kNXDomain);
+  auto upstream_before = resolver->stats().upstream_queries;
+
+  auto second = resolver->resolve(question, 10 * kSecond);
+  EXPECT_EQ(second.response.flags.rcode, dns::Rcode::kNXDomain);
+  EXPECT_EQ(resolver->stats().upstream_queries, upstream_before);
+}
+
+TEST_F(ResolverTest, ServeStaleAnswersWhenChildOffline) {
+  ResolverConfig config = child_centric_config();
+  config.serve_stale = true;
+  auto resolver = make_resolver(config);
+  dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
+                         dns::RClass::kIN};
+  resolver->resolve(question, 0);
+
+  uy_server->set_online(false);
+  auto result = resolver->resolve(question, 700 * kSecond);  // TTL expired
+  EXPECT_TRUE(result.served_stale);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
+  ASSERT_FALSE(result.response.answers.empty());
+}
+
+TEST_F(ResolverTest, WithoutServeStaleOfflineChildMeansServfail) {
+  auto resolver = make_resolver(child_centric_config());
+  dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
+                         dns::RClass::kIN};
+  resolver->resolve(question, 0);
+  uy_server->set_online(false);
+  auto result = resolver->resolve(question, 700 * kSecond);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
+}
+
+TEST_F(ResolverTest, LocalRootAnswersTldNsWithChildOffline) {
+  // §4.4: OpenDNS-style resolvers answered NS queries even with the child's
+  // authoritative servers offline.
+  auto resolver = make_resolver(opendns_like_config());
+  uy_server->set_online(false);
+  auto result = resolver->resolve(
+      dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
+      0);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), 172800u);
+}
+
+TEST_F(ResolverTest, StickyResolverKeepsOldServerAfterRenumber) {
+  auto sticky = make_resolver(sticky_config());
+  auto normal = make_resolver(child_centric_config());
+  dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
+                         dns::RClass::kIN};
+  sticky->resolve(question, 0);
+  normal->resolve(question, 0);
+
+  // Stand up a replacement server and move every .uy pointer to it.
+  auto new_zone = std::make_shared<dns::Zone>(Name::from_string("uy"));
+  for (const auto& rrset : uy_zone->all_rrsets()) {
+    new_zone->replace(rrset);
+  }
+  new_zone->replace([&] {
+    dns::RRset set(Name::from_string("www.gub.uy"), dns::RClass::kIN, 600);
+    set.add(dns::ARdata{dns::Ipv4(10, 77, 0, 2)});  // changed answer
+    return set;
+  }());
+  auth::AuthServer new_server{"a.nic.uy-new"};
+  new_server.add_zone(new_zone);
+  auto new_addr =
+      network->attach(new_server, net::Location{net::Region::kSA});
+  new_zone->renumber_a(Name::from_string("a.nic.uy"), new_addr);
+  root_zone->renumber_a(Name::from_string("a.nic.uy"), new_addr);
+  uy_zone->renumber_a(Name::from_string("a.nic.uy"), new_addr);
+
+  // Far past every TTL, the sticky resolver still asks the old server.
+  sim::Time later = 3 * sim::kDay;
+  auto sticky_result = sticky->resolve(question, later);
+  auto normal_result = normal->resolve(question, later);
+  EXPECT_EQ(dns::rdata_to_string(sticky_result.response.answers[0].rdata),
+            "10.77.0.1");
+  EXPECT_EQ(dns::rdata_to_string(normal_result.response.answers[0].rdata),
+            "10.77.0.2");
+}
+
+TEST_F(ResolverTest, CnameChainAcrossZonesIsChased) {
+  uy_zone->add(dns::make_cname(Name::from_string("alias.uy"), 300,
+                               Name::from_string("www.gub.uy")));
+  auto resolver = make_resolver(child_centric_config());
+  auto result = resolver->resolve(
+      dns::Question{Name::from_string("alias.uy"), RRType::kA,
+                    dns::RClass::kIN},
+      0);
+  ASSERT_GE(result.response.answers.size(), 2u);
+  EXPECT_EQ(result.response.answers.front().type(), RRType::kCNAME);
+  EXPECT_EQ(result.response.answers.back().type(), RRType::kA);
+}
+
+TEST_F(ResolverTest, HandleQueryEchoesIdAndSetsRa) {
+  auto resolver = make_resolver(child_centric_config());
+  auto query = dns::Message::make_query(
+      0xbeef, Name::from_string("www.gub.uy"), RRType::kA);
+  auto reply = resolver->handle_query(query, dns::Ipv4(10, 9, 9, 9), 0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->message.id, 0xbeef);
+  EXPECT_TRUE(reply->message.flags.qr);
+  EXPECT_TRUE(reply->message.flags.ra);
+}
+
+TEST_F(ResolverTest, StatsTrackHitsAndResolutions) {
+  auto resolver = make_resolver(child_centric_config());
+  dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
+                         dns::RClass::kIN};
+  resolver->resolve(question, 0);
+  resolver->resolve(question, kSecond);
+  EXPECT_EQ(resolver->stats().client_queries, 2u);
+  EXPECT_EQ(resolver->stats().cache_answers, 1u);
+  EXPECT_EQ(resolver->stats().full_resolutions, 1u);
+  EXPECT_GT(resolver->stats().upstream_queries, 0u);
+}
+
+TEST_F(ResolverTest, FlushForcesFullResolution) {
+  auto resolver = make_resolver(child_centric_config());
+  dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
+                         dns::RClass::kIN};
+  resolver->resolve(question, 0);
+  resolver->flush();
+  auto again = resolver->resolve(question, kSecond);
+  EXPECT_FALSE(again.answered_from_cache);
+}
+
+TEST_F(ResolverTest, ForwarderRelaysToBackend) {
+  auto backend = make_resolver(child_centric_config());
+  Forwarder forwarder{"fw", *network, {backend->node_ref().address}};
+  auto location = net::Location{net::Region::kEU, 0.5};
+  auto fw_addr = network->attach(forwarder, location);
+  forwarder.set_node_ref(net::NodeRef{fw_addr, location});
+
+  net::NodeRef probe{dns::Ipv4(10, 200, 0, 1),
+                     net::Location{net::Region::kEU, 1.0}};
+  auto query = dns::Message::make_query(
+      3, Name::from_string("www.gub.uy"), RRType::kA);
+  auto outcome = network->query(probe, fw_addr, query, 0);
+  ASSERT_TRUE(outcome.response.has_value());
+  EXPECT_EQ(outcome.response->answers.size(), 1u);
+  EXPECT_EQ(backend->stats().client_queries, 1u);
+}
+
+TEST_F(ResolverTest, PopulationBuildsCalibratedMixture) {
+  sim::Rng rng(5);
+  auto population = ResolverPopulation::build(
+      *network, hints, root_zone, paper_profiles(), 400,
+      atlas_region_weights(), rng);
+  EXPECT_EQ(population.size(), 400u);
+
+  // Every profile tag from the mixture is represented.
+  for (const auto& profile : paper_profiles()) {
+    EXPECT_FALSE(population.with_profile(profile.tag).empty())
+        << profile.tag;
+  }
+  // The dominant slice is plain child-centric.
+  EXPECT_GT(population.with_profile("child-bind").size(), 150u);
+
+  // Members actually resolve.
+  auto& member = population.members()[0];
+  auto result = member.resolver->resolve(
+      dns::Question{Name::from_string("www.gub.uy"), RRType::kA,
+                    dns::RClass::kIN},
+      0);
+  EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
+  population.flush_all();
+  EXPECT_EQ(member.resolver->cache().size(), 0u);
+}
+
+}  // namespace
+}  // namespace dnsttl::resolver

@@ -1,0 +1,192 @@
+// Miscellaneous edge cases across modules: malformed inputs, empty
+// structures, forwarder selection modes, and accounting counters.
+
+#include <gtest/gtest.h>
+
+#include "auth/auth_server.h"
+#include "core/world.h"
+#include "dns/dnssec.h"
+#include "dns/rr.h"
+#include "dns/wire.h"
+#include "resolver/forwarder.h"
+#include "resolver/recursive_resolver.h"
+
+namespace dnsttl {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+TEST(RobustnessTest, AuthServerRejectsQuestionlessQuery) {
+  auth::AuthServer server{"auth"};
+  dns::Message empty;
+  auto reply = server.handle_query(empty, dns::Ipv4(1, 1, 1, 1), 0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->message.flags.rcode, dns::Rcode::kFormErr);
+}
+
+TEST(RobustnessTest, ResolverRejectsQuestionlessQuery) {
+  core::World world{core::World::Options{1, 0.0, {}}};
+  resolver::RecursiveResolver resolver("r", resolver::child_centric_config(),
+                                       world.network(), world.hints());
+  dns::Message empty;
+  auto reply = resolver.handle_query(empty, dns::Ipv4(1, 1, 1, 1), 0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->message.flags.rcode, dns::Rcode::kFormErr);
+}
+
+TEST(RobustnessTest, ForwarderWithNoBackendsTimesOut) {
+  core::World world{core::World::Options{1, 0.0, {}}};
+  resolver::Forwarder forwarder{"empty", world.network(), {}};
+  auto query = dns::Message::make_query(1, Name::from_string("x"), RRType::kA);
+  EXPECT_FALSE(forwarder.handle_query(query, dns::Ipv4(1, 1, 1, 1), 0)
+                   .has_value());
+}
+
+TEST(RobustnessTest, ForwarderHashSelectionIsStablePerQname) {
+  core::World world{core::World::Options{1, 0.0, {}}};
+  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+                net::Location{net::Region::kEU, 1.0});
+
+  auto make_backend = [&](const char* ident) {
+    auto r = std::make_shared<resolver::RecursiveResolver>(
+        ident, resolver::child_centric_config(), world.network(),
+        world.hints());
+    net::Location eu{net::Region::kEU, 1.0};
+    r->set_node_ref(net::NodeRef{world.network().attach(*r, eu), eu});
+    return r;
+  };
+  auto backend_a = make_backend("a");
+  auto backend_b = make_backend("b");
+
+  resolver::Forwarder forwarder{
+      "hashing",
+      world.network(),
+      {backend_a->node_ref().address, backend_b->node_ref().address},
+      resolver::Forwarder::Selection::kHashQname};
+  net::Location eu{net::Region::kEU, 1.0};
+  forwarder.set_node_ref(
+      net::NodeRef{world.network().attach(forwarder, eu), eu});
+
+  for (int i = 0; i < 6; ++i) {
+    auto query = dns::Message::make_query(
+        static_cast<std::uint16_t>(i), Name::from_string("zz"), RRType::kNS);
+    forwarder.handle_query(query, dns::Ipv4(1, 1, 1, 1),
+                           i * 10 * sim::kMinute);
+  }
+  // Same qname every time: exactly one backend must have seen traffic.
+  bool only_one = (backend_a->stats().client_queries == 0) !=
+                  (backend_b->stats().client_queries == 0);
+  EXPECT_TRUE(only_one);
+}
+
+TEST(RobustnessTest, NetworkCountsCarriedQueries) {
+  core::World world{core::World::Options{1, 0.0, {}}};
+  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+                net::Location{net::Region::kEU, 1.0});
+  auto before = world.network().queries_carried();
+  net::NodeRef client{dns::Ipv4(10, 9, 9, 9),
+                      net::Location{net::Region::kEU, 1.0}};
+  auto query = dns::Message::make_query(1, Name::from_string("zz"),
+                                        RRType::kNS);
+  world.network().query(client, world.address_of("a.nic.zz."), query, 0);
+  EXPECT_EQ(world.network().queries_carried(), before + 1);
+}
+
+TEST(RobustnessTest, WireDecodeSurvivesGarbage) {
+  // Random-ish byte soups must throw WireError, never crash.
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> junk(rng.uniform_int(0, 64));
+    for (auto& byte : junk) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      auto message = dns::decode(junk);
+      // Decoding can legitimately succeed on tiny headers; re-encode to
+      // prove the result is well-formed.
+      dns::encode(message);
+    } catch (const dns::WireError&) {
+      // expected for most inputs
+    }
+  }
+}
+
+TEST(RobustnessTest, TruncatedValidMessagesAlwaysThrow) {
+  auto query = dns::Message::make_query(
+      7, Name::from_string("www.example.org"), RRType::kA);
+  auto response = dns::Message::make_response(query);
+  response.answers.push_back(dns::make_a(Name::from_string("www.example.org"),
+                                         300, dns::Ipv4(10, 0, 0, 1)));
+  auto wire = dns::encode(response);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(wire.begin(),
+                                     wire.begin() + static_cast<long>(cut));
+    EXPECT_THROW(dns::decode(prefix), dns::WireError) << "cut=" << cut;
+  }
+}
+
+TEST(RobustnessTest, ZoneAnyQueryOnSignedZoneIncludesRrsig) {
+  dns::Zone zone{Name::from_string("example.org")};
+  zone.add(dns::make_soa(Name::from_string("example.org"), 3600,
+                         Name::from_string("ns1.example.org"), 1));
+  zone.add(dns::make_a(Name::from_string("www.example.org"), 300,
+                       dns::Ipv4(10, 0, 0, 1)));
+  dns::sign_zone(zone, dns::make_zone_key(Name::from_string("example.org")));
+  auto result = zone.lookup(Name::from_string("www.example.org"),
+                            RRType::kANY);
+  ASSERT_EQ(result.kind, dns::LookupResult::Kind::kAnswer);
+  bool has_a = false;
+  bool has_sig = false;
+  for (const auto& rr : result.answers) {
+    has_a |= rr.type() == RRType::kA;
+    has_sig |= rr.type() == RRType::kRRSIG;
+  }
+  EXPECT_TRUE(has_a);
+  EXPECT_TRUE(has_sig);
+}
+
+TEST(RobustnessTest, ResolverHandlesZeroTtlRecordsWithoutCaching) {
+  core::World world{core::World::Options{1, 0.0, {}}};
+  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+                            net::Location{net::Region::kEU, 1.0});
+  zone->add(dns::make_a(Name::from_string("www.zz"), 0, dns::Ipv4(1, 1, 1, 1)));
+  resolver::RecursiveResolver resolver("r", resolver::child_centric_config(),
+                                       world.network(), world.hints());
+  net::Location eu{net::Region::kEU, 1.0};
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, eu), eu});
+  dns::Question q{Name::from_string("www.zz"), RRType::kA, dns::RClass::kIN};
+  auto first = resolver.resolve(q, 0);
+  EXPECT_EQ(first.response.answers.at(0).ttl, 0u);
+  auto second = resolver.resolve(q, sim::kSecond);
+  // TTL 0 means the second query cannot be a cache hit (§5.1.2).
+  EXPECT_FALSE(second.answered_from_cache);
+}
+
+TEST(RobustnessTest, WorldAnycastRequiresSites) {
+  core::World world;
+  auto zone = world.create_zone("svc.example");
+  EXPECT_THROW(world.add_anycast_service("svc", zone, {}),
+               std::invalid_argument);
+}
+
+TEST(RobustnessTest, ServerProcessingDelayIsAccounted) {
+  core::World world{core::World::Options{1, 0.0, {}}};
+  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+                            net::Location{net::Region::kEU, 1.0});
+  (void)zone;
+  auto& server = world.server("a.nic.zz.");
+  server.set_processing_delay(50 * sim::kMillisecond);
+
+  net::NodeRef client{dns::Ipv4(10, 9, 9, 9),
+                      net::Location{net::Region::kEU, 1.0}};
+  auto query = dns::Message::make_query(1, Name::from_string("zz"),
+                                        RRType::kNS);
+  auto outcome = world.network().query(client, world.address_of("a.nic.zz."),
+                                       query, 0);
+  EXPECT_GE(outcome.elapsed, 50 * sim::kMillisecond);
+}
+
+}  // namespace
+}  // namespace dnsttl

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace dnsttl::sim {
+namespace {
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation simulation;
+  std::vector<int> order;
+  simulation.schedule_at(30 * kSecond, [&] { order.push_back(3); });
+  simulation.schedule_at(10 * kSecond, [&] { order.push_back(1); });
+  simulation.schedule_at(20 * kSecond, [&] { order.push_back(2); });
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulation.now(), 30 * kSecond);
+  EXPECT_EQ(simulation.events_processed(), 3u);
+}
+
+TEST(SimulationTest, EqualTimestampsRunFifo) {
+  Simulation simulation;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulation.schedule_at(kSecond, [&order, i] { order.push_back(i); });
+  }
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
+  Simulation simulation;
+  Time observed = -1;
+  simulation.schedule_at(5 * kSecond, [&] {
+    simulation.schedule_after(2 * kSecond, [&] { observed = simulation.now(); });
+  });
+  simulation.run();
+  EXPECT_EQ(observed, 7 * kSecond);
+}
+
+TEST(SimulationTest, RejectsSchedulingInThePast) {
+  Simulation simulation;
+  simulation.schedule_at(10 * kSecond, [] {});
+  simulation.run();
+  EXPECT_THROW(simulation.schedule_at(5 * kSecond, [] {}),
+               std::invalid_argument);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation simulation;
+  bool ran = false;
+  auto id = simulation.schedule_at(kSecond, [&] { ran = true; });
+  EXPECT_TRUE(simulation.cancel(id));
+  EXPECT_FALSE(simulation.cancel(id));  // already gone
+  simulation.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation simulation;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    simulation.schedule_at(i * kMinute, [&] { ++count; });
+  }
+  simulation.run_until(5 * kMinute);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(simulation.now(), 5 * kMinute);
+  simulation.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents) {
+  Simulation simulation;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      simulation.schedule_after(kSecond, chain);
+    }
+  };
+  simulation.schedule_after(kSecond, chain);
+  simulation.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(simulation.now(), 100 * kSecond);
+}
+
+TEST(TimeTest, FormatsHoursMinutesSeconds) {
+  EXPECT_EQ(format_time(0), "0:00:00");
+  EXPECT_EQ(format_time(59 * kSecond), "0:00:59");
+  EXPECT_EQ(format_time(2 * kHour + 3 * kMinute + 4 * kSecond), "2:03:04");
+}
+
+TEST(TimeTest, ConversionHelpers) {
+  EXPECT_EQ(seconds(1.5), 1'500'000);
+  EXPECT_EQ(milliseconds(2.5), 2'500);
+  EXPECT_DOUBLE_EQ(to_milliseconds(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.uniform_int(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ChanceFrequencyMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngTest, WeightedIndexMatchesWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(RngTest, ForkIsStableAndIndependent) {
+  Rng parent(99);
+  parent.next();  // consuming the parent must not change forks
+  Rng fork_a = parent.fork(1);
+  Rng parent2(99);
+  Rng fork_b = parent2.fork(1);
+  EXPECT_EQ(fork_a.next(), fork_b.next());
+  EXPECT_NE(parent.fork(1).next(), parent.fork(2).next());
+}
+
+}  // namespace
+}  // namespace dnsttl::sim
