@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_ddos.dir/bench_extension_ddos.cc.o"
+  "CMakeFiles/bench_extension_ddos.dir/bench_extension_ddos.cc.o.d"
+  "bench_extension_ddos"
+  "bench_extension_ddos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_ddos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_parent_child.dir/bench_extension_parent_child.cc.o"
+  "CMakeFiles/bench_extension_parent_child.dir/bench_extension_parent_child.cc.o.d"
+  "bench_extension_parent_child"
+  "bench_extension_parent_child.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_parent_child.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_offline_child.dir/bench_extra_offline_child.cc.o"
+  "CMakeFiles/bench_extra_offline_child.dir/bench_extra_offline_child.cc.o.d"
+  "bench_extra_offline_child"
+  "bench_extra_offline_child.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_offline_child.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

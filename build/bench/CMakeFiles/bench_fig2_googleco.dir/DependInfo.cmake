@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_googleco.cc" "bench/CMakeFiles/bench_fig2_googleco.dir/bench_fig2_googleco.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_googleco.dir/bench_fig2_googleco.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dnsttl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/dnsttl_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawl/CMakeFiles/dnsttl_crawl.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsttl_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/dnsttl_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dnsttl_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsttl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsttl_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsttl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dnsttl_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_googleco.dir/bench_fig2_googleco.cc.o"
+  "CMakeFiles/bench_fig2_googleco.dir/bench_fig2_googleco.cc.o.d"
+  "bench_fig2_googleco"
+  "bench_fig2_googleco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_googleco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

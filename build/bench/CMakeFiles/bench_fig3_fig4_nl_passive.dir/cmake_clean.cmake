@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fig4_nl_passive.dir/bench_fig3_fig4_nl_passive.cc.o"
+  "CMakeFiles/bench_fig3_fig4_nl_passive.dir/bench_fig3_fig4_nl_passive.cc.o.d"
+  "bench_fig3_fig4_nl_passive"
+  "bench_fig3_fig4_nl_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig4_nl_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

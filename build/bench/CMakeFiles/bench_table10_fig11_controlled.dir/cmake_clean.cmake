@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_fig11_controlled.dir/bench_table10_fig11_controlled.cc.o"
+  "CMakeFiles/bench_table10_fig11_controlled.dir/bench_table10_fig11_controlled.cc.o.d"
+  "bench_table10_fig11_controlled"
+  "bench_table10_fig11_controlled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_fig11_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table10_fig11_controlled.
+# This may be replaced when dependencies are built.

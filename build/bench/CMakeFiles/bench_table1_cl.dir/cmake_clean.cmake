@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cl.dir/bench_table1_cl.cc.o"
+  "CMakeFiles/bench_table1_cl.dir/bench_table1_cl.cc.o.d"
+  "bench_table1_cl"
+  "bench_table1_cl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

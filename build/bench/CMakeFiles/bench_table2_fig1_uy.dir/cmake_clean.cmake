@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fig1_uy.dir/bench_table2_fig1_uy.cc.o"
+  "CMakeFiles/bench_table2_fig1_uy.dir/bench_table2_fig1_uy.cc.o.d"
+  "bench_table2_fig1_uy"
+  "bench_table2_fig1_uy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fig1_uy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

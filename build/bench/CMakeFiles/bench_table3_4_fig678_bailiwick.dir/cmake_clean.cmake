@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_4_fig678_bailiwick.dir/bench_table3_4_fig678_bailiwick.cc.o"
+  "CMakeFiles/bench_table3_4_fig678_bailiwick.dir/bench_table3_4_fig678_bailiwick.cc.o.d"
+  "bench_table3_4_fig678_bailiwick"
+  "bench_table3_4_fig678_bailiwick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_4_fig678_bailiwick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

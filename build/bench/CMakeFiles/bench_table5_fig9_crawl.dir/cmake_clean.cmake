@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fig9_crawl.dir/bench_table5_fig9_crawl.cc.o"
+  "CMakeFiles/bench_table5_fig9_crawl.dir/bench_table5_fig9_crawl.cc.o.d"
+  "bench_table5_fig9_crawl"
+  "bench_table5_fig9_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fig9_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_fig9_crawl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_7_dmap.dir/bench_table6_7_dmap.cc.o"
+  "CMakeFiles/bench_table6_7_dmap.dir/bench_table6_7_dmap.cc.o.d"
+  "bench_table6_7_dmap"
+  "bench_table6_7_dmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_7_dmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

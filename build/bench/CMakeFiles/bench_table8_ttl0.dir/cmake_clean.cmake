@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_ttl0.dir/bench_table8_ttl0.cc.o"
+  "CMakeFiles/bench_table8_ttl0.dir/bench_table8_ttl0.cc.o.d"
+  "bench_table8_ttl0"
+  "bench_table8_ttl0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_ttl0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

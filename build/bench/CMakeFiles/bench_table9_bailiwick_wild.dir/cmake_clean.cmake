@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_bailiwick_wild.dir/bench_table9_bailiwick_wild.cc.o"
+  "CMakeFiles/bench_table9_bailiwick_wild.dir/bench_table9_bailiwick_wild.cc.o.d"
+  "bench_table9_bailiwick_wild"
+  "bench_table9_bailiwick_wild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_bailiwick_wild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

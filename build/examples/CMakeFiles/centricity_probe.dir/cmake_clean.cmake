@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centricity_probe.dir/centricity_probe.cpp.o"
+  "CMakeFiles/centricity_probe.dir/centricity_probe.cpp.o.d"
+  "centricity_probe"
+  "centricity_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centricity_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

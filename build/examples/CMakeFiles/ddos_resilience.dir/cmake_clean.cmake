@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_resilience.dir/ddos_resilience.cpp.o"
+  "CMakeFiles/ddos_resilience.dir/ddos_resilience.cpp.o.d"
+  "ddos_resilience"
+  "ddos_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

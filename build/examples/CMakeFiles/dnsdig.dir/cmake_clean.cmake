@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsdig.dir/dnsdig.cpp.o"
+  "CMakeFiles/dnsdig.dir/dnsdig.cpp.o.d"
+  "dnsdig"
+  "dnsdig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsdig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_lab.dir/dnsttl_lab.cpp.o"
+  "CMakeFiles/dnsttl_lab.dir/dnsttl_lab.cpp.o.d"
+  "dnsttl_lab"
+  "dnsttl_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

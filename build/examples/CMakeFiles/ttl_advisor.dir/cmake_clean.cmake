@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttl_advisor.dir/ttl_advisor.cpp.o"
+  "CMakeFiles/ttl_advisor.dir/ttl_advisor.cpp.o.d"
+  "ttl_advisor"
+  "ttl_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttl_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttl_rollout.dir/ttl_rollout.cpp.o"
+  "CMakeFiles/ttl_rollout.dir/ttl_rollout.cpp.o.d"
+  "ttl_rollout"
+  "ttl_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttl_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ttl_rollout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_atlas.dir/measurement.cc.o"
+  "CMakeFiles/dnsttl_atlas.dir/measurement.cc.o.d"
+  "CMakeFiles/dnsttl_atlas.dir/platform.cc.o"
+  "CMakeFiles/dnsttl_atlas.dir/platform.cc.o.d"
+  "libdnsttl_atlas.a"
+  "libdnsttl_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/auth_server.cc" "src/auth/CMakeFiles/dnsttl_auth.dir/auth_server.cc.o" "gcc" "src/auth/CMakeFiles/dnsttl_auth.dir/auth_server.cc.o.d"
+  "/root/repo/src/auth/entrada.cc" "src/auth/CMakeFiles/dnsttl_auth.dir/entrada.cc.o" "gcc" "src/auth/CMakeFiles/dnsttl_auth.dir/entrada.cc.o.d"
+  "/root/repo/src/auth/secondary.cc" "src/auth/CMakeFiles/dnsttl_auth.dir/secondary.cc.o" "gcc" "src/auth/CMakeFiles/dnsttl_auth.dir/secondary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsttl_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsttl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsttl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_auth.dir/auth_server.cc.o"
+  "CMakeFiles/dnsttl_auth.dir/auth_server.cc.o.d"
+  "CMakeFiles/dnsttl_auth.dir/entrada.cc.o"
+  "CMakeFiles/dnsttl_auth.dir/entrada.cc.o.d"
+  "CMakeFiles/dnsttl_auth.dir/secondary.cc.o"
+  "CMakeFiles/dnsttl_auth.dir/secondary.cc.o.d"
+  "libdnsttl_auth.a"
+  "libdnsttl_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_cache.dir/cache.cc.o"
+  "CMakeFiles/dnsttl_cache.dir/cache.cc.o.d"
+  "libdnsttl_cache.a"
+  "libdnsttl_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/dnsttl_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/dnsttl_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/bailiwick_experiment.cc" "src/core/CMakeFiles/dnsttl_core.dir/bailiwick_experiment.cc.o" "gcc" "src/core/CMakeFiles/dnsttl_core.dir/bailiwick_experiment.cc.o.d"
+  "/root/repo/src/core/centricity_experiment.cc" "src/core/CMakeFiles/dnsttl_core.dir/centricity_experiment.cc.o" "gcc" "src/core/CMakeFiles/dnsttl_core.dir/centricity_experiment.cc.o.d"
+  "/root/repo/src/core/effective_ttl.cc" "src/core/CMakeFiles/dnsttl_core.dir/effective_ttl.cc.o" "gcc" "src/core/CMakeFiles/dnsttl_core.dir/effective_ttl.cc.o.d"
+  "/root/repo/src/core/hit_rate_model.cc" "src/core/CMakeFiles/dnsttl_core.dir/hit_rate_model.cc.o" "gcc" "src/core/CMakeFiles/dnsttl_core.dir/hit_rate_model.cc.o.d"
+  "/root/repo/src/core/latency_experiment.cc" "src/core/CMakeFiles/dnsttl_core.dir/latency_experiment.cc.o" "gcc" "src/core/CMakeFiles/dnsttl_core.dir/latency_experiment.cc.o.d"
+  "/root/repo/src/core/world.cc" "src/core/CMakeFiles/dnsttl_core.dir/world.cc.o" "gcc" "src/core/CMakeFiles/dnsttl_core.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsttl_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/dnsttl_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsttl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsttl_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/dnsttl_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsttl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dnsttl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dnsttl_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_core.dir/advisor.cc.o"
+  "CMakeFiles/dnsttl_core.dir/advisor.cc.o.d"
+  "CMakeFiles/dnsttl_core.dir/bailiwick_experiment.cc.o"
+  "CMakeFiles/dnsttl_core.dir/bailiwick_experiment.cc.o.d"
+  "CMakeFiles/dnsttl_core.dir/centricity_experiment.cc.o"
+  "CMakeFiles/dnsttl_core.dir/centricity_experiment.cc.o.d"
+  "CMakeFiles/dnsttl_core.dir/effective_ttl.cc.o"
+  "CMakeFiles/dnsttl_core.dir/effective_ttl.cc.o.d"
+  "CMakeFiles/dnsttl_core.dir/hit_rate_model.cc.o"
+  "CMakeFiles/dnsttl_core.dir/hit_rate_model.cc.o.d"
+  "CMakeFiles/dnsttl_core.dir/latency_experiment.cc.o"
+  "CMakeFiles/dnsttl_core.dir/latency_experiment.cc.o.d"
+  "CMakeFiles/dnsttl_core.dir/world.cc.o"
+  "CMakeFiles/dnsttl_core.dir/world.cc.o.d"
+  "libdnsttl_core.a"
+  "libdnsttl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_crawl.dir/crawler.cc.o"
+  "CMakeFiles/dnsttl_crawl.dir/crawler.cc.o.d"
+  "CMakeFiles/dnsttl_crawl.dir/dmap.cc.o"
+  "CMakeFiles/dnsttl_crawl.dir/dmap.cc.o.d"
+  "CMakeFiles/dnsttl_crawl.dir/live_check.cc.o"
+  "CMakeFiles/dnsttl_crawl.dir/live_check.cc.o.d"
+  "CMakeFiles/dnsttl_crawl.dir/passive_workload.cc.o"
+  "CMakeFiles/dnsttl_crawl.dir/passive_workload.cc.o.d"
+  "CMakeFiles/dnsttl_crawl.dir/population_generator.cc.o"
+  "CMakeFiles/dnsttl_crawl.dir/population_generator.cc.o.d"
+  "libdnsttl_crawl.a"
+  "libdnsttl_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/dnssec.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/dnssec.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/dnssec.cc.o.d"
+  "/root/repo/src/dns/master_file.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/master_file.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/master_file.cc.o.d"
+  "/root/repo/src/dns/message.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/message.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/message.cc.o.d"
+  "/root/repo/src/dns/name.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/name.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/name.cc.o.d"
+  "/root/repo/src/dns/rdata.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/rdata.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/rdata.cc.o.d"
+  "/root/repo/src/dns/rr.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/rr.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/rr.cc.o.d"
+  "/root/repo/src/dns/types.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/types.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/types.cc.o.d"
+  "/root/repo/src/dns/wire.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/wire.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/wire.cc.o.d"
+  "/root/repo/src/dns/zone.cc" "src/dns/CMakeFiles/dnsttl_dns.dir/zone.cc.o" "gcc" "src/dns/CMakeFiles/dnsttl_dns.dir/zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_dns.dir/dnssec.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/dnssec.cc.o.d"
+  "CMakeFiles/dnsttl_dns.dir/master_file.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/master_file.cc.o.d"
+  "CMakeFiles/dnsttl_dns.dir/message.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/message.cc.o.d"
+  "CMakeFiles/dnsttl_dns.dir/name.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/name.cc.o.d"
+  "CMakeFiles/dnsttl_dns.dir/rdata.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/rdata.cc.o.d"
+  "CMakeFiles/dnsttl_dns.dir/rr.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/rr.cc.o.d"
+  "CMakeFiles/dnsttl_dns.dir/types.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/types.cc.o.d"
+  "CMakeFiles/dnsttl_dns.dir/wire.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/wire.cc.o.d"
+  "CMakeFiles/dnsttl_dns.dir/zone.cc.o"
+  "CMakeFiles/dnsttl_dns.dir/zone.cc.o.d"
+  "libdnsttl_dns.a"
+  "libdnsttl_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_net.dir/latency.cc.o"
+  "CMakeFiles/dnsttl_net.dir/latency.cc.o.d"
+  "CMakeFiles/dnsttl_net.dir/network.cc.o"
+  "CMakeFiles/dnsttl_net.dir/network.cc.o.d"
+  "libdnsttl_net.a"
+  "libdnsttl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

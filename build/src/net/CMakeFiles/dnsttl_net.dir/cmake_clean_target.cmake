@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnsttl_net.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/config.cc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/config.cc.o" "gcc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/config.cc.o.d"
+  "/root/repo/src/resolver/forwarder.cc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/forwarder.cc.o" "gcc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/forwarder.cc.o.d"
+  "/root/repo/src/resolver/population.cc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/population.cc.o" "gcc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/population.cc.o.d"
+  "/root/repo/src/resolver/recursive_resolver.cc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/recursive_resolver.cc.o" "gcc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/recursive_resolver.cc.o.d"
+  "/root/repo/src/resolver/stub.cc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/stub.cc.o" "gcc" "src/resolver/CMakeFiles/dnsttl_resolver.dir/stub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsttl_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsttl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dnsttl_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsttl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

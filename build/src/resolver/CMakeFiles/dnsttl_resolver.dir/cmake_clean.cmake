@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_resolver.dir/config.cc.o"
+  "CMakeFiles/dnsttl_resolver.dir/config.cc.o.d"
+  "CMakeFiles/dnsttl_resolver.dir/forwarder.cc.o"
+  "CMakeFiles/dnsttl_resolver.dir/forwarder.cc.o.d"
+  "CMakeFiles/dnsttl_resolver.dir/population.cc.o"
+  "CMakeFiles/dnsttl_resolver.dir/population.cc.o.d"
+  "CMakeFiles/dnsttl_resolver.dir/recursive_resolver.cc.o"
+  "CMakeFiles/dnsttl_resolver.dir/recursive_resolver.cc.o.d"
+  "CMakeFiles/dnsttl_resolver.dir/stub.cc.o"
+  "CMakeFiles/dnsttl_resolver.dir/stub.cc.o.d"
+  "libdnsttl_resolver.a"
+  "libdnsttl_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

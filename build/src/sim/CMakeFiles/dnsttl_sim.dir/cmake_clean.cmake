@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_sim.dir/rng.cc.o"
+  "CMakeFiles/dnsttl_sim.dir/rng.cc.o.d"
+  "CMakeFiles/dnsttl_sim.dir/simulation.cc.o"
+  "CMakeFiles/dnsttl_sim.dir/simulation.cc.o.d"
+  "libdnsttl_sim.a"
+  "libdnsttl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsttl_stats.dir/cdf.cc.o"
+  "CMakeFiles/dnsttl_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/dnsttl_stats.dir/table.cc.o"
+  "CMakeFiles/dnsttl_stats.dir/table.cc.o.d"
+  "CMakeFiles/dnsttl_stats.dir/timeseries.cc.o"
+  "CMakeFiles/dnsttl_stats.dir/timeseries.cc.o.d"
+  "libdnsttl_stats.a"
+  "libdnsttl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsttl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrada_secondary_test.dir/entrada_secondary_test.cc.o"
+  "CMakeFiles/entrada_secondary_test.dir/entrada_secondary_test.cc.o.d"
+  "entrada_secondary_test"
+  "entrada_secondary_test.pdb"
+  "entrada_secondary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrada_secondary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_file_test.dir/master_file_test.cc.o"
+  "CMakeFiles/master_file_test.dir/master_file_test.cc.o.d"
+  "master_file_test"
+  "master_file_test.pdb"
+  "master_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policy_combination_test.cc" "tests/CMakeFiles/policy_combination_test.dir/policy_combination_test.cc.o" "gcc" "tests/CMakeFiles/policy_combination_test.dir/policy_combination_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dnsttl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsttl_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/dnsttl_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/dnsttl_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dnsttl_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsttl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsttl_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dnsttl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsttl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

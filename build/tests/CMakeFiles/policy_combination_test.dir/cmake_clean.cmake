@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_combination_test.dir/policy_combination_test.cc.o"
+  "CMakeFiles/policy_combination_test.dir/policy_combination_test.cc.o.d"
+  "policy_combination_test"
+  "policy_combination_test.pdb"
+  "policy_combination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_combination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_extras_test.dir/protocol_extras_test.cc.o"
+  "CMakeFiles/protocol_extras_test.dir/protocol_extras_test.cc.o.d"
+  "protocol_extras_test"
+  "protocol_extras_test.pdb"
+  "protocol_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmin_srv_test.dir/qmin_srv_test.cc.o"
+  "CMakeFiles/qmin_srv_test.dir/qmin_srv_test.cc.o.d"
+  "qmin_srv_test"
+  "qmin_srv_test.pdb"
+  "qmin_srv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmin_srv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_policy_test.dir/resolver_policy_test.cc.o"
+  "CMakeFiles/resolver_policy_test.dir/resolver_policy_test.cc.o.d"
+  "resolver_policy_test"
+  "resolver_policy_test.pdb"
+  "resolver_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

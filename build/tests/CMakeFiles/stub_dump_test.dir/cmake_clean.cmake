@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stub_dump_test.dir/stub_dump_test.cc.o"
+  "CMakeFiles/stub_dump_test.dir/stub_dump_test.cc.o.d"
+  "stub_dump_test"
+  "stub_dump_test.pdb"
+  "stub_dump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stub_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/name_test[1]_include.cmake")
+include("/root/repo/build/tests/rdata_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/zone_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/atlas_test[1]_include.cmake")
+include("/root/repo/build/tests/crawl_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/master_file_test[1]_include.cmake")
+include("/root/repo/build/tests/dnssec_test[1]_include.cmake")
+include("/root/repo/build/tests/message_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/entrada_secondary_test[1]_include.cmake")
+include("/root/repo/build/tests/qmin_srv_test[1]_include.cmake")
+include("/root/repo/build/tests/stub_dump_test[1]_include.cmake")
+include("/root/repo/build/tests/model_based_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_combination_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
