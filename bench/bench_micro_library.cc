@@ -1,8 +1,18 @@
-// Library micro-benchmarks (google-benchmark): wire codec, cache
-// operations, zone lookups, and full recursive resolutions — the raw
-// throughput behind the experiment harness.
+// Library micro-benchmarks: wire codec, cache operations, zone lookups,
+// and full recursive resolutions — the raw throughput behind the
+// experiment harness.
+//
+// Two suites share this binary:
+//  - a hand-timed "quick suite" (bench_quick_suite.h) covering the event
+//    loop, cache and Name hot paths; it runs in a bounded time and can
+//    emit a machine-readable report via --json <path>;
+//  - the google-benchmark suite below, skipped under --quick (pass
+//    --benchmark_filter=... etc. through to it as usual).
 
 #include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "bench_quick_suite.h"
 
 #include "auth/auth_server.h"
 #include "auth/entrada.h"
@@ -235,6 +245,97 @@ void BM_EntradaAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_EntradaAnalysis);
 
+void BM_SimulationEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation simulation;
+    std::uint64_t fired = 0;
+    std::function<void()> chain = [&] {
+      if (++fired < 10000) {
+        simulation.schedule_after(sim::kMillisecond, chain);
+      }
+    };
+    simulation.schedule_after(sim::kMillisecond, chain);
+    simulation.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulationEventLoop);
+
+void BM_SimulationScheduleCancel(benchmark::State& state) {
+  sim::Simulation simulation;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    auto id = simulation.schedule_after(sim::kSecond, [&sink] { ++sink; });
+    simulation.cancel(id);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SimulationScheduleCancel);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split our flags from google-benchmark's (--benchmark_*); reject
+  // anything unrecognized with a usage message.
+  bench::BenchArgs args;
+  args.scale = 0.5;  // full quick-suite default: ~a few seconds
+  std::vector<char*> benchmark_args;
+  benchmark_args.push_back(argv[0]);
+  const char* program = argv[0];
+  for (int i = 1; i < argc;) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      benchmark_args.push_back(argv[i]);
+      ++i;
+      continue;
+    }
+    int consumed = args.consume(program, argc, argv, i);
+    if (consumed == 0) {
+      std::fprintf(stderr, "%s: unknown flag \"%s\"\n", program, argv[i]);
+      bench::BenchArgs::print_usage(program);
+      std::fprintf(stderr,
+                   "  (google-benchmark --benchmark_* flags pass through)\n");
+      return 2;
+    }
+    i += consumed;
+  }
+  if (args.scale <= 0.0) {
+    args.scale = 0.5;
+  }
+
+  auto suite_start = std::chrono::steady_clock::now();
+  auto metrics = bench::run_quick_suite(args.scale);
+  double total_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    suite_start)
+          .count();
+  std::printf("quick suite (scale %g):\n", args.scale);
+  for (const auto& m : metrics) {
+    std::printf("  %-22s %14.0f %-12s (%llu ops, %.3f s)\n", m.name.c_str(),
+                m.ops_per_sec, m.unit.c_str(),
+                static_cast<unsigned long long>(m.ops), m.wall_seconds);
+  }
+  if (!args.json_path.empty()) {
+    bench::JsonReport report("micro_library", args);
+    for (const auto& m : metrics) {
+      report.add_metric(m.name, m.unit, m.ops, m.wall_seconds, m.ops_per_sec);
+    }
+    if (!report.write(args.json_path, total_wall)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  if (args.quick) {
+    return 0;  // --quick: the bounded suite above is the whole run
+  }
+
+  int benchmark_argc = static_cast<int>(benchmark_args.size());
+  benchmark::Initialize(&benchmark_argc, benchmark_args.data());
+  if (benchmark::ReportUnrecognizedArguments(benchmark_argc,
+                                             benchmark_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

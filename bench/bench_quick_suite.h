@@ -1,0 +1,212 @@
+#ifndef DNSTTL_BENCH_QUICK_SUITE_H
+#define DNSTTL_BENCH_QUICK_SUITE_H
+
+// Hand-timed hot-path microbenchmarks behind `bench_micro_library --quick`.
+// Unlike the google-benchmark suite these run in a fixed, fast amount of
+// time and report throughput numbers suitable for the machine-readable
+// BENCH_*.json trajectory (see bench_common.h JsonReport).  They only use
+// public library APIs, so the identical file can be compiled against any
+// revision to compare builds.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace dnsttl::bench {
+
+struct QuickMetric {
+  std::string name;        ///< e.g. "event_loop"
+  std::string unit;        ///< e.g. "events/sec"
+  std::uint64_t ops = 0;   ///< operations timed
+  double wall_seconds = 0;
+  double ops_per_sec = 0;
+};
+
+namespace detail {
+
+inline double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+inline QuickMetric finish(std::string name, std::string unit,
+                          std::uint64_t ops,
+                          std::chrono::steady_clock::time_point start) {
+  QuickMetric metric;
+  metric.name = std::move(name);
+  metric.unit = std::move(unit);
+  metric.ops = ops;
+  metric.wall_seconds = elapsed_seconds(start);
+  metric.ops_per_sec =
+      metric.wall_seconds > 0 ? static_cast<double>(ops) / metric.wall_seconds
+                              : 0.0;
+  return metric;
+}
+
+}  // namespace detail
+
+/// Event-loop throughput: a self-rescheduling event ring, the pattern every
+/// experiment's probe/measurement scheduling follows.  Handler captures are
+/// sized like the real measurement lambdas (several pointers + ids).
+inline QuickMetric bench_event_loop(std::uint64_t total_events) {
+  sim::Simulation simulation;
+  std::uint64_t fired = 0;
+  std::uint64_t payload_a = 1;  // padding captures: realistic handler size
+  std::uint64_t payload_b = 2;
+  std::uint64_t payload_c = 3;
+  struct Chain {
+    sim::Simulation* simulation;
+    std::uint64_t* fired;
+    std::uint64_t total;
+    std::uint64_t* a;
+    std::uint64_t* b;
+    std::uint64_t* c;
+    void operator()() const {
+      ++*fired;
+      *a ^= *b + *c;
+      if (*fired + 63 < total) {
+        simulation->schedule_after(sim::kMillisecond, *this);
+      }
+    }
+  };
+  auto start = std::chrono::steady_clock::now();
+  for (int lane = 0; lane < 64; ++lane) {
+    simulation.schedule_at(
+        static_cast<sim::Time>(lane),
+        Chain{&simulation, &fired, total_events, &payload_a, &payload_b,
+              &payload_c});
+  }
+  simulation.run();
+  return detail::finish("event_loop", "events/sec",
+                        simulation.events_processed(), start);
+}
+
+/// Schedule/cancel churn: timeout-style events that are usually cancelled
+/// before firing (every network query arms one).
+inline QuickMetric bench_event_cancel(std::uint64_t total_events) {
+  sim::Simulation simulation;
+  std::uint64_t fired = 0;
+  auto start = std::chrono::steady_clock::now();
+  std::uint64_t scheduled = 0;
+  while (scheduled < total_events) {
+    std::uint64_t ids[16];
+    for (int i = 0; i < 16; ++i) {
+      ids[i] = simulation.schedule_after(sim::kSecond,
+                                         [&fired] { ++fired; });
+    }
+    for (int i = 0; i < 16; i += 2) {
+      simulation.cancel(ids[i]);  // half the timeouts never fire
+    }
+    simulation.run_until(simulation.now() + 2 * sim::kSecond);
+    scheduled += 16;
+  }
+  return detail::finish("event_cancel_churn", "events/sec", scheduled, start);
+}
+
+/// Cache lookup throughput over a warm working set: the per-query probe
+/// every simulated resolver pays, most often a hit.
+inline QuickMetric bench_cache_lookup(std::uint64_t total_lookups) {
+  cache::Cache cache;
+  constexpr std::size_t kEntries = 4096;
+  std::vector<dns::Name> names;
+  names.reserve(kEntries);
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    names.push_back(dns::Name::from_string(
+        "host" + std::to_string(i) + ".zone" + std::to_string(i % 64) +
+        ".example.org"));
+  }
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    dns::RRset rrset(names[i], dns::RClass::kIN, 86400);
+    rrset.add(dns::ARdata{dns::Ipv4(static_cast<std::uint32_t>(i))});
+    cache.insert(rrset, cache::Credibility::kAuthAnswer, 0);
+  }
+  std::uint64_t hits = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total_lookups; ++i) {
+    auto hit = cache.lookup(names[i & (kEntries - 1)], dns::RRType::kA,
+                            sim::kSecond);
+    hits += hit.has_value();
+  }
+  auto metric = detail::finish("cache_lookup", "lookups/sec",
+                               total_lookups, start);
+  if (hits != total_lookups) {
+    metric.name = "cache_lookup_BROKEN";  // guard against dead-code folding
+  }
+  return metric;
+}
+
+/// Cache insert/expiry churn: short-TTL entries stream through the cache
+/// with periodic purges, the Table 8 / TTL-0 workload shape.
+inline QuickMetric bench_cache_churn(std::uint64_t total_inserts) {
+  cache::Cache cache;
+  constexpr std::size_t kNames = 1024;
+  std::vector<dns::Name> names;
+  names.reserve(kNames);
+  for (std::size_t i = 0; i < kNames; ++i) {
+    names.push_back(
+        dns::Name::from_string("churn" + std::to_string(i) + ".example"));
+  }
+  sim::Time now = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total_inserts; ++i) {
+    dns::RRset rrset(names[i % kNames], dns::RClass::kIN,
+                     static_cast<dns::Ttl>(30 + i % 270));
+    rrset.add(dns::ARdata{dns::Ipv4(static_cast<std::uint32_t>(i))});
+    cache.insert(rrset, cache::Credibility::kAuthAnswer, now);
+    now += sim::kSecond;
+    if ((i & 0x3ff) == 0x3ff) {
+      cache.purge_expired(now);
+    }
+  }
+  return detail::finish("cache_insert_churn", "inserts/sec", total_inserts,
+                        start);
+}
+
+/// Name parsing throughput (every query/record construction pays this).
+inline QuickMetric bench_name_parse(std::uint64_t total_parses) {
+  const std::string inputs[4] = {
+      "www.example.org",
+      "very.long.sub.domain.example.org",
+      "a.nic.uy",
+      "ns1.dns.nl",
+  };
+  std::size_t total_labels = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total_parses; ++i) {
+    total_labels += dns::Name::from_string(inputs[i & 3]).label_count();
+  }
+  auto metric =
+      detail::finish("name_parse", "parses/sec", total_parses, start);
+  if (total_labels == 0) {
+    metric.name = "name_parse_BROKEN";
+  }
+  return metric;
+}
+
+/// Runs the whole quick suite.  @p scale stretches the iteration counts
+/// (1.0 ≈ a second or two on a laptop; --quick passes 0.1).
+inline std::vector<QuickMetric> run_quick_suite(double scale) {
+  auto n = [scale](std::uint64_t base) {
+    auto scaled = static_cast<std::uint64_t>(static_cast<double>(base) * scale);
+    return scaled < 1000 ? 1000 : scaled;
+  };
+  std::vector<QuickMetric> metrics;
+  metrics.push_back(bench_event_loop(n(4'000'000)));
+  metrics.push_back(bench_event_cancel(n(2'000'000)));
+  metrics.push_back(bench_cache_lookup(n(8'000'000)));
+  metrics.push_back(bench_cache_churn(n(2'000'000)));
+  metrics.push_back(bench_name_parse(n(4'000'000)));
+  return metrics;
+}
+
+}  // namespace dnsttl::bench
+
+#endif  // DNSTTL_BENCH_QUICK_SUITE_H

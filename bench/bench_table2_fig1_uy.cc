@@ -4,6 +4,8 @@
 // distribution of observed TTLs separates child- from parent-centric
 // resolvers.  Also runs uy-NS-new (child TTL raised to 86400 s, §5.3).
 
+#include <chrono>
+
 #include "bench_common.h"
 #include "core/centricity_experiment.h"
 #include "stats/table.h"
@@ -35,6 +37,18 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Table 2 + Figure 1",
                       ".uy centricity from RIPE-Atlas-like VPs");
+  bench::JsonReport json("table2_fig1_uy", args);
+  auto wall_start = std::chrono::steady_clock::now();
+  auto phase_start = wall_start;
+  auto record_phase = [&](const char* name,
+                          const core::CentricityResult& result) {
+    auto now = std::chrono::steady_clock::now();
+    double elapsed = std::chrono::duration<double>(now - phase_start).count();
+    phase_start = now;
+    auto queries = static_cast<std::uint64_t>(result.run.query_count());
+    json.add_metric(name, "queries/sec", queries, elapsed,
+                    elapsed > 0 ? static_cast<double>(queries) / elapsed : 0);
+  };
 
   core::World world{core::World::Options{args.seed, 0.002, {}}};
   auto uy_zone = world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min,
@@ -56,6 +70,7 @@ int main(int argc, char** argv) {
   ns_setup.child_ttl = dns::kTtl5Min;
   ns_setup.duration = 2 * sim::kHour;
   auto ns_result = core::run_centricity(world, platform, ns_setup);
+  record_phase("uy_ns", ns_result);
   report("uy-NS", ns_result, ns_setup, platform.vp_count());
 
   std::printf("%s", stats::compare_line(
@@ -80,6 +95,7 @@ int main(int argc, char** argv) {
   a_setup.start = world.simulation().now() + sim::kHour;
   platform.flush_all();
   auto a_result = core::run_centricity(world, platform, a_setup);
+  record_phase("a_nic_uy_a", a_result);
   report("a.nic.uy-A", a_result, a_setup, platform.vp_count());
 
   std::printf("%s", stats::compare_line(
@@ -101,6 +117,7 @@ int main(int argc, char** argv) {
   new_setup.start = world.simulation().now() + sim::kHour;
   platform.flush_all();
   auto new_result = core::run_centricity(world, platform, new_setup);
+  record_phase("uy_ns_new", new_result);
   report("uy-NS-new", new_result, new_setup, platform.vp_count());
 
   std::printf("%s",
@@ -108,5 +125,11 @@ int main(int argc, char** argv) {
                   "uy-NS-new answers <= 86400 s (child share)", "~90%",
                   stats::fmt("%.0f%%", 100 * new_result.at_most_child))
                   .c_str());
+  if (!args.json_path.empty()) {
+    json.write(args.json_path,
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             wall_start)
+                   .count());
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "cache/cache.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace dnsttl::cache {
 
@@ -18,6 +19,135 @@ std::string_view to_string(Credibility credibility) {
   return "credibility?";
 }
 
+// ------------------------------------------------------------------ Table
+
+template <typename V>
+std::size_t Cache::Table<V>::probe(std::uint64_t hash, const dns::Name& name,
+                                   dns::RRType type, bool& found) const {
+  // Capacity is a power of two; linear probing terminates because load is
+  // kept below 7/8 so an empty slot always exists.
+  std::size_t mask = items_.size() - 1;
+  std::size_t index = static_cast<std::size_t>(hash) & mask;
+  std::size_t first_tombstone = items_.size();
+  for (;;) {
+    std::uint8_t state = ctrl_[index];
+    if (state == kEmpty) {
+      found = false;
+      return first_tombstone < items_.size() ? first_tombstone : index;
+    }
+    if (state == kTombstone) {
+      if (first_tombstone == items_.size()) {
+        first_tombstone = index;
+      }
+    } else if (items_[index].hash == hash && items_[index].type == type &&
+               items_[index].name == name) {
+      found = true;
+      return index;
+    }
+    index = (index + 1) & mask;
+  }
+}
+
+template <typename V>
+V* Cache::Table<V>::find(std::uint64_t hash, const dns::Name& name,
+                         dns::RRType type) {
+  if (size_ == 0) {
+    return nullptr;
+  }
+  bool found = false;
+  std::size_t index = probe(hash, name, type, found);
+  return found ? &items_[index].value : nullptr;
+}
+
+template <typename V>
+const V* Cache::Table<V>::find(std::uint64_t hash, const dns::Name& name,
+                               dns::RRType type) const {
+  if (size_ == 0) {
+    return nullptr;
+  }
+  bool found = false;
+  std::size_t index = probe(hash, name, type, found);
+  return found ? &items_[index].value : nullptr;
+}
+
+template <typename V>
+void Cache::Table<V>::grow() {
+  std::size_t new_capacity = items_.empty() ? 16 : items_.size() * 2;
+  // If growth is driven by tombstones rather than live items, rehashing in
+  // place (same capacity) is enough; avoid doubling forever.
+  if (size_ * 4 < new_capacity) {
+    new_capacity = std::max<std::size_t>(16, items_.size());
+  }
+  std::vector<Item> old_items = std::move(items_);
+  std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+  items_.clear();
+  items_.resize(new_capacity);
+  ctrl_.assign(new_capacity, kEmpty);
+  used_ = size_;
+  std::size_t mask = new_capacity - 1;
+  for (std::size_t i = 0; i < old_items.size(); ++i) {
+    if (old_ctrl[i] != kFull) {
+      continue;
+    }
+    std::size_t index = static_cast<std::size_t>(old_items[i].hash) & mask;
+    while (ctrl_[index] == kFull) {
+      index = (index + 1) & mask;
+    }
+    items_[index] = std::move(old_items[i]);
+    ctrl_[index] = kFull;
+  }
+}
+
+template <typename V>
+V& Cache::Table<V>::put(std::uint64_t hash, const dns::Name& name,
+                        dns::RRType type, V value) {
+  if (items_.empty() || (used_ + 1) * 8 > items_.size() * 7) {
+    grow();
+  }
+  bool found = false;
+  std::size_t index = probe(hash, name, type, found);
+  Item& item = items_[index];
+  if (!found) {
+    if (ctrl_[index] == kEmpty) {
+      ++used_;
+    }
+    ++size_;
+    ctrl_[index] = kFull;
+    item.hash = hash;
+    item.name = name;
+    item.type = type;
+  }
+  item.value = std::move(value);
+  return item.value;
+}
+
+template <typename V>
+bool Cache::Table<V>::erase(std::uint64_t hash, const dns::Name& name,
+                            dns::RRType type) {
+  if (size_ == 0) {
+    return false;
+  }
+  bool found = false;
+  std::size_t index = probe(hash, name, type, found);
+  if (!found) {
+    return false;
+  }
+  items_[index] = Item{};  // release Name/RRset memory now
+  ctrl_[index] = kTombstone;
+  --size_;
+  return true;
+}
+
+template <typename V>
+void Cache::Table<V>::clear() {
+  items_.clear();
+  ctrl_.clear();
+  size_ = 0;
+  used_ = 0;
+}
+
+// ------------------------------------------------------------------ Cache
+
 dns::Ttl Cache::clamp_ttl(dns::Ttl ttl) const {
   return std::clamp(ttl, config_.min_ttl, config_.max_ttl);
 }
@@ -30,22 +160,37 @@ bool Cache::ns_link_broken(const Entry& entry, sim::Time now) const {
   if (!config_.link_glue_to_ns || !entry.linked_ns_owner) {
     return false;
   }
-  auto ns = entries_.find(Key{*entry.linked_ns_owner, dns::RRType::kNS});
-  if (ns == entries_.end() || !entry_live(ns->second, now)) {
+  const Entry* ns = entries_.find(
+      key_hash(*entry.linked_ns_owner, dns::RRType::kNS),
+      *entry.linked_ns_owner, dns::RRType::kNS);
+  if (ns == nullptr || !entry_live(*ns, now)) {
     return true;
   }
   // The covering NS set was replaced since this entry was cached: the old
   // delegation instance this address rode with no longer exists (§4.2).
-  return ns->second.inserted != entry.linked_ns_inserted;
+  return ns->inserted != entry.linked_ns_inserted;
+}
+
+template <typename V>
+void Cache::compact_heap(ExpiryHeap& heap, const Table<V>& table) {
+  if (heap.size() <= 2 * table.size() + 64) {
+    return;
+  }
+  std::vector<ExpiryRec> recs;
+  recs.reserve(table.size());
+  table.for_each([&recs](const auto& item) {
+    recs.push_back(ExpiryRec{item.value.expires, item.name, item.type});
+  });
+  heap = ExpiryHeap(LaterExpiry{}, std::move(recs));
 }
 
 bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
                    sim::Time now, std::optional<dns::Name> linked_ns_owner) {
-  Key key{rrset.name(), rrset.type()};
-  auto it = entries_.find(key);
-  if (it != entries_.end() && entry_live(it->second, now) &&
-      !ns_link_broken(it->second, now)) {
-    int have = static_cast<int>(it->second.credibility);
+  std::uint64_t hash = key_hash(rrset.name(), rrset.type());
+  Entry* existing = entries_.find(hash, rrset.name(), rrset.type());
+  if (existing != nullptr && entry_live(*existing, now) &&
+      !ns_link_broken(*existing, now)) {
+    int have = static_cast<int>(existing->credibility);
     int incoming = static_cast<int>(credibility);
     if (have > incoming) {
       // RFC 2181 §5.4.1: never replace live, more-credible data.
@@ -57,8 +202,8 @@ bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
       return false;
     }
     if (config_.prefer_parent_delegation &&
-        (it->second.credibility == Credibility::kGlue ||
-         it->second.credibility == Credibility::kAdditional) &&
+        (existing->credibility == Credibility::kGlue ||
+         existing->credibility == Credibility::kAdditional) &&
         incoming > have) {
       // Parent-centric: the parent's delegation copy wins while it lives.
       ++stats_.downgrades_refused;
@@ -75,45 +220,53 @@ bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
   entry.expires = now + static_cast<sim::Duration>(effective) * sim::kSecond;
   entry.linked_ns_owner = std::move(linked_ns_owner);
   if (entry.linked_ns_owner) {
-    auto ns = entries_.find(Key{*entry.linked_ns_owner, dns::RRType::kNS});
-    if (ns != entries_.end() && entry_live(ns->second, now)) {
-      entry.linked_ns_inserted = ns->second.inserted;
+    const Entry* ns = entries_.find(
+        key_hash(*entry.linked_ns_owner, dns::RRType::kNS),
+        *entry.linked_ns_owner, dns::RRType::kNS);
+    if (ns != nullptr && entry_live(*ns, now)) {
+      entry.linked_ns_inserted = ns->inserted;
     } else {
       entry.linked_ns_owner.reset();  // no live covering NS: unlinked
     }
   }
-  entries_[key] = std::move(entry);
+  sim::Time expires = entry.expires;
+  entries_.put(hash, rrset.name(), rrset.type(), std::move(entry));
+  expiry_.push(ExpiryRec{expires, rrset.name(), rrset.type()});
+  compact_heap(expiry_, entries_);
   ++stats_.inserts;
   // Fresh positive data supersedes any negative entry.
-  negatives_.erase(key);
+  negatives_.erase(hash, rrset.name(), rrset.type());
   return true;
 }
 
 void Cache::insert_negative(const dns::Name& name, dns::RRType type,
                             dns::Rcode rcode, dns::Ttl ttl, sim::Time now) {
   dns::Ttl effective = clamp_ttl(ttl);
-  negatives_[Key{name, type}] = NegativeEntry{
-      rcode, now + static_cast<sim::Duration>(effective) * sim::kSecond};
+  sim::Time expires =
+      now + static_cast<sim::Duration>(effective) * sim::kSecond;
+  negatives_.put(key_hash(name, type), name, type,
+                 NegativeEntry{rcode, expires});
+  negative_expiry_.push(ExpiryRec{expires, name, type});
+  compact_heap(negative_expiry_, negatives_);
 }
 
 std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
                                       sim::Time now, bool allow_stale) {
-  auto it = entries_.find(Key{name, type});
-  if (it == entries_.end()) {
+  const Entry* entry = entries_.find(key_hash(name, type), name, type);
+  if (entry == nullptr) {
     ++stats_.misses;
     return std::nullopt;
   }
-  const Entry& entry = it->second;
-  if (ns_link_broken(entry, now)) {
+  if (ns_link_broken(*entry, now)) {
     // In-bailiwick policy: glue dies with its NS record (§4.2).
     ++stats_.ns_linked_drops;
     ++stats_.misses;
     return std::nullopt;
   }
-  if (!entry_live(entry, now)) {
+  if (!entry_live(*entry, now)) {
     bool within_stale_window =
         config_.serve_stale && allow_stale &&
-        now < entry.expires + config_.stale_window;
+        now < entry->expires + config_.stale_window;
     if (!within_stale_window) {
       ++stats_.expired;
       ++stats_.misses;
@@ -122,73 +275,80 @@ std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
     ++stats_.stale_serves;
     ++stats_.hits;
     CacheHit hit;
-    hit.rrset = entry.rrset;
+    hit.rrset = entry->rrset;
     // RFC 8767: stale answers are served with a short fixed TTL.
     hit.rrset.set_ttl(30);
-    hit.credibility = entry.credibility;
+    hit.credibility = entry->credibility;
     hit.stale = true;
-    hit.original_ttl = entry.original_ttl;
+    hit.original_ttl = entry->original_ttl;
     return hit;
   }
   ++stats_.hits;
   CacheHit hit;
-  hit.rrset = entry.rrset;
+  hit.rrset = entry->rrset;
   hit.rrset.set_ttl(
-      static_cast<dns::Ttl>((entry.expires - now) / sim::kSecond));
-  hit.credibility = entry.credibility;
-  hit.original_ttl = entry.original_ttl;
+      static_cast<dns::Ttl>((entry->expires - now) / sim::kSecond));
+  hit.credibility = entry->credibility;
+  hit.original_ttl = entry->original_ttl;
   return hit;
 }
 
 std::optional<CacheHit> Cache::peek(const dns::Name& name, dns::RRType type,
                                     sim::Time now) const {
-  auto it = entries_.find(Key{name, type});
-  if (it == entries_.end() || !entry_live(it->second, now) ||
-      ns_link_broken(it->second, now)) {
+  const Entry* entry = entries_.find(key_hash(name, type), name, type);
+  if (entry == nullptr || !entry_live(*entry, now) ||
+      ns_link_broken(*entry, now)) {
     return std::nullopt;
   }
   CacheHit hit;
-  hit.rrset = it->second.rrset;
+  hit.rrset = entry->rrset;
   hit.rrset.set_ttl(
-      static_cast<dns::Ttl>((it->second.expires - now) / sim::kSecond));
-  hit.credibility = it->second.credibility;
-  hit.original_ttl = it->second.original_ttl;
+      static_cast<dns::Ttl>((entry->expires - now) / sim::kSecond));
+  hit.credibility = entry->credibility;
+  hit.original_ttl = entry->original_ttl;
   return hit;
 }
 
 std::optional<NegativeHit> Cache::lookup_negative(const dns::Name& name,
                                                   dns::RRType type,
                                                   sim::Time now) {
-  auto it = negatives_.find(Key{name, type});
-  if (it == negatives_.end() || it->second.expires <= now) {
+  const NegativeEntry* entry =
+      negatives_.find(key_hash(name, type), name, type);
+  if (entry == nullptr || entry->expires <= now) {
     return std::nullopt;
   }
   return NegativeHit{
-      it->second.rcode,
-      static_cast<dns::Ttl>((it->second.expires - now) / sim::kSecond)};
+      entry->rcode,
+      static_cast<dns::Ttl>((entry->expires - now) / sim::kSecond)};
 }
 
 bool Cache::evict(const dns::Name& name, dns::RRType type) {
-  return entries_.erase(Key{name, type}) > 0;
+  return entries_.erase(key_hash(name, type), name, type);
 }
 
 std::size_t Cache::purge_expired(sim::Time now) {
   std::size_t removed = 0;
   sim::Duration grace = config_.serve_stale ? config_.stale_window : 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expires + grace <= now) {
-      it = entries_.erase(it);
+  while (!expiry_.empty() && expiry_.top().at + grace <= now) {
+    ExpiryRec rec = expiry_.top();
+    expiry_.pop();
+    std::uint64_t hash = key_hash(rec.name, rec.type);
+    const Entry* entry = entries_.find(hash, rec.name, rec.type);
+    // The record is stale if the entry was refreshed (later expiry),
+    // evicted, or already removed via an earlier duplicate record.
+    if (entry != nullptr && entry->expires + grace <= now) {
+      entries_.erase(hash, rec.name, rec.type);
       ++removed;
-    } else {
-      ++it;
     }
   }
-  for (auto it = negatives_.begin(); it != negatives_.end();) {
-    if (it->second.expires <= now) {
-      it = negatives_.erase(it);
+  while (!negative_expiry_.empty() && negative_expiry_.top().at <= now) {
+    ExpiryRec rec = negative_expiry_.top();
+    negative_expiry_.pop();
+    std::uint64_t hash = key_hash(rec.name, rec.type);
+    const NegativeEntry* entry = negatives_.find(hash, rec.name, rec.type);
+    if (entry != nullptr && entry->expires <= now) {
+      negatives_.erase(hash, rec.name, rec.type);
       ++removed;
-    } else {
-      ++it;
     }
   }
   return removed;
@@ -197,38 +357,76 @@ std::size_t Cache::purge_expired(sim::Time now) {
 void Cache::clear() {
   entries_.clear();
   negatives_.clear();
+  expiry_ = ExpiryHeap{};
+  negative_expiry_ = ExpiryHeap{};
 }
 
 std::string Cache::dump(sim::Time now) const {
-  std::string out;
-  for (const auto& [key, entry] : entries_) {
-    if (!entry_live(entry, now)) {
-      continue;
+  // Reproduce the historical ordered-map iteration: canonical name order,
+  // then record type.
+  struct PositiveRef {
+    const dns::Name* name;
+    dns::RRType type;
+    const Entry* entry;
+  };
+  std::vector<PositiveRef> live;
+  live.reserve(entries_.size());
+  entries_.for_each([&](const auto& item) {
+    if (entry_live(item.value, now)) {
+      live.push_back(PositiveRef{&item.name, item.type, &item.value});
     }
+  });
+  std::sort(live.begin(), live.end(),
+            [](const PositiveRef& a, const PositiveRef& b) {
+              if (auto cmp = *a.name <=> *b.name; cmp != 0) {
+                return cmp < 0;
+              }
+              return a.type < b.type;
+            });
+
+  std::string out;
+  for (const auto& ref : live) {
     auto remaining =
-        static_cast<dns::Ttl>((entry.expires - now) / sim::kSecond);
-    for (const auto& rdata : entry.rrset.rdatas()) {
-      out += key.name.to_string() + " " + std::to_string(remaining) + " " +
-             std::string(dns::to_string(key.type)) + " " +
+        static_cast<dns::Ttl>((ref.entry->expires - now) / sim::kSecond);
+    for (const auto& rdata : ref.entry->rrset.rdatas()) {
+      out += ref.name->to_string() + " " + std::to_string(remaining) + " " +
+             std::string(dns::to_string(ref.type)) + " " +
              dns::rdata_to_string(rdata) + " ; " +
-             std::string(to_string(entry.credibility));
-      if (entry.linked_ns_owner) {
-        out += " linked=" + entry.linked_ns_owner->to_string();
-        if (ns_link_broken(entry, now)) {
+             std::string(to_string(ref.entry->credibility));
+      if (ref.entry->linked_ns_owner) {
+        out += " linked=" + ref.entry->linked_ns_owner->to_string();
+        if (ns_link_broken(*ref.entry, now)) {
           out += " (broken)";
         }
       }
       out += "\n";
     }
   }
-  for (const auto& [key, entry] : negatives_) {
-    if (entry.expires <= now) {
-      continue;
+
+  struct NegativeRef {
+    const dns::Name* name;
+    dns::RRType type;
+    const NegativeEntry* entry;
+  };
+  std::vector<NegativeRef> negatives;
+  negatives.reserve(negatives_.size());
+  negatives_.for_each([&](const auto& item) {
+    if (item.value.expires > now) {
+      negatives.push_back(NegativeRef{&item.name, item.type, &item.value});
     }
-    out += key.name.to_string() + " " +
-           std::to_string((entry.expires - now) / sim::kSecond) + " " +
-           std::string(dns::to_string(key.type)) + " ; negative " +
-           std::string(dns::to_string(entry.rcode)) + "\n";
+  });
+  std::sort(negatives.begin(), negatives.end(),
+            [](const NegativeRef& a, const NegativeRef& b) {
+              if (auto cmp = *a.name <=> *b.name; cmp != 0) {
+                return cmp < 0;
+              }
+              return a.type < b.type;
+            });
+  for (const auto& ref : negatives) {
+    out += ref.name->to_string() + " " +
+           std::to_string((ref.entry->expires - now) / sim::kSecond) + " " +
+           std::string(dns::to_string(ref.type)) + " ; negative " +
+           std::string(dns::to_string(ref.entry->rcode)) + "\n";
   }
   return out;
 }

@@ -2,8 +2,8 @@
 #define DNSTTL_CACHE_CACHE_H
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -44,6 +44,13 @@ struct NegativeHit {
 
 /// TTL-driven DNS cache with credibility ranks, TTL clamping, optional
 /// NS-linked glue expiry and optional serve-stale.
+///
+/// The index is an open-addressing hash table keyed on the Name's cached
+/// 64-bit hash mixed with the record type — a probe is a couple of integer
+/// compares plus one flat-buffer memcmp, where the previous std::map walked
+/// a red-black tree doing label-by-label canonical comparisons at every
+/// node.  Expiry is tracked lazily in a min-heap so purge_expired() costs
+/// O(expired · log n) instead of a full O(entries) sweep.
 ///
 /// The `link_glue_to_ns` knob reproduces the paper's §4.2 finding: for
 /// in-bailiwick servers most resolvers tie the glue A record's lifetime to
@@ -122,14 +129,11 @@ class Cache {
 
   /// Human-readable dump of every live entry ("rndc dumpdb" style):
   /// one line per record with remaining TTL, credibility and link state.
+  /// Ordering matches the historical std::map layout: canonical name order,
+  /// then type.
   std::string dump(sim::Time now) const;
 
  private:
-  struct Key {
-    dns::Name name;
-    dns::RRType type;
-    auto operator<=>(const Key&) const = default;
-  };
   struct Entry {
     dns::RRset rrset;
     Credibility credibility = Credibility::kGlue;
@@ -147,15 +151,94 @@ class Cache {
     sim::Time expires = 0;
   };
 
+  /// Mixes the Name's cached hash with the record type into a table hash.
+  static std::uint64_t key_hash(const dns::Name& name,
+                                dns::RRType type) noexcept {
+    std::uint64_t h =
+        name.hash() ^ (static_cast<std::uint64_t>(type) * 0x9e3779b97f4a7c15ULL);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  /// Open-addressing hash table from (Name, RRType) to V with linear
+  /// probing and tombstone deletion.  Keys carry their full 64-bit hash so
+  /// probes compare integers before touching the Name bytes, and rehashing
+  /// never recomputes a hash.
+  template <typename V>
+  class Table {
+   public:
+    struct Item {
+      std::uint64_t hash = 0;
+      dns::Name name;
+      dns::RRType type{};
+      V value{};
+    };
+
+    V* find(std::uint64_t hash, const dns::Name& name, dns::RRType type);
+    const V* find(std::uint64_t hash, const dns::Name& name,
+                  dns::RRType type) const;
+    /// Inserts or overwrites; returns the stored value slot.
+    V& put(std::uint64_t hash, const dns::Name& name, dns::RRType type,
+           V value);
+    bool erase(std::uint64_t hash, const dns::Name& name, dns::RRType type);
+    void clear();
+    std::size_t size() const noexcept { return size_; }
+
+    /// Invokes @p fn for every live item, in unspecified order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (ctrl_[i] == kFull) {
+          fn(items_[i]);
+        }
+      }
+    }
+
+   private:
+    enum : std::uint8_t { kEmpty = 0, kTombstone = 1, kFull = 2 };
+
+    std::size_t probe(std::uint64_t hash, const dns::Name& name,
+                      dns::RRType type, bool& found) const;
+    void grow();
+
+    std::vector<std::uint8_t> ctrl_;
+    std::vector<Item> items_;
+    std::size_t size_ = 0;  ///< live items
+    std::size_t used_ = 0;  ///< live items + tombstones
+  };
+
+  /// One pending expiry deadline; stale records (entry refreshed, evicted
+  /// or already purged) are skipped when popped.
+  struct ExpiryRec {
+    sim::Time at = 0;
+    dns::Name name;
+    dns::RRType type{};
+  };
+  struct LaterExpiry {
+    bool operator()(const ExpiryRec& a, const ExpiryRec& b) const noexcept {
+      return a.at > b.at;
+    }
+  };
+  using ExpiryHeap =
+      std::priority_queue<ExpiryRec, std::vector<ExpiryRec>, LaterExpiry>;
+
   dns::Ttl clamp_ttl(dns::Ttl ttl) const;
   bool entry_live(const Entry& entry, sim::Time now) const;
   /// True if the glue link invalidates @p entry at @p now.
   bool ns_link_broken(const Entry& entry, sim::Time now) const;
+  /// Rebuilds @p heap from the live table when stale records dominate, so
+  /// repeated refreshes of the same key cannot grow it without bound.
+  template <typename V>
+  static void compact_heap(ExpiryHeap& heap, const Table<V>& table);
 
   Config config_;
   Stats stats_;
-  std::map<Key, Entry> entries_;
-  std::map<Key, NegativeEntry> negatives_;
+  Table<Entry> entries_;
+  Table<NegativeEntry> negatives_;
+  ExpiryHeap expiry_;
+  ExpiryHeap negative_expiry_;
 };
 
 }  // namespace dnsttl::cache

@@ -1,6 +1,7 @@
 #include "crawl/passive_workload.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>

@@ -148,9 +148,9 @@ Name parse_name(std::size_t line, const std::string& token,
     // Relative name: append the origin.
     Name relative = Name::from_string(token);
     std::vector<std::string> labels = relative.labels();
-    labels.insert(labels.end(), origin.labels().begin(),
-                  origin.labels().end());
-    return Name(std::move(labels));
+    std::vector<std::string> origin_labels = origin.labels();
+    labels.insert(labels.end(), origin_labels.begin(), origin_labels.end());
+    return Name(labels);
   } catch (const std::invalid_argument& error) {
     throw MasterFileError(line, error.what());
   }

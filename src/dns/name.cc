@@ -1,6 +1,7 @@
 #include "dns/name.h"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <ostream>
 #include <stdexcept>
@@ -11,16 +12,31 @@ namespace {
 
 constexpr std::size_t kMaxLabelLen = 63;
 constexpr std::size_t kMaxWireLen = 255;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 
-std::string lower(std::string_view s) {
-  std::string out(s);
-  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return out;
+/// Wire budget caps a name at 127 single-octet labels, so label start
+/// offsets into the flat buffer always fit this fixed array.
+using LabelOffsets = std::array<std::uint8_t, 128>;
+
+/// Fills @p offsets with the byte offset of each label's length octet and
+/// returns the label count.
+std::size_t collect_offsets(std::string_view data, LabelOffsets& offsets) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    offsets[count++] = static_cast<std::uint8_t>(pos);
+    pos += 1 + static_cast<unsigned char>(data[pos]);
+  }
+  return count;
 }
 
-void validate_label(std::string_view label) {
+std::string_view label_at(std::string_view data, std::size_t offset) {
+  return data.substr(offset + 1, static_cast<unsigned char>(data[offset]));
+}
+
+}  // namespace
+
+void Name::append_label(std::string_view label) {
   if (label.empty()) {
     throw std::invalid_argument("DNS label must not be empty");
   }
@@ -31,18 +47,35 @@ void validate_label(std::string_view label) {
   if (label.find('.') != std::string_view::npos) {
     throw std::invalid_argument("DNS label must not contain '.'");
   }
+  data_.push_back(static_cast<char>(label.size()));
+  for (char c : label) {
+    char lowered =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    data_.push_back(lowered);
+    hash_ ^= static_cast<unsigned char>(lowered);
+    hash_ *= kFnvPrime;
+  }
+  hash_ ^= 0xffULL;
+  hash_ *= kFnvPrime;
+  ++label_count_;
 }
 
-}  // namespace
-
-Name::Name(std::vector<std::string> labels) : labels_(std::move(labels)) {
-  for (auto& label : labels_) {
-    validate_label(label);
-    label = lower(label);
-  }
+void Name::check_total_length() const {
   if (wire_length() > kMaxWireLen) {
     throw std::invalid_argument("DNS name exceeds 255 octets");
   }
+}
+
+Name::Name(const std::vector<std::string>& labels) {
+  std::size_t total = 0;
+  for (const auto& label : labels) {
+    total += 1 + label.size();
+  }
+  data_.reserve(total);
+  for (const auto& label : labels) {
+    append_label(label);
+  }
+  check_total_length();
 }
 
 Name Name::from_string(std::string_view text) {
@@ -55,67 +88,152 @@ Name Name::from_string(std::string_view text) {
   if (text.back() == '.') {
     text.remove_suffix(1);
   }
-  std::vector<std::string> labels;
+  Name name;
+  name.data_.reserve(text.size() + 1);
   std::size_t start = 0;
   while (start <= text.size()) {
     std::size_t dot = text.find('.', start);
     if (dot == std::string_view::npos) {
-      labels.emplace_back(text.substr(start));
+      name.append_label(text.substr(start));
       break;
     }
-    labels.emplace_back(text.substr(start, dot - start));
+    name.append_label(text.substr(start, dot - start));
     start = dot + 1;
   }
-  return Name{std::move(labels)};
+  name.check_total_length();
+  return name;
+}
+
+Name Name::from_tail(std::string_view tail, std::size_t count) {
+  Name name;
+  name.data_.assign(tail);
+  name.label_count_ = static_cast<std::uint8_t>(count);
+  std::uint64_t h = kHashBasis;
+  std::size_t pos = 0;
+  while (pos < tail.size()) {
+    std::size_t len = static_cast<unsigned char>(tail[pos]);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= static_cast<unsigned char>(tail[pos + 1 + i]);
+      h *= kFnvPrime;
+    }
+    h ^= 0xffULL;
+    h *= kFnvPrime;
+    pos += 1 + len;
+  }
+  name.hash_ = h;
+  return name;
 }
 
 std::string Name::to_string() const {
-  if (labels_.empty()) {
+  if (data_.empty()) {
     return ".";
   }
   std::string out;
-  for (const auto& label : labels_) {
-    out += label;
-    out += '.';
+  out.reserve(data_.size());
+  std::size_t pos = 0;
+  while (pos < data_.size()) {
+    std::string_view label = label_at(data_, pos);
+    out.append(label);
+    out.push_back('.');
+    pos += 1 + label.size();
   }
   return out;
 }
 
+std::vector<std::string> Name::labels() const {
+  std::vector<std::string> out;
+  out.reserve(label_count_);
+  std::size_t pos = 0;
+  while (pos < data_.size()) {
+    std::string_view label = label_at(data_, pos);
+    out.emplace_back(label);
+    pos += 1 + label.size();
+  }
+  return out;
+}
+
+std::string_view Name::label(std::size_t i) const {
+  if (i >= label_count_) {
+    throw std::out_of_range("Name::label index out of range");
+  }
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < i; ++k) {
+    pos += 1 + static_cast<unsigned char>(data_[pos]);
+  }
+  return label_at(data_, pos);
+}
+
 Name Name::parent() const {
-  if (labels_.empty()) {
+  if (data_.empty()) {
     return Name{};
   }
-  Name p;
-  p.labels_.assign(labels_.begin() + 1, labels_.end());
-  return p;
+  return suffix(label_count_ - 1u);
+}
+
+Name Name::suffix(std::size_t count) const {
+  if (count >= label_count_) {
+    return *this;
+  }
+  std::size_t pos = 0;
+  for (std::size_t skip = label_count_ - count; skip > 0; --skip) {
+    pos += 1 + static_cast<unsigned char>(data_[pos]);
+  }
+  return from_tail(std::string_view(data_).substr(pos), count);
 }
 
 Name Name::prepend(std::string_view label) const {
-  std::vector<std::string> labels;
-  labels.reserve(labels_.size() + 1);
-  labels.emplace_back(label);
-  labels.insert(labels.end(), labels_.begin(), labels_.end());
-  return Name{std::move(labels)};
+  Name name;
+  name.data_.reserve(1 + label.size() + data_.size());
+  name.append_label(label);
+  // Splice the existing flat buffer behind the new label and fold the
+  // remaining labels into the running hash.
+  std::size_t pos = 0;
+  while (pos < data_.size()) {
+    std::string_view tail_label = label_at(data_, pos);
+    name.data_.push_back(static_cast<char>(tail_label.size()));
+    name.data_.append(tail_label);
+    for (char c : tail_label) {
+      name.hash_ ^= static_cast<unsigned char>(c);
+      name.hash_ *= kFnvPrime;
+    }
+    name.hash_ ^= 0xffULL;
+    name.hash_ *= kFnvPrime;
+    ++name.label_count_;
+    pos += 1 + tail_label.size();
+  }
+  name.check_total_length();
+  return name;
 }
 
 bool Name::is_subdomain_of(const Name& ancestor) const noexcept {
-  if (ancestor.labels_.size() > labels_.size()) {
+  if (ancestor.label_count_ > label_count_) {
     return false;
   }
-  return std::equal(ancestor.labels_.rbegin(), ancestor.labels_.rend(),
-                    labels_.rbegin());
+  // The trailing labels of the flat buffer are exactly the ancestor's whole
+  // buffer when the relation holds; walking the length prefixes keeps the
+  // comparison aligned on label boundaries.
+  std::size_t pos = 0;
+  for (std::size_t skip = label_count_ - ancestor.label_count_; skip > 0;
+       --skip) {
+    pos += 1 + static_cast<unsigned char>(data_[pos]);
+  }
+  return std::string_view(data_).substr(pos) == ancestor.data_;
 }
 
 bool Name::is_strict_subdomain_of(const Name& ancestor) const noexcept {
-  return labels_.size() > ancestor.labels_.size() && is_subdomain_of(ancestor);
+  return label_count_ > ancestor.label_count_ && is_subdomain_of(ancestor);
 }
 
 std::size_t Name::common_suffix_labels(const Name& other) const noexcept {
-  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  LabelOffsets mine;
+  LabelOffsets theirs;
+  std::size_t my_count = collect_offsets(data_, mine);
+  std::size_t their_count = collect_offsets(other.data_, theirs);
+  std::size_t n = std::min(my_count, their_count);
   std::size_t shared = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (labels_[labels_.size() - 1 - i] !=
-        other.labels_[other.labels_.size() - 1 - i]) {
+    if (label_at(data_, mine[my_count - 1 - i]) !=
+        label_at(other.data_, theirs[their_count - 1 - i])) {
       break;
     }
     ++shared;
@@ -123,25 +241,21 @@ std::size_t Name::common_suffix_labels(const Name& other) const noexcept {
   return shared;
 }
 
-std::size_t Name::wire_length() const noexcept {
-  std::size_t len = 1;  // terminating root label
-  for (const auto& label : labels_) {
-    len += 1 + label.size();
-  }
-  return len;
-}
-
 std::strong_ordering Name::operator<=>(const Name& other) const noexcept {
-  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  LabelOffsets mine;
+  LabelOffsets theirs;
+  std::size_t my_count = collect_offsets(data_, mine);
+  std::size_t their_count = collect_offsets(other.data_, theirs);
+  std::size_t n = std::min(my_count, their_count);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& a = labels_[labels_.size() - 1 - i];
-    const auto& b = other.labels_[other.labels_.size() - 1 - i];
+    std::string_view a = label_at(data_, mine[my_count - 1 - i]);
+    std::string_view b = label_at(other.data_, theirs[their_count - 1 - i]);
     if (auto cmp = a.compare(b); cmp != 0) {
       return cmp < 0 ? std::strong_ordering::less
                      : std::strong_ordering::greater;
     }
   }
-  return labels_.size() <=> other.labels_.size();
+  return my_count <=> their_count;
 }
 
 std::ostream& operator<<(std::ostream& os, const Name& name) {

@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <initializer_list>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -19,6 +18,14 @@ namespace dnsttl::dns {
 /// canonicalized to lower case (DNS names are case-insensitive, RFC 1035
 /// §2.3.3).  The root name has zero labels.
 ///
+/// Storage is a single contiguous length-prefixed buffer — for each label a
+/// length octet followed by the label bytes, i.e. the uncompressed wire form
+/// minus the terminating root octet.  Short names therefore live entirely in
+/// the std::string small-buffer and a Name costs at most one allocation,
+/// where the previous vector<string> layout paid one per label.  A 64-bit
+/// FNV-1a hash over the labels is computed once at construction and reused
+/// by the cache index, forwarder sharding and std::hash.
+///
 /// Invariants (RFC 1035 §3.1): every label is 1..63 octets; the wire-format
 /// length of the whole name (labels + length octets + terminating zero) is
 /// at most 255 octets.  Construction enforces both.
@@ -29,7 +36,7 @@ class Name {
 
   /// Builds a name from explicit labels, most specific first.
   /// Throws std::invalid_argument on label/name length violations.
-  explicit Name(std::vector<std::string> labels);
+  explicit Name(const std::vector<std::string>& labels);
 
   /// Parses presentation format ("www.example.org", trailing dot optional,
   /// "." is the root).  Throws std::invalid_argument on malformed input.
@@ -38,15 +45,24 @@ class Name {
   /// Presentation format with trailing dot ("www.example.org.", root = ".").
   std::string to_string() const;
 
-  bool is_root() const noexcept { return labels_.empty(); }
-  std::size_t label_count() const noexcept { return labels_.size(); }
-  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  bool is_root() const noexcept { return data_.empty(); }
+  std::size_t label_count() const noexcept { return label_count_; }
 
-  /// The label at @p i, 0 = most specific.
-  const std::string& label(std::size_t i) const { return labels_.at(i); }
+  /// The labels, most specific first, materialized into owned strings.
+  /// Cold-path convenience; hot paths should use label()/suffix().
+  std::vector<std::string> labels() const;
+
+  /// The label at @p i, 0 = most specific.  The view borrows from this
+  /// Name's buffer.  Throws std::out_of_range on a bad index.
+  std::string_view label(std::size_t i) const;
 
   /// Name with the most specific label removed; parent of the root is root.
   Name parent() const;
+
+  /// The trailing @p count labels as a Name (count >= label_count() returns
+  /// a copy of *this).  Single tail-copy of the flat buffer: O(size), no
+  /// per-label allocation.
+  Name suffix(std::size_t count) const;
 
   /// New name @p label + "." + *this.  Throws on invalid label.
   Name prepend(std::string_view label) const;
@@ -69,15 +85,34 @@ class Name {
   std::size_t common_suffix_labels(const Name& other) const noexcept;
 
   /// Wire-format length in octets (length bytes + labels + root byte).
-  std::size_t wire_length() const noexcept;
+  std::size_t wire_length() const noexcept { return data_.size() + 1; }
+
+  /// The cached 64-bit hash (FNV-1a over labels with a separator, matching
+  /// what std::hash<Name> always produced for this library).
+  std::uint64_t hash() const noexcept { return hash_; }
 
   /// Canonical DNS ordering (RFC 4034 §6.1): compare label-by-label from the
   /// rightmost (least specific) label.
   std::strong_ordering operator<=>(const Name& other) const noexcept;
-  bool operator==(const Name& other) const noexcept = default;
+  bool operator==(const Name& other) const noexcept {
+    return hash_ == other.hash_ && data_ == other.data_;
+  }
 
  private:
-  std::vector<std::string> labels_;
+  friend class NameBuilder;
+
+  /// Validates, lowercases and appends one label, updating the hash.
+  void append_label(std::string_view label);
+  /// Enforces the 255-octet wire limit after all labels are appended.
+  void check_total_length() const;
+  /// Builds a Name from a trailing slice of an existing flat buffer.
+  static Name from_tail(std::string_view tail, std::size_t count);
+
+  static constexpr std::uint64_t kHashBasis = 0xcbf29ce484222325ULL;
+
+  std::string data_;  ///< length-prefixed lowercased labels, no root octet
+  std::uint64_t hash_ = kHashBasis;
+  std::uint8_t label_count_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const Name& name);
@@ -87,16 +122,7 @@ std::ostream& operator<<(std::ostream& os, const Name& name);
 template <>
 struct std::hash<dnsttl::dns::Name> {
   std::size_t operator()(const dnsttl::dns::Name& n) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ULL;
-    for (const auto& label : n.labels()) {
-      for (char c : label) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-      }
-      h ^= 0xffULL;
-      h *= 0x100000001b3ULL;
-    }
-    return h;
+    return static_cast<std::size_t>(n.hash());
   }
 };
 

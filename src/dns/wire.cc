@@ -35,12 +35,13 @@ void WireWriter::patch_u16(std::size_t offset, std::uint16_t value) {
 }
 
 void WireWriter::name(const Name& n) {
-  // Emit labels until a known suffix allows a compression pointer.
-  const auto& labels = n.labels();
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    Name suffix(std::vector<std::string>(labels.begin() + static_cast<long>(i),
-                                         labels.end()));
-    std::string key = suffix.to_string();
+  // Emit labels until a known suffix allows a compression pointer.  Each
+  // suffix in presentation form is a trailing substring of the full
+  // presentation string, so one to_string() serves every map key.
+  std::string full = n.to_string();
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n.label_count(); ++i) {
+    std::string key = full.substr(pos);
     if (auto it = offsets_.find(key); it != offsets_.end()) {
       u16(static_cast<std::uint16_t>(kPointerMask | it->second));
       return;
@@ -49,15 +50,18 @@ void WireWriter::name(const Name& n) {
       offsets_.emplace(std::move(key),
                        static_cast<std::uint16_t>(buffer_.size()));
     }
-    u8(static_cast<std::uint8_t>(labels[i].size()));
-    bytes(std::span(reinterpret_cast<const std::uint8_t*>(labels[i].data()),
-                    labels[i].size()));
+    std::string_view label = n.label(i);
+    u8(static_cast<std::uint8_t>(label.size()));
+    bytes(std::span(reinterpret_cast<const std::uint8_t*>(label.data()),
+                    label.size()));
+    pos += label.size() + 1;
   }
   u8(0);  // root label
 }
 
 void WireWriter::name_uncompressed(const Name& n) {
-  for (const auto& label : n.labels()) {
+  for (std::size_t i = 0; i < n.label_count(); ++i) {
+    std::string_view label = n.label(i);
     u8(static_cast<std::uint8_t>(label.size()));
     bytes(std::span(reinterpret_cast<const std::uint8_t*>(label.data()),
                     label.size()));

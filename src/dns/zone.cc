@@ -95,11 +95,7 @@ std::optional<Name> Zone::find_zone_cut(const Name& name) const {
   std::size_t name_depth = name.label_count();
   for (std::size_t depth = origin_depth + 1; depth <= name_depth; ++depth) {
     // Ancestor of `name` with `depth` labels.
-    std::vector<std::string> labels(
-        name.labels().begin() +
-            static_cast<long>(name_depth - depth),
-        name.labels().end());
-    Name ancestor(std::move(labels));
+    Name ancestor = name.suffix(depth);
     auto node = nodes_.find(ancestor);
     if (node != nodes_.end() && node->second.contains(RRType::kNS)) {
       return ancestor;

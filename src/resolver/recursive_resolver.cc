@@ -525,9 +525,7 @@ namespace {
 
 /// The trailing @p label_count labels of @p name.
 dns::Name name_suffix(const dns::Name& name, std::size_t label_count) {
-  const auto& labels = name.labels();
-  return dns::Name(std::vector<std::string>(
-      labels.end() - static_cast<long>(label_count), labels.end()));
+  return name.suffix(label_count);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 namespace dnsttl::sim {
 
@@ -15,14 +16,58 @@ std::string format_time(Time t) {
   return buf;
 }
 
+void Simulation::throw_scheduled_in_past() {
+  throw std::invalid_argument("cannot schedule an event in the past");
+}
+
+void Simulation::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.occupied = false;
+  ++slot.generation;  // invalidates every outstanding id for this slot
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+Simulation::Event Simulation::heap_pop() {
+  Event min = heap_.front();
+  Event last = heap_.back();
+  heap_.pop_back();
+  std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t first = (i << 2) + 1;
+      if (first >= n) {
+        break;
+      }
+      std::size_t best = first;
+      std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t child = first + 1; child < end; ++child) {
+        if (before(heap_[child], heap_[best])) {
+          best = child;
+        }
+      }
+      if (!before(heap_[best], last)) {
+        break;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return min;
+}
+
 std::uint64_t Simulation::schedule_at(Time at, Handler handler) {
   if (at < now_) {
-    throw std::invalid_argument("cannot schedule an event in the past");
+    throw_scheduled_in_past();
   }
-  std::uint64_t id = next_seq_++;
-  queue_.push(Event{at, id});
-  handlers_.emplace(id, std::move(handler));
-  return id;
+  std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(handler);
+  heap_push(Event{at, next_seq_++, index, slot.generation});
+  return (static_cast<std::uint64_t>(slot.generation) << 32) | index;
 }
 
 std::uint64_t Simulation::schedule_after(Duration delay, Handler handler) {
@@ -30,27 +75,32 @@ std::uint64_t Simulation::schedule_after(Duration delay, Handler handler) {
 }
 
 bool Simulation::cancel(std::uint64_t event_id) {
-  if (handlers_.erase(event_id) > 0) {
-    ++cancelled_;
-    return true;
+  std::uint32_t index = static_cast<std::uint32_t>(event_id & 0xffffffffu);
+  std::uint32_t generation = static_cast<std::uint32_t>(event_id >> 32);
+  if (index >= slots_.size() || !slots_[index].occupied ||
+      slots_[index].generation != generation) {
+    return false;
   }
-  return false;
+  release_slot(index);
+  ++cancelled_;
+  return true;
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = handlers_.find(ev.seq);
-    if (it == handlers_.end()) {
+  while (!heap_.empty()) {
+    Event ev = heap_pop();
+    Slot& slot = slots_[ev.slot];
+    if (!slot.occupied || slot.generation != ev.generation) {
       --cancelled_;  // was cancelled; skip
       continue;
     }
     now_ = ev.at;
-    Handler handler = std::move(it->second);
-    handlers_.erase(it);
+    EventFn handler = std::move(slot.fn);
+    // Free the slot before running: the handler may schedule new events and
+    // reuse it (under a new generation).
+    release_slot(ev.slot);
     ++processed_;
-    handler();
+    handler.invoke_consume();
     return true;
   }
   return false;
@@ -62,7 +112,7 @@ void Simulation::run() {
 }
 
 void Simulation::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (!heap_.empty() && heap_.front().at <= deadline) {
     step();
   }
   if (now_ < deadline) {

@@ -1,15 +1,157 @@
 #ifndef DNSTTL_SIM_SIMULATION_H
 #define DNSTTL_SIM_SIMULATION_H
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace dnsttl::sim {
+
+/// Move-only `void()` callable with a small-buffer optimization: captures up
+/// to kInlineSize bytes live inside the object, so scheduling the common
+/// event lambda performs no heap allocation (std::function allocated for
+/// anything beyond two pointers of capture on most ABIs).
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors
+                    // std::function's converting constructor.
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroys the current callable (if any) and constructs @p f in place.
+  /// Inlined at call sites, this compiles down to a plain member copy for
+  /// small captures — no virtual dispatch on the scheduling path.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      vt_ = &heap_vtable<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { vt_->invoke(storage()); }
+
+  /// Invokes the callable and destroys it in one virtual dispatch; the
+  /// object is empty afterwards.  The event loop's fire path uses this to
+  /// save an indirect call over operator() followed by the destructor.
+  void invoke_consume() {
+    const VTable* vt = vt_;
+    vt_ = nullptr;
+    vt->invoke_destroy(storage_for(vt));
+  }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage());
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// invoke() followed by destroy(), fused.
+    void (*invoke_destroy)(void*);
+    /// Move-constructs into @p dst from @p src and destroys @p src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool stores_inline;
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* p) {
+        Fn* fn = static_cast<Fn*>(p);
+        (*fn)();
+        fn->~Fn();
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+      true,
+  };
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* p) {
+        Fn* fn = *static_cast<Fn**>(p);
+        (*fn)();
+        delete fn;
+      },
+      [](void* dst, void* src) noexcept {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+      false,
+  };
+
+  void* storage_for(const VTable* vt) noexcept {
+    return !vt->stores_inline ? static_cast<void*>(&heap_)
+                              : static_cast<void*>(buf_);
+  }
+
+  void* storage() noexcept {
+    return vt_ != nullptr ? storage_for(vt_) : static_cast<void*>(buf_);
+  }
+
+  void move_from(EventFn& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(storage(), other.storage());
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  union {
+    void* heap_;
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  };
+};
 
 /// Discrete-event simulation core: a virtual clock plus an event queue.
 ///
@@ -17,9 +159,14 @@ namespace dnsttl::sim {
 /// library run on one Simulation instance; nothing reads wall-clock time.
 /// Events at equal timestamps run in scheduling (FIFO) order, which makes
 /// every experiment deterministic given a fixed Rng seed.
+///
+/// Handlers live in a slab with an intrusive free list: scheduling reuses a
+/// slot instead of hitting the allocator, and cancel() stays O(1) through
+/// per-slot generation counters (an event id embeds slot index + generation,
+/// so a recycled slot cannot be cancelled through a stale id).
 class Simulation {
  public:
-  using Handler = std::function<void()>;
+  using Handler = EventFn;
 
   Time now() const noexcept { return now_; }
 
@@ -30,6 +177,32 @@ class Simulation {
   /// Schedules @p handler @p delay after the current time.
   std::uint64_t schedule_after(Duration delay, Handler handler);
 
+  /// Callable overloads: construct the handler directly inside its slab
+  /// slot.  Fully inlined, the schedule path performs no virtual dispatch
+  /// and (for captures within EventFn::kInlineSize) no allocation.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  std::uint64_t schedule_at(Time at, F&& f) {
+    if (at < now_) {
+      throw_scheduled_in_past();
+    }
+    std::uint32_t index = acquire_slot();
+    Slot& slot = slots_[index];
+    slot.fn.emplace(std::forward<F>(f));
+    heap_push(Event{at, next_seq_++, index, slot.generation});
+    return (static_cast<std::uint64_t>(slot.generation) << 32) | index;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  std::uint64_t schedule_after(Duration delay, F&& f) {
+    return schedule_at(now_ + delay, std::forward<F>(f));
+  }
+
   /// Cancels a pending event; returns false if it already ran or is unknown.
   bool cancel(std::uint64_t event_id);
 
@@ -39,30 +212,73 @@ class Simulation {
   /// Runs events with time <= @p deadline, then sets now to the deadline.
   void run_until(Time deadline);
 
-  std::size_t pending() const noexcept { return queue_.size() - cancelled_; }
+  std::size_t pending() const noexcept { return heap_.size() - cancelled_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
  private:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNilSlot;
+    bool occupied = false;
+  };
   struct Event {
     Time at;
-    std::uint64_t seq;
-    // Handlers are stored out-of-line so cancel() is O(1).
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
-    }
+    std::uint64_t seq;  ///< global schedule order; FIFO tiebreak at equal at
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
 
+  /// Strict total order on (at, seq): no two events compare equal, so any
+  /// min-heap pops the same sequence — heap arity is a pure perf knob.
+  static bool before(const Event& a, const Event& b) noexcept {
+    return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+  }
+
+  void heap_push(const Event& ev) {
+    std::size_t i = heap_.size();
+    heap_.emplace_back();  // hole; filled below after sift-up
+    while (i > 0) {
+      std::size_t parent = (i - 1) >> 2;
+      if (!before(ev, heap_[parent])) {
+        break;
+      }
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = ev;
+  }
+
+  Event heap_pop();
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      std::uint32_t index = free_head_;
+      free_head_ = slots_[index].next_free;
+      slots_[index].occupied = true;
+      return index;
+    }
+    slots_.emplace_back();
+    slots_.back().occupied = true;
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  [[noreturn]] static void throw_scheduled_in_past();
+
   bool step();
+  void release_slot(std::uint32_t index);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t cancelled_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // seq -> handler; erased entries mean the event was cancelled.
-  std::unordered_map<std::uint64_t, Handler> handlers_;
+  /// 4-ary min-heap: children of i are 4i+1..4i+4.  Half the levels of a
+  /// binary heap, and sifting writes one hole instead of swapping pairs.
+  std::vector<Event> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace dnsttl::sim

@@ -1,0 +1,268 @@
+// Differential test for the open-addressing cache index and its lazy expiry
+// heap: a randomized trace of insert / lookup / evict / negative / purge
+// operations runs against both cache::Cache and a deliberately naive
+// std::map-based oracle that mirrors the documented semantics (the data
+// structure the cache used historically).  Any divergence in hit results,
+// remaining TTLs, sizes, purge counts or statistics is a bug in the table,
+// the heap, or the Name hashing underneath them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dns/types.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace dnsttl::cache {
+namespace {
+
+struct ModelEntry {
+  sim::Time expires = 0;
+  dns::Ttl original_ttl = 0;
+  dns::Ttl stored_ttl = 0;  // after clamping
+  Credibility credibility = Credibility::kGlue;
+};
+
+struct ModelNegative {
+  dns::Rcode rcode = dns::Rcode::kNXDomain;
+  sim::Time expires = 0;
+};
+
+/// The oracle: ordered map keyed on canonical name text + type, executing
+/// the RFC 2181 credibility rule, TTL clamping and expiry arithmetic in the
+/// most straightforward way possible.
+class CacheOracle {
+ public:
+  explicit CacheOracle(const Cache::Config& config) : config_(config) {}
+
+  using Key = std::pair<std::string, dns::RRType>;
+
+  bool insert(const dns::Name& name, dns::RRType type, dns::Ttl ttl,
+              Credibility credibility, sim::Time now) {
+    Key key{name.to_string(), type};
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.expires > now) {
+      int have = static_cast<int>(it->second.credibility);
+      int incoming = static_cast<int>(credibility);
+      if (have > incoming) {
+        return false;
+      }
+    }
+    ModelEntry entry;
+    entry.original_ttl = ttl;
+    entry.stored_ttl = std::clamp(ttl, config_.min_ttl, config_.max_ttl);
+    entry.expires =
+        now + static_cast<sim::Duration>(entry.stored_ttl) * sim::kSecond;
+    entry.credibility = credibility;
+    entries_[key] = entry;
+    negatives_.erase(key);
+    return true;
+  }
+
+  void insert_negative(const dns::Name& name, dns::RRType type,
+                       dns::Rcode rcode, dns::Ttl ttl, sim::Time now) {
+    dns::Ttl effective = std::clamp(ttl, config_.min_ttl, config_.max_ttl);
+    negatives_[{name.to_string(), type}] = ModelNegative{
+        rcode, now + static_cast<sim::Duration>(effective) * sim::kSecond};
+  }
+
+  /// Returns remaining TTL on a live hit, nullopt on a miss.
+  std::optional<dns::Ttl> lookup(const dns::Name& name, dns::RRType type,
+                                 sim::Time now) const {
+    auto it = entries_.find({name.to_string(), type});
+    if (it == entries_.end() || it->second.expires <= now) {
+      return std::nullopt;
+    }
+    return static_cast<dns::Ttl>((it->second.expires - now) / sim::kSecond);
+  }
+
+  std::optional<dns::Ttl> lookup_negative(const dns::Name& name,
+                                          dns::RRType type,
+                                          sim::Time now) const {
+    auto it = negatives_.find({name.to_string(), type});
+    if (it == negatives_.end() || it->second.expires <= now) {
+      return std::nullopt;
+    }
+    return static_cast<dns::Ttl>((it->second.expires - now) / sim::kSecond);
+  }
+
+  bool evict(const dns::Name& name, dns::RRType type) {
+    return entries_.erase({name.to_string(), type}) > 0;
+  }
+
+  std::size_t purge_expired(sim::Time now) {
+    sim::Duration grace = config_.serve_stale ? config_.stale_window : 0;
+    std::size_t removed = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.expires + grace <= now) {
+        it = entries_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = negatives_.begin(); it != negatives_.end();) {
+      if (it->second.expires <= now) {
+        it = negatives_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  Cache::Config config_;
+  std::map<Key, ModelEntry> entries_;
+  std::map<Key, ModelNegative> negatives_;
+};
+
+dns::RRset make_rrset(const dns::Name& name, dns::Ttl ttl,
+                      std::uint32_t value) {
+  dns::RRset rrset(name, dns::RClass::kIN, ttl);
+  rrset.add(dns::ARdata{dns::Ipv4(value)});
+  return rrset;
+}
+
+/// Runs one randomized trace against both implementations.
+void run_trace(const Cache::Config& config, std::uint64_t seed,
+               bool exercise_credibility) {
+  Cache cache(config);
+  CacheOracle oracle(config);
+  sim::Rng rng(seed);
+
+  // A pool small enough that keys collide across insert/expiry cycles but
+  // large enough to force table growth and probe chains.
+  std::vector<dns::Name> names;
+  for (int i = 0; i < 48; ++i) {
+    names.push_back(dns::Name::from_string(
+        "m" + std::to_string(i) + ".model" + std::to_string(i % 5) +
+        ".example"));
+  }
+
+  sim::Time now = 0;
+  std::uint32_t value = 0;
+  for (int op = 0; op < 4000; ++op) {
+    now += static_cast<sim::Duration>(rng.uniform_int(0, 3)) * sim::kSecond;
+    const dns::Name& name = names[rng.uniform_int(0, names.size() - 1)];
+    double action = rng.uniform();
+    if (action < 0.45) {
+      auto ttl = static_cast<dns::Ttl>(rng.uniform_int(0, 40));
+      Credibility credibility =
+          exercise_credibility && rng.chance(0.5) ? Credibility::kGlue
+                                                  : Credibility::kAuthAnswer;
+      bool stored = cache.insert(make_rrset(name, ttl, value), credibility,
+                                 now);
+      bool model_stored =
+          oracle.insert(name, dns::RRType::kA, ttl, credibility, now);
+      ASSERT_EQ(stored, model_stored)
+          << "insert divergence at op " << op << " name " << name.to_string();
+      ++value;
+    } else if (action < 0.75) {
+      auto hit = cache.lookup(name, dns::RRType::kA, now);
+      auto model = oracle.lookup(name, dns::RRType::kA, now);
+      ASSERT_EQ(hit.has_value(), model.has_value())
+          << "lookup divergence at op " << op << " name " << name.to_string();
+      if (hit) {
+        ASSERT_EQ(hit->rrset.ttl(), *model) << "TTL divergence at op " << op;
+      }
+    } else if (action < 0.82) {
+      ASSERT_EQ(cache.evict(name, dns::RRType::kA),
+                oracle.evict(name, dns::RRType::kA))
+          << "evict divergence at op " << op;
+    } else if (action < 0.90) {
+      auto ttl = static_cast<dns::Ttl>(rng.uniform_int(1, 20));
+      cache.insert_negative(name, dns::RRType::kA, dns::Rcode::kNXDomain, ttl,
+                            now);
+      oracle.insert_negative(name, dns::RRType::kA, dns::Rcode::kNXDomain,
+                             ttl, now);
+    } else if (action < 0.96) {
+      auto hit = cache.lookup_negative(name, dns::RRType::kA, now);
+      auto model = oracle.lookup_negative(name, dns::RRType::kA, now);
+      ASSERT_EQ(hit.has_value(), model.has_value())
+          << "negative lookup divergence at op " << op;
+      if (hit) {
+        ASSERT_EQ(hit->remaining, *model)
+            << "negative TTL divergence at op " << op;
+      }
+    } else {
+      ASSERT_EQ(cache.purge_expired(now), oracle.purge_expired(now))
+          << "purge count divergence at op " << op << " now " << now;
+    }
+    ASSERT_EQ(cache.size(), oracle.size()) << "size divergence at op " << op;
+  }
+}
+
+TEST(CacheModelTest, RandomizedTracesMatchMapOracle) {
+  Cache::Config config;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_trace(config, seed, /*exercise_credibility=*/false);
+  }
+}
+
+TEST(CacheModelTest, CredibilityRefusalsMatchMapOracle) {
+  Cache::Config config;
+  for (std::uint64_t seed = 100; seed <= 104; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_trace(config, seed, /*exercise_credibility=*/true);
+  }
+}
+
+TEST(CacheModelTest, ServeStaleGraceMatchesMapOracle) {
+  Cache::Config config;
+  config.serve_stale = true;
+  config.stale_window = 20 * sim::kSecond;
+  for (std::uint64_t seed = 200; seed <= 204; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_trace(config, seed, /*exercise_credibility=*/false);
+  }
+}
+
+TEST(CacheModelTest, MinTtlClampMatchesMapOracle) {
+  Cache::Config config;
+  config.min_ttl = 15;
+  config.max_ttl = 30;
+  for (std::uint64_t seed = 300; seed <= 303; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_trace(config, seed, /*exercise_credibility=*/false);
+  }
+}
+
+// The lazy expiry heap must keep purge_expired exact even when one key is
+// refreshed far more often than it expires (the worst case for stale heap
+// records) — and the heap compaction that bounds its growth must not drop
+// deadlines.
+TEST(CacheModelTest, RepeatedRefreshKeepsPurgeExact) {
+  Cache cache;
+  CacheOracle oracle(Cache::Config{});
+  auto name = dns::Name::from_string("hot.model.example");
+  sim::Time now = 0;
+  for (int round = 0; round < 5000; ++round) {
+    cache.insert(make_rrset(name, 10, round), Credibility::kAuthAnswer, now);
+    oracle.insert(name, dns::RRType::kA, 10, Credibility::kAuthAnswer, now);
+    now += sim::kSecond;
+  }
+  // The entry was refreshed every second with a 10 s TTL: still live.
+  EXPECT_EQ(cache.purge_expired(now), oracle.purge_expired(now));
+  EXPECT_EQ(cache.size(), 1u);
+  now += 11 * sim::kSecond;
+  EXPECT_EQ(cache.purge_expired(now), oracle.purge_expired(now));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dnsttl::cache

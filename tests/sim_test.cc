@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "sim/rng.h"
@@ -84,6 +87,149 @@ TEST(SimulationTest, EventsCanScheduleMoreEvents) {
   simulation.run();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(simulation.now(), 100 * kSecond);
+}
+
+// The slab recycles handler slots; recycling must never perturb the
+// FIFO-at-equal-time guarantee that every experiment's determinism rests on.
+TEST(SimulationTest, EqualTimestampsStayFifoAcrossSlotReuse) {
+  Simulation simulation;
+  std::vector<int> order;
+  // Round 1 populates and frees slots 0..4.
+  for (int i = 0; i < 5; ++i) {
+    simulation.schedule_at(kSecond, [&order, i] { order.push_back(i); });
+  }
+  simulation.run();
+  // Round 2 reuses those slots (in LIFO free-list order, i.e. shuffled
+  // relative to scheduling order) — execution must still be FIFO.
+  for (int i = 5; i < 10; ++i) {
+    simulation.schedule_at(2 * kSecond, [&order, i] { order.push_back(i); });
+  }
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(SimulationTest, CancelInterleavedWithEqualTimeEvents) {
+  Simulation simulation;
+  std::vector<int> order;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(
+        simulation.schedule_at(kSecond, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every other event; survivors keep their original relative order.
+  for (int i = 0; i < 8; i += 2) {
+    EXPECT_TRUE(simulation.cancel(ids[i]));
+  }
+  EXPECT_EQ(simulation.pending(), 4u);
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7}));
+  EXPECT_EQ(simulation.events_processed(), 4u);
+}
+
+TEST(SimulationTest, HandlerCancelsLaterEventAtSameTimestamp) {
+  Simulation simulation;
+  std::vector<int> order;
+  std::uint64_t victim = 0;
+  simulation.schedule_at(kSecond, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(simulation.cancel(victim));
+  });
+  victim = simulation.schedule_at(kSecond, [&] { order.push_back(1); });
+  simulation.schedule_at(kSecond, [&] { order.push_back(2); });
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(SimulationTest, StaleIdCannotCancelRecycledSlot) {
+  Simulation simulation;
+  bool first_ran = false;
+  bool second_ran = false;
+  auto first = simulation.schedule_at(kSecond, [&] { first_ran = true; });
+  simulation.run();
+  EXPECT_TRUE(first_ran);
+  // The slot is recycled under a new generation; the stale id must neither
+  // cancel the new event nor report success.
+  auto second = simulation.schedule_at(2 * kSecond, [&] { second_ran = true; });
+  EXPECT_FALSE(simulation.cancel(first));
+  EXPECT_EQ(simulation.pending(), 1u);
+  simulation.run();
+  EXPECT_TRUE(second_ran);
+  EXPECT_TRUE(simulation.cancel(second) == false);  // already fired
+}
+
+TEST(SimulationTest, CancelledEventsDoNotAdvanceClockInRunUntil) {
+  Simulation simulation;
+  int count = 0;
+  auto id = simulation.schedule_at(kMinute, [&] { ++count; });
+  simulation.schedule_at(2 * kMinute, [&] { ++count; });
+  simulation.cancel(id);
+  simulation.run_until(3 * kMinute);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(simulation.now(), 3 * kMinute);
+  EXPECT_EQ(simulation.pending(), 0u);
+}
+
+TEST(SimulationTest, HandlersLargerThanInlineBufferWork) {
+  // Captures beyond EventFn's inline buffer take the heap path; both paths
+  // must behave identically, including through reschedules.
+  Simulation simulation;
+  struct Big {
+    std::uint64_t pad[12];  // 96 bytes: forces the heap path
+  };
+  auto big = std::make_shared<Big>();
+  big->pad[11] = 7;
+  std::uint64_t seen = 0;
+  int hops = 0;
+  std::function<void()> chain = [&, big] {
+    seen = big->pad[11];
+    if (++hops < 3) {
+      simulation.schedule_after(kSecond, chain);
+    }
+  };
+  simulation.schedule_after(kSecond, chain);
+  simulation.run();
+  EXPECT_EQ(hops, 3);
+  EXPECT_EQ(seen, 7u);
+}
+
+// Differential stress: a randomized schedule/cancel trace executed on the
+// slab-backed queue must fire exactly the events a naive oracle predicts,
+// in the oracle's (time, schedule-order) sequence.
+TEST(SimulationTest, RandomizedTraceMatchesOracle) {
+  Rng rng(0x5eed);
+  for (int round = 0; round < 20; ++round) {
+    Simulation simulation;
+    std::vector<int> fired;
+    std::map<std::pair<Time, int>, int> oracle;  // (at, token) -> token
+    std::vector<std::uint64_t> ids;
+    std::vector<std::pair<Time, int>> keys;
+    int token = 0;
+    for (int op = 0; op < 200; ++op) {
+      if (!ids.empty() && rng.chance(0.3)) {
+        auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, ids.size() - 1));
+        if (simulation.cancel(ids[pick])) {
+          oracle.erase(keys[pick]);
+        }
+        ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+        keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        Time at = static_cast<Time>(rng.uniform_int(0, 50)) * kSecond;
+        int t = token++;
+        ids.push_back(
+            simulation.schedule_at(at, [&fired, t] { fired.push_back(t); }));
+        keys.emplace_back(at, t);
+        oracle[{at, t}] = t;
+      }
+    }
+    simulation.run();
+    std::vector<int> expected;
+    expected.reserve(oracle.size());
+    for (const auto& [key, t] : oracle) {
+      expected.push_back(t);
+    }
+    EXPECT_EQ(fired, expected) << "round " << round;
+  }
 }
 
 TEST(TimeTest, FormatsHoursMinutesSeconds) {
