@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     // The paper's 1M-entry lists are generated at 1/10 scale by default; a
     // --scale of 1.0 therefore means 100k domains per top list.
     return std::max<std::size_t>(2000,
-                                 static_cast<std::size_t>(full * args.scale));
+                                 static_cast<std::size_t>(static_cast<double>(full) * args.scale));
   };
 
   std::vector<crawl::ListParams> lists = {

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   sim::Rng rng(args.seed);
   auto scaled = [&](std::size_t full) {
     return std::max<std::size_t>(2000,
-                                 static_cast<std::size_t>(full * args.scale));
+                                 static_cast<std::size_t>(static_cast<double>(full) * args.scale));
   };
   std::vector<crawl::ListParams> lists = {
       crawl::alexa_params(scaled(100000)),

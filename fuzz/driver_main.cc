@@ -1,0 +1,252 @@
+/// Standalone driver for LLVMFuzzerTestOneInput harnesses.
+///
+/// The container toolchain is GCC, which has no -fsanitize=fuzzer, so this
+/// driver supplies the two modes CI needs without libFuzzer:
+///
+///   replay:   every file in the given corpus paths is fed to the harness
+///             once, in sorted order (regression replay).
+///   mutate:   a deterministic xorshift-driven mutation loop over the
+///             corpus seeds, bounded by --runs and/or --seconds.
+///
+/// Usage: <harness> [--runs=N] [--seconds=S] [--seed=K] [--quiet]
+///                  <corpus-file-or-dir>...
+///
+/// Exit code 0 means no harness violation; any escaped exception aborts
+/// with a reproduction message naming the offending input.  The same
+/// fuzz_*.cc entry points link unchanged against real libFuzzer when a
+/// Clang toolchain is available (see fuzz/CMakeLists.txt).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+/// xorshift64* — deterministic across platforms, seeded from --seed only.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  std::size_t below(std::size_t bound) {
+    return bound == 0 ? 0 : static_cast<std::size_t>(next() % bound);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+Input read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  return Input(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+std::vector<std::filesystem::path> collect_corpus(
+    const std::vector<std::string>& roots) {
+  std::vector<std::filesystem::path> files;
+  for (const std::string& root : roots) {
+    const std::filesystem::path path(root);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+constexpr std::size_t kMaxInputSize = 1 << 16;
+
+/// One deterministic mutation step; mirrors libFuzzer's basic mutators
+/// (bit flip, byte set, erase, insert, splice) without any coverage
+/// feedback — enough for a smoke/regression tier.
+Input mutate(const std::vector<Input>& seeds, Rng& rng) {
+  Input out = seeds[rng.below(seeds.size())];
+  const std::size_t steps = 1 + rng.below(8);
+  for (std::size_t step = 0; step < steps; ++step) {
+    switch (rng.below(6)) {
+      case 0:  // bit flip
+        if (!out.empty()) {
+          out[rng.below(out.size())] ^=
+              static_cast<std::uint8_t>(1U << rng.below(8));
+        }
+        break;
+      case 1:  // byte set
+        if (!out.empty()) {
+          out[rng.below(out.size())] = static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      case 2:  // erase a run
+        if (!out.empty()) {
+          const std::size_t at = rng.below(out.size());
+          const std::size_t len = 1 + rng.below(out.size() - at);
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(at),
+                    out.begin() + static_cast<std::ptrdiff_t>(at + len));
+        }
+        break;
+      case 3:  // insert random bytes
+        if (out.size() < kMaxInputSize) {
+          const std::size_t at = rng.below(out.size() + 1);
+          const std::size_t len = 1 + rng.below(8);
+          Input chunk(len);
+          for (std::uint8_t& byte : chunk) {
+            byte = static_cast<std::uint8_t>(rng.next());
+          }
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                     chunk.begin(), chunk.end());
+        }
+        break;
+      case 4: {  // splice a window from another seed
+        const Input& other = seeds[rng.below(seeds.size())];
+        if (!other.empty() && out.size() < kMaxInputSize) {
+          const std::size_t from = rng.below(other.size());
+          const std::size_t len = 1 + rng.below(other.size() - from);
+          const std::size_t at = rng.below(out.size() + 1);
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                     other.begin() + static_cast<std::ptrdiff_t>(from),
+                     other.begin() + static_cast<std::ptrdiff_t>(from + len));
+        }
+        break;
+      }
+      case 5:  // truncate
+        if (!out.empty()) {
+          out.resize(rng.below(out.size()));
+        }
+        break;
+    }
+  }
+  if (out.size() > kMaxInputSize) {
+    out.resize(kMaxInputSize);
+  }
+  return out;
+}
+
+void dump_reproducer(const Input& input) {
+  std::fprintf(stderr, "fuzz driver: failing input (%zu bytes):", input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    std::fprintf(stderr, "%s%02x", i % 32 == 0 ? "\n  " : " ", input[i]);
+  }
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t runs = 0;
+  std::uint64_t seconds = 0;
+  std::uint64_t seed = 1;
+  bool quiet = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      seconds = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "fuzz driver: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--runs=N] [--seconds=S] [--seed=K] [--quiet] "
+                 "<corpus>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::vector<std::filesystem::path> files = collect_corpus(roots);
+  std::vector<Input> seeds;
+  seeds.reserve(files.size());
+  std::uint64_t executed = 0;
+  for (const std::filesystem::path& file : files) {
+    Input input = read_file(file);
+    try {
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "fuzz driver: violation replaying %s: %s\n",
+                   file.c_str(), error.what());
+      return 1;
+    }
+    ++executed;
+    seeds.push_back(std::move(input));
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "fuzz driver: replayed %zu corpus inputs\n",
+                 seeds.size());
+  }
+
+  if ((runs > 0 || seconds > 0) && !seeds.empty()) {
+    Rng rng(seed);
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::seconds(seconds);
+    std::uint64_t mutated = 0;
+    while (true) {
+      if (runs > 0 && mutated >= runs) {
+        break;
+      }
+      if (seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      if (runs == 0 && seconds == 0) {
+        break;
+      }
+      const Input input = mutate(seeds, rng);
+      try {
+        LLVMFuzzerTestOneInput(input.data(), input.size());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "fuzz driver: violation on mutated input: %s\n",
+                     error.what());
+        dump_reproducer(input);
+        return 1;
+      }
+      ++mutated;
+      ++executed;
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "fuzz driver: %llu mutated runs (seed %llu)\n",
+                   static_cast<unsigned long long>(mutated),
+                   static_cast<unsigned long long>(seed));
+    }
+  }
+
+  if (!quiet) {
+    std::fprintf(stderr, "fuzz driver: done, %llu total executions\n",
+                 static_cast<unsigned long long>(executed));
+  }
+  return 0;
+}

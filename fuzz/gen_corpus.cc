@@ -1,0 +1,171 @@
+/// Regenerates the committed seed corpus under fuzz/corpus/.
+///
+/// Usage: gen_corpus <corpus-root>
+///
+/// Seeds are built through the project's own encoder/renderer so they stay
+/// valid as the codec evolves; rerun this tool and re-commit the output
+/// whenever the wire or master-file format changes.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dns/master_file.h"
+#include "dns/message.h"
+#include "dns/rr.h"
+#include "dns/wire.h"
+#include "dns/zone.h"
+
+namespace {
+
+using dnsttl::dns::Message;
+using dnsttl::dns::Name;
+using dnsttl::dns::RRType;
+
+void write_file(const std::filesystem::path& path,
+                const std::vector<std::uint8_t>& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+std::vector<Message> message_seeds() {
+  using namespace dnsttl::dns;
+  std::vector<Message> seeds;
+
+  seeds.push_back(Message::make_query(0x1234, Name::from_string("example.com."),
+                                      RRType::kA));
+
+  Message edns = Message::make_query(0x2345, Name::from_string("www.example.org."),
+                                     RRType::kAAAA);
+  edns.add_edns(4096);
+  seeds.push_back(edns);
+
+  // A full answer: CNAME chain plus the target address records, with
+  // shared suffixes so the encoder emits compression pointers.
+  Message answer = Message::make_response(
+      Message::make_query(0x3456, Name::from_string("www.example.com."),
+                          RRType::kA));
+  answer.flags.aa = true;
+  answer.answers.push_back(make_cname(Name::from_string("www.example.com."),
+                                      300, Name::from_string("host.example.com.")));
+  answer.answers.push_back(make_a(Name::from_string("host.example.com."), 60,
+                                  Ipv4(192, 0, 2, 1)));
+  answer.answers.push_back(make_a(Name::from_string("host.example.com."), 60,
+                                  Ipv4(192, 0, 2, 2)));
+  answer.authorities.push_back(make_ns(Name::from_string("example.com."), 86400,
+                                       Name::from_string("ns1.example.com.")));
+  answer.additionals.push_back(make_a(Name::from_string("ns1.example.com."),
+                                      86400, Ipv4(192, 0, 1, 53)));
+  seeds.push_back(answer);
+
+  // A referral: empty answer, NS + glue — the shape resolvers chase.
+  Message referral = Message::make_response(
+      Message::make_query(0x4567, Name::from_string("a.b.c.example.net."),
+                          RRType::kA));
+  referral.authorities.push_back(make_ns(Name::from_string("example.net."),
+                                         172800,
+                                         Name::from_string("ns.example.net.")));
+  referral.additionals.push_back(make_a(Name::from_string("ns.example.net."),
+                                        172800, Ipv4(198, 51, 100, 1)));
+  seeds.push_back(referral);
+
+  // Negative answer with SOA (RFC 2308 negative-TTL source).
+  Message negative = Message::make_response(
+      Message::make_query(0x5678, Name::from_string("missing.example.com."),
+                          RRType::kTXT));
+  negative.flags.rcode = Rcode::kNXDomain;
+  negative.authorities.push_back(make_soa(Name::from_string("example.com."),
+                                          3600,
+                                          Name::from_string("ns1.example.com."),
+                                          2024010101, 900));
+  seeds.push_back(negative);
+
+  // Mixed RDATA types, including MX (compressible exchange) and TXT.
+  Message mixed = Message::make_response(
+      Message::make_query(0x6789, Name::from_string("example.org."),
+                          RRType::kMX));
+  mixed.answers.push_back(make_mx(Name::from_string("example.org."), 7200, 10,
+                                  Name::from_string("mail.example.org.")));
+  mixed.answers.push_back(make_txt(Name::from_string("example.org."), 7200,
+                                   "v=spf1 -all"));
+  seeds.push_back(mixed);
+
+  return seeds;
+}
+
+std::vector<std::string> master_file_seeds() {
+  std::vector<std::string> seeds;
+
+  seeds.push_back(
+      "$ORIGIN example.com.\n"
+      "$TTL 3600\n"
+      "@   IN SOA ns1.example.com. hostmaster.example.com. "
+      "2024010101 7200 900 1209600 300\n"
+      "@   IN NS  ns1.example.com.\n"
+      "@   IN NS  ns2.example.com.\n"
+      "ns1 IN A   192.0.2.1\n"
+      "ns2 IN A   192.0.2.2\n"
+      "www 300 IN A 192.0.2.80\n"
+      "www IN AAAA 2001:db8::80\n");
+
+  seeds.push_back(
+      "$ORIGIN example.org.\n"
+      "$TTL 86400\n"
+      "@    IN SOA ns.example.org. admin.example.org. 1 3600 600 86400 60\n"
+      "@    IN MX  10 mail\n"
+      "@    IN TXT \"v=spf1 mx -all\"\n"
+      "mail IN A   198.51.100.25\n"
+      "alias IN CNAME www.example.org.\n"
+      "www  IN A   198.51.100.80\n");
+
+  // Relative names, inherited TTLs, comments, a delegation with glue.
+  seeds.push_back(
+      "$ORIGIN example.net.\n"
+      "$TTL 172800\n"
+      "; delegation-heavy zone\n"
+      "@     IN SOA ns.example.net. root.example.net. 7 1800 300 604800 30\n"
+      "@     IN NS  ns\n"
+      "ns    IN A   203.0.113.1\n"
+      "child IN NS  ns.child\n"
+      "ns.child IN A 203.0.113.53\n");
+
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  const std::filesystem::path messages = root / "message";
+  const std::filesystem::path zones = root / "master_file";
+  std::filesystem::create_directories(messages);
+  std::filesystem::create_directories(zones);
+
+  int index = 0;
+  for (const Message& message : message_seeds()) {
+    char stem[32];
+    std::snprintf(stem, sizeof stem, "seed%02d.bin", index++);
+    write_file(messages / stem, dnsttl::dns::encode(message));
+  }
+
+  index = 0;
+  for (const std::string& zone : master_file_seeds()) {
+    char stem[32];
+    std::snprintf(stem, sizeof stem, "seed%02d.txt", index++);
+    write_file(zones / stem, zone);
+  }
+
+  std::fprintf(stderr, "corpus written under %s\n", root.c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "harness.h"
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "dns/master_file.h"
+#include "dns/message.h"
+#include "dns/wire.h"
+#include "dns/zone.h"
+
+namespace dnsttl::fuzz {
+
+namespace {
+
+[[noreturn]] void harness_violation(const char* harness, const char* stage,
+                                    const std::exception& error) {
+  // Re-throwing as logic_error keeps the full context in the what() string
+  // the driver (or libFuzzer) prints before aborting.
+  throw std::logic_error(std::string(harness) + ": " + stage + ": " +
+                         error.what());
+}
+
+}  // namespace
+
+void run_message_input(const std::uint8_t* data, std::size_t size) {
+  dns::Message message;
+  try {
+    message = dns::decode(std::span(data, size));
+  } catch (const dns::WireError&) {
+    return;  // malformed input correctly rejected
+  }
+  // The message parsed: everything below operates on data the codec
+  // accepted, so failures are codec bugs, not input errors.
+  try {
+    const std::vector<std::uint8_t> wire = dns::encode(message);
+    const dns::Message reparsed = dns::decode(wire);
+    if (!(reparsed == message)) {
+      throw std::logic_error("encode/decode round trip changed the message");
+    }
+    (void)message.to_string();
+  } catch (const std::exception& error) {
+    harness_violation("fuzz_message", "round-trip on accepted input", error);
+  }
+}
+
+void run_master_file_input(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  static const dns::Name origin = dns::Name::from_string("fuzz.example.");
+  dns::Zone zone{origin};
+  try {
+    zone = dns::parse_master_file(text, origin);
+  } catch (const dns::MasterFileError&) {
+    return;  // malformed zone text correctly rejected
+  }
+  try {
+    const std::string rendered = dns::render_master_file(zone);
+    (void)dns::parse_master_file(rendered, zone.origin());
+  } catch (const std::exception& error) {
+    harness_violation("fuzz_master_file", "render/re-parse of accepted zone",
+                      error);
+  }
+}
+
+}  // namespace dnsttl::fuzz

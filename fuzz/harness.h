@@ -1,0 +1,26 @@
+#ifndef DNSTTL_FUZZ_HARNESS_H
+#define DNSTTL_FUZZ_HARNESS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dnsttl::fuzz {
+
+/// One fuzz iteration against the RFC 1035 wire codec.  Feeds @p data to
+/// dns::decode; on a successful parse, re-encodes and re-decodes and
+/// requires the round trip to reproduce the message, and renders it to
+/// text.  dns::WireError is the codec's documented rejection channel and is
+/// swallowed; any other escape (unexpected exception type, assertion,
+/// sanitizer report) is a finding.
+void run_message_input(const std::uint8_t* data, std::size_t size);
+
+/// One fuzz iteration against the RFC 1035 §5 master-file parser.  Parses
+/// @p data as zone text; on success, renders the zone back to text and
+/// requires the render output to re-parse (the codec's documented
+/// round-trip guarantee).  dns::MasterFileError is the parser's rejection
+/// channel and is swallowed; anything else is a finding.
+void run_master_file_input(const std::uint8_t* data, std::size_t size);
+
+}  // namespace dnsttl::fuzz
+
+#endif  // DNSTTL_FUZZ_HARNESS_H

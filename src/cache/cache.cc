@@ -146,7 +146,116 @@ void Cache::Table<V>::clear() {
   used_ = 0;
 }
 
+template <typename V>
+void Cache::Table<V>::validate(const char* what) const {
+  DNSTTL_AUDIT_CHECK(what, ctrl_.size() == items_.size(),
+                     "control array and item array sizes disagree");
+  const std::size_t capacity = items_.size();
+  DNSTTL_AUDIT_CHECK(what, (capacity & (capacity - 1)) == 0,
+                     "capacity " + std::to_string(capacity) +
+                         " is not a power of two");
+  std::size_t full = 0;
+  std::size_t tombstones = 0;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    DNSTTL_AUDIT_CHECK(what, ctrl_[i] <= kFull,
+                       "control byte out of range at slot " +
+                           std::to_string(i));
+    if (ctrl_[i] == kFull) {
+      ++full;
+    } else if (ctrl_[i] == kTombstone) {
+      ++tombstones;
+    }
+  }
+  DNSTTL_AUDIT_CHECK(what, full == size_,
+                     "live-entry accounting: " + std::to_string(full) +
+                         " full slots vs size_ = " + std::to_string(size_));
+  DNSTTL_AUDIT_CHECK(what, full + tombstones == used_,
+                     "used-slot accounting: " +
+                         std::to_string(full + tombstones) +
+                         " full+tombstone slots vs used_ = " +
+                         std::to_string(used_));
+  // Probe termination requires a genuinely empty slot somewhere.
+  DNSTTL_AUDIT_CHECK(what, capacity == 0 || used_ < capacity,
+                     "table has no empty slot; probing cannot terminate");
+  for (std::size_t i = 0; i < capacity; ++i) {
+    if (ctrl_[i] != kFull) {
+      continue;
+    }
+    const Item& item = items_[i];
+    item.name.validate();
+    DNSTTL_AUDIT_CHECK(what, key_hash(item.name, item.type) == item.hash,
+                       "stored hash disagrees with key_hash for " +
+                           item.name.to_string());
+    // Probe-chain/tombstone agreement: the item must be reachable from its
+    // home slot, i.e. a lookup for its key finds this exact slot.
+    bool found = false;
+    std::size_t at = probe(item.hash, item.name, item.type, found);
+    DNSTTL_AUDIT_CHECK(what, found && at == i,
+                       "item at slot " + std::to_string(i) + " (" +
+                           item.name.to_string() +
+                           ") unreachable by probing (probe returned " +
+                           std::to_string(at) + ")");
+  }
+}
+
 // ------------------------------------------------------------------ Cache
+
+void Cache::validate() const {
+  constexpr const char* kWhat = "cache::Cache";
+  entries_.validate("cache::Cache::entries");
+  negatives_.validate("cache::Cache::negatives");
+
+  // Expiry-heap coverage: every indexed entry must have a heap record with
+  // exactly its (key, expiry) so lazy purging is guaranteed to visit it.
+  auto coverage = [](const ExpiryHeap& heap) {
+    std::vector<std::pair<std::uint64_t, sim::Time>> recs;
+    recs.reserve(heap.container().size());
+    for (const ExpiryRec& rec : heap.container()) {
+      recs.emplace_back(key_hash(rec.name, rec.type), rec.at);
+    }
+    std::sort(recs.begin(), recs.end());
+    return recs;
+  };
+  const auto positive_recs = coverage(expiry_);
+  const auto negative_recs = coverage(negative_expiry_);
+
+  const dns::Ttl lo = std::min(config_.min_ttl, config_.max_ttl);
+  const dns::Ttl hi = std::max(config_.min_ttl, config_.max_ttl);
+  entries_.for_each([&](const Table<Entry>::Item& item) {
+    const Entry& entry = item.value;
+    DNSTTL_AUDIT_CHECK(kWhat, entry.rrset.name() == item.name,
+                       "entry RRset owner disagrees with index key " +
+                           item.name.to_string());
+    DNSTTL_AUDIT_CHECK(kWhat, entry.rrset.type() == item.type,
+                       "entry RRset type disagrees with index key for " +
+                           item.name.to_string());
+    DNSTTL_AUDIT_CHECK(kWhat, entry.rrset.ttl() >= lo && entry.rrset.ttl() <= hi,
+                       "cached TTL outside the configured clamp for " +
+                           item.name.to_string());
+    DNSTTL_AUDIT_CHECK(
+        kWhat,
+        entry.expires ==
+            entry.inserted +
+                static_cast<sim::Duration>(entry.rrset.ttl()) * sim::kSecond,
+        "expiry arithmetic broken for " + item.name.to_string());
+    DNSTTL_AUDIT_CHECK(
+        kWhat,
+        std::binary_search(
+            positive_recs.begin(), positive_recs.end(),
+            std::make_pair(key_hash(item.name, item.type), entry.expires)),
+        "no expiry-heap record covers " + item.name.to_string());
+  });
+  negatives_.for_each([&](const Table<NegativeEntry>::Item& item) {
+    DNSTTL_AUDIT_CHECK(
+        kWhat,
+        std::binary_search(
+            negative_recs.begin(), negative_recs.end(),
+            std::make_pair(key_hash(item.name, item.type),
+                           item.value.expires)),
+        "no negative-expiry record covers " + item.name.to_string());
+  });
+  check::count_audit();
+}
 
 dns::Ttl Cache::clamp_ttl(dns::Ttl ttl) const {
   return std::clamp(ttl, config_.min_ttl, config_.max_ttl);
@@ -236,6 +345,9 @@ bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
   ++stats_.inserts;
   // Fresh positive data supersedes any negative entry.
   negatives_.erase(hash, rrset.name(), rrset.type());
+  if constexpr (check::kAuditEnabled) {
+    validate();
+  }
   return true;
 }
 
@@ -248,6 +360,9 @@ void Cache::insert_negative(const dns::Name& name, dns::RRType type,
                  NegativeEntry{rcode, expires});
   negative_expiry_.push(ExpiryRec{expires, name, type});
   compact_heap(negative_expiry_, negatives_);
+  if constexpr (check::kAuditEnabled) {
+    validate();
+  }
 }
 
 std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
@@ -323,7 +438,11 @@ std::optional<NegativeHit> Cache::lookup_negative(const dns::Name& name,
 }
 
 bool Cache::evict(const dns::Name& name, dns::RRType type) {
-  return entries_.erase(key_hash(name, type), name, type);
+  bool erased = entries_.erase(key_hash(name, type), name, type);
+  if constexpr (check::kAuditEnabled) {
+    entries_.validate("cache::Cache::entries");
+  }
+  return erased;
 }
 
 std::size_t Cache::purge_expired(sim::Time now) {
@@ -351,6 +470,16 @@ std::size_t Cache::purge_expired(sim::Time now) {
       ++removed;
     }
   }
+  if constexpr (check::kAuditEnabled) {
+    validate();
+    // Purge guarantee: nothing past its (stale-window-extended) deadline
+    // may survive a purge at @p now.
+    entries_.for_each([&](const Table<Entry>::Item& item) {
+      DNSTTL_AUDIT_CHECK("cache::Cache", item.value.expires + grace > now,
+                         "entry survived purge past its deadline: " +
+                             item.name.to_string());
+    });
+  }
   return removed;
 }
 
@@ -359,6 +488,10 @@ void Cache::clear() {
   negatives_.clear();
   expiry_ = ExpiryHeap{};
   negative_expiry_ = ExpiryHeap{};
+  if constexpr (check::kAuditEnabled) {
+    entries_.validate("cache::Cache::entries");
+    negatives_.validate("cache::Cache::negatives");
+  }
 }
 
 std::string Cache::dump(sim::Time now) const {

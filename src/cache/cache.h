@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.h"
 #include "dns/name.h"
 #include "dns/rr.h"
 #include "dns/types.h"
@@ -133,6 +134,18 @@ class Cache {
   /// then type.
   std::string dump(sim::Time now) const;
 
+  /// Deep structural audit: probe-chain/tombstone agreement and live-entry
+  /// accounting in both index tables, per-entry TTL-clamp and expiry
+  /// arithmetic, stored-Name integrity, and expiry-heap coverage of every
+  /// indexed entry.  Deliberately time-free: the resolver legitimately
+  /// inserts on shifted virtual clocks during sub-resolutions, so mutation
+  /// monotonicity is not a cache invariant (the purge deadline guarantee is
+  /// asserted at the purge_expired boundary instead).  Throws
+  /// check::AuditError on violation.  Compiled in every build; invoked
+  /// automatically at mutation boundaries only when built with
+  /// DNSTTL_AUDIT=ON.
+  void validate() const;
+
  private:
   struct Entry {
     dns::RRset rrset;
@@ -186,6 +199,12 @@ class Cache {
     void clear();
     std::size_t size() const noexcept { return size_; }
 
+    /// Structural audit of the open-addressing layout: control bytes vs
+    /// live/used accounting, power-of-two capacity with a guaranteed empty
+    /// slot, stored-hash agreement with key_hash, Name integrity, and
+    /// probe-chain reachability of every live item across tombstones.
+    void validate(const char* what) const;
+
     /// Invokes @p fn for every live item, in unspecified order.
     template <typename Fn>
     void for_each(Fn&& fn) const {
@@ -221,8 +240,13 @@ class Cache {
       return a.at > b.at;
     }
   };
-  using ExpiryHeap =
-      std::priority_queue<ExpiryRec, std::vector<ExpiryRec>, LaterExpiry>;
+  /// priority_queue with audit access to the underlying container, so
+  /// validate() can prove every indexed entry has expiry coverage.
+  struct ExpiryHeap
+      : std::priority_queue<ExpiryRec, std::vector<ExpiryRec>, LaterExpiry> {
+    using priority_queue::priority_queue;
+    const std::vector<ExpiryRec>& container() const noexcept { return c; }
+  };
 
   dns::Ttl clamp_ttl(dns::Ttl ttl) const;
   bool entry_live(const Entry& entry, sim::Time now) const;

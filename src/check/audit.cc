@@ -1,0 +1,29 @@
+#include "check/audit.h"
+
+namespace dnsttl::check {
+
+AuditStats& audit_stats() noexcept {
+  static AuditStats stats;
+  return stats;
+}
+
+void count_audit() noexcept { ++audit_stats().audits; }
+
+void audit_fail(std::string_view structure, std::string_view invariant,
+                const std::string& detail) {
+  ++audit_stats().failures;
+  std::string message;
+  message.reserve(structure.size() + invariant.size() + detail.size() + 32);
+  message += "audit failure in ";
+  message += structure;
+  message += ": !(";
+  message += invariant;
+  message += ")";
+  if (!detail.empty()) {
+    message += " — ";
+    message += detail;
+  }
+  throw AuditError(message);
+}
+
+}  // namespace dnsttl::check

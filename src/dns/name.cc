@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "check/audit.h"
+
 namespace dnsttl::dns {
 
 namespace {
@@ -76,6 +78,9 @@ Name::Name(const std::vector<std::string>& labels) {
     append_label(label);
   }
   check_total_length();
+  if constexpr (check::kAuditEnabled) {
+    validate();
+  }
 }
 
 Name Name::from_string(std::string_view text) {
@@ -101,6 +106,9 @@ Name Name::from_string(std::string_view text) {
     start = dot + 1;
   }
   name.check_total_length();
+  if constexpr (check::kAuditEnabled) {
+    name.validate();
+  }
   return name;
 }
 
@@ -121,7 +129,52 @@ Name Name::from_tail(std::string_view tail, std::size_t count) {
     pos += 1 + len;
   }
   name.hash_ = h;
+  if constexpr (check::kAuditEnabled) {
+    name.validate();
+  }
   return name;
+}
+
+void Name::validate() const {
+  constexpr const char* kWhat = "dns::Name";
+  DNSTTL_AUDIT_CHECK(kWhat, wire_length() <= kMaxWireLen,
+                     "wire length " + std::to_string(wire_length()) +
+                         " exceeds 255 octets");
+  std::uint64_t h = kHashBasis;
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < data_.size()) {
+    const std::size_t len = static_cast<unsigned char>(data_[pos]);
+    DNSTTL_AUDIT_CHECK(kWhat, len >= 1 && len <= kMaxLabelLen,
+                       "label length octet " + std::to_string(len) +
+                           " out of range at offset " + std::to_string(pos));
+    DNSTTL_AUDIT_CHECK(kWhat, pos + 1 + len <= data_.size(),
+                       "label overruns the flat buffer at offset " +
+                           std::to_string(pos));
+    for (std::size_t i = 0; i < len; ++i) {
+      const unsigned char c = static_cast<unsigned char>(data_[pos + 1 + i]);
+      DNSTTL_AUDIT_CHECK(kWhat, c != '.',
+                         "'.' inside a label at offset " +
+                             std::to_string(pos + 1 + i));
+      DNSTTL_AUDIT_CHECK(kWhat, !(c >= 'A' && c <= 'Z'),
+                         "label byte not lowercased at offset " +
+                             std::to_string(pos + 1 + i));
+      h ^= c;
+      h *= kFnvPrime;
+    }
+    h ^= 0xffULL;
+    h *= kFnvPrime;
+    pos += 1 + len;
+    ++count;
+  }
+  DNSTTL_AUDIT_CHECK(kWhat, count == label_count_,
+                     "label_count " + std::to_string(label_count_) +
+                         " disagrees with buffer walk (" +
+                         std::to_string(count) + ")");
+  DNSTTL_AUDIT_CHECK(kWhat, h == hash_,
+                     "incremental FNV hash disagrees with recomputation for " +
+                         to_string());
+  check::count_audit();
 }
 
 std::string Name::to_string() const {
@@ -202,6 +255,9 @@ Name Name::prepend(std::string_view label) const {
     pos += 1 + tail_label.size();
   }
   name.check_total_length();
+  if constexpr (check::kAuditEnabled) {
+    name.validate();
+  }
   return name;
 }
 

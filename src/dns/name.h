@@ -91,6 +91,14 @@ class Name {
   /// what std::hash<Name> always produced for this library).
   std::uint64_t hash() const noexcept { return hash_; }
 
+  /// Deep structural audit: every length prefix in 1..63 and consistent
+  /// with the buffer size, all bytes lowercased, no '.' inside a label,
+  /// label_count/wire-length agreement, and the incrementally maintained
+  /// FNV-1a hash equal to a from-scratch recomputation.  Throws
+  /// check::AuditError on violation.  Compiled in every build; invoked
+  /// automatically after construction only when built with DNSTTL_AUDIT=ON.
+  void validate() const;
+
   /// Canonical DNS ordering (RFC 4034 §6.1): compare label-by-label from the
   /// rightmost (least specific) label.
   std::strong_ordering operator<=>(const Name& other) const noexcept;

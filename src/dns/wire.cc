@@ -72,7 +72,8 @@ void WireWriter::name_uncompressed(const Name& n) {
 // ---------------------------------------------------------------- WireReader
 
 void WireReader::require(std::size_t count) const {
-  if (offset_ + count > data_.size()) {
+  // Subtraction form: `offset_ + count` could wrap for hostile counts.
+  if (count > data_.size() - offset_) {
     throw WireError("truncated DNS message");
   }
 }
@@ -117,6 +118,7 @@ Name WireReader::name() {
   std::size_t cursor = offset_;
   bool jumped = false;
   std::size_t jumps = 0;
+  std::size_t total = 0;  // accumulated label + length octets
 
   while (true) {
     if (cursor >= data_.size()) {
@@ -151,11 +153,28 @@ Name WireReader::name() {
     if (cursor + 1 + len > data_.size()) {
       throw WireError("label runs past end of message");
     }
+    // RFC 1035 §3.1: 255 octets including the terminating root octet.
+    // Compression pointers can stitch together labels whose sum exceeds
+    // what any contiguous encoding could hold; enforce the limit here so
+    // malformed input surfaces as WireError, not as a Name constructor
+    // failure deep in the call chain.
+    total += 1 + static_cast<std::size_t>(len);
+    if (total + 1 > 255) {
+      throw WireError("name exceeds 255 octets");
+    }
     labels.emplace_back(
         reinterpret_cast<const char*>(data_.data() + cursor + 1), len);
     cursor += 1 + len;
   }
-  return Name{std::move(labels)};
+  try {
+    return Name{std::move(labels)};
+  } catch (const std::invalid_argument& error) {
+    // Wire labels are arbitrary bytes; the ones Name cannot represent
+    // (e.g. a '.' inside a label) are malformed input to this codec, not a
+    // library bug: report them on decode()'s documented error channel.
+    throw WireError(std::string("unrepresentable name in message: ") +
+                    error.what());
+  }
 }
 
 // ------------------------------------------------------------ RDATA codecs
@@ -235,6 +254,16 @@ void encode_rdata(WireWriter& w, const Rdata& rdata) {
   w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - start));
 }
 
+// Bytes left before @p end; throws if earlier fields already overran the
+// RDATA window (e.g. an RRSIG whose RDLENGTH is shorter than the fixed
+// header), which would otherwise underflow to a near-SIZE_MAX count.
+std::size_t remaining_rdata(const WireReader& r, std::size_t end) {
+  if (r.offset() > end) {
+    throw WireError("RDATA fields overrun RDLENGTH");
+  }
+  return end - r.offset();
+}
+
 Rdata decode_rdata(WireReader& r, RRType type, std::size_t rdlength) {
   std::size_t end = r.offset() + rdlength;
   Rdata out;
@@ -303,7 +332,7 @@ Rdata decode_rdata(WireReader& r, RRType type, std::size_t rdlength) {
       key.flags = r.u16();
       key.protocol = r.u8();
       key.algorithm = r.u8();
-      auto raw = r.bytes(end - r.offset());
+      auto raw = r.bytes(remaining_rdata(r, end));
       key.public_key.assign(reinterpret_cast<const char*>(raw.data()),
                             raw.size());
       out = std::move(key);
@@ -319,7 +348,7 @@ Rdata decode_rdata(WireReader& r, RRType type, std::size_t rdlength) {
       sig.inception = r.u32();
       sig.key_tag = r.u16();
       sig.signer = r.name();
-      auto raw = r.bytes(end - r.offset());
+      auto raw = r.bytes(remaining_rdata(r, end));
       sig.signature.assign(reinterpret_cast<const char*>(raw.data()),
                            raw.size());
       out = std::move(sig);

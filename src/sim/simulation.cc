@@ -101,9 +101,102 @@ bool Simulation::step() {
     release_slot(ev.slot);
     ++processed_;
     handler.invoke_consume();
+    if constexpr (check::kAuditEnabled) {
+      if (--audit_countdown_ == 0) {
+        audit_countdown_ = audit_interval_;
+        run_audit();
+      }
+    }
     return true;
   }
   return false;
+}
+
+void Simulation::run_audit() const {
+  validate();
+  for (const auto& hook : audit_hooks_) {
+    hook();
+  }
+}
+
+void Simulation::validate() const {
+  constexpr const char* kWhat = "sim::Simulation";
+  const std::size_t n = heap_.size();
+
+  // 4-ary min-heap order under the strict (at, seq) total order, and no
+  // event scheduled before the current virtual time.
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t parent = (i - 1) >> 2;
+    DNSTTL_AUDIT_CHECK(kWhat, !before(heap_[i], heap_[parent]),
+                       "heap order violated at index " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    DNSTTL_AUDIT_CHECK(kWhat, heap_[i].at >= now_,
+                       "pending event at index " + std::to_string(i) +
+                           " is scheduled before now");
+    DNSTTL_AUDIT_CHECK(kWhat, heap_[i].seq < next_seq_,
+                       "event sequence number from the future at index " +
+                           std::to_string(i));
+  }
+
+  // Slab free list: every reachable slot is unoccupied, the walk terminates
+  // (no cycle), and together occupied + free cover the slab exactly.
+  std::size_t occupied = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.occupied) {
+      ++occupied;
+      DNSTTL_AUDIT_CHECK(kWhat, static_cast<bool>(slot.fn),
+                         "occupied slot holds an empty handler");
+    }
+  }
+  std::vector<bool> on_free_list(slots_.size(), false);
+  std::size_t free_count = 0;
+  for (std::uint32_t index = free_head_; index != kNilSlot;
+       index = slots_[index].next_free) {
+    DNSTTL_AUDIT_CHECK(kWhat, index < slots_.size(),
+                       "free-list index out of range: " +
+                           std::to_string(index));
+    DNSTTL_AUDIT_CHECK(kWhat, !on_free_list[index],
+                       "free-list cycle through slot " + std::to_string(index));
+    DNSTTL_AUDIT_CHECK(kWhat, !slots_[index].occupied,
+                       "occupied slot " + std::to_string(index) +
+                           " reachable from the free list");
+    on_free_list[index] = true;
+    ++free_count;
+  }
+  DNSTTL_AUDIT_CHECK(kWhat, occupied + free_count == slots_.size(),
+                     "slot leak: " + std::to_string(occupied) + " occupied + " +
+                         std::to_string(free_count) + " free != " +
+                         std::to_string(slots_.size()) + " slots");
+
+  // Generation agreement: every occupied slot is referenced by exactly one
+  // live heap event, and every other heap event is a cancelled leftover
+  // accounted for by cancelled_.
+  std::vector<std::uint32_t> refs(slots_.size(), 0);
+  std::size_t stale = 0;
+  for (const Event& ev : heap_) {
+    DNSTTL_AUDIT_CHECK(kWhat, ev.slot < slots_.size(),
+                       "heap event references slot out of range");
+    const Slot& slot = slots_[ev.slot];
+    if (slot.occupied && slot.generation == ev.generation) {
+      ++refs[ev.slot];
+    } else {
+      ++stale;
+    }
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].occupied) {
+      DNSTTL_AUDIT_CHECK(kWhat, refs[i] == 1,
+                         "occupied slot " + std::to_string(i) +
+                             " referenced by " + std::to_string(refs[i]) +
+                             " live events (want exactly 1)");
+    }
+  }
+  DNSTTL_AUDIT_CHECK(kWhat, stale == cancelled_,
+                     "cancelled-event accounting: " + std::to_string(stale) +
+                         " stale heap events vs cancelled_ = " +
+                         std::to_string(cancelled_));
+  check::count_audit();
 }
 
 void Simulation::run() {

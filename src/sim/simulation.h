@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "check/audit.h"
 #include "sim/time.h"
 
 namespace dnsttl::sim {
@@ -47,6 +49,8 @@ class EventFn {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       vt_ = &inline_vtable<Fn>;
     } else {
+      // lint:allow(raw-new) EventFn IS the owner: oversized callables spill
+      // to the heap and the vtable below is the matching deleter.
       heap_ = new Fn(std::forward<F>(f));
       vt_ = &heap_vtable<Fn>;
     }
@@ -120,11 +124,12 @@ class EventFn {
       [](void* p) {
         Fn* fn = *static_cast<Fn**>(p);
         (*fn)();
-        delete fn;
+        delete fn;  // lint:allow(raw-new) deleter half of EventFn's heap path
       },
       [](void* dst, void* src) noexcept {
         *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
       },
+      // lint:allow(raw-new) deleter half of EventFn's heap path
       [](void* p) noexcept { delete *static_cast<Fn**>(p); },
       false,
   };
@@ -215,6 +220,27 @@ class Simulation {
   std::size_t pending() const noexcept { return heap_.size() - cancelled_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  /// Deep structural audit: 4-ary heap order, slab free-list consistency,
+  /// generation-counter agreement between heap events and slots, and
+  /// cancelled-event accounting.  Throws check::AuditError on violation.
+  /// Compiled in every build (tests call it directly); automatic periodic
+  /// invocation happens only when built with DNSTTL_AUDIT=ON.
+  void validate() const;
+
+  /// Registers a hook run with every periodic audit (audit builds only;
+  /// a no-op invocation-wise otherwise).  Experiments register the caches
+  /// of their resolver populations here so cross-structure state is audited
+  /// while the simulation runs, not just at test boundaries.
+  void add_audit_hook(std::function<void()> hook) {
+    audit_hooks_.push_back(std::move(hook));
+  }
+
+  /// Sets how many processed events elapse between periodic audits.
+  void set_audit_interval(std::uint64_t events) {
+    audit_interval_ = events > 0 ? events : 1;
+    audit_countdown_ = audit_interval_;
+  }
+
  private:
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;
 
@@ -269,6 +295,9 @@ class Simulation {
 
   bool step();
   void release_slot(std::uint32_t index);
+  /// Self-validate plus registered hooks; called from step() every
+  /// audit_interval_ events in audit builds.
+  void run_audit() const;
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -279,6 +308,11 @@ class Simulation {
   std::vector<Event> heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
+
+  static constexpr std::uint64_t kDefaultAuditInterval = 1024;
+  std::vector<std::function<void()>> audit_hooks_;
+  std::uint64_t audit_interval_ = kDefaultAuditInterval;
+  std::uint64_t audit_countdown_ = kDefaultAuditInterval;
 };
 
 }  // namespace dnsttl::sim

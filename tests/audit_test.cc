@@ -1,0 +1,287 @@
+// Tests for the dnsttl::check invariant-audit subsystem (PR 2 tentpole).
+//
+// The validate() bodies compile in every configuration, so most of these
+// tests run identically with DNSTTL_AUDIT on or off; only the automatic
+// periodic hooks are gated, and the hook tests assert both behaviours.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "check/audit.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "sim/simulation.h"
+
+namespace dnsttl {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+/// Deterministic LCG so the storm/soak tests are reproducible bit-for-bit.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 16;
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ------------------------------------------------------------ check machinery
+
+TEST(AuditMachinery, PassingCheckCountsAndDoesNotThrow) {
+  const std::uint64_t checks_before = check::audit_stats().checks;
+  EXPECT_NO_THROW(DNSTTL_AUDIT_CHECK("test::thing", 1 + 1 == 2, "arithmetic"));
+  EXPECT_EQ(check::audit_stats().checks, checks_before + 1);
+}
+
+TEST(AuditMachinery, FailingCheckThrowsAuditErrorWithContext) {
+  const std::uint64_t failures_before = check::audit_stats().failures;
+  try {
+    DNSTTL_AUDIT_CHECK("test::thing", 2 + 2 == 5, "slot 17");
+    FAIL() << "DNSTTL_AUDIT_CHECK did not throw";
+  } catch (const check::AuditError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("test::thing"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("slot 17"), std::string::npos) << what;
+  }
+  EXPECT_EQ(check::audit_stats().failures, failures_before + 1);
+}
+
+TEST(AuditMachinery, AuditErrorIsALogicError) {
+  // Callers that cannot recover (the periodic hook) rely on AuditError
+  // deriving from std::logic_error, not runtime_error: an invariant
+  // violation is a bug, never an environmental condition.
+  EXPECT_THROW(
+      check::audit_fail("test::thing", "x == y", "detail"),
+      std::logic_error);
+}
+
+// ------------------------------------------------------------ sim::Simulation
+
+TEST(SimulationAudit, EmptySimulationValidates) {
+  sim::Simulation sim;
+  EXPECT_NO_THROW(sim.validate());
+}
+
+TEST(SimulationAudit, StormOfScheduleCancelRunStaysConsistent) {
+  sim::Simulation sim;
+  Lcg rng(0x5eed);
+  std::vector<std::uint64_t> ids;
+  std::uint64_t fired = 0;
+
+  for (int round = 0; round < 40; ++round) {
+    // Burst of schedules at jittered times, some nested (events that
+    // schedule further events — exercising slab reuse mid-run).
+    for (int i = 0; i < 50; ++i) {
+      const sim::Duration delay =
+          static_cast<sim::Duration>(rng.below(90) + 1) * sim::kSecond;
+      ids.push_back(sim.schedule_after(delay, [&sim, &fired, &rng] {
+        ++fired;
+        if (rng.below(4) == 0) {
+          sim.schedule_after(sim::kSecond, [&fired] { ++fired; });
+        }
+      }));
+    }
+    // Cancel a deterministic subset; double-cancel must be a clean no-op.
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+      sim.cancel(ids[i]);
+      sim.cancel(ids[i]);
+    }
+    ids.clear();
+    EXPECT_NO_THROW(sim.validate());
+    sim.run_until(sim.now() + 30 * sim::kSecond);
+    EXPECT_NO_THROW(sim.validate());
+  }
+  sim.run();
+  EXPECT_NO_THROW(sim.validate());
+  EXPECT_GT(fired, 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulationAudit, CancelledIdFromRecycledSlotIsRejected) {
+  sim::Simulation sim;
+  const std::uint64_t id = sim.schedule_after(sim::kSecond, [] {});
+  sim.run();
+  // The slot was recycled; a stale id must not cancel whatever lives there
+  // now, and the structure must stay valid either way.
+  sim.schedule_after(sim::kSecond, [] {});
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_NO_THROW(sim.validate());
+  sim.run();
+}
+
+TEST(SimulationAudit, PeriodicHookFiresOnlyInAuditBuilds) {
+  sim::Simulation sim;
+  sim.set_audit_interval(16);
+  std::uint64_t hook_calls = 0;
+  sim.add_audit_hook([&hook_calls] { ++hook_calls; });
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_after(static_cast<sim::Duration>(i) * sim::kMillisecond,
+                       [] {});
+  }
+  sim.run();
+  if (check::kAuditEnabled) {
+    EXPECT_GE(hook_calls, 200u / 16u);
+  } else {
+    EXPECT_EQ(hook_calls, 0u);
+  }
+}
+
+// ---------------------------------------------------------------- cache::Cache
+
+Name numbered_name(std::uint64_t i) {
+  return Name::from_string("host" + std::to_string(i) + ".example.com.");
+}
+
+TEST(CacheAudit, EmptyCacheValidates) {
+  cache::Cache cache;
+  EXPECT_NO_THROW(cache.validate());
+}
+
+TEST(CacheAudit, RandomizedMutationSoakStaysConsistent) {
+  cache::Cache cache;
+  Lcg rng(0xcac4e);
+  sim::Time now = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    now += static_cast<sim::Duration>(rng.below(5)) * sim::kSecond;
+    const Name name = numbered_name(rng.below(300));
+    switch (rng.below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // positive insert, mixed credibility
+        dns::RRset rrset(name, dns::RClass::kIN,
+                         static_cast<dns::Ttl>(rng.below(600) + 1));
+        rrset.add(dns::ARdata{
+            dns::Ipv4{static_cast<std::uint32_t>(rng.next())}});
+        const auto credibility =
+            rng.below(2) == 0 ? cache::Credibility::kAuthAnswer
+                              : cache::Credibility::kGlue;
+        cache.insert(rrset, credibility, now);
+        break;
+      }
+      case 4: {  // negative insert
+        cache.insert_negative(name, RRType::kTXT, dns::Rcode::kNXDomain,
+                              static_cast<dns::Ttl>(rng.below(300) + 1), now);
+        break;
+      }
+      case 5:
+      case 6:  // lookups (count down TTLs, touch stale paths)
+        cache.lookup(name, RRType::kA, now, rng.below(2) == 0);
+        break;
+      case 7:
+        cache.evict(name, RRType::kA);
+        break;
+      case 8:
+        cache.purge_expired(now);
+        break;
+      case 9:
+        if (rng.below(50) == 0) {
+          cache.clear();
+        }
+        break;
+    }
+    if (op % 128 == 0) {
+      EXPECT_NO_THROW(cache.validate()) << "op " << op;
+    }
+  }
+  EXPECT_NO_THROW(cache.validate());
+}
+
+TEST(CacheAudit, TombstoneChurnKeepsProbeChainsReachable) {
+  cache::Cache cache;
+  sim::Time now = 0;
+  // Insert/evict waves force tombstones and rehash-on-grow; every entry
+  // that should be present must remain reachable through its probe chain —
+  // exactly what Table::validate() re-probes for.
+  for (int wave = 0; wave < 8; ++wave) {
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      dns::RRset rrset(numbered_name(i), dns::RClass::kIN, 300);
+      rrset.add(dns::ARdata{dns::Ipv4{static_cast<std::uint32_t>(i)}});
+      cache.insert(rrset, cache::Credibility::kAuthAnswer, now);
+    }
+    for (std::uint64_t i = 0; i < 256; i += 2) {
+      cache.evict(numbered_name(i), RRType::kA);
+    }
+    EXPECT_NO_THROW(cache.validate()) << "wave " << wave;
+    now += 60 * sim::kSecond;
+  }
+}
+
+TEST(CacheAudit, SimulationHookAuditsCacheDuringRun) {
+  // The intended wiring: an experiment registers its caches as audit hooks
+  // so cross-structure state is checked while events drain.
+  sim::Simulation sim;
+  cache::Cache cache;
+  sim.set_audit_interval(8);
+  sim.add_audit_hook([&cache] { cache.validate(); });
+
+  Lcg rng(0x417);
+  for (int i = 0; i < 100; ++i) {
+    const sim::Duration at =
+        static_cast<sim::Duration>(i + 1) * sim::kSecond;
+    const std::uint64_t serial = rng.below(40);
+    sim.schedule_after(at, [&cache, &sim, serial] {
+      dns::RRset rrset(numbered_name(serial), dns::RClass::kIN, 120);
+      rrset.add(dns::ARdata{dns::Ipv4{static_cast<std::uint32_t>(serial)}});
+      cache.insert(rrset, cache::Credibility::kAuthAnswer, sim.now());
+      cache.purge_expired(sim.now());
+    });
+  }
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_NO_THROW(cache.validate());
+}
+
+// ------------------------------------------------------------------ dns::Name
+
+TEST(NameAudit, ConstructionPathsAllValidate) {
+  EXPECT_NO_THROW(Name().validate());
+  EXPECT_NO_THROW(Name::from_string("WWW.Example.COM.").validate());
+  EXPECT_NO_THROW(Name({"a", "b", "c"}).validate());
+
+  const Name base = Name::from_string("example.org.");
+  EXPECT_NO_THROW(base.prepend("www").validate());
+  EXPECT_NO_THROW(base.parent().validate());
+  EXPECT_NO_THROW(base.suffix(1).validate());
+
+  // Maximum-size labels and names must pass, one octet more must never
+  // construct (so validate() can assume the limits hold).
+  const std::string label63(63, 'a');
+  EXPECT_NO_THROW(Name({label63}).validate());
+  EXPECT_THROW(Name({label63 + "a"}), std::invalid_argument);
+}
+
+TEST(NameAudit, HashAgreesAcrossConstructionRoutes) {
+  // validate() recomputes the incremental FNV-1a hash from scratch; these
+  // pairs double-check the same property across independent routes.
+  const Name a = Name::from_string("www.example.com.");
+  const Name b = Name::from_string("example.com.").prepend("www");
+  const Name c = Name({"www", "example", "com"});
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), c.hash());
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_NO_THROW(b.validate());
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(NameAudit, CaseFoldingPreservesValidity) {
+  const Name upper = Name::from_string("MiXeD.CaSe.ORG.");
+  const Name lower = Name::from_string("mixed.case.org.");
+  EXPECT_EQ(upper, lower);
+  EXPECT_EQ(upper.hash(), lower.hash());
+  EXPECT_NO_THROW(upper.validate());
+}
+
+}  // namespace
+}  // namespace dnsttl

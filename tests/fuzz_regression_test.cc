@@ -1,0 +1,123 @@
+// Replays every crasher the fuzz harnesses have found as an ordinary GTest,
+// through the exact harness entry points the fuzzers use.  When a fuzzer
+// finds a new crasher: fix it, then append its bytes here so the class of
+// bug stays pinned forever (label: fuzz-regression).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  std::uint8_t value = 0;
+  int nibbles = 0;
+  for (char ch : hex) {
+    int digit;
+    if (ch >= '0' && ch <= '9') {
+      digit = ch - '0';
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = ch - 'a' + 10;
+    } else {
+      continue;  // whitespace and separators
+    }
+    value = static_cast<std::uint8_t>((value << 4) | digit);
+    if (++nibbles == 2) {
+      out.push_back(value);
+      nibbles = 0;
+      value = 0;
+    }
+  }
+  return out;
+}
+
+void replay_message(const std::string& hex) {
+  const std::vector<std::uint8_t> input = from_hex(hex);
+  ASSERT_NO_THROW(
+      dnsttl::fuzz::run_message_input(input.data(), input.size()));
+}
+
+void replay_master_file(const std::string& text) {
+  ASSERT_NO_THROW(dnsttl::fuzz::run_master_file_input(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Crasher 1 (found by fuzz_message, driver seed 1): an RRSIG whose mutated
+// RDLENGTH (7) is shorter than the 18-byte fixed RRSIG header.  decode's
+// `end - offset` for the signature tail underflowed to ~SIZE_MAX, and
+// require()'s `offset + count` overflow let the count through to a
+// std::length_error from std::vector — the wrong error type, from two
+// stacked integer wraps.  Now rejected as WireError.
+TEST(FuzzRegression, RrsigRdlengthShorterThanFixedFields) {
+  replay_message(
+      "34 56 85 00 00 01 00 03 00 01 00 01 03 77 77 77 07 65 78 61 6d 70 6c"
+      "65 03 63 6f 6d 00 00 01 00 01 c0 0c 00 2e 00 01 00 00 01 2c 00 07 04"
+      "68 6f 73 74 c0 10 c0 2d 00 11 00 01 00 00 00 3c 00 04 c0 00 02 01 c0"
+      "2d 00 01 00 01 00 00 00 3c 00 04 c0 00 02 02 c0 10 00 02 00 01 00 01"
+      "51 80 00 06 03 6e 73 31 c0 10 c0 60 00 01 00 01 00 01 51 80 43 9f 0e"
+      "41 85 26 00 04 ac 00 01 35");
+}
+
+// Minimal distillation of crasher 1: just the header plus the short RRSIG.
+TEST(FuzzRegression, RrsigRdlengthShorterThanFixedFieldsMinimal) {
+  replay_message(
+      "00 01 00 00 00 00 00 01 00 00 00 00"
+      "01 61 00 00 2e 00 01 00 00 01 2c 00 07 00 01 05 02 00 00 00");
+}
+
+// Crasher class 2 (found during harness bring-up): compression pointers can
+// stitch labels into a name longer than 255 octets even though every hop is
+// individually legal.  Name's constructor rejected it with
+// std::invalid_argument, which escaped decode() — callers only contract for
+// WireError.  decode() now enforces the length during wire traversal.
+TEST(FuzzRegression, CompressionStitchedNameOver255Octets) {
+  // Header: 1 question, 1 answer.  The question name (one 63-octet label at
+  // offset 12) is the pointer target; the answer's owner stacks four direct
+  // 63-octet labels before jumping to it — 321 stitched octets.
+  std::string hex = "00 01 00 00 00 01 00 01 00 00 00 00 3f";
+  for (int i = 0; i < 63; ++i) hex += " 78";
+  hex += " 00 00 01 00 01";  // root, qtype, qclass
+  for (int label = 0; label < 4; ++label) {
+    hex += " 3f";
+    for (int i = 0; i < 63; ++i) hex += " 79";
+  }
+  hex += " c0 0c 00 01 00 01 00 00 0e 10 00 04 c0 00 02 01";
+  replay_message(hex);
+}
+
+// Crasher class 3 (found during harness bring-up): a '.' byte inside a wire
+// label produced a Name that cannot round-trip through presentation form;
+// std::invalid_argument escaped decode().  Now WireError.
+TEST(FuzzRegression, DotByteInsideWireLabel) {
+  replay_message(
+      "00 01 00 00 00 01 00 00 00 00 00 00"
+      "03 61 2e 62 00 00 01 00 01");
+}
+
+// The master-file harness has produced no crasher yet; this seed pins the
+// harness round-trip contract itself (parse -> render -> reparse) so a
+// future regression in either direction fails here first.
+TEST(FuzzRegression, MasterFileRoundTripContractHolds) {
+  replay_master_file(
+      "$ORIGIN example.com.\n"
+      "$TTL 3600\n"
+      "@ IN SOA ns1.example.com. host.example.com. 1 7200 900 1209600 300\n"
+      "@ IN NS ns1.example.com.\n"
+      "ns1 IN A 192.0.2.1\n");
+}
+
+// Hostile master-file inputs that must reject cleanly (not crash): deep
+// nesting tokens, unterminated quotes, and a $INCLUDE-like directive.
+TEST(FuzzRegression, MasterFileHostileInputsRejectCleanly) {
+  replay_master_file("(((((((((((((((");
+  replay_master_file("@ IN TXT \"unterminated\n");
+  replay_master_file("$INCLUDE /etc/passwd\n");
+  replay_master_file(std::string(100000, '('));
+}
+
+}  // namespace

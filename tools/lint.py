@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Determinism and style lint for the dnsttl sources.
+
+The simulator's contract is bit-identical output for a given --seed, so this
+lint rejects constructs that smuggle in nondeterminism, plus a few project
+style rules the reviews kept re-litigating.  Run from anywhere:
+
+    python3 tools/lint.py [--root DIR]
+
+Rules (all scoped to src/ unless stated otherwise):
+
+  rand            libc rand()/srand()/random() and std::random_device —
+                  simulation randomness must flow from the seeded PRNG.
+  wall-clock      time(), clock(), gettimeofday(), std::chrono system/steady
+                  clocks — simulated time comes from sim::Simulation::now().
+  unordered-iter  range-for over a std::unordered_{map,set} member feeding
+                  output: iteration order is libstdc++-version-dependent.
+                  (Heuristic: flags ranged iteration over identifiers
+                  declared as unordered containers in the same file.)
+  pointer-print   printing an address (%p, or streaming a non-char pointer)
+                  — addresses differ run to run under ASLR.
+  raw-new         raw new/delete in src/ — ownership goes through
+                  containers/smart pointers.  Placement new is allowed.
+  std-map-hot     std::map in src/cache or src/sim — the hot paths use the
+                  open-addressing table / slab by design (see PR 1).
+
+Suppression: append `// lint:allow(<rule>) <justification>` to the offending
+line, or put it on a comment line directly above (the suppression then covers
+the next code line).  A bare allow with no justification text is itself an
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_GLOBS = ("src/**/*.cc", "src/**/*.h")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)\s*(.*)")
+LINE_COMMENT_RE = re.compile(r"//.*")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
+
+RULES = [
+    (
+        "rand",
+        re.compile(r"\b(?:rand|srand|random)\s*\(|std::random_device"),
+        None,
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"\b(?:time|clock|gettimeofday|clock_gettime)\s*\(|"
+            r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+        ),
+        None,
+    ),
+    (
+        "pointer-print",
+        re.compile(r"%p\b"),
+        None,
+    ),
+    (
+        "raw-new",
+        re.compile(r"(?<![:_\w])new\s+(?!\()[A-Za-z_][\w:<>, ]*|(?<![:_\w])delete\s+[*A-Za-z_]|(?<![:_\w])delete\[\]"),
+        None,
+    ),
+    (
+        "std-map-hot",
+        re.compile(r"\bstd::(?:multi)?map\s*<"),
+        ("src/cache", "src/sim"),
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?\b(\w+)\s*[;{=]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(\w+)\s*\)")
+OUTPUT_HINT_RE = re.compile(
+    r"std::cout|std::cerr|printf|fprintf|<<|\.write\(|to_string|render|report"
+)
+
+
+def strip_noncode(line: str) -> str:
+    """Removes string/char literals and comments so patterns only see code."""
+    line = STRING_RE.sub('""', line)
+    line = CHAR_RE.sub("''", line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def lint_file(path: Path, rel: str, errors: list[str]) -> None:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+
+    # Pass 1: gather names declared as unordered containers in this file.
+    unordered_names: set[str] = set()
+    for line in lines:
+        for match in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(match.group(1))
+
+    in_block_comment = False
+    pending_allow = None  # allow from a standalone comment line above
+    for number, raw in enumerate(lines, start=1):
+        allow = ALLOW_RE.search(raw)
+        allowed_rule = pending_allow
+        pending_allow = None
+        if allow:
+            allowed_rule = allow.group(1)
+            if not allow.group(2).strip():
+                errors.append(
+                    f"{rel}:{number}: lint:allow({allowed_rule}) needs a "
+                    "justification after the closing parenthesis"
+                )
+            if raw.lstrip().startswith("//"):
+                # Comment-only line: the allow covers the next code line.
+                pending_allow = allowed_rule
+                continue
+        elif allowed_rule is not None and raw.lstrip().startswith("//"):
+            # Continuation of the justification comment: keep the allow
+            # armed until the code line it annotates.
+            pending_allow = allowed_rule
+            continue
+        # Cheap block-comment tracking: skip lines fully inside /* ... */.
+        code = raw
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2 :]
+            in_block_comment = False
+        start = code.find("/*")
+        while start >= 0:
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block_comment = True
+                break
+            code = code[:start] + code[end + 2 :]
+            start = code.find("/*")
+        code = strip_noncode(code)
+        if not code.strip():
+            continue
+
+        for rule, pattern, scope in RULES:
+            if scope is not None and not rel.startswith(scope):
+                continue
+            match = pattern.search(code)
+            if not match:
+                continue
+            if rule == "raw-new" and "new (" in code:
+                continue  # placement new constructs into owned storage
+            if allowed_rule == rule:
+                continue
+            errors.append(
+                f"{rel}:{number}: [{rule}] `{match.group(0).strip()}` — "
+                "forbidden in deterministic sources "
+                "(suppress with `// lint:allow(" + rule + ") <why>`)"
+            )
+
+        # unordered-iter: a range-for over a known unordered container,
+        # where nearby lines look like they feed output.
+        for match in RANGE_FOR_RE.finditer(code):
+            if match.group(1) not in unordered_names:
+                continue
+            if allowed_rule == "unordered-iter":
+                continue
+            window = "\n".join(lines[number - 1 : number + 4])
+            if OUTPUT_HINT_RE.search(window):
+                errors.append(
+                    f"{rel}:{number}: [unordered-iter] iteration over "
+                    f"unordered container `{match.group(1)}` appears to feed "
+                    "output; iteration order is not stable across libstdc++ "
+                    "versions (sort first, or "
+                    "`// lint:allow(unordered-iter) <why>`)"
+                )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None, help="repo root (default: auto)")
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    checked = 0
+    for glob in SOURCE_GLOBS:
+        for path in sorted(root.glob(glob)):
+            rel = path.relative_to(root).as_posix()
+            lint_file(path, rel, errors)
+            checked += 1
+
+    if errors:
+        print(f"lint: {len(errors)} finding(s) in {checked} files:",
+              file=sys.stderr)
+        for error in errors:
+            print("  " + error, file=sys.stderr)
+        return 1
+    print(f"lint: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
