@@ -22,8 +22,10 @@ int main(int argc, char** argv) {
 
   const double lambda = 0.01;  // client lookups/second toward one resolver
   const sim::Duration duration = 24 * sim::kHour;
-  const std::vector<dns::Ttl> ttls = {0,    60,   300,   900,  1800,
-                                      3600, 14400, 43200, 86400};
+  const std::vector<dns::Ttl> ttls = {
+      dns::Ttl{0},    dns::Ttl{60},    dns::Ttl{300},   dns::Ttl{900},
+      dns::Ttl{1800}, dns::Ttl{3600},  dns::Ttl{14400}, dns::Ttl{43200},
+      dns::Ttl{86400}};
 
   stats::TablePrinter table({"TTL (s)", "hit rate (sim)",
                              "hit rate (Jung model)", "auth q/h (sim)",
@@ -46,18 +48,18 @@ int main(int argc, char** argv) {
         net::NodeRef{world.network().attach(resolver, eu), eu});
 
     // Poisson arrivals over the duration.
-    sim::Rng demand = world.rng().fork(ttl);
+    sim::Rng demand = world.rng().fork(ttl.value());
     dns::Question question{dns::Name::from_string("www.shop"),
                            dns::RRType::kA, dns::RClass::kIN};
     std::uint64_t queries = 0;
     std::uint64_t hits = 0;
-    sim::Time t = static_cast<sim::Time>(
-        sim::seconds(demand.exponential(1.0 / lambda)));
-    while (t < duration) {
+    sim::Time t =
+        sim::at(sim::approx_seconds(demand.exponential(1.0 / lambda)));
+    while (t < sim::at(duration)) {
       auto result = resolver.resolve(question, t);
       ++queries;
       if (result.answered_from_cache) ++hits;
-      t += sim::seconds(demand.exponential(1.0 / lambda));
+      t += sim::approx_seconds(demand.exponential(1.0 / lambda));
     }
 
     double hit_rate = queries == 0
@@ -72,7 +74,7 @@ int main(int argc, char** argv) {
     double hours = sim::to_seconds(duration) / 3600.0;
     double sim_auth = static_cast<double>(queries - hits) / hours;
     double model_auth = core::authoritative_rate(lambda, ttl) * 3600.0;
-    table.add_row({std::to_string(ttl), stats::fmt("%.3f", hit_rate),
+    table.add_row({std::to_string(ttl.value()), stats::fmt("%.3f", hit_rate),
                    stats::fmt("%.3f", model), stats::fmt("%.1f", sim_auth),
                    stats::fmt("%.1f", model_auth)});
   }

@@ -46,12 +46,12 @@ std::vector<Variant> variants() {
   out.push_back({"21599s cap (google-like)", resolver::google_like_config()});
   {
     auto c = resolver::child_centric_config();
-    c.max_ttl = 600;
+    c.max_ttl = dns::Ttl{600};
     out.push_back({"600s cap", c});
   }
   {
     auto c = resolver::child_centric_config();
-    c.min_ttl = 3600;
+    c.min_ttl = dns::Ttl{3600};
     out.push_back({"3600s floor", c});
   }
   {
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   for (const auto& variant : variants()) {
     core::World world{core::World::Options{args.seed, 0.002, {}}};
     auto uy_zone = world.add_tld("uy", "a.nic", dns::kTtl2Days,
-                                 dns::kTtl5Min, 120,
+                                 dns::kTtl5Min, dns::Ttl{120},
                                  net::Location{net::Region::kSA, 1.0});
     // The zone is signed so the validation variant has signatures to check.
     dns::sign_zone(*uy_zone, dns::make_zone_key(dns::Name::from_string("uy")));

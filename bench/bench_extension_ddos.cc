@@ -43,7 +43,7 @@ Cell run_cell(std::uint64_t seed, dns::Ttl ttl,
     config.serve_stale = stale;
     std::vector<std::unique_ptr<resolver::RecursiveResolver>> resolvers;
     std::vector<sim::Time> phases;
-    sim::Rng rng(seed + ttl);
+    sim::Rng rng(seed + ttl.value());
     for (int i = 0; i < kResolvers; ++i) {
       auto r = std::make_unique<resolver::RecursiveResolver>(
           "r" + std::to_string(i), config, world.network(), world.hints());
@@ -54,10 +54,10 @@ Cell run_cell(std::uint64_t seed, dns::Ttl ttl,
       // TTL cycle, so the remaining-TTL at attack time is uniform — the
       // steady-state of real, unsynchronized demand.
       double max_phase = std::min<double>(
-          static_cast<double>(ttl) * static_cast<double>(sim::kSecond),
-          static_cast<double>(attack_start - sim::kMinute));
-      phases.push_back(static_cast<sim::Time>(
-          rng.uniform(0.0, std::max<double>(max_phase, 1.0))));
+          static_cast<double>(ttl.value()) * static_cast<double>(sim::kSecond.count()),
+          static_cast<double>((attack_start - sim::kMinute).count()));
+      phases.push_back(sim::Time(static_cast<std::int64_t>(
+          rng.uniform(0.0, std::max<double>(max_phase, 1.0)))));
     }
 
     dns::Question question{dns::Name::from_string("www.shop"),
@@ -68,20 +68,20 @@ Cell run_cell(std::uint64_t seed, dns::Ttl ttl,
       // Poisson demand: misses (and thus refreshes) land at random points
       // in the TTL window, like real client traffic — no phase locking.
       sim::Time t = phases[static_cast<std::size_t>(i)];
-      while (t < attack_start + attack_duration) {
-        if (t >= attack_start && world.server("ns1.shop.").online()) {
+      while (t < sim::at(attack_start + attack_duration)) {
+        if (t >= sim::at(attack_start) && world.server("ns1.shop.").online()) {
           world.server("ns1.shop.").set_online(false);  // the attack begins
         }
         auto result = resolvers[static_cast<std::size_t>(i)]->resolve(
             question, t);
-        if (t >= attack_start) {
+        if (t >= sim::at(attack_start)) {
           ++asked;
           if (result.response.flags.rcode == dns::Rcode::kNoError &&
               !result.response.answers.empty()) {
             ++answered;
           }
         }
-        t += sim::seconds(rng.exponential(sim::to_seconds(interval)));
+        t += sim::approx_seconds(rng.exponential(sim::to_seconds(interval)));
       }
       world.server("ns1.shop.").set_online(true);  // reset for next resolver
     }
@@ -101,8 +101,8 @@ int main(int argc, char** argv) {
                       "caching as DDoS resilience: answered fraction during "
                       "an authoritative outage");
 
-  const std::vector<dns::Ttl> ttls = {60,   300,   900,   1800,
-                                      3600, 14400, 86400};
+  const std::vector<dns::Ttl> ttls = {dns::Ttl{60}, dns::Ttl{300},   dns::Ttl{900},   dns::Ttl{1800},
+                                      dns::Ttl{3600}, dns::Ttl{14400}, dns::Ttl{86400}};
   const std::vector<sim::Duration> attacks = {30 * sim::kMinute, sim::kHour,
                                               4 * sim::kHour, 8 * sim::kHour};
 
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
     stats::TablePrinter table({"TTL \\ attack", "30 min", "1 h", "4 h",
                                "8 h"});
     for (dns::Ttl ttl : ttls) {
-      std::vector<std::string> cells{std::to_string(ttl) + " s"};
+      std::vector<std::string> cells{std::to_string(ttl.value()) + " s"};
       for (auto attack : attacks) {
         auto cell = run_cell(args.seed, ttl, attack);
         cells.push_back(stats::fmt(
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.render().c_str());
   }
 
-  auto short_long = run_cell(args.seed, 3600, sim::kHour);
+  auto short_long = run_cell(args.seed, dns::Ttl{3600}, sim::kHour);
   std::printf("%s", stats::compare_line(
                         "caching survives attacks shorter than the TTL",
                         "Moura et al. 2018 / paper §6.1",

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       nl_shorter = report.child_shorter_fraction();
     }
     table.add_row(
-        {params.name, std::to_string(params.registry_ns_ttl),
+        {params.name, std::to_string(params.registry_ns_ttl.value()),
          std::to_string(report.compared),
          stats::fmt("%.1f%%", 100.0 * report.child_shorter_fraction()),
          stats::fmt("%.1f%%", 100.0 * static_cast<double>(report.equal) /

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   core::World world{core::World::Options{args.seed, 0.002, {}}};
   auto uy_zone = world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min,
-                               120, net::Location{net::Region::kSA, 1.0});
+                               dns::Ttl{120}, net::Location{net::Region::kSA, 1.0});
   auto platform = atlas::Platform::build(world.network(), world.hints(),
                                          world.root_zone(),
                                          args.platform_spec(), world.rng());
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
               platform.vp_count());
 
   // Before: short child TTL.
-  auto before = core::run_uy_rtt(world, platform, 0);
+  auto before = core::run_uy_rtt(world, platform, sim::Time{});
 
   // The operator raises the TTL to one day; caches from the "before" era
   // drain naturally (we give them an hour, like the days between the

@@ -36,9 +36,9 @@ dns::Message sample_response() {
   auto zone = dns::Name::from_string("cl");
   for (char c : {'a', 'b', 'c', 'd'}) {
     auto ns = dns::Name::from_string(std::string(1, c) + ".nic.cl");
-    response.answers.push_back(dns::make_ns(zone, 3600, ns));
+    response.answers.push_back(dns::make_ns(zone, dns::Ttl{3600}, ns));
     response.additionals.push_back(
-        dns::make_a(ns, 43200, dns::Ipv4(190, 124, 27, 10)));
+        dns::make_a(ns, dns::Ttl{43200}, dns::Ipv4(190, 124, 27, 10)));
   }
   return response;
 }
@@ -87,9 +87,9 @@ BENCHMARK(BM_WireRoundTrip);
 void BM_CacheInsert(benchmark::State& state) {
   cache::Cache cache;
   dns::RRset rrset(dns::Name::from_string("x.example.org"),
-                   dns::RClass::kIN, 3600);
+                   dns::RClass::kIN, dns::Ttl{3600});
   rrset.add(dns::ARdata{dns::Ipv4(1, 2, 3, 4)});
-  sim::Time t = 0;
+  sim::Time t{};
   for (auto _ : state) {
     cache.insert(rrset, cache::Credibility::kAuthAnswer, t);
     t += sim::kSecond;
@@ -102,25 +102,25 @@ void BM_CacheLookupHit(benchmark::State& state) {
   for (int i = 0; i < 1000; ++i) {
     dns::RRset rrset(
         dns::Name::from_string("h" + std::to_string(i) + ".example.org"),
-        dns::RClass::kIN, 86400);
+        dns::RClass::kIN, dns::Ttl{86400});
     rrset.add(dns::ARdata{dns::Ipv4(static_cast<std::uint32_t>(i))});
-    cache.insert(rrset, cache::Credibility::kAuthAnswer, 0);
+    cache.insert(rrset, cache::Credibility::kAuthAnswer, sim::Time{});
   }
   auto name = dns::Name::from_string("h500.example.org");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.lookup(name, dns::RRType::kA, 1000));
+    benchmark::DoNotOptimize(cache.lookup(name, dns::RRType::kA, sim::Time{1000}));
   }
 }
 BENCHMARK(BM_CacheLookupHit);
 
 void BM_ZoneLookup(benchmark::State& state) {
   dns::Zone zone{dns::Name::from_string("example.org")};
-  zone.add(dns::make_soa(dns::Name::from_string("example.org"), 3600,
+  zone.add(dns::make_soa(dns::Name::from_string("example.org"), dns::Ttl{3600},
                          dns::Name::from_string("ns1.example.org"), 1));
   for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
     zone.add(dns::make_a(
         dns::Name::from_string("h" + std::to_string(i) + ".example.org"),
-        300, dns::Ipv4(static_cast<std::uint32_t>(i))));
+        dns::Ttl{300}, dns::Ipv4(static_cast<std::uint32_t>(i))));
   }
   auto qname = dns::Name::from_string(
       "h" + std::to_string(state.range(0) / 2) + ".example.org");
@@ -132,7 +132,7 @@ BENCHMARK(BM_ZoneLookup)->Arg(100)->Arg(10000)->Arg(100000);
 
 void BM_FullResolutionColdCache(benchmark::State& state) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                 net::Location{net::Region::kSA, 1.0});
   resolver::RecursiveResolver resolver("bench",
                                        resolver::child_centric_config(),
@@ -142,7 +142,7 @@ void BM_FullResolutionColdCache(benchmark::State& state) {
   resolver.set_node_ref(net::NodeRef{address, location});
   dns::Question question{dns::Name::from_string("uy"), dns::RRType::kNS,
                          dns::RClass::kIN};
-  sim::Time t = 0;
+  sim::Time t{};
   for (auto _ : state) {
     resolver.flush();
     benchmark::DoNotOptimize(resolver.resolve(question, t));
@@ -163,9 +163,9 @@ void BM_FullResolutionWarmCache(benchmark::State& state) {
   resolver.set_node_ref(net::NodeRef{address, location});
   dns::Question question{dns::Name::from_string("uy"), dns::RRType::kNS,
                          dns::RClass::kIN};
-  resolver.resolve(question, 0);
+  resolver.resolve(question, sim::Time{});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(resolver.resolve(question, sim::kSecond));
+    benchmark::DoNotOptimize(resolver.resolve(question, sim::at(sim::kSecond)));
   }
 }
 BENCHMARK(BM_FullResolutionWarmCache);
@@ -188,12 +188,12 @@ void BM_DnssecSignZone(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     dns::Zone zone{dns::Name::from_string("bench.example")};
-    zone.add(dns::make_soa(dns::Name::from_string("bench.example"), 3600,
+    zone.add(dns::make_soa(dns::Name::from_string("bench.example"), dns::Ttl{3600},
                            dns::Name::from_string("ns1.bench.example"), 1));
     for (int i = 0; i < 100; ++i) {
       zone.add(dns::make_a(
           dns::Name::from_string("h" + std::to_string(i) + ".bench.example"),
-          300, dns::Ipv4(static_cast<std::uint32_t>(i))));
+          dns::Ttl{300}, dns::Ipv4(static_cast<std::uint32_t>(i))));
     }
     state.ResumeTiming();
     dns::sign_zone(zone, dns::make_zone_key(
@@ -205,7 +205,7 @@ BENCHMARK(BM_DnssecSignZone);
 void BM_DnssecVerify(benchmark::State& state) {
   auto key = dns::make_zone_key(dns::Name::from_string("bench.example"));
   dns::RRset rrset(dns::Name::from_string("www.bench.example"),
-                   dns::RClass::kIN, 300);
+                   dns::RClass::kIN, dns::Ttl{300});
   rrset.add(dns::ARdata{dns::Ipv4(10, 0, 0, 1)});
   auto rrsig = dns::make_rrsig(rrset, dns::Name::from_string("bench.example"),
                                key);
@@ -230,7 +230,8 @@ void BM_EntradaAnalysis(benchmark::State& state) {
   auth::QueryLog log;
   sim::Rng rng(3);
   for (int i = 0; i < 20000; ++i) {
-    log.record({static_cast<sim::Time>(rng.uniform_int(0, 48)) * sim::kHour,
+    log.record({sim::at(static_cast<std::int64_t>(rng.uniform_int(0, 48)) *
+                        sim::kHour),
                 dns::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1, 500))),
                 dns::Name::from_string(
                     "ns" + std::to_string(rng.uniform_int(1, 4)) + ".dns.nl"),

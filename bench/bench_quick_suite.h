@@ -124,15 +124,15 @@ inline QuickMetric bench_cache_lookup(std::uint64_t total_lookups) {
         ".example.org"));
   }
   for (std::size_t i = 0; i < kEntries; ++i) {
-    dns::RRset rrset(names[i], dns::RClass::kIN, 86400);
+    dns::RRset rrset(names[i], dns::RClass::kIN, dns::Ttl{86400});
     rrset.add(dns::ARdata{dns::Ipv4(static_cast<std::uint32_t>(i))});
-    cache.insert(rrset, cache::Credibility::kAuthAnswer, 0);
+    cache.insert(rrset, cache::Credibility::kAuthAnswer, sim::Time{});
   }
   std::uint64_t hits = 0;
   auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < total_lookups; ++i) {
     auto hit = cache.lookup(names[i & (kEntries - 1)], dns::RRType::kA,
-                            sim::kSecond);
+                            sim::at(sim::kSecond));
     hits += hit.has_value();
   }
   auto metric = detail::finish("cache_lookup", "lookups/sec",
@@ -154,11 +154,11 @@ inline QuickMetric bench_cache_churn(std::uint64_t total_inserts) {
     names.push_back(
         dns::Name::from_string("churn" + std::to_string(i) + ".example"));
   }
-  sim::Time now = 0;
+  sim::Time now{};
   auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < total_inserts; ++i) {
     dns::RRset rrset(names[i % kNames], dns::RClass::kIN,
-                     static_cast<dns::Ttl>(30 + i % 270));
+                     dns::Ttl::of_seconds(static_cast<std::int64_t>(30 + i % 270)));
     rrset.add(dns::ARdata{dns::Ipv4(static_cast<std::uint32_t>(i))});
     cache.insert(rrset, cache::Credibility::kAuthAnswer, now);
     now += sim::kSecond;

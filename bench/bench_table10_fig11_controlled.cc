@@ -28,14 +28,14 @@ int main(int argc, char** argv) {
   {
     core::ControlledTtlConfig c;
     c.name = "TTL60-u";
-    c.answer_ttl = 60;
+    c.answer_ttl = dns::Ttl{60};
     c.unique_qnames = true;
     configs.push_back(c);
     c.name = "TTL86400-u";
     c.answer_ttl = dns::kTtl1Day;
     configs.push_back(c);
     c.name = "TTL60-s";
-    c.answer_ttl = 60;
+    c.answer_ttl = dns::Ttl{60};
     c.unique_qnames = false;
     c.shared_label = "1";
     c.duration = 65 * sim::kMinute;
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     c.shared_label = "2";
     configs.push_back(c);
     c.name = "TTL60-s-anycast";
-    c.answer_ttl = 60;
+    c.answer_ttl = dns::Ttl{60};
     c.shared_label = "4";
     c.anycast = true;
     configs.push_back(c);

@@ -18,7 +18,7 @@ void print_rows(stats::TablePrinter& table, const std::string& query,
     table.add_row({first ? query : "", first ? server : "",
                    rr.name.to_string() + "/" +
                        std::string(dns::to_string(rr.type())),
-                   std::to_string(rr.ttl) + (authoritative ? "*" : ""),
+                   std::to_string(rr.ttl.value()) + (authoritative ? "*" : ""),
                    section});
     first = false;
   };
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         1, dns::Name::from_string(qname), qtype, false);
     auto outcome = world.network().query(client,
                                          world.address_of(server_ident),
-                                         query, 0);
+                                         query, sim::Time{});
     return *outcome.response;
   };
 
@@ -79,15 +79,15 @@ int main(int argc, char** argv) {
   auto child_a = ask("a.nic.cl.", "a.nic.cl", dns::RRType::kA);
   std::printf("%s", stats::compare_line(
                         "root-side NS TTL", "172800",
-                        std::to_string(root_response.authorities[0].ttl))
+                        std::to_string(root_response.authorities[0].ttl.value()))
                         .c_str());
   std::printf("%s", stats::compare_line(
                         "child NS TTL (AA)", "3600",
-                        std::to_string(child_ns.answers[0].ttl))
+                        std::to_string(child_ns.answers[0].ttl.value()))
                         .c_str());
   std::printf("%s", stats::compare_line(
                         "child A TTL (AA)", "43200",
-                        std::to_string(child_a.answers[0].ttl))
+                        std::to_string(child_a.answers[0].ttl.value()))
                         .c_str());
   return 0;
 }

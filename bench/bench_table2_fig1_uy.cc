@@ -17,7 +17,7 @@ namespace {
 void report(const char* name, const core::CentricityResult& result,
             const core::CentricitySetup& setup, std::size_t vps) {
   std::printf("--- %s (parent TTL %u, child TTL %u) ---\n", name,
-              setup.parent_ttl, setup.child_ttl);
+              setup.parent_ttl.value(), setup.child_ttl.value());
   std::printf("VPs=%zu  queries=%zu  responses=%zu  valid=%zu  disc=%zu\n",
               vps, result.run.query_count(), result.run.response_count(),
               result.run.valid_count(), result.run.discarded_count());
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
 
   core::World world{core::World::Options{args.seed, 0.002, {}}};
   auto uy_zone = world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min,
-                               120, net::Location{net::Region::kSA, 1.0});
+                               dns::Ttl{120}, net::Location{net::Region::kSA, 1.0});
 
   auto platform = atlas::Platform::build(world.network(), world.hints(),
                                          world.root_zone(),
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   a_setup.qname = dns::Name::from_string("a.nic.uy");
   a_setup.qtype = dns::RRType::kA;
   a_setup.parent_ttl = dns::kTtl2Days;
-  a_setup.child_ttl = 120;
+  a_setup.child_ttl = dns::Ttl{120};
   a_setup.duration = 3 * sim::kHour;
   a_setup.start = world.simulation().now() + sim::kHour;
   platform.flush_all();

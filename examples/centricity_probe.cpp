@@ -15,13 +15,13 @@ using namespace dnsttl;
 
 int main(int argc, char** argv) {
   dns::Ttl parent_ttl = argc > 1
-                            ? static_cast<dns::Ttl>(std::atoi(argv[1]))
+                            ? dns::Ttl::of_seconds(static_cast<std::int64_t>(std::atoi(argv[1])))
                             : dns::kTtl2Days;
-  dns::Ttl child_ttl = argc > 2 ? static_cast<dns::Ttl>(std::atoi(argv[2]))
+  dns::Ttl child_ttl = argc > 2 ? dns::Ttl::of_seconds(static_cast<std::int64_t>(std::atoi(argv[2])))
                                 : dns::kTtl5Min;
 
   std::printf("centricity probe: parent NS TTL=%u s, child NS TTL=%u s\n\n",
-              parent_ttl, child_ttl);
+              parent_ttl.value(), child_ttl.value());
 
   core::World world;
   world.add_tld("example", "a.nic", parent_ttl, child_ttl, child_ttl,

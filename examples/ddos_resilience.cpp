@@ -56,7 +56,7 @@ int main() {
     for (const char* name : {"short.shop", "long.shop"}) {
       resolver->resolve(
           {dns::Name::from_string(name), dns::RRType::kA, dns::RClass::kIN},
-          0);
+          sim::Time{});
     }
   }
   std::printf("caches warmed at t=0; DDoS takes the provider down at "
@@ -75,7 +75,7 @@ int main() {
       {"long.shop", {{"plain", &plain}, {"serve-stale", &stale}}},
   };
 
-  for (sim::Time t = 10 * sim::kMinute; t <= 70 * sim::kMinute;
+  for (sim::Time t = sim::at(10 * sim::kMinute); t <= sim::at(70 * sim::kMinute);
        t += 5 * sim::kMinute) {
     for (auto& row : rows) {
       for (auto& client : row.clients) {

@@ -50,9 +50,9 @@ int main(int argc, char** argv) {
 
   // The world: .uy and .cl as the paper measured them, plus a host record.
   core::World world;
-  auto uy = world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+  auto uy = world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                           net::Location{net::Region::kSA, 1.0});
-  uy->add(dns::make_a(dns::Name::from_string("www.gub.uy"), 600,
+  uy->add(dns::make_a(dns::Name::from_string("www.gub.uy"), dns::Ttl{600},
                       dns::Ipv4(10, 77, 0, 1)));
   world.add_tld("cl", "a.nic", dns::kTtl2Days, dns::kTtl1Hour,
                 dns::kTtl12Hours, net::Location{net::Region::kSA, 1.0});
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
     net::NodeRef client{dns::Ipv4(10, 200, 0, 1),
                         net::Location{net::Region::kEU, 1.0}};
     auto query = dns::Message::make_query(1, qname, qtype, false);
-    auto outcome = world.network().query(client, address, query, 0);
+    auto outcome = world.network().query(client, address, query, sim::Time{});
     if (!outcome.response) {
       std::printf(";; no response (timeout after %.0f ms)\n",
                   sim::to_milliseconds(outcome.elapsed));
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
 
-  auto result = resolver.resolve({qname, qtype, dns::RClass::kIN}, 0);
+  auto result = resolver.resolve({qname, qtype, dns::RClass::kIN}, sim::Time{});
   std::printf(";; recursive (%s), %.1f ms, %d upstream queries\n%s",
               resolver::to_string(config.centricity).data(),
               sim::to_milliseconds(result.elapsed), result.upstream_queries,

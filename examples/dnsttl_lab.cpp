@@ -73,8 +73,8 @@ atlas::Platform make_platform(core::World& world, const Args& args) {
 }
 
 int cmd_centricity(const Args& args) {
-  auto parent = static_cast<dns::Ttl>(args.u64("parent", 172800));
-  auto child = static_cast<dns::Ttl>(args.u64("child", 300));
+  auto parent = dns::Ttl::of_seconds(static_cast<std::int64_t>(args.u64("parent", 172800)));
+  auto child = dns::Ttl::of_seconds(static_cast<std::int64_t>(args.u64("child", 300)));
   core::World world{core::World::Options{args.u64("seed", 1), 0.002, {}}};
   world.add_tld("example", "a.nic", parent, child, child,
                 net::Location{net::Region::kEU, 1.0});
@@ -89,12 +89,12 @@ int cmd_centricity(const Args& args) {
   setup.duration = args.u64("hours", 2) * sim::kHour;
   auto result = core::run_centricity(world, platform, setup);
 
-  std::printf("parent TTL %u s, child TTL %u s, %zu VPs\n%s\n", parent,
-              child, platform.vp_count(), result.summary().c_str());
+  std::printf("parent TTL %u s, child TTL %u s, %zu VPs\n%s\n",
+              parent.value(), child.value(), platform.vp_count(), result.summary().c_str());
   std::printf("%s", result.run.ttl_cdf()
-                        .render({0, 60, static_cast<double>(child),
+                        .render({0, 60, static_cast<double>(child.value()),
                                  3600, 21599, 86400,
-                                 static_cast<double>(parent)},
+                                 static_cast<double>(parent.value())},
                                 "observed TTLs")
                         .c_str());
   return 0;
@@ -105,13 +105,14 @@ int cmd_bailiwick(const Args& args) {
   auto platform = make_platform(world, args);
   core::BailiwickConfig config;
   config.in_bailiwick = !args.has("out");
-  config.ns_ttl = static_cast<dns::Ttl>(args.u64("ns-ttl", 3600));
-  config.a_ttl = static_cast<dns::Ttl>(args.u64("a-ttl", 7200));
+  config.ns_ttl = dns::Ttl::of_seconds(static_cast<std::int64_t>(args.u64("ns-ttl", 3600)));
+  config.a_ttl = dns::Ttl::of_seconds(static_cast<std::int64_t>(args.u64("a-ttl", 7200)));
   auto result = core::run_bailiwick(world, platform, config);
 
   std::printf("%s renumbering, NS TTL %u / A TTL %u, %zu VPs\n\n",
               config.in_bailiwick ? "in-bailiwick" : "out-of-bailiwick",
-              config.ns_ttl, config.a_ttl, platform.vp_count());
+              config.ns_ttl.value(), config.a_ttl.value(),
+              platform.vp_count());
   std::printf("%s\n", result.series.render().c_str());
   std::printf("sticky VPs: %zu (%.1f%%)\n", result.sticky_vp_count(),
               100.0 * static_cast<double>(result.sticky_vp_count()) /
@@ -122,10 +123,10 @@ int cmd_bailiwick(const Args& args) {
 int cmd_latency(const Args& args) {
   std::vector<dns::Ttl> ttls;
   for (const auto& text : args.repeated_ttls) {
-    ttls.push_back(static_cast<dns::Ttl>(std::stoul(text)));
+    ttls.push_back(dns::Ttl::of_seconds(static_cast<std::int64_t>(std::stoul(text))));
   }
   if (ttls.empty()) {
-    ttls = {300, 86400};
+    ttls = {dns::Ttl{300}, dns::Ttl{86400}};
   }
 
   stats::TablePrinter table({"child NS TTL", "median RTT", "p75", "p95"});
@@ -142,7 +143,7 @@ int cmd_latency(const Args& args) {
     auto run = atlas::MeasurementRun::execute(
         world.simulation(), world.network(), platform, spec, world.rng());
     auto cdf = run.rtt_cdf_ms();
-    table.add_row({std::to_string(ttl) + " s",
+    table.add_row({std::to_string(ttl.value()) + " s",
                    stats::fmt("%.1f ms", cdf.median()),
                    stats::fmt("%.1f ms", cdf.quantile(0.75)),
                    stats::fmt("%.1f ms", cdf.quantile(0.95))});

@@ -27,11 +27,11 @@ int main() {
   auto uy = world.add_tld("uy", "a.nic",
                           /*parent_ttl=*/dns::kTtl2Days,
                           /*child_ns_ttl=*/dns::kTtl5Min,
-                          /*child_a_ttl=*/120,
+                          /*child_a_ttl=*/dns::Ttl{120},
                           net::Location{net::Region::kSA, 1.0});
 
   // 3. A domain under it.
-  uy->add(dns::make_a(dns::Name::from_string("www.gub.uy"), 600,
+  uy->add(dns::make_a(dns::Name::from_string("www.gub.uy"), dns::Ttl{600},
                       dns::Ipv4(10, 77, 0, 1)));
 
   // 4. A recursive resolver in Europe with default (child-centric) policy.
@@ -47,20 +47,20 @@ int main() {
   dns::Question question{dns::Name::from_string("www.gub.uy"),
                          dns::RRType::kA, dns::RClass::kIN};
 
-  auto first = resolver.resolve(question, 0);
+  auto first = resolver.resolve(question, sim::Time{});
   std::printf("t=0s    cold cache:   %.1f ms, %d upstream queries\n%s\n",
               sim::to_milliseconds(first.elapsed), first.upstream_queries,
               first.response.to_string().c_str());
 
-  auto second = resolver.resolve(question, 200 * sim::kSecond);
+  auto second = resolver.resolve(question, sim::at(200 * sim::kSecond));
   std::printf("t=200s  cache hit:    %.1f ms (TTL counted down to %u)\n",
               sim::to_milliseconds(second.elapsed),
-              second.response.answers.at(0).ttl);
+              second.response.answers.at(0).ttl.value());
 
-  auto third = resolver.resolve(question, 700 * sim::kSecond);
+  auto third = resolver.resolve(question, sim::at(700 * sim::kSecond));
   std::printf("t=700s  TTL expired:  %.1f ms, re-fetched, TTL back to %u\n",
               sim::to_milliseconds(third.elapsed),
-              third.response.answers.at(0).ttl);
+              third.response.answers.at(0).ttl.value());
 
   // 6. The centricity question (§3 of the paper): ask for the TLD's own NS
   //    record with two differently-configured resolvers.
@@ -72,14 +72,14 @@ int main() {
 
   dns::Question ns_q{dns::Name::from_string("uy"), dns::RRType::kNS,
                      dns::RClass::kIN};
-  auto child_view = resolver.resolve(ns_q, 800 * sim::kSecond);
-  auto parent_view = parentish.resolve(ns_q, 800 * sim::kSecond);
+  auto child_view = resolver.resolve(ns_q, sim::at(800 * sim::kSecond));
+  auto parent_view = parentish.resolve(ns_q, sim::at(800 * sim::kSecond));
   std::printf(
       "\nWhich TTL controls caching for '.uy NS'?\n"
       "  child-centric resolver sees  TTL=%u (the child zone's 300 s)\n"
       "  parent-centric resolver sees TTL=%u (the root's 172800 s)\n",
-      child_view.response.answers.at(0).ttl,
-      parent_view.response.answers.at(0).ttl);
+      child_view.response.answers.at(0).ttl.value(),
+      parent_view.response.answers.at(0).ttl.value());
   std::printf("\nThat difference — who really controls your TTL — is what\n"
               "the IMC'19 paper (and this library) is about.\n");
   return 0;

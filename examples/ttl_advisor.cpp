@@ -39,7 +39,7 @@ void analyze(const char* title, const core::DelegationLayout& layout) {
   for (const auto& c : cases) {
     auto effective = core::effective_ttl(layout, c.config);
     std::printf("  %-32s NS=%7u s  addr=%7u s  %s\n", c.who,
-                effective.ns_ttl, effective.address_ttl,
+                effective.ns_ttl.value(), effective.address_ttl.value(),
                 effective.address_linked_to_ns ? "(addr tied to NS)" : "");
   }
   std::printf("\n");
@@ -79,7 +79,7 @@ int main() {
   uy_before.parent_ns_ttl = dns::kTtl2Days;
   uy_before.child_ns_ttl = dns::kTtl5Min;
   uy_before.parent_glue_ttl = dns::kTtl2Days;
-  uy_before.child_a_ttl = 120;
+  uy_before.child_a_ttl = dns::Ttl{120};
   uy_before.in_bailiwick = true;
   analyze(".uy before 2019-03-04 (parent 2 d / child 300 s)", uy_before);
 

@@ -38,7 +38,7 @@ void run(core::World& world, Rollout& rollout) {
   const auto zone_name = site.parent();
 
   // Primary + one secondary (refresh every 10 minutes).
-  auto zone = world.create_zone(zone_name.to_string(), 3600);
+  auto zone = world.create_zone(zone_name.to_string(), dns::Ttl{3600});
   auto ns_name = zone_name.prepend("ns1");
   auto& primary =
       world.add_server(ns_name.to_string(), net::Location{net::Region::kNA, 1.0});
@@ -47,8 +47,8 @@ void run(core::World& world, Rollout& rollout) {
       zone_name.prepend("ns2").to_string(), net::Location{net::Region::kEU, 1.0});
   auth::Secondary secondary(world.simulation(), zone, secondary_server, 600);
 
-  zone->add(dns::make_ns(zone_name, 3600, ns_name));
-  zone->add(dns::make_a(ns_name, 3600, world.address_of(ns_name.to_string())));
+  zone->add(dns::make_ns(zone_name, dns::Ttl{3600}, ns_name));
+  zone->add(dns::make_a(ns_name, dns::Ttl{3600}, world.address_of(ns_name.to_string())));
   zone->add(dns::make_a(site, dns::kTtl1Day, dns::Ipv4(10, 1, 0, 1)));
   zone->bump_serial();
   world.delegate(*world.root_zone(), zone_name,
@@ -65,8 +65,8 @@ void run(core::World& world, Rollout& rollout) {
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
 
-  const sim::Time day = sim::kDay;
-  const sim::Time migration = 2 * day;  // the planned cutover moment
+  const sim::Duration day = sim::kDay;
+  const sim::Time migration = sim::at(2 * day);  // the planned cutover moment
 
   // Day 1: steady state.  (Planned operator lowers the TTL at migration -
   // 1 day, i.e. one old-TTL period ahead, so every cache drains in time.)
@@ -74,7 +74,7 @@ void run(core::World& world, Rollout& rollout) {
 
   double first_fresh = -1;
   std::uint64_t queries_before = 0;
-  for (sim::Time t = 0; t < migration + 4 * sim::kHour;
+  for (sim::Time t{}; t < migration + 4 * sim::kHour;
        t += 2 * sim::kMinute) {
     world.simulation().run_until(t);  // let secondary refreshes fire
 

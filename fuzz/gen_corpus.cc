@@ -54,15 +54,15 @@ std::vector<Message> message_seeds() {
                           RRType::kA));
   answer.flags.aa = true;
   answer.answers.push_back(make_cname(Name::from_string("www.example.com."),
-                                      300, Name::from_string("host.example.com.")));
-  answer.answers.push_back(make_a(Name::from_string("host.example.com."), 60,
+                                      dnsttl::dns::Ttl{300}, Name::from_string("host.example.com.")));
+  answer.answers.push_back(make_a(Name::from_string("host.example.com."), dnsttl::dns::Ttl{60},
                                   Ipv4(192, 0, 2, 1)));
-  answer.answers.push_back(make_a(Name::from_string("host.example.com."), 60,
+  answer.answers.push_back(make_a(Name::from_string("host.example.com."), dnsttl::dns::Ttl{60},
                                   Ipv4(192, 0, 2, 2)));
-  answer.authorities.push_back(make_ns(Name::from_string("example.com."), 86400,
+  answer.authorities.push_back(make_ns(Name::from_string("example.com."), dnsttl::dns::Ttl{86400},
                                        Name::from_string("ns1.example.com.")));
   answer.additionals.push_back(make_a(Name::from_string("ns1.example.com."),
-                                      86400, Ipv4(192, 0, 1, 53)));
+                                      dnsttl::dns::Ttl{86400}, Ipv4(192, 0, 1, 53)));
   seeds.push_back(answer);
 
   // A referral: empty answer, NS + glue — the shape resolvers chase.
@@ -70,10 +70,10 @@ std::vector<Message> message_seeds() {
       Message::make_query(0x4567, Name::from_string("a.b.c.example.net."),
                           RRType::kA));
   referral.authorities.push_back(make_ns(Name::from_string("example.net."),
-                                         172800,
+                                         dnsttl::dns::Ttl{172800},
                                          Name::from_string("ns.example.net.")));
   referral.additionals.push_back(make_a(Name::from_string("ns.example.net."),
-                                        172800, Ipv4(198, 51, 100, 1)));
+                                        dnsttl::dns::Ttl{172800}, Ipv4(198, 51, 100, 1)));
   seeds.push_back(referral);
 
   // Negative answer with SOA (RFC 2308 negative-TTL source).
@@ -82,7 +82,7 @@ std::vector<Message> message_seeds() {
                           RRType::kTXT));
   negative.flags.rcode = Rcode::kNXDomain;
   negative.authorities.push_back(make_soa(Name::from_string("example.com."),
-                                          3600,
+                                          dnsttl::dns::Ttl{3600},
                                           Name::from_string("ns1.example.com."),
                                           2024010101, 900));
   seeds.push_back(negative);
@@ -91,9 +91,9 @@ std::vector<Message> message_seeds() {
   Message mixed = Message::make_response(
       Message::make_query(0x6789, Name::from_string("example.org."),
                           RRType::kMX));
-  mixed.answers.push_back(make_mx(Name::from_string("example.org."), 7200, 10,
+  mixed.answers.push_back(make_mx(Name::from_string("example.org."), dnsttl::dns::Ttl{7200}, 10,
                                   Name::from_string("mail.example.org.")));
-  mixed.answers.push_back(make_txt(Name::from_string("example.org."), 7200,
+  mixed.answers.push_back(make_txt(Name::from_string("example.org."), dnsttl::dns::Ttl{7200},
                                    "v=spf1 -all"));
   seeds.push_back(mixed);
 

@@ -18,9 +18,9 @@ MeasurementRun MeasurementRun::execute(sim::Simulation& simulation,
                           : spec.qname;
     for (net::Address resolver : probe.resolvers) {
       // Atlas schedules each VP at a random phase within the period.
-      sim::Time phase = static_cast<sim::Time>(
-          rng.uniform(0.0, static_cast<double>(spec.frequency)));
-      for (sim::Time offset = phase; offset < spec.duration;
+      sim::Duration phase = sim::Duration(static_cast<std::int64_t>(
+          rng.uniform(0.0, static_cast<double>(spec.frequency.count()))));
+      for (sim::Duration offset = phase; offset < spec.duration;
            offset += spec.frequency) {
         sim::Time at = spec.start + offset;
         std::uint16_t id = next_id++;
@@ -78,7 +78,7 @@ stats::Cdf MeasurementRun::ttl_cdf() const {
   stats::Cdf cdf;
   for (const auto& sample : samples_) {
     if (!sample.timeout && sample.has_answer) {
-      cdf.add(static_cast<double>(sample.ttl));
+      cdf.add(static_cast<double>(sample.ttl.value()));
     }
   }
   return cdf;

@@ -23,19 +23,19 @@ struct MeasurementSpec {
   dns::RRType qtype = dns::RRType::kAAAA;
   sim::Duration frequency = 600 * sim::kSecond;
   sim::Duration duration = 2 * sim::kHour;
-  sim::Time start = 0;
+  sim::Time start{};
 };
 
 /// One VP's observation for one round.
 struct Sample {
   int probe_id = 0;
   net::Address resolver;
-  sim::Time sent = 0;
-  sim::Duration rtt = 0;
+  sim::Time sent{};
+  sim::Duration rtt{};
   bool timeout = false;
   dns::Rcode rcode = dns::Rcode::kNoError;
   bool has_answer = false;
-  dns::Ttl ttl = 0;        ///< answer-section TTL for the queried type
+  dns::Ttl ttl{};        ///< answer-section TTL for the queried type
   std::string rdata;       ///< answer identity (e.g. the returned address)
 };
 

@@ -80,7 +80,7 @@ class AuthServer : public net::DnsNode {
   bool online_ = true;
   bool logging_ = false;
   QueryLog log_;
-  sim::Duration processing_delay_ = sim::milliseconds(0.2);
+  sim::Duration processing_delay_ = sim::microseconds(200);
   std::uint64_t answered_ = 0;
   bool rotate_answers_ = false;
   std::uint64_t rotation_counter_ = 0;

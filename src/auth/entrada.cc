@@ -19,7 +19,7 @@ void Entrada::ingest(const QueryLog& log, const std::string& server_ident) {
 std::string Entrada::to_csv() const {
   std::string out = "time_us,server,client,qname,qtype\n";
   for (const auto& row : rows_) {
-    out += std::to_string(row.time) + "," + row.server + "," +
+    out += std::to_string(row.time.ticks()) + "," + row.server + "," +
            row.client.to_string() + "," + row.qname.to_string() + "," +
            std::string(dns::to_string(row.qtype)) + "\n";
   }
@@ -63,12 +63,14 @@ Entrada Entrada::from_csv(std::string_view csv) {
                                   ": expected 5 fields");
     }
     Row row;
+    std::int64_t time_us = 0;
     auto [ptr, ec] = std::from_chars(
-        fields[0].data(), fields[0].data() + fields[0].size(), row.time);
+        fields[0].data(), fields[0].data() + fields[0].size(), time_us);
     if (ec != std::errc{} || ptr != fields[0].data() + fields[0].size()) {
       throw std::invalid_argument("entrada csv line " +
                                   std::to_string(line_no) + ": bad time");
     }
+    row.time = sim::Time(time_us);
     row.server = std::string(fields[1]);
     row.client = dns::Ipv4::from_string(std::string(fields[2]));
     row.qname = dns::Name::from_string(fields[3]);
@@ -115,17 +117,17 @@ stats::Cdf Entrada::min_interarrival_hours(const std::set<dns::Name>& qnames,
                                            sim::Duration dedup_window) const {
   stats::Cdf cdf;
   for (const auto& [key, times] : group_times(qnames)) {
-    sim::Duration best = -1;
+    sim::Duration best{-1};
     for (std::size_t i = 1; i < times.size(); ++i) {
       sim::Duration gap = times[i] - times[i - 1];
       if (gap <= dedup_window) {
         continue;  // retransmission-like duplicate
       }
-      if (best < 0 || gap < best) {
+      if (best.count() < 0 || gap < best) {
         best = gap;
       }
     }
-    if (best >= 0) {
+    if (best.count() >= 0) {
       cdf.add(sim::to_seconds(best) / 3600.0);
     }
   }

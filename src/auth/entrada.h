@@ -20,7 +20,7 @@ namespace dnsttl::auth {
 class Entrada {
  public:
   struct Row {
-    sim::Time time = 0;
+    sim::Time time{};
     std::string server;
     net::Address client;
     dns::Name qname;

@@ -15,7 +15,7 @@ namespace dnsttl::auth {
 /// ENTRADA warehouse analysis (§3.4) uses: arrival time, resolver source
 /// address, query name and type.
 struct LogEntry {
-  sim::Time time = 0;
+  sim::Time time{};
   net::Address client;
   dns::Name qname;
   dns::RRType qtype = dns::RRType::kA;

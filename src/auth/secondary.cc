@@ -50,9 +50,8 @@ void Secondary::schedule_next(std::uint32_t delay_seconds) {
     }
     delay_seconds = refresh;
   }
-  simulation_.schedule_after(
-      static_cast<sim::Duration>(delay_seconds) * sim::kSecond,
-      [this] { check(); });
+  simulation_.schedule_after(sim::seconds(delay_seconds),
+                             [this] { check(); });
 }
 
 void Secondary::check() {
@@ -84,9 +83,7 @@ void Secondary::check() {
   }
 
   // Primary unreachable: retry faster; expire the copy when too stale.
-  if (!expired_ &&
-      now - last_success_ >
-          static_cast<sim::Duration>(expire) * sim::kSecond) {
+  if (!expired_ && now - last_success_ > sim::seconds(expire)) {
     server_.remove_zone(copy_);
     expired_ = true;
   }

@@ -235,8 +235,7 @@ void Cache::validate() const {
     DNSTTL_AUDIT_CHECK(
         kWhat,
         entry.expires ==
-            entry.inserted +
-                static_cast<sim::Duration>(entry.rrset.ttl()) * sim::kSecond,
+            entry.inserted + sim::seconds(entry.rrset.ttl().value()),
         "expiry arithmetic broken for " + item.name.to_string());
     DNSTTL_AUDIT_CHECK(
         kWhat,
@@ -326,7 +325,7 @@ bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
   entry.original_ttl = rrset.ttl();
   dns::Ttl effective = clamp_ttl(rrset.ttl());
   entry.rrset.set_ttl(effective);
-  entry.expires = now + static_cast<sim::Duration>(effective) * sim::kSecond;
+  entry.expires = now + sim::seconds(effective.value());
   entry.linked_ns_owner = std::move(linked_ns_owner);
   if (entry.linked_ns_owner) {
     const Entry* ns = entries_.find(
@@ -354,8 +353,7 @@ bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
 void Cache::insert_negative(const dns::Name& name, dns::RRType type,
                             dns::Rcode rcode, dns::Ttl ttl, sim::Time now) {
   dns::Ttl effective = clamp_ttl(ttl);
-  sim::Time expires =
-      now + static_cast<sim::Duration>(effective) * sim::kSecond;
+  sim::Time expires = now + sim::seconds(effective.value());
   negatives_.put(key_hash(name, type), name, type,
                  NegativeEntry{rcode, expires});
   negative_expiry_.push(ExpiryRec{expires, name, type});
@@ -392,7 +390,7 @@ std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
     CacheHit hit;
     hit.rrset = entry->rrset;
     // RFC 8767: stale answers are served with a short fixed TTL.
-    hit.rrset.set_ttl(30);
+    hit.rrset.set_ttl(dns::Ttl{30});
     hit.credibility = entry->credibility;
     hit.stale = true;
     hit.original_ttl = entry->original_ttl;
@@ -402,7 +400,7 @@ std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
   CacheHit hit;
   hit.rrset = entry->rrset;
   hit.rrset.set_ttl(
-      static_cast<dns::Ttl>((entry->expires - now) / sim::kSecond));
+      dns::Ttl::of_seconds((entry->expires - now) / sim::kSecond));
   hit.credibility = entry->credibility;
   hit.original_ttl = entry->original_ttl;
   return hit;
@@ -418,7 +416,7 @@ std::optional<CacheHit> Cache::peek(const dns::Name& name, dns::RRType type,
   CacheHit hit;
   hit.rrset = entry->rrset;
   hit.rrset.set_ttl(
-      static_cast<dns::Ttl>((entry->expires - now) / sim::kSecond));
+      dns::Ttl::of_seconds((entry->expires - now) / sim::kSecond));
   hit.credibility = entry->credibility;
   hit.original_ttl = entry->original_ttl;
   return hit;
@@ -434,7 +432,7 @@ std::optional<NegativeHit> Cache::lookup_negative(const dns::Name& name,
   }
   return NegativeHit{
       entry->rcode,
-      static_cast<dns::Ttl>((entry->expires - now) / sim::kSecond)};
+      dns::Ttl::of_seconds((entry->expires - now) / sim::kSecond)};
 }
 
 bool Cache::evict(const dns::Name& name, dns::RRType type) {
@@ -447,7 +445,8 @@ bool Cache::evict(const dns::Name& name, dns::RRType type) {
 
 std::size_t Cache::purge_expired(sim::Time now) {
   std::size_t removed = 0;
-  sim::Duration grace = config_.serve_stale ? config_.stale_window : 0;
+  sim::Duration grace =
+      config_.serve_stale ? config_.stale_window : sim::Duration{};
   while (!expiry_.empty() && expiry_.top().at + grace <= now) {
     ExpiryRec rec = expiry_.top();
     expiry_.pop();
@@ -519,8 +518,7 @@ std::string Cache::dump(sim::Time now) const {
 
   std::string out;
   for (const auto& ref : live) {
-    auto remaining =
-        static_cast<dns::Ttl>((ref.entry->expires - now) / sim::kSecond);
+    auto remaining = (ref.entry->expires - now) / sim::kSecond;
     for (const auto& rdata : ref.entry->rrset.rdatas()) {
       out += ref.name->to_string() + " " + std::to_string(remaining) + " " +
              std::string(dns::to_string(ref.type)) + " " +

@@ -34,13 +34,13 @@ struct CacheHit {
   dns::RRset rrset;           ///< TTL field = remaining seconds at lookup
   Credibility credibility = Credibility::kGlue;
   bool stale = false;         ///< served past expiry (serve-stale mode)
-  dns::Ttl original_ttl = 0;  ///< TTL as received, before counting down
+  dns::Ttl original_ttl{};  ///< TTL as received, before counting down
 };
 
 /// A cached negative result (RFC 2308).
 struct NegativeHit {
   dns::Rcode rcode = dns::Rcode::kNXDomain;
-  dns::Ttl remaining = 0;
+  dns::Ttl remaining{};
 };
 
 /// TTL-driven DNS cache with credibility ranks, TTL clamping, optional
@@ -61,7 +61,7 @@ class Cache {
  public:
   struct Config {
     dns::Ttl max_ttl = dns::kTtl1Week;  ///< BIND default max-cache-ttl
-    dns::Ttl min_ttl = 0;
+    dns::Ttl min_ttl{};
     bool link_glue_to_ns = true;
     bool serve_stale = false;
     sim::Duration stale_window = 3 * sim::kDay;  ///< how long stale data lives
@@ -150,18 +150,18 @@ class Cache {
   struct Entry {
     dns::RRset rrset;
     Credibility credibility = Credibility::kGlue;
-    sim::Time inserted = 0;
-    sim::Time expires = 0;
-    dns::Ttl original_ttl = 0;
+    sim::Time inserted{};
+    sim::Time expires{};
+    dns::Ttl original_ttl{};
     std::optional<dns::Name> linked_ns_owner;
     /// Insert time of the NS entry this one rode in with.  If the NS RRset
     /// is later replaced (even by identical data), the link is considered
     /// broken: the address must be re-learned with the fresh delegation.
-    sim::Time linked_ns_inserted = 0;
+    sim::Time linked_ns_inserted{};
   };
   struct NegativeEntry {
     dns::Rcode rcode = dns::Rcode::kNXDomain;
-    sim::Time expires = 0;
+    sim::Time expires{};
   };
 
   /// Mixes the Name's cached hash with the record type into a table hash.
@@ -231,7 +231,7 @@ class Cache {
   /// One pending expiry deadline; stale records (entry refreshed, evicted
   /// or already purged) are skipped when popped.
   struct ExpiryRec {
-    sim::Time at = 0;
+    sim::Time at{};
     dns::Name name;
     dns::RRType type{};
   };

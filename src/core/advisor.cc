@@ -4,9 +4,9 @@ namespace dnsttl::core {
 
 std::string Recommendation::render() const {
   std::string out;
-  out += "  NS TTL:      " + std::to_string(ns_ttl) + " s (" +
-         std::to_string(ns_ttl / 3600) + " h)\n";
-  out += "  A/AAAA TTL:  " + std::to_string(address_ttl) + " s\n";
+  out += "  NS TTL:      " + std::to_string(ns_ttl.value()) + " s (" +
+         std::to_string(ns_ttl.value() / 3600) + " h)\n";
+  out += "  A/AAAA TTL:  " + std::to_string(address_ttl.value()) + " s\n";
   out += std::string("  parent copy: ") +
          (set_parent_equal ? "set identical TTLs in parent and child"
                            : "parent copy not under operator control; expect "

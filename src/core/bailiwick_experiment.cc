@@ -63,7 +63,7 @@ BailiwickResult run_bailiwick(World& world, atlas::Platform& platform,
   auto net_zone = world.add_tld("net", "a.gtld-servers", dns::kTtl2Days,
                                 dns::kTtl1Day, dns::kTtl1Day,
                                 net::Location{net::Region::kNA, 1.0});
-  auto ct_zone = world.create_zone("cachetest.net", 3600);
+  auto ct_zone = world.create_zone("cachetest.net", dns::Ttl{3600});
   std::vector<std::pair<dns::Name, net::Address>> ct_servers;
   for (const char* label : {"ns1", "ns2"}) {
     auto ns_name = cachetest.prepend(label);
@@ -71,8 +71,8 @@ BailiwickResult run_bailiwick(World& world, atlas::Platform& platform,
                                     net::Location{net::Region::kEU, 1.0});
     server.add_zone(ct_zone);
     auto address = world.address_of(ns_name.to_string());
-    ct_zone->add(dns::make_ns(cachetest, 3600, ns_name));
-    ct_zone->add(dns::make_a(ns_name, 3600, address));
+    ct_zone->add(dns::make_ns(cachetest, dns::Ttl{3600}, ns_name));
+    ct_zone->add(dns::make_a(ns_name, dns::Ttl{3600}, address));
     ct_servers.emplace_back(ns_name, address);
   }
   world.delegate(*net_zone, cachetest, ct_servers, dns::kTtl2Days,
@@ -106,7 +106,7 @@ BailiwickResult run_bailiwick(World& world, atlas::Platform& platform,
     world.delegate(*ct_zone, sub_origin, {{ns_name, old_addr}},
                    config.ns_ttl, config.a_ttl);
     // Renumber: the parent glue moves to the new server.
-    world.simulation().schedule_at(config.renumber_at, [ct_zone, ns_name,
+    world.simulation().schedule_at(sim::at(config.renumber_at), [ct_zone, ns_name,
                                                         new_addr] {
       ct_zone->renumber_a(ns_name, new_addr);
     });
@@ -139,7 +139,7 @@ BailiwickResult run_bailiwick(World& world, atlas::Platform& platform,
 
     // Renumber: .com supports dynamic updates (visible in seconds), so the
     // glue and the child copy both move at t = renumber_at.
-    world.simulation().schedule_at(config.renumber_at, [com_zone, ns_name,
+    world.simulation().schedule_at(sim::at(config.renumber_at), [com_zone, ns_name,
                                                         new_addr] {
       com_zone->renumber_a(ns_name, new_addr);
     });
@@ -186,12 +186,12 @@ BailiwickResult run_bailiwick(World& world, atlas::Platform& platform,
     if (is_old) ++vp.old_responses;
     if (is_new) {
       ++vp.new_responses;
-      double minute = sim::to_seconds(sample.sent) / 60.0;
+      double minute = sim::to_seconds(sample.sent.since_epoch()) / 60.0;
       if (!vp.first_new_minute || minute < *vp.first_new_minute) {
         vp.first_new_minute = minute;
       }
     }
-    if (sample.sent < config.frequency) {
+    if (sample.sent.since_epoch() < config.frequency) {
       vp.answered_first_round = true;
     }
   }

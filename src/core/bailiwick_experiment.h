@@ -18,7 +18,7 @@ struct BailiwickConfig {
   bool in_bailiwick = true;  ///< ns inside the served zone vs out of it
   dns::Ttl ns_ttl = dns::kTtl1Hour;
   dns::Ttl a_ttl = dns::kTtl2Hours;
-  dns::Ttl answer_ttl = 60;  ///< TTL of the probed AAAA records
+  dns::Ttl answer_ttl = dns::Ttl{60};  ///< TTL of the probed AAAA records
   sim::Duration renumber_at = 9 * sim::kMinute;
   sim::Duration frequency = 600 * sim::kSecond;
   sim::Duration duration = 4 * sim::kHour;

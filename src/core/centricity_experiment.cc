@@ -30,10 +30,10 @@ CentricityResult run_centricity(World& world, atlas::Platform& platform,
   auto cdf = result.run.ttl_cdf();
   if (!cdf.empty()) {
     result.at_most_child =
-        cdf.fraction_at_most(static_cast<double>(setup.child_ttl));
+        cdf.fraction_at_most(static_cast<double>(setup.child_ttl.value()));
     result.above_child = 1.0 - result.at_most_child;
     result.exact_full_parent =
-        cdf.fraction_equal(static_cast<double>(setup.parent_ttl));
+        cdf.fraction_equal(static_cast<double>(setup.parent_ttl.value()));
     result.capped_21599 = cdf.fraction_equal(21599.0);
   }
   return result;

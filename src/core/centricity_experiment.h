@@ -20,7 +20,7 @@ struct CentricitySetup {
   dns::Ttl child_ttl = dns::kTtl5Min;
   sim::Duration frequency = 600 * sim::kSecond;
   sim::Duration duration = 2 * sim::kHour;
-  sim::Time start = 0;
+  sim::Time start{};
 };
 
 /// Classification of the observed TTLs against the configured pair.

@@ -38,9 +38,9 @@ EffectiveTtl effective_ttl(const DelegationLayout& layout,
     }
     result.explanation =
         "parent-centric: the delegation copy (NS " +
-        std::to_string(result.ns_ttl) + " s" +
+        std::to_string(result.ns_ttl.value()) + " s" +
         (result.parent_controls_address
-             ? ", glue " + std::to_string(result.address_ttl) + " s"
+             ? ", glue " + std::to_string(result.address_ttl.value()) + " s"
              : "") +
         ") rules; child changes invisible until parent data expires";
     if (config.local_root) {
@@ -62,7 +62,7 @@ EffectiveTtl effective_ttl(const DelegationLayout& layout,
     result.explanation =
         "child-centric, in-bailiwick: child TTLs rule and the address "
         "expires with the NS RRset (effective address TTL " +
-        std::to_string(result.address_ttl) + " s)";
+        std::to_string(result.address_ttl.value()) + " s)";
   } else {
     result.explanation =
         layout.in_bailiwick

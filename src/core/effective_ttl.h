@@ -21,8 +21,8 @@ struct DelegationLayout {
 /// What effectively controls caching for one (layout, resolver policy)
 /// combination: the paper's central question, answered analytically.
 struct EffectiveTtl {
-  dns::Ttl ns_ttl = 0;       ///< effective NS cache lifetime (seconds)
-  dns::Ttl address_ttl = 0;  ///< effective NS-address cache lifetime
+  dns::Ttl ns_ttl{};       ///< effective NS cache lifetime (seconds)
+  dns::Ttl address_ttl{};  ///< effective NS-address cache lifetime
   bool parent_controls_ns = false;
   bool parent_controls_address = false;
   /// Address lifetime shortened by NS expiry (the §4.2 linkage)?

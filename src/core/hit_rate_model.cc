@@ -5,20 +5,20 @@
 namespace dnsttl::core {
 
 double poisson_hit_rate(double arrivals_per_second, dns::Ttl ttl) {
-  if (arrivals_per_second <= 0.0 || ttl == 0) {
+  if (arrivals_per_second <= 0.0 || ttl == dns::Ttl{}) {
     return 0.0;
   }
-  double lambda_t = arrivals_per_second * static_cast<double>(ttl);
+  double lambda_t = arrivals_per_second * static_cast<double>(ttl.value());
   return lambda_t / (1.0 + lambda_t);
 }
 
 double periodic_hit_rate(double period_s, dns::Ttl ttl) {
-  if (period_s <= 0.0 || ttl == 0 ||
-      period_s > static_cast<double>(ttl)) {
+  if (period_s <= 0.0 || ttl == dns::Ttl{} ||
+      period_s > static_cast<double>(ttl.value())) {
     return 0.0;
   }
   double per_window =
-      std::floor(static_cast<double>(ttl) / period_s) + 1.0;
+      std::floor(static_cast<double>(ttl.value()) / period_s) + 1.0;
   return (per_window - 1.0) / per_window;
 }
 
@@ -27,7 +27,7 @@ double authoritative_rate(double arrivals_per_second, dns::Ttl ttl) {
     return 0.0;
   }
   return arrivals_per_second /
-         (1.0 + arrivals_per_second * static_cast<double>(ttl));
+         (1.0 + arrivals_per_second * static_cast<double>(ttl.value()));
 }
 
 dns::Ttl ttl_for_hit_rate(double arrivals_per_second,
@@ -36,14 +36,14 @@ dns::Ttl ttl_for_hit_rate(double arrivals_per_second,
     return dns::kMaxTtl;
   }
   if (target_hit_rate <= 0.0) {
-    return 0;
+    return dns::Ttl{};
   }
   double ttl = target_hit_rate /
                (arrivals_per_second * (1.0 - target_hit_rate));
-  if (ttl >= static_cast<double>(dns::kMaxTtl)) {
+  if (ttl >= static_cast<double>(dns::kMaxTtlSeconds)) {
     return dns::kMaxTtl;
   }
-  return static_cast<dns::Ttl>(std::ceil(ttl));
+  return dns::Ttl::of_seconds(static_cast<std::int64_t>(std::ceil(ttl)));
 }
 
 }  // namespace dnsttl::core

@@ -41,8 +41,8 @@ ControlledTtlResult run_controlled_ttl(World& world,
   const auto origin = dns::Name::from_string(domain);
   const auto ns_name = origin.prepend("ns1");
 
-  auto zone = world.create_zone(domain, 3600);
-  zone->add(dns::make_ns(origin, 3600, ns_name));
+  auto zone = world.create_zone(domain, dns::Ttl{3600});
+  zone->add(dns::make_ns(origin, dns::Ttl{3600}, ns_name));
 
   const auto answer = dns::Ipv6::from_string("2001:db8:77::1");
   dns::Name qname;
@@ -81,7 +81,7 @@ ControlledTtlResult run_controlled_ttl(World& world,
     service = world.address_of(prefix);
     log_idents.push_back(prefix);
   }
-  zone->add(dns::make_a(ns_name, 3600, service));
+  zone->add(dns::make_a(ns_name, dns::Ttl{3600}, service));
   world.delegate(*co_zone, origin, {{ns_name, service}}, dns::kTtl1Day,
                  dns::kTtl1Day);
 

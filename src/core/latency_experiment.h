@@ -16,7 +16,7 @@ namespace dnsttl::core {
 /// names under short or long TTLs.
 struct ControlledTtlConfig {
   std::string name;            ///< e.g. "TTL60-u"
-  dns::Ttl answer_ttl = 60;    ///< TTL of the probed AAAA records
+  dns::Ttl answer_ttl = dns::Ttl{60};    ///< TTL of the probed AAAA records
   bool unique_qnames = true;   ///< PROBEID names vs one shared name
   std::string shared_label = "1";  ///< label for the shared-name variants
   bool anycast = false;        ///< Route53-style 45-site anycast

@@ -11,7 +11,7 @@ World::World(Options options)
                net::Network::Params{options.loss_rate, 3 * sim::kSecond}) {
   root_zone_ = std::make_shared<dns::Zone>(dns::Name{});
   root_zone_->add(dns::make_soa(
-      dns::Name{}, 86400, dns::Name::from_string("a.root-servers.net"), 1));
+      dns::Name{}, dns::Ttl{86400}, dns::Name::from_string("a.root-servers.net"), 1));
 
   struct RootSpec {
     const char* name;
@@ -27,8 +27,8 @@ World::World(Options options)
     auto& server = add_server(spec.name, net::Location{spec.region, 1.0});
     server.add_zone(root_zone_);
     net::Address address = address_of(spec.name);
-    root_zone_->add(dns::make_ns(dns::Name{}, 518400, name));
-    root_zone_->add(dns::make_a(name, 518400, address));
+    root_zone_->add(dns::make_ns(dns::Name{}, dns::Ttl{518400}, name));
+    root_zone_->add(dns::make_a(name, dns::Ttl{518400}, address));
     hints_.servers.push_back({name, address});
   }
 }

@@ -61,7 +61,7 @@ class World {
 
   /// Creates an empty zone with a SOA record (TTL = @p soa_ttl).
   std::shared_ptr<dns::Zone> create_zone(const std::string& origin,
-                                         dns::Ttl soa_ttl = 3600);
+                                         dns::Ttl soa_ttl = dns::Ttl{3600});
 
   /// Adds a delegation for @p child into @p parent: NS records with
   /// @p ns_ttl, plus glue A records with @p glue_ttl for every nameserver

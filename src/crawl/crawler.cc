@@ -80,9 +80,9 @@ CrawlReport crawl(const std::string& list,
     for (const auto& record : domain.records) {
       auto& tally = report.by_type[record.type];
       ++tally.records;
-      tally.ttl_cdf.add(static_cast<double>(record.ttl));
+      tally.ttl_cdf.add(static_cast<double>(record.ttl.value()));
       uniques[record.type].insert(record.value);
-      if (record.ttl == 0 && !ttl_zero_seen.contains(record.type)) {
+      if (record.ttl == dns::Ttl{} && !ttl_zero_seen.contains(record.type)) {
         ttl_zero_seen.insert(record.type);
         ++tally.ttl_zero_domains;
       }
@@ -110,7 +110,7 @@ ParentChildReport compare_parent_child(
         break;
       }
     }
-    if (!child_ttl || domain.parent_ns_ttl == 0) {
+    if (!child_ttl || domain.parent_ns_ttl == dns::Ttl{}) {
       continue;
     }
     ++report.compared;
@@ -122,8 +122,8 @@ ParentChildReport compare_parent_child(
       ++report.child_longer;
     }
     report.child_over_parent_ratio.add(
-        static_cast<double>(*child_ttl) /
-        static_cast<double>(domain.parent_ns_ttl));
+        static_cast<double>(child_ttl->value()) /
+        static_cast<double>(domain.parent_ns_ttl.value()));
   }
   return report;
 }

@@ -23,7 +23,7 @@ DmapReport classify_content(const std::vector<GeneratedDomain>& population) {
     ++report.class_counts[domain.content];
     if (domain.content == ContentClass::kUnclassified) continue;
     for (const auto& record : domain.records) {
-      ttls[{domain.content, record.type}].add(static_cast<double>(record.ttl));
+      ttls[{domain.content, record.type}].add(static_cast<double>(record.ttl.value()));
     }
   }
 

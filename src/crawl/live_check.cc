@@ -84,7 +84,7 @@ LiveCheckReport verify_population_live(
     // Materialize the domain as a live zone.
     auto origin = dns::Name::from_string(domain.name);
     auto zone = std::make_shared<dns::Zone>(origin);
-    zone->add(dns::make_soa(origin, 3600, origin.prepend("ns1"), 1));
+    zone->add(dns::make_soa(origin, dns::Ttl{3600}, origin.prepend("ns1"), 1));
     for (const auto& record : domain.records) {
       zone->add(dns::ResourceRecord{owner_for(domain, record.type),
                                     dns::RClass::kIN, record.ttl,
@@ -101,7 +101,7 @@ LiveCheckReport verify_population_live(
     for (const auto& [type, records] : expected) {
       auto query = dns::Message::make_query(1, owner_for(domain, type), type);
       query.add_edns();
-      auto outcome = world.network().query(client, address, query, 0);
+      auto outcome = world.network().query(client, address, query, sim::Time{});
       ++report.records_checked;
       if (!outcome.response || !outcome.response->flags.aa) {
         ++report.mismatches;

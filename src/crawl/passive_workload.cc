@@ -17,8 +17,8 @@ PassiveReport run_passive_nl(core::World& world, const PassiveConfig& config) {
 
   // The .nl zone and the dns.nl zone that carries the nameserver addresses,
   // both served by all four servers (as SIDN does).
-  auto nl_zone = world.create_zone("nl", 3600);
-  auto dnsnl_zone = world.create_zone("dns.nl", 3600);
+  auto nl_zone = world.create_zone("nl", dns::Ttl{3600});
+  auto dnsnl_zone = world.create_zone("dns.nl", dns::Ttl{3600});
 
   std::vector<std::pair<dns::Name, net::Address>> servers;
   std::vector<std::string> observed;  // we watch 2 of the 4
@@ -35,15 +35,15 @@ PassiveReport run_passive_nl(core::World& world, const PassiveConfig& config) {
     auto address = world.address_of(ns_name.to_string());
     servers.emplace_back(ns_name, address);
 
-    nl_zone->add(dns::make_ns(nl, 3600, ns_name));
-    dnsnl_zone->add(dns::make_ns(dnsnl, 3600, ns_name));
+    nl_zone->add(dns::make_ns(nl, dns::Ttl{3600}, ns_name));
+    dnsnl_zone->add(dns::make_ns(dnsnl, dns::Ttl{3600}, ns_name));
     // Child copy of the address: the 1-hour TTL the paper contrasts with
     // the root's 2-day glue.
     dnsnl_zone->add(dns::make_a(ns_name, config.child_a_ttl, address));
   }
   // dns.nl is a delegation inside .nl served by the same hosts.
   for (const auto& [ns_name, address] : servers) {
-    nl_zone->add(dns::make_ns(dnsnl, 3600, ns_name));
+    nl_zone->add(dns::make_ns(dnsnl, dns::Ttl{3600}, ns_name));
   }
   // Root-side delegation with the 2-day glue.
   world.delegate(*world.root_zone(), nl, servers, config.parent_glue_ttl,
@@ -79,10 +79,10 @@ PassiveReport run_passive_nl(core::World& world, const PassiveConfig& config) {
 
   std::function<void(std::size_t)> schedule_next =
       [&simulation, demands, rng_ptr, client_queries, &schedule_next,
-       end = config.duration](std::size_t index) {
+       end = sim::at(config.duration)](std::size_t index) {
         auto& demand = (*demands)[index];
         double gap = rng_ptr->exponential(demand.mean_gap_seconds);
-        sim::Time at = simulation.now() + sim::seconds(gap);
+        sim::Time at = simulation.now() + sim::approx_seconds(gap);
         if (at >= end) {
           return;
         }
@@ -103,7 +103,7 @@ PassiveReport run_passive_nl(core::World& world, const PassiveConfig& config) {
   for (std::size_t i = 0; i < demands->size(); ++i) {
     schedule_next(i);
   }
-  simulation.run_until(config.duration);
+  simulation.run_until(sim::at(config.duration));
   report.client_queries = *client_queries;
 
   // ENTRADA-style analysis over the two observed servers: group queries
@@ -141,13 +141,13 @@ PassiveReport run_passive_nl(core::World& world, const PassiveConfig& config) {
     // Figure 3's "filtered" curve: drop retransmission-like duplicates
     // (interarrival <= 2 s).
     std::size_t filtered = 1;
-    sim::Duration min_gap = -1;
+    sim::Duration min_gap{-1};
     for (std::size_t i = 1; i < times.size(); ++i) {
       sim::Duration gap = times[i] - times[i - 1];
       if (gap > 2 * sim::kSecond) {
         ++filtered;
       }
-      if (min_gap < 0 || gap < min_gap) {
+      if (min_gap.count() < 0 || gap < min_gap) {
         min_gap = gap;
       }
     }

@@ -141,7 +141,7 @@ ListParams nl_params(std::size_t domains) {
   params.mx_presence = 0.80;
   // SIDN's DNSSEC incentives: most .nl domains are signed, each with its
   // own key (Table 5's 1.06 unique ratio).
-  params.registry_ns_ttl = 3600;  // .nl delegations carry a 1-hour TTL
+  params.registry_ns_ttl = dns::Ttl{3600};  // .nl delegations carry a 1-hour TTL
   params.dnskey_presence = 0.70;
   params.dnskey_two_keys = 0.06;
   params.dnskey_shared = 0.05;  // SIDN: per-domain keys

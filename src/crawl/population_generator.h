@@ -15,6 +15,18 @@ struct TtlDist {
   std::vector<dns::Ttl> values;
   std::vector<double> weights;
 
+  TtlDist() = default;
+  /// Grid values are spelled in seconds; each entry is RFC 2181-clamped on
+  /// the way in, so the distribution can never emit an out-of-range TTL.
+  TtlDist(std::initializer_list<std::uint32_t> ttl_seconds,
+          std::initializer_list<double> ttl_weights)
+      : weights(ttl_weights) {
+    values.reserve(ttl_seconds.size());
+    for (std::uint32_t s : ttl_seconds) {
+      values.emplace_back(s);
+    }
+  }
+
   dns::Ttl sample(sim::Rng& rng) const {
     return values[rng.weighted_index(weights)];
   }
@@ -33,7 +45,7 @@ std::string_view to_string(ContentClass content);
 /// One record as the crawler would harvest it from the child authoritative.
 struct HarvestedRecord {
   dns::RRType type = dns::RRType::kA;
-  dns::Ttl ttl = 3600;
+  dns::Ttl ttl = dns::Ttl{3600};
   std::string value;  ///< rdata identity (address / target name / key)
 };
 

@@ -27,7 +27,7 @@ std::uint64_t rrset_digest(const RRset& rrset, const DnskeyRdata& key) {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
   hash = fnv1a(hash, rrset.name().to_string());
   hash = fnv1a(hash, to_string(rrset.type()));
-  hash = fnv1a_u32(hash, rrset.ttl());
+  hash = fnv1a_u32(hash, rrset.ttl().value());
   for (const auto& rdata : rrset.rdatas()) {
     hash = fnv1a(hash, rdata_to_string(rdata));
   }
@@ -57,7 +57,7 @@ ResourceRecord make_rrsig(const RRset& rrset, const Name& signer,
   sig.type_covered = rrset.type();
   sig.algorithm = key.algorithm;
   sig.labels = static_cast<std::uint8_t>(rrset.name().label_count());
-  sig.original_ttl = rrset.ttl();
+  sig.original_ttl = rrset.ttl().value();
   sig.inception = 0;
   sig.expiration = 0x7fffffff;  // never expires within an experiment
   sig.key_tag = key_tag(key);
@@ -78,13 +78,13 @@ bool verify_rrsig(const RRset& rrset, const RrsigRdata& sig,
   // The signature covers the *original* TTL; a validator reconstructs it
   // (RFC 4035 §5.3.3) so cache countdown does not break validation.
   RRset original = rrset;
-  original.set_ttl(sig.original_ttl);
+  original.set_ttl(Ttl::from_wire(sig.original_ttl));
   return compute_signature(original, key) == sig.signature;
 }
 
 void sign_zone(Zone& zone, const DnskeyRdata& key) {
   // Install (or replace) the apex DNSKEY first so it is covered below.
-  RRset key_set(zone.origin(), RClass::kIN, 3600);
+  RRset key_set(zone.origin(), RClass::kIN, Ttl{3600});
   if (auto existing = zone.find(zone.origin(), RRType::kDNSKEY)) {
     key_set = *existing;
   }

@@ -161,7 +161,7 @@ Name parse_name(std::size_t line, const std::string& token,
 Zone parse_master_file(std::string_view text, const Name& default_origin) {
   Zone zone{default_origin};
   Name origin = default_origin;
-  Ttl default_ttl = 3600;
+  Ttl default_ttl{3600};
   std::optional<Name> previous_owner;
 
   for (const auto& line : logical_lines(text)) {
@@ -179,7 +179,7 @@ Zone parse_master_file(std::string_view text, const Name& default_origin) {
       if (tokens.size() != 2) {
         throw MasterFileError(line.number, "$TTL needs one argument");
       }
-      default_ttl = parse_u32(line.number, tokens[1]);
+      default_ttl = Ttl(parse_u32(line.number, tokens[1]));
       continue;
     }
     if (tokens[0].starts_with("$")) {
@@ -203,7 +203,7 @@ Zone parse_master_file(std::string_view text, const Name& default_origin) {
     Ttl ttl = default_ttl;
     for (int i = 0; i < 2 && cursor < tokens.size(); ++i) {
       if (is_number(tokens[cursor])) {
-        ttl = parse_u32(line.number, tokens[cursor]);
+        ttl = Ttl(parse_u32(line.number, tokens[cursor]));
         ++cursor;
       } else if (tokens[cursor] == "IN" || tokens[cursor] == "CH") {
         ++cursor;  // class accepted and ignored (always IN here)

@@ -23,7 +23,7 @@ void Message::add_edns(std::uint16_t udp_payload_size) {
   opt.udp_payload_size = udp_payload_size;
   // The OPT owner is the root and its "class" field carries the size; the
   // simulator keeps the size in the rdata and the TTL field zero.
-  additionals.push_back(ResourceRecord{Name{}, RClass::kIN, 0, opt});
+  additionals.push_back(ResourceRecord{Name{}, RClass::kIN, Ttl{0}, opt});
 }
 
 std::optional<std::uint16_t> Message::edns_udp_size() const {

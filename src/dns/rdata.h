@@ -128,6 +128,10 @@ struct RrsigRdata {
   RRType type_covered = RRType::kA;
   std::uint8_t algorithm = 8;
   std::uint8_t labels = 0;
+  // lint:allow(raw-time-param) RRSIG original TTL is a raw 32-bit wire
+  // field hashed into the signature as-is (RFC 4034 §3.1.4); migrating it
+  // to dns::Ttl is a ROADMAP open item because the RFC 2181 clamp must NOT
+  // apply before signature verification.
   std::uint32_t original_ttl = 0;
   std::uint32_t expiration = 0;
   std::uint32_t inception = 0;

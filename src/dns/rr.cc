@@ -6,7 +6,7 @@
 namespace dnsttl::dns {
 
 std::string ResourceRecord::to_string() const {
-  return name.to_string() + " " + std::to_string(ttl) + " " +
+  return name.to_string() + " " + std::to_string(ttl.value()) + " " +
          std::string(dns::to_string(rclass)) + " " +
          std::string(dns::to_string(type())) + " " + rdata_to_string(rdata);
 }

@@ -16,7 +16,7 @@ namespace dnsttl::dns {
 struct ResourceRecord {
   Name name;
   RClass rclass = RClass::kIN;
-  Ttl ttl = 3600;
+  Ttl ttl{3600};
   Rdata rdata;
 
   RRType type() const { return rdata_type(rdata); }
@@ -72,7 +72,7 @@ class RRset {
  private:
   Name name_;
   RClass rclass_ = RClass::kIN;
-  Ttl ttl_ = 3600;
+  Ttl ttl_{3600};
   std::vector<Rdata> rdatas_;
 };
 

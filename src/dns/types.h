@@ -65,26 +65,75 @@ std::string_view to_string(Section section);
 /// unknown mnemonics.
 RRType rrtype_from_string(std::string_view text);
 
-/// TTL type alias: seconds, 32-bit per RFC 2181 §8 (top bit must be zero).
-using Ttl = std::uint32_t;
+/// Maximum sensible TTL in seconds: RFC 2181 §8 caps TTLs at 2^31 - 1.
+// lint:allow(raw-time-param) this constant IS the raw clamp bound the Ttl
+// strong type is built from; it cannot itself be a Ttl.
+inline constexpr std::uint32_t kMaxTtlSeconds = 0x7fffffff;
 
-/// Maximum sensible TTL: RFC 2181 §8 caps TTLs at 2^31 - 1.
-inline constexpr Ttl kMaxTtl = 0x7fffffff;
+/// Cache time-to-live: whole seconds, 31-bit per RFC 2181 §8.
+///
+/// A strong type rather than the historical `uint32_t` alias so that a TTL
+/// cannot be mistaken for a simulator tick count (microseconds!), silently
+/// narrowed into a smaller field, or escape the RFC range.  Construction
+/// clamps into [0, 2^31 − 1]; wire-received values additionally follow the
+/// RFC 2181 §8 rule that a TTL with the most significant bit set "should be
+/// treated as if the entire value received was zero" (`from_wire`).
+/// `value()` exposes the seconds count for rendering and for explicit
+/// conversions (e.g. `sim::seconds(ttl.value())`).
+class Ttl {
+ public:
+  constexpr Ttl() noexcept = default;
+
+  /// Clamps @p seconds into [0, kMaxTtlSeconds] (RFC 2181 §8 upper bound).
+  constexpr explicit Ttl(std::uint32_t seconds) noexcept
+      : seconds_(seconds > kMaxTtlSeconds ? kMaxTtlSeconds : seconds) {}
+
+  /// Decodes a TTL received off the wire.  RFC 2181 §8: values with the top
+  /// bit set are not a huge TTL but garbage, and must be treated as zero —
+  /// never wrapped or sign-flipped into the cache.
+  [[nodiscard]] static constexpr Ttl from_wire(std::uint32_t raw) noexcept {
+    return Ttl((raw & 0x80000000u) != 0 ? 0u : raw);
+  }
+
+  /// Builds a TTL from a (possibly out-of-range) signed second count, as
+  /// produced by duration arithmetic; clamps into [0, kMaxTtlSeconds].
+  [[nodiscard]] static constexpr Ttl of_seconds(std::int64_t seconds) noexcept {
+    if (seconds <= 0) {
+      return Ttl();
+    }
+    if (seconds >= static_cast<std::int64_t>(kMaxTtlSeconds)) {
+      return Ttl(kMaxTtlSeconds);
+    }
+    return Ttl(static_cast<std::uint32_t>(seconds));
+  }
+
+  /// Seconds count (always <= kMaxTtlSeconds).
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return seconds_;
+  }
+
+  friend constexpr auto operator<=>(Ttl, Ttl) noexcept = default;
+
+ private:
+  std::uint32_t seconds_ = 0;
+};
+
+inline constexpr Ttl kMaxTtl{kMaxTtlSeconds};
 
 /// Common TTL constants used throughout the paper.
-inline constexpr Ttl kTtl1Min = 60;
-inline constexpr Ttl kTtl5Min = 300;
-inline constexpr Ttl kTtl10Min = 600;
-inline constexpr Ttl kTtl15Min = 900;
-inline constexpr Ttl kTtl1Hour = 3600;
-inline constexpr Ttl kTtl2Hours = 7200;
-inline constexpr Ttl kTtl4Hours = 14400;
-inline constexpr Ttl kTtl6Hours = 21600;
-inline constexpr Ttl kTtl12Hours = 43200;
-inline constexpr Ttl kTtl1Day = 86400;
-inline constexpr Ttl kTtl2Days = 172800;
-inline constexpr Ttl kTtl4Days = 345600;
-inline constexpr Ttl kTtl1Week = 604800;
+inline constexpr Ttl kTtl1Min{60};
+inline constexpr Ttl kTtl5Min{300};
+inline constexpr Ttl kTtl10Min{600};
+inline constexpr Ttl kTtl15Min{900};
+inline constexpr Ttl kTtl1Hour{3600};
+inline constexpr Ttl kTtl2Hours{7200};
+inline constexpr Ttl kTtl4Hours{14400};
+inline constexpr Ttl kTtl6Hours{21600};
+inline constexpr Ttl kTtl12Hours{43200};
+inline constexpr Ttl kTtl1Day{86400};
+inline constexpr Ttl kTtl2Days{172800};
+inline constexpr Ttl kTtl4Days{345600};
+inline constexpr Ttl kTtl1Week{604800};
 
 }  // namespace dnsttl::dns
 

@@ -374,7 +374,7 @@ void encode_rr(WireWriter& w, const ResourceRecord& rr) {
   w.name(rr.name);
   w.u16(static_cast<std::uint16_t>(rr.type()));
   w.u16(static_cast<std::uint16_t>(rr.rclass));
-  w.u32(rr.ttl);
+  w.u32(rr.ttl.value());
   encode_rdata(w, rr.rdata);
 }
 
@@ -383,7 +383,7 @@ ResourceRecord decode_rr(WireReader& r) {
   rr.name = r.name();
   auto type = static_cast<RRType>(r.u16());
   rr.rclass = static_cast<RClass>(r.u16());
-  rr.ttl = r.u32();
+  rr.ttl = Ttl::from_wire(r.u32());
   std::uint16_t rdlength = r.u16();
   rr.rdata = decode_rdata(r, type, rdlength);
   return rr;

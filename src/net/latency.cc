@@ -63,13 +63,13 @@ sim::Duration LatencyModel::rtt(const Location& a, const Location& b,
   if (rng.chance(params_.tail_probability)) {
     rtt_ms += rng.uniform(params_.tail_min_ms, params_.tail_max_ms);
   }
-  return sim::milliseconds(std::max(rtt_ms, 0.1));
+  return sim::approx_milliseconds(std::max(rtt_ms, 0.1));
 }
 
 sim::Duration LatencyModel::expected_rtt(const Location& a,
                                          const Location& b) const {
   double oneway = pair_base_oneway_ms(a, b) + a.access_ms + b.access_ms;
-  return sim::milliseconds(2.0 * oneway);
+  return sim::approx_milliseconds(2.0 * oneway);
 }
 
 }  // namespace dnsttl::net

@@ -73,7 +73,7 @@ QueryOutcome Network::query(const NodeRef& from, Address to,
 
   // Anycast site selection: stable lowest-expected-RTT routing.
   const Site* chosen = nullptr;
-  sim::Duration best = std::numeric_limits<sim::Duration>::max();
+  sim::Duration best = sim::Duration::max();
   for (const auto& site : it->second.sites) {
     sim::Duration expected = latency_.expected_rtt(from.location, site.location);
     if (expected < best) {

@@ -27,7 +27,7 @@ using Address = dns::Ipv4;
 /// miss).
 struct ServerReply {
   dns::Message message;
-  sim::Duration processing = 0;
+  sim::Duration processing{};
 };
 
 /// Anything attached to the network that answers DNS queries.
@@ -53,7 +53,7 @@ struct NodeRef {
 /// Result of one query exchange as seen by the sender.
 struct QueryOutcome {
   std::optional<dns::Message> response;  ///< nullopt on timeout/loss
-  sim::Duration elapsed = 0;  ///< wire RTT + server processing, or the
+  sim::Duration elapsed{};  ///< wire RTT + server processing, or the
                               ///< timeout duration on loss
 };
 

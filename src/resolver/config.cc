@@ -14,8 +14,10 @@ std::string_view to_string(Centricity centricity) {
 
 std::string ResolverConfig::describe() const {
   std::string out{to_string(centricity)};
-  out += " max_ttl=" + std::to_string(max_ttl);
-  if (min_ttl > 0) out += " min_ttl=" + std::to_string(min_ttl);
+  out += " max_ttl=" + std::to_string(max_ttl.value());
+  if (min_ttl > dns::Ttl{}) {
+    out += " min_ttl=" + std::to_string(min_ttl.value());
+  }
   if (link_glue_to_ns) out += " linked-glue";
   if (sticky) out += " sticky";
   if (serve_stale) out += " serve-stale";
@@ -34,7 +36,7 @@ ResolverConfig parent_centric_config() {
 
 ResolverConfig google_like_config() {
   ResolverConfig config;
-  config.max_ttl = 21599;
+  config.max_ttl = dns::Ttl{21599};
   return config;
 }
 

@@ -37,7 +37,7 @@ struct ResolverConfig {
   dns::Ttl max_ttl = dns::kTtl1Week;
 
   /// Cache TTL floor (some resolvers raise very low TTLs).
-  dns::Ttl min_ttl = 0;
+  dns::Ttl min_ttl{};
 
   /// Tie in-bailiwick glue A/AAAA lifetime to the covering NS RRset: when
   /// the NS expires, the address is re-fetched even if its own TTL lives

@@ -37,7 +37,7 @@ std::vector<Profile> paper_profiles() {
   // cached TTLs to minutes for agility).
   {
     ResolverConfig config = child_centric_config();
-    config.max_ttl = 600;
+    config.max_ttl = dns::Ttl{600};
     profiles.push_back({"child-lowcap", config, 0.05});
   }
 

@@ -68,7 +68,7 @@ std::optional<net::ServerReply> RecursiveResolver::handle_query(
   if (query.questions.empty()) {
     auto response = dns::Message::make_response(query);
     response.flags.rcode = dns::Rcode::kFormErr;
-    return net::ServerReply{std::move(response), 0};
+    return net::ServerReply{std::move(response), sim::Duration{}};
   }
   ResolutionResult result = resolve(query.question(), now);
   result.response.id = query.id;
@@ -764,11 +764,12 @@ void RecursiveResolver::maybe_prefetch(const dns::Question& question,
     return;
   }
   auto hit = cache_.peek(question.qname, question.qtype, now);
-  if (!hit || hit->original_ttl == 0) {
+  if (!hit || hit->original_ttl == dns::Ttl{}) {
     return;
   }
-  if (static_cast<double>(hit->rrset.ttl()) >
-      config_.prefetch_fraction * static_cast<double>(hit->original_ttl)) {
+  if (static_cast<double>(hit->rrset.ttl().value()) >
+      config_.prefetch_fraction *
+          static_cast<double>(hit->original_ttl.value())) {
     return;
   }
   // Refresh off the client's critical path; the fresh answer replaces the
@@ -783,11 +784,11 @@ void RecursiveResolver::maybe_prefetch(const dns::Question& question,
 void RecursiveResolver::cache_negative(const dns::Message& response,
                                        const dns::Question& question,
                                        sim::Time now) {
-  dns::Ttl ttl = 60;  // conservative default when no SOA is present
+  dns::Ttl ttl{60};  // conservative default when no SOA is present
   for (const auto& rr : response.authorities) {
     if (rr.type() == dns::RRType::kSOA) {
       const auto& soa = std::get<dns::SoaRdata>(rr.rdata);
-      ttl = std::min(rr.ttl, soa.minimum);  // RFC 2308 §5
+      ttl = std::min(rr.ttl, dns::Ttl(soa.minimum));  // RFC 2308 §5
       break;
     }
   }

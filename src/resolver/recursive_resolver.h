@@ -23,7 +23,7 @@ namespace dnsttl::resolver {
 /// RTT is added by the network.
 struct ResolutionResult {
   dns::Message response;
-  sim::Duration elapsed = 0;       ///< upstream time consumed (0 = pure hit)
+  sim::Duration elapsed{};       ///< upstream time consumed (0 = pure hit)
   bool answered_from_cache = false;
   bool answered_from_referral = false;  ///< parent-centric referral answer
   bool served_stale = false;
@@ -89,7 +89,7 @@ class RecursiveResolver : public net::DnsNode {
 
  private:
   struct Context {
-    sim::Duration elapsed = 0;
+    sim::Duration elapsed{};
     int upstream_queries = 0;
     int depth = 0;  ///< sub-resolution / CNAME recursion depth
     /// Nameserver names whose address fetch is in flight (re-entrancy guard

@@ -28,7 +28,7 @@ class StubResolver {
 
   struct Result {
     std::optional<dns::Message> response;  ///< nullopt: every attempt failed
-    sim::Duration elapsed = 0;             ///< total wall time spent
+    sim::Duration elapsed{};             ///< total wall time spent
     int attempts_used = 0;
     std::optional<net::Address> server;    ///< who finally answered
   };

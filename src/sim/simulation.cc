@@ -7,7 +7,7 @@
 namespace dnsttl::sim {
 
 std::string format_time(Time t) {
-  std::int64_t total_seconds = t / kSecond;
+  std::int64_t total_seconds = t.since_epoch() / kSecond;
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld",
                 static_cast<long long>(total_seconds / 3600),

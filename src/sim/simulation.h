@@ -299,7 +299,7 @@ class Simulation {
   /// audit_interval_ events in audit builds.
   void run_audit() const;
 
-  Time now_ = 0;
+  Time now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t cancelled_ = 0;
@@ -309,8 +309,11 @@ class Simulation {
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
 
+  // lint:allow(raw-time-param) the audit interval counts dispatched events,
+  // not time.
   static constexpr std::uint64_t kDefaultAuditInterval = 1024;
   std::vector<std::function<void()>> audit_hooks_;
+  // lint:allow(raw-time-param) event count, not a time value.
   std::uint64_t audit_interval_ = kDefaultAuditInterval;
   std::uint64_t audit_countdown_ = kDefaultAuditInterval;
 };

@@ -3,35 +3,287 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
+
+#include "check/audit.h"
 
 namespace dnsttl::sim {
 
-/// Virtual time: microseconds since experiment start.  Integral so that
-/// event ordering is exact and runs are reproducible.
-using Time = std::int64_t;
-using Duration = std::int64_t;
+/// Unit-safe virtual time (see docs/architecture.md §Static analysis).
+///
+/// The simulator's base tick is one microsecond, cache TTLs are seconds and
+/// network latencies are milliseconds; before this layer existed all three
+/// travelled as bare int64/uint32 and a seconds-for-microseconds mixup
+/// compiled silently.  `Duration` (a span) and `SimTime` (a point on the
+/// virtual clock) are now distinct wrapper types: construction from a raw
+/// integer is explicit, unit-named factories (`seconds(5)`,
+/// `milliseconds(30)`) are the normal spelling, and cross-type arithmetic
+/// only exists where it is meaningful (time − time = duration, time +
+/// duration = time).  Arithmetic is overflow-checked: audit builds trap
+/// (check::AuditError), non-audit builds wrap deterministically in two's
+/// complement so a release overflow is at least reproducible.
+namespace internal {
 
-inline constexpr Duration kMicrosecond = 1;
-inline constexpr Duration kMillisecond = 1000;
-inline constexpr Duration kSecond = 1000 * kMillisecond;
+/// Throws under the audit preset; never returns.  Kept header-inline so
+/// sim/time.h stays usable from every library without a link dependency.
+[[noreturn]] inline void overflow_trap(const char* op, std::int64_t a,
+                                       std::int64_t b) {
+  throw check::AuditError(std::string("sim time arithmetic overflow: ") + op +
+                          " with operands " + std::to_string(a) + " and " +
+                          std::to_string(b));
+}
+
+constexpr std::int64_t checked_add(std::int64_t a, std::int64_t b,
+                                   const char* op) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    if constexpr (check::kAuditEnabled) {
+      overflow_trap(op, a, b);
+    }
+    // Fall through with the wrapped (two's-complement) value already in r:
+    // deterministic, reproducible with the same seed.
+  }
+  return r;
+}
+
+constexpr std::int64_t checked_sub(std::int64_t a, std::int64_t b,
+                                   const char* op) {
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) {
+    if constexpr (check::kAuditEnabled) {
+      overflow_trap(op, a, b);
+    }
+  }
+  return r;
+}
+
+constexpr std::int64_t checked_mul(std::int64_t a, std::int64_t b,
+                                   const char* op) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    if constexpr (check::kAuditEnabled) {
+      overflow_trap(op, a, b);
+    }
+  }
+  return r;
+}
+
+}  // namespace internal
+
+/// A span of virtual time.  Internally integral microseconds so that event
+/// ordering is exact and runs are reproducible; use count() only at
+/// serialization boundaries, unit factories everywhere else.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  /// Raw-tick (microsecond) construction.  Explicit on purpose: call sites
+  /// should almost always prefer a unit-named factory.
+  constexpr explicit Duration(std::int64_t microsecond_ticks) noexcept
+      : us_(microsecond_ticks) {}
+
+  /// Microsecond tick count.  The escape hatch to raw integers; arithmetic
+  /// on the result is outside the checked-unit regime.
+  [[nodiscard]] constexpr std::int64_t count() const noexcept { return us_; }
+
+  [[nodiscard]] friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(internal::checked_add(a.us_, b.us_, "Duration+Duration"));
+  }
+  [[nodiscard]] friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(internal::checked_sub(a.us_, b.us_, "Duration-Duration"));
+  }
+  [[nodiscard]] constexpr Duration operator-() const {
+    return Duration(internal::checked_sub(0, us_, "-Duration"));
+  }
+  [[nodiscard]] friend constexpr Duration operator*(Duration d,
+                                                    std::int64_t k) {
+    return Duration(internal::checked_mul(d.us_, k, "Duration*int"));
+  }
+  [[nodiscard]] friend constexpr Duration operator*(std::int64_t k,
+                                                    Duration d) {
+    return d * k;
+  }
+  [[nodiscard]] friend constexpr Duration operator/(Duration d,
+                                                    std::int64_t k) {
+    return Duration(d.us_ / k);
+  }
+  /// Ratio of two spans (e.g. remaining / kSecond for whole seconds).
+  [[nodiscard]] friend constexpr std::int64_t operator/(Duration a,
+                                                        Duration b) {
+    return a.us_ / b.us_;
+  }
+  [[nodiscard]] friend constexpr Duration operator%(Duration a, Duration b) {
+    return Duration(a.us_ % b.us_);
+  }
+
+  constexpr Duration& operator+=(Duration other) {
+    us_ = internal::checked_add(us_, other.us_, "Duration+=Duration");
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    us_ = internal::checked_sub(us_, other.us_, "Duration-=Duration");
+    return *this;
+  }
+  constexpr Duration& operator*=(std::int64_t k) {
+    us_ = internal::checked_mul(us_, k, "Duration*=int");
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
+
+  /// Extremal spans, chrono-style.  Spelled as members because the generic
+  /// std::numeric_limits<Duration> is NOT specialized and silently yields
+  /// Duration() — use these instead of numeric_limits.
+  [[nodiscard]] static constexpr Duration max() noexcept {
+    return Duration(INT64_MAX);
+  }
+  [[nodiscard]] static constexpr Duration min() noexcept {
+    return Duration(INT64_MIN);
+  }
+
+ private:
+  std::int64_t us_ = 0;
+};
+
+/// A point on the virtual clock: microseconds since experiment start.
+/// Points and spans do not mix: SimTime + SimTime does not exist, and
+/// SimTime − SimTime yields a Duration.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  /// Raw-tick construction (microseconds since epoch); explicit on purpose.
+  constexpr explicit SimTime(std::int64_t microsecond_ticks) noexcept
+      : us_(microsecond_ticks) {}
+
+  [[nodiscard]] static constexpr SimTime epoch() noexcept { return {}; }
+
+  /// Microsecond tick count since epoch (serialization escape hatch).
+  [[nodiscard]] constexpr std::int64_t ticks() const noexcept { return us_; }
+
+  [[nodiscard]] constexpr Duration since_epoch() const noexcept {
+    return Duration(us_);
+  }
+
+  [[nodiscard]] friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime(
+        internal::checked_add(t.us_, d.count(), "SimTime+Duration"));
+  }
+  [[nodiscard]] friend constexpr SimTime operator+(Duration d, SimTime t) {
+    return t + d;
+  }
+  [[nodiscard]] friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime(
+        internal::checked_sub(t.us_, d.count(), "SimTime-Duration"));
+  }
+  [[nodiscard]] friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration(internal::checked_sub(a.us_, b.us_, "SimTime-SimTime"));
+  }
+
+  constexpr SimTime& operator+=(Duration d) {
+    us_ = internal::checked_add(us_, d.count(), "SimTime+=Duration");
+    return *this;
+  }
+  constexpr SimTime& operator-=(Duration d) {
+    us_ = internal::checked_sub(us_, d.count(), "SimTime-=Duration");
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+ private:
+  std::int64_t us_ = 0;
+};
+
+/// Scaling a span by a floating factor truncates; that needs the
+/// approx_scale() spelling so the truncation is visible at the call site.
+/// (Constrained templates so they match float/double exactly without making
+/// `d * 2` ambiguous.)
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration operator*(Duration, F) = delete;
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration operator*(F, Duration) = delete;
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration operator/(Duration, F) = delete;
+
+/// Historical spelling; the event loop and every subsystem use sim::Time
+/// for clock readings.
+using Time = SimTime;
+
+/// The point @p d after the epoch — the usual way to name an absolute
+/// experiment timestamp: `run_until(sim::at(2 * sim::kDay))`.
+[[nodiscard]] constexpr SimTime at(Duration d) noexcept {
+  return SimTime(d.count());
+}
+
+inline constexpr Duration kMicrosecond{1};
+inline constexpr Duration kMillisecond{1000};
+inline constexpr Duration kSecond{1000 * 1000};
 inline constexpr Duration kMinute = 60 * kSecond;
 inline constexpr Duration kHour = 60 * kMinute;
 inline constexpr Duration kDay = 24 * kHour;
 
-constexpr Duration milliseconds(double ms) {
-  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+/// Exact unit-named factories.  Integer-only: passing a double is a
+/// compile error (deleted overloads below) — fractional quantities must use
+/// the approx_ spellings, which make the truncation explicit.
+[[nodiscard]] constexpr Duration microseconds(std::int64_t n) noexcept {
+  return Duration(n);
+}
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t n) {
+  return Duration(internal::checked_mul(n, kMillisecond.count(),
+                                        "milliseconds(int)"));
+}
+[[nodiscard]] constexpr Duration seconds(std::int64_t n) {
+  return Duration(internal::checked_mul(n, kSecond.count(), "seconds(int)"));
+}
+[[nodiscard]] constexpr Duration minutes(std::int64_t n) {
+  return Duration(internal::checked_mul(n, kMinute.count(), "minutes(int)"));
+}
+[[nodiscard]] constexpr Duration hours(std::int64_t n) {
+  return Duration(internal::checked_mul(n, kHour.count(), "hours(int)"));
+}
+[[nodiscard]] constexpr Duration days(std::int64_t n) {
+  return Duration(internal::checked_mul(n, kDay.count(), "days(int)"));
+}
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration microseconds(F) = delete;
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration milliseconds(F) = delete;
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration seconds(F) = delete;
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration minutes(F) = delete;
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration hours(F) = delete;
+template <typename F, typename = std::enable_if_t<std::is_floating_point_v<F>>>
+constexpr Duration days(F) = delete;
+
+/// Fractional factories: truncate toward zero exactly like the historical
+/// `static_cast<Duration>(x * kUnit)` did, but say so in their name.
+[[nodiscard]] constexpr Duration approx_milliseconds(double ms) {
+  return Duration(
+      static_cast<std::int64_t>(ms * static_cast<double>(kMillisecond.count())));
+}
+[[nodiscard]] constexpr Duration approx_seconds(double s) {
+  return Duration(
+      static_cast<std::int64_t>(s * static_cast<double>(kSecond.count())));
 }
 
-constexpr Duration seconds(double s) {
-  return static_cast<Duration>(s * static_cast<double>(kSecond));
+/// Scales a span by a floating factor, truncating toward zero.
+[[nodiscard]] constexpr Duration approx_scale(Duration d, double factor) {
+  return Duration(
+      static_cast<std::int64_t>(static_cast<double>(d.count()) * factor));
 }
 
-constexpr double to_milliseconds(Duration d) {
-  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+// lint:allow(raw-time-param) conversion boundary: these produce doubles for
+// the stats layer and are the sanctioned Duration→float escape hatch.
+[[nodiscard]] constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d.count()) /
+         static_cast<double>(kMillisecond.count());
 }
-
-constexpr double to_seconds(Duration d) {
-  return static_cast<double>(d) / static_cast<double>(kSecond);
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) /
+         static_cast<double>(kSecond.count());
 }
 
 /// "h:mm:ss" rendering for logs.

@@ -7,7 +7,7 @@ namespace dnsttl::stats {
 
 void BinnedSeries::record(const std::string& series, sim::Time at,
                           double value) {
-  auto bin = static_cast<std::size_t>(at / bin_width_);
+  auto bin = static_cast<std::size_t>(at.since_epoch() / bin_width_);
   series_[series][bin] += value;
   max_bin_ = std::max(max_bin_, bin);
 }
@@ -43,9 +43,8 @@ std::string BinnedSeries::render() const {
   out += "\n";
   char buf[64];
   for (std::size_t bin = 0; bin < bin_count(); ++bin) {
-    double minute = sim::to_seconds(static_cast<sim::Duration>(bin) *
-                                    bin_width_) /
-                    60.0;
+    double minute =
+        sim::to_seconds(bin_width_ * static_cast<std::int64_t>(bin)) / 60.0;
     std::snprintf(buf, sizeof(buf), "%6.0f", minute);
     out += buf;
     for (const auto& name : names) {

@@ -90,7 +90,7 @@ TEST(PlatformTest, HomeResolverSharesProbePop) {
 
 TEST(MeasurementTest, SchedulesOneQueryPerVpPerRound) {
   core::World world;
-  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                 net::Location{net::Region::kSA, 1.0});
   auto platform = Platform::build(world.network(), world.hints(),
                                   world.root_zone(), small_spec(),
@@ -110,7 +110,7 @@ TEST(MeasurementTest, SchedulesOneQueryPerVpPerRound) {
 
 TEST(MeasurementTest, PerProbeQnamesAreDistinct) {
   core::World world;
-  auto zone = world.add_tld("test", "ns1", 3600, 3600, 3600,
+  auto zone = world.add_tld("test", "ns1", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kEU, 1.0});
   PlatformSpec spec_p = small_spec();
   spec_p.probe_count = 10;
@@ -118,7 +118,7 @@ TEST(MeasurementTest, PerProbeQnamesAreDistinct) {
                                   world.root_zone(), spec_p, world.rng());
   for (const auto& probe : platform.probes()) {
     zone->add(dns::make_aaaa(
-        dns::Name::from_string("p" + std::to_string(probe.id) + ".test"), 60,
+        dns::Name::from_string("p" + std::to_string(probe.id) + ".test"), dns::Ttl{60},
         dns::Ipv6::from_string("2001:db8::1")));
   }
   MeasurementSpec spec;
@@ -139,7 +139,7 @@ TEST(MeasurementTest, PerProbeQnamesAreDistinct) {
 
 TEST(MeasurementTest, TtlAndRttCdfsCoverValidSamples) {
   core::World world;
-  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                 net::Location{net::Region::kSA, 1.0});
   auto platform = Platform::build(world.network(), world.hints(),
                                   world.root_zone(), small_spec(),

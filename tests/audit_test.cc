@@ -84,7 +84,7 @@ TEST(SimulationAudit, StormOfScheduleCancelRunStaysConsistent) {
     // schedule further events — exercising slab reuse mid-run).
     for (int i = 0; i < 50; ++i) {
       const sim::Duration delay =
-          static_cast<sim::Duration>(rng.below(90) + 1) * sim::kSecond;
+          sim::seconds(static_cast<std::int64_t>(rng.below(90) + 1));
       ids.push_back(sim.schedule_after(delay, [&sim, &fired, &rng] {
         ++fired;
         if (rng.below(4) == 0) {
@@ -126,7 +126,7 @@ TEST(SimulationAudit, PeriodicHookFiresOnlyInAuditBuilds) {
   std::uint64_t hook_calls = 0;
   sim.add_audit_hook([&hook_calls] { ++hook_calls; });
   for (int i = 0; i < 200; ++i) {
-    sim.schedule_after(static_cast<sim::Duration>(i) * sim::kMillisecond,
+    sim.schedule_after(sim::milliseconds(static_cast<std::int64_t>(i)),
                        [] {});
   }
   sim.run();
@@ -151,10 +151,10 @@ TEST(CacheAudit, EmptyCacheValidates) {
 TEST(CacheAudit, RandomizedMutationSoakStaysConsistent) {
   cache::Cache cache;
   Lcg rng(0xcac4e);
-  sim::Time now = 0;
+  sim::Time now{};
 
   for (int op = 0; op < 4000; ++op) {
-    now += static_cast<sim::Duration>(rng.below(5)) * sim::kSecond;
+    now += sim::seconds(static_cast<std::int64_t>(rng.below(5)));
     const Name name = numbered_name(rng.below(300));
     switch (rng.below(10)) {
       case 0:
@@ -162,7 +162,7 @@ TEST(CacheAudit, RandomizedMutationSoakStaysConsistent) {
       case 2:
       case 3: {  // positive insert, mixed credibility
         dns::RRset rrset(name, dns::RClass::kIN,
-                         static_cast<dns::Ttl>(rng.below(600) + 1));
+                         dns::Ttl::of_seconds(static_cast<std::int64_t>(rng.below(600) + 1)));
         rrset.add(dns::ARdata{
             dns::Ipv4{static_cast<std::uint32_t>(rng.next())}});
         const auto credibility =
@@ -173,7 +173,7 @@ TEST(CacheAudit, RandomizedMutationSoakStaysConsistent) {
       }
       case 4: {  // negative insert
         cache.insert_negative(name, RRType::kTXT, dns::Rcode::kNXDomain,
-                              static_cast<dns::Ttl>(rng.below(300) + 1), now);
+                              dns::Ttl::of_seconds(static_cast<std::int64_t>(rng.below(300) + 1)), now);
         break;
       }
       case 5:
@@ -201,13 +201,13 @@ TEST(CacheAudit, RandomizedMutationSoakStaysConsistent) {
 
 TEST(CacheAudit, TombstoneChurnKeepsProbeChainsReachable) {
   cache::Cache cache;
-  sim::Time now = 0;
+  sim::Time now{};
   // Insert/evict waves force tombstones and rehash-on-grow; every entry
   // that should be present must remain reachable through its probe chain —
   // exactly what Table::validate() re-probes for.
   for (int wave = 0; wave < 8; ++wave) {
     for (std::uint64_t i = 0; i < 256; ++i) {
-      dns::RRset rrset(numbered_name(i), dns::RClass::kIN, 300);
+      dns::RRset rrset(numbered_name(i), dns::RClass::kIN, dns::Ttl{300});
       rrset.add(dns::ARdata{dns::Ipv4{static_cast<std::uint32_t>(i)}});
       cache.insert(rrset, cache::Credibility::kAuthAnswer, now);
     }
@@ -230,10 +230,10 @@ TEST(CacheAudit, SimulationHookAuditsCacheDuringRun) {
   Lcg rng(0x417);
   for (int i = 0; i < 100; ++i) {
     const sim::Duration at =
-        static_cast<sim::Duration>(i + 1) * sim::kSecond;
+        sim::seconds(static_cast<std::int64_t>(i + 1));
     const std::uint64_t serial = rng.below(40);
     sim.schedule_after(at, [&cache, &sim, serial] {
-      dns::RRset rrset(numbered_name(serial), dns::RClass::kIN, 120);
+      dns::RRset rrset(numbered_name(serial), dns::RClass::kIN, dns::Ttl{120});
       rrset.add(dns::ARdata{dns::Ipv4{static_cast<std::uint32_t>(serial)}});
       cache.insert(rrset, cache::Credibility::kAuthAnswer, sim.now());
       cache.purge_expired(sim.now());

@@ -27,15 +27,15 @@ namespace dnsttl::cache {
 namespace {
 
 struct ModelEntry {
-  sim::Time expires = 0;
-  dns::Ttl original_ttl = 0;
-  dns::Ttl stored_ttl = 0;  // after clamping
+  sim::Time expires{};
+  dns::Ttl original_ttl{};
+  dns::Ttl stored_ttl{};  // after clamping
   Credibility credibility = Credibility::kGlue;
 };
 
 struct ModelNegative {
   dns::Rcode rcode = dns::Rcode::kNXDomain;
-  sim::Time expires = 0;
+  sim::Time expires{};
 };
 
 /// The oracle: ordered map keyed on canonical name text + type, executing
@@ -62,7 +62,7 @@ class CacheOracle {
     entry.original_ttl = ttl;
     entry.stored_ttl = std::clamp(ttl, config_.min_ttl, config_.max_ttl);
     entry.expires =
-        now + static_cast<sim::Duration>(entry.stored_ttl) * sim::kSecond;
+        now + sim::seconds(entry.stored_ttl.value());
     entry.credibility = credibility;
     entries_[key] = entry;
     negatives_.erase(key);
@@ -73,7 +73,7 @@ class CacheOracle {
                        dns::Rcode rcode, dns::Ttl ttl, sim::Time now) {
     dns::Ttl effective = std::clamp(ttl, config_.min_ttl, config_.max_ttl);
     negatives_[{name.to_string(), type}] = ModelNegative{
-        rcode, now + static_cast<sim::Duration>(effective) * sim::kSecond};
+        rcode, now + sim::seconds(effective.value())};
   }
 
   /// Returns remaining TTL on a live hit, nullopt on a miss.
@@ -83,7 +83,7 @@ class CacheOracle {
     if (it == entries_.end() || it->second.expires <= now) {
       return std::nullopt;
     }
-    return static_cast<dns::Ttl>((it->second.expires - now) / sim::kSecond);
+    return dns::Ttl::of_seconds(static_cast<std::int64_t>((it->second.expires - now) / sim::kSecond));
   }
 
   std::optional<dns::Ttl> lookup_negative(const dns::Name& name,
@@ -93,7 +93,7 @@ class CacheOracle {
     if (it == negatives_.end() || it->second.expires <= now) {
       return std::nullopt;
     }
-    return static_cast<dns::Ttl>((it->second.expires - now) / sim::kSecond);
+    return dns::Ttl::of_seconds(static_cast<std::int64_t>((it->second.expires - now) / sim::kSecond));
   }
 
   bool evict(const dns::Name& name, dns::RRType type) {
@@ -101,7 +101,8 @@ class CacheOracle {
   }
 
   std::size_t purge_expired(sim::Time now) {
-    sim::Duration grace = config_.serve_stale ? config_.stale_window : 0;
+    sim::Duration grace =
+        config_.serve_stale ? config_.stale_window : sim::Duration{};
     std::size_t removed = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->second.expires + grace <= now) {
@@ -153,14 +154,14 @@ void run_trace(const Cache::Config& config, std::uint64_t seed,
         ".example"));
   }
 
-  sim::Time now = 0;
+  sim::Time now{};
   std::uint32_t value = 0;
   for (int op = 0; op < 4000; ++op) {
-    now += static_cast<sim::Duration>(rng.uniform_int(0, 3)) * sim::kSecond;
+    now += sim::seconds(static_cast<std::int64_t>(rng.uniform_int(0, 3)));
     const dns::Name& name = names[rng.uniform_int(0, names.size() - 1)];
     double action = rng.uniform();
     if (action < 0.45) {
-      auto ttl = static_cast<dns::Ttl>(rng.uniform_int(0, 40));
+      auto ttl = dns::Ttl::of_seconds(static_cast<std::int64_t>(rng.uniform_int(0, 40)));
       Credibility credibility =
           exercise_credibility && rng.chance(0.5) ? Credibility::kGlue
                                                   : Credibility::kAuthAnswer;
@@ -184,7 +185,7 @@ void run_trace(const Cache::Config& config, std::uint64_t seed,
                 oracle.evict(name, dns::RRType::kA))
           << "evict divergence at op " << op;
     } else if (action < 0.90) {
-      auto ttl = static_cast<dns::Ttl>(rng.uniform_int(1, 20));
+      auto ttl = dns::Ttl::of_seconds(static_cast<std::int64_t>(rng.uniform_int(1, 20)));
       cache.insert_negative(name, dns::RRType::kA, dns::Rcode::kNXDomain, ttl,
                             now);
       oracle.insert_negative(name, dns::RRType::kA, dns::Rcode::kNXDomain,
@@ -200,7 +201,8 @@ void run_trace(const Cache::Config& config, std::uint64_t seed,
       }
     } else {
       ASSERT_EQ(cache.purge_expired(now), oracle.purge_expired(now))
-          << "purge count divergence at op " << op << " now " << now;
+          << "purge count divergence at op " << op << " now "
+          << now.since_epoch().count();
     }
     ASSERT_EQ(cache.size(), oracle.size()) << "size divergence at op " << op;
   }
@@ -234,8 +236,8 @@ TEST(CacheModelTest, ServeStaleGraceMatchesMapOracle) {
 
 TEST(CacheModelTest, MinTtlClampMatchesMapOracle) {
   Cache::Config config;
-  config.min_ttl = 15;
-  config.max_ttl = 30;
+  config.min_ttl = dns::Ttl{15};
+  config.max_ttl = dns::Ttl{30};
   for (std::uint64_t seed = 300; seed <= 303; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     run_trace(config, seed, /*exercise_credibility=*/false);
@@ -250,10 +252,10 @@ TEST(CacheModelTest, RepeatedRefreshKeepsPurgeExact) {
   Cache cache;
   CacheOracle oracle(Cache::Config{});
   auto name = dns::Name::from_string("hot.model.example");
-  sim::Time now = 0;
+  sim::Time now{};
   for (int round = 0; round < 5000; ++round) {
-    cache.insert(make_rrset(name, 10, round), Credibility::kAuthAnswer, now);
-    oracle.insert(name, dns::RRType::kA, 10, Credibility::kAuthAnswer, now);
+    cache.insert(make_rrset(name, dns::Ttl{10}, round), Credibility::kAuthAnswer, now);
+    oracle.insert(name, dns::RRType::kA, dns::Ttl{10}, Credibility::kAuthAnswer, now);
     now += sim::kSecond;
   }
   // The entry was refreshed every second with a 10 s TTL: still live.

@@ -27,20 +27,20 @@ dns::RRset make_ns_set(const std::string& zone, dns::Ttl ttl,
 
 TEST(CacheTest, HitWithinTtlCountsDown) {
   Cache cache;
-  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  cache.insert(make_a_set("x.org", dns::Ttl{300}), Credibility::kAuthAnswer, sim::Time{});
   auto hit = cache.lookup(Name::from_string("x.org"), RRType::kA,
-                          100 * kSecond);
+                          sim::at(100 * kSecond));
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->rrset.ttl(), 200u);
-  EXPECT_EQ(hit->original_ttl, 300u);
+  EXPECT_EQ(hit->rrset.ttl(), dns::Ttl{200});
+  EXPECT_EQ(hit->original_ttl, dns::Ttl{300});
   EXPECT_FALSE(hit->stale);
 }
 
 TEST(CacheTest, MissAfterExpiry) {
   Cache cache;
-  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  cache.insert(make_a_set("x.org", dns::Ttl{300}), Credibility::kAuthAnswer, sim::Time{});
   EXPECT_FALSE(
-      cache.lookup(Name::from_string("x.org"), RRType::kA, 300 * kSecond)
+      cache.lookup(Name::from_string("x.org"), RRType::kA, sim::at(300 * kSecond))
           .has_value());
   EXPECT_EQ(cache.stats().expired, 1u);
 }
@@ -48,80 +48,80 @@ TEST(CacheTest, MissAfterExpiry) {
 TEST(CacheTest, MaxTtlClampsLongTtls) {
   // Google-style 21599 s cap: the Figure 2 plateau.
   Cache::Config config;
-  config.max_ttl = 21599;
+  config.max_ttl = dns::Ttl{21599};
   Cache cache(config);
-  cache.insert(make_ns_set("google.co", 345600, "ns1.google.com"),
-               Credibility::kAuthAnswer, 0);
-  auto hit = cache.lookup(Name::from_string("google.co"), RRType::kNS, 0);
+  cache.insert(make_ns_set("google.co", dns::Ttl{345600}, "ns1.google.com"),
+               Credibility::kAuthAnswer, sim::Time{});
+  auto hit = cache.lookup(Name::from_string("google.co"), RRType::kNS, sim::Time{});
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->rrset.ttl(), 21599u);
+  EXPECT_EQ(hit->rrset.ttl(), dns::Ttl{21599});
 }
 
 TEST(CacheTest, MinTtlRaisesShortTtls) {
   Cache::Config config;
-  config.min_ttl = 60;
+  config.min_ttl = dns::Ttl{60};
   Cache cache(config);
-  cache.insert(make_a_set("x.org", 5), Credibility::kAuthAnswer, 0);
-  auto hit = cache.lookup(Name::from_string("x.org"), RRType::kA, 0);
+  cache.insert(make_a_set("x.org", dns::Ttl{5}), Credibility::kAuthAnswer, sim::Time{});
+  auto hit = cache.lookup(Name::from_string("x.org"), RRType::kA, sim::Time{});
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->rrset.ttl(), 60u);
+  EXPECT_EQ(hit->rrset.ttl(), dns::Ttl{60});
 }
 
 TEST(CacheTest, HigherCredibilityReplacesGlue) {
   // Child-centric: the child's AA answer overrides parent glue (§3).
   Cache cache;
-  cache.insert(make_ns_set("uy", 172800, "a.nic.uy"), Credibility::kGlue, 0);
-  cache.insert(make_ns_set("uy", 300, "a.nic.uy"), Credibility::kAuthAnswer,
-               0);
-  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, 0);
+  cache.insert(make_ns_set("uy", dns::Ttl{172800}, "a.nic.uy"), Credibility::kGlue, sim::Time{});
+  cache.insert(make_ns_set("uy", dns::Ttl{300}, "a.nic.uy"), Credibility::kAuthAnswer,
+               sim::Time{});
+  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, sim::Time{});
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->rrset.ttl(), 300u);
+  EXPECT_EQ(hit->rrset.ttl(), dns::Ttl{300});
   EXPECT_EQ(hit->credibility, Credibility::kAuthAnswer);
 }
 
 TEST(CacheTest, LowerCredibilityRefusedWhileLive) {
   // RFC 2181 §5.4.1: glue must not override a live authoritative answer.
   Cache cache;
-  cache.insert(make_ns_set("uy", 300, "a.nic.uy"), Credibility::kAuthAnswer,
-               0);
-  EXPECT_FALSE(cache.insert(make_ns_set("uy", 172800, "a.nic.uy"),
-                            Credibility::kGlue, 0));
-  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, 0);
-  EXPECT_EQ(hit->rrset.ttl(), 300u);
+  cache.insert(make_ns_set("uy", dns::Ttl{300}, "a.nic.uy"), Credibility::kAuthAnswer,
+               sim::Time{});
+  EXPECT_FALSE(cache.insert(make_ns_set("uy", dns::Ttl{172800}, "a.nic.uy"),
+                            Credibility::kGlue, sim::Time{}));
+  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, sim::Time{});
+  EXPECT_EQ(hit->rrset.ttl(), dns::Ttl{300});
   EXPECT_EQ(cache.stats().downgrades_refused, 1u);
 }
 
 TEST(CacheTest, LowerCredibilityAcceptedAfterExpiry) {
   Cache cache;
-  cache.insert(make_ns_set("uy", 300, "a.nic.uy"), Credibility::kAuthAnswer,
-               0);
-  EXPECT_TRUE(cache.insert(make_ns_set("uy", 172800, "a.nic.uy"),
-                           Credibility::kGlue, 301 * kSecond));
+  cache.insert(make_ns_set("uy", dns::Ttl{300}, "a.nic.uy"), Credibility::kAuthAnswer,
+               sim::Time{});
+  EXPECT_TRUE(cache.insert(make_ns_set("uy", dns::Ttl{172800}, "a.nic.uy"),
+                           Credibility::kGlue, sim::at(301 * kSecond)));
 }
 
 TEST(CacheTest, ParentCentricKeepsGlueAgainstAuthUpgrade) {
   Cache::Config config;
   config.prefer_parent_delegation = true;
   Cache cache(config);
-  cache.insert(make_ns_set("uy", 172800, "a.nic.uy"), Credibility::kGlue, 0);
-  EXPECT_FALSE(cache.insert(make_ns_set("uy", 300, "a.nic.uy"),
-                            Credibility::kAuthAnswer, 0));
-  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, 0);
-  EXPECT_EQ(hit->rrset.ttl(), 172800u);
+  cache.insert(make_ns_set("uy", dns::Ttl{172800}, "a.nic.uy"), Credibility::kGlue, sim::Time{});
+  EXPECT_FALSE(cache.insert(make_ns_set("uy", dns::Ttl{300}, "a.nic.uy"),
+                            Credibility::kAuthAnswer, sim::Time{}));
+  auto hit = cache.lookup(Name::from_string("uy"), RRType::kNS, sim::Time{});
+  EXPECT_EQ(hit->rrset.ttl(), dns::Ttl{172800});
 }
 
 TEST(CacheTest, SameCredibilityReplaceIsConfigurable) {
   Cache::Config config;
   config.replace_same_credibility = false;
   Cache cache(config);
-  cache.insert(make_a_set("ns1.sub.example", 7200, "1.1.1.1"),
-               Credibility::kGlue, 0);
+  cache.insert(make_a_set("ns1.sub.example", dns::Ttl{7200}, "1.1.1.1"),
+               Credibility::kGlue, sim::Time{});
   // A refresh with a new address is ignored while the old entry lives —
   // the §4.2 "ride the cached A to 120 minutes" minority.
-  EXPECT_FALSE(cache.insert(make_a_set("ns1.sub.example", 7200, "2.2.2.2"),
-                            Credibility::kGlue, 3600 * kSecond));
+  EXPECT_FALSE(cache.insert(make_a_set("ns1.sub.example", dns::Ttl{7200}, "2.2.2.2"),
+                            Credibility::kGlue, sim::at(3600 * kSecond)));
   auto hit = cache.lookup(Name::from_string("ns1.sub.example"), RRType::kA,
-                          3600 * kSecond);
+                          sim::at(3600 * kSecond));
   EXPECT_EQ(dns::rdata_to_string(hit->rrset.rdatas()[0]), "1.1.1.1");
 }
 
@@ -130,22 +130,22 @@ TEST(CacheTest, GlueLinkedToNsDiesWithNs) {
   // covering NS RRset does.
   Cache cache;
   Name zone = Name::from_string("sub.cachetest.net");
-  cache.insert(make_ns_set("sub.cachetest.net", 3600,
+  cache.insert(make_ns_set("sub.cachetest.net", dns::Ttl{3600},
                            "ns1.sub.cachetest.net"),
-               Credibility::kGlue, 0);
-  cache.insert(make_a_set("ns1.sub.cachetest.net", 7200),
-               Credibility::kGlue, 0, zone);
+               Credibility::kGlue, sim::Time{});
+  cache.insert(make_a_set("ns1.sub.cachetest.net", dns::Ttl{7200}),
+               Credibility::kGlue, sim::Time{}, zone);
 
   // At t=30min both live.
   EXPECT_TRUE(cache
                   .lookup(Name::from_string("ns1.sub.cachetest.net"),
-                          RRType::kA, 1800 * kSecond)
+                          RRType::kA, sim::at(1800 * kSecond))
                   .has_value());
   // At t=61min the NS is gone; the A has 1h of its own TTL left but is
   // dropped anyway.
   EXPECT_FALSE(cache
                    .lookup(Name::from_string("ns1.sub.cachetest.net"),
-                           RRType::kA, 3660 * kSecond)
+                           RRType::kA, sim::at(3660 * kSecond))
                    .has_value());
   EXPECT_EQ(cache.stats().ns_linked_drops, 1u);
 }
@@ -155,14 +155,14 @@ TEST(CacheTest, UnlinkedGlueSurvivesNsExpiry) {
   config.link_glue_to_ns = false;
   Cache cache(config);
   Name zone = Name::from_string("sub.cachetest.net");
-  cache.insert(make_ns_set("sub.cachetest.net", 3600,
+  cache.insert(make_ns_set("sub.cachetest.net", dns::Ttl{3600},
                            "ns1.sub.cachetest.net"),
-               Credibility::kGlue, 0);
-  cache.insert(make_a_set("ns1.sub.cachetest.net", 7200),
-               Credibility::kGlue, 0, zone);
+               Credibility::kGlue, sim::Time{});
+  cache.insert(make_a_set("ns1.sub.cachetest.net", dns::Ttl{7200}),
+               Credibility::kGlue, sim::Time{}, zone);
   EXPECT_TRUE(cache
                   .lookup(Name::from_string("ns1.sub.cachetest.net"),
-                          RRType::kA, 3660 * kSecond)
+                          RRType::kA, sim::at(3660 * kSecond))
                   .has_value());
 }
 
@@ -171,86 +171,86 @@ TEST(CacheTest, ServeStaleOnlyWhenAllowed) {
   config.serve_stale = true;
   config.stale_window = 3600 * kSecond;
   Cache cache(config);
-  cache.insert(make_a_set("x.org", 60), Credibility::kAuthAnswer, 0);
+  cache.insert(make_a_set("x.org", dns::Ttl{60}), Credibility::kAuthAnswer, sim::Time{});
 
   // Normal lookup past expiry: miss.
   EXPECT_FALSE(cache.lookup(Name::from_string("x.org"), RRType::kA,
-                            120 * kSecond, false)
+                            sim::at(120 * kSecond), false)
                    .has_value());
   // Upstream-failed lookup: stale answer with short TTL.
   auto stale = cache.lookup(Name::from_string("x.org"), RRType::kA,
-                            120 * kSecond, true);
+                            sim::at(120 * kSecond), true);
   ASSERT_TRUE(stale.has_value());
   EXPECT_TRUE(stale->stale);
-  EXPECT_EQ(stale->rrset.ttl(), 30u);
+  EXPECT_EQ(stale->rrset.ttl(), dns::Ttl{30});
   // Past the stale window: gone for good.
   EXPECT_FALSE(cache.lookup(Name::from_string("x.org"), RRType::kA,
-                            2 * 3600 * kSecond, true)
+                            sim::at(2 * 3600 * kSecond), true)
                    .has_value());
 }
 
 TEST(CacheTest, NegativeCacheHonoursTtl) {
   Cache cache;
   cache.insert_negative(Name::from_string("nx.org"), RRType::kA,
-                        dns::Rcode::kNXDomain, 60, 0);
+                        dns::Rcode::kNXDomain, dns::Ttl{60}, sim::Time{});
   auto hit = cache.lookup_negative(Name::from_string("nx.org"), RRType::kA,
-                                   30 * kSecond);
+                                   sim::at(30 * kSecond));
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->rcode, dns::Rcode::kNXDomain);
-  EXPECT_EQ(hit->remaining, 30u);
+  EXPECT_EQ(hit->remaining, dns::Ttl{30});
   EXPECT_FALSE(cache
                    .lookup_negative(Name::from_string("nx.org"), RRType::kA,
-                                    61 * kSecond)
+                                    sim::at(61 * kSecond))
                    .has_value());
 }
 
 TEST(CacheTest, PositiveInsertClearsNegative) {
   Cache cache;
   cache.insert_negative(Name::from_string("x.org"), RRType::kA,
-                        dns::Rcode::kNXDomain, 600, 0);
-  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer,
-               10 * kSecond);
+                        dns::Rcode::kNXDomain, dns::Ttl{600}, sim::Time{});
+  cache.insert(make_a_set("x.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(10 * kSecond));
   EXPECT_FALSE(cache
                    .lookup_negative(Name::from_string("x.org"), RRType::kA,
-                                    20 * kSecond)
+                                    sim::at(20 * kSecond))
                    .has_value());
 }
 
 TEST(CacheTest, EvictAndClear) {
   Cache cache;
-  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  cache.insert(make_a_set("x.org", dns::Ttl{300}), Credibility::kAuthAnswer, sim::Time{});
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_TRUE(cache.evict(Name::from_string("x.org"), RRType::kA));
   EXPECT_FALSE(cache.evict(Name::from_string("x.org"), RRType::kA));
-  cache.insert(make_a_set("y.org", 300), Credibility::kAuthAnswer, 0);
+  cache.insert(make_a_set("y.org", dns::Ttl{300}), Credibility::kAuthAnswer, sim::Time{});
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(CacheTest, PurgeExpiredRemovesOnlyDeadEntries) {
   Cache cache;
-  cache.insert(make_a_set("short.org", 60), Credibility::kAuthAnswer, 0);
-  cache.insert(make_a_set("long.org", 3600), Credibility::kAuthAnswer, 0);
-  EXPECT_EQ(cache.purge_expired(120 * kSecond), 1u);
+  cache.insert(make_a_set("short.org", dns::Ttl{60}), Credibility::kAuthAnswer, sim::Time{});
+  cache.insert(make_a_set("long.org", dns::Ttl{3600}), Credibility::kAuthAnswer, sim::Time{});
+  EXPECT_EQ(cache.purge_expired(sim::at(120 * kSecond)), 1u);
   EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(CacheTest, PeekDoesNotTouchStats) {
   Cache cache;
-  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
-  cache.peek(Name::from_string("x.org"), RRType::kA, 0);
+  cache.insert(make_a_set("x.org", dns::Ttl{300}), Credibility::kAuthAnswer, sim::Time{});
+  cache.peek(Name::from_string("x.org"), RRType::kA, sim::Time{});
   EXPECT_EQ(cache.stats().hits, 0u);
   EXPECT_EQ(cache.stats().misses, 0u);
 }
 
 TEST(CacheTest, RemainingTtlHelper) {
   Cache cache;
-  cache.insert(make_a_set("x.org", 300), Credibility::kAuthAnswer, 0);
+  cache.insert(make_a_set("x.org", dns::Ttl{300}), Credibility::kAuthAnswer, sim::Time{});
   EXPECT_EQ(cache.remaining_ttl(Name::from_string("x.org"), RRType::kA,
-                                100 * kSecond),
-            200u);
+                                sim::at(100 * kSecond)),
+            dns::Ttl{200});
   EXPECT_FALSE(cache
-                   .remaining_ttl(Name::from_string("y.org"), RRType::kA, 0)
+                   .remaining_ttl(Name::from_string("y.org"), RRType::kA, sim::Time{})
                    .has_value());
 }
 
@@ -270,12 +270,12 @@ TEST_P(CacheClampTest, ServedTtlRespectsClampInvariant) {
   config.max_ttl = param.max_ttl;
   config.min_ttl = param.min_ttl;
   Cache cache(config);
-  cache.insert(make_a_set("x.org", param.ttl), Credibility::kAuthAnswer, 0);
-  auto hit = cache.lookup(Name::from_string("x.org"), RRType::kA, 0);
+  cache.insert(make_a_set("x.org", param.ttl), Credibility::kAuthAnswer, sim::Time{});
+  auto hit = cache.lookup(Name::from_string("x.org"), RRType::kA, sim::Time{});
   dns::Ttl effective =
       std::clamp(param.ttl, std::min(param.min_ttl, param.max_ttl),
                  param.max_ttl);
-  if (effective == 0) {
+  if (effective == dns::Ttl{0}) {
     // TTL 0 undermines caching entirely (§5.1.2): never served from cache.
     EXPECT_FALSE(hit.has_value());
     return;
@@ -288,11 +288,11 @@ TEST_P(CacheClampTest, ServedTtlRespectsClampInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, CacheClampTest,
-    ::testing::Values(ClampCase{300, 21599, 0}, ClampCase{345600, 21599, 0},
-                      ClampCase{0, 604800, 0}, ClampCase{5, 604800, 60},
-                      ClampCase{172800, 604800, 0},
-                      ClampCase{604800, 86400, 30},
-                      ClampCase{1, 1, 1}));
+    ::testing::Values(ClampCase{dns::Ttl{300}, dns::Ttl{21599}, dns::Ttl{0}}, ClampCase{dns::Ttl{345600}, dns::Ttl{21599}, dns::Ttl{0}},
+                      ClampCase{dns::Ttl{0}, dns::Ttl{604800}, dns::Ttl{0}}, ClampCase{dns::Ttl{5}, dns::Ttl{604800}, dns::Ttl{60}},
+                      ClampCase{dns::Ttl{172800}, dns::Ttl{604800}, dns::Ttl{0}},
+                      ClampCase{dns::Ttl{604800}, dns::Ttl{86400}, dns::Ttl{30}},
+                      ClampCase{dns::Ttl{1}, dns::Ttl{1}, dns::Ttl{1}}));
 
 }  // namespace
 }  // namespace dnsttl::cache

@@ -1,0 +1,19 @@
+// Planted bug fixture: a raw integer "30" meant as seconds handed to the
+// simulator clock, which counts microsecond ticks.  Before the strong
+// types this compiled silently and produced a deadline 10^6 times too
+// early; now the implicit int -> SimTime conversion must not exist.
+//
+// Compiled twice by ctest (see tests/CMakeLists.txt): without DNSTTL_FIXED
+// the build must FAIL (WILL_FAIL test), with it the corrected spelling
+// must compile, proving the fixture fails for the planted reason and not
+// header rot.
+#include "sim/time.h"
+
+int main() {
+#if defined(DNSTTL_FIXED)
+  dnsttl::sim::Time deadline = dnsttl::sim::at(dnsttl::sim::seconds(30));
+#else
+  dnsttl::sim::Time deadline = 30;  // "30 seconds", silently ticks
+#endif
+  return deadline < dnsttl::sim::Time{} ? 1 : 0;
+}

@@ -1,0 +1,20 @@
+// Planted bug fixture: storing a TTL in a uint16_t field.  With the raw
+// uint32_t alias this truncated 86400 s to 20864 s without a diagnostic;
+// the strong type has no implicit conversion to any integer, so both the
+// copy-initialization and the narrowing must now fail to compile.
+//
+// Compiled twice by ctest (see tests/CMakeLists.txt): without DNSTTL_FIXED
+// the build must FAIL (WILL_FAIL test); with it, the explicit .value()
+// spelling — where the narrowing is at least visible — must compile.
+#include <cstdint>
+
+#include "dns/types.h"
+
+int main() {
+#if defined(DNSTTL_FIXED)
+  std::uint32_t stored = dnsttl::dns::kTtl1Day.value();
+#else
+  std::uint16_t stored = dnsttl::dns::kTtl1Day;  // would hold 20864
+#endif
+  return stored == 0 ? 1 : 0;
+}

@@ -19,7 +19,7 @@ TEST(WorldTest, RootServersAnswerFromHints) {
                       net::Location{net::Region::kEU, 1.0}};
   auto query = dns::Message::make_query(1, Name{}, RRType::kNS);
   auto outcome = world.network().query(
-      client, world.hints().servers[0].address, query, 0);
+      client, world.hints().servers[0].address, query, sim::Time{});
   ASSERT_TRUE(outcome.response.has_value());
   EXPECT_TRUE(outcome.response->flags.aa);
   EXPECT_EQ(outcome.response->answers.size(), 3u);
@@ -27,7 +27,7 @@ TEST(WorldTest, RootServersAnswerFromHints) {
 
 TEST(WorldTest, AddTldDelegatesFromRoot) {
   World world;
-  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                 net::Location{net::Region::kSA, 1.0});
   // Root has NS + glue with parent TTLs.
   auto ns = world.root_zone()->find(Name::from_string("uy"), RRType::kNS);
@@ -62,7 +62,7 @@ TEST(WorldTest, DelegateAddsGlueOnlyForInBailiwickNames) {
                    dns::Ipv4(10, 0, 0, 1)},
                   {Name::from_string("ns1.elsewhere.org"),
                    dns::Ipv4(10, 0, 0, 2)}},
-                 3600, 7200);
+                 dns::Ttl{3600}, dns::Ttl{7200});
   EXPECT_TRUE(zone->find(Name::from_string("ns1.cachetest.net"), RRType::kA)
                   .has_value());
   EXPECT_FALSE(zone->find(Name::from_string("ns1.elsewhere.org"), RRType::kA)
@@ -75,7 +75,7 @@ TEST(WorldTest, DelegateAddsGlueOnlyForInBailiwickNames) {
 TEST(WorldTest, AnycastServiceSharesOneAddress) {
   World world;
   auto zone = world.create_zone("example");
-  zone->add(dns::make_a(Name::from_string("www.example"), 60,
+  zone->add(dns::make_a(Name::from_string("www.example"), dns::Ttl{60},
                         dns::Ipv4(1, 1, 1, 1)));
   auto address = world.add_anycast_service(
       "svc", zone,
@@ -88,7 +88,7 @@ TEST(WorldTest, AnycastServiceSharesOneAddress) {
                          net::Location{net::Region::kOC, 1.0}};
   auto query = dns::Message::make_query(
       1, Name::from_string("www.example"), RRType::kA);
-  world.network().query(oc_client, address, query, 0);
+  world.network().query(oc_client, address, query, sim::Time{});
   EXPECT_EQ(world.server("svc-1").log().size(), 1u);  // the OC replica
   EXPECT_EQ(world.server("svc-0").log().size(), 0u);
 }
@@ -98,35 +98,35 @@ TEST(WorldTest, AnycastServiceSharesOneAddress) {
 TEST(EffectiveTtlTest, ChildCentricInBailiwickLinksAddressToNs) {
   DelegationLayout layout;
   layout.parent_ns_ttl = dns::kTtl2Days;
-  layout.child_ns_ttl = 3600;
-  layout.child_a_ttl = 7200;
+  layout.child_ns_ttl = dns::Ttl{3600};
+  layout.child_a_ttl = dns::Ttl{7200};
   layout.in_bailiwick = true;
   auto result = effective_ttl(layout, resolver::child_centric_config());
-  EXPECT_EQ(result.ns_ttl, 3600u);
-  EXPECT_EQ(result.address_ttl, 3600u);  // capped by the NS lifetime (§4.2)
+  EXPECT_EQ(result.ns_ttl, dns::Ttl{3600});
+  EXPECT_EQ(result.address_ttl, dns::Ttl{3600});  // capped by the NS lifetime (§4.2)
   EXPECT_TRUE(result.address_linked_to_ns);
   EXPECT_FALSE(result.parent_controls_ns);
 }
 
 TEST(EffectiveTtlTest, ChildCentricOutOfBailiwickIndependentTtls) {
   DelegationLayout layout;
-  layout.child_ns_ttl = 3600;
-  layout.child_a_ttl = 7200;
+  layout.child_ns_ttl = dns::Ttl{3600};
+  layout.child_a_ttl = dns::Ttl{7200};
   layout.in_bailiwick = false;
   auto result = effective_ttl(layout, resolver::child_centric_config());
-  EXPECT_EQ(result.address_ttl, 7200u);
+  EXPECT_EQ(result.address_ttl, dns::Ttl{7200});
   EXPECT_FALSE(result.address_linked_to_ns);
 }
 
 TEST(EffectiveTtlTest, UnlinkedCacheKeepsOwnAddressTtl) {
   DelegationLayout layout;
-  layout.child_ns_ttl = 3600;
-  layout.child_a_ttl = 7200;
+  layout.child_ns_ttl = dns::Ttl{3600};
+  layout.child_a_ttl = dns::Ttl{7200};
   layout.in_bailiwick = true;
   auto config = resolver::child_centric_config();
   config.link_glue_to_ns = false;
   auto result = effective_ttl(layout, config);
-  EXPECT_EQ(result.address_ttl, 7200u);
+  EXPECT_EQ(result.address_ttl, dns::Ttl{7200});
 }
 
 TEST(EffectiveTtlTest, ParentCentricUsesParentCopies) {
@@ -134,7 +134,7 @@ TEST(EffectiveTtlTest, ParentCentricUsesParentCopies) {
   layout.parent_ns_ttl = dns::kTtl2Days;
   layout.child_ns_ttl = dns::kTtl5Min;
   layout.parent_glue_ttl = dns::kTtl2Days;
-  layout.child_a_ttl = 120;
+  layout.child_a_ttl = dns::Ttl{120};
   auto result = effective_ttl(layout, resolver::parent_centric_config());
   EXPECT_EQ(result.ns_ttl, dns::kTtl2Days);
   EXPECT_TRUE(result.parent_controls_ns);
@@ -144,10 +144,10 @@ TEST(EffectiveTtlTest, ParentCentricUsesParentCopies) {
 TEST(EffectiveTtlTest, ParentCentricOutOfBailiwickStillNeedsChildAddress) {
   DelegationLayout layout;
   layout.in_bailiwick = false;
-  layout.child_a_ttl = 7200;
+  layout.child_a_ttl = dns::Ttl{7200};
   auto result = effective_ttl(layout, resolver::parent_centric_config());
   EXPECT_FALSE(result.parent_controls_address);
-  EXPECT_EQ(result.address_ttl, 7200u);
+  EXPECT_EQ(result.address_ttl, dns::Ttl{7200});
 }
 
 TEST(EffectiveTtlTest, StickyIgnoresTtlsEntirely) {
@@ -162,14 +162,14 @@ TEST(EffectiveTtlTest, CapsApplyToEffectiveValues) {
   layout.child_ns_ttl = dns::kTtl4Days;
   layout.child_a_ttl = dns::kTtl4Days;
   auto result = effective_ttl(layout, resolver::google_like_config());
-  EXPECT_EQ(result.ns_ttl, 21599u);
+  EXPECT_EQ(result.ns_ttl, dns::Ttl{21599});
 }
 
 /// The analytical model must agree with the simulator: a child-centric
 /// resolver really does see the child TTL.
 TEST(EffectiveTtlTest, AgreesWithSimulatedResolver) {
   World world;
-  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                 net::Location{net::Region::kSA, 1.0});
   resolver::RecursiveResolver resolver("check",
                                        resolver::child_centric_config(),
@@ -178,7 +178,7 @@ TEST(EffectiveTtlTest, AgreesWithSimulatedResolver) {
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
   auto result = resolver.resolve(
-      {Name::from_string("uy"), RRType::kNS, dns::RClass::kIN}, 0);
+      {Name::from_string("uy"), RRType::kNS, dns::RClass::kIN}, sim::Time{});
 
   DelegationLayout layout;
   layout.parent_ns_ttl = dns::kTtl2Days;

@@ -63,10 +63,10 @@ TEST(BailiwickClassificationTest, DetectsInOutMixed) {
   GeneratedDomain domain;
   domain.name = "d1.alexa";
   domain.records.push_back(
-      {dns::RRType::kNS, 3600, "ns1.provider7.example"});
+      {dns::RRType::kNS, dns::Ttl{3600}, "ns1.provider7.example"});
   EXPECT_EQ(classify_bailiwick(domain), 0);
 
-  domain.records.push_back({dns::RRType::kNS, 3600, "ns1.d1.alexa"});
+  domain.records.push_back({dns::RRType::kNS, dns::Ttl{3600}, "ns1.d1.alexa"});
   EXPECT_EQ(classify_bailiwick(domain), 2);
 
   domain.records.erase(domain.records.begin());
@@ -77,18 +77,18 @@ TEST(BailiwickClassificationTest, SuffixNeedsLabelBoundary) {
   GeneratedDomain domain;
   domain.name = "d1.alexa";
   // "xd1.alexa" ends with "d1.alexa" but is NOT in bailiwick.
-  domain.records.push_back({dns::RRType::kNS, 3600, "ns1.xd1.alexa"});
+  domain.records.push_back({dns::RRType::kNS, dns::Ttl{3600}, "ns1.xd1.alexa"});
   EXPECT_EQ(classify_bailiwick(domain), 0);
 }
 
 TEST(CrawlerTest, TabulatesCountsAndUniques) {
   std::vector<GeneratedDomain> population(2);
   population[0].name = "a.test";
-  population[0].records = {{dns::RRType::kNS, 3600, "ns1.shared.example"},
-                           {dns::RRType::kA, 300, "ip-1"}};
+  population[0].records = {{dns::RRType::kNS, dns::Ttl{3600}, "ns1.shared.example"},
+                           {dns::RRType::kA, dns::Ttl{300}, "ip-1"}};
   population[1].name = "b.test";
-  population[1].records = {{dns::RRType::kNS, 7200, "ns1.shared.example"},
-                           {dns::RRType::kA, 0, "ip-2"}};
+  population[1].records = {{dns::RRType::kNS, dns::Ttl{7200}, "ns1.shared.example"},
+                           {dns::RRType::kA, dns::Ttl{0}, "ip-2"}};
   auto report = crawl("test", population);
   EXPECT_EQ(report.responsive, 2u);
   EXPECT_EQ(report.by_type.at(dns::RRType::kNS).records, 2u);

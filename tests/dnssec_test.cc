@@ -11,7 +11,7 @@ namespace dnsttl::dns {
 namespace {
 
 RRset sample_rrset() {
-  RRset rrset(Name::from_string("www.example.org"), RClass::kIN, 300);
+  RRset rrset(Name::from_string("www.example.org"), RClass::kIN, dns::Ttl{300});
   rrset.add(ARdata{Ipv4(10, 1, 2, 3)});
   return rrset;
 }
@@ -52,20 +52,20 @@ TEST(DnssecTest, CountedDownTtlStillVerifies) {
   auto rrset = sample_rrset();
   auto rrsig = make_rrsig(rrset, Name::from_string("example.org"), key);
   RRset counted = rrset;
-  counted.set_ttl(17);  // as seen after cache countdown
+  counted.set_ttl(dns::Ttl{17});  // as seen after cache countdown
   EXPECT_TRUE(verify_rrsig(counted, std::get<RrsigRdata>(rrsig.rdata), key));
 }
 
 TEST(DnssecTest, SignZoneCoversAuthoritativeSetsOnly) {
   Zone zone{Name::from_string("example.org")};
-  zone.add(make_soa(Name::from_string("example.org"), 3600,
+  zone.add(make_soa(Name::from_string("example.org"), dns::Ttl{3600},
                     Name::from_string("ns1.example.org"), 1));
-  zone.add(make_a(Name::from_string("www.example.org"), 300,
+  zone.add(make_a(Name::from_string("www.example.org"), dns::Ttl{300},
                   Ipv4(10, 0, 0, 1)));
   // A delegation with glue: must stay unsigned.
-  zone.add(make_ns(Name::from_string("sub.example.org"), 3600,
+  zone.add(make_ns(Name::from_string("sub.example.org"), dns::Ttl{3600},
                    Name::from_string("ns1.sub.example.org")));
-  zone.add(make_a(Name::from_string("ns1.sub.example.org"), 3600,
+  zone.add(make_a(Name::from_string("ns1.sub.example.org"), dns::Ttl{3600},
                   Ipv4(10, 0, 0, 2)));
 
   auto key = make_zone_key(Name::from_string("example.org"));
@@ -84,9 +84,9 @@ TEST(DnssecTest, SignZoneCoversAuthoritativeSetsOnly) {
 
 TEST(DnssecTest, SignedAnswersCarryRrsig) {
   Zone zone{Name::from_string("example.org")};
-  zone.add(make_soa(Name::from_string("example.org"), 3600,
+  zone.add(make_soa(Name::from_string("example.org"), dns::Ttl{3600},
                     Name::from_string("ns1.example.org"), 1));
-  zone.add(make_a(Name::from_string("www.example.org"), 300,
+  zone.add(make_a(Name::from_string("www.example.org"), dns::Ttl{300},
                   Ipv4(10, 0, 0, 1)));
   sign_zone(zone, make_zone_key(Name::from_string("example.org")));
 
@@ -108,7 +108,7 @@ class ValidationTest : public ::testing::Test {
     zone = world->add_tld("org", "ns1", dns::kTtl1Day, dns::kTtl1Day,
                           dns::kTtl1Day,
                           net::Location{net::Region::kNA, 1.0});
-    zone->add(make_a(Name::from_string("www.org"), 300, Ipv4(10, 0, 0, 7)));
+    zone->add(make_a(Name::from_string("www.org"), dns::Ttl{300}, Ipv4(10, 0, 0, 7)));
     key = make_zone_key(Name::from_string("org"));
     sign_zone(*zone, key);
   }
@@ -131,7 +131,7 @@ class ValidationTest : public ::testing::Test {
 TEST_F(ValidationTest, ValidSignedAnswerAccepted) {
   auto validator = make_validator();
   auto result = validator->resolve(
-      {Name::from_string("www.org"), RRType::kA, RClass::kIN}, 0);
+      {Name::from_string("www.org"), RRType::kA, RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, Rcode::kNoError);
   ASSERT_FALSE(result.response.answers.empty());
   // The target answer, the DNSKEY fetch and the NS-address fetch all get
@@ -145,7 +145,7 @@ TEST_F(ValidationTest, ValidationFetchesChildDnskey) {
   auto& server = world->server("ns1.org.");
   server.set_logging(true);
   validator->resolve(
-      {Name::from_string("www.org"), RRType::kA, RClass::kIN}, 0);
+      {Name::from_string("www.org"), RRType::kA, RClass::kIN}, sim::Time{});
   bool saw_dnskey_query = false;
   for (const auto& entry : server.log().entries()) {
     if (entry.qtype == RRType::kDNSKEY &&
@@ -162,7 +162,7 @@ TEST_F(ValidationTest, TamperedRecordIsBogus) {
   zone->renumber_a(Name::from_string("www.org"), Ipv4(66, 66, 66, 66));
   auto validator = make_validator();
   auto result = validator->resolve(
-      {Name::from_string("www.org"), RRType::kA, RClass::kIN}, 0);
+      {Name::from_string("www.org"), RRType::kA, RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, Rcode::kServFail);
   EXPECT_GT(validator->stats().validation_failures, 0u);
 }
@@ -175,18 +175,18 @@ TEST_F(ValidationTest, NonValidatingResolverAcceptsTamperedData) {
   net::Location eu{net::Region::kEU, 1.0};
   plain.set_node_ref(net::NodeRef{world->network().attach(plain, eu), eu});
   auto result = plain.resolve(
-      {Name::from_string("www.org"), RRType::kA, RClass::kIN}, 0);
+      {Name::from_string("www.org"), RRType::kA, RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, Rcode::kNoError);
 }
 
 TEST_F(ValidationTest, UnsignedZoneIsInsecureButResolves) {
-  auto unsigned_zone = world->add_tld("net", "ns1", 3600, 3600, 3600,
+  auto unsigned_zone = world->add_tld("net", "ns1", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                                       net::Location{net::Region::kNA, 1.0});
   unsigned_zone->add(
-      make_a(Name::from_string("www.net"), 300, Ipv4(10, 0, 0, 8)));
+      make_a(Name::from_string("www.net"), dns::Ttl{300}, Ipv4(10, 0, 0, 8)));
   auto validator = make_validator();
   auto result = validator->resolve(
-      {Name::from_string("www.net"), RRType::kA, RClass::kIN}, 0);
+      {Name::from_string("www.net"), RRType::kA, RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, Rcode::kNoError);
   EXPECT_EQ(validator->stats().validations, 0u);
 }
@@ -198,7 +198,7 @@ TEST(PrefetchTest, NearExpiryHitTriggersBackgroundRefresh) {
   auto zone = world.add_tld("org", "ns1", dns::kTtl1Day, dns::kTtl1Day,
                             dns::kTtl1Day,
                             net::Location{net::Region::kNA, 1.0});
-  zone->add(make_a(Name::from_string("www.org"), 600, Ipv4(10, 0, 0, 7)));
+  zone->add(make_a(Name::from_string("www.org"), dns::Ttl{600}, Ipv4(10, 0, 0, 7)));
 
   auto config = resolver::child_centric_config();
   config.prefetch = true;
@@ -209,38 +209,38 @@ TEST(PrefetchTest, NearExpiryHitTriggersBackgroundRefresh) {
   r.set_node_ref(net::NodeRef{world.network().attach(r, eu), eu});
 
   dns::Question q{Name::from_string("www.org"), RRType::kA, RClass::kIN};
-  r.resolve(q, 0);
+  r.resolve(q, sim::Time{});
 
   // Hit with 50% left: no prefetch.
-  auto mid = r.resolve(q, 300 * sim::kSecond);
+  auto mid = r.resolve(q, sim::at(300 * sim::kSecond));
   EXPECT_TRUE(mid.answered_from_cache);
   EXPECT_EQ(r.stats().prefetches, 0u);
 
   // Hit with <10% left: background refresh fires; the *next* query, after
   // the original TTL would have expired, is still a cache hit.
-  auto late = r.resolve(q, 545 * sim::kSecond);
+  auto late = r.resolve(q, sim::at(545 * sim::kSecond));
   EXPECT_TRUE(late.answered_from_cache);
   EXPECT_EQ(r.stats().prefetches, 1u);
 
-  auto after = r.resolve(q, 650 * sim::kSecond);
+  auto after = r.resolve(q, sim::at(650 * sim::kSecond));
   EXPECT_TRUE(after.answered_from_cache)
       << "prefetched entry should still be live past the original expiry";
 }
 
 TEST(PrefetchTest, DisabledByDefault) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  auto zone = world.add_tld("org", "ns1", 3600, 3600, 3600,
+  auto zone = world.add_tld("org", "ns1", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kNA, 1.0});
-  zone->add(make_a(Name::from_string("www.org"), 600, Ipv4(10, 0, 0, 7)));
+  zone->add(make_a(Name::from_string("www.org"), dns::Ttl{600}, Ipv4(10, 0, 0, 7)));
   resolver::RecursiveResolver r("plain", resolver::child_centric_config(),
                                 world.network(), world.hints());
   net::Location eu{net::Region::kEU, 1.0};
   r.set_node_ref(net::NodeRef{world.network().attach(r, eu), eu});
   dns::Question q{Name::from_string("www.org"), RRType::kA, RClass::kIN};
-  r.resolve(q, 0);
-  r.resolve(q, 545 * sim::kSecond);
+  r.resolve(q, sim::Time{});
+  r.resolve(q, sim::at(545 * sim::kSecond));
   EXPECT_EQ(r.stats().prefetches, 0u);
-  auto after = r.resolve(q, 650 * sim::kSecond);
+  auto after = r.resolve(q, sim::at(650 * sim::kSecond));
   EXPECT_FALSE(after.answered_from_cache);
 }
 

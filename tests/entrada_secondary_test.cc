@@ -19,12 +19,12 @@ QueryLog sample_log() {
   dns::Ipv4 client_a(10, 0, 0, 1);
   dns::Ipv4 client_b(10, 0, 0, 2);
   // client_a asks ns1 three times: at 0, +1s (retransmission), +1h.
-  log.record({0, client_a, ns1, RRType::kA});
-  log.record({1 * sim::kSecond, client_a, ns1, RRType::kA});
-  log.record({1 * sim::kHour, client_a, ns1, RRType::kA});
+  log.record({sim::Time{}, client_a, ns1, RRType::kA});
+  log.record({sim::at(1 * sim::kSecond), client_a, ns1, RRType::kA});
+  log.record({sim::at(1 * sim::kHour), client_a, ns1, RRType::kA});
   // client_a asks ns2 once; client_b asks ns1 once.
-  log.record({5 * sim::kMinute, client_a, ns2, RRType::kA});
-  log.record({10 * sim::kMinute, client_b, ns1, RRType::kA});
+  log.record({sim::at(5 * sim::kMinute), client_a, ns2, RRType::kA});
+  log.record({sim::at(10 * sim::kMinute), client_b, ns1, RRType::kA});
   return log;
 }
 
@@ -92,7 +92,7 @@ class SecondaryTest : public ::testing::Test {
  protected:
   void SetUp() override {
     world = std::make_unique<core::World>(core::World::Options{1, 0.0, {}});
-    primary_zone = world->create_zone("shop", 3600);
+    primary_zone = world->create_zone("shop", dns::Ttl{3600});
     // Short SOA refresh so tests stay fast: refresh=600, retry=300.
     dns::SoaRdata soa;
     soa.mname = Name::from_string("ns1.shop");
@@ -102,12 +102,12 @@ class SecondaryTest : public ::testing::Test {
     soa.retry = 300;
     soa.expire = 3600;
     soa.minimum = 300;
-    dns::RRset soa_set(Name::from_string("shop"), dns::RClass::kIN, 3600);
+    dns::RRset soa_set(Name::from_string("shop"), dns::RClass::kIN, dns::Ttl{3600});
     soa_set.add(soa);
     primary_zone->replace(soa_set);
-    primary_zone->add(dns::make_ns(Name::from_string("shop"), 300,
+    primary_zone->add(dns::make_ns(Name::from_string("shop"), dns::Ttl{300},
                                    Name::from_string("ns1.shop")));
-    primary_zone->add(dns::make_a(Name::from_string("www.shop"), 300,
+    primary_zone->add(dns::make_a(Name::from_string("www.shop"), dns::Ttl{300},
                                   dns::Ipv4(10, 0, 0, 1)));
 
     secondary_server = &world->add_server(
@@ -129,7 +129,7 @@ TEST_F(SecondaryTest, InitialTransferServesTheZone) {
   auto query = dns::Message::make_query(1, Name::from_string("www.shop"),
                                         RRType::kA);
   auto outcome = world->network().query(
-      client, world->address_of("ns2.shop"), query, 0);
+      client, world->address_of("ns2.shop"), query, sim::Time{});
   ASSERT_TRUE(outcome.response.has_value());
   EXPECT_TRUE(outcome.response->flags.aa);
   EXPECT_EQ(outcome.response->answers.size(), 1u);
@@ -137,37 +137,37 @@ TEST_F(SecondaryTest, InitialTransferServesTheZone) {
 
 TEST_F(SecondaryTest, EditWithoutSerialBumpIsInvisible) {
   Secondary secondary(world->simulation(), primary_zone, *secondary_server);
-  primary_zone->set_ttl(Name::from_string("shop"), RRType::kNS, 86400);
-  world->simulation().run_until(30 * sim::kMinute);
+  primary_zone->set_ttl(Name::from_string("shop"), RRType::kNS, dns::Ttl{86400});
+  world->simulation().run_until(sim::at(30 * sim::kMinute));
   EXPECT_EQ(secondary.transfers(), 1u);  // serial unchanged: no transfer
   EXPECT_EQ(secondary.zone()
                 ->find(Name::from_string("shop"), RRType::kNS)
                 ->ttl(),
-            300u);
+            dns::Ttl{300});
 }
 
 TEST_F(SecondaryTest, TtlChangePropagatesAtNextRefresh) {
   // The §5.3 operational reality: .uy's TTL change reached each secondary
   // only at its next successful refresh.
   Secondary secondary(world->simulation(), primary_zone, *secondary_server);
-  primary_zone->set_ttl(Name::from_string("shop"), RRType::kNS, 86400);
+  primary_zone->set_ttl(Name::from_string("shop"), RRType::kNS, dns::Ttl{86400});
   primary_zone->bump_serial();
 
   // Before the refresh interval the secondary still serves the old TTL.
-  world->simulation().run_until(5 * sim::kMinute);
+  world->simulation().run_until(sim::at(5 * sim::kMinute));
   EXPECT_EQ(secondary.zone()
                 ->find(Name::from_string("shop"), RRType::kNS)
                 ->ttl(),
-            300u);
+            dns::Ttl{300});
 
   // After a refresh period the new TTL is live.
-  world->simulation().run_until(15 * sim::kMinute);
+  world->simulation().run_until(sim::at(15 * sim::kMinute));
   EXPECT_EQ(secondary.transfers(), 2u);
   EXPECT_EQ(secondary.serial(), 2u);
   EXPECT_EQ(secondary.zone()
                 ->find(Name::from_string("shop"), RRType::kNS)
                 ->ttl(),
-            86400u);
+            dns::Ttl{86400});
 }
 
 TEST_F(SecondaryTest, ExpiresAfterPrimaryOutageAndRecovers) {
@@ -175,11 +175,11 @@ TEST_F(SecondaryTest, ExpiresAfterPrimaryOutageAndRecovers) {
   secondary.set_primary_reachable(false);
 
   // Within the expire window the stale copy keeps being served.
-  world->simulation().run_until(30 * sim::kMinute);
+  world->simulation().run_until(sim::at(30 * sim::kMinute));
   EXPECT_FALSE(secondary.expired());
 
   // Past SOA expire (3600 s) the copy is withdrawn: REFUSED.
-  world->simulation().run_until(2 * sim::kHour);
+  world->simulation().run_until(sim::at(2 * sim::kHour));
   EXPECT_TRUE(secondary.expired());
   net::NodeRef client{dns::Ipv4(10, 9, 9, 9),
                       net::Location{net::Region::kEU, 1.0}};
@@ -205,14 +205,14 @@ TEST_F(SecondaryTest, RefreshOverrideSpeedsPolling) {
   Secondary secondary(world->simulation(), primary_zone, *secondary_server,
                       60);
   primary_zone->bump_serial();
-  world->simulation().run_until(3 * sim::kMinute);
+  world->simulation().run_until(sim::at(3 * sim::kMinute));
   EXPECT_GE(secondary.transfers(), 2u);
 }
 
 TEST(ZoneSerialTest, BumpSerialIncrements) {
   dns::Zone zone{Name::from_string("shop")};
   EXPECT_FALSE(zone.bump_serial());  // no SOA yet
-  zone.add(dns::make_soa(Name::from_string("shop"), 3600,
+  zone.add(dns::make_soa(Name::from_string("shop"), dns::Ttl{3600},
                          Name::from_string("ns1.shop"), 41));
   EXPECT_TRUE(zone.bump_serial());
   EXPECT_EQ(std::get<dns::SoaRdata>(zone.soa()->rdata).serial, 42u);

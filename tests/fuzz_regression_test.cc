@@ -99,6 +99,27 @@ TEST(FuzzRegression, DotByteInsideWireLabel) {
       "03 61 2e 62 00 00 01 00 01");
 }
 
+// RFC 2181 §8 overflow TTLs through the full fuzz harness: answers carrying
+// 0x80000000 and 0xffffffff TTLs must decode (clamped to zero at the wire
+// boundary by Ttl::from_wire), then survive the harness's re-encode /
+// re-decode round trip without tripping its equality oracle.  Pins the
+// clamp-once-at-ingest contract: if a second clamp or a raw uint32 path
+// reappears anywhere in the codec, the round trip diverges and this fails.
+TEST(FuzzRegression, OverflowTtlClampsAtWireBoundary) {
+  // a. A/IN question; answer a. A 0x80000000 192.0.2.1
+  replay_message(
+      "12 34 81 00 00 01 00 01 00 00 00 00 01 61 00 00 01 00 01 c0 0c 00 01"
+      "00 01 80 00 00 00 00 04 c0 00 02 01");
+  // Same shape with TTL 0xffffffff.
+  replay_message(
+      "12 34 81 00 00 01 00 01 00 00 00 00 01 61 00 00 01 00 01 c0 0c 00 01"
+      "00 01 ff ff ff ff 00 04 c0 00 02 01");
+  // Boundary twin 0x7fffffff: legal maximum, must pass through unclamped.
+  replay_message(
+      "12 34 81 00 00 01 00 01 00 00 00 00 01 61 00 00 01 00 01 c0 0c 00 01"
+      "00 01 7f ff ff ff 00 04 c0 00 02 01");
+}
+
 // The master-file harness has produced no crasher yet; this seed pins the
 // harness round-trip contract itself (parse -> render -> reparse) so a
 // future regression in either direction fails here first.

@@ -115,7 +115,7 @@ TEST(BailiwickIntegrationTest, MatchedVpAnalysisLinksTheTwoRuns) {
 
 TEST(CentricityIntegrationTest, PureChildPopulationFollowsChildTtl) {
   World world{World::Options{4, 0.0, {}}};
-  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                 net::Location{net::Region::kSA, 1.0});
   auto platform = single_profile_platform(
       world, resolver::child_centric_config(), "child");
@@ -131,7 +131,7 @@ TEST(CentricityIntegrationTest, PureChildPopulationFollowsChildTtl) {
 
 TEST(CentricityIntegrationTest, PureParentPopulationFollowsParentTtl) {
   World world{World::Options{4, 0.0, {}}};
-  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+  world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                 net::Location{net::Region::kSA, 1.0});
   auto platform = single_profile_platform(
       world, resolver::parent_centric_config(), "parent");

@@ -27,13 +27,13 @@ TEST(MasterFileTest, ParsesTheTable1Zone) {
 
   auto ns = zone.find(Name::from_string("cl"), RRType::kNS);
   ASSERT_TRUE(ns.has_value());
-  EXPECT_EQ(ns->ttl(), 3600u);  // $TTL default
+  EXPECT_EQ(ns->ttl(), Ttl{3600});  // $TTL default
   EXPECT_EQ(std::get<NsRdata>(ns->rdatas()[0]).nsdname,
             Name::from_string("a.nic.cl"));
 
   auto a = zone.find(Name::from_string("a.nic.cl"), RRType::kA);
   ASSERT_TRUE(a.has_value());
-  EXPECT_EQ(a->ttl(), 43200u);  // explicit per-record TTL
+  EXPECT_EQ(a->ttl(), Ttl{43200});  // explicit per-record TTL
   EXPECT_EQ(rdata_to_string(a->rdatas()[0]), "190.124.27.10");
 
   auto aaaa = zone.find(Name::from_string("a.nic.cl"), RRType::kAAAA);
@@ -139,7 +139,7 @@ TEST(MasterFileTest, RenderParseRoundTrip) {
   Zone reparsed = parse_master_file(rendered, Name::from_string("cl"));
   EXPECT_EQ(reparsed.rrset_count(), zone.rrset_count());
   EXPECT_EQ(reparsed.find(Name::from_string("a.nic.cl"), RRType::kA)->ttl(),
-            43200u);
+            Ttl{43200});
   EXPECT_EQ(reparsed.soa()->rdata, zone.soa()->rdata);
 }
 
@@ -147,7 +147,7 @@ TEST(MasterFileTest, ParsedZoneAnswersLookups) {
   Zone zone = parse_master_file(kClZone, Name::from_string("cl"));
   auto result = zone.lookup(Name::from_string("a.nic.cl"), RRType::kA);
   EXPECT_EQ(result.kind, LookupResult::Kind::kAnswer);
-  EXPECT_EQ(result.answers[0].ttl, 43200u);
+  EXPECT_EQ(result.answers[0].ttl, Ttl{43200});
 }
 
 }  // namespace

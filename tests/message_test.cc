@@ -12,9 +12,9 @@ Message referral_for_uy() {
                                    RRType::kA);
   auto response = Message::make_response(query);
   response.authorities.push_back(
-      make_ns(Name::from_string("uy"), 172800, Name::from_string("a.nic.uy")));
+      make_ns(Name::from_string("uy"), dns::Ttl{172800}, Name::from_string("a.nic.uy")));
   response.additionals.push_back(
-      make_a(Name::from_string("a.nic.uy"), 172800, Ipv4(10, 0, 0, 1)));
+      make_a(Name::from_string("a.nic.uy"), dns::Ttl{172800}, Ipv4(10, 0, 0, 1)));
   return response;
 }
 
@@ -52,11 +52,11 @@ TEST(MessageTest, AnswerRrsetGroupsMatchingRecords) {
   auto query = Message::make_query(1, Name::from_string("uy"), RRType::kNS);
   auto response = Message::make_response(query);
   response.answers.push_back(
-      make_ns(Name::from_string("uy"), 300, Name::from_string("a.nic.uy")));
+      make_ns(Name::from_string("uy"), dns::Ttl{300}, Name::from_string("a.nic.uy")));
   response.answers.push_back(
-      make_ns(Name::from_string("uy"), 300, Name::from_string("b.nic.uy")));
+      make_ns(Name::from_string("uy"), dns::Ttl{300}, Name::from_string("b.nic.uy")));
   response.answers.push_back(
-      make_a(Name::from_string("a.nic.uy"), 120, Ipv4(10, 0, 0, 1)));
+      make_a(Name::from_string("a.nic.uy"), dns::Ttl{120}, Ipv4(10, 0, 0, 1)));
 
   auto rrset = response.answer_rrset(Name::from_string("uy"), RRType::kNS);
   ASSERT_TRUE(rrset.has_value());
@@ -68,10 +68,10 @@ TEST(MessageTest, AnswerRrsetGroupsMatchingRecords) {
 TEST(MessageTest, FirstAnswerFindsByType) {
   auto query = Message::make_query(1, Name::from_string("x.uy"), RRType::kA);
   auto response = Message::make_response(query);
-  response.answers.push_back(make_cname(Name::from_string("x.uy"), 60,
+  response.answers.push_back(make_cname(Name::from_string("x.uy"), dns::Ttl{60},
                                         Name::from_string("y.uy")));
   response.answers.push_back(
-      make_a(Name::from_string("y.uy"), 60, Ipv4(10, 0, 0, 2)));
+      make_a(Name::from_string("y.uy"), dns::Ttl{60}, Ipv4(10, 0, 0, 2)));
   ASSERT_NE(response.first_answer(RRType::kA), nullptr);
   EXPECT_EQ(response.first_answer(RRType::kA)->name,
             Name::from_string("y.uy"));
@@ -83,7 +83,7 @@ TEST(MessageTest, ReferralDetection) {
 
   auto answer = referral_for_uy();
   answer.answers.push_back(
-      make_a(Name::from_string("www.gub.uy"), 60, Ipv4(1, 1, 1, 1)));
+      make_a(Name::from_string("www.gub.uy"), dns::Ttl{60}, Ipv4(1, 1, 1, 1)));
   EXPECT_FALSE(answer.is_referral());
 
   auto aa = referral_for_uy();
@@ -98,7 +98,7 @@ TEST(MessageTest, ReferralDetection) {
 TEST(MessageTest, ToStringShowsAllSections) {
   auto message = referral_for_uy();
   message.answers.push_back(
-      make_a(Name::from_string("www.gub.uy"), 60, Ipv4(1, 1, 1, 1)));
+      make_a(Name::from_string("www.gub.uy"), dns::Ttl{60}, Ipv4(1, 1, 1, 1)));
   std::string text = message.to_string();
   EXPECT_NE(text.find("QUESTION"), std::string::npos);
   EXPECT_NE(text.find("ANSWER"), std::string::npos);

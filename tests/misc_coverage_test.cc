@@ -16,7 +16,7 @@ namespace {
 TEST(ConfigDescribeTest, MentionsEveryActiveKnob) {
   resolver::ResolverConfig config;
   config.centricity = resolver::Centricity::kParentCentric;
-  config.min_ttl = 30;
+  config.min_ttl = dns::Ttl{30};
   config.sticky = true;
   config.serve_stale = true;
   config.local_root = true;
@@ -53,7 +53,7 @@ TEST(ProfilesTest, WeightsArePositiveAndChildDominates) {
 }
 
 TEST(ProfilesTest, PresetConfigsAreInternallyConsistent) {
-  EXPECT_EQ(resolver::google_like_config().max_ttl, 21599u);
+  EXPECT_EQ(resolver::google_like_config().max_ttl, dns::Ttl{21599});
   EXPECT_EQ(resolver::bind_like_config().max_ttl, dns::kTtl1Week);
   EXPECT_TRUE(resolver::opendns_like_config().local_root);
   EXPECT_FALSE(
@@ -94,8 +94,8 @@ TEST(LatencySanityTest, FrankfurtSpreadMatchesFigure10b) {
 
 TEST(SimulationAccountingTest, PendingAndProcessedCounts) {
   sim::Simulation simulation;
-  auto id1 = simulation.schedule_at(sim::kSecond, [] {});
-  simulation.schedule_at(2 * sim::kSecond, [] {});
+  auto id1 = simulation.schedule_at(sim::at(sim::kSecond), [] {});
+  simulation.schedule_at(sim::at(2 * sim::kSecond), [] {});
   EXPECT_EQ(simulation.pending(), 2u);
   simulation.cancel(id1);
   EXPECT_EQ(simulation.pending(), 1u);
@@ -106,10 +106,10 @@ TEST(SimulationAccountingTest, PendingAndProcessedCounts) {
 
 TEST(WorldHelperTest, CreateZoneAddsSoaWithRequestedTtl) {
   core::World world;
-  auto zone = world.create_zone("helper.example", 7200);
+  auto zone = world.create_zone("helper.example", dns::Ttl{7200});
   auto soa = zone->soa();
   ASSERT_TRUE(soa.has_value());
-  EXPECT_EQ(soa->ttl, 7200u);
+  EXPECT_EQ(soa->ttl, dns::Ttl{7200});
   EXPECT_EQ(zone->origin(), dns::Name::from_string("helper.example"));
 }
 
@@ -123,7 +123,7 @@ TEST(WorldHelperTest, HintsPointAtLiveServers) {
 
 TEST(ForwarderSelectionTest, RoundRobinAlternates) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                 net::Location{net::Region::kEU, 1.0});
   net::Location eu{net::Region::kEU, 1.0};
 
@@ -147,7 +147,7 @@ TEST(ForwarderSelectionTest, RoundRobinAlternates) {
         static_cast<std::uint16_t>(i), dns::Name::from_string("zz"),
         dns::RRType::kNS);
     forwarder.handle_query(query, dns::Ipv4(1, 1, 1, 1),
-                           i * 10 * sim::kMinute);
+                           sim::at(i * 10 * sim::kMinute));
   }
   EXPECT_EQ(backends[0]->stats().client_queries, 3u);
   EXPECT_EQ(backends[1]->stats().client_queries, 3u);

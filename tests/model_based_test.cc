@@ -37,21 +37,21 @@ TEST_P(CacheModelTest, RandomOperationSequencesMatchTheModel) {
   sim::Rng rng(GetParam());
   cache::Cache::Config config;
   config.link_glue_to_ns = false;  // linkage is tested separately
-  config.max_ttl = 3600;
+  config.max_ttl = dns::Ttl{3600};
   cache::Cache cache(config);
   std::map<std::string, ModelEntry> model;
 
   const std::vector<std::string> names = {"a.test", "b.test", "c.test",
                                           "d.test"};
-  sim::Time now = 0;
+  sim::Time now{};
 
   for (int step = 0; step < 4000; ++step) {
-    now += static_cast<sim::Duration>(rng.uniform_int(1, 120)) * sim::kSecond;
+    now += sim::seconds(static_cast<std::int64_t>(rng.uniform_int(1, 120)));
     const auto& name = names[rng.uniform_int(0, names.size() - 1)];
 
     if (rng.chance(0.45)) {
       // Insert with random TTL and credibility.
-      auto ttl = static_cast<dns::Ttl>(rng.uniform_int(1, 7200));
+      auto ttl = dns::Ttl::of_seconds(static_cast<std::int64_t>(rng.uniform_int(1, 7200)));
       int cred = static_cast<int>(rng.uniform_int(1, 4));
       std::string value = "10.0.0." + std::to_string(rng.uniform_int(1, 250));
       dns::RRset rrset(Name::from_string(name), dns::RClass::kIN, ttl);
@@ -68,7 +68,7 @@ TEST_P(CacheModelTest, RandomOperationSequencesMatchTheModel) {
         dns::Ttl effective = std::min<dns::Ttl>(ttl, config.max_ttl);
         model[name] = ModelEntry{
             value, cred,
-            now + static_cast<sim::Duration>(effective) * sim::kSecond};
+            now + sim::seconds(effective.value())};
       }
     } else if (rng.chance(0.15)) {
       bool evicted = cache.evict(Name::from_string(name), RRType::kA);
@@ -84,7 +84,7 @@ TEST_P(CacheModelTest, RandomOperationSequencesMatchTheModel) {
         ASSERT_EQ(dns::rdata_to_string(hit->rrset.rdatas()[0]),
                   it->second.value)
             << "step " << step;
-        ASSERT_EQ(static_cast<sim::Duration>(hit->rrset.ttl()) * sim::kSecond,
+        ASSERT_EQ(sim::seconds(hit->rrset.ttl().value()),
                   it->second.expires - now)
             << "step " << step;
       }
@@ -125,7 +125,7 @@ TEST_P(WireFuzzTest, StructuredRandomMessagesRoundTrip) {
     std::size_t records = rng.uniform_int(0, 25);
     for (std::size_t i = 0; i < records; ++i) {
       auto owner = random_name();
-      auto ttl = static_cast<dns::Ttl>(rng.uniform_int(0, 172800));
+      auto ttl = dns::Ttl::of_seconds(static_cast<std::int64_t>(rng.uniform_int(0, 172800)));
       dns::Rdata rdata;
       switch (rng.uniform_int(0, 8)) {
         case 0:
@@ -197,30 +197,30 @@ TEST(WireExerciseTest, FullCentricityRunSurvivesTheCodecOnEveryHop) {
 
   // A small hand-built hierarchy on the wire-exercising network.
   auto root_zone = std::make_shared<dns::Zone>(Name{});
-  root_zone->add(dns::make_soa(Name{}, 86400,
+  root_zone->add(dns::make_soa(Name{}, dns::Ttl{86400},
                                Name::from_string("a.root-servers.net"), 1));
   auth::AuthServer root_server{"root"};
   root_server.add_zone(root_zone);
   auto root_addr = network.attach(root_server,
                                   net::Location{net::Region::kNA, 1.0});
-  root_zone->add(dns::make_ns(Name{}, 518400,
+  root_zone->add(dns::make_ns(Name{}, dns::Ttl{518400},
                               Name::from_string("a.root-servers.net")));
   root_zone->add(
-      dns::make_a(Name::from_string("a.root-servers.net"), 518400, root_addr));
+      dns::make_a(Name::from_string("a.root-servers.net"), dns::Ttl{518400}, root_addr));
 
   auto uy_zone = std::make_shared<dns::Zone>(Name::from_string("uy"));
-  uy_zone->add(dns::make_soa(Name::from_string("uy"), 300,
+  uy_zone->add(dns::make_soa(Name::from_string("uy"), dns::Ttl{300},
                              Name::from_string("a.nic.uy"), 1));
-  uy_zone->add(dns::make_ns(Name::from_string("uy"), 300,
+  uy_zone->add(dns::make_ns(Name::from_string("uy"), dns::Ttl{300},
                             Name::from_string("a.nic.uy")));
   auth::AuthServer uy_server{"a.nic.uy"};
   uy_server.add_zone(uy_zone);
   auto uy_addr =
       network.attach(uy_server, net::Location{net::Region::kSA, 1.0});
-  uy_zone->add(dns::make_a(Name::from_string("a.nic.uy"), 120, uy_addr));
-  root_zone->add(dns::make_ns(Name::from_string("uy"), 172800,
+  uy_zone->add(dns::make_a(Name::from_string("a.nic.uy"), dns::Ttl{120}, uy_addr));
+  root_zone->add(dns::make_ns(Name::from_string("uy"), dns::Ttl{172800},
                               Name::from_string("a.nic.uy")));
-  root_zone->add(dns::make_a(Name::from_string("a.nic.uy"), 172800, uy_addr));
+  root_zone->add(dns::make_a(Name::from_string("a.nic.uy"), dns::Ttl{172800}, uy_addr));
 
   resolver::RootHints hints;
   hints.servers.push_back({Name::from_string("a.root-servers.net"),
@@ -234,9 +234,9 @@ TEST(WireExerciseTest, FullCentricityRunSurvivesTheCodecOnEveryHop) {
   // Every hop of this resolution round-trips through encode/decode; any
   // codec asymmetry throws.
   auto result = resolver.resolve(
-      {Name::from_string("uy"), RRType::kNS, dns::RClass::kIN}, 0);
+      {Name::from_string("uy"), RRType::kNS, dns::RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
-  EXPECT_EQ(result.response.answers.at(0).ttl, 300u);
+  EXPECT_EQ(result.response.answers.at(0).ttl, dns::Ttl{300});
 }
 
 }  // namespace

@@ -13,9 +13,9 @@ using dns::RRType;
 
 std::shared_ptr<dns::Zone> tiny_zone() {
   auto zone = std::make_shared<dns::Zone>(Name::from_string("example.org"));
-  zone->add(dns::make_soa(Name::from_string("example.org"), 3600,
+  zone->add(dns::make_soa(Name::from_string("example.org"), dns::Ttl{3600},
                           Name::from_string("ns.example.org"), 1));
-  zone->add(dns::make_a(Name::from_string("www.example.org"), 300,
+  zone->add(dns::make_a(Name::from_string("www.example.org"), dns::Ttl{300},
                         dns::Ipv4(10, 1, 1, 1)));
   return zone;
 }
@@ -95,12 +95,12 @@ TEST(NetworkTest, QueryReachesServerAndReturnsAnswer) {
   NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{Region::kEU, 1.0}};
   auto query = dns::Message::make_query(
       7, Name::from_string("www.example.org"), RRType::kA);
-  auto outcome = network.query(client, addr, query, 0);
+  auto outcome = network.query(client, addr, query, sim::Time{});
   ASSERT_TRUE(outcome.response.has_value());
   EXPECT_EQ(outcome.response->id, 7);
   EXPECT_TRUE(outcome.response->flags.aa);
   ASSERT_EQ(outcome.response->answers.size(), 1u);
-  EXPECT_GT(outcome.elapsed, 0);
+  EXPECT_GT(outcome.elapsed, sim::Duration{});
 }
 
 TEST(NetworkTest, DetachedAddressTimesOut) {
@@ -113,7 +113,7 @@ TEST(NetworkTest, DetachedAddressTimesOut) {
   NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
   auto query = dns::Message::make_query(
       1, Name::from_string("www.example.org"), RRType::kA);
-  auto outcome = network.query(client, addr, query, 0);
+  auto outcome = network.query(client, addr, query, sim::Time{});
   EXPECT_FALSE(outcome.response.has_value());
   EXPECT_EQ(outcome.elapsed, network.params().query_timeout);
 }
@@ -127,7 +127,7 @@ TEST(NetworkTest, OfflineServerTimesOut) {
   NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
   auto query = dns::Message::make_query(
       1, Name::from_string("www.example.org"), RRType::kA);
-  EXPECT_FALSE(network.query(client, addr, query, 0).response.has_value());
+  EXPECT_FALSE(network.query(client, addr, query, sim::Time{}).response.has_value());
 }
 
 TEST(NetworkTest, TotalLossDropsEverything) {
@@ -140,7 +140,7 @@ TEST(NetworkTest, TotalLossDropsEverything) {
   NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
   auto query = dns::Message::make_query(
       1, Name::from_string("www.example.org"), RRType::kA);
-  EXPECT_FALSE(network.query(client, addr, query, 0).response.has_value());
+  EXPECT_FALSE(network.query(client, addr, query, sim::Time{}).response.has_value());
 }
 
 TEST(NetworkTest, AnycastRoutesToNearestSite) {
@@ -159,7 +159,7 @@ TEST(NetworkTest, AnycastRoutesToNearestSite) {
   auto query = dns::Message::make_query(
       1, Name::from_string("www.example.org"), RRType::kA);
   for (int i = 0; i < 5; ++i) {
-    network.query(oc_client, anycast, query, 0);
+    network.query(oc_client, anycast, query, sim::Time{});
   }
   EXPECT_EQ(oc_site.queries_answered(), 5u);
   EXPECT_EQ(eu_site.queries_answered(), 0u);
@@ -173,7 +173,7 @@ TEST(AuthServerTest, RefusesForeignZone) {
   NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
   auto query = dns::Message::make_query(
       1, Name::from_string("www.elsewhere.net"), RRType::kA);
-  auto outcome = network.query(client, addr, query, 0);
+  auto outcome = network.query(client, addr, query, sim::Time{});
   ASSERT_TRUE(outcome.response.has_value());
   EXPECT_EQ(outcome.response->flags.rcode, dns::Rcode::kRefused);
 }
@@ -187,12 +187,12 @@ TEST(AuthServerTest, LogsQueriesWhenEnabled) {
   NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
   auto query = dns::Message::make_query(
       1, Name::from_string("www.example.org"), RRType::kA);
-  network.query(client, addr, query, 5 * sim::kSecond);
+  network.query(client, addr, query, sim::at(5 * sim::kSecond));
   ASSERT_EQ(server.log().size(), 1u);
   EXPECT_EQ(server.log().entries()[0].client, client.address);
   EXPECT_EQ(server.log().entries()[0].qname,
             Name::from_string("www.example.org"));
-  EXPECT_GT(server.log().entries()[0].time, 5 * sim::kSecond);
+  EXPECT_GT(server.log().entries()[0].time, sim::at(5 * sim::kSecond));
   EXPECT_EQ(server.log().unique_clients(), 1u);
 }
 
@@ -200,15 +200,15 @@ TEST(AuthServerTest, DeepestZoneWins) {
   Network network{sim::Rng{1}};
   auth::AuthServer server{"auth"};
   auto parent = std::make_shared<dns::Zone>(Name::from_string("net"));
-  parent->add(dns::make_soa(Name::from_string("net"), 3600,
+  parent->add(dns::make_soa(Name::from_string("net"), dns::Ttl{3600},
                             Name::from_string("ns.net"), 1));
-  parent->add(dns::make_ns(Name::from_string("cachetest.net"), 3600,
+  parent->add(dns::make_ns(Name::from_string("cachetest.net"), dns::Ttl{3600},
                            Name::from_string("ns1.cachetest.net")));
   auto child =
       std::make_shared<dns::Zone>(Name::from_string("cachetest.net"));
-  child->add(dns::make_soa(Name::from_string("cachetest.net"), 3600,
+  child->add(dns::make_soa(Name::from_string("cachetest.net"), dns::Ttl{3600},
                            Name::from_string("ns1.cachetest.net"), 1));
-  child->add(dns::make_a(Name::from_string("www.cachetest.net"), 60,
+  child->add(dns::make_a(Name::from_string("www.cachetest.net"), dns::Ttl{60},
                          dns::Ipv4(1, 1, 1, 1)));
   server.add_zone(parent);
   server.add_zone(child);
@@ -216,7 +216,7 @@ TEST(AuthServerTest, DeepestZoneWins) {
   NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{}};
   auto query = dns::Message::make_query(
       1, Name::from_string("www.cachetest.net"), RRType::kA);
-  auto outcome = network.query(client, addr, query, 0);
+  auto outcome = network.query(client, addr, query, sim::Time{});
   ASSERT_TRUE(outcome.response.has_value());
   // Served from the child zone (authoritative answer), not a referral.
   EXPECT_TRUE(outcome.response->flags.aa);

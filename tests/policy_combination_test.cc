@@ -20,9 +20,9 @@ class ComboTest : public ::testing::Test {
  protected:
   void SetUp() override {
     world = std::make_unique<core::World>(core::World::Options{1, 0.0, {}});
-    zone = world->add_tld("org", "ns1", dns::kTtl2Days, 3600, 3600,
+    zone = world->add_tld("org", "ns1", dns::kTtl2Days, dns::Ttl{3600}, dns::Ttl{3600},
                           net::Location{net::Region::kEU, 1.0});
-    zone->add(dns::make_a(Name::from_string("www.deep.example.org"), 600,
+    zone->add(dns::make_a(Name::from_string("www.deep.example.org"), dns::Ttl{600},
                           dns::Ipv4(10, 0, 0, 1)));
     dns::sign_zone(*zone, dns::make_zone_key(Name::from_string("org")));
   }
@@ -51,7 +51,7 @@ TEST_F(ComboTest, ValidatingMinimizerResolvesSignedNames) {
   config.validate_dnssec = true;
   config.qname_minimization = true;
   auto r = make(config);
-  auto result = r.resolve(deep_q(), 0);
+  auto result = r.resolve(deep_q(), sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
   ASSERT_FALSE(result.response.answers.empty());
   EXPECT_GT(r.stats().validations, 0u);
@@ -64,7 +64,7 @@ TEST_F(ComboTest, ValidatingMinimizerRejectsTamperedData) {
   config.validate_dnssec = true;
   config.qname_minimization = true;
   auto r = make(config);
-  auto result = r.resolve(deep_q(), 0);
+  auto result = r.resolve(deep_q(), sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
 }
 
@@ -73,16 +73,16 @@ TEST_F(ComboTest, StaleAndPrefetchTogether) {
   config.serve_stale = true;
   config.prefetch = true;
   auto r = make(config);
-  r.resolve(deep_q(), 0);
+  r.resolve(deep_q(), sim::Time{});
 
   // Prefetch keeps the entry alive across the nominal expiry...
-  r.resolve(deep_q(), 580 * sim::kSecond);  // <10% left: refresh fires
-  auto refreshed = r.resolve(deep_q(), 700 * sim::kSecond);
+  r.resolve(deep_q(), sim::at(580 * sim::kSecond));  // <10% left: refresh fires
+  auto refreshed = r.resolve(deep_q(), sim::at(700 * sim::kSecond));
   EXPECT_TRUE(refreshed.answered_from_cache);
 
   // ...and serve-stale covers a later total outage.
   world->server("ns1.org.").set_online(false);
-  auto stale = r.resolve(deep_q(), 3 * sim::kHour);
+  auto stale = r.resolve(deep_q(), sim::at(3 * sim::kHour));
   EXPECT_TRUE(stale.served_stale);
 }
 
@@ -91,10 +91,10 @@ TEST_F(ComboTest, LocalRootChildCentricSkipsRootsButHonorsChild) {
   config.local_root = true;
   auto r = make(config);
   auto result = r.resolve(
-      {Name::from_string("org"), RRType::kNS, dns::RClass::kIN}, 0);
+      {Name::from_string("org"), RRType::kNS, dns::RClass::kIN}, sim::Time{});
   // Child-centric: the child's 3600 s wins even with a root mirror.
   ASSERT_FALSE(result.response.answers.empty());
-  EXPECT_EQ(result.response.answers[0].ttl, 3600u);
+  EXPECT_EQ(result.response.answers[0].ttl, dns::Ttl{3600});
   // But no root server was consulted.
   EXPECT_EQ(world->server("a.root-servers.net").queries_answered(), 0u);
   EXPECT_EQ(world->server("k.root-servers.net").queries_answered(), 0u);
@@ -103,25 +103,25 @@ TEST_F(ComboTest, LocalRootChildCentricSkipsRootsButHonorsChild) {
 
 TEST_F(ComboTest, ParentCentricWithLowCap) {
   auto config = parent_centric_config();
-  config.max_ttl = 600;
+  config.max_ttl = dns::Ttl{600};
   auto r = make(config);
   auto result = r.resolve(
-      {Name::from_string("org"), RRType::kNS, dns::RClass::kIN}, 0);
+      {Name::from_string("org"), RRType::kNS, dns::RClass::kIN}, sim::Time{});
   ASSERT_FALSE(result.response.answers.empty());
   // Parent copy (172800) selected, then clamped by the cap.
-  EXPECT_EQ(result.response.answers[0].ttl, 600u);
+  EXPECT_EQ(result.response.answers[0].ttl, dns::Ttl{600});
 }
 
 TEST_F(ComboTest, StickyMinimizerStillPins) {
   auto config = sticky_config();
   config.qname_minimization = true;
   auto r = make(config);
-  auto first = r.resolve(deep_q(), 0);
+  auto first = r.resolve(deep_q(), sim::Time{});
   ASSERT_FALSE(first.response.answers.empty());
 
   // Renumber the whole world away; the sticky resolver keeps asking the
   // pinned (old) server, which still answers with old data.
-  auto fresh_zone = world->create_zone("org", 3600);
+  auto fresh_zone = world->create_zone("org", dns::Ttl{3600});
   for (const auto& rrset : zone->all_rrsets()) {
     fresh_zone->replace(rrset);
   }
@@ -133,7 +133,7 @@ TEST_F(ComboTest, StickyMinimizerStillPins) {
   world->root_zone()->renumber_a(Name::from_string("ns1.org"),
                                  world->address_of("ns1b.org"));
 
-  auto later = r.resolve(deep_q(), 3 * sim::kDay);
+  auto later = r.resolve(deep_q(), sim::at(3 * sim::kDay));
   ASSERT_FALSE(later.response.answers.empty());
   EXPECT_EQ(dns::rdata_to_string(later.response.answers[0].rdata),
             "10.0.0.1");
@@ -155,7 +155,7 @@ TEST_F(ComboTest, ForwarderChainToValidatingBackend) {
   net::NodeRef client{dns::Ipv4(11, 1, 1, 1), eu};
   auto query = dns::Message::make_query(
       5, Name::from_string("www.deep.example.org"), RRType::kA);
-  auto outcome = world->network().query(client, outer_addr, query, 0);
+  auto outcome = world->network().query(client, outer_addr, query, sim::Time{});
   ASSERT_TRUE(outcome.response.has_value());
   EXPECT_EQ(outcome.response->flags.rcode, dns::Rcode::kNoError);
   EXPECT_FALSE(outcome.response->answers.empty());
@@ -163,7 +163,7 @@ TEST_F(ComboTest, ForwarderChainToValidatingBackend) {
 }
 
 TEST_F(ComboTest, TtlZeroRecordWithPrefetchDoesNotLoop) {
-  zone->add(dns::make_a(Name::from_string("zero.org"), 0,
+  zone->add(dns::make_a(Name::from_string("zero.org"), dns::Ttl{0},
                         dns::Ipv4(10, 0, 0, 2)));
   auto config = child_centric_config();
   config.prefetch = true;
@@ -171,7 +171,7 @@ TEST_F(ComboTest, TtlZeroRecordWithPrefetchDoesNotLoop) {
   for (int i = 0; i < 5; ++i) {
     auto result = r.resolve(
         {Name::from_string("zero.org"), RRType::kA, dns::RClass::kIN},
-        i * sim::kSecond);
+        sim::at(i * sim::kSecond));
     EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
     EXPECT_FALSE(result.answered_from_cache);
   }

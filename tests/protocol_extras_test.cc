@@ -23,9 +23,9 @@ using dns::RRType;
 
 core::World world_with_fat_record(std::size_t txt_bytes) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  auto zone = world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kEU, 1.0});
-  zone->add(dns::make_txt(Name::from_string("big.zz"), 300,
+  zone->add(dns::make_txt(Name::from_string("big.zz"), dns::Ttl{300},
                           std::string(txt_bytes, 'x')));
   return world;
 }
@@ -37,7 +37,7 @@ TEST(TruncationTest, OversizedUdpResponseComesBackTruncated) {
   auto query = dns::Message::make_query(1, Name::from_string("big.zz"),
                                         RRType::kTXT);
   auto udp = world.network().query(client, world.address_of("a.nic.zz."),
-                                   query, 0);
+                                   query, sim::Time{});
   ASSERT_TRUE(udp.response.has_value());
   EXPECT_TRUE(udp.response->flags.tc);
   EXPECT_TRUE(udp.response->answers.empty());
@@ -50,7 +50,7 @@ TEST(TruncationTest, TcpCarriesFullResponseAtHigherCost) {
   auto query = dns::Message::make_query(1, Name::from_string("big.zz"),
                                         RRType::kTXT);
   auto tcp = world.network().query(client, world.address_of("a.nic.zz."),
-                                   query, 0, net::Network::Transport::kTcp);
+                                   query, sim::Time{}, net::Network::Transport::kTcp);
   ASSERT_TRUE(tcp.response.has_value());
   EXPECT_FALSE(tcp.response->flags.tc);
   ASSERT_EQ(tcp.response->answers.size(), 1u);
@@ -65,7 +65,7 @@ TEST(TruncationTest, SmallResponsesAreNeverTruncated) {
   auto query = dns::Message::make_query(1, Name::from_string("big.zz"),
                                         RRType::kTXT);
   auto udp = world.network().query(client, world.address_of("a.nic.zz."),
-                                   query, 0);
+                                   query, sim::Time{});
   ASSERT_TRUE(udp.response.has_value());
   EXPECT_FALSE(udp.response->flags.tc);
 }
@@ -78,7 +78,7 @@ TEST(TruncationTest, ResolverRetriesOverTcpTransparently) {
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
   auto result = resolver.resolve(
-      {Name::from_string("big.zz"), RRType::kTXT, dns::RClass::kIN}, 0);
+      {Name::from_string("big.zz"), RRType::kTXT, dns::RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
   ASSERT_FALSE(result.response.answers.empty());
   EXPECT_GT(resolver.stats().tcp_retries, 0u);
@@ -88,10 +88,10 @@ TEST(TruncationTest, ResolverRetriesOverTcpTransparently) {
 
 TEST(AnswerRotationTest, RotatesMultiRecordAnswerSets) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  auto zone = world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kEU, 1.0});
   for (int i = 1; i <= 3; ++i) {
-    zone->add(dns::make_a(Name::from_string("lb.zz"), 300,
+    zone->add(dns::make_a(Name::from_string("lb.zz"), dns::Ttl{300},
                           dns::Ipv4(10, 0, 0, static_cast<std::uint8_t>(i))));
   }
   world.server("a.nic.zz.").set_rotate_answers(true);
@@ -104,7 +104,7 @@ TEST(AnswerRotationTest, RotatesMultiRecordAnswerSets) {
         static_cast<std::uint16_t>(i), Name::from_string("lb.zz"),
         RRType::kA);
     auto outcome = world.network().query(client, world.address_of("a.nic.zz."),
-                                         query, i * sim::kSecond);
+                                         query, sim::at(i * sim::kSecond));
     ASSERT_EQ(outcome.response->answers.size(), 3u);
     first_answers.insert(
         dns::rdata_to_string(outcome.response->answers[0].rdata));
@@ -115,10 +115,10 @@ TEST(AnswerRotationTest, RotatesMultiRecordAnswerSets) {
 
 TEST(AnswerRotationTest, DisabledByDefault) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  auto zone = world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kEU, 1.0});
   for (int i = 1; i <= 3; ++i) {
-    zone->add(dns::make_a(Name::from_string("lb.zz"), 300,
+    zone->add(dns::make_a(Name::from_string("lb.zz"), dns::Ttl{300},
                           dns::Ipv4(10, 0, 0, static_cast<std::uint8_t>(i))));
   }
   net::NodeRef client{dns::Ipv4(10, 9, 9, 9),
@@ -129,7 +129,7 @@ TEST(AnswerRotationTest, DisabledByDefault) {
         static_cast<std::uint16_t>(i), Name::from_string("lb.zz"),
         RRType::kA);
     auto outcome = world.network().query(client, world.address_of("a.nic.zz."),
-                                         query, i * sim::kSecond);
+                                         query, sim::at(i * sim::kSecond));
     first_answers.insert(
         dns::rdata_to_string(outcome.response->answers[0].rdata));
   }
@@ -140,12 +140,12 @@ TEST(AnswerRotationTest, DisabledByDefault) {
 
 TEST(ParentChildTest, ComparesAgainstRegistryTtl) {
   std::vector<crawl::GeneratedDomain> population(3);
-  population[0].parent_ns_ttl = 172800;
-  population[0].records = {{RRType::kNS, 300, "ns1.x.example"}};
-  population[1].parent_ns_ttl = 172800;
-  population[1].records = {{RRType::kNS, 172800, "ns1.y.example"}};
-  population[2].parent_ns_ttl = 172800;
-  population[2].records = {{RRType::kNS, 345600, "ns1.z.example"}};
+  population[0].parent_ns_ttl = dns::Ttl{172800};
+  population[0].records = {{RRType::kNS, dns::Ttl{300}, "ns1.x.example"}};
+  population[1].parent_ns_ttl = dns::Ttl{172800};
+  population[1].records = {{RRType::kNS, dns::Ttl{172800}, "ns1.y.example"}};
+  population[2].parent_ns_ttl = dns::Ttl{172800};
+  population[2].records = {{RRType::kNS, dns::Ttl{345600}, "ns1.z.example"}};
 
   auto report = crawl::compare_parent_child(population);
   EXPECT_EQ(report.compared, 3u);
@@ -176,25 +176,25 @@ TEST(ParentChildTest, NlPopulationMatchesPaperFraction) {
 // ----------------------------------------------------------- hit rate
 
 TEST(HitRateModelTest, PoissonClosedForm) {
-  EXPECT_DOUBLE_EQ(core::poisson_hit_rate(0.01, 0), 0.0);
-  EXPECT_DOUBLE_EQ(core::poisson_hit_rate(0.0, 3600), 0.0);
-  EXPECT_NEAR(core::poisson_hit_rate(0.01, 100), 0.5, 1e-12);
-  EXPECT_GT(core::poisson_hit_rate(0.01, 86400), 0.99);
+  EXPECT_DOUBLE_EQ(core::poisson_hit_rate(0.01, dns::Ttl{0}), 0.0);
+  EXPECT_DOUBLE_EQ(core::poisson_hit_rate(0.0, dns::Ttl{3600}), 0.0);
+  EXPECT_NEAR(core::poisson_hit_rate(0.01, dns::Ttl{100}), 0.5, 1e-12);
+  EXPECT_GT(core::poisson_hit_rate(0.01, dns::Ttl{86400}), 0.99);
   // Monotone in TTL.
-  EXPECT_LT(core::poisson_hit_rate(0.01, 60),
-            core::poisson_hit_rate(0.01, 600));
+  EXPECT_LT(core::poisson_hit_rate(0.01, dns::Ttl{60}),
+            core::poisson_hit_rate(0.01, dns::Ttl{600}));
 }
 
 TEST(HitRateModelTest, PeriodicClosedForm) {
-  EXPECT_DOUBLE_EQ(core::periodic_hit_rate(600, 300), 0.0);  // p > T
-  EXPECT_DOUBLE_EQ(core::periodic_hit_rate(600, 600), 0.5);  // 1 hit, 1 miss
-  EXPECT_NEAR(core::periodic_hit_rate(300, 3600), 12.0 / 13.0, 1e-12);
-  EXPECT_DOUBLE_EQ(core::periodic_hit_rate(0.0, 600), 0.0);
+  EXPECT_DOUBLE_EQ(core::periodic_hit_rate(600, dns::Ttl{300}), 0.0);  // p > T
+  EXPECT_DOUBLE_EQ(core::periodic_hit_rate(600, dns::Ttl{600}), 0.5);  // 1 hit, 1 miss
+  EXPECT_NEAR(core::periodic_hit_rate(300, dns::Ttl{3600}), 12.0 / 13.0, 1e-12);
+  EXPECT_DOUBLE_EQ(core::periodic_hit_rate(0.0, dns::Ttl{600}), 0.0);
 }
 
 TEST(HitRateModelTest, AuthoritativeRateComplement) {
   double lambda = 0.02;
-  dns::Ttl ttl = 900;
+  dns::Ttl ttl = dns::Ttl{900};
   EXPECT_NEAR(core::authoritative_rate(lambda, ttl),
               lambda * (1.0 - core::poisson_hit_rate(lambda, ttl)), 1e-12);
 }
@@ -206,7 +206,7 @@ TEST(HitRateModelTest, TtlForHitRateInvertsTheModel) {
     EXPECT_GE(core::poisson_hit_rate(lambda, ttl), target - 1e-6);
   }
   EXPECT_EQ(core::ttl_for_hit_rate(0.01, 1.0), dns::kMaxTtl);
-  EXPECT_EQ(core::ttl_for_hit_rate(0.01, 0.0), 0u);
+  EXPECT_EQ(core::ttl_for_hit_rate(0.01, 0.0), dns::Ttl{0});
   EXPECT_EQ(core::ttl_for_hit_rate(0.0, 0.5), dns::kMaxTtl);
 }
 

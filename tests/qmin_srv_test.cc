@@ -22,9 +22,9 @@ class QminTest : public ::testing::Test {
  protected:
   void SetUp() override {
     world = std::make_unique<core::World>(core::World::Options{1, 0.0, {}});
-    auto zone = world->add_tld("org", "ns1", 3600, 3600, 3600,
+    auto zone = world->add_tld("org", "ns1", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                                net::Location{net::Region::kEU, 1.0});
-    zone->add(dns::make_a(Name::from_string("www.deep.sub.example.org"), 300,
+    zone->add(dns::make_a(Name::from_string("www.deep.sub.example.org"), dns::Ttl{300},
                           dns::Ipv4(10, 0, 0, 1)));
     world->server("ns1.org.").set_logging(true);
     world->server("a.root-servers.net").set_logging(true);
@@ -50,7 +50,7 @@ TEST_F(QminTest, ResolvesDeepNamesCorrectly) {
   auto result = resolver.resolve(
       {Name::from_string("www.deep.sub.example.org"), RRType::kA,
        dns::RClass::kIN},
-      0);
+      sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
   ASSERT_FALSE(result.response.answers.empty());
   EXPECT_EQ(dns::rdata_to_string(result.response.answers[0].rdata),
@@ -61,7 +61,7 @@ TEST_F(QminTest, HidesFullNameFromUpperZones) {
   auto resolver = make(true);
   resolver.resolve({Name::from_string("www.deep.sub.example.org"),
                     RRType::kA, dns::RClass::kIN},
-                   0);
+                   sim::Time{});
   // The first client-question query at the .org authoritative (skipping
   // the resolver's own NS-address verification fetch) must expose only one
   // label beyond .org, as an NS question.
@@ -89,7 +89,7 @@ TEST_F(QminTest, NonMinimizingResolverExposesFullName) {
   auto resolver = make(false);
   resolver.resolve({Name::from_string("www.deep.sub.example.org"),
                     RRType::kA, dns::RClass::kIN},
-                   0);
+                   sim::Time{});
   const auto& log = world->server("ns1.org.").log();
   bool saw_full_name = false;
   for (const auto& entry : log.entries()) {
@@ -105,8 +105,8 @@ TEST_F(QminTest, MinimizationCostsExtraQueries) {
   auto minimizing = make(true);
   dns::Question q{Name::from_string("www.deep.sub.example.org"), RRType::kA,
                   dns::RClass::kIN};
-  auto plain_result = plain.resolve(q, 0);
-  auto min_result = minimizing.resolve(q, sim::kHour * 24);
+  auto plain_result = plain.resolve(q, sim::Time{});
+  auto min_result = minimizing.resolve(q, sim::at(sim::kHour * 24));
   EXPECT_GT(min_result.upstream_queries, plain_result.upstream_queries);
 }
 
@@ -114,7 +114,7 @@ TEST_F(QminTest, NxdomainAncestorIsConclusive) {
   auto resolver = make(true);
   auto result = resolver.resolve(
       {Name::from_string("a.b.missing.org"), RRType::kA, dns::RClass::kIN},
-      0);
+      sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNXDomain);
   // RFC 8020/7816: the full name never crossed the wire.
   for (const auto& entry : world->server("ns1.org.").log().entries()) {
@@ -126,8 +126,8 @@ TEST_F(QminTest, CacheHitsStillWork) {
   auto resolver = make(true);
   dns::Question q{Name::from_string("www.deep.sub.example.org"), RRType::kA,
                   dns::RClass::kIN};
-  resolver.resolve(q, 0);
-  auto second = resolver.resolve(q, 10 * sim::kSecond);
+  resolver.resolve(q, sim::Time{});
+  auto second = resolver.resolve(q, sim::at(10 * sim::kSecond));
   EXPECT_TRUE(second.answered_from_cache);
 }
 
@@ -143,10 +143,10 @@ TEST(SrvPtrTest, WireRoundTrip) {
   srv.port = 5060;
   srv.target = Name::from_string("sip1.example.org");
   response.answers.push_back(dns::ResourceRecord{
-      Name::from_string("_sip._tcp.example.org"), dns::RClass::kIN, 300,
+      Name::from_string("_sip._tcp.example.org"), dns::RClass::kIN, dns::Ttl{300},
       srv});
   response.answers.push_back(dns::ResourceRecord{
-      Name::from_string("1.0.0.10.in-addr.arpa"), dns::RClass::kIN, 300,
+      Name::from_string("1.0.0.10.in-addr.arpa"), dns::RClass::kIN, dns::Ttl{300},
       dns::PtrRdata{Name::from_string("www.example.org")}});
   EXPECT_EQ(dns::decode(dns::encode(response)), response);
 }
@@ -183,14 +183,14 @@ TEST(SrvPtrTest, MasterFileParsing) {
 
 TEST(SrvPtrTest, ServedAndResolvedEndToEnd) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  auto zone = world.add_tld("org", "ns1", 3600, 3600, 3600,
+  auto zone = world.add_tld("org", "ns1", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kEU, 1.0});
   dns::SrvRdata srv;
   srv.priority = 1;
   srv.port = 443;
   srv.target = Name::from_string("web.org");
   zone->add(dns::ResourceRecord{Name::from_string("_https._tcp.org"),
-                                dns::RClass::kIN, 600, srv});
+                                dns::RClass::kIN, dns::Ttl{600}, srv});
   resolver::RecursiveResolver resolver("r", resolver::child_centric_config(),
                                        world.network(), world.hints());
   net::Location eu{net::Region::kEU, 1.0};
@@ -198,9 +198,9 @@ TEST(SrvPtrTest, ServedAndResolvedEndToEnd) {
       net::NodeRef{world.network().attach(resolver, eu), eu});
   auto result = resolver.resolve(
       {Name::from_string("_https._tcp.org"), RRType::kSRV, dns::RClass::kIN},
-      0);
+      sim::Time{});
   ASSERT_FALSE(result.response.answers.empty());
-  EXPECT_EQ(result.response.answers[0].ttl, 600u);
+  EXPECT_EQ(result.response.answers[0].ttl, dns::Ttl{600});
 }
 
 // ------------------------------------------------------------------- KS

@@ -81,18 +81,18 @@ TEST(RRsetTest, FromRecordsUsesMinimumTtl) {
   // RFC 2181 §5.2: differing TTLs in one set resolve to the minimum.
   Name owner = Name::from_string("example.org");
   std::vector<ResourceRecord> records = {
-      make_a(owner, 3600, Ipv4(1, 1, 1, 1)),
-      make_a(owner, 300, Ipv4(2, 2, 2, 2)),
+      make_a(owner, dns::Ttl{3600}, Ipv4(1, 1, 1, 1)),
+      make_a(owner, dns::Ttl{300}, Ipv4(2, 2, 2, 2)),
   };
   RRset set = RRset::from_records(records);
-  EXPECT_EQ(set.ttl(), 300u);
+  EXPECT_EQ(set.ttl(), Ttl{300});
   EXPECT_EQ(set.size(), 2u);
 }
 
 TEST(RRsetTest, FromRecordsRejectsMixedKeys) {
   std::vector<ResourceRecord> mixed = {
-      make_a(Name::from_string("a.org"), 60, Ipv4(1, 1, 1, 1)),
-      make_a(Name::from_string("b.org"), 60, Ipv4(1, 1, 1, 1)),
+      make_a(Name::from_string("a.org"), dns::Ttl{60}, Ipv4(1, 1, 1, 1)),
+      make_a(Name::from_string("b.org"), dns::Ttl{60}, Ipv4(1, 1, 1, 1)),
   };
   EXPECT_THROW(RRset::from_records(mixed), std::invalid_argument);
   EXPECT_THROW(RRset::from_records({}), std::invalid_argument);
@@ -100,17 +100,17 @@ TEST(RRsetTest, FromRecordsRejectsMixedKeys) {
 
 TEST(RRsetTest, ToRecordsCarriesSetTtl) {
   Name owner = Name::from_string("example.org");
-  RRset set(owner, RClass::kIN, 120);
+  RRset set(owner, RClass::kIN, dns::Ttl{120});
   set.add(ARdata{Ipv4(9, 9, 9, 9)});
   set.add(ARdata{Ipv4(8, 8, 8, 8)});
   auto records = set.to_records();
   ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0].ttl, 120u);
-  EXPECT_EQ(records[1].ttl, 120u);
+  EXPECT_EQ(records[0].ttl, Ttl{120});
+  EXPECT_EQ(records[1].ttl, Ttl{120});
 }
 
 TEST(ResourceRecordTest, ZoneFilePresentation) {
-  auto rr = make_ns(Name::from_string("cl"), 172800,
+  auto rr = make_ns(Name::from_string("cl"), dns::Ttl{172800},
                     Name::from_string("a.nic.cl"));
   EXPECT_EQ(rr.to_string(), "cl. 172800 IN NS a.nic.cl.");
 }

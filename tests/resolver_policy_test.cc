@@ -44,7 +44,7 @@ TEST_P(TtlSweepTest, ServedNsTtlMatchesEffectiveTtlModel) {
       net::NodeRef{world.network().attach(resolver, eu), eu});
 
   auto result = resolver.resolve(
-      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, 0);
+      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, sim::Time{});
   ASSERT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
   ASSERT_FALSE(result.response.answers.empty());
 
@@ -55,32 +55,33 @@ TEST_P(TtlSweepTest, ServedNsTtlMatchesEffectiveTtlModel) {
   layout.child_a_ttl = param.child_ttl;
   auto expected = core::effective_ttl(layout, config);
   EXPECT_EQ(result.response.answers[0].ttl, expected.ns_ttl)
-      << "parent=" << param.parent_ttl << " child=" << param.child_ttl
-      << " " << to_string(param.centricity) << " cap=" << param.max_ttl;
+      << "parent=" << param.parent_ttl.value()
+      << " child=" << param.child_ttl.value()
+      << " " << to_string(param.centricity) << " cap=" << param.max_ttl.value();
 }
 
 INSTANTIATE_TEST_SUITE_P(
     LayoutAndPolicy, TtlSweepTest,
     ::testing::Values(
         // The paper's real-world pairs.
-        SweepCase{172800, 300, Centricity::kChildCentric, dns::kTtl1Week},
-        SweepCase{172800, 300, Centricity::kParentCentric, dns::kTtl1Week},
-        SweepCase{900, 345600, Centricity::kChildCentric, dns::kTtl1Week},
-        SweepCase{900, 345600, Centricity::kChildCentric, 21599},
-        SweepCase{900, 345600, Centricity::kParentCentric, dns::kTtl1Week},
-        SweepCase{172800, 86400, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{dns::Ttl{172800}, dns::Ttl{300}, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{dns::Ttl{172800}, dns::Ttl{300}, Centricity::kParentCentric, dns::kTtl1Week},
+        SweepCase{dns::Ttl{900}, dns::Ttl{345600}, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{dns::Ttl{900}, dns::Ttl{345600}, Centricity::kChildCentric, dns::Ttl{21599}},
+        SweepCase{dns::Ttl{900}, dns::Ttl{345600}, Centricity::kParentCentric, dns::kTtl1Week},
+        SweepCase{dns::Ttl{172800}, dns::Ttl{86400}, Centricity::kChildCentric, dns::kTtl1Week},
         // Equal copies: centricity becomes invisible.
-        SweepCase{3600, 3600, Centricity::kChildCentric, dns::kTtl1Week},
-        SweepCase{3600, 3600, Centricity::kParentCentric, dns::kTtl1Week},
+        SweepCase{dns::Ttl{3600}, dns::Ttl{3600}, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{dns::Ttl{3600}, dns::Ttl{3600}, Centricity::kParentCentric, dns::kTtl1Week},
         // Degenerate: child shorter than any cap, parent capped.
-        SweepCase{172800, 60, Centricity::kChildCentric, dns::kTtl1Week},
-        SweepCase{172800, 60, Centricity::kParentCentric, 21599}));
+        SweepCase{dns::Ttl{172800}, dns::Ttl{60}, Centricity::kChildCentric, dns::kTtl1Week},
+        SweepCase{dns::Ttl{172800}, dns::Ttl{60}, Centricity::kParentCentric, dns::Ttl{21599}}));
 
 // ---------------------------------------------------------------- failures
 
 TEST(FailureInjectionTest, HighLossStillResolvesViaRetries) {
   core::World world{core::World::Options{7, 0.20, {}}};  // 20% loss
-  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                 net::Location{net::Region::kEU, 1.0});
   RecursiveResolver resolver("lossy", child_centric_config(),
                              world.network(), world.hints());
@@ -92,7 +93,7 @@ TEST(FailureInjectionTest, HighLossStillResolvesViaRetries) {
   for (int i = 0; i < 50; ++i) {
     auto result = resolver.resolve(
         {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN},
-        i * sim::kHour * 2);  // past TTL each round: full resolution
+        sim::at(i * sim::kHour * 2));  // past TTL each round: full resolution
     if (result.response.flags.rcode == dns::Rcode::kNoError) ++ok;
   }
   // With 3 root servers and retries, the vast majority must succeed.
@@ -101,7 +102,7 @@ TEST(FailureInjectionTest, HighLossStillResolvesViaRetries) {
 
 TEST(FailureInjectionTest, AllRootsDeadMeansServfailNotHang) {
   core::World world{core::World::Options{7, 0.0, {}}};
-  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                 net::Location{net::Region::kEU, 1.0});
   for (const auto& hint : world.hints().servers) {
     world.network().detach(hint.address);
@@ -112,14 +113,14 @@ TEST(FailureInjectionTest, AllRootsDeadMeansServfailNotHang) {
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
   auto result = resolver.resolve(
-      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, 0);
+      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
-  EXPECT_GT(result.elapsed, 0);
+  EXPECT_GT(result.elapsed, sim::Duration{});
 }
 
 TEST(FailureInjectionTest, OneDeadRootIsInvisible) {
   core::World world{core::World::Options{7, 0.0, {}}};
-  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                 net::Location{net::Region::kEU, 1.0});
   world.network().detach(world.hints().servers[0].address);
   RecursiveResolver resolver("resilient", child_centric_config(),
@@ -128,7 +129,7 @@ TEST(FailureInjectionTest, OneDeadRootIsInvisible) {
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
   auto result = resolver.resolve(
-      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, 0);
+      {Name::from_string("zz"), RRType::kNS, dns::RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
 }
 
@@ -139,24 +140,24 @@ TEST(FailureInjectionTest, LameDelegationEventuallyServfails) {
   lame.add_zone(world.create_zone("other.example"));
   world.delegate(*world.root_zone(), Name::from_string("zz"),
                  {{Name::from_string("ns1.zz"), world.address_of("lame")}},
-                 3600, 3600);
+                 dns::Ttl{3600}, dns::Ttl{3600});
   RecursiveResolver resolver("victim", child_centric_config(),
                              world.network(), world.hints());
   net::Location eu{net::Region::kEU, 1.0};
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
   auto result = resolver.resolve(
-      {Name::from_string("www.zz"), RRType::kA, dns::RClass::kIN}, 0);
+      {Name::from_string("www.zz"), RRType::kA, dns::RClass::kIN}, sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
 }
 
 TEST(FailureInjectionTest, CnameLoopTerminates) {
   core::World world{core::World::Options{7, 0.0, {}}};
-  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  auto zone = world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kEU, 1.0});
-  zone->add(dns::make_cname(Name::from_string("a.zz"), 300,
+  zone->add(dns::make_cname(Name::from_string("a.zz"), dns::Ttl{300},
                             Name::from_string("b.zz")));
-  zone->add(dns::make_cname(Name::from_string("b.zz"), 300,
+  zone->add(dns::make_cname(Name::from_string("b.zz"), dns::Ttl{300},
                             Name::from_string("a.zz")));
   RecursiveResolver resolver("looped", child_centric_config(),
                              world.network(), world.hints());
@@ -164,16 +165,16 @@ TEST(FailureInjectionTest, CnameLoopTerminates) {
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
   auto result = resolver.resolve(
-      {Name::from_string("a.zz"), RRType::kA, dns::RClass::kIN}, 0);
+      {Name::from_string("a.zz"), RRType::kA, dns::RClass::kIN}, sim::Time{});
   // Must terminate (bounded iterations), not hang; SERVFAIL is acceptable.
   EXPECT_NE(result.response.flags.rcode, dns::Rcode::kNoError);
 }
 
 TEST(FailureInjectionTest, MidRunServerLossTriggersStaleOrServfail) {
   core::World world{core::World::Options{7, 0.0, {}}};
-  auto zone = world.add_tld("zz", "a.nic", 3600, 300, 300,
+  auto zone = world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{300}, dns::Ttl{300},
                             net::Location{net::Region::kEU, 1.0});
-  zone->add(dns::make_a(Name::from_string("www.zz"), 60, dns::Ipv4(1, 1, 1, 1)));
+  zone->add(dns::make_a(Name::from_string("www.zz"), dns::Ttl{60}, dns::Ipv4(1, 1, 1, 1)));
 
   for (bool stale : {false, true}) {
     auto config = child_centric_config();
@@ -185,11 +186,11 @@ TEST(FailureInjectionTest, MidRunServerLossTriggersStaleOrServfail) {
         net::NodeRef{world.network().attach(resolver, eu), eu});
     resolver.resolve({Name::from_string("www.zz"), RRType::kA,
                       dns::RClass::kIN},
-                     0);
+                     sim::Time{});
     world.server("a.nic.zz.").set_online(false);
     auto result = resolver.resolve(
         {Name::from_string("www.zz"), RRType::kA, dns::RClass::kIN},
-        10 * sim::kMinute);
+        sim::at(10 * sim::kMinute));
     if (stale) {
       EXPECT_TRUE(result.served_stale);
       EXPECT_FALSE(result.response.answers.empty());

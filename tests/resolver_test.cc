@@ -23,36 +23,36 @@ class ResolverTest : public ::testing::Test {
     network = std::make_unique<net::Network>(sim::Rng{1});
 
     root_zone = std::make_shared<dns::Zone>(Name{});
-    root_zone->add(dns::make_soa(Name{}, 86400,
+    root_zone->add(dns::make_soa(Name{}, dns::Ttl{86400},
                                  Name::from_string("a.root-servers.net"), 1));
-    root_zone->add(dns::make_ns(Name{}, 518400,
+    root_zone->add(dns::make_ns(Name{}, dns::Ttl{518400},
                                 Name::from_string("a.root-servers.net")));
 
     root_server = std::make_unique<auth::AuthServer>("a.root-servers.net");
     root_server->add_zone(root_zone);
     root_addr = network->attach(*root_server, net::Location{net::Region::kNA});
     root_zone->add(dns::make_a(Name::from_string("a.root-servers.net"),
-                               518400, root_addr));
+                               dns::Ttl{518400}, root_addr));
     hints.servers.push_back({Name::from_string("a.root-servers.net"),
                              root_addr});
 
     // .uy child zone and server.
     uy_zone = std::make_shared<dns::Zone>(Name::from_string("uy"));
-    uy_zone->add(dns::make_soa(Name::from_string("uy"), 300,
+    uy_zone->add(dns::make_soa(Name::from_string("uy"), dns::Ttl{300},
                                Name::from_string("a.nic.uy"), 1));
-    uy_zone->add(dns::make_ns(Name::from_string("uy"), 300,
+    uy_zone->add(dns::make_ns(Name::from_string("uy"), dns::Ttl{300},
                               Name::from_string("a.nic.uy")));
     uy_server = std::make_unique<auth::AuthServer>("a.nic.uy");
     uy_server->add_zone(uy_zone);
     uy_addr = network->attach(*uy_server, net::Location{net::Region::kSA});
-    uy_zone->add(dns::make_a(Name::from_string("a.nic.uy"), 120, uy_addr));
-    uy_zone->add(dns::make_a(Name::from_string("www.gub.uy"), 600,
+    uy_zone->add(dns::make_a(Name::from_string("a.nic.uy"), dns::Ttl{120}, uy_addr));
+    uy_zone->add(dns::make_a(Name::from_string("www.gub.uy"), dns::Ttl{600},
                              dns::Ipv4(10, 77, 0, 1)));
 
     // Root-side delegation: the 2-day parent copies.
-    root_zone->add(dns::make_ns(Name::from_string("uy"), 172800,
+    root_zone->add(dns::make_ns(Name::from_string("uy"), dns::Ttl{172800},
                                 Name::from_string("a.nic.uy")));
-    root_zone->add(dns::make_a(Name::from_string("a.nic.uy"), 172800,
+    root_zone->add(dns::make_a(Name::from_string("a.nic.uy"), dns::Ttl{172800},
                                uy_addr));
   }
 
@@ -75,7 +75,7 @@ class ResolverTest : public ::testing::Test {
       }
     }
     ADD_FAILURE() << "no answer of requested type:\n" << response.to_string();
-    return 0;
+    return dns::Ttl{0};
   }
 
   std::unique_ptr<net::Network> network;
@@ -92,19 +92,19 @@ TEST_F(ResolverTest, ChildCentricSeesChildNsTtl) {
   auto resolver = make_resolver(child_centric_config());
   auto result = resolver->resolve(
       dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
-      0);
+      sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
-  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), 300u);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), dns::Ttl{300});
   EXPECT_FALSE(result.answered_from_cache);
-  EXPECT_GT(result.elapsed, 0);
+  EXPECT_GT(result.elapsed, sim::Duration{});
 }
 
 TEST_F(ResolverTest, ParentCentricSeesParentNsTtl) {
   auto resolver = make_resolver(parent_centric_config());
   auto result = resolver->resolve(
       dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
-      0);
-  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), 172800u);
+      sim::Time{});
+  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), dns::Ttl{172800});
   // Parent-centric resolvers never consult the child for the NS copy.
   EXPECT_EQ(uy_server->queries_answered(), 0u);
 }
@@ -114,8 +114,8 @@ TEST_F(ResolverTest, ChildCentricSeesChildAddressTtl) {
   auto result = resolver->resolve(
       dns::Question{Name::from_string("a.nic.uy"), RRType::kA,
                     dns::RClass::kIN},
-      0);
-  EXPECT_EQ(answer_ttl(result.response, RRType::kA), 120u);
+      sim::Time{});
+  EXPECT_EQ(answer_ttl(result.response, RRType::kA), dns::Ttl{120});
 }
 
 TEST_F(ResolverTest, ParentCentricSeesGlueAddressTtl) {
@@ -123,26 +123,26 @@ TEST_F(ResolverTest, ParentCentricSeesGlueAddressTtl) {
   auto result = resolver->resolve(
       dns::Question{Name::from_string("a.nic.uy"), RRType::kA,
                     dns::RClass::kIN},
-      0);
-  EXPECT_EQ(answer_ttl(result.response, RRType::kA), 172800u);
+      sim::Time{});
+  EXPECT_EQ(answer_ttl(result.response, RRType::kA), dns::Ttl{172800});
 }
 
 TEST_F(ResolverTest, SecondQueryServedFromCacheWithCountedDownTtl) {
   auto resolver = make_resolver(child_centric_config());
   dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
                          dns::RClass::kIN};
-  auto first = resolver->resolve(question, 0);
-  EXPECT_EQ(answer_ttl(first.response, RRType::kA), 600u);
+  auto first = resolver->resolve(question, sim::Time{});
+  EXPECT_EQ(answer_ttl(first.response, RRType::kA), dns::Ttl{600});
 
-  auto second = resolver->resolve(question, 100 * kSecond);
+  auto second = resolver->resolve(question, sim::at(100 * kSecond));
   EXPECT_TRUE(second.answered_from_cache);
-  EXPECT_EQ(second.elapsed, 0);
-  EXPECT_EQ(answer_ttl(second.response, RRType::kA), 500u);
+  EXPECT_EQ(second.elapsed, sim::Duration{});
+  EXPECT_EQ(answer_ttl(second.response, RRType::kA), dns::Ttl{500});
 
   // Past the TTL, a full re-resolution happens.
-  auto third = resolver->resolve(question, 700 * kSecond);
+  auto third = resolver->resolve(question, sim::at(700 * kSecond));
   EXPECT_FALSE(third.answered_from_cache);
-  EXPECT_EQ(answer_ttl(third.response, RRType::kA), 600u);
+  EXPECT_EQ(answer_ttl(third.response, RRType::kA), dns::Ttl{600});
 }
 
 TEST_F(ResolverTest, GoogleLikeCapsServedTtl) {
@@ -151,23 +151,24 @@ TEST_F(ResolverTest, GoogleLikeCapsServedTtl) {
   auto result = resolver->resolve(
       dns::Question{Name::from_string("a.nic.uy"), RRType::kA,
                     dns::RClass::kIN},
-      0);
-  EXPECT_EQ(answer_ttl(result.response, RRType::kA), 120u);  // under cap
+      sim::Time{});
+  EXPECT_EQ(answer_ttl(result.response, RRType::kA), dns::Ttl{120});  // under cap
 
   auto ns = resolver->resolve(
       dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
-      0);
-  EXPECT_EQ(answer_ttl(ns.response, RRType::kNS), 300u);  // child copy
+      sim::Time{});
+  EXPECT_EQ(answer_ttl(ns.response, RRType::kNS), dns::Ttl{300});  // child copy
 }
 
 TEST_F(ResolverTest, LocalRootAnswersWithFullParentTtlEveryTime) {
   // RFC 7706 + parent-centric: the §3.2 VPs that always report 172800 s.
   auto resolver = make_resolver(opendns_like_config());
-  for (sim::Time t : {sim::Time{0}, 10 * sim::kMinute, 3 * sim::kHour}) {
+  for (sim::Time t : {sim::Time{0}, sim::at(10 * sim::kMinute),
+                      sim::at(3 * sim::kHour)}) {
     auto result = resolver->resolve(
         dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
         t);
-    EXPECT_EQ(answer_ttl(result.response, RRType::kNS), 172800u);
+    EXPECT_EQ(answer_ttl(result.response, RRType::kNS), dns::Ttl{172800});
     EXPECT_TRUE(result.answered_from_referral);
   }
   // Nothing left the resolver toward the root.
@@ -179,8 +180,8 @@ TEST_F(ResolverTest, LocalRootStillForwardsChildQuestions) {
   auto result = resolver->resolve(
       dns::Question{Name::from_string("www.gub.uy"), RRType::kA,
                     dns::RClass::kIN},
-      0);
-  EXPECT_EQ(answer_ttl(result.response, RRType::kA), 600u);
+      sim::Time{});
+  EXPECT_EQ(answer_ttl(result.response, RRType::kA), dns::Ttl{600});
   EXPECT_EQ(root_server->queries_answered(), 0u);
   EXPECT_GT(uy_server->queries_answered(), 0u);
 }
@@ -189,21 +190,21 @@ TEST_F(ResolverTest, ParentCentricCountsDownCachedReferralTtl) {
   auto resolver = make_resolver(parent_centric_config());
   dns::Question question{Name::from_string("uy"), RRType::kNS,
                          dns::RClass::kIN};
-  resolver->resolve(question, 0);
-  auto later = resolver->resolve(question, 1000 * kSecond);
+  resolver->resolve(question, sim::Time{});
+  auto later = resolver->resolve(question, sim::at(1000 * kSecond));
   EXPECT_TRUE(later.answered_from_cache);
-  EXPECT_EQ(answer_ttl(later.response, RRType::kNS), 172800u - 1000u);
+  EXPECT_EQ(answer_ttl(later.response, RRType::kNS), dns::Ttl{172800 - 1000});
 }
 
 TEST_F(ResolverTest, NxDomainIsNegativeCached) {
   auto resolver = make_resolver(child_centric_config());
   dns::Question question{Name::from_string("nope.uy"), RRType::kA,
                          dns::RClass::kIN};
-  auto first = resolver->resolve(question, 0);
+  auto first = resolver->resolve(question, sim::Time{});
   EXPECT_EQ(first.response.flags.rcode, dns::Rcode::kNXDomain);
   auto upstream_before = resolver->stats().upstream_queries;
 
-  auto second = resolver->resolve(question, 10 * kSecond);
+  auto second = resolver->resolve(question, sim::at(10 * kSecond));
   EXPECT_EQ(second.response.flags.rcode, dns::Rcode::kNXDomain);
   EXPECT_EQ(resolver->stats().upstream_queries, upstream_before);
 }
@@ -214,10 +215,10 @@ TEST_F(ResolverTest, ServeStaleAnswersWhenChildOffline) {
   auto resolver = make_resolver(config);
   dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
                          dns::RClass::kIN};
-  resolver->resolve(question, 0);
+  resolver->resolve(question, sim::Time{});
 
   uy_server->set_online(false);
-  auto result = resolver->resolve(question, 700 * kSecond);  // TTL expired
+  auto result = resolver->resolve(question, sim::at(700 * kSecond));  // TTL expired
   EXPECT_TRUE(result.served_stale);
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
   ASSERT_FALSE(result.response.answers.empty());
@@ -227,9 +228,9 @@ TEST_F(ResolverTest, WithoutServeStaleOfflineChildMeansServfail) {
   auto resolver = make_resolver(child_centric_config());
   dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
                          dns::RClass::kIN};
-  resolver->resolve(question, 0);
+  resolver->resolve(question, sim::Time{});
   uy_server->set_online(false);
-  auto result = resolver->resolve(question, 700 * kSecond);
+  auto result = resolver->resolve(question, sim::at(700 * kSecond));
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kServFail);
 }
 
@@ -240,9 +241,9 @@ TEST_F(ResolverTest, LocalRootAnswersTldNsWithChildOffline) {
   uy_server->set_online(false);
   auto result = resolver->resolve(
       dns::Question{Name::from_string("uy"), RRType::kNS, dns::RClass::kIN},
-      0);
+      sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
-  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), 172800u);
+  EXPECT_EQ(answer_ttl(result.response, RRType::kNS), dns::Ttl{172800});
 }
 
 TEST_F(ResolverTest, StickyResolverKeepsOldServerAfterRenumber) {
@@ -250,8 +251,8 @@ TEST_F(ResolverTest, StickyResolverKeepsOldServerAfterRenumber) {
   auto normal = make_resolver(child_centric_config());
   dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
                          dns::RClass::kIN};
-  sticky->resolve(question, 0);
-  normal->resolve(question, 0);
+  sticky->resolve(question, sim::Time{});
+  normal->resolve(question, sim::Time{});
 
   // Stand up a replacement server and move every .uy pointer to it.
   auto new_zone = std::make_shared<dns::Zone>(Name::from_string("uy"));
@@ -259,7 +260,7 @@ TEST_F(ResolverTest, StickyResolverKeepsOldServerAfterRenumber) {
     new_zone->replace(rrset);
   }
   new_zone->replace([&] {
-    dns::RRset set(Name::from_string("www.gub.uy"), dns::RClass::kIN, 600);
+    dns::RRset set(Name::from_string("www.gub.uy"), dns::RClass::kIN, dns::Ttl{600});
     set.add(dns::ARdata{dns::Ipv4(10, 77, 0, 2)});  // changed answer
     return set;
   }());
@@ -272,7 +273,7 @@ TEST_F(ResolverTest, StickyResolverKeepsOldServerAfterRenumber) {
   uy_zone->renumber_a(Name::from_string("a.nic.uy"), new_addr);
 
   // Far past every TTL, the sticky resolver still asks the old server.
-  sim::Time later = 3 * sim::kDay;
+  sim::Time later = sim::at(3 * sim::kDay);
   auto sticky_result = sticky->resolve(question, later);
   auto normal_result = normal->resolve(question, later);
   EXPECT_EQ(dns::rdata_to_string(sticky_result.response.answers[0].rdata),
@@ -282,13 +283,13 @@ TEST_F(ResolverTest, StickyResolverKeepsOldServerAfterRenumber) {
 }
 
 TEST_F(ResolverTest, CnameChainAcrossZonesIsChased) {
-  uy_zone->add(dns::make_cname(Name::from_string("alias.uy"), 300,
+  uy_zone->add(dns::make_cname(Name::from_string("alias.uy"), dns::Ttl{300},
                                Name::from_string("www.gub.uy")));
   auto resolver = make_resolver(child_centric_config());
   auto result = resolver->resolve(
       dns::Question{Name::from_string("alias.uy"), RRType::kA,
                     dns::RClass::kIN},
-      0);
+      sim::Time{});
   ASSERT_GE(result.response.answers.size(), 2u);
   EXPECT_EQ(result.response.answers.front().type(), RRType::kCNAME);
   EXPECT_EQ(result.response.answers.back().type(), RRType::kA);
@@ -298,7 +299,7 @@ TEST_F(ResolverTest, HandleQueryEchoesIdAndSetsRa) {
   auto resolver = make_resolver(child_centric_config());
   auto query = dns::Message::make_query(
       0xbeef, Name::from_string("www.gub.uy"), RRType::kA);
-  auto reply = resolver->handle_query(query, dns::Ipv4(10, 9, 9, 9), 0);
+  auto reply = resolver->handle_query(query, dns::Ipv4(10, 9, 9, 9), sim::Time{});
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->message.id, 0xbeef);
   EXPECT_TRUE(reply->message.flags.qr);
@@ -309,8 +310,8 @@ TEST_F(ResolverTest, StatsTrackHitsAndResolutions) {
   auto resolver = make_resolver(child_centric_config());
   dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
                          dns::RClass::kIN};
-  resolver->resolve(question, 0);
-  resolver->resolve(question, kSecond);
+  resolver->resolve(question, sim::Time{});
+  resolver->resolve(question, sim::at(kSecond));
   EXPECT_EQ(resolver->stats().client_queries, 2u);
   EXPECT_EQ(resolver->stats().cache_answers, 1u);
   EXPECT_EQ(resolver->stats().full_resolutions, 1u);
@@ -321,9 +322,9 @@ TEST_F(ResolverTest, FlushForcesFullResolution) {
   auto resolver = make_resolver(child_centric_config());
   dns::Question question{Name::from_string("www.gub.uy"), RRType::kA,
                          dns::RClass::kIN};
-  resolver->resolve(question, 0);
+  resolver->resolve(question, sim::Time{});
   resolver->flush();
-  auto again = resolver->resolve(question, kSecond);
+  auto again = resolver->resolve(question, sim::at(kSecond));
   EXPECT_FALSE(again.answered_from_cache);
 }
 
@@ -338,7 +339,7 @@ TEST_F(ResolverTest, ForwarderRelaysToBackend) {
                      net::Location{net::Region::kEU, 1.0}};
   auto query = dns::Message::make_query(
       3, Name::from_string("www.gub.uy"), RRType::kA);
-  auto outcome = network->query(probe, fw_addr, query, 0);
+  auto outcome = network->query(probe, fw_addr, query, sim::Time{});
   ASSERT_TRUE(outcome.response.has_value());
   EXPECT_EQ(outcome.response->answers.size(), 1u);
   EXPECT_EQ(backend->stats().client_queries, 1u);
@@ -364,7 +365,7 @@ TEST_F(ResolverTest, PopulationBuildsCalibratedMixture) {
   auto result = member.resolver->resolve(
       dns::Question{Name::from_string("www.gub.uy"), RRType::kA,
                     dns::RClass::kIN},
-      0);
+      sim::Time{});
   EXPECT_EQ(result.response.flags.rcode, dns::Rcode::kNoError);
   population.flush_all();
   EXPECT_EQ(member.resolver->cache().size(), 0u);

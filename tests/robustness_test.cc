@@ -20,7 +20,7 @@ using dns::RRType;
 TEST(RobustnessTest, AuthServerRejectsQuestionlessQuery) {
   auth::AuthServer server{"auth"};
   dns::Message empty;
-  auto reply = server.handle_query(empty, dns::Ipv4(1, 1, 1, 1), 0);
+  auto reply = server.handle_query(empty, dns::Ipv4(1, 1, 1, 1), sim::Time{});
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->message.flags.rcode, dns::Rcode::kFormErr);
 }
@@ -30,7 +30,7 @@ TEST(RobustnessTest, ResolverRejectsQuestionlessQuery) {
   resolver::RecursiveResolver resolver("r", resolver::child_centric_config(),
                                        world.network(), world.hints());
   dns::Message empty;
-  auto reply = resolver.handle_query(empty, dns::Ipv4(1, 1, 1, 1), 0);
+  auto reply = resolver.handle_query(empty, dns::Ipv4(1, 1, 1, 1), sim::Time{});
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->message.flags.rcode, dns::Rcode::kFormErr);
 }
@@ -39,13 +39,13 @@ TEST(RobustnessTest, ForwarderWithNoBackendsTimesOut) {
   core::World world{core::World::Options{1, 0.0, {}}};
   resolver::Forwarder forwarder{"empty", world.network(), {}};
   auto query = dns::Message::make_query(1, Name::from_string("x"), RRType::kA);
-  EXPECT_FALSE(forwarder.handle_query(query, dns::Ipv4(1, 1, 1, 1), 0)
+  EXPECT_FALSE(forwarder.handle_query(query, dns::Ipv4(1, 1, 1, 1), sim::Time{})
                    .has_value());
 }
 
 TEST(RobustnessTest, ForwarderHashSelectionIsStablePerQname) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                 net::Location{net::Region::kEU, 1.0});
 
   auto make_backend = [&](const char* ident) {
@@ -72,7 +72,7 @@ TEST(RobustnessTest, ForwarderHashSelectionIsStablePerQname) {
     auto query = dns::Message::make_query(
         static_cast<std::uint16_t>(i), Name::from_string("zz"), RRType::kNS);
     forwarder.handle_query(query, dns::Ipv4(1, 1, 1, 1),
-                           i * 10 * sim::kMinute);
+                           sim::at(i * 10 * sim::kMinute));
   }
   // Same qname every time: exactly one backend must have seen traffic.
   bool only_one = (backend_a->stats().client_queries == 0) !=
@@ -82,14 +82,14 @@ TEST(RobustnessTest, ForwarderHashSelectionIsStablePerQname) {
 
 TEST(RobustnessTest, NetworkCountsCarriedQueries) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                 net::Location{net::Region::kEU, 1.0});
   auto before = world.network().queries_carried();
   net::NodeRef client{dns::Ipv4(10, 9, 9, 9),
                       net::Location{net::Region::kEU, 1.0}};
   auto query = dns::Message::make_query(1, Name::from_string("zz"),
                                         RRType::kNS);
-  world.network().query(client, world.address_of("a.nic.zz."), query, 0);
+  world.network().query(client, world.address_of("a.nic.zz."), query, sim::Time{});
   EXPECT_EQ(world.network().queries_carried(), before + 1);
 }
 
@@ -117,7 +117,7 @@ TEST(RobustnessTest, TruncatedValidMessagesAlwaysThrow) {
       7, Name::from_string("www.example.org"), RRType::kA);
   auto response = dns::Message::make_response(query);
   response.answers.push_back(dns::make_a(Name::from_string("www.example.org"),
-                                         300, dns::Ipv4(10, 0, 0, 1)));
+                                         dns::Ttl{300}, dns::Ipv4(10, 0, 0, 1)));
   auto wire = dns::encode(response);
   for (std::size_t cut = 1; cut < wire.size(); ++cut) {
     std::vector<std::uint8_t> prefix(wire.begin(),
@@ -128,9 +128,9 @@ TEST(RobustnessTest, TruncatedValidMessagesAlwaysThrow) {
 
 TEST(RobustnessTest, ZoneAnyQueryOnSignedZoneIncludesRrsig) {
   dns::Zone zone{Name::from_string("example.org")};
-  zone.add(dns::make_soa(Name::from_string("example.org"), 3600,
+  zone.add(dns::make_soa(Name::from_string("example.org"), dns::Ttl{3600},
                          Name::from_string("ns1.example.org"), 1));
-  zone.add(dns::make_a(Name::from_string("www.example.org"), 300,
+  zone.add(dns::make_a(Name::from_string("www.example.org"), dns::Ttl{300},
                        dns::Ipv4(10, 0, 0, 1)));
   dns::sign_zone(zone, dns::make_zone_key(Name::from_string("example.org")));
   auto result = zone.lookup(Name::from_string("www.example.org"),
@@ -148,18 +148,18 @@ TEST(RobustnessTest, ZoneAnyQueryOnSignedZoneIncludesRrsig) {
 
 TEST(RobustnessTest, ResolverHandlesZeroTtlRecordsWithoutCaching) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  auto zone = world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kEU, 1.0});
-  zone->add(dns::make_a(Name::from_string("www.zz"), 0, dns::Ipv4(1, 1, 1, 1)));
+  zone->add(dns::make_a(Name::from_string("www.zz"), dns::Ttl{0}, dns::Ipv4(1, 1, 1, 1)));
   resolver::RecursiveResolver resolver("r", resolver::child_centric_config(),
                                        world.network(), world.hints());
   net::Location eu{net::Region::kEU, 1.0};
   resolver.set_node_ref(
       net::NodeRef{world.network().attach(resolver, eu), eu});
   dns::Question q{Name::from_string("www.zz"), RRType::kA, dns::RClass::kIN};
-  auto first = resolver.resolve(q, 0);
-  EXPECT_EQ(first.response.answers.at(0).ttl, 0u);
-  auto second = resolver.resolve(q, sim::kSecond);
+  auto first = resolver.resolve(q, sim::Time{});
+  EXPECT_EQ(first.response.answers.at(0).ttl, dns::Ttl{0});
+  auto second = resolver.resolve(q, sim::at(sim::kSecond));
   // TTL 0 means the second query cannot be a cache hit (§5.1.2).
   EXPECT_FALSE(second.answered_from_cache);
 }
@@ -173,7 +173,7 @@ TEST(RobustnessTest, WorldAnycastRequiresSites) {
 
 TEST(RobustnessTest, ServerProcessingDelayIsAccounted) {
   core::World world{core::World::Options{1, 0.0, {}}};
-  auto zone = world.add_tld("zz", "a.nic", 3600, 3600, 3600,
+  auto zone = world.add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                             net::Location{net::Region::kEU, 1.0});
   (void)zone;
   auto& server = world.server("a.nic.zz.");
@@ -184,7 +184,7 @@ TEST(RobustnessTest, ServerProcessingDelayIsAccounted) {
   auto query = dns::Message::make_query(1, Name::from_string("zz"),
                                         RRType::kNS);
   auto outcome = world.network().query(client, world.address_of("a.nic.zz."),
-                                       query, 0);
+                                       query, sim::Time{});
   EXPECT_GE(outcome.elapsed, 50 * sim::kMillisecond);
 }
 

@@ -15,12 +15,12 @@ namespace {
 TEST(SimulationTest, RunsEventsInTimeOrder) {
   Simulation simulation;
   std::vector<int> order;
-  simulation.schedule_at(30 * kSecond, [&] { order.push_back(3); });
-  simulation.schedule_at(10 * kSecond, [&] { order.push_back(1); });
-  simulation.schedule_at(20 * kSecond, [&] { order.push_back(2); });
+  simulation.schedule_at(sim::at(30 * kSecond), [&] { order.push_back(3); });
+  simulation.schedule_at(sim::at(10 * kSecond), [&] { order.push_back(1); });
+  simulation.schedule_at(sim::at(20 * kSecond), [&] { order.push_back(2); });
   simulation.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(simulation.now(), 30 * kSecond);
+  EXPECT_EQ(simulation.now(), at(30 * kSecond));
   EXPECT_EQ(simulation.events_processed(), 3u);
 }
 
@@ -28,7 +28,7 @@ TEST(SimulationTest, EqualTimestampsRunFifo) {
   Simulation simulation;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    simulation.schedule_at(kSecond, [&order, i] { order.push_back(i); });
+    simulation.schedule_at(sim::at(kSecond), [&order, i] { order.push_back(i); });
   }
   simulation.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -36,26 +36,26 @@ TEST(SimulationTest, EqualTimestampsRunFifo) {
 
 TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
   Simulation simulation;
-  Time observed = -1;
-  simulation.schedule_at(5 * kSecond, [&] {
+  Time observed{-1};
+  simulation.schedule_at(sim::at(5 * kSecond), [&] {
     simulation.schedule_after(2 * kSecond, [&] { observed = simulation.now(); });
   });
   simulation.run();
-  EXPECT_EQ(observed, 7 * kSecond);
+  EXPECT_EQ(observed, at(7 * kSecond));
 }
 
 TEST(SimulationTest, RejectsSchedulingInThePast) {
   Simulation simulation;
-  simulation.schedule_at(10 * kSecond, [] {});
+  simulation.schedule_at(sim::at(10 * kSecond), [] {});
   simulation.run();
-  EXPECT_THROW(simulation.schedule_at(5 * kSecond, [] {}),
+  EXPECT_THROW(simulation.schedule_at(sim::at(5 * kSecond), [] {}),
                std::invalid_argument);
 }
 
 TEST(SimulationTest, CancelPreventsExecution) {
   Simulation simulation;
   bool ran = false;
-  auto id = simulation.schedule_at(kSecond, [&] { ran = true; });
+  auto id = simulation.schedule_at(sim::at(kSecond), [&] { ran = true; });
   EXPECT_TRUE(simulation.cancel(id));
   EXPECT_FALSE(simulation.cancel(id));  // already gone
   simulation.run();
@@ -66,11 +66,11 @@ TEST(SimulationTest, RunUntilStopsAtDeadline) {
   Simulation simulation;
   int count = 0;
   for (int i = 1; i <= 10; ++i) {
-    simulation.schedule_at(i * kMinute, [&] { ++count; });
+    simulation.schedule_at(sim::at(i * kMinute), [&] { ++count; });
   }
-  simulation.run_until(5 * kMinute);
+  simulation.run_until(sim::at(5 * kMinute));
   EXPECT_EQ(count, 5);
-  EXPECT_EQ(simulation.now(), 5 * kMinute);
+  EXPECT_EQ(simulation.now(), at(5 * kMinute));
   simulation.run();
   EXPECT_EQ(count, 10);
 }
@@ -86,7 +86,7 @@ TEST(SimulationTest, EventsCanScheduleMoreEvents) {
   simulation.schedule_after(kSecond, chain);
   simulation.run();
   EXPECT_EQ(depth, 100);
-  EXPECT_EQ(simulation.now(), 100 * kSecond);
+  EXPECT_EQ(simulation.now(), at(100 * kSecond));
 }
 
 // The slab recycles handler slots; recycling must never perturb the
@@ -96,13 +96,13 @@ TEST(SimulationTest, EqualTimestampsStayFifoAcrossSlotReuse) {
   std::vector<int> order;
   // Round 1 populates and frees slots 0..4.
   for (int i = 0; i < 5; ++i) {
-    simulation.schedule_at(kSecond, [&order, i] { order.push_back(i); });
+    simulation.schedule_at(sim::at(kSecond), [&order, i] { order.push_back(i); });
   }
   simulation.run();
   // Round 2 reuses those slots (in LIFO free-list order, i.e. shuffled
   // relative to scheduling order) — execution must still be FIFO.
   for (int i = 5; i < 10; ++i) {
-    simulation.schedule_at(2 * kSecond, [&order, i] { order.push_back(i); });
+    simulation.schedule_at(sim::at(2 * kSecond), [&order, i] { order.push_back(i); });
   }
   simulation.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
@@ -114,7 +114,7 @@ TEST(SimulationTest, CancelInterleavedWithEqualTimeEvents) {
   std::vector<std::uint64_t> ids;
   for (int i = 0; i < 8; ++i) {
     ids.push_back(
-        simulation.schedule_at(kSecond, [&order, i] { order.push_back(i); }));
+        simulation.schedule_at(sim::at(kSecond), [&order, i] { order.push_back(i); }));
   }
   // Cancel every other event; survivors keep their original relative order.
   for (int i = 0; i < 8; i += 2) {
@@ -130,12 +130,12 @@ TEST(SimulationTest, HandlerCancelsLaterEventAtSameTimestamp) {
   Simulation simulation;
   std::vector<int> order;
   std::uint64_t victim = 0;
-  simulation.schedule_at(kSecond, [&] {
+  simulation.schedule_at(sim::at(kSecond), [&] {
     order.push_back(0);
     EXPECT_TRUE(simulation.cancel(victim));
   });
-  victim = simulation.schedule_at(kSecond, [&] { order.push_back(1); });
-  simulation.schedule_at(kSecond, [&] { order.push_back(2); });
+  victim = simulation.schedule_at(sim::at(kSecond), [&] { order.push_back(1); });
+  simulation.schedule_at(sim::at(kSecond), [&] { order.push_back(2); });
   simulation.run();
   EXPECT_EQ(order, (std::vector<int>{0, 2}));
 }
@@ -144,12 +144,12 @@ TEST(SimulationTest, StaleIdCannotCancelRecycledSlot) {
   Simulation simulation;
   bool first_ran = false;
   bool second_ran = false;
-  auto first = simulation.schedule_at(kSecond, [&] { first_ran = true; });
+  auto first = simulation.schedule_at(sim::at(kSecond), [&] { first_ran = true; });
   simulation.run();
   EXPECT_TRUE(first_ran);
   // The slot is recycled under a new generation; the stale id must neither
   // cancel the new event nor report success.
-  auto second = simulation.schedule_at(2 * kSecond, [&] { second_ran = true; });
+  auto second = simulation.schedule_at(sim::at(2 * kSecond), [&] { second_ran = true; });
   EXPECT_FALSE(simulation.cancel(first));
   EXPECT_EQ(simulation.pending(), 1u);
   simulation.run();
@@ -160,12 +160,12 @@ TEST(SimulationTest, StaleIdCannotCancelRecycledSlot) {
 TEST(SimulationTest, CancelledEventsDoNotAdvanceClockInRunUntil) {
   Simulation simulation;
   int count = 0;
-  auto id = simulation.schedule_at(kMinute, [&] { ++count; });
-  simulation.schedule_at(2 * kMinute, [&] { ++count; });
+  auto id = simulation.schedule_at(sim::at(kMinute), [&] { ++count; });
+  simulation.schedule_at(sim::at(2 * kMinute), [&] { ++count; });
   simulation.cancel(id);
-  simulation.run_until(3 * kMinute);
+  simulation.run_until(sim::at(3 * kMinute));
   EXPECT_EQ(count, 1);
-  EXPECT_EQ(simulation.now(), 3 * kMinute);
+  EXPECT_EQ(simulation.now(), at(3 * kMinute));
   EXPECT_EQ(simulation.pending(), 0u);
 }
 
@@ -214,7 +214,8 @@ TEST(SimulationTest, RandomizedTraceMatchesOracle) {
         ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
         keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(pick));
       } else {
-        Time at = static_cast<Time>(rng.uniform_int(0, 50)) * kSecond;
+        Time at = sim::at(static_cast<std::int64_t>(rng.uniform_int(0, 50)) *
+                          kSecond);
         int t = token++;
         ids.push_back(
             simulation.schedule_at(at, [&fired, t] { fired.push_back(t); }));
@@ -233,14 +234,15 @@ TEST(SimulationTest, RandomizedTraceMatchesOracle) {
 }
 
 TEST(TimeTest, FormatsHoursMinutesSeconds) {
-  EXPECT_EQ(format_time(0), "0:00:00");
-  EXPECT_EQ(format_time(59 * kSecond), "0:00:59");
-  EXPECT_EQ(format_time(2 * kHour + 3 * kMinute + 4 * kSecond), "2:03:04");
+  EXPECT_EQ(format_time(Time{}), "0:00:00");
+  EXPECT_EQ(format_time(sim::at(59 * kSecond)), "0:00:59");
+  EXPECT_EQ(format_time(sim::at(2 * kHour + 3 * kMinute + 4 * kSecond)),
+            "2:03:04");
 }
 
 TEST(TimeTest, ConversionHelpers) {
-  EXPECT_EQ(seconds(1.5), 1'500'000);
-  EXPECT_EQ(milliseconds(2.5), 2'500);
+  EXPECT_EQ(approx_seconds(1.5).count(), 1'500'000);
+  EXPECT_EQ(approx_milliseconds(2.5).count(), 2'500);
   EXPECT_DOUBLE_EQ(to_milliseconds(kSecond), 1000.0);
   EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
 }

@@ -99,9 +99,9 @@ TEST(TableTest, CompareLine) {
 
 TEST(BinnedSeriesTest, BinsEventsByTime) {
   BinnedSeries series(10 * sim::kMinute);
-  series.record("original", 5 * sim::kMinute);
-  series.record("original", 9 * sim::kMinute);
-  series.record("new", 15 * sim::kMinute);
+  series.record("original", sim::at(5 * sim::kMinute));
+  series.record("original", sim::at(9 * sim::kMinute));
+  series.record("new", sim::at(15 * sim::kMinute));
   EXPECT_EQ(series.bin_count(), 2u);
   EXPECT_DOUBLE_EQ(series.at("original", 0), 2.0);
   EXPECT_DOUBLE_EQ(series.at("original", 1), 0.0);
@@ -111,8 +111,8 @@ TEST(BinnedSeriesTest, BinsEventsByTime) {
 
 TEST(BinnedSeriesTest, RenderContainsSeriesHeaders) {
   BinnedSeries series(10 * sim::kMinute);
-  series.record("original", 0);
-  series.record("new", 70 * sim::kMinute);
+  series.record("original", sim::Time{});
+  series.record("new", sim::at(70 * sim::kMinute));
   std::string out = series.render();
   EXPECT_NE(out.find("original"), std::string::npos);
   EXPECT_NE(out.find("new"), std::string::npos);
@@ -121,8 +121,8 @@ TEST(BinnedSeriesTest, RenderContainsSeriesHeaders) {
 
 TEST(BinnedSeriesTest, WeightedValues) {
   BinnedSeries series(sim::kMinute);
-  series.record("load", 30 * sim::kSecond, 2.5);
-  series.record("load", 45 * sim::kSecond, 1.5);
+  series.record("load", sim::at(30 * sim::kSecond), 2.5);
+  series.record("load", sim::at(45 * sim::kSecond), 1.5);
   EXPECT_DOUBLE_EQ(series.at("load", 0), 4.0);
 }
 

@@ -20,9 +20,9 @@ class StubTest : public ::testing::Test {
  protected:
   void SetUp() override {
     world = std::make_unique<core::World>(core::World::Options{1, 0.0, {}});
-    auto zone = world->add_tld("zz", "a.nic", 3600, 3600, 3600,
+    auto zone = world->add_tld("zz", "a.nic", dns::Ttl{3600}, dns::Ttl{3600}, dns::Ttl{3600},
                                net::Location{net::Region::kEU, 1.0});
-    zone->add(dns::make_a(Name::from_string("www.zz"), 300,
+    zone->add(dns::make_a(Name::from_string("www.zz"), dns::Ttl{300},
                           dns::Ipv4(10, 0, 0, 7)));
   }
 
@@ -46,7 +46,7 @@ TEST_F(StubTest, FirstServerAnswers) {
   auto* r1 = add_resolver("one");
   resolver::StubResolver stub(probe, world->network(),
                               {r1->node_ref().address});
-  auto result = stub.query(Name::from_string("www.zz"), RRType::kA, 0);
+  auto result = stub.query(Name::from_string("www.zz"), RRType::kA, sim::Time{});
   ASSERT_TRUE(result.response.has_value());
   EXPECT_EQ(result.response->answers.size(), 1u);
   EXPECT_EQ(result.attempts_used, 1);
@@ -60,7 +60,7 @@ TEST_F(StubTest, FallsOverToSecondServerOnTimeout) {
   resolver::StubResolver stub(
       probe, world->network(),
       {r1->node_ref().address, r2->node_ref().address});
-  auto result = stub.query(Name::from_string("www.zz"), RRType::kA, 0);
+  auto result = stub.query(Name::from_string("www.zz"), RRType::kA, sim::Time{});
   ASSERT_TRUE(result.response.has_value());
   EXPECT_EQ(*result.server, r2->node_ref().address);
   EXPECT_EQ(result.attempts_used, 2);
@@ -88,7 +88,7 @@ TEST_F(StubTest, SkipsServfailServers) {
   resolver::StubResolver stub(
       probe, world->network(),
       {really_broken->node_ref().address, ok->node_ref().address});
-  auto result = stub.query(Name::from_string("www.zz"), RRType::kA, 0);
+  auto result = stub.query(Name::from_string("www.zz"), RRType::kA, sim::Time{});
   ASSERT_TRUE(result.response.has_value());
   EXPECT_EQ(result.response->flags.rcode, dns::Rcode::kNoError);
   EXPECT_EQ(*result.server, ok->node_ref().address);
@@ -99,11 +99,11 @@ TEST_F(StubTest, AllDeadGivesEmptyResultAfterAllAttempts) {
   world->network().detach(r1->node_ref().address);
   resolver::StubResolver stub(probe, world->network(),
                               {r1->node_ref().address});
-  auto result = stub.query(Name::from_string("www.zz"), RRType::kA, 0);
+  auto result = stub.query(Name::from_string("www.zz"), RRType::kA, sim::Time{});
   EXPECT_FALSE(result.response.has_value());
   EXPECT_EQ(result.attempts_used, 2);  // default attempts=2 rounds
   resolver::StubResolver empty(probe, world->network(), {});
-  EXPECT_FALSE(empty.query(Name::from_string("www.zz"), RRType::kA, 0)
+  EXPECT_FALSE(empty.query(Name::from_string("www.zz"), RRType::kA, sim::Time{})
                    .response.has_value());
 }
 
@@ -111,24 +111,24 @@ TEST_F(StubTest, AllDeadGivesEmptyResultAfterAllAttempts) {
 
 TEST(CacheDumpTest, ShowsLiveEntriesWithMetadata) {
   cache::Cache cache;
-  dns::RRset ns(Name::from_string("uy"), dns::RClass::kIN, 300);
+  dns::RRset ns(Name::from_string("uy"), dns::RClass::kIN, dns::Ttl{300});
   ns.add(dns::NsRdata{Name::from_string("a.nic.uy")});
-  cache.insert(ns, cache::Credibility::kAuthAnswer, 0);
-  dns::RRset glue(Name::from_string("a.nic.uy"), dns::RClass::kIN, 120);
+  cache.insert(ns, cache::Credibility::kAuthAnswer, sim::Time{});
+  dns::RRset glue(Name::from_string("a.nic.uy"), dns::RClass::kIN, dns::Ttl{120});
   glue.add(dns::ARdata{dns::Ipv4(10, 0, 0, 1)});
-  cache.insert(glue, cache::Credibility::kGlue, 0,
+  cache.insert(glue, cache::Credibility::kGlue, sim::Time{},
                Name::from_string("uy"));
   cache.insert_negative(Name::from_string("gone.uy"), RRType::kA,
-                        dns::Rcode::kNXDomain, 60, 0);
+                        dns::Rcode::kNXDomain, dns::Ttl{60}, sim::Time{});
 
-  std::string dump = cache.dump(10 * sim::kSecond);
+  std::string dump = cache.dump(sim::at(10 * sim::kSecond));
   EXPECT_NE(dump.find("uy. 290 NS a.nic.uy. ; auth-answer"),
             std::string::npos);
   EXPECT_NE(dump.find("linked=uy."), std::string::npos);
   EXPECT_NE(dump.find("negative NXDOMAIN"), std::string::npos);
 
   // Expired entries disappear from the dump.
-  EXPECT_EQ(cache.dump(400 * sim::kSecond).find("a.nic.uy"),
+  EXPECT_EQ(cache.dump(sim::at(400 * sim::kSecond)).find("a.nic.uy"),
             std::string::npos);
 }
 
@@ -137,7 +137,7 @@ TEST(CacheDumpTest, ShowsLiveEntriesWithMetadata) {
 TEST(DeterminismTest, IdenticalSeedsProduceIdenticalExperiments) {
   auto run_once = [](std::uint64_t seed) {
     core::World world{core::World::Options{seed, 0.002, {}}};
-    world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, 120,
+    world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min, dns::Ttl{120},
                   net::Location{net::Region::kSA, 1.0});
     atlas::PlatformSpec spec;
     spec.probe_count = 150;
@@ -181,13 +181,13 @@ class MasterFileRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(MasterFileRoundTrip, RandomZonesSurviveRenderParse) {
   sim::Rng rng(GetParam());
   dns::Zone zone{Name::from_string("prop.example")};
-  zone.add(dns::make_soa(Name::from_string("prop.example"), 3600,
+  zone.add(dns::make_soa(Name::from_string("prop.example"), dns::Ttl{3600},
                          Name::from_string("ns1.prop.example"),
                          static_cast<std::uint32_t>(rng.uniform_int(1, 1u << 30))));
   std::size_t records = rng.uniform_int(1, 40);
   for (std::size_t i = 0; i < records; ++i) {
     auto owner = Name::from_string("h" + std::to_string(i) + ".prop.example");
-    auto ttl = static_cast<dns::Ttl>(rng.uniform_int(0, 172800));
+    auto ttl = dns::Ttl::of_seconds(static_cast<std::int64_t>(rng.uniform_int(0, 172800)));
     switch (rng.uniform_int(0, 4)) {
       case 0:
         zone.add(dns::make_a(owner, ttl,

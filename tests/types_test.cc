@@ -1,0 +1,166 @@
+// Contract tests for the unit-safe time and TTL strong types (see
+// docs/architecture.md §Static analysis).  Three groups:
+//
+//   1. compile-time convertibility: the mixups the types exist to prevent
+//      must stay non-compiling (static_assert, so a regression fails the
+//      build of this very test, not just the analyzer);
+//   2. checked arithmetic: overflow traps as check::AuditError under the
+//      audit preset and wraps deterministically (two's complement)
+//      everywhere else;
+//   3. ordering and RFC 2181 §8 clamping, which the event heap and the
+//      cache expiry logic depend on.
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "check/audit.h"
+#include "dns/types.h"
+#include "sim/time.h"
+
+namespace dnsttl {
+namespace {
+
+// ---------------------------------------------------------- convertibility
+//
+// Implicit raw-integer <-> unit conversions are the bug class this layer
+// removed; pin every direction.  (is_convertible checks *implicit*
+// conversion — explicit construction of course still exists.)
+static_assert(!std::is_convertible_v<std::int64_t, sim::Duration>,
+              "raw integers must not implicitly become Durations");
+static_assert(!std::is_convertible_v<sim::Duration, std::int64_t>,
+              "Durations must not implicitly decay to raw integers");
+static_assert(!std::is_convertible_v<std::int64_t, sim::SimTime>,
+              "raw integers must not implicitly become time points");
+static_assert(!std::is_convertible_v<sim::SimTime, std::int64_t>,
+              "time points must not implicitly decay to raw integers");
+static_assert(!std::is_convertible_v<sim::Duration, sim::SimTime>,
+              "a span is not a point: sim::at() is the explicit bridge");
+static_assert(!std::is_convertible_v<sim::SimTime, sim::Duration>,
+              "a point is not a span: since_epoch() is the explicit bridge");
+static_assert(!std::is_convertible_v<std::uint32_t, dns::Ttl>,
+              "raw integers must not implicitly become TTLs");
+static_assert(!std::is_convertible_v<dns::Ttl, std::uint32_t>,
+              "TTLs must not implicitly decay to raw integers");
+static_assert(!std::is_convertible_v<dns::Ttl, std::uint16_t>,
+              "the uint16 narrowing that once truncated 86400 s to 20864 s");
+static_assert(!std::is_convertible_v<dns::Ttl, sim::Duration>,
+              "TTL seconds and simulator microseconds must not mix silently");
+static_assert(!std::is_constructible_v<dns::Ttl, sim::Duration>,
+              "no direct Ttl(Duration) shortcut: spell the unit conversion");
+
+// Cross-unit arithmetic that must not exist at all.
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type {};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+static_assert(!CanAdd<sim::SimTime, sim::SimTime>::value,
+              "point + point is meaningless");
+static_assert(!CanAdd<sim::Duration, std::int64_t>::value,
+              "span + raw integer needs an explicit unit");
+static_assert(!CanAdd<dns::Ttl, dns::Ttl>::value,
+              "TTL arithmetic goes through of_seconds/value, not operator+");
+static_assert(CanAdd<sim::SimTime, sim::Duration>::value &&
+                  CanAdd<sim::Duration, sim::Duration>::value,
+              "the meaningful combinations must keep working");
+
+// Factories are usable at compile time and exact.
+static_assert(sim::seconds(5).count() == 5'000'000);
+static_assert(sim::minutes(1).count() == sim::seconds(60).count());
+static_assert(sim::days(1) == 24 * sim::kHour);
+static_assert(sim::at(sim::kSecond).since_epoch() == sim::kSecond);
+static_assert(dns::Ttl::from_wire(0x80000000u) == dns::Ttl{0});
+static_assert(dns::Ttl::from_wire(0x7fffffffu) == dns::kMaxTtl);
+
+// ------------------------------------------------------ checked arithmetic
+
+TEST(TypesTest, OverflowTrapsUnderAuditAndWrapsOtherwise) {
+  const sim::Duration huge = sim::Duration::max();
+  if constexpr (check::kAuditEnabled) {
+    EXPECT_THROW((void)(huge + sim::kMicrosecond), check::AuditError);
+    EXPECT_THROW((void)(huge * 2), check::AuditError);
+    EXPECT_THROW((void)(sim::Duration::min() - sim::kMicrosecond),
+                 check::AuditError);
+    EXPECT_THROW((void)(sim::at(huge) + sim::kMicrosecond),
+                 check::AuditError);
+  } else {
+    // Two's-complement wrap: deterministic, so a release-build overflow
+    // reproduces exactly under the same seed.
+    EXPECT_EQ((huge + sim::kMicrosecond).count(), INT64_MIN);
+    EXPECT_EQ((sim::Duration::min() - sim::kMicrosecond).count(), INT64_MAX);
+    EXPECT_EQ((sim::at(huge) + sim::kMicrosecond).ticks(), INT64_MIN);
+  }
+}
+
+TEST(TypesTest, InRangeArithmeticNeverTraps) {
+  // The trap must not fire on ordinary values in any configuration.
+  sim::Time t = sim::at(2 * sim::kDay);
+  t += sim::kHour;
+  t -= sim::kMinute;
+  EXPECT_EQ(t - sim::Time{}, 2 * sim::kDay + sim::kHour - sim::kMinute);
+  EXPECT_EQ((sim::kDay / sim::kHour), 24);
+  EXPECT_EQ(sim::kMinute % sim::seconds(7), sim::seconds(4));
+  EXPECT_EQ(-sim::kSecond + sim::kSecond, sim::Duration{});
+}
+
+TEST(TypesTest, ApproxFactoriesTruncateTowardZero) {
+  // These must keep the historical static_cast<int64>(x * unit) behaviour
+  // bit-for-bit: the 16 experiment outputs are pinned against it.
+  EXPECT_EQ(sim::approx_seconds(1.5).count(), 1'500'000);
+  EXPECT_EQ(sim::approx_seconds(0.9999995).count(), 999'999);
+  EXPECT_EQ(sim::approx_milliseconds(2.75).count(), 2'750);
+  EXPECT_EQ(sim::approx_scale(sim::kSecond, 0.5), sim::milliseconds(500));
+  EXPECT_EQ(sim::to_seconds(sim::seconds(90)), 90.0);
+  EXPECT_EQ(sim::to_milliseconds(sim::kSecond), 1000.0);
+}
+
+// ------------------------------------------------------------------ order
+
+TEST(TypesTest, OrderingMatchesUnderlyingTicks) {
+  // The event queue is a min-heap over SimTime and the cache expiry scan
+  // compares Durations; both rely on <=> agreeing with tick order.
+  EXPECT_LT(sim::Time{}, sim::at(sim::kMicrosecond));
+  EXPECT_LT(sim::at(sim::kSecond), sim::at(sim::kMinute));
+  EXPECT_GT(sim::kHour, sim::kMinute);
+  EXPECT_LE(sim::seconds(60), sim::kMinute);
+  EXPECT_EQ(sim::Time::epoch(), sim::Time{});
+  EXPECT_LT(dns::Ttl{59}, dns::kTtl1Min);
+  EXPECT_GT(dns::kTtl1Week, dns::kTtl4Days);
+  EXPECT_LE(dns::kMaxTtl, dns::Ttl{dns::kMaxTtlSeconds});
+}
+
+// --------------------------------------------------------- RFC 2181 clamp
+
+TEST(TypesTest, TtlConstructionClampsPerRfc2181) {
+  // Constructor: values above 2^31-1 clamp to the cap (never wrap).
+  EXPECT_EQ(dns::Ttl{0x80000000u}, dns::kMaxTtl);
+  EXPECT_EQ(dns::Ttl{0xffffffffu}, dns::kMaxTtl);
+  EXPECT_EQ(dns::Ttl{dns::kMaxTtlSeconds}.value(), 0x7fffffffu);
+
+  // Wire rule is stricter: MSB set means zero, not the cap.
+  EXPECT_EQ(dns::Ttl::from_wire(0x80000000u), dns::Ttl{0});
+  EXPECT_EQ(dns::Ttl::from_wire(0xffffffffu), dns::Ttl{0});
+  EXPECT_EQ(dns::Ttl::from_wire(0x7fffffffu), dns::kMaxTtl);
+  EXPECT_EQ(dns::Ttl::from_wire(300u), dns::kTtl5Min);
+
+  // of_seconds: signed duration arithmetic results clamp at both ends.
+  EXPECT_EQ(dns::Ttl::of_seconds(-1), dns::Ttl{0});
+  EXPECT_EQ(dns::Ttl::of_seconds(0), dns::Ttl{0});
+  EXPECT_EQ(dns::Ttl::of_seconds(86400), dns::kTtl1Day);
+  EXPECT_EQ(dns::Ttl::of_seconds(INT64_MAX), dns::kMaxTtl);
+}
+
+TEST(TypesTest, DurationTtlRoundTripIsExact) {
+  // The cache's store-then-serve path: Ttl -> Duration -> remaining Ttl.
+  const dns::Ttl stored = dns::kTtl2Days;
+  const sim::Duration life = sim::seconds(stored.value());
+  const sim::Time inserted = sim::at(3 * sim::kHour);
+  const sim::Time later = inserted + sim::kDay;
+  const sim::Duration remaining = (inserted + life) - later;
+  EXPECT_EQ(dns::Ttl::of_seconds(remaining / sim::kSecond), dns::kTtl1Day);
+}
+
+}  // namespace
+}  // namespace dnsttl

@@ -206,18 +206,58 @@ TEST(WireBailiwick, OutOfBailiwickAdditionalDecodesButIsDetectable) {
       Message::make_query(1, Name::from_string("www.example.com."),
                           RRType::kA));
   referral.authorities.push_back(
-      make_ns(Name::from_string("example.com."), 3600,
+      make_ns(Name::from_string("example.com."), dns::Ttl{3600},
               Name::from_string("ns.example.com.")));
   // Classic Kaminsky-style payload: glue for a name the answering zone has
   // no authority over.
   referral.additionals.push_back(
-      make_a(Name::from_string("victim.bank.test."), 3600, Ipv4(192, 0, 2, 66)));
+      make_a(Name::from_string("victim.bank.test."), dns::Ttl{3600}, Ipv4(192, 0, 2, 66)));
 
   const Message decoded = decode(encode(referral));
   ASSERT_EQ(decoded.additionals.size(), 1u);
   const Name zone = Name::from_string("example.com.");
   EXPECT_FALSE(decoded.additionals[0].name.in_bailiwick_of(zone));
   EXPECT_TRUE(decoded.authorities[0].name.in_bailiwick_of(zone));
+}
+
+// RFC 2181 §8: a TTL with the most-significant bit set "should be treated
+// as having a value of zero".  That clamp happens exactly once, at the wire
+// boundary (Ttl::from_wire) — an attacker-supplied 0x80000000 must come out
+// of decode() as TTL 0, never as a huge unsigned value that a cache would
+// hold for 68 years.
+TEST(WireTtlClamp, MsbSetTtlDecodesAsZero) {
+  Bytes b = header(1, 1);
+  append(b, wire({1, 'a', 0, 0x00, 0x01, 0x00, 0x01}));  // question a./A/IN
+  append(b, wire({0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01,    // answer, same name
+                  0x80, 0x00, 0x00, 0x00,                // TTL: MSB set
+                  0x00, 0x04, 192, 0, 2, 1}));
+  const Message decoded = decode(b);
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(decoded.answers[0].ttl, Ttl{0});
+}
+
+TEST(WireTtlClamp, MaximumPositiveTtlSurvivesUnchanged) {
+  // Boundary twin: 0x7fffffff is the largest legal TTL and must NOT clamp.
+  Bytes b = header(1, 1);
+  append(b, wire({1, 'a', 0, 0x00, 0x01, 0x00, 0x01}));
+  append(b, wire({0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01,
+                  0x7f, 0xff, 0xff, 0xff,                // TTL: 2^31 - 1
+                  0x00, 0x04, 192, 0, 2, 1}));
+  const Message decoded = decode(b);
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(decoded.answers[0].ttl, kMaxTtl);
+  // And it round-trips: re-encoding emits the same four TTL octets.
+  EXPECT_EQ(decode(encode(decoded)).answers[0].ttl, kMaxTtl);
+}
+
+TEST(WireTtlClamp, AllOnesTtlDecodesAsZero) {
+  // 0xffffffff — the other adversarial spelling of "MSB set".
+  Bytes b = header(1, 1);
+  append(b, wire({1, 'a', 0, 0x00, 0x01, 0x00, 0x01}));
+  append(b, wire({0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01,
+                  0xff, 0xff, 0xff, 0xff,
+                  0x00, 0x04, 192, 0, 2, 1}));
+  EXPECT_EQ(decode(b).answers[0].ttl, Ttl{0});
 }
 
 TEST(WireBailiwick, MaximumLegalNameRoundTrips) {

@@ -34,28 +34,28 @@ TEST(WireTest, ResponseWithAllSectionsRoundTrips) {
   Message response = Message::make_response(sample_query());
   response.flags.aa = true;
   Name owner = Name::from_string("a.nic.cl");
-  response.answers.push_back(make_ns(Name::from_string("cl"), 3600, owner));
+  response.answers.push_back(make_ns(Name::from_string("cl"), dns::Ttl{3600}, owner));
   response.authorities.push_back(
-      make_soa(Name::from_string("cl"), 3600, owner, 2019021201));
+      make_soa(Name::from_string("cl"), dns::Ttl{3600}, owner, 2019021201));
   response.additionals.push_back(
-      make_a(owner, 43200, Ipv4::from_string("190.124.27.10")));
+      make_a(owner, dns::Ttl{43200}, Ipv4::from_string("190.124.27.10")));
   response.additionals.push_back(
-      make_aaaa(owner, 43200, Ipv6::from_string("2001:1398:1::6002")));
+      make_aaaa(owner, dns::Ttl{43200}, Ipv6::from_string("2001:1398:1::6002")));
   EXPECT_EQ(decode(encode(response)), response);
 }
 
 TEST(WireTest, EveryRdataTypeRoundTrips) {
   Message m = Message::make_response(sample_query());
   Name owner = Name::from_string("test.example");
-  m.answers.push_back(make_a(owner, 60, Ipv4(1, 2, 3, 4)));
-  m.answers.push_back(make_aaaa(owner, 60, Ipv6::from_string("::1")));
-  m.answers.push_back(make_ns(owner, 60, Name::from_string("ns.example")));
+  m.answers.push_back(make_a(owner, dns::Ttl{60}, Ipv4(1, 2, 3, 4)));
+  m.answers.push_back(make_aaaa(owner, dns::Ttl{60}, Ipv6::from_string("::1")));
+  m.answers.push_back(make_ns(owner, dns::Ttl{60}, Name::from_string("ns.example")));
   m.answers.push_back(
-      make_cname(owner.prepend("www"), 60, owner));
-  m.answers.push_back(make_soa(owner, 60, Name::from_string("ns.example"), 7));
-  m.answers.push_back(make_mx(owner, 60, 10, Name::from_string("mx.example")));
-  m.answers.push_back(make_txt(owner, 60, "v=spf1 -all"));
-  m.answers.push_back(make_dnskey(owner, 60, "AwEAAc3dsA=="));
+      make_cname(owner.prepend("www"), dns::Ttl{60}, owner));
+  m.answers.push_back(make_soa(owner, dns::Ttl{60}, Name::from_string("ns.example"), 7));
+  m.answers.push_back(make_mx(owner, dns::Ttl{60}, 10, Name::from_string("mx.example")));
+  m.answers.push_back(make_txt(owner, dns::Ttl{60}, "v=spf1 -all"));
+  m.answers.push_back(make_dnskey(owner, dns::Ttl{60}, "AwEAAc3dsA=="));
   RrsigRdata sig;
   sig.type_covered = RRType::kA;
   sig.labels = 2;
@@ -65,14 +65,14 @@ TEST(WireTest, EveryRdataTypeRoundTrips) {
   sig.key_tag = 12345;
   sig.signer = owner;
   sig.signature = "fakesig";
-  m.answers.push_back(ResourceRecord{owner, RClass::kIN, 60, sig});
+  m.answers.push_back(ResourceRecord{owner, RClass::kIN, dns::Ttl{60}, sig});
   EXPECT_EQ(decode(encode(m)), m);
 }
 
 TEST(WireTest, LongTxtSplitsIntoCharacterStrings) {
   Message m = Message::make_response(sample_query());
   std::string text(700, 'x');
-  m.answers.push_back(make_txt(Name::from_string("t.example"), 60, text));
+  m.answers.push_back(make_txt(Name::from_string("t.example"), dns::Ttl{60}, text));
   Message decoded = decode(encode(m));
   EXPECT_EQ(std::get<TxtRdata>(decoded.answers[0].rdata).text, text);
 }
@@ -82,7 +82,7 @@ TEST(WireTest, CompressionShrinksRepeatedNames) {
   Name zone = Name::from_string("cl");
   for (char c : {'a', 'b', 'c', 'd'}) {
     m.answers.push_back(make_ns(
-        zone, 3600, Name::from_string(std::string(1, c) + ".nic.cl")));
+        zone, dns::Ttl{3600}, Name::from_string(std::string(1, c) + ".nic.cl")));
   }
   std::size_t compressed = encode(m).size();
 
@@ -98,8 +98,8 @@ TEST(WireTest, CompressionShrinksRepeatedNames) {
 TEST(WireTest, CompressedNamesDecodeCorrectly) {
   Message m = Message::make_response(sample_query());
   Name zone = Name::from_string("cl");
-  m.answers.push_back(make_ns(zone, 3600, Name::from_string("a.nic.cl")));
-  m.answers.push_back(make_ns(zone, 3600, Name::from_string("b.nic.cl")));
+  m.answers.push_back(make_ns(zone, dns::Ttl{3600}, Name::from_string("a.nic.cl")));
+  m.answers.push_back(make_ns(zone, dns::Ttl{3600}, Name::from_string("b.nic.cl")));
   Message decoded = decode(encode(m));
   EXPECT_EQ(std::get<NsRdata>(decoded.answers[1].rdata).nsdname,
             Name::from_string("b.nic.cl"));
@@ -140,9 +140,9 @@ TEST(WireTest, RejectsForwardPointer) {
 TEST(WireTest, TtlSurvivesRoundTrip) {
   Message m = Message::make_response(sample_query());
   m.answers.push_back(
-      make_ns(Name::from_string("uy"), 172800, Name::from_string("a.nic.uy")));
+      make_ns(Name::from_string("uy"), dns::Ttl{172800}, Name::from_string("a.nic.uy")));
   Message decoded = decode(encode(m));
-  EXPECT_EQ(decoded.answers[0].ttl, 172800u);
+  EXPECT_EQ(decoded.answers[0].ttl, Ttl{172800});
 }
 
 // Property-style sweep: messages with varying record counts round-trip.

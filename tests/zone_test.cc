@@ -13,29 +13,29 @@ using Kind = LookupResult::Kind;
 /// 172800 s records, and the .cl child zone with 3600/43200 s TTLs.
 Zone make_root_with_cl() {
   Zone root{Name{}};
-  root.add(make_soa(Name{}, 86400, Name::from_string("a.root-servers.net"), 1));
-  root.add(make_ns(Name::from_string("cl"), 172800,
+  root.add(make_soa(Name{}, dns::Ttl{86400}, Name::from_string("a.root-servers.net"), 1));
+  root.add(make_ns(Name::from_string("cl"), dns::Ttl{172800},
                    Name::from_string("a.nic.cl")));
-  root.add(make_a(Name::from_string("a.nic.cl"), 172800,
+  root.add(make_a(Name::from_string("a.nic.cl"), dns::Ttl{172800},
                   Ipv4::from_string("190.124.27.10")));
-  root.add(make_aaaa(Name::from_string("a.nic.cl"), 172800,
+  root.add(make_aaaa(Name::from_string("a.nic.cl"), dns::Ttl{172800},
                      Ipv6::from_string("2001:1398:1::6002")));
   return root;
 }
 
 Zone make_cl_child() {
   Zone cl{Name::from_string("cl")};
-  cl.add(make_soa(Name::from_string("cl"), 3600,
+  cl.add(make_soa(Name::from_string("cl"), dns::Ttl{3600},
                   Name::from_string("a.nic.cl"), 2019));
-  cl.add(make_ns(Name::from_string("cl"), 3600, Name::from_string("a.nic.cl")));
-  cl.add(make_a(Name::from_string("a.nic.cl"), 43200,
+  cl.add(make_ns(Name::from_string("cl"), dns::Ttl{3600}, Name::from_string("a.nic.cl")));
+  cl.add(make_a(Name::from_string("a.nic.cl"), dns::Ttl{43200},
                 Ipv4::from_string("190.124.27.10")));
   return cl;
 }
 
 TEST(ZoneTest, RejectsRecordsOutsideOrigin) {
   Zone zone{Name::from_string("example.org")};
-  EXPECT_THROW(zone.add(make_a(Name::from_string("example.com"), 60,
+  EXPECT_THROW(zone.add(make_a(Name::from_string("example.com"), dns::Ttl{60},
                                Ipv4(1, 2, 3, 4))),
                std::invalid_argument);
 }
@@ -47,10 +47,10 @@ TEST(ZoneTest, DelegationReturnsReferralWithGlue) {
   EXPECT_FALSE(result.authoritative);
   ASSERT_EQ(result.authorities.size(), 1u);
   EXPECT_EQ(result.authorities[0].type(), RRType::kNS);
-  EXPECT_EQ(result.authorities[0].ttl, 172800u);
+  EXPECT_EQ(result.authorities[0].ttl, Ttl{172800});
   // Glue: both A and AAAA of a.nic.cl ride along (Table 1 "Add." rows).
   ASSERT_EQ(result.additionals.size(), 2u);
-  EXPECT_EQ(result.additionals[0].ttl, 172800u);
+  EXPECT_EQ(result.additionals[0].ttl, Ttl{172800});
 }
 
 TEST(ZoneTest, QueryForTldNsAtParentIsReferralNotAnswer) {
@@ -66,24 +66,24 @@ TEST(ZoneTest, ChildAnswersApexNsAuthoritatively) {
   EXPECT_EQ(result.kind, Kind::kAnswer);
   EXPECT_TRUE(result.authoritative);
   ASSERT_EQ(result.answers.size(), 1u);
-  EXPECT_EQ(result.answers[0].ttl, 3600u);
+  EXPECT_EQ(result.answers[0].ttl, Ttl{3600});
   // Additional carries the child's own 43200 s address (Table 1 row 2).
   ASSERT_EQ(result.additionals.size(), 1u);
-  EXPECT_EQ(result.additionals[0].ttl, 43200u);
+  EXPECT_EQ(result.additionals[0].ttl, Ttl{43200});
 }
 
 TEST(ZoneTest, ChildAnswersNameServerAddress) {
   Zone cl = make_cl_child();
   auto result = cl.lookup(Name::from_string("a.nic.cl"), RRType::kA);
   EXPECT_EQ(result.kind, Kind::kAnswer);
-  EXPECT_EQ(result.answers[0].ttl, 43200u);
+  EXPECT_EQ(result.answers[0].ttl, Ttl{43200});
 }
 
 TEST(ZoneTest, GlueOmittedForOutOfBailiwickNs) {
   Zone net{Name::from_string("net")};
-  net.add(make_soa(Name::from_string("net"), 3600,
+  net.add(make_soa(Name::from_string("net"), dns::Ttl{3600},
                    Name::from_string("a.gtld-servers.net"), 1));
-  net.add(make_ns(Name::from_string("cachetest.net"), 172800,
+  net.add(make_ns(Name::from_string("cachetest.net"), dns::Ttl{172800},
                   Name::from_string("ns1.zurroundeddu.com")));
   auto result =
       net.lookup(Name::from_string("www.cachetest.net"), RRType::kA);
@@ -107,9 +107,9 @@ TEST(ZoneTest, NoDataForExistingNameWrongType) {
 
 TEST(ZoneTest, EmptyNonTerminalIsNoDataNotNxDomain) {
   Zone zone{Name::from_string("example.org")};
-  zone.add(make_soa(Name::from_string("example.org"), 3600,
+  zone.add(make_soa(Name::from_string("example.org"), dns::Ttl{3600},
                     Name::from_string("ns.example.org"), 1));
-  zone.add(make_a(Name::from_string("a.b.example.org"), 60, Ipv4(1, 1, 1, 1)));
+  zone.add(make_a(Name::from_string("a.b.example.org"), dns::Ttl{60}, Ipv4(1, 1, 1, 1)));
   auto result = zone.lookup(Name::from_string("b.example.org"), RRType::kA);
   EXPECT_EQ(result.kind, Kind::kNoData);
 }
@@ -122,9 +122,9 @@ TEST(ZoneTest, NotInZoneForForeignName) {
 
 TEST(ZoneTest, CnameAnswersAndChasesInZone) {
   Zone zone{Name::from_string("example.org")};
-  zone.add(make_cname(Name::from_string("www.example.org"), 300,
+  zone.add(make_cname(Name::from_string("www.example.org"), dns::Ttl{300},
                       Name::from_string("web.example.org")));
-  zone.add(make_a(Name::from_string("web.example.org"), 600, Ipv4(5, 5, 5, 5)));
+  zone.add(make_a(Name::from_string("web.example.org"), dns::Ttl{600}, Ipv4(5, 5, 5, 5)));
   auto result = zone.lookup(Name::from_string("www.example.org"), RRType::kA);
   EXPECT_EQ(result.kind, Kind::kAnswer);
   ASSERT_EQ(result.answers.size(), 2u);
@@ -134,7 +134,7 @@ TEST(ZoneTest, CnameAnswersAndChasesInZone) {
 
 TEST(ZoneTest, CnameQueryReturnsCnameItself) {
   Zone zone{Name::from_string("example.org")};
-  zone.add(make_cname(Name::from_string("www.example.org"), 300,
+  zone.add(make_cname(Name::from_string("www.example.org"), dns::Ttl{300},
                       Name::from_string("web.example.org")));
   auto result =
       zone.lookup(Name::from_string("www.example.org"), RRType::kCNAME);
@@ -156,7 +156,7 @@ TEST(ZoneTest, RenumberReplacesAddress) {
                             Ipv4::from_string("10.9.9.9")));
   auto rrset = cl.find(Name::from_string("a.nic.cl"), RRType::kA);
   ASSERT_TRUE(rrset.has_value());
-  EXPECT_EQ(rrset->ttl(), 43200u);  // TTL preserved across renumbering
+  EXPECT_EQ(rrset->ttl(), Ttl{43200});  // TTL preserved across renumbering
   EXPECT_EQ(std::get<ARdata>(rrset->rdatas()[0]).address.to_string(),
             "10.9.9.9");
   EXPECT_FALSE(cl.renumber_a(Name::from_string("absent.cl"), Ipv4{}));
@@ -165,10 +165,10 @@ TEST(ZoneTest, RenumberReplacesAddress) {
 TEST(ZoneTest, SetTtlChangesExistingSet) {
   // The .uy natural experiment: child NS TTL raised from 300 to 86400.
   Zone uy{Name::from_string("uy")};
-  uy.add(make_ns(Name::from_string("uy"), 300, Name::from_string("a.nic.uy")));
-  EXPECT_TRUE(uy.set_ttl(Name::from_string("uy"), RRType::kNS, 86400));
-  EXPECT_EQ(uy.find(Name::from_string("uy"), RRType::kNS)->ttl(), 86400u);
-  EXPECT_FALSE(uy.set_ttl(Name::from_string("uy"), RRType::kMX, 60));
+  uy.add(make_ns(Name::from_string("uy"), dns::Ttl{300}, Name::from_string("a.nic.uy")));
+  EXPECT_TRUE(uy.set_ttl(Name::from_string("uy"), RRType::kNS, dns::Ttl{86400}));
+  EXPECT_EQ(uy.find(Name::from_string("uy"), RRType::kNS)->ttl(), Ttl{86400});
+  EXPECT_FALSE(uy.set_ttl(Name::from_string("uy"), RRType::kMX, dns::Ttl{60}));
 }
 
 TEST(ZoneTest, RemoveDropsRrsetAndNode) {
@@ -187,9 +187,9 @@ TEST(ZoneTest, IsDelegatedDetectsZoneCut) {
 
 TEST(ZoneTest, DeepestCutWins) {
   Zone zone{Name::from_string("net")};
-  zone.add(make_ns(Name::from_string("cachetest.net"), 3600,
+  zone.add(make_ns(Name::from_string("cachetest.net"), dns::Ttl{3600},
                    Name::from_string("ns1.cachetest.net")));
-  zone.add(make_ns(Name::from_string("sub.cachetest.net"), 600,
+  zone.add(make_ns(Name::from_string("sub.cachetest.net"), dns::Ttl{600},
                    Name::from_string("ns1.sub.cachetest.net")));
   // Lookup below the shallower cut must return the *shallower* cut first:
   // queries leave this zone's authority at cachetest.net.

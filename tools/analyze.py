@@ -1,0 +1,646 @@
+#!/usr/bin/env python3
+"""AST-grade unit-safety analyzer for the dnsttl sources.
+
+Where tools/lint.py works line-by-line with regexes, this tool reasons over
+real Clang ASTs, driven by the compile_commands.json the rel preset exports
+(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON, on by default here).
+It enforces the unit-safety contract introduced with the sim::Duration /
+sim::SimTime / dns::Ttl strong types (docs/architecture.md §Static
+analysis):
+
+  unit-arith             arithmetic mixing the raw escape hatches of two
+                         DIFFERENT units in one expression — e.g.
+                         `ttl.value() + d.count()` adds seconds to
+                         microseconds and compiles fine because both sides
+                         are already raw integers.  Convert explicitly
+                         (sim::seconds(ttl.value())) before mixing.
+  unit-float-cast        a cast of a Duration/SimTime/Ttl-typed expression
+                         to float/double outside src/stats/.  The sanctioned
+                         spellings are sim::to_seconds()/to_milliseconds()
+                         and .value()/.count() followed by a visible cast in
+                         the stats layer.
+  unordered-output-flow  a range-for over a std::unordered_{map,set} whose
+                         body reaches output formatting or event scheduling:
+                         iteration order is hash-seed/libstdc++ dependent,
+                         which breaks the bit-identical-output contract.
+  nodiscard-validator    a `check::` validator (validate*/check_* function)
+                         without [[nodiscard]]: dropping a validator result
+                         silently disables an audit.
+  raw-time-param         a function parameter in a public header (src/**.h)
+                         whose type is a raw integer but whose name says it
+                         carries time (ttl/timeout/deadline/_us/_ms/...).
+                         New APIs must take sim::Duration / sim::Time /
+                         dns::Ttl instead.
+
+Suppression: `// analyze:allow(<rule>) <why>` on the offending line or the
+comment line directly above it.
+
+Engines, in preference order:
+
+  1. libclang python bindings (`import clang.cindex`) — fastest, full
+     fidelity.
+  2. A `clang` binary, invoked per TU as
+         clang -Xclang -ast-dump=json -fsyntax-only <original flags>
+     and the JSON tree walked directly.  This is the documented fallback
+     for machines without the python bindings.
+  3. Neither present: the tool prints `analyze: SKIP (...)` and exits 0 so
+     pipelines stay green on minimal containers; install clang to arm it.
+
+`--selftest` runs the rule engine against embedded miniature ASTs (the
+JSON shapes clang emits) and needs no compiler at all; the analyze-smoke
+ctest runs it everywhere, plus the real analysis when an engine exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+UNIT_TYPES = {
+    "dnsttl::sim::Duration": "Duration[us]",
+    "dnsttl::sim::SimTime": "SimTime[us]",
+    "dnsttl::sim::Time": "SimTime[us]",
+    "sim::Duration": "Duration[us]",
+    "sim::SimTime": "SimTime[us]",
+    "sim::Time": "SimTime[us]",
+    "dnsttl::dns::Ttl": "Ttl[s]",
+    "dns::Ttl": "Ttl[s]",
+}
+
+# The raw escape hatches, keyed by member name, with the unit they leak.
+ESCAPES = {"count": "us", "ticks": "us", "value": "s"}
+
+ARITH_OPS = {"+", "-", "*", "/", "%"}
+FLOAT_TYPES = ("float", "double", "long double")
+
+OUTPUT_CALLEES = re.compile(
+    r"printf|fprintf|operator<<|to_string|render|report|write|format|"
+    r"schedule_at|schedule_after"
+)
+TIME_PARAM_NAME = re.compile(
+    r"(^|_)(ttl|time|timeout|deadline|duration|interval|delay|expiry|"
+    r"latency|rtt)($|_)|_(us|ms|sec|seconds|micros|millis)$",
+    re.IGNORECASE,
+)
+RAW_INT_TYPE = re.compile(
+    r"^(const\s+)?(unsigned\s+)?(std::)?"
+    r"(u?int(8|16|32|64)_t|int|long|long long|unsigned|size_t|uint_fast\d+_t)"
+    r"(\s+int)?$"
+)
+ALLOW_RE = re.compile(r"//\s*analyze:allow\(([a-z-]+)\)\s*(\S.*)?")
+
+
+class Finding:
+    def __init__(self, rule: str, file: str, line: int, message: str):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Suppression lookup: reads the source file once and caches which (line,
+# rule) pairs carry an analyze:allow.
+
+
+class Suppressions:
+    def __init__(self):
+        self._cache: dict[str, dict[int, str]] = {}
+
+    def allows(self, file: str, line: int, rule: str) -> bool:
+        if file not in self._cache:
+            table: dict[int, str] = {}
+            try:
+                lines = Path(file).read_text(
+                    encoding="utf-8", errors="replace"
+                ).splitlines()
+            except OSError:
+                lines = []
+            for number, text in enumerate(lines, start=1):
+                match = ALLOW_RE.search(text)
+                if not match:
+                    continue
+                table[number] = match.group(1)
+                if text.lstrip().startswith("//"):
+                    # Comment-only line: covers the next code line too.
+                    table[number + 1] = match.group(1)
+            self._cache[file] = table
+        return self._cache[file].get(line) == rule
+
+
+# --------------------------------------------------------------------------
+# The rule engine.  Operates on dict-shaped AST nodes with the field names
+# of clang's -ast-dump=json: kind, name, type.qualType, opcode, inner[],
+# loc.{file,line}.  Both real engines normalize into this shape, and the
+# selftest feeds it directly.
+
+
+def node_type(node: dict) -> str:
+    return (node.get("type") or {}).get("qualType", "")
+
+
+def unit_of_type(qual_type: str) -> str | None:
+    stripped = qual_type.replace("const ", "").replace("&", "").strip()
+    return UNIT_TYPES.get(stripped)
+
+
+def iter_nodes(node: dict, file_hint: str = "", line_hint: int = 0):
+    """Depth-first walk yielding (node, file, line) with location inherited
+    from ancestors when clang omits it (it elides repeated locations)."""
+    loc = node.get("loc") or {}
+    file_hint = loc.get("file", file_hint)
+    line_hint = loc.get("line", line_hint)
+    yield node, file_hint, line_hint
+    for child in node.get("inner") or []:
+        if isinstance(child, dict):
+            yield from iter_nodes(child, file_hint, line_hint)
+
+
+def escape_unit(node: dict) -> str | None:
+    """If this expression subtree is (or contains at top level) a raw
+    escape-hatch call like d.count() / ttl.value(), return the unit the raw
+    integer carries ('us' or 's')."""
+    for sub, _, _ in iter_nodes(node):
+        if sub.get("kind") != "CXXMemberCallExpr":
+            continue
+        # clang nests MemberExpr under the call; the member name is there.
+        for inner, _, _ in iter_nodes(sub):
+            if inner.get("kind") == "MemberExpr":
+                member = inner.get("name", "").lstrip(".")
+                if member in ESCAPES:
+                    base = next(
+                        (n for n, _, _ in iter_nodes(inner)
+                         if unit_of_type(node_type(n))), None)
+                    if base is not None:
+                        return ESCAPES[member]
+        break  # only the top-level call, not arbitrary descendants
+    return None
+
+
+def check_unit_arith(root: dict, findings: list[Finding]) -> None:
+    for node, file, line in iter_nodes(root):
+        if node.get("kind") != "BinaryOperator":
+            continue
+        if node.get("opcode") not in ARITH_OPS:
+            continue
+        operands = [c for c in node.get("inner") or [] if isinstance(c, dict)]
+        if len(operands) != 2:
+            continue
+        units = [escape_unit(op) for op in operands]
+        if units[0] and units[1] and units[0] != units[1]:
+            findings.append(Finding(
+                "unit-arith", file, line,
+                f"arithmetic mixes raw {units[0]} and raw {units[1]} "
+                "escape-hatch values; convert explicitly "
+                "(e.g. sim::seconds(ttl.value())) before mixing"))
+
+
+def check_unit_float_cast(root: dict, findings: list[Finding]) -> None:
+    for node, file, line in iter_nodes(root):
+        if node.get("kind") not in ("CXXStaticCastExpr", "CStyleCastExpr",
+                                    "ImplicitCastExpr"):
+            continue
+        dest = node_type(node)
+        if not any(dest.startswith(f) for f in FLOAT_TYPES):
+            continue
+        operands = [c for c in node.get("inner") or [] if isinstance(c, dict)]
+        if not operands:
+            continue
+        if unit_of_type(node_type(operands[0])) is None:
+            continue
+        if "src/stats/" in file.replace("\\", "/"):
+            continue
+        findings.append(Finding(
+            "unit-float-cast", file, line,
+            f"cast of {node_type(operands[0])} to {dest} outside src/stats/;"
+            " use sim::to_seconds()/to_milliseconds() or keep float"
+            " conversions in the stats layer"))
+
+
+def check_unordered_output_flow(root: dict, findings: list[Finding]) -> None:
+    for node, file, line in iter_nodes(root):
+        if node.get("kind") != "CXXForRangeStmt":
+            continue
+        range_is_unordered = any(
+            "unordered_map" in node_type(sub) or "unordered_set" in node_type(sub)
+            for sub, _, _ in iter_nodes(node))
+        if not range_is_unordered:
+            continue
+        for sub, _, sub_line in iter_nodes(node):
+            if sub.get("kind") not in ("CallExpr", "CXXMemberCallExpr",
+                                       "CXXOperatorCallExpr"):
+                continue
+            callee = sub.get("name", "")
+            if OUTPUT_CALLEES.search(callee):
+                findings.append(Finding(
+                    "unordered-output-flow", file, line,
+                    f"range-for over an unordered container reaches "
+                    f"`{callee}` (line {sub_line}); iteration order is not "
+                    "deterministic — sort into a vector first"))
+                break
+
+
+def check_nodiscard_validator(root: dict, findings: list[Finding]) -> None:
+    def walk(node: dict, in_check_ns: bool, file: str, line: int):
+        loc = node.get("loc") or {}
+        file = loc.get("file", file)
+        line = loc.get("line", line)
+        kind = node.get("kind")
+        if kind == "NamespaceDecl":
+            in_check_ns = in_check_ns or node.get("name") == "check"
+        if (kind == "FunctionDecl" and in_check_ns):
+            name = node.get("name", "")
+            if name.startswith("validate") or name.startswith("check_"):
+                has_nodiscard = any(
+                    sub.get("kind") == "WarnUnusedResultAttr"
+                    for sub, _, _ in iter_nodes(node))
+                returns_void = node_type(node).startswith("void")
+                if not has_nodiscard and not returns_void:
+                    findings.append(Finding(
+                        "nodiscard-validator", file, line,
+                        f"check:: validator `{name}` is missing "
+                        "[[nodiscard]]; a dropped result silently disables "
+                        "the audit"))
+        for child in node.get("inner") or []:
+            if isinstance(child, dict):
+                walk(child, in_check_ns, file, line)
+
+    walk(root, False, "", 0)
+
+
+def check_raw_time_param(root: dict, findings: list[Finding]) -> None:
+    for node, file, line in iter_nodes(root):
+        if node.get("kind") != "FunctionDecl":
+            continue
+        norm = file.replace("\\", "/")
+        if "/src/" not in norm and not norm.startswith("src/"):
+            continue
+        if not norm.endswith(".h"):
+            continue
+        for sub, sub_file, sub_line in iter_nodes(node):
+            if sub.get("kind") != "ParmVarDecl":
+                continue
+            name = sub.get("name", "")
+            if not name or not TIME_PARAM_NAME.search(name):
+                continue
+            if RAW_INT_TYPE.match(node_type(sub).strip()):
+                findings.append(Finding(
+                    "raw-time-param", sub_file, sub_line,
+                    f"public-header parameter `{name}` carries time as a "
+                    f"raw `{node_type(sub)}`; take sim::Duration, "
+                    "sim::Time, or dns::Ttl instead"))
+
+
+RULE_CHECKS = [
+    check_unit_arith,
+    check_unit_float_cast,
+    check_unordered_output_flow,
+    check_nodiscard_validator,
+    check_raw_time_param,
+]
+
+
+def analyze_tree(root: dict) -> list[Finding]:
+    findings: list[Finding] = []
+    for check in RULE_CHECKS:
+        check(root, findings)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Engine 1: libclang.  Cursors are normalized into the same dict shape the
+# JSON walker consumes, so every rule has exactly one implementation.
+
+
+def try_libclang():
+    try:
+        from clang import cindex  # type: ignore
+
+        index = cindex.Index.create()
+        return index, cindex
+    except Exception:
+        return None
+
+
+def cursor_to_dict(cursor, cindex) -> dict:
+    kind_map = {
+        "BINARY_OPERATOR": "BinaryOperator",
+        "CXX_STATIC_CAST_EXPR": "CXXStaticCastExpr",
+        "CSTYLE_CAST_EXPR": "CStyleCastExpr",
+        "CXX_FOR_RANGE_STMT": "CXXForRangeStmt",
+        "CALL_EXPR": "CallExpr",
+        "FUNCTION_DECL": "FunctionDecl",
+        "CXX_METHOD": "FunctionDecl",
+        "PARM_DECL": "ParmVarDecl",
+        "NAMESPACE": "NamespaceDecl",
+        "MEMBER_REF_EXPR": "MemberExpr",
+    }
+    node: dict = {"kind": kind_map.get(cursor.kind.name, cursor.kind.name)}
+    if cursor.spelling:
+        node["name"] = cursor.spelling
+    try:
+        qual = cursor.type.spelling
+        if qual:
+            node["type"] = {"qualType": qual}
+    except Exception:
+        pass
+    if node["kind"] == "BinaryOperator":
+        try:  # available from clang 17 bindings
+            node["opcode"] = cursor.binary_operator.name
+        except Exception:
+            # Token fallback: the operator token between the two operands.
+            tokens = [t.spelling for t in cursor.get_tokens()]
+            for token in tokens:
+                if token in ARITH_OPS:
+                    node["opcode"] = token
+                    break
+    if cursor.location and cursor.location.file:
+        node["loc"] = {
+            "file": str(cursor.location.file),
+            "line": cursor.location.line,
+        }
+    if node["kind"] == "FunctionDecl":
+        if any(a.kind.name == "WARN_UNUSED_RESULT_ATTR"
+               for a in cursor.get_children()
+               if a.kind.is_attribute()):
+            node.setdefault("inner", []).append(
+                {"kind": "WarnUnusedResultAttr"})
+        try:
+            node["type"] = {"qualType": cursor.result_type.spelling}
+        except Exception:
+            pass
+    children = [cursor_to_dict(child, cindex)
+                for child in cursor.get_children()]
+    if children:
+        node.setdefault("inner", []).extend(children)
+    return node
+
+
+def run_libclang(engine, entries, repo: Path) -> list[Finding]:
+    index, cindex = engine
+    findings: list[Finding] = []
+    for entry in entries:
+        args = [a for a in entry["args"][1:] if a != "-c"]
+        try:
+            tu = index.parse(entry["file"], args=args)
+        except Exception as error:
+            print(f"analyze: parse failed for {entry['file']}: {error}",
+                  file=sys.stderr)
+            continue
+        findings.extend(analyze_tree(cursor_to_dict(tu.cursor, cindex)))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Engine 2: clang -Xclang -ast-dump=json.
+
+
+def run_ast_json(clang: str, entries, repo: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for entry in entries:
+        cmd = [clang] + [a for a in entry["args"][1:]
+                         if a not in ("-c",) and not a.startswith("-o")]
+        cmd += ["-fsyntax-only", "-Xclang", "-ast-dump=json", entry["file"]]
+        try:
+            out = subprocess.run(cmd, cwd=entry["dir"], capture_output=True,
+                                 text=True, timeout=300)
+        except (OSError, subprocess.TimeoutExpired) as error:
+            print(f"analyze: clang failed for {entry['file']}: {error}",
+                  file=sys.stderr)
+            continue
+        if out.returncode != 0 or not out.stdout:
+            print(f"analyze: no AST for {entry['file']}", file=sys.stderr)
+            continue
+        try:
+            tree = json.loads(out.stdout)
+        except json.JSONDecodeError:
+            continue
+        findings.extend(analyze_tree(tree))
+    return findings
+
+
+def load_compdb(compdb_dir: Path):
+    db = compdb_dir / "compile_commands.json"
+    if not db.exists():
+        return None
+    entries = []
+    for entry in json.loads(db.read_text()):
+        if "command" in entry:
+            args = shlex.split(entry["command"])
+        else:
+            args = list(entry["arguments"])
+        entries.append({"file": entry["file"], "dir": entry["directory"],
+                        "args": args})
+    # Project sources only: third-party TUs are not under our unit regime.
+    return [e for e in entries
+            if "/src/" in e["file"].replace("\\", "/")
+            or "/tests/" in e["file"].replace("\\", "/")]
+
+
+# --------------------------------------------------------------------------
+# Selftest: miniature clang-JSON ASTs, one hostile and one clean per rule.
+
+
+def _call(name: str, *inner: dict) -> dict:
+    return {"kind": "CXXMemberCallExpr", "name": name, "inner": list(inner)}
+
+
+def _member(name: str, base_type: str) -> dict:
+    return {"kind": "MemberExpr", "name": name, "inner": [
+        {"kind": "DeclRefExpr", "type": {"qualType": base_type}}]}
+
+
+SELFTEST_CASES = [
+    (
+        "unit-arith fires on value()+count()",
+        {"kind": "BinaryOperator", "opcode": "+",
+         "loc": {"file": "src/core/x.cc", "line": 10},
+         "inner": [
+             _call("value", _member("value", "dnsttl::dns::Ttl")),
+             _call("count", _member("count", "dnsttl::sim::Duration")),
+         ]},
+        ["unit-arith"],
+    ),
+    (
+        "unit-arith silent on count()+count()",
+        {"kind": "BinaryOperator", "opcode": "+",
+         "loc": {"file": "src/core/x.cc", "line": 11},
+         "inner": [
+             _call("count", _member("count", "dnsttl::sim::Duration")),
+             _call("count", _member("count", "dnsttl::sim::Duration")),
+         ]},
+        [],
+    ),
+    (
+        "unit-float-cast fires outside src/stats/",
+        {"kind": "CXXStaticCastExpr", "type": {"qualType": "double"},
+         "loc": {"file": "src/core/x.cc", "line": 20},
+         "inner": [{"kind": "DeclRefExpr",
+                    "type": {"qualType": "dnsttl::sim::Duration"}}]},
+        ["unit-float-cast"],
+    ),
+    (
+        "unit-float-cast silent inside src/stats/",
+        {"kind": "CXXStaticCastExpr", "type": {"qualType": "double"},
+         "loc": {"file": "src/stats/summary.cc", "line": 21},
+         "inner": [{"kind": "DeclRefExpr",
+                    "type": {"qualType": "dnsttl::sim::Duration"}}]},
+        [],
+    ),
+    (
+        "unordered-output-flow fires when the body prints",
+        {"kind": "CXXForRangeStmt",
+         "loc": {"file": "src/core/x.cc", "line": 30},
+         "inner": [
+             {"kind": "DeclRefExpr",
+              "type": {"qualType":
+                       "std::unordered_map<std::string, int>"}},
+             {"kind": "CallExpr", "name": "printf"},
+         ]},
+        ["unordered-output-flow"],
+    ),
+    (
+        "unordered-output-flow silent for pure aggregation",
+        {"kind": "CXXForRangeStmt",
+         "loc": {"file": "src/core/x.cc", "line": 31},
+         "inner": [
+             {"kind": "DeclRefExpr",
+              "type": {"qualType":
+                       "std::unordered_map<std::string, int>"}},
+             {"kind": "CallExpr", "name": "accumulate"},
+         ]},
+        [],
+    ),
+    (
+        "nodiscard-validator fires on a bare check:: validator",
+        {"kind": "NamespaceDecl", "name": "check", "inner": [
+            {"kind": "FunctionDecl", "name": "validate_cache",
+             "type": {"qualType": "bool ()"},
+             "loc": {"file": "src/check/audit.h", "line": 40}}]},
+        ["nodiscard-validator"],
+    ),
+    (
+        "nodiscard-validator silent with the attribute",
+        {"kind": "NamespaceDecl", "name": "check", "inner": [
+            {"kind": "FunctionDecl", "name": "validate_cache",
+             "type": {"qualType": "bool ()"},
+             "loc": {"file": "src/check/audit.h", "line": 41},
+             "inner": [{"kind": "WarnUnusedResultAttr"}]}]},
+        [],
+    ),
+    (
+        "raw-time-param fires on `std::uint32_t ttl` in a public header",
+        {"kind": "FunctionDecl", "name": "insert",
+         "loc": {"file": "src/cache/cache.h", "line": 50},
+         "inner": [
+             {"kind": "ParmVarDecl", "name": "ttl",
+              "type": {"qualType": "std::uint32_t"}}]},
+        ["raw-time-param"],
+    ),
+    (
+        "raw-time-param silent on the strong type",
+        {"kind": "FunctionDecl", "name": "insert",
+         "loc": {"file": "src/cache/cache.h", "line": 51},
+         "inner": [
+             {"kind": "ParmVarDecl", "name": "ttl",
+              "type": {"qualType": "dnsttl::dns::Ttl"}}]},
+        [],
+    ),
+    (
+        "raw-time-param silent in a .cc file (internal linkage)",
+        {"kind": "FunctionDecl", "name": "helper",
+         "loc": {"file": "src/cache/cache.cc", "line": 52},
+         "inner": [
+             {"kind": "ParmVarDecl", "name": "timeout_ms",
+              "type": {"qualType": "int"}}]},
+        [],
+    ),
+]
+
+
+def selftest() -> int:
+    failures = 0
+    for label, tree, expected_rules in SELFTEST_CASES:
+        got = sorted({f.rule for f in analyze_tree(tree)})
+        want = sorted(set(expected_rules))
+        status = "ok" if got == want else "FAIL"
+        if got != want:
+            failures += 1
+        print(f"selftest: {status}: {label} (got {got or ['-']})")
+    if failures:
+        print(f"selftest: {failures} case(s) FAILED", file=sys.stderr)
+        return 1
+    print(f"selftest: OK ({len(SELFTEST_CASES)} cases)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="AST-grade unit-safety analyzer (see module docstring)")
+    parser.add_argument("--compdb", default="build",
+                        help="directory containing compile_commands.json")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the embedded rule-engine selftest only")
+    parser.add_argument("--smoke", action="store_true",
+                        help="selftest, then real analysis if an engine "
+                             "and compdb exist (ctest analyze-smoke mode)")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+
+    if args.smoke and selftest() != 0:
+        return 1
+
+    repo = Path(__file__).resolve().parent.parent
+    engine = try_libclang()
+    clang = shutil.which("clang") or shutil.which("clang++")
+    if engine is None and clang is None:
+        print("analyze: SKIP (no libclang python bindings and no clang "
+              "binary on PATH; install clang to enable AST analysis)")
+        return 0
+
+    entries = load_compdb(repo / args.compdb)
+    if entries is None:
+        if args.smoke:
+            print(f"analyze: SKIP (no compile_commands.json under "
+                  f"{args.compdb}; configure the rel preset first)")
+            return 0
+        print(f"analyze: no compile_commands.json in {args.compdb} "
+              "(configure with the rel preset)", file=sys.stderr)
+        return 2
+
+    if engine is not None:
+        findings = run_libclang(engine, entries, repo)
+        engine_name = "libclang"
+    else:
+        findings = run_ast_json(clang, entries, repo)
+        engine_name = f"clang ast-dump ({clang})"
+
+    suppressions = Suppressions()
+    surviving = [f for f in findings
+                 if not suppressions.allows(f.file, f.line, f.rule)]
+    if surviving:
+        print(f"analyze: {len(surviving)} finding(s) via {engine_name}:",
+              file=sys.stderr)
+        for finding in surviving:
+            print("  " + str(finding), file=sys.stderr)
+        return 1
+    print(f"analyze: OK ({len(entries)} TUs via {engine_name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

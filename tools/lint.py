@@ -23,6 +23,12 @@ Rules (all scoped to src/ unless stated otherwise):
                   containers/smart pointers.  Placement new is allowed.
   std-map-hot     std::map in src/cache or src/sim — the hot paths use the
                   open-addressing table / slab by design (see PR 1).
+  raw-time-param  a raw-integer parameter with a time-ish name (ttl, timeout,
+                  deadline, ...) in a public header (src/**/*.h): new APIs
+                  must take sim::Duration / sim::Time / dns::Ttl.  Regex
+                  backstop for the AST rule of the same name in
+                  tools/analyze.py, so the contract holds even on machines
+                  without clang.
 
 Suppression: append `// lint:allow(<rule>) <justification>` to the offending
 line, or put it on a comment line directly above (the suppression then covers
@@ -72,6 +78,21 @@ RULES = [
         "std-map-hot",
         re.compile(r"\bstd::(?:multi)?map\s*<"),
         ("src/cache", "src/sim"),
+    ),
+    # Headers only (see the .h check in lint_file): a raw integer parameter
+    # whose name says it carries time.  The unit belongs in the type, not
+    # the name — take sim::Duration / sim::Time / dns::Ttl.
+    (
+        "raw-time-param",
+        re.compile(
+            r"\b(?:std::)?(?:u?int(?:8|16|32|64)_t|unsigned(?:\s+(?:int|long))?"
+            r"|size_t|long(?:\s+long)?|int)\s+"
+            r"(?:\w*(?:ttl|timeout|deadline|interval|delay|duration|expiry"
+            r"|latency|rtt)\w*|\w+_(?:us|ms|sec|secs|seconds|micros|millis))"
+            r"\s*[,)=]",
+            re.IGNORECASE,
+        ),
+        None,
     ),
 ]
 
@@ -147,6 +168,8 @@ def lint_file(path: Path, rel: str, errors: list[str]) -> None:
         for rule, pattern, scope in RULES:
             if scope is not None and not rel.startswith(scope):
                 continue
+            if rule == "raw-time-param" and not rel.endswith(".h"):
+                continue  # public-header contract; .cc internals may stage raw ints
             match = pattern.search(code)
             if not match:
                 continue
