@@ -14,6 +14,7 @@
 
 #include "atlas/platform.h"
 #include "core/world.h"
+#include "par/pool.h"
 
 namespace dnsttl::bench {
 
@@ -22,6 +23,10 @@ namespace dnsttl::bench {
 ///   --seed <n>    RNG seed (default 1)
 ///   --full        alias for --scale 1.0 (paper scale, the default)
 ///   --quick       alias for --scale 0.1 (CI-friendly)
+///   --jobs <n>    worker threads for sharded experiments (0 = hardware;
+///                 default from DNSTTL_JOBS, else hardware).  Output is
+///                 byte-identical for every value — shard layout is a
+///                 function of the workload, jobs only sets concurrency.
 ///   --json <path> also write a machine-readable BENCH_*.json report
 /// Flags accept both "--flag value" and "--flag=value".  Unknown flags and
 /// non-numeric values print usage and exit non-zero (atof-style silent
@@ -31,11 +36,12 @@ struct BenchArgs {
   std::uint64_t seed = 1;
   std::string json_path;
   bool quick = false;
+  std::size_t jobs = par::default_jobs();
 
   static void print_usage(const char* program) {
     std::fprintf(stderr,
                  "usage: %s [--scale <f>] [--seed <n>] [--quick] [--full] "
-                 "[--json <path>]\n",
+                 "[--jobs <n>] [--json <path>]\n",
                  program);
   }
 
@@ -98,6 +104,13 @@ struct BenchArgs {
     }
     if (arg == "--seed") {
       seed = parse_u64(program, arg, take_value(arg));
+      return inline_value ? 1 : 2;
+    }
+    if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(parse_u64(program, arg, take_value(arg)));
+      if (jobs == 0) {
+        jobs = par::hardware_jobs();
+      }
       return inline_value ? 1 : 2;
     }
     if (arg == "--json") {
@@ -175,12 +188,19 @@ class JsonReport {
   JsonReport(std::string benchmark_id, const BenchArgs& args)
       : benchmark_id_(std::move(benchmark_id)),
         seed_(args.seed),
-        scale_(args.scale) {}
+        scale_(args.scale),
+        jobs_(args.jobs) {}
 
   void add_metric(const std::string& name, const std::string& unit,
                   std::uint64_t ops, double wall_seconds,
                   double ops_per_sec) {
     metrics_.push_back(Metric{name, unit, ops, wall_seconds, ops_per_sec});
+  }
+
+  /// Per-shard wall times of the parallel section (index = shard index).
+  /// Timing noise only — never part of the byte-identical stdout.
+  void set_shard_walls(std::vector<double> walls) {
+    shard_walls_ = std::move(walls);
   }
 
   /// Writes the report; returns false (with a message on stderr) on I/O
@@ -197,7 +217,13 @@ class JsonReport {
     std::fprintf(out, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(seed_));
     std::fprintf(out, "  \"scale\": %g,\n", scale_);
+    std::fprintf(out, "  \"jobs\": %zu,\n", jobs_);
     std::fprintf(out, "  \"wall_seconds_total\": %.6f,\n", total_wall_seconds);
+    std::fprintf(out, "  \"shard_wall_seconds\": [");
+    for (std::size_t i = 0; i < shard_walls_.size(); ++i) {
+      std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", shard_walls_[i]);
+    }
+    std::fprintf(out, "],\n");
     std::fprintf(out, "  \"peak_rss_bytes\": %llu,\n",
                  static_cast<unsigned long long>(peak_rss_bytes()));
     std::fprintf(out, "  \"metrics\": [\n");
@@ -227,6 +253,8 @@ class JsonReport {
   std::string benchmark_id_;
   std::uint64_t seed_ = 1;
   double scale_ = 1.0;
+  std::size_t jobs_ = 1;
+  std::vector<double> shard_walls_;
   std::vector<Metric> metrics_;
 };
 

@@ -3,20 +3,22 @@
 // the child (ns[1-4].google.com).  About 70% of answers exceed 900 s
 // (child-centric), ~15% sit at the 21599 s public-resolver cap, and ~9%
 // show a fresh 900 s parent copy.
+//
+// Sharded (PR 4): each shard replicates the Google testbed and measures
+// its probe slice; output is byte-identical for any --jobs value.
 
 #include "bench_common.h"
 #include "core/centricity_experiment.h"
+#include "core/sharded.h"
 #include "dns/rr.h"
+#include "par/pool.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
 
-int main(int argc, char** argv) {
-  auto args = bench::BenchArgs::parse(argc, argv);
-  bench::print_header("Figure 2", "google.co NS centricity (SLD)");
+namespace {
 
-  core::World world{core::World::Options{args.seed, 0.002, {}}};
-
+void build_google_testbed(core::World& world) {
   // .co and .com registries.
   auto co_zone = world.add_tld("co", "a.nic", dns::kTtl2Days, dns::kTtl1Day,
                                dns::kTtl1Day,
@@ -49,24 +51,56 @@ int main(int argc, char** argv) {
                  dns::kTtl2Days);
   world.delegate(*co_zone, googleco, {{ns1, gaddr}}, dns::kTtl15Min,
                  dns::kTtl15Min);
+}
 
-  auto platform = atlas::Platform::build(world.network(), world.hints(),
-                                         world.root_zone(),
-                                         args.platform_spec(), world.rng());
-  std::printf("platform: %zu probes, %zu VPs\n\n", platform.probes().size(),
-              platform.vp_count());
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 2", "google.co NS centricity (SLD)");
+
+  auto factory = [&args] {
+    core::ShardEnv env;
+    env.world = std::make_unique<core::World>(
+        core::World::Options{args.seed, 0.002, {}});
+    build_google_testbed(*env.world);
+    env.platform = std::make_unique<atlas::Platform>(atlas::Platform::build(
+        env.world->network(), env.world->hints(), env.world->root_zone(),
+        args.platform_spec(), env.world->rng()));
+    return env;
+  };
+
+  auto meta = factory();
+  const std::size_t vp_count = meta.platform->vp_count();
+  std::printf("platform: %zu probes, %zu VPs\n\n",
+              meta.platform->probes().size(), vp_count);
+  const std::size_t shards =
+      par::shard_count_for(meta.platform->probes().size());
+  meta = {};
 
   core::CentricitySetup setup;
   setup.name = "google.co-NS";
-  setup.qname = googleco;
+  setup.qname = dns::Name::from_string("google.co");
   setup.qtype = dns::RRType::kNS;
   setup.parent_ttl = dns::kTtl15Min;
   setup.child_ttl = dns::kTtl4Days;
   setup.duration = 1 * sim::kHour;
-  auto result = core::run_centricity(world, platform, setup);
+
+  auto runs = core::run_sharded_script(
+      factory, shards, args.jobs,
+      [&](core::ShardEnv& env, std::size_t shard, std::size_t count) {
+        core::CentricitySetup s = setup;
+        s.shard_count = count;
+        s.shard_index = shard;
+        std::vector<atlas::MeasurementRun> phases;
+        phases.push_back(std::move(
+            core::run_centricity(*env.world, *env.platform, s).run));
+        return phases;
+      });
+  auto result = core::classify_centricity(std::move(runs[0]), setup);
 
   std::printf("VPs=%zu queries=%zu responses=%zu valid=%zu disc=%zu\n\n",
-              platform.vp_count(), result.run.query_count(),
+              vp_count, result.run.query_count(),
               result.run.response_count(), result.run.valid_count(),
               result.run.discarded_count());
 

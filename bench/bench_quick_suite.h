@@ -10,12 +10,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "cache/cache.h"
 #include "dns/name.h"
 #include "dns/rr.h"
+#include "par/pool.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -205,6 +207,82 @@ inline std::vector<QuickMetric> run_quick_suite(double scale) {
   metrics.push_back(bench_cache_churn(n(2'000'000)));
   metrics.push_back(bench_name_parse(n(4'000'000)));
   return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-suite runner (dnsttl_lab suite): schedules the independent
+// experiment binaries concurrently on a par::Pool and reprints their
+// captured outputs in a fixed order, so the suite's stdout is
+// byte-identical at any --jobs value.
+// ---------------------------------------------------------------------------
+
+/// The 16 independent experiment binaries (bench_micro_library is the
+/// google-benchmark harness and stays separate).
+inline const std::vector<std::string>& experiment_binaries() {
+  static const std::vector<std::string> kBinaries = {
+      "bench_table1_cl",
+      "bench_table2_fig1_uy",
+      "bench_fig2_googleco",
+      "bench_fig3_fig4_nl_passive",
+      "bench_table3_4_fig678_bailiwick",
+      "bench_table5_fig9_crawl",
+      "bench_table6_7_dmap",
+      "bench_table8_ttl0",
+      "bench_table9_bailiwick_wild",
+      "bench_fig10_uy_rtt",
+      "bench_table10_fig11_controlled",
+      "bench_ablation_policies",
+      "bench_ablation_hitrate",
+      "bench_extension_ddos",
+      "bench_extension_parent_child",
+      "bench_extra_offline_child",
+  };
+  return kBinaries;
+}
+
+/// One experiment binary's captured run.
+struct ExperimentResult {
+  std::string name;
+  int exit_code = -1;
+  double wall_seconds = 0;
+  std::string output;  ///< stdout+stderr, verbatim
+};
+
+/// Runs one binary via the shell, capturing stdout+stderr.
+inline ExperimentResult run_experiment_binary(const std::string& bin_dir,
+                                              const std::string& name,
+                                              const std::string& flags) {
+  ExperimentResult result;
+  result.name = name;
+  const std::string command = bin_dir + "/" + name + " " + flags + " 2>&1";
+  auto start = std::chrono::steady_clock::now();
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    result.exit_code = 127;
+    result.output = "cannot spawn: " + command + "\n";
+    return result;
+  }
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, got);
+  }
+  result.exit_code = ::pclose(pipe);
+  result.wall_seconds = detail::elapsed_seconds(start);
+  return result;
+}
+
+/// Runs every named binary with @p flags, up to @p jobs concurrently.
+/// Results come back in the order of @p names regardless of completion
+/// order.  Each child gets "--jobs 1" appended so inner sharding does not
+/// oversubscribe the pool's workers.
+inline std::vector<ExperimentResult> run_experiment_suite(
+    const std::string& bin_dir, const std::vector<std::string>& names,
+    const std::string& flags, std::size_t jobs) {
+  return par::map_shards(names.size(), jobs, [&](std::size_t index) {
+    return run_experiment_binary(bin_dir, names[index],
+                                 flags + " --jobs 1");
+  });
 }
 
 }  // namespace dnsttl::bench

@@ -3,11 +3,19 @@
 // and 86400, a shared name at TTL 60 and 86400, and a 45-site anycast
 // service at TTL 60 — measured both from the clients (latency CDFs) and at
 // the authoritative (query volume).
+//
+// Parallel (PR 4): the five configurations are independent experiments
+// (the paper ran them on separate days), so each gets its own fresh
+// world + platform and they run concurrently at --jobs; results keep
+// config order, so output is byte-identical for any --jobs value.
 
+#include <chrono>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/latency_experiment.h"
+#include "core/sharded.h"
+#include "par/pool.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
@@ -16,13 +24,15 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header("Table 10 + Figure 11",
                       "controlled TTL / anycast latency & load experiments");
+  bench::JsonReport json("table10_fig11_controlled", args);
+  auto wall_start = std::chrono::steady_clock::now();
 
-  core::World world{core::World::Options{args.seed, 0.002, {}}};
-  auto platform = atlas::Platform::build(world.network(), world.hints(),
-                                         world.root_zone(),
-                                         args.platform_spec(), world.rng());
-  std::printf("platform: %zu probes, %zu VPs\n\n", platform.probes().size(),
-              platform.vp_count());
+  auto factory = core::make_env_factory(
+      core::World::Options{args.seed, 0.002, {}}, args.platform_spec());
+  auto meta = factory();
+  std::printf("platform: %zu probes, %zu VPs\n\n",
+              meta.platform->probes().size(), meta.platform->vp_count());
+  meta = {};
 
   std::vector<core::ControlledTtlConfig> configs;
   {
@@ -51,12 +61,29 @@ int main(int argc, char** argv) {
     configs.push_back(c);
   }
 
-  std::vector<core::ControlledTtlResult> results;
-  for (const auto& config : configs) {
-    platform.flush_all();  // independent experiments, like separate days
-    results.push_back(core::run_controlled_ttl(world, platform, config));
-    // Leave a gap so nothing from this run lingers hot in virtual time.
-    world.simulation().run_until(world.simulation().now() + sim::kHour);
+  std::vector<double> shard_walls(configs.size());
+  auto results =
+      par::map_shards(configs.size(), args.jobs, [&](std::size_t index) {
+        auto shard_start = std::chrono::steady_clock::now();
+        auto env = factory();  // a fresh world per config: separate days
+        auto result =
+            core::run_controlled_ttl(*env.world, *env.platform, configs[index]);
+        shard_walls[index] = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - shard_start)
+                                 .count();
+        return result;
+      });
+  json.set_shard_walls(shard_walls);
+  double parallel_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto queries = static_cast<std::uint64_t>(results[i].run.query_count());
+    json.add_metric(configs[i].name, "queries/sec", queries, parallel_wall,
+                    parallel_wall > 0
+                        ? static_cast<double>(queries) / parallel_wall
+                        : 0);
   }
 
   // ---- Table 10 ----
@@ -151,5 +178,11 @@ int main(int argc, char** argv) {
                             ? "yes"
                             : "no")
                         .c_str());
+  if (!args.json_path.empty()) {
+    json.write(args.json_path,
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             wall_start)
+                   .count());
+  }
   return 0;
 }

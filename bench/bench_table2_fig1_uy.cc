@@ -3,11 +3,17 @@
 // the child's own NS TTL is 300 s and a.nic.uy's A TTL is 120 s; the
 // distribution of observed TTLs separates child- from parent-centric
 // resolvers.  Also runs uy-NS-new (child TTL raised to 86400 s, §5.3).
+//
+// Sharded (PR 4): every shard replicates the world + platform and runs the
+// three phases over its probe slice; merged output is byte-identical for
+// any --jobs value.
 
 #include <chrono>
 
 #include "bench_common.h"
 #include "core/centricity_experiment.h"
+#include "core/sharded.h"
+#include "par/pool.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
@@ -39,27 +45,29 @@ int main(int argc, char** argv) {
                       ".uy centricity from RIPE-Atlas-like VPs");
   bench::JsonReport json("table2_fig1_uy", args);
   auto wall_start = std::chrono::steady_clock::now();
-  auto phase_start = wall_start;
-  auto record_phase = [&](const char* name,
-                          const core::CentricityResult& result) {
-    auto now = std::chrono::steady_clock::now();
-    double elapsed = std::chrono::duration<double>(now - phase_start).count();
-    phase_start = now;
-    auto queries = static_cast<std::uint64_t>(result.run.query_count());
-    json.add_metric(name, "queries/sec", queries, elapsed,
-                    elapsed > 0 ? static_cast<double>(queries) / elapsed : 0);
+
+  auto factory = [&args] {
+    core::ShardEnv env;
+    env.world = std::make_unique<core::World>(
+        core::World::Options{args.seed, 0.002, {}});
+    env.world->add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min,
+                       dns::Ttl{120}, net::Location{net::Region::kSA, 1.0});
+    env.platform = std::make_unique<atlas::Platform>(atlas::Platform::build(
+        env.world->network(), env.world->hints(), env.world->root_zone(),
+        args.platform_spec(), env.world->rng()));
+    return env;
   };
 
-  core::World world{core::World::Options{args.seed, 0.002, {}}};
-  auto uy_zone = world.add_tld("uy", "a.nic", dns::kTtl2Days, dns::kTtl5Min,
-                               dns::Ttl{120}, net::Location{net::Region::kSA, 1.0});
-
-  auto platform = atlas::Platform::build(world.network(), world.hints(),
-                                         world.root_zone(),
-                                         args.platform_spec(), world.rng());
+  // One extra env on the main thread supplies the shard-independent
+  // metadata (probe/VP counts) without waiting for the measurement.
+  auto meta = factory();
+  const std::size_t vp_count = meta.platform->vp_count();
   std::printf("platform: %zu probes, %zu VPs, %zu resolvers\n\n",
-              platform.probes().size(), platform.vp_count(),
-              platform.resolver_population().size());
+              meta.platform->probes().size(), vp_count,
+              meta.platform->resolver_population().size());
+  const std::size_t shards =
+      par::shard_count_for(meta.platform->probes().size());
+  meta = {};
 
   // --- uy-NS: child TTL 300 s ---
   core::CentricitySetup ns_setup;
@@ -69,9 +77,76 @@ int main(int argc, char** argv) {
   ns_setup.parent_ttl = dns::kTtl2Days;
   ns_setup.child_ttl = dns::kTtl5Min;
   ns_setup.duration = 2 * sim::kHour;
-  auto ns_result = core::run_centricity(world, platform, ns_setup);
+
+  // --- a.nic.uy-A: child TTL 120 s ---
+  core::CentricitySetup a_setup;
+  a_setup.name = "a.nic.uy-A";
+  a_setup.qname = dns::Name::from_string("a.nic.uy");
+  a_setup.qtype = dns::RRType::kA;
+  a_setup.parent_ttl = dns::kTtl2Days;
+  a_setup.child_ttl = dns::Ttl{120};
+  a_setup.duration = 3 * sim::kHour;
+
+  // --- uy-NS-new: the child raised its NS TTL to one day (§5.3) ---
+  core::CentricitySetup new_setup = ns_setup;
+  new_setup.name = "uy-NS-new";
+  new_setup.child_ttl = dns::kTtl1Day;
+
+  std::vector<double> shard_walls(shards);
+  auto runs = core::run_sharded_script(
+      factory, shards, args.jobs,
+      [&](core::ShardEnv& env, std::size_t shard, std::size_t count) {
+        auto shard_start = std::chrono::steady_clock::now();
+        std::vector<atlas::MeasurementRun> phases;
+
+        core::CentricitySetup s1 = ns_setup;
+        s1.shard_count = count;
+        s1.shard_index = shard;
+        phases.push_back(std::move(
+            core::run_centricity(*env.world, *env.platform, s1).run));
+
+        core::CentricitySetup s2 = a_setup;
+        s2.shard_count = count;
+        s2.shard_index = shard;
+        s2.start = env.world->simulation().now() + sim::kHour;
+        env.platform->flush_all();
+        phases.push_back(std::move(
+            core::run_centricity(*env.world, *env.platform, s2).run));
+
+        // The operator raises the child NS TTL (same virtual moment in
+        // every shard — the simulation clock is deterministic).
+        env.world->server("a.nic.uy.").zones().back()->set_ttl(
+            dns::Name::from_string("uy"), dns::RRType::kNS, dns::kTtl1Day);
+        core::CentricitySetup s3 = new_setup;
+        s3.shard_count = count;
+        s3.shard_index = shard;
+        s3.start = env.world->simulation().now() + sim::kHour;
+        env.platform->flush_all();
+        phases.push_back(std::move(
+            core::run_centricity(*env.world, *env.platform, s3).run));
+
+        shard_walls[shard] = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - shard_start)
+                                 .count();
+        return phases;
+      });
+  double parallel_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  json.set_shard_walls(shard_walls);
+  auto record_phase = [&](const char* name,
+                          const core::CentricityResult& result) {
+    auto queries = static_cast<std::uint64_t>(result.run.query_count());
+    json.add_metric(name, "queries/sec", queries, parallel_wall,
+                    parallel_wall > 0
+                        ? static_cast<double>(queries) / parallel_wall
+                        : 0);
+  };
+
+  auto ns_result = core::classify_centricity(std::move(runs[0]), ns_setup);
   record_phase("uy_ns", ns_result);
-  report("uy-NS", ns_result, ns_setup, platform.vp_count());
+  report("uy-NS", ns_result, ns_setup, vp_count);
 
   std::printf("%s", stats::compare_line(
                         "uy-NS answers <= 300 s (child-centric)", "90%",
@@ -84,19 +159,9 @@ int main(int argc, char** argv) {
                         .c_str());
   std::printf("\n");
 
-  // --- a.nic.uy-A: child TTL 120 s ---
-  core::CentricitySetup a_setup;
-  a_setup.name = "a.nic.uy-A";
-  a_setup.qname = dns::Name::from_string("a.nic.uy");
-  a_setup.qtype = dns::RRType::kA;
-  a_setup.parent_ttl = dns::kTtl2Days;
-  a_setup.child_ttl = dns::Ttl{120};
-  a_setup.duration = 3 * sim::kHour;
-  a_setup.start = world.simulation().now() + sim::kHour;
-  platform.flush_all();
-  auto a_result = core::run_centricity(world, platform, a_setup);
+  auto a_result = core::classify_centricity(std::move(runs[1]), a_setup);
   record_phase("a_nic_uy_a", a_result);
-  report("a.nic.uy-A", a_result, a_setup, platform.vp_count());
+  report("a.nic.uy-A", a_result, a_setup, vp_count);
 
   std::printf("%s", stats::compare_line(
                         "a.nic.uy-A answers <= 120 s (child-centric)", "88%",
@@ -108,17 +173,9 @@ int main(int argc, char** argv) {
                         .c_str());
   std::printf("\n");
 
-  // --- uy-NS-new: the child raised its NS TTL to one day (§5.3) ---
-  uy_zone->set_ttl(dns::Name::from_string("uy"), dns::RRType::kNS,
-                   dns::kTtl1Day);
-  core::CentricitySetup new_setup = ns_setup;
-  new_setup.name = "uy-NS-new";
-  new_setup.child_ttl = dns::kTtl1Day;
-  new_setup.start = world.simulation().now() + sim::kHour;
-  platform.flush_all();
-  auto new_result = core::run_centricity(world, platform, new_setup);
+  auto new_result = core::classify_centricity(std::move(runs[2]), new_setup);
   record_phase("uy_ns_new", new_result);
-  report("uy-NS-new", new_result, new_setup, platform.vp_count());
+  report("uy-NS-new", new_result, new_setup, vp_count);
 
   std::printf("%s",
               stats::compare_line(

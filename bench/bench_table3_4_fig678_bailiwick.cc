@@ -7,31 +7,14 @@
 
 #include "bench_common.h"
 #include "core/bailiwick_experiment.h"
+#include "core/sharded.h"
+#include "par/pool.h"
 #include "stats/cdf.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
 
 namespace {
-
-core::BailiwickResult run_one(bool in_bailiwick, const bench::BenchArgs& args,
-                              atlas::Platform** platform_out,
-                              std::unique_ptr<core::World>& world_out,
-                              std::unique_ptr<atlas::Platform>& platform_hold) {
-  // Separate worlds (the paper ran the experiments on different days), but
-  // the same seed: probe/resolver assignments are identical, so VP keys
-  // match across runs for the Figure 8 analysis.
-  world_out = std::make_unique<core::World>(
-      core::World::Options{args.seed, 0.002, {}});
-  platform_hold = std::make_unique<atlas::Platform>(atlas::Platform::build(
-      world_out->network(), world_out->hints(), world_out->root_zone(),
-      args.platform_spec(), world_out->rng()));
-  *platform_out = platform_hold.get();
-
-  core::BailiwickConfig config;
-  config.in_bailiwick = in_bailiwick;
-  return core::run_bailiwick(*world_out, *platform_hold, config);
-}
 
 void print_run(const char* name, const core::BailiwickResult& result,
                const atlas::Platform& platform) {
@@ -68,17 +51,27 @@ int main(int argc, char** argv) {
   bench::print_header("Table 3/4 + Figures 6/7/8",
                       "in- vs out-of-bailiwick renumbering");
 
-  std::unique_ptr<core::World> world_in;
-  std::unique_ptr<core::World> world_out;
-  std::unique_ptr<atlas::Platform> platform_in_hold;
-  std::unique_ptr<atlas::Platform> platform_out_hold;
-  atlas::Platform* platform_in = nullptr;
-  atlas::Platform* platform_out = nullptr;
+  // Separate worlds (the paper ran the experiments on different days), but
+  // the same seed: probe/resolver assignments are identical, so VP keys
+  // match across runs for the Figure 8 analysis.  Each experiment shards
+  // its probe slice over identical world replicas (see core::sharded).
+  auto factory = core::make_env_factory(
+      core::World::Options{args.seed, 0.002, {}}, args.platform_spec());
+  auto meta = factory();
+  const std::size_t shards =
+      par::shard_count_for(meta.platform->probes().size());
 
-  auto in_result = run_one(true, args, &platform_in, world_in,
-                           platform_in_hold);
-  auto out_result = run_one(false, args, &platform_out, world_out,
-                            platform_out_hold);
+  core::BailiwickConfig in_config;
+  in_config.in_bailiwick = true;
+  auto in_result =
+      core::run_bailiwick_sharded(factory, in_config, shards, args.jobs);
+  core::BailiwickConfig out_config;
+  out_config.in_bailiwick = false;
+  auto out_result =
+      core::run_bailiwick_sharded(factory, out_config, shards, args.jobs);
+
+  atlas::Platform* platform_in = meta.platform.get();
+  atlas::Platform* platform_out = meta.platform.get();
 
   print_run("in-bailiwick (NS 3600 s / A 7200 s, renumber at 9 min)",
             in_result, *platform_in);

@@ -9,6 +9,7 @@
 
 #include "bench_common.h"
 #include "crawl/crawler.h"
+#include "par/pool.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
@@ -36,8 +37,12 @@ int main(int argc, char** argv) {
 
   std::vector<crawl::CrawlReport> reports;
   for (const auto& params : lists) {
+    // Generation stays serial (it consumes the shared RNG); tabulation
+    // fans out over contiguous population slices, same totals at any jobs.
     auto population = generate_population(params, rng);
-    reports.push_back(crawl::crawl(params.name, population));
+    reports.push_back(crawl::crawl_sharded(
+        params.name, population, par::shard_count_for(population.size()),
+        args.jobs));
   }
 
   // ---- Table 5: dataset sizes and per-type record counts/ratios ----

@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "crawl/crawler.h"
+#include "par/pool.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
   std::vector<crawl::CrawlReport> reports;
   for (const auto& params : lists) {
     auto population = crawl::generate_population(params, rng);
-    reports.push_back(crawl::crawl(params.name, population));
+    reports.push_back(crawl::crawl_sharded(
+        params.name, population, par::shard_count_for(population.size()),
+        args.jobs));
   }
 
   stats::TablePrinter table({"", "Alexa", "Majestic", "Umbrella", ".nl",
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
     for (const auto& report : reports) {
       auto it = report.by_type.find(type);
       std::size_t count =
-          it == report.by_type.end() ? 0 : it->second.ttl_zero_domains;
+          it == report.by_type.end() ? 0 : it->second.ttl_zero_domain_count;
       grand_total += count;
       cells.push_back(std::to_string(count));
     }
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
   const auto& root = reports[4];
   std::size_t root_zero = 0;
   for (const auto& [type, tally] : root.by_type) {
-    root_zero += tally.ttl_zero_domains;
+    root_zero += tally.ttl_zero_domain_count;
   }
   std::printf("%s", stats::compare_line(
                         "TTL=0 is rare but present in every big list",

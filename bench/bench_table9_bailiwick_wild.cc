@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "crawl/crawler.h"
+#include "par/pool.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
   std::vector<crawl::CrawlReport> reports;
   for (const auto& params : lists) {
     auto population = crawl::generate_population(params, rng);
-    reports.push_back(crawl::crawl(params.name, population));
+    reports.push_back(crawl::crawl_sharded(
+        params.name, population, par::shard_count_for(population.size()),
+        args.jobs));
   }
 
   stats::TablePrinter table({"", "Alexa", "Majestic", "Umbre.", ".nl",

@@ -10,14 +10,20 @@
 //       § 5.3-style RTT comparison across child NS TTL choices.
 //   dnsttl_lab advise [--cdn|--ddos|--registry|--general]
 //       § 6.3 recommendations with reasoning.
+//   dnsttl_lab suite [--jobs N] [--seed N] [--bin-dir DIR] [--json PATH]
+//       Runs all 16 experiment binaries, up to --jobs concurrently, and
+//       reprints their outputs in a fixed order (byte-identical at any
+//       --jobs).  --json also runs at --jobs 1 for a recorded comparison.
 //
 // Every run is deterministic; add --seed N to vary.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_quick_suite.h"
 #include "core/advisor.h"
 #include "core/bailiwick_experiment.h"
 #include "core/centricity_experiment.h"
@@ -170,6 +176,129 @@ int cmd_advise(const Args& args) {
   return 0;
 }
 
+// Runs every experiment binary up to --jobs at a time and reprints the
+// captured outputs in list order, so the suite's own stdout is identical
+// no matter how many workers ran.  With --json the suite also runs at
+// --jobs 1, checks the two passes byte-for-byte, and records both walls.
+int cmd_suite(const Args& args, const std::string& argv0) {
+  std::string bin_dir;
+  if (auto it = args.flags.find("bin-dir"); it != args.flags.end()) {
+    bin_dir = it->second;
+  } else {
+    auto slash = argv0.find_last_of('/');
+    std::string self_dir = slash == std::string::npos ? "." : argv0.substr(0, slash);
+    bin_dir = self_dir + "/../bench";
+  }
+  std::size_t jobs = args.u64("jobs", par::default_jobs());
+  if (jobs == 0) {
+    jobs = par::hardware_jobs();
+  }
+  std::string child_flags = "--seed " + std::to_string(args.u64("seed", 1));
+  if (!args.has("full")) {
+    child_flags += " --quick";
+  }
+
+  const auto& names = bench::experiment_binaries();
+  auto run_once = [&](std::size_t workers) {
+    return bench::run_experiment_suite(bin_dir, names, child_flags, workers);
+  };
+  auto wall_of = [](auto&& body) {
+    auto start = std::chrono::steady_clock::now();
+    auto results = body();
+    return std::pair{std::move(results),
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count()};
+  };
+
+  const bool compare = args.has("json");
+  std::vector<bench::ExperimentResult> baseline;
+  double jobs1_wall = 0;
+  if (compare && jobs != 1) {
+    std::fprintf(stderr, "[suite] reference pass at --jobs 1...\n");
+    auto [results, wall] = wall_of([&] { return run_once(1); });
+    baseline = std::move(results);
+    jobs1_wall = wall;
+  }
+  std::fprintf(stderr, "[suite] running %zu experiments at --jobs %zu from %s\n",
+               names.size(), jobs, bin_dir.c_str());
+  auto [results, suite_wall] = wall_of([&] { return run_once(jobs); });
+  if (compare && jobs == 1) {
+    jobs1_wall = suite_wall;
+    baseline = results;
+  }
+
+  bool identical = true;
+  if (compare) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      identical = identical && baseline[i].output == results[i].output &&
+                  baseline[i].exit_code == results[i].exit_code;
+    }
+  }
+
+  int failures = 0;
+  for (const auto& result : results) {
+    std::printf("%s", result.output.c_str());
+    if (result.exit_code != 0) {
+      ++failures;
+      std::printf("[suite] %s FAILED (exit %d)\n", result.name.c_str(),
+                  result.exit_code);
+    }
+  }
+  // Timing goes to stderr: stdout stays byte-identical at any --jobs.
+  stats::TablePrinter walls({"experiment", "wall"});
+  for (const auto& result : results) {
+    walls.add_row({result.name, stats::fmt("%.2f s", result.wall_seconds)});
+  }
+  std::fprintf(stderr,
+               "suite schedule (--jobs %zu, %zu hardware threads):\n%s\n",
+               jobs, par::hardware_jobs(), walls.render().c_str());
+  std::fprintf(stderr, "[suite] total wall %.2f s, %d failures\n", suite_wall,
+               failures);
+  if (compare) {
+    std::fprintf(stderr,
+                 "[suite] outputs vs --jobs 1: %s (jobs1 %.2f s, jobs%zu "
+                 "%.2f s, speedup %.2fx)\n",
+                 identical ? "byte-identical" : "DIFFER", jobs1_wall, jobs,
+                 suite_wall, suite_wall > 0 ? jobs1_wall / suite_wall : 0.0);
+  }
+
+  if (auto it = args.flags.find("json"); it != args.flags.end()) {
+    std::FILE* out = std::fopen(it->second.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "[suite] cannot write %s\n", it->second.c_str());
+      return 2;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"parallel_suite\",\n");
+    std::fprintf(out, "  \"generated_by\": \"dnsttl_lab suite\",\n");
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(args.u64("seed", 1)));
+    std::fprintf(out, "  \"quick\": %s,\n", args.has("full") ? "false" : "true");
+    std::fprintf(out, "  \"jobs\": %zu,\n", jobs);
+    std::fprintf(out, "  \"hardware_jobs\": %zu,\n", par::hardware_jobs());
+    std::fprintf(out, "  \"wall_seconds_jobs1\": %.6f,\n", jobs1_wall);
+    std::fprintf(out, "  \"wall_seconds\": %.6f,\n", suite_wall);
+    std::fprintf(out, "  \"speedup_vs_jobs1\": %.6f,\n",
+                 suite_wall > 0 ? jobs1_wall / suite_wall : 0.0);
+    std::fprintf(out, "  \"outputs_identical_across_jobs\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(out, "  \"experiments\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"exit_code\": %d, "
+                   "\"wall_seconds\": %.6f}%s\n",
+                   results[i].name.c_str(), results[i].exit_code,
+                   results[i].wall_seconds,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::fprintf(stderr, "[suite] wrote %s\n", it->second.c_str());
+  }
+  return failures == 0 && identical ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,12 +306,15 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::fprintf(
         stderr,
-        "usage: dnsttl_lab <centricity|bailiwick|latency|advise> [flags]\n"
+        "usage: dnsttl_lab <centricity|bailiwick|latency|advise|suite> "
+        "[flags]\n"
         "  centricity --parent T --child T [--probes N] [--hours H]\n"
         "  bailiwick  [--out] [--ns-ttl T] [--a-ttl T] [--probes N]\n"
         "  latency    --ttl T [--ttl T ...] [--probes N]\n"
         "  advise     [--cdn|--ddos|--registry] [--metered]\n"
-        "  (all: --seed N)\n");
+        "  suite      [--jobs N] [--bin-dir DIR] [--json PATH] [--full]\n"
+        "  (all: --seed N; suite default jobs: hardware threads or "
+        "$DNSTTL_JOBS)\n");
     return 1;
   }
   const auto& command = args.positional[0];
@@ -191,6 +323,7 @@ int main(int argc, char** argv) {
     if (command == "bailiwick") return cmd_bailiwick(args);
     if (command == "latency") return cmd_latency(args);
     if (command == "advise") return cmd_advise(args);
+    if (command == "suite") return cmd_suite(args, argv[0]);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

@@ -45,7 +45,8 @@ void run(core::World& world, Rollout& rollout) {
   primary.add_zone(zone);
   auto& secondary_server = world.add_server(
       zone_name.prepend("ns2").to_string(), net::Location{net::Region::kEU, 1.0});
-  auth::Secondary secondary(world.simulation(), zone, secondary_server, 600);
+  auth::Secondary secondary(world.simulation(), zone, secondary_server,
+                            dns::Ttl{600});
 
   zone->add(dns::make_ns(zone_name, dns::Ttl{3600}, ns_name));
   zone->add(dns::make_a(ns_name, dns::Ttl{3600}, world.address_of(ns_name.to_string())));

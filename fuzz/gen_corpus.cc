@@ -84,7 +84,8 @@ std::vector<Message> message_seeds() {
   negative.authorities.push_back(make_soa(Name::from_string("example.com."),
                                           dnsttl::dns::Ttl{3600},
                                           Name::from_string("ns1.example.com."),
-                                          2024010101, 900));
+                                          2024010101,
+                                          dnsttl::dns::WireTtl{900}));
   seeds.push_back(negative);
 
   // Mixed RDATA types, including MX (compressible exchange) and TXT.

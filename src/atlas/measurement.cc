@@ -1,5 +1,6 @@
 #include "atlas/measurement.h"
 
+#include <optional>
 #include <unordered_map>
 
 namespace dnsttl::atlas {
@@ -13,13 +14,25 @@ MeasurementRun MeasurementRun::execute(sim::Simulation& simulation,
 
   std::uint16_t next_id = 1;
   for (auto& probe : platform.probes()) {
+    if (!spec.covers_probe(probe.id)) {
+      continue;
+    }
     dns::Name qname = spec.per_probe_qname
                           ? spec.qname.prepend("p" + std::to_string(probe.id))
                           : spec.qname;
+    // Sharded runs draw each probe's phase from a forked per-probe stream,
+    // so the schedule is a function of the probe alone, not of which other
+    // probes happen to precede it in this shard's iteration.
+    std::optional<sim::Rng> probe_rng;
+    if (spec.shard_count > 1) {
+      probe_rng.emplace(
+          rng.fork(static_cast<std::uint64_t>(probe.id)));
+    }
+    sim::Rng& phase_rng = probe_rng ? *probe_rng : rng;
     for (net::Address resolver : probe.resolvers) {
       // Atlas schedules each VP at a random phase within the period.
       sim::Duration phase = sim::Duration(static_cast<std::int64_t>(
-          rng.uniform(0.0, static_cast<double>(spec.frequency.count()))));
+          phase_rng.uniform(0.0, static_cast<double>(spec.frequency.count()))));
       for (sim::Duration offset = phase; offset < spec.duration;
            offset += spec.frequency) {
         sim::Time at = spec.start + offset;
@@ -56,6 +69,25 @@ MeasurementRun MeasurementRun::execute(sim::Simulation& simulation,
 
   simulation.run_until(spec.start + spec.duration + sim::kMinute);
   return run;
+}
+
+MeasurementRun MeasurementRun::merge(MeasurementSpec spec,
+                                     std::vector<MeasurementRun> shards) {
+  MeasurementRun merged;
+  spec.shard_count = 1;
+  spec.shard_index = 0;
+  merged.spec_ = std::move(spec);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard.samples_.size();
+  }
+  merged.samples_.reserve(total);
+  for (auto& shard : shards) {
+    for (auto& sample : shard.samples_) {
+      merged.samples_.push_back(std::move(sample));
+    }
+  }
+  return merged;
 }
 
 std::size_t MeasurementRun::timeout_count() const {

@@ -24,6 +24,22 @@ struct MeasurementSpec {
   sim::Duration frequency = 600 * sim::kSecond;
   sim::Duration duration = 2 * sim::kHour;
   sim::Time start{};
+
+  /// VP sharding (deterministic parallel execution, see par::).  With
+  /// shard_count > 1 only probes with id % shard_count == shard_index are
+  /// scheduled, and each probe's query phase comes from an independent
+  /// `rng.fork(probe.id)` stream instead of sequential draws, so a probe's
+  /// schedule does not depend on which other probes share its shard.  Runs
+  /// from different shards of identically-built worlds merge with
+  /// MeasurementRun::merge.  shard_count == 1 is byte-identical to the
+  /// historical serial path.
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
+
+  bool covers_probe(int probe_id) const noexcept {
+    return shard_count <= 1 ||
+           static_cast<std::size_t>(probe_id) % shard_count == shard_index;
+  }
 };
 
 /// One VP's observation for one round.
@@ -49,6 +65,13 @@ class MeasurementRun {
   static MeasurementRun execute(sim::Simulation& simulation,
                                 net::Network& network, Platform& platform,
                                 MeasurementSpec spec, sim::Rng& rng);
+
+  /// Stitches per-shard runs back into one run: samples are concatenated
+  /// strictly in the order given (shard-index order), which keeps the
+  /// merged sample stream — and everything derived from it — byte-identical
+  /// at any job count.  The merged spec is @p spec with sharding cleared.
+  static MeasurementRun merge(MeasurementSpec spec,
+                              std::vector<MeasurementRun> shards);
 
   const MeasurementSpec& spec() const noexcept { return spec_; }
   const std::vector<Sample>& samples() const noexcept { return samples_; }

@@ -15,7 +15,7 @@ std::uint32_t soa_serial(const dns::Zone& zone) {
 
 Secondary::Secondary(sim::Simulation& simulation,
                      std::shared_ptr<const dns::Zone> primary,
-                     AuthServer& server, std::uint32_t refresh_override)
+                     AuthServer& server, dns::Ttl refresh_override)
     : simulation_(simulation),
       primary_(std::move(primary)),
       server_(server),
@@ -23,7 +23,7 @@ Secondary::Secondary(sim::Simulation& simulation,
       refresh_override_(refresh_override) {
   transfer(simulation_.now());
   server_.add_zone(copy_);
-  schedule_next(0);
+  schedule_next(sim::Duration{});
 }
 
 std::uint32_t Secondary::serial() const { return soa_serial(*copy_); }
@@ -37,34 +37,34 @@ void Secondary::transfer(sim::Time now) {
   ++transfers_;
 }
 
-void Secondary::schedule_next(std::uint32_t delay_seconds) {
-  if (delay_seconds == 0) {
+void Secondary::schedule_next(sim::Duration delay) {
+  if (delay == sim::Duration{}) {
     // First call: derive the refresh interval.
-    std::uint32_t refresh = refresh_override_;
-    if (refresh == 0) {
+    dns::Ttl refresh = refresh_override_;
+    if (refresh == dns::Ttl{}) {
       if (auto soa = primary_->soa()) {
-        refresh = std::get<dns::SoaRdata>(soa->rdata).refresh;
+        refresh = std::get<dns::SoaRdata>(soa->rdata).refresh.clamped();
       } else {
-        refresh = 7200;
+        refresh = dns::kTtl2Hours;
       }
     }
-    delay_seconds = refresh;
+    delay = sim::seconds(refresh.value());
   }
-  simulation_.schedule_after(sim::seconds(delay_seconds),
-                             [this] { check(); });
+  simulation_.schedule_after(delay, [this] { check(); });
 }
 
 void Secondary::check() {
-  std::uint32_t refresh = refresh_override_;
-  std::uint32_t retry = 3600;
-  std::uint32_t expire = 1209600;
+  dns::Ttl refresh = refresh_override_;
+  dns::Ttl retry{3600};
+  dns::Ttl expire{1209600};
   if (auto soa = primary_->soa()) {
     const auto& rdata = std::get<dns::SoaRdata>(soa->rdata);
-    if (refresh == 0) refresh = rdata.refresh;
-    retry = refresh_override_ != 0 ? refresh_override_ : rdata.retry;
-    expire = rdata.expire;
+    if (refresh == dns::Ttl{}) refresh = rdata.refresh.clamped();
+    retry = refresh_override_ != dns::Ttl{} ? refresh_override_
+                                            : rdata.retry.clamped();
+    expire = rdata.expire.clamped();
   }
-  if (refresh == 0) refresh = 7200;
+  if (refresh == dns::Ttl{}) refresh = dns::kTtl2Hours;
 
   sim::Time now = simulation_.now();
   if (reachable_) {
@@ -78,16 +78,16 @@ void Secondary::check() {
     } else {
       last_success_ = now;
     }
-    schedule_next(refresh);
+    schedule_next(sim::seconds(refresh.value()));
     return;
   }
 
   // Primary unreachable: retry faster; expire the copy when too stale.
-  if (!expired_ && now - last_success_ > sim::seconds(expire)) {
+  if (!expired_ && now - last_success_ > sim::seconds(expire.value())) {
     server_.remove_zone(copy_);
     expired_ = true;
   }
-  schedule_next(retry);
+  schedule_next(sim::seconds(retry.value()));
 }
 
 }  // namespace dnsttl::auth

@@ -28,11 +28,11 @@ namespace dnsttl::auth {
 class Secondary {
  public:
   /// Starts serving a copy of @p primary on @p server, with refresh checks
-  /// scheduled on @p simulation.  @p refresh_override (seconds, 0 = use the
-  /// SOA value) shortens the poll interval for experiments.
+  /// scheduled on @p simulation.  @p refresh_override (zero = use the SOA
+  /// value) shortens the poll interval for experiments.
   Secondary(sim::Simulation& simulation,
             std::shared_ptr<const dns::Zone> primary, AuthServer& server,
-            std::uint32_t refresh_override = 0);
+            dns::Ttl refresh_override = dns::Ttl{});
 
   Secondary(const Secondary&) = delete;
   Secondary& operator=(const Secondary&) = delete;
@@ -57,15 +57,13 @@ class Secondary {
  private:
   void transfer(sim::Time now);
   void check();
-  // lint:allow(raw-time-param) plumbs raw SOA refresh/retry wire fields;
-  // migrating the SOA timer plumbing to dns::Ttl is a ROADMAP open item.
-  void schedule_next(std::uint32_t delay_seconds);
+  void schedule_next(sim::Duration delay);
 
   sim::Simulation& simulation_;
   std::shared_ptr<const dns::Zone> primary_;
   AuthServer& server_;
   std::shared_ptr<dns::Zone> copy_;
-  std::uint32_t refresh_override_ = 0;
+  dns::Ttl refresh_override_{};
   bool reachable_ = true;
   bool expired_ = false;
   sim::Time last_success_{};

@@ -3,7 +3,11 @@
 namespace dnsttl::check {
 
 AuditStats& audit_stats() noexcept {
-  static AuditStats stats;
+  // Shard-local: parallel experiment shards (par::parallel_for_shards) each
+  // run their own World/Simulation on their own worker thread, and the
+  // audit hooks inside them must not contend on — or race over — one global
+  // counter block.
+  thread_local AuditStats stats;
   return stats;
 }
 

@@ -30,8 +30,12 @@ class AuditError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
-/// Global counters for audit activity; audit-mode tests assert these move
-/// so a silently disabled audit hook cannot pass for a healthy one.
+/// Counters for audit activity; audit-mode tests assert these move so a
+/// silently disabled audit hook cannot pass for a healthy one.  The
+/// counters are THREAD-LOCAL (shard-local): every par:: worker thread —
+/// and therefore every experiment shard — accumulates its own block, so
+/// audit hooks stay race-free and zero-contention under parallel
+/// execution.  Read them from the thread that did the work.
 struct AuditStats {
   std::uint64_t audits = 0;    ///< completed validate() passes
   std::uint64_t checks = 0;    ///< individual invariants evaluated

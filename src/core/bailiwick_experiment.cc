@@ -153,6 +153,8 @@ BailiwickResult run_bailiwick(World& world, atlas::Platform& platform,
   spec.qtype = dns::RRType::kAAAA;
   spec.frequency = config.frequency;
   spec.duration = config.duration;
+  spec.shard_count = config.shard_count;
+  spec.shard_index = config.shard_index;
 
   BailiwickResult result{
       atlas::MeasurementRun::execute(world.simulation(), world.network(),

@@ -22,6 +22,11 @@ struct BailiwickConfig {
   sim::Duration renumber_at = 9 * sim::kMinute;
   sim::Duration frequency = 600 * sim::kSecond;
   sim::Duration duration = 4 * sim::kHour;
+
+  /// VP shard to run (see atlas::MeasurementSpec sharding); the defaults
+  /// keep the historical single-shard behavior.
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
 };
 
 /// Per-VP behavior over the run.  A VP is keyed by (probe id, resolver

@@ -21,11 +21,18 @@ CentricityResult run_centricity(World& world, atlas::Platform& platform,
   spec.frequency = setup.frequency;
   spec.duration = setup.duration;
   spec.start = setup.start;
+  spec.shard_count = setup.shard_count;
+  spec.shard_index = setup.shard_index;
 
-  CentricityResult result{
+  return classify_centricity(
       atlas::MeasurementRun::execute(world.simulation(), world.network(),
                                      platform, spec, world.rng()),
-      0.0, 0.0, 0.0, 0.0};
+      setup);
+}
+
+CentricityResult classify_centricity(atlas::MeasurementRun run,
+                                     const CentricitySetup& setup) {
+  CentricityResult result{std::move(run), 0.0, 0.0, 0.0, 0.0};
 
   auto cdf = result.run.ttl_cdf();
   if (!cdf.empty()) {

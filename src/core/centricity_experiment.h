@@ -21,6 +21,11 @@ struct CentricitySetup {
   sim::Duration frequency = 600 * sim::kSecond;
   sim::Duration duration = 2 * sim::kHour;
   sim::Time start{};
+
+  /// VP shard to run (see atlas::MeasurementSpec sharding); the defaults
+  /// keep the historical single-shard behavior.
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
 };
 
 /// Classification of the observed TTLs against the configured pair.
@@ -44,6 +49,11 @@ struct CentricityResult {
 /// already be configured (World::add_tld and friends).
 CentricityResult run_centricity(World& world, atlas::Platform& platform,
                                 const CentricitySetup& setup);
+
+/// Classifies an already-collected run (pure function of the samples).
+/// Sharded executions merge per-shard runs first and classify once.
+CentricityResult classify_centricity(atlas::MeasurementRun run,
+                                     const CentricitySetup& setup);
 
 }  // namespace dnsttl::core
 

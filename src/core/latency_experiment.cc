@@ -113,7 +113,9 @@ ControlledTtlResult run_controlled_ttl(World& world,
 }
 
 atlas::MeasurementRun run_uy_rtt(World& world, atlas::Platform& platform,
-                                 sim::Time start, sim::Duration duration) {
+                                 sim::Time start, sim::Duration duration,
+                                 std::size_t shard_count,
+                                 std::size_t shard_index) {
   atlas::MeasurementSpec spec;
   spec.name = "uy-NS-rtt";
   spec.qname = dns::Name::from_string("uy");
@@ -121,6 +123,8 @@ atlas::MeasurementRun run_uy_rtt(World& world, atlas::Platform& platform,
   spec.frequency = 600 * sim::kSecond;
   spec.duration = duration;
   spec.start = start;
+  spec.shard_count = shard_count;
+  spec.shard_index = shard_index;
   return atlas::MeasurementRun::execute(world.simulation(), world.network(),
                                         platform, spec, world.rng());
 }

@@ -41,10 +41,14 @@ ControlledTtlResult run_controlled_ttl(World& world, atlas::Platform& platform,
 /// The §5.3 natural experiment: the .uy zone must already exist in the
 /// world (World::add_tld), probed with NS queries; returns the RTT
 /// distribution (Figure 10).  Change the child NS TTL between runs to
-/// reproduce the before/after comparison.
+/// reproduce the before/after comparison.  shard_count/shard_index select a
+/// VP shard (atlas::MeasurementSpec sharding); the defaults keep the
+/// historical single-shard behavior.
 atlas::MeasurementRun run_uy_rtt(World& world, atlas::Platform& platform,
                                  sim::Time start,
-                                 sim::Duration duration = 2 * sim::kHour);
+                                 sim::Duration duration = 2 * sim::kHour,
+                                 std::size_t shard_count = 1,
+                                 std::size_t shard_index = 0);
 
 }  // namespace dnsttl::core
 

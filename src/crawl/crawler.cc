@@ -1,7 +1,10 @@
 #include "crawl/crawler.h"
 
+#include <algorithm>
 #include <optional>
 #include <set>
+
+#include "par/pool.h"
 
 namespace dnsttl::crawl {
 
@@ -13,33 +16,21 @@ bool ends_with(const std::string& value, const std::string& suffix) {
              0;
 }
 
-}  // namespace
-
-int classify_bailiwick(const GeneratedDomain& domain) {
-  bool any_in = false;
-  bool any_out = false;
-  for (const auto& record : domain.records) {
-    if (record.type != dns::RRType::kNS) continue;
-    // In bailiwick: the NS target name lies under the domain itself.
-    if (ends_with(record.value, "." + domain.name)) {
-      any_in = true;
-    } else {
-      any_out = true;
-    }
-  }
-  if (any_in && any_out) return 2;
-  return any_in ? 1 : 0;
-}
-
-CrawlReport crawl(const std::string& list,
-                  const std::vector<GeneratedDomain>& population) {
+/// One slice's tallies before unique-value counting: the report plus the
+/// raw per-type value sets (sets must survive the fold so cross-shard
+/// duplicates collapse exactly as in a serial crawl).
+struct PartialCrawl {
   CrawlReport report;
-  report.list = list;
-  report.domains = population.size();
-
   std::map<dns::RRType, std::set<std::string>> uniques;
+};
 
-  for (const auto& domain : population) {
+PartialCrawl tabulate_slice(const std::vector<GeneratedDomain>& population,
+                            std::size_t begin, std::size_t end) {
+  PartialCrawl partial;
+  auto& report = partial.report;
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& domain = population[i];
     if (!domain.responsive) continue;
     ++report.responsive;
     ++report.bailiwick.responsive;
@@ -81,18 +72,92 @@ CrawlReport crawl(const std::string& list,
       auto& tally = report.by_type[record.type];
       ++tally.records;
       tally.ttl_cdf.add(static_cast<double>(record.ttl.value()));
-      uniques[record.type].insert(record.value);
+      partial.uniques[record.type].insert(record.value);
       if (record.ttl == dns::Ttl{} && !ttl_zero_seen.contains(record.type)) {
         ttl_zero_seen.insert(record.type);
-        ++tally.ttl_zero_domains;
+        ++tally.ttl_zero_domain_count;
       }
     }
   }
+  return partial;
+}
 
+CrawlReport finalize_crawl(const std::string& list, std::size_t domains,
+                           std::vector<PartialCrawl> partials) {
+  CrawlReport report;
+  report.list = list;
+  report.domains = domains;
+
+  std::map<dns::RRType, std::set<std::string>> uniques;
+  for (auto& partial : partials) {
+    report.responsive += partial.report.responsive;
+    auto& b = report.bailiwick;
+    const auto& pb = partial.report.bailiwick;
+    b.responsive += pb.responsive;
+    b.cname += pb.cname;
+    b.soa += pb.soa;
+    b.respond_ns += pb.respond_ns;
+    b.out_only += pb.out_only;
+    b.in_only += pb.in_only;
+    b.mixed += pb.mixed;
+
+    for (auto& [type, tally] : partial.report.by_type) {
+      auto& merged = report.by_type[type];
+      merged.records += tally.records;
+      merged.ttl_zero_domain_count += tally.ttl_zero_domain_count;
+      merged.ttl_cdf.add_all(tally.ttl_cdf.sorted_samples());
+    }
+    for (auto& [type, values] : partial.uniques) {
+      uniques[type].merge(values);
+    }
+  }
   for (auto& [type, tally] : report.by_type) {
     tally.unique_values = uniques[type].size();
   }
   return report;
+}
+
+}  // namespace
+
+int classify_bailiwick(const GeneratedDomain& domain) {
+  bool any_in = false;
+  bool any_out = false;
+  for (const auto& record : domain.records) {
+    if (record.type != dns::RRType::kNS) continue;
+    // In bailiwick: the NS target name lies under the domain itself.
+    if (ends_with(record.value, "." + domain.name)) {
+      any_in = true;
+    } else {
+      any_out = true;
+    }
+  }
+  if (any_in && any_out) return 2;
+  return any_in ? 1 : 0;
+}
+
+CrawlReport crawl(const std::string& list,
+                  const std::vector<GeneratedDomain>& population) {
+  return crawl_sharded(list, population, 1, 1);
+}
+
+CrawlReport crawl_sharded(const std::string& list,
+                          const std::vector<GeneratedDomain>& population,
+                          std::size_t shard_count, std::size_t jobs) {
+  if (shard_count == 0) shard_count = 1;
+  if (shard_count > population.size()) {
+    shard_count = population.size() == 0 ? 1 : population.size();
+  }
+
+  // Contiguous slices, so folding the partials in shard order visits the
+  // domains exactly as a serial pass would.
+  const std::size_t chunk = (population.size() + shard_count - 1) / shard_count;
+  auto partials =
+      par::map_shards(shard_count, jobs, [&](std::size_t shard) {
+        std::size_t begin = shard * chunk;
+        std::size_t end = std::min(begin + chunk, population.size());
+        return tabulate_slice(population, std::min(begin, end), end);
+      });
+  return finalize_crawl(list, population.size(), std::move(partials));
 }
 
 ParentChildReport compare_parent_child(

@@ -16,7 +16,7 @@ struct TypeTally {
   std::size_t unique_values = 0;
   // lint:allow(raw-time-param) a count of domains whose TTL is zero, not a
   // time value itself.
-  std::size_t ttl_zero_domains = 0;  ///< Table 8's per-type domain counts
+  std::size_t ttl_zero_domain_count = 0;  ///< Table 8's per-type domain counts
   stats::Cdf ttl_cdf;                ///< Figure 9's curves
 
   double unique_ratio() const {
@@ -58,6 +58,15 @@ struct CrawlReport {
 /// domains, and the bailiwick configuration of each domain's NS set.
 CrawlReport crawl(const std::string& list,
                   const std::vector<GeneratedDomain>& population);
+
+/// Sharded crawl: tabulates @p shard_count contiguous slices of the
+/// population concurrently (at most @p jobs threads) and folds the partial
+/// tallies in shard order.  Unique-value counting keeps per-shard sets that
+/// are unioned at the fold, so every report field matches crawl() exactly
+/// for any shard/job split.
+CrawlReport crawl_sharded(const std::string& list,
+                          const std::vector<GeneratedDomain>& population,
+                          std::size_t shard_count, std::size_t jobs);
 
 /// Classifies one domain's NS targets against its own name:
 /// 0 = out-of-bailiwick only, 1 = in-bailiwick only, 2 = mixed.

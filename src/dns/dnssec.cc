@@ -57,7 +57,7 @@ ResourceRecord make_rrsig(const RRset& rrset, const Name& signer,
   sig.type_covered = rrset.type();
   sig.algorithm = key.algorithm;
   sig.labels = static_cast<std::uint8_t>(rrset.name().label_count());
-  sig.original_ttl = rrset.ttl().value();
+  sig.original_ttl = WireTtl{rrset.ttl().value()};
   sig.inception = 0;
   sig.expiration = 0x7fffffff;  // never expires within an experiment
   sig.key_tag = key_tag(key);
@@ -78,7 +78,7 @@ bool verify_rrsig(const RRset& rrset, const RrsigRdata& sig,
   // The signature covers the *original* TTL; a validator reconstructs it
   // (RFC 4035 §5.3.3) so cache countdown does not break validation.
   RRset original = rrset;
-  original.set_ttl(Ttl::from_wire(sig.original_ttl));
+  original.set_ttl(sig.original_ttl.clamped());
   return compute_signature(original, key) == sig.signature;
 }
 

@@ -279,10 +279,10 @@ Zone parse_master_file(std::string_view text, const Name& default_origin) {
       soa.mname = parse_name(line.number, tokens[cursor], origin);
       soa.rname = parse_name(line.number, tokens[cursor + 1], origin);
       soa.serial = parse_u32(line.number, tokens[cursor + 2]);
-      soa.refresh = parse_u32(line.number, tokens[cursor + 3]);
-      soa.retry = parse_u32(line.number, tokens[cursor + 4]);
-      soa.expire = parse_u32(line.number, tokens[cursor + 5]);
-      soa.minimum = parse_u32(line.number, tokens[cursor + 6]);
+      soa.refresh = WireTtl{parse_u32(line.number, tokens[cursor + 3])};
+      soa.retry = WireTtl{parse_u32(line.number, tokens[cursor + 4])};
+      soa.expire = WireTtl{parse_u32(line.number, tokens[cursor + 5])};
+      soa.minimum = WireTtl{parse_u32(line.number, tokens[cursor + 6])};
       rr.rdata = std::move(soa);
     } else if (type == "DNSKEY") {
       need(4);

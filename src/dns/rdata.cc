@@ -200,10 +200,10 @@ std::string rdata_to_string(const Rdata& rdata) {
         } else if constexpr (std::is_same_v<T, SoaRdata>) {
           return value.mname.to_string() + " " + value.rname.to_string() + " " +
                  std::to_string(value.serial) + " " +
-                 std::to_string(value.refresh) + " " +
-                 std::to_string(value.retry) + " " +
-                 std::to_string(value.expire) + " " +
-                 std::to_string(value.minimum);
+                 std::to_string(value.refresh.raw()) + " " +
+                 std::to_string(value.retry.raw()) + " " +
+                 std::to_string(value.expire.raw()) + " " +
+                 std::to_string(value.minimum.raw());
         } else if constexpr (std::is_same_v<T, MxRdata>) {
           return std::to_string(value.preference) + " " +
                  value.exchange.to_string();
@@ -223,7 +223,7 @@ std::string rdata_to_string(const Rdata& rdata) {
           return std::string(to_string(value.type_covered)) + " " +
                  std::to_string(value.algorithm) + " " +
                  std::to_string(value.labels) + " " +
-                 std::to_string(value.original_ttl) + " " +
+                 std::to_string(value.original_ttl.raw()) + " " +
                  value.signer.to_string();
         } else {
           return "";

@@ -82,10 +82,10 @@ struct SoaRdata {
   Name mname;
   Name rname;
   std::uint32_t serial = 0;
-  std::uint32_t refresh = 7200;
-  std::uint32_t retry = 3600;
-  std::uint32_t expire = 1209600;
-  std::uint32_t minimum = 3600;  // negative-caching TTL (RFC 2308)
+  WireTtl refresh{7200};
+  WireTtl retry{3600};
+  WireTtl expire{1209600};
+  WireTtl minimum{3600};  // negative-caching TTL (RFC 2308)
   auto operator<=>(const SoaRdata&) const = default;
 };
 
@@ -128,11 +128,9 @@ struct RrsigRdata {
   RRType type_covered = RRType::kA;
   std::uint8_t algorithm = 8;
   std::uint8_t labels = 0;
-  // lint:allow(raw-time-param) RRSIG original TTL is a raw 32-bit wire
-  // field hashed into the signature as-is (RFC 4034 §3.1.4); migrating it
-  // to dns::Ttl is a ROADMAP open item because the RFC 2181 clamp must NOT
-  // apply before signature verification.
-  std::uint32_t original_ttl = 0;
+  // RFC 4034 §3.1.4: hashed into the signature bit-exactly, so it stays a
+  // WireTtl (no RFC 2181 clamp) until a validator calls `.clamped()`.
+  WireTtl original_ttl{};
   std::uint32_t expiration = 0;
   std::uint32_t inception = 0;
   std::uint16_t key_tag = 0;

@@ -64,7 +64,7 @@ ResourceRecord make_txt(const Name& name, Ttl ttl, std::string text) {
 }
 
 ResourceRecord make_soa(const Name& zone, Ttl ttl, Name mname,
-                        std::uint32_t serial, std::uint32_t minimum) {
+                        std::uint32_t serial, WireTtl minimum) {
   SoaRdata soa;
   soa.mname = std::move(mname);
   soa.rname = zone.prepend("hostmaster");

@@ -86,7 +86,8 @@ ResourceRecord make_mx(const Name& name, Ttl ttl, std::uint16_t preference,
                        Name exchange);
 ResourceRecord make_txt(const Name& name, Ttl ttl, std::string text);
 ResourceRecord make_soa(const Name& zone, Ttl ttl, Name mname,
-                        std::uint32_t serial, std::uint32_t minimum = 3600);
+                        std::uint32_t serial,
+                        WireTtl minimum = WireTtl{3600});
 ResourceRecord make_dnskey(const Name& zone, Ttl ttl, std::string key);
 
 }  // namespace dnsttl::dns

@@ -120,6 +120,34 @@ class Ttl {
 
 inline constexpr Ttl kMaxTtl{kMaxTtlSeconds};
 
+/// An *unclamped* 32-bit TTL field as it appears on the wire or in zone
+/// data — the sibling of `Ttl` for the places the protocol stores a raw
+/// 32-bit count that must round-trip bit-exactly: RRSIG "original TTL" and
+/// the SOA refresh/retry/expire/minimum timers.  Unlike `Ttl` it performs
+/// no RFC 2181 §8 clamping (an RRSIG over a record with the top bit set
+/// must re-serialize byte-identically or the signature breaks), so it is
+/// deliberately NOT convertible to durations or cache TTLs — call
+/// `clamped()` at the point a value leaves wire/crypto handling and enters
+/// cache or scheduling logic.
+class WireTtl {
+ public:
+  constexpr WireTtl() noexcept = default;
+  constexpr explicit WireTtl(std::uint32_t raw) noexcept : raw_(raw) {}
+
+  /// The bit-exact 32-bit field, for serialization and signing.
+  [[nodiscard]] constexpr std::uint32_t raw() const noexcept { return raw_; }
+
+  /// Interprets the field as a cache/scheduling TTL (RFC 2181 §8 rules).
+  [[nodiscard]] constexpr Ttl clamped() const noexcept {
+    return Ttl::from_wire(raw_);
+  }
+
+  friend constexpr auto operator<=>(WireTtl, WireTtl) noexcept = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
 /// Common TTL constants used throughout the paper.
 inline constexpr Ttl kTtl1Min{60};
 inline constexpr Ttl kTtl5Min{300};

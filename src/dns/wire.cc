@@ -201,10 +201,10 @@ void encode_rdata(WireWriter& w, const Rdata& rdata) {
           w.name(v.mname);
           w.name(v.rname);
           w.u32(v.serial);
-          w.u32(v.refresh);
-          w.u32(v.retry);
-          w.u32(v.expire);
-          w.u32(v.minimum);
+          w.u32(v.refresh.raw());
+          w.u32(v.retry.raw());
+          w.u32(v.expire.raw());
+          w.u32(v.minimum.raw());
         } else if constexpr (std::is_same_v<T, MxRdata>) {
           w.u16(v.preference);
           w.name(v.exchange);
@@ -237,7 +237,7 @@ void encode_rdata(WireWriter& w, const Rdata& rdata) {
           w.u16(static_cast<std::uint16_t>(v.type_covered));
           w.u8(v.algorithm);
           w.u8(v.labels);
-          w.u32(v.original_ttl);
+          w.u32(v.original_ttl.raw());
           w.u32(v.expiration);
           w.u32(v.inception);
           w.u16(v.key_tag);
@@ -290,10 +290,10 @@ Rdata decode_rdata(WireReader& r, RRType type, std::size_t rdlength) {
       soa.mname = r.name();
       soa.rname = r.name();
       soa.serial = r.u32();
-      soa.refresh = r.u32();
-      soa.retry = r.u32();
-      soa.expire = r.u32();
-      soa.minimum = r.u32();
+      soa.refresh = WireTtl{r.u32()};
+      soa.retry = WireTtl{r.u32()};
+      soa.expire = WireTtl{r.u32()};
+      soa.minimum = WireTtl{r.u32()};
       out = std::move(soa);
       break;
     }
@@ -343,7 +343,7 @@ Rdata decode_rdata(WireReader& r, RRType type, std::size_t rdlength) {
       sig.type_covered = static_cast<RRType>(r.u16());
       sig.algorithm = r.u8();
       sig.labels = r.u8();
-      sig.original_ttl = r.u32();
+      sig.original_ttl = WireTtl{r.u32()};
       sig.expiration = r.u32();
       sig.inception = r.u32();
       sig.key_tag = r.u16();

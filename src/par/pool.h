@@ -1,0 +1,116 @@
+#ifndef DNSTTL_PAR_POOL_H
+#define DNSTTL_PAR_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dnsttl::par {
+
+/// Number of hardware threads (never zero).
+std::size_t hardware_jobs() noexcept;
+
+/// Default worker count for `--jobs`: the DNSTTL_JOBS environment variable
+/// when set to a positive integer, otherwise hardware_jobs().
+std::size_t default_jobs() noexcept;
+
+/// Fixed shard count for a workload of @p items independent units.
+///
+/// The shard count is a pure function of the WORKLOAD, never of the
+/// machine: the same items always produce the same shards, so per-shard
+/// RNG streams (`Rng::fork(shard)`) and the ordered merge yield
+/// byte-identical output at any `--jobs N`.  Roughly one shard per 256
+/// items, clamped to [1, max_shards].
+std::size_t shard_count_for(std::size_t items,
+                            std::size_t max_shards = 16) noexcept;
+
+/// A fixed-size worker pool with a strict-FIFO task queue.
+///
+/// Tasks are dequeued in submission order (which worker runs a given task
+/// is of course scheduling-dependent — determinism comes from
+/// parallel_for_shards / ordered_reduce, which assign work per shard and
+/// merge results in shard-index order, not from the pool itself).
+class Pool {
+ public:
+  /// Spawns @p workers threads (at least one).
+  explicit Pool(std::size_t workers);
+
+  /// Drains the queue, then joins every worker.
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues @p task; runs as soon as a worker frees up, FIFO.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(shard) for every shard in [0, shards) on up to @p jobs worker
+/// threads.  `jobs <= 1` runs every shard inline on the calling thread, in
+/// index order, with no pool — the reference serial schedule.
+///
+/// Shards must be independent: they may not touch shared mutable state
+/// (give each shard its own World/Simulation/cache and merge afterwards).
+/// If any shards throw, every shard still runs to completion (or failure)
+/// and then the exception of the LOWEST-indexed failing shard is rethrown,
+/// so error reporting is as deterministic as success output.
+void parallel_for_shards(std::size_t shards, std::size_t jobs,
+                         const std::function<void(std::size_t)>& fn);
+
+/// Deterministic parallel map: runs map(shard) for each shard (see
+/// parallel_for_shards) and returns the results indexed by shard.
+template <typename MapFn>
+auto map_shards(std::size_t shards, std::size_t jobs, MapFn map)
+    -> std::vector<decltype(map(std::size_t{}))> {
+  using R = decltype(map(std::size_t{}));
+  std::vector<std::optional<R>> slots(shards);
+  parallel_for_shards(shards, jobs,
+                      [&](std::size_t shard) { slots[shard].emplace(map(shard)); });
+  std::vector<R> results;
+  results.reserve(shards);
+  for (auto& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+/// Deterministic ordered reduction: maps every shard in parallel, then
+/// folds the results STRICTLY in shard-index order on the calling thread.
+/// reduce(shard, result) sees shard 0 first, then 1, ... regardless of
+/// completion order, so any fold — even a non-commutative one — produces
+/// the same value at any job count.
+template <typename MapFn, typename ReduceFn>
+void ordered_reduce(std::size_t shards, std::size_t jobs, MapFn map,
+                    ReduceFn reduce) {
+  auto results = map_shards(shards, jobs, std::move(map));
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    reduce(shard, std::move(results[shard]));
+  }
+}
+
+}  // namespace dnsttl::par
+
+#endif  // DNSTTL_PAR_POOL_H

@@ -788,7 +788,7 @@ void RecursiveResolver::cache_negative(const dns::Message& response,
   for (const auto& rr : response.authorities) {
     if (rr.type() == dns::RRType::kSOA) {
       const auto& soa = std::get<dns::SoaRdata>(rr.rdata);
-      ttl = std::min(rr.ttl, dns::Ttl(soa.minimum));  // RFC 2308 §5
+      ttl = std::min(rr.ttl, soa.minimum.clamped());  // RFC 2308 §5
       break;
     }
   }

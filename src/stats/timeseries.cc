@@ -12,6 +12,16 @@ void BinnedSeries::record(const std::string& series, sim::Time at,
   max_bin_ = std::max(max_bin_, bin);
 }
 
+void BinnedSeries::merge(const BinnedSeries& other) {
+  for (const auto& [name, bins] : other.series_) {
+    auto& mine = series_[name];
+    for (const auto& [bin, value] : bins) {
+      mine[bin] += value;
+      max_bin_ = std::max(max_bin_, bin);
+    }
+  }
+}
+
 std::size_t BinnedSeries::bin_count() const {
   return series_.empty() ? 0 : max_bin_ + 1;
 }

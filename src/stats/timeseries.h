@@ -19,6 +19,12 @@ class BinnedSeries {
 
   void record(const std::string& series, sim::Time at, double value = 1.0);
 
+  /// Adds every bin of @p other into this series (bin widths must match).
+  /// Bin sums are order-independent, so merging per-shard series in any
+  /// order yields the same totals; callers still merge in shard order for
+  /// uniformity with the rest of the deterministic-reduce machinery.
+  void merge(const BinnedSeries& other);
+
   /// Number of bins covering all recorded events.
   std::size_t bin_count() const;
 

@@ -95,7 +95,7 @@ TEST(CrawlerTest, TabulatesCountsAndUniques) {
   EXPECT_EQ(report.by_type.at(dns::RRType::kNS).unique_values, 1u);
   EXPECT_DOUBLE_EQ(report.by_type.at(dns::RRType::kNS).unique_ratio(), 2.0);
   EXPECT_EQ(report.by_type.at(dns::RRType::kA).unique_values, 2u);
-  EXPECT_EQ(report.by_type.at(dns::RRType::kA).ttl_zero_domains, 1u);
+  EXPECT_EQ(report.by_type.at(dns::RRType::kA).ttl_zero_domain_count, 1u);
   EXPECT_EQ(report.bailiwick.respond_ns, 2u);
   EXPECT_EQ(report.bailiwick.out_only, 2u);
 }

@@ -23,7 +23,7 @@ TEST(DnssecTest, SignatureVerifies) {
   const auto& sig = std::get<RrsigRdata>(rrsig.rdata);
   EXPECT_TRUE(verify_rrsig(rrset, sig, key));
   EXPECT_EQ(sig.type_covered, RRType::kA);
-  EXPECT_EQ(sig.original_ttl, 300u);
+  EXPECT_EQ(sig.original_ttl.raw(), 300u);
   EXPECT_EQ(sig.key_tag, key_tag(key));
 }
 

@@ -98,10 +98,10 @@ class SecondaryTest : public ::testing::Test {
     soa.mname = Name::from_string("ns1.shop");
     soa.rname = Name::from_string("hostmaster.shop");
     soa.serial = 1;
-    soa.refresh = 600;
-    soa.retry = 300;
-    soa.expire = 3600;
-    soa.minimum = 300;
+    soa.refresh = dns::WireTtl{600};
+    soa.retry = dns::WireTtl{300};
+    soa.expire = dns::WireTtl{3600};
+    soa.minimum = dns::WireTtl{300};
     dns::RRset soa_set(Name::from_string("shop"), dns::RClass::kIN, dns::Ttl{3600});
     soa_set.add(soa);
     primary_zone->replace(soa_set);
@@ -203,7 +203,7 @@ TEST_F(SecondaryTest, ExpiresAfterPrimaryOutageAndRecovers) {
 
 TEST_F(SecondaryTest, RefreshOverrideSpeedsPolling) {
   Secondary secondary(world->simulation(), primary_zone, *secondary_server,
-                      60);
+                      dns::Ttl{60});
   primary_zone->bump_serial();
   world->simulation().run_until(sim::at(3 * sim::kMinute));
   EXPECT_GE(secondary.transfers(), 2u);

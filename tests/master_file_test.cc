@@ -23,7 +23,7 @@ TEST(MasterFileTest, ParsesTheTable1Zone) {
   auto soa = zone.soa();
   ASSERT_TRUE(soa.has_value());
   EXPECT_EQ(std::get<SoaRdata>(soa->rdata).serial, 2019021201u);
-  EXPECT_EQ(std::get<SoaRdata>(soa->rdata).minimum, 3600u);
+  EXPECT_EQ(std::get<SoaRdata>(soa->rdata).minimum.raw(), 3600u);
 
   auto ns = zone.find(Name::from_string("cl"), RRType::kNS);
   ASSERT_TRUE(ns.has_value());

@@ -59,7 +59,7 @@ TEST(WireTest, EveryRdataTypeRoundTrips) {
   RrsigRdata sig;
   sig.type_covered = RRType::kA;
   sig.labels = 2;
-  sig.original_ttl = 60;
+  sig.original_ttl = WireTtl{60};
   sig.expiration = 1600000000;
   sig.inception = 1500000000;
   sig.key_tag = 12345;

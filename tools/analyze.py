@@ -31,6 +31,15 @@ analysis):
                          carries time (ttl/timeout/deadline/_us/_ms/...).
                          New APIs must take sim::Duration / sim::Time /
                          dns::Ttl instead.
+  shared-mutable-in-shard a non-const, non-thread_local variable with static
+                         storage (namespace scope, or function-local
+                         `static`) anywhere in src/.  Shards run the same
+                         src/ code concurrently on a par::Pool, so any such
+                         variable is shared mutable state reachable from
+                         par:: callbacks — a data race AND a determinism
+                         leak (results would depend on shard interleaving).
+                         Make it const, thread_local, or shard-local state
+                         threaded through the callback.
 
 Suppression: `// analyze:allow(<rule>) <why>` on the offending line or the
 comment line directly above it.
@@ -300,12 +309,51 @@ def check_raw_time_param(root: dict, findings: list[Finding]) -> None:
                     "sim::Time, or dns::Ttl instead"))
 
 
+FUNCTION_KINDS = {"FunctionDecl", "CXXConstructorDecl", "CXXDestructorDecl",
+                  "LambdaExpr"}
+
+
+def check_shared_mutable_in_shard(root: dict, findings: list[Finding]) -> None:
+    """Flags non-const static-storage variables in src/: with experiment
+    drivers sharded over a par::Pool, any such variable is mutable state
+    shared across shard callbacks."""
+    def walk(node: dict, in_function: bool, file: str, line: int):
+        loc = node.get("loc") or {}
+        file = loc.get("file", file)
+        line = loc.get("line", line)
+        kind = node.get("kind")
+        if kind == "VarDecl":
+            norm = file.replace("\\", "/")
+            in_src = "/src/" in norm or norm.startswith("src/")
+            is_static_storage = (not in_function or
+                                 node.get("storageClass") == "static")
+            is_tls = bool(node.get("tls"))
+            qual = node_type(node)
+            is_const = qual.startswith("const ") or " const" in qual
+            if (in_src and is_static_storage and not is_tls and qual and
+                    not is_const):
+                findings.append(Finding(
+                    "shared-mutable-in-shard", file, line,
+                    f"`{node.get('name', '?')}` ({qual}) has static storage "
+                    "and is mutable: it is shared state reachable from "
+                    "par:: shard callbacks (data race + nondeterminism). "
+                    "Make it const, thread_local, or shard-local"))
+        if kind in FUNCTION_KINDS:
+            in_function = True
+        for child in node.get("inner") or []:
+            if isinstance(child, dict):
+                walk(child, in_function, file, line)
+
+    walk(root, False, "", 0)
+
+
 RULE_CHECKS = [
     check_unit_arith,
     check_unit_float_cast,
     check_unordered_output_flow,
     check_nodiscard_validator,
     check_raw_time_param,
+    check_shared_mutable_in_shard,
 ]
 
 
@@ -343,6 +391,10 @@ def cursor_to_dict(cursor, cindex) -> dict:
         "PARM_DECL": "ParmVarDecl",
         "NAMESPACE": "NamespaceDecl",
         "MEMBER_REF_EXPR": "MemberExpr",
+        "VAR_DECL": "VarDecl",
+        "CONSTRUCTOR": "CXXConstructorDecl",
+        "DESTRUCTOR": "CXXDestructorDecl",
+        "LAMBDA_EXPR": "LambdaExpr",
     }
     node: dict = {"kind": kind_map.get(cursor.kind.name, cursor.kind.name)}
     if cursor.spelling:
@@ -363,6 +415,19 @@ def cursor_to_dict(cursor, cindex) -> dict:
                 if token in ARITH_OPS:
                     node["opcode"] = token
                     break
+    if node["kind"] == "VarDecl":
+        try:  # storage class + TLS, for shared-mutable-in-shard
+            if cursor.storage_class.name == "STATIC":
+                node["storageClass"] = "static"
+        except Exception:
+            pass
+        try:
+            if cursor.tls_kind.name != "NONE":
+                node["tls"] = cursor.tls_kind.name.lower()
+        except Exception:
+            # Older bindings lack tls_kind: fall back to a token scan.
+            if any(t.spelling == "thread_local" for t in cursor.get_tokens()):
+                node["tls"] = "dynamic"
     if cursor.location and cursor.location.file:
         node["loc"] = {
             "file": str(cursor.location.file),
@@ -561,6 +626,50 @@ SELFTEST_CASES = [
          "loc": {"file": "src/cache/cache.cc", "line": 52},
          "inner": [
              {"kind": "ParmVarDecl", "name": "timeout_ms",
+              "type": {"qualType": "int"}}]},
+        [],
+    ),
+    (
+        "shared-mutable-in-shard fires on a namespace-scope mutable",
+        {"kind": "NamespaceDecl", "name": "core",
+         "loc": {"file": "src/core/x.cc", "line": 60},
+         "inner": [
+             {"kind": "VarDecl", "name": "g_call_count",
+              "type": {"qualType": "unsigned long"}}]},
+        ["shared-mutable-in-shard"],
+    ),
+    (
+        "shared-mutable-in-shard fires on a function-local static",
+        {"kind": "FunctionDecl", "name": "helper",
+         "loc": {"file": "src/core/x.cc", "line": 61},
+         "inner": [
+             {"kind": "VarDecl", "name": "cache", "storageClass": "static",
+              "type": {"qualType": "std::vector<int>"}}]},
+        ["shared-mutable-in-shard"],
+    ),
+    (
+        "shared-mutable-in-shard silent on const and thread_local",
+        {"kind": "NamespaceDecl", "name": "core",
+         "loc": {"file": "src/core/x.cc", "line": 62},
+         "inner": [
+             {"kind": "VarDecl", "name": "kTable",
+              "type": {"qualType": "const std::array<int, 4>"}},
+             {"kind": "FunctionDecl", "name": "stats", "inner": [
+                 {"kind": "VarDecl", "name": "stats",
+                  "storageClass": "static", "tls": "dynamic",
+                  "type": {"qualType": "dnsttl::check::AuditStats"}}]}]},
+        [],
+    ),
+    (
+        "shared-mutable-in-shard silent on plain locals and non-src files",
+        {"kind": "FunctionDecl", "name": "main",
+         "loc": {"file": "src/core/x.cc", "line": 63},
+         "inner": [
+             {"kind": "VarDecl", "name": "total",
+              "type": {"qualType": "unsigned long"}},
+             {"kind": "VarDecl", "name": "g_bench_state",
+              "loc": {"file": "bench/bench_common.h", "line": 5},
+              "storageClass": "static",
               "type": {"qualType": "int"}}]},
         [],
     ),

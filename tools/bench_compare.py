@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and fail on throughput regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
+    bench_compare.py --run-and-compare BINARY BASELINE.json [--tolerance T]
+
+Both files use the bench_common.h JsonReport schema: a top-level object
+with a `metrics` array of {name, unit, ops, wall_seconds, ops_per_sec}.
+A metric regresses when its current ops_per_sec falls more than
+`--tolerance` (fraction, default 0.10 = 10%) below the baseline's.
+Metrics present only in the current file are reported as new (not a
+failure); metrics that disappeared fail, since a silently dropped
+benchmark is how coverage rots.
+
+--run-and-compare spawns BINARY with `--quick --json <tmp>` first, then
+compares the fresh report against BASELINE.json.  This powers the
+`bench-compare` ctest: the committed baseline was produced on a different
+machine, so that gate passes a generous --tolerance and is a smoke check
+for order-of-magnitude regressions, not a 10% gate.
+
+Exit codes: 0 ok, 1 regression/missing metric, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"bench_compare: cannot read {path}: {error}")
+    if not isinstance(report.get("metrics"), list):
+        raise SystemExit(f"bench_compare: {path} has no `metrics` array")
+    return report
+
+
+def metric_map(report: dict) -> dict[str, dict]:
+    return {m["name"]: m for m in report["metrics"] if "name" in m}
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> int:
+    base = metric_map(baseline)
+    cur = metric_map(current)
+    failures = 0
+    width = max((len(name) for name in base | cur), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'current':>14}  delta")
+    for name, base_metric in sorted(base.items()):
+        base_ops = float(base_metric.get("ops_per_sec", 0.0))
+        if name not in cur:
+            print(f"{name:<{width}}  {base_ops:>14.0f}  {'MISSING':>14}  FAIL")
+            failures += 1
+            continue
+        cur_ops = float(cur[name].get("ops_per_sec", 0.0))
+        delta = (cur_ops / base_ops - 1.0) if base_ops > 0 else 0.0
+        regressed = base_ops > 0 and cur_ops < base_ops * (1.0 - tolerance)
+        verdict = "FAIL" if regressed else "ok"
+        print(f"{name:<{width}}  {base_ops:>14.0f}  {cur_ops:>14.0f}  "
+              f"{delta:+7.1%} {verdict}")
+        failures += regressed
+    for name in sorted(cur.keys() - base.keys()):
+        print(f"{name:<{width}}  {'(new)':>14}  "
+              f"{float(cur[name].get('ops_per_sec', 0.0)):>14.0f}  ok")
+    if failures:
+        print(f"bench_compare: {failures} metric(s) regressed more than "
+              f"{tolerance:.0%}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+",
+                        help="BASELINE.json CURRENT.json, or with "
+                             "--run-and-compare: BINARY BASELINE.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional ops/sec drop (default 0.10)")
+    parser.add_argument("--run-and-compare", action="store_true",
+                        help="first arg is a bench binary to run with "
+                             "--quick --json before comparing")
+    args = parser.parse_args()
+    if len(args.paths) != 2:
+        parser.error("expected exactly two positional arguments")
+
+    if args.run_and_compare:
+        binary, baseline_path = args.paths
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh = os.path.join(tmp, "bench.json")
+            result = subprocess.run(
+                [binary, "--quick", "--json", fresh],
+                stdout=subprocess.DEVNULL)
+            if result.returncode != 0:
+                print(f"bench_compare: {binary} exited "
+                      f"{result.returncode}")
+                return 2
+            return compare(load_report(baseline_path), load_report(fresh),
+                           args.tolerance)
+
+    baseline_path, current_path = args.paths
+    return compare(load_report(baseline_path), load_report(current_path),
+                   args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,13 @@ Rules (all scoped to src/ unless stated otherwise):
                   backstop for the AST rule of the same name in
                   tools/analyze.py, so the contract holds even on machines
                   without clang.
+  shared-mutable-in-shard
+                  a `static` variable that is neither const nor thread_local:
+                  shards run src/ code concurrently on a par::Pool, so any
+                  static mutable is shared state reachable from par::
+                  callbacks — a data race and a determinism leak.  Regex
+                  backstop (statics only; tools/analyze.py also catches
+                  namespace-scope mutables without the `static` keyword).
 
 Suppression: append `// lint:allow(<rule>) <justification>` to the offending
 line, or put it on a comment line directly above (the suppression then covers
@@ -91,6 +98,19 @@ RULES = [
             r"|latency|rtt)\w*|\w+_(?:us|ms|sec|secs|seconds|micros|millis))"
             r"\s*[,)=]",
             re.IGNORECASE,
+        ),
+        None,
+    ),
+    # A static variable declaration (name followed by = ; or {, so member
+    # and file-scope *function* declarations, whose name is followed by a
+    # parenthesis, never match) that is not const/constexpr/thread_local.
+    (
+        "shared-mutable-in-shard",
+        re.compile(
+            r"^\s*(?:inline\s+)?static\s+"
+            r"(?!const\b|constexpr\b|thread_local\b)"
+            r"(?!.*\bthread_local\b)"
+            r"[A-Za-z_][\w:<>,&*\s]*?\s[A-Za-z_]\w*\s*[=;{]"
         ),
         None,
     ),
