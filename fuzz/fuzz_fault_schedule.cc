@@ -1,0 +1,13 @@
+/// libFuzzer entry point for the fault-schedule text parser; also linked
+/// against the standalone replay/mutation driver (driver_main.cc) on
+/// toolchains without -fsanitize=fuzzer.
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  dnsttl::fuzz::run_fault_schedule_input(data, size);
+  return 0;
+}

@@ -318,6 +318,12 @@ bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
       return false;
     }
   }
+  if (existing != nullptr && !entry_live(*existing, now) &&
+      config_.serve_stale && now < existing->expires + config_.stale_window) {
+    // The entry was expired but still servable stale, and fresh data just
+    // arrived: an RFC 8767 resurrection (the §7 resilience accounting).
+    ++stats_.resurrections;
+  }
   Entry entry;
   entry.rrset = rrset;
   entry.credibility = credibility;
@@ -394,6 +400,7 @@ std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
     hit.credibility = entry->credibility;
     hit.stale = true;
     hit.original_ttl = entry->original_ttl;
+    hit.stale_for = now - entry->expires;
     return hit;
   }
   ++stats_.hits;

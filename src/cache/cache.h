@@ -35,6 +35,9 @@ struct CacheHit {
   Credibility credibility = Credibility::kGlue;
   bool stale = false;         ///< served past expiry (serve-stale mode)
   dns::Ttl original_ttl{};  ///< TTL as received, before counting down
+  /// How far past expiry the entry is (zero for live hits).  Bounded by
+  /// the configured stale window — RFC 8767's max-stale clamp.
+  sim::Duration stale_for{};
 };
 
 /// A cached negative result (RFC 2308).
@@ -80,7 +83,11 @@ class Cache {
     std::uint64_t misses = 0;
     std::uint64_t expired = 0;      ///< misses caused by TTL expiry
     std::uint64_t ns_linked_drops = 0;  ///< glue dropped due to expired NS
+    // lint:allow(raw-time-param) event counter, not a time quantity
     std::uint64_t stale_serves = 0;
+    /// RFC 8767 resurrections: an expired entry still inside its stale
+    /// window replaced by fresh upstream data (the record "came back").
+    std::uint64_t resurrections = 0;
     std::uint64_t inserts = 0;
     std::uint64_t downgrades_refused = 0;  ///< less-credible insert ignored
   };

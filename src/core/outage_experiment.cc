@@ -1,0 +1,164 @@
+#include "core/outage_experiment.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dns/rr.h"
+#include "par/pool.h"
+#include "resolver/config.h"
+#include "resolver/recursive_resolver.h"
+
+namespace dnsttl::core {
+
+namespace {
+
+/// The child nameserver ident World::add_tld registers ("<ns>.<tld>.").
+constexpr const char* kChildServer = "ns.example.";
+
+/// Infrastructure (delegation NS + glue) TTL: long enough that the
+/// delegation never expires inside the horizon, so the sweep isolates the
+/// *record* TTL.
+constexpr dns::Ttl kInfraTtl{7 * 24 * 3600};
+
+long long whole_seconds(sim::Duration d) {
+  return static_cast<long long>(d.count() / sim::kSecond.count());
+}
+
+}  // namespace
+
+OutagePointResult run_outage_point(const OutageConfig& config, dns::Ttl ttl,
+                                   bool serve_stale) {
+  World::Options options;
+  options.seed = config.seed;
+  options.loss_rate = config.loss_rate;
+  World world(options);
+
+  const net::Location site{};
+  auto zone = world.add_tld("example", "ns", kInfraTtl, kInfraTtl, kInfraTtl,
+                            site);
+  const auto qname = dns::Name::from_string("www.example");
+  zone->add(dns::make_a(qname, ttl, dns::Ipv4(192, 0, 2, 10)));
+
+  resolver::ResolverConfig rconfig = resolver::child_centric_config();
+  rconfig.serve_stale = serve_stale;
+  resolver::RecursiveResolver resolver("res", rconfig, world.network(),
+                                       world.hints());
+  resolver.set_node_ref(
+      net::NodeRef{world.network().attach(resolver, site), site});
+
+  fault::FaultSchedule schedule;
+  fault::FaultEvent window;
+  window.start = sim::at(config.outage_start);
+  window.end = sim::at(config.outage_start + config.outage_duration);
+  window.kind = config.window_kind;
+  window.target = world.address_of(kChildServer);
+  window.rate = config.window_rate;
+  window.factor = config.window_factor;
+  window.extra = config.window_extra;
+  schedule.add(window);
+  world.network().set_fault_schedule(&schedule);
+
+  OutagePointResult result;
+  result.ttl = ttl;
+  result.serve_stale = serve_stale;
+
+  const dns::Question question{qname, dns::RRType::kA, dns::RClass::kIN};
+  for (sim::Duration t{}; t < config.horizon; t += config.query_interval) {
+    const auto outcome = resolver.resolve(question, sim::at(t));
+    const bool ok = outcome.response.flags.rcode == dns::Rcode::kNoError &&
+                    !outcome.response.answers.empty();
+    ++result.queries;
+    if (ok) {
+      ++result.answered;
+    } else {
+      ++result.failed;
+    }
+    if (outcome.served_stale) {
+      ++result.stale_answers;
+    }
+    if (config.outage_start <= t &&
+        t < config.outage_start + config.outage_duration) {
+      ++result.window_queries;
+      if (!ok) {
+        ++result.window_failed;
+      }
+      if (outcome.served_stale) {
+        ++result.window_stale;
+      }
+    }
+  }
+
+  result.auth_queries = world.server(kChildServer).queries_answered();
+  result.resurrections = resolver.cache().stats().resurrections;
+  result.backoffs = resolver.stats().backoffs;
+  const net::Network::FaultStats& faults = world.network().fault_stats();
+  result.outage_timeouts = faults.outage_timeouts;
+  result.injected_faults = faults.outage_timeouts + faults.injected_losses +
+                           faults.injected_rcodes +
+                           faults.injected_truncations +
+                           faults.lame_responses + faults.latency_spikes;
+  return result;
+}
+
+OutageResult run_outage_experiment(const OutageConfig& config,
+                                   std::size_t jobs) {
+  struct Point {
+    dns::Ttl ttl;
+    bool serve_stale;
+  };
+  std::vector<Point> grid;
+  for (bool stale : config.serve_stale_variants) {
+    for (dns::Ttl ttl : config.ttls) {
+      grid.push_back(Point{ttl, stale});
+    }
+  }
+
+  OutageResult result;
+  result.config = config;
+  result.points = par::map_shards(grid.size(), jobs, [&](std::size_t i) {
+    return run_outage_point(config, grid[i].ttl, grid[i].serve_stale);
+  });
+  return result;
+}
+
+std::string OutageResult::render() const {
+  std::string out;
+  char line[256];
+  const auto kind = fault::to_string(config.window_kind);
+  std::snprintf(line, sizeof line,
+                "fault window: %.*s %llds..%llds (horizon %llds, query every "
+                "%llds)\n",
+                static_cast<int>(kind.size()), kind.data(),
+                whole_seconds(config.outage_start),
+                whole_seconds(config.outage_start + config.outage_duration),
+                whole_seconds(config.horizon),
+                whole_seconds(config.query_interval));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "%8s %6s %8s %8s %6s %6s %8s %8s %7s %7s %8s %7s\n", "ttl",
+                "stale", "queries", "ok", "fail", "sstale", "win_fail",
+                "win_stale", "auth_q", "resurr", "backoff", "faults");
+  out += line;
+  for (const OutagePointResult& p : points) {
+    std::snprintf(
+        line, sizeof line,
+        "%8u %6s %8llu %8llu %6llu %6llu %8llu %9llu %7llu %7llu %8llu "
+        "%7llu\n",
+        p.ttl.value(), p.serve_stale ? "on" : "off",
+        static_cast<unsigned long long>(p.queries),
+        static_cast<unsigned long long>(p.answered),
+        static_cast<unsigned long long>(p.failed),
+        static_cast<unsigned long long>(p.stale_answers),
+        static_cast<unsigned long long>(p.window_failed),
+        static_cast<unsigned long long>(p.window_stale),
+        static_cast<unsigned long long>(p.auth_queries),
+        static_cast<unsigned long long>(p.resurrections),
+        static_cast<unsigned long long>(p.backoffs),
+        static_cast<unsigned long long>(p.injected_faults));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dnsttl::core

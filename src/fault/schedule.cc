@@ -1,0 +1,393 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <tuple>
+
+#include "check/audit.h"
+
+namespace dnsttl::fault {
+
+namespace {
+
+/// Total order used for the canonical event list: window first, then kind,
+/// then target ("all" before any specific address), then the knobs.
+auto sort_key(const FaultEvent& e) {
+  return std::make_tuple(e.start.ticks(), e.end.ticks(),
+                         static_cast<int>(e.kind), e.target.has_value(),
+                         e.target ? e.target->value() : 0U, e.rate, e.factor,
+                         e.extra.count());
+}
+
+struct Unit {
+  std::string_view suffix;
+  sim::Duration span;
+};
+
+/// Longest suffixes first so "ms"/"us" are not mistaken for "s".
+constexpr std::array<Unit, 6> kUnits = {{
+    {"us", sim::kMicrosecond},
+    {"ms", sim::kMillisecond},
+    {"s", sim::kSecond},
+    {"m", sim::kMinute},
+    {"h", sim::kHour},
+    {"d", sim::kDay},
+}};
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ScheduleParseError("fault schedule line " + std::to_string(line) +
+                           ": " + what);
+}
+
+sim::Duration parse_span(std::string_view token, std::size_t line) {
+  std::size_t digits = 0;
+  while (digits < token.size() &&
+         token[digits] >= '0' && token[digits] <= '9') {
+    ++digits;
+  }
+  if (digits == 0) {
+    fail(line, "expected a duration, got '" + std::string(token) + "'");
+  }
+  std::int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + digits, value);
+  if (ec != std::errc{}) {
+    fail(line, "duration out of range: '" + std::string(token) + "'");
+  }
+  std::string_view suffix = token.substr(digits);
+  for (const auto& unit : kUnits) {
+    if (suffix == unit.suffix) {
+      std::int64_t ticks = 0;
+      if (__builtin_mul_overflow(value, unit.span.count(), &ticks)) {
+        fail(line, "duration overflows the tick clock: '" +
+                       std::string(token) + "'");
+      }
+      return sim::Duration(ticks);
+    }
+  }
+  fail(line, "unknown duration unit in '" + std::string(token) +
+                 "' (use us, ms, s, m, h, d)");
+}
+
+double parse_number(std::string_view token, std::size_t line,
+                    std::string_view key) {
+  double value = 0.0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail(line, std::string(key) + " is not a number: '" + std::string(token) +
+                   "'");
+  }
+  return value;
+}
+
+std::optional<FaultKind> kind_from(std::string_view token) {
+  if (token == "outage") return FaultKind::kOutage;
+  if (token == "loss") return FaultKind::kLoss;
+  if (token == "latency") return FaultKind::kLatency;
+  if (token == "servfail") return FaultKind::kServfail;
+  if (token == "refused") return FaultKind::kRefused;
+  if (token == "truncate") return FaultKind::kTruncate;
+  if (token == "lame") return FaultKind::kLame;
+  return std::nullopt;
+}
+
+/// Renders @p span in the largest unit that divides it exactly, so the
+/// canonical text is readable AND re-parses to the identical tick count.
+std::string format_span(sim::Duration span) {
+  for (std::size_t i = kUnits.size(); i-- > 0;) {
+    const auto& unit = kUnits[i];
+    if (span.count() % unit.span.count() == 0) {
+      return std::to_string(span / unit.span) + std::string(unit.suffix);
+    }
+  }
+  return std::to_string(span.count()) + "us";  // unreachable: us divides all
+}
+
+/// Shortest round-trip rendering of a double (std::to_chars guarantees
+/// parse(format(x)) == x).
+std::string format_number(double value) {
+  std::array<char, 32> buffer{};
+  auto [ptr, ec] = std::to_chars(buffer.data(),
+                                 buffer.data() + buffer.size(), value);
+  return std::string(buffer.data(), ptr);
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutage:
+      return "outage";
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kServfail:
+      return "servfail";
+    case FaultKind::kRefused:
+      return "refused";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kLame:
+      return "lame";
+  }
+  return "?";
+}
+
+void FaultSchedule::add(FaultEvent event) {
+  auto pos = std::upper_bound(events_.begin(), events_.end(), event,
+                              [](const FaultEvent& a, const FaultEvent& b) {
+                                return sort_key(a) < sort_key(b);
+                              });
+  events_.insert(pos, std::move(event));
+  if constexpr (check::kAuditEnabled) {
+    validate();
+  }
+}
+
+bool FaultSchedule::outage(dns::Ipv4 addr, sim::Time now) const {
+  for (const auto& event : events_) {
+    if (event.start > now) {
+      break;  // sorted by start: nothing later can be active yet
+    }
+    if (event.kind == FaultKind::kOutage && event.applies(addr, now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultSchedule::extra_loss(dns::Ipv4 addr, sim::Time now) const {
+  double pass = 1.0;  // probability the packet survives every loss window
+  for (const auto& event : events_) {
+    if (event.start > now) {
+      break;
+    }
+    if (event.kind == FaultKind::kLoss && event.applies(addr, now)) {
+      pass *= 1.0 - event.rate;
+    }
+  }
+  return 1.0 - pass;
+}
+
+double FaultSchedule::latency_factor(dns::Ipv4 addr, sim::Time now) const {
+  double factor = 1.0;
+  for (const auto& event : events_) {
+    if (event.start > now) {
+      break;
+    }
+    if (event.kind == FaultKind::kLatency && event.applies(addr, now)) {
+      factor *= event.factor;
+    }
+  }
+  return factor;
+}
+
+sim::Duration FaultSchedule::extra_latency(dns::Ipv4 addr,
+                                           sim::Time now) const {
+  sim::Duration extra{};
+  for (const auto& event : events_) {
+    if (event.start > now) {
+      break;
+    }
+    if (event.kind == FaultKind::kLatency && event.applies(addr, now)) {
+      extra += event.extra;
+    }
+  }
+  return extra;
+}
+
+std::optional<dns::Rcode> FaultSchedule::forced_rcode(dns::Ipv4 addr,
+                                                      sim::Time now) const {
+  for (const auto& event : events_) {
+    if (event.start > now) {
+      break;
+    }
+    if (!event.applies(addr, now)) {
+      continue;
+    }
+    if (event.kind == FaultKind::kServfail) {
+      return dns::Rcode::kServFail;
+    }
+    if (event.kind == FaultKind::kRefused) {
+      return dns::Rcode::kRefused;
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultSchedule::truncate(dns::Ipv4 addr, sim::Time now) const {
+  for (const auto& event : events_) {
+    if (event.start > now) {
+      break;
+    }
+    if (event.kind == FaultKind::kTruncate && event.applies(addr, now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultSchedule::lame(dns::Ipv4 addr, sim::Time now) const {
+  for (const auto& event : events_) {
+    if (event.start > now) {
+      break;
+    }
+    if (event.kind == FaultKind::kLame && event.applies(addr, now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultSchedule FaultSchedule::parse(std::string_view text) {
+  FaultSchedule schedule;
+  std::size_t line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    if (std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+
+    // Tokenize on blanks.
+    std::vector<std::string_view> tokens;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t' ||
+                                   line[pos] == '\r')) {
+        ++pos;
+      }
+      std::size_t start = pos;
+      while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t' &&
+             line[pos] != '\r') {
+        ++pos;
+      }
+      if (pos > start) {
+        tokens.push_back(line.substr(start, pos - start));
+      }
+    }
+    if (tokens.empty()) {
+      continue;  // blank / comment-only line
+    }
+    if (tokens.size() < 2) {
+      fail(line_number, "expected '<kind> <start>..<end> [key=value...]'");
+    }
+
+    FaultEvent event;
+    auto kind = kind_from(tokens[0]);
+    if (!kind) {
+      fail(line_number, "unknown fault kind '" + std::string(tokens[0]) + "'");
+    }
+    event.kind = *kind;
+
+    std::string_view window = tokens[1];
+    std::size_t dots = window.find("..");
+    if (dots == std::string_view::npos) {
+      fail(line_number, "window must be '<start>..<end>', got '" +
+                            std::string(window) + "'");
+    }
+    event.start =
+        sim::at(parse_span(window.substr(0, dots), line_number));
+    event.end =
+        sim::at(parse_span(window.substr(dots + 2), line_number));
+    if (event.end < event.start) {
+      fail(line_number, "window ends before it starts: '" +
+                            std::string(window) + "'");
+    }
+
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      std::string_view token = tokens[i];
+      std::size_t eq = token.find('=');
+      if (eq == std::string_view::npos) {
+        fail(line_number,
+             "expected key=value, got '" + std::string(token) + "'");
+      }
+      std::string_view key = token.substr(0, eq);
+      std::string_view value = token.substr(eq + 1);
+      if (key == "addr") {
+        try {
+          event.target = dns::Ipv4::from_string(value);
+        } catch (const std::invalid_argument& error) {
+          fail(line_number, "bad addr: " + std::string(error.what()));
+        }
+      } else if (key == "rate") {
+        event.rate = parse_number(value, line_number, key);
+        if (!(event.rate >= 0.0 && event.rate <= 1.0)) {
+          fail(line_number, "rate must be in [0, 1]");
+        }
+      } else if (key == "factor") {
+        event.factor = parse_number(value, line_number, key);
+        if (!(event.factor > 0.0)) {
+          fail(line_number, "factor must be positive");
+        }
+      } else if (key == "extra") {
+        event.extra = parse_span(value, line_number);
+      } else {
+        fail(line_number, "unknown key '" + std::string(key) + "'");
+      }
+    }
+    schedule.add(std::move(event));
+  }
+  if constexpr (check::kAuditEnabled) {
+    schedule.validate();
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::to_string() const {
+  std::string out;
+  for (const auto& event : events_) {
+    out += fault::to_string(event.kind);
+    out += ' ';
+    out += format_span(event.start.since_epoch());
+    out += "..";
+    out += format_span(event.end.since_epoch());
+    if (event.target) {
+      out += " addr=" + event.target->to_string();
+    }
+    if (event.rate != 1.0) {
+      out += " rate=" + format_number(event.rate);
+    }
+    if (event.factor != 1.0) {
+      out += " factor=" + format_number(event.factor);
+    }
+    if (event.extra != sim::Duration{}) {
+      out += " extra=" + format_span(event.extra);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void FaultSchedule::validate() const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& event = events_[i];
+    DNSTTL_AUDIT_CHECK("fault::FaultSchedule", event.start <= event.end,
+                       "event " + std::to_string(i) + " window inverted");
+    DNSTTL_AUDIT_CHECK("fault::FaultSchedule",
+                       event.rate >= 0.0 && event.rate <= 1.0,
+                       "event " + std::to_string(i) + " rate " +
+                           format_number(event.rate));
+    DNSTTL_AUDIT_CHECK("fault::FaultSchedule", event.factor > 0.0,
+                       "event " + std::to_string(i) + " factor " +
+                           format_number(event.factor));
+    DNSTTL_AUDIT_CHECK("fault::FaultSchedule", event.extra >= sim::Duration{},
+                       "event " + std::to_string(i) + " negative extra");
+    if (i > 0) {
+      DNSTTL_AUDIT_CHECK("fault::FaultSchedule",
+                         !(sort_key(event) < sort_key(events_[i - 1])),
+                         "events " + std::to_string(i - 1) + "/" +
+                             std::to_string(i) + " out of canonical order");
+    }
+  }
+  check::count_audit();
+}
+
+}  // namespace dnsttl::fault

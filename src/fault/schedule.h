@@ -1,0 +1,141 @@
+#ifndef DNSTTL_FAULT_SCHEDULE_H
+#define DNSTTL_FAULT_SCHEDULE_H
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/rdata.h"
+#include "dns/types.h"
+#include "sim/time.h"
+
+namespace dnsttl::fault {
+
+/// What a scheduled fault does to the exchanges it matches.
+///
+/// The taxonomy mirrors the failure modes the paper's resilience story
+/// (§1, §7, the Dyn outage) cares about: a server that stops answering,
+/// a lossy or slow path, a server that answers but wrongly (SERVFAIL /
+/// REFUSED storms), a truncation storm forcing TCP retries, and a lame
+/// delegation (the server answers, non-authoritatively, with nothing).
+enum class FaultKind : std::uint8_t {
+  kOutage,    ///< matching queries time out, deterministically
+  kLoss,      ///< extra loss probability folded into the network's draw
+  kLatency,   ///< RTT scaled by `factor` plus `extra` per exchange
+  kServfail,  ///< server replies SERVFAIL without seeing the query
+  kRefused,   ///< server replies REFUSED without seeing the query
+  kTruncate,  ///< UDP responses come back TC=1 regardless of size
+  kLame,      ///< non-AA empty NOERROR: a lame delegation flip
+};
+
+std::string_view to_string(FaultKind kind);
+
+/// One timed, targeted fault.  The window is half-open — active while
+/// `start <= now < end` — so back-to-back windows never double-fire on the
+/// shared boundary instant.  A missing target means "every address".
+struct FaultEvent {
+  sim::Time start{};
+  sim::Time end{};
+  FaultKind kind = FaultKind::kOutage;
+  std::optional<dns::Ipv4> target;  ///< nullopt = all addresses
+  double rate = 1.0;      ///< kLoss: extra loss probability in [0, 1]
+  double factor = 1.0;    ///< kLatency: multiplicative RTT scale, > 0
+  sim::Duration extra{};  ///< kLatency: additive per-exchange delay
+
+  /// True when this event applies to @p addr at @p now.
+  bool applies(dns::Ipv4 addr, sim::Time now) const noexcept {
+    return start <= now && now < end && (!target || *target == addr);
+  }
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Rejection channel of FaultSchedule::parse — malformed schedule text is
+/// an input error, never a library bug (contrast check::AuditError).
+class ScheduleParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A deterministic script of faults consulted by net::Network on every
+/// exchange.  Queries are pure functions of (schedule, address, now): the
+/// schedule holds no RNG and mutates nothing at query time, so a fault
+/// layer can be shared read-only across par:: shards and runs stay
+/// byte-identical at any --jobs.
+///
+/// Text format (parse/to_string round-trip; '#' starts a comment):
+///
+///     outage   10s..20s addr=10.0.0.1
+///     loss     0s..5m   rate=0.25
+///     latency  1m..2m   factor=3.5 extra=50ms
+///     servfail 30s..40s addr=10.0.0.5
+///     truncate 0s..1h
+///     lame     2m..3m   addr=10.0.0.9
+///
+/// Times are nonnegative integers with a unit suffix (us, ms, s, m, h, d),
+/// measured from the experiment epoch.  `rate`, `factor` and `extra` apply
+/// to the kinds documented on FaultEvent; unknown keys are errors.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Adds one event, keeping the list sorted by (start, end, kind) so the
+  /// canonical rendering — and therefore every golden output built from a
+  /// schedule — is independent of insertion order.
+  void add(FaultEvent event);
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// True when a kOutage window covers (addr, now): the exchange must time
+  /// out without consuming any RNG draws.
+  bool outage(dns::Ipv4 addr, sim::Time now) const;
+
+  /// Combined extra loss probability from every active kLoss window
+  /// (independent losses: 1 - prod(1 - rate)).  Zero when none match, so
+  /// the network's gated single draw stays un-burned.
+  double extra_loss(dns::Ipv4 addr, sim::Time now) const;
+
+  /// Product of active kLatency factors (1.0 when none match).
+  double latency_factor(dns::Ipv4 addr, sim::Time now) const;
+
+  /// Sum of active kLatency additive delays.
+  sim::Duration extra_latency(dns::Ipv4 addr, sim::Time now) const;
+
+  /// Rcode forced by an active kServfail/kRefused window (first match in
+  /// canonical order wins), or nullopt.
+  std::optional<dns::Rcode> forced_rcode(dns::Ipv4 addr, sim::Time now) const;
+
+  /// True when an active kTruncate window forces TC=1 on UDP.
+  bool truncate(dns::Ipv4 addr, sim::Time now) const;
+
+  /// True when an active kLame window turns the server lame.
+  bool lame(dns::Ipv4 addr, sim::Time now) const;
+
+  /// Parses the text format documented above; throws ScheduleParseError
+  /// (with a line number) on malformed input.
+  static FaultSchedule parse(std::string_view text);
+
+  /// Canonical rendering: one event per line in sorted order, defaults
+  /// omitted, durations in the largest unit that divides them exactly.
+  /// Guaranteed to re-parse to an equal schedule (fuzzed in fuzz/).
+  std::string to_string() const;
+
+  /// Structural audit: windows well-formed (start <= end), rates in
+  /// [0, 1], factors positive, extras nonnegative, list sorted.  Throws
+  /// check::AuditError on violation.  Compiled in every build; called from
+  /// the mutation boundary (add/parse) only under DNSTTL_AUDIT=ON.
+  void validate() const;
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;  ///< sorted by (start, end, kind, target)
+};
+
+}  // namespace dnsttl::fault
+
+#endif  // DNSTTL_FAULT_SCHEDULE_H

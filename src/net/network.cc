@@ -82,7 +82,28 @@ QueryOutcome Network::query(const NodeRef& from, Address to,
     }
   }
 
-  if (params_.loss_rate > 0.0 && rng_.chance(params_.loss_rate)) {
+  // Fault layer, stage 1: a scheduled outage is a deterministic timeout.
+  // Checked before any RNG use — an exchange killed by an outage consumes
+  // no draws, exactly like querying a detached address.
+  if (faults_ != nullptr && faults_->outage(to, now)) {
+    ++fault_stats_.outage_timeouts;
+    return QueryOutcome{std::nullopt, params_.query_timeout};
+  }
+
+  // Loss: the base rate and any active kLoss windows combine into ONE
+  // gated draw (independent loss events: 1 - prod(1 - p)).  The gate is
+  // the RNG-stream contract pinned by net_test.cc — a zero effective rate
+  // must not burn a draw, so "loss off" and "loss on" runs share the
+  // latency stream up to the first actual loss.
+  double loss = params_.loss_rate;
+  double injected = faults_ != nullptr ? faults_->extra_loss(to, now) : 0.0;
+  if (injected > 0.0) {
+    loss = 1.0 - (1.0 - loss) * (1.0 - injected);
+  }
+  if (loss > 0.0 && rng_.chance(loss)) {
+    if (injected > 0.0) {
+      ++fault_stats_.injected_losses;
+    }
     return QueryOutcome{std::nullopt, params_.query_timeout};
   }
 
@@ -90,6 +111,40 @@ QueryOutcome Network::query(const NodeRef& from, Address to,
   if (transport == Transport::kTcp) {
     rtt *= 2;  // connection handshake before the query round trip
   }
+
+  // Fault layer, stage 2: latency spikes scale the drawn RTT (after the
+  // draw, so the jitter stream is unchanged) and rcode/lame injection
+  // replaces the server's answer without the server seeing the query.
+  bool force_tc = false;
+  if (faults_ != nullptr) {
+    double factor = faults_->latency_factor(to, now);
+    sim::Duration extra = faults_->extra_latency(to, now);
+    if (factor != 1.0 || extra != sim::Duration{}) {
+      ++fault_stats_.latency_spikes;
+      rtt = sim::approx_scale(rtt, factor) + extra;
+    }
+    if (auto rcode = faults_->forced_rcode(to, now)) {
+      ++fault_stats_.injected_rcodes;
+      dns::Message refusal;
+      refusal.id = query_msg.id;
+      refusal.flags.qr = true;
+      refusal.flags.rcode = *rcode;
+      refusal.questions = query_msg.questions;
+      return QueryOutcome{std::move(refusal), rtt};
+    }
+    if (faults_->lame(to, now)) {
+      // A lame delegation answers politely and uselessly: NOERROR, no AA,
+      // empty sections (RFC 1912 §2.8's "lame server" as seen on the wire).
+      ++fault_stats_.lame_responses;
+      dns::Message lame;
+      lame.id = query_msg.id;
+      lame.flags.qr = true;
+      lame.questions = query_msg.questions;
+      return QueryOutcome{std::move(lame), rtt};
+    }
+    force_tc = transport == Transport::kUdp && faults_->truncate(to, now);
+  }
+
   auto reply =
       chosen->node->handle_query(query_msg, from.address, now + rtt / 2);
   if (!reply) {
@@ -116,8 +171,11 @@ QueryOutcome Network::query(const NodeRef& from, Address to,
     reply->message = std::move(decoded);
   }
 
+  if (force_tc) {
+    ++fault_stats_.injected_truncations;
+  }
   if (transport == Transport::kUdp &&
-      dns::encoded_size(reply->message) > udp_limit) {
+      (force_tc || dns::encoded_size(reply->message) > udp_limit)) {
     dns::Message truncated;
     truncated.id = reply->message.id;
     truncated.flags = reply->message.flags;

@@ -52,6 +52,17 @@ struct ResolverConfig {
   /// authoritative server is unreachable.
   bool serve_stale = false;
 
+  /// RFC 8767 §5: how long past expiry a record may still be served
+  /// (maps to the cache's stale window).  The RFC suggests 1–3 days.
+  sim::Duration max_stale = 3 * sim::kDay;
+
+  /// RFC 8767 §5 stale-refresh: after serving a name stale, keep
+  /// answering it from the stale entry for this long WITHOUT re-trying
+  /// the (just proven dead) upstreams, so a popular name does not hammer
+  /// a down server with one full resolution timeout per client.  Zero
+  /// disables the suppression window.
+  sim::Duration stale_refresh = 30 * sim::kSecond;
+
   /// RFC 7706 / LocalRoot: mirror the root zone locally; root-zone lookups
   /// are answered from the mirror with full (undecremented) TTLs and emit
   /// no root queries on the wire.
@@ -97,6 +108,17 @@ struct ResolverConfig {
 
   /// Per-query retransmission budget across servers.
   int max_server_attempts = 3;
+
+  /// Exponential backoff for unresponsive servers (BIND's "server marked
+  /// bad" / Unbound's infra-cache probation): after
+  /// `timeouts_before_backoff` consecutive timeouts a server is benched —
+  /// deprioritized in selection — for `initial_backoff`, doubling per
+  /// repeat offense up to `max_backoff`.  One successful exchange clears
+  /// the slate.
+  sim::Duration initial_backoff = 2 * sim::kSecond;
+  sim::Duration max_backoff = 5 * sim::kMinute;
+  // lint:allow(raw-time-param) a count of timeouts, not a time quantity
+  int timeouts_before_backoff = 2;
 
   /// Referral-chain guard.
   int max_iterations = 24;

@@ -43,6 +43,7 @@ RecursiveResolver::RecursiveResolver(std::string ident, ResolverConfig config,
   cache_config.min_ttl = config_.min_ttl;
   cache_config.link_glue_to_ns = config_.link_glue_to_ns;
   cache_config.serve_stale = config_.serve_stale;
+  cache_config.stale_window = config_.max_stale;  // RFC 8767 §5 clamp
   // Resolvers that do not link glue to NS records are the "trust the cache
   // to its TTL" style: they also keep live entries across same-credibility
   // refreshes (§4.2's minority that rides the A record to 120 minutes).
@@ -55,6 +56,7 @@ RecursiveResolver::RecursiveResolver(std::string ident, ResolverConfig config,
 void RecursiveResolver::flush() {
   cache_.clear();
   sticky_pins_.clear();
+  stale_refresh_until_.clear();
 }
 
 cache::Credibility RecursiveResolver::answer_threshold() const {
@@ -111,6 +113,37 @@ ResolutionResult RecursiveResolver::resolve(const dns::Question& question,
     return result;
   }
 
+  // RFC 8767 §5 stale-refresh: a question served stale moments ago keeps
+  // being answered from the stale entry — upstreams are NOT re-tried —
+  // until the suppression window lapses, so a popular dead name costs one
+  // resolution timeout per window, not one per client query.
+  if (config_.serve_stale && config_.stale_refresh > sim::Duration{}) {
+    auto key = std::make_pair(question.qname, question.qtype);
+    if (auto it = stale_refresh_until_.find(key);
+        it != stale_refresh_until_.end()) {
+      if (now < it->second) {
+        if (auto stale =
+                cache_.lookup(question.qname, question.qtype, now, true);
+            stale && stale->stale) {
+          ++stats_.stale_answers;
+          ++stats_.stale_refresh_answers;
+          dns::Message stale_response;
+          stale_response.flags.qr = true;
+          stale_response.flags.ra = true;
+          stale_response.questions.push_back(question);
+          stale_response.answers = stale->rrset.to_records();
+          result.response = std::move(stale_response);
+          result.answered_from_cache = true;
+          result.served_stale = true;
+          return result;
+        }
+      }
+      // Window lapsed, or the stale copy is gone (purged or resurrected
+      // through another question): resolve normally again.
+      stale_refresh_until_.erase(it);
+    }
+  }
+
   Context ctx;
   dns::Message response = resolve_iterative(question, now, ctx);
 
@@ -120,6 +153,12 @@ ResolutionResult RecursiveResolver::resolve(const dns::Question& question,
             cache_.lookup(question.qname, question.qtype, now, true);
         stale && stale->stale) {
       ++stats_.stale_answers;
+      if (config_.stale_refresh > sim::Duration{}) {
+        // Arm the stale-refresh window: follow-up queries for this name
+        // are served from the stale entry without re-proving the outage.
+        stale_refresh_until_[{question.qname, question.qtype}] =
+            now + config_.stale_refresh;
+      }
       dns::Message stale_response;
       stale_response.flags.qr = true;
       stale_response.flags.ra = true;
@@ -137,6 +176,8 @@ ResolutionResult RecursiveResolver::resolve(const dns::Question& question,
     ++stats_.servfails;
   } else {
     ++stats_.full_resolutions;
+    // A successful resolution supersedes any stale-refresh suppression.
+    stale_refresh_until_.erase({question.qname, question.qtype});
   }
   result.response = std::move(response);
   result.elapsed = ctx.elapsed;
@@ -380,7 +421,7 @@ dns::Name RecursiveResolver::find_servers(
   for (const auto& entry : hints_.servers) {
     servers.push_back(ServerCandidate{entry.name, entry.address});
   }
-  rotate(servers);
+  rotate(servers, now);
   return dns::Name{};
 }
 
@@ -400,7 +441,7 @@ dns::Name RecursiveResolver::find_servers_from_cache(
   for (const auto& entry : hints_.servers) {
     servers.push_back(ServerCandidate{entry.name, entry.address});
   }
-  rotate(servers);
+  rotate(servers, now);
   return dns::Name{};
 }
 
@@ -456,20 +497,72 @@ bool RecursiveResolver::collect_addresses(
     }
   }
 
-  rotate(servers);
+  rotate(servers, now);
   return !servers.empty();
 }
 
-void RecursiveResolver::rotate(std::vector<ServerCandidate>& servers) {
+double RecursiveResolver::selection_srtt_ms(net::Address address,
+                                            sim::Time now) const {
+  auto it = server_health_.find(address.value());
+  if (it == server_health_.end()) {
+    // Optimistic default for untried servers so that every server is
+    // eventually probed (BIND's decaying-srtt has the same effect).
+    return 10.0;
+  }
+  const ServerHealth& health = it->second;
+  double srtt = health.srtt_ms;
+  if (now < health.backoff_until) {
+    // Benched by the backoff policy: a flat penalty far above any
+    // plausible RTT pushes the server behind every healthy candidate
+    // (it is still reachable as a last resort when everything is down).
+    srtt += 10000.0;
+  }
+  return srtt;
+}
+
+void RecursiveResolver::record_exchange(net::Address address,
+                                        sim::Duration elapsed, bool answered,
+                                        sim::Time now) {
+  ServerHealth& health = server_health_[address.value()];
+  // Feed the smoothed-RTT estimator; timeouts count double (BIND's
+  // penalty) so a flaky server drifts to the back of the order.
+  double sample_ms = sim::to_milliseconds(elapsed) * (answered ? 1.0 : 2.0);
+  if (!health.srtt_seeded) {
+    health.srtt_ms = sample_ms;
+    health.srtt_seeded = true;
+  } else {
+    health.srtt_ms = 0.7 * health.srtt_ms + 0.3 * sample_ms;
+  }
+  if (answered) {
+    // One good exchange clears the slate entirely.
+    health.consecutive_timeouts = 0;
+    health.backoff_level = 0;
+    health.backoff_until = sim::Time{};
+    return;
+  }
+  if (++health.consecutive_timeouts >= config_.timeouts_before_backoff) {
+    // Bench the server: initial_backoff doubled per repeat offense,
+    // clamped to max_backoff (level capped so the shift stays defined).
+    sim::Duration bench =
+        config_.initial_backoff *
+        (std::int64_t{1} << std::min(health.backoff_level, 16));
+    health.backoff_until = now + std::min(bench, config_.max_backoff);
+    if (health.backoff_level < 16) {
+      ++health.backoff_level;
+    }
+    health.consecutive_timeouts = 0;
+    ++stats_.backoffs;
+  }
+}
+
+void RecursiveResolver::rotate(std::vector<ServerCandidate>& servers,
+                               sim::Time now) {
   if (servers.size() <= 1) {
     return;
   }
   if (config_.srtt_selection) {
-    // Optimistic default for untried servers so that every server is
-    // eventually probed (BIND's decaying-srtt has the same effect).
-    auto srtt_of = [this](const ServerCandidate& server) {
-      auto it = srtt_ms_.find(server.address.value());
-      return it == srtt_ms_.end() ? 10.0 : it->second;
+    auto srtt_of = [this, now](const ServerCandidate& server) {
+      return selection_srtt_ms(server.address, now);
     };
     std::stable_sort(servers.begin(), servers.end(),
                      [&](const ServerCandidate& a, const ServerCandidate& b) {
@@ -584,18 +677,13 @@ dns::Message RecursiveResolver::resolve_iterative(
       ctx.elapsed += outcome.elapsed;
       ++ctx.upstream_queries;
       ++stats_.upstream_queries;
-      // Feed the smoothed-RTT estimator (timeouts count double).
-      {
-        double sample_ms = sim::to_milliseconds(outcome.elapsed) *
-                           (outcome.response ? 1.0 : 2.0);
-        auto [it, inserted] =
-            srtt_ms_.try_emplace(server.address.value(), sample_ms);
-        if (!inserted) {
-          it->second = 0.7 * it->second + 0.3 * sample_ms;
-        }
-      }
+      record_exchange(server.address, outcome.elapsed,
+                      outcome.response.has_value(), now + ctx.elapsed);
       if (!outcome.response) {
-        continue;  // timeout: next server
+        // Timeout: fall through to the next candidate (server
+        // re-selection); the health record above may have benched this
+        // one, in which case later rotate() calls route around it.
+        continue;
       }
       dns::Message response = std::move(*outcome.response);
       if (response.flags.tc) {

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.h"
@@ -49,7 +50,14 @@ class RecursiveResolver : public net::DnsNode {
     std::uint64_t full_resolutions = 0;
     std::uint64_t upstream_queries = 0;
     std::uint64_t servfails = 0;
+    // lint:allow(raw-time-param) event counter, not a time quantity
     std::uint64_t stale_answers = 0;
+    // lint:allow(raw-time-param) event counter, not a time quantity
+    std::uint64_t stale_refresh_answers = 0;  ///< stale served inside the
+                                              ///< RFC 8767 refresh window,
+                                              ///< upstream not retried
+    // lint:allow(raw-time-param) event counter, not a time quantity
+    std::uint64_t backoffs = 0;  ///< servers benched after repeat timeouts
     std::uint64_t prefetches = 0;
     std::uint64_t tcp_retries = 0;
     std::uint64_t validations = 0;
@@ -132,8 +140,10 @@ class RecursiveResolver : public net::DnsNode {
                          sim::Time now, Context& ctx,
                          std::vector<ServerCandidate>& servers);
 
-  /// Applies round-robin rotation per config.
-  void rotate(std::vector<ServerCandidate>& servers);
+  /// Applies smoothed-RTT sorting and round-robin rotation per config.
+  /// @p now lets the sort penalize servers currently benched by the
+  /// exponential-backoff policy so selection routes around them.
+  void rotate(std::vector<ServerCandidate>& servers, sim::Time now);
 
   /// Resolves an out-of-bailiwick nameserver address via sub-resolution.
   std::optional<net::Address> resolve_ns_address(const dns::Name& ns_name,
@@ -186,8 +196,30 @@ class RecursiveResolver : public net::DnsNode {
   Stats stats_;
   std::uint16_t next_id_ = 1;
   std::uint64_t rotate_counter_ = 0;
-  /// Smoothed per-server RTT estimates in ms (BIND-style selection).
-  std::unordered_map<std::uint32_t, double> srtt_ms_;
+
+  /// Per-server health: BIND-style smoothed RTT plus the exponential
+  /// backoff state that benches repeat-timeout servers.
+  struct ServerHealth {
+    double srtt_ms = 10.0;  ///< optimistic default so new servers get tried
+    bool srtt_seeded = false;      ///< first sample replaces the default
+    // lint:allow(raw-time-param) a count of timeouts, not a time quantity
+    int consecutive_timeouts = 0;  ///< reset by any successful exchange
+    // lint:allow(raw-time-param) a count of doublings, not a time quantity
+    int backoff_level = 0;         ///< doublings applied so far
+    sim::Time backoff_until{};     ///< benched while now < backoff_until
+  };
+  /// Effective selection metric: srtt, pushed to the back of the order
+  /// while the server is benched.
+  double selection_srtt_ms(net::Address address, sim::Time now) const;
+  /// Feeds one exchange result into the health record (EWMA srtt, timeout
+  /// counting, benching); @p now is the virtual time the verdict landed.
+  void record_exchange(net::Address address, sim::Duration elapsed,
+                       bool answered, sim::Time now);
+
+  std::unordered_map<std::uint32_t, ServerHealth> server_health_;
+  /// RFC 8767 stale-refresh suppression: question -> end of the window in
+  /// which stale answers are served without re-trying upstreams.
+  std::map<std::pair<dns::Name, dns::RRType>, sim::Time> stale_refresh_until_;
   bool prefetching_ = false;  ///< re-entrancy guard for maybe_prefetch
   /// Sticky pins: zone -> (ns name, server address) of first success.
   std::map<dns::Name, ServerCandidate> sticky_pins_;

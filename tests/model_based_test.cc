@@ -95,6 +95,96 @@ TEST_P(CacheModelTest, RandomOperationSequencesMatchTheModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheModelTest,
                          ::testing::Values(1, 7, 42, 1337, 90210));
 
+// ------------------------------------------- serve-stale cache vs model
+
+/// Reference model for RFC 8767 serve-stale: a plain map of
+/// (value, expiry, original TTL).  A lookup past expiry but inside the
+/// stale window is a stale hit with the fixed 30 s TTL; fresh data landing
+/// on an expired-but-servable entry is a resurrection.
+struct StaleModelEntry {
+  std::string value;
+  sim::Time expires;
+  dns::Ttl original_ttl;
+};
+
+class ServeStaleOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServeStaleOracleTest, RandomTracesMatchTheModel) {
+  sim::Rng rng(GetParam());
+  cache::Cache::Config config;
+  config.link_glue_to_ns = false;
+  config.serve_stale = true;
+  config.stale_window = 1 * sim::kHour;
+  cache::Cache cache(config);
+  std::map<std::string, StaleModelEntry> model;
+  std::uint64_t model_resurrections = 0;
+
+  const std::vector<std::string> names = {"a.test", "b.test", "c.test",
+                                          "d.test"};
+  sim::Time now{};
+
+  for (int step = 0; step < 4000; ++step) {
+    now += sim::seconds(static_cast<std::int64_t>(rng.uniform_int(1, 900)));
+    const auto& name = names[rng.uniform_int(0, names.size() - 1)];
+
+    if (rng.chance(0.35)) {
+      auto ttl = dns::Ttl::of_seconds(
+          static_cast<std::int64_t>(rng.uniform_int(1, 3600)));
+      std::string value = "10.0.0." + std::to_string(rng.uniform_int(1, 250));
+      dns::RRset rrset(Name::from_string(name), dns::RClass::kIN, ttl);
+      rrset.add(dns::ARdata{dns::Ipv4::from_string(value)});
+      ASSERT_TRUE(cache.insert(rrset, cache::Credibility::kAuthAnswer, now));
+
+      auto it = model.find(name);
+      if (it != model.end() && it->second.expires <= now &&
+          now < it->second.expires + config.stale_window) {
+        ++model_resurrections;  // expired but still servable: came back
+      }
+      model[name] =
+          StaleModelEntry{value, now + sim::seconds(ttl.value()), ttl};
+    } else {
+      bool allow_stale = rng.chance(0.75);
+      auto hit = cache.lookup(Name::from_string(name), RRType::kA, now,
+                              allow_stale);
+      auto it = model.find(name);
+      if (it == model.end()) {
+        ASSERT_FALSE(hit.has_value()) << "step " << step;
+        continue;
+      }
+      const StaleModelEntry& entry = it->second;
+      if (entry.expires > now) {
+        // Live: remaining TTL counts down, never stale.
+        ASSERT_TRUE(hit.has_value()) << "step " << step;
+        ASSERT_FALSE(hit->stale) << "step " << step;
+        ASSERT_EQ(hit->stale_for, sim::Duration{}) << "step " << step;
+        ASSERT_EQ(dns::rdata_to_string(hit->rrset.rdatas()[0]), entry.value)
+            << "step " << step;
+        ASSERT_EQ(sim::seconds(hit->rrset.ttl().value()), entry.expires - now)
+            << "step " << step;
+      } else if (allow_stale && now < entry.expires + config.stale_window) {
+        // Stale but servable: fixed 30 s TTL, bounded staleness.
+        ASSERT_TRUE(hit.has_value()) << "step " << step;
+        ASSERT_TRUE(hit->stale) << "step " << step;
+        ASSERT_EQ(hit->rrset.ttl(), dns::Ttl{30}) << "step " << step;
+        ASSERT_EQ(hit->original_ttl, entry.original_ttl) << "step " << step;
+        ASSERT_EQ(hit->stale_for, now - entry.expires) << "step " << step;
+        ASSERT_LT(hit->stale_for, config.stale_window) << "step " << step;
+        ASSERT_EQ(dns::rdata_to_string(hit->rrset.rdatas()[0]), entry.value)
+            << "step " << step;
+      } else {
+        // Expired past the window, or staleness not allowed here.
+        ASSERT_FALSE(hit.has_value()) << "step " << step;
+      }
+    }
+  }
+  EXPECT_EQ(cache.stats().resurrections, model_resurrections);
+  EXPECT_GT(cache.stats().stale_serves, 0u)
+      << "trace never exercised a stale serve — widen the time steps";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeStaleOracleTest,
+                         ::testing::Values(2, 23, 443, 8080, 53535));
+
 // ------------------------------------------------------- wire fuzz sweep
 
 class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "auth/auth_server.h"
 #include "dns/rr.h"
+#include "fault/schedule.h"
 #include "net/latency.h"
 #include "net/network.h"
 
@@ -163,6 +166,55 @@ TEST(NetworkTest, AnycastRoutesToNearestSite) {
   }
   EXPECT_EQ(oc_site.queries_answered(), 5u);
   EXPECT_EQ(eu_site.queries_answered(), 0u);
+}
+
+// Pin of the RNG-stream contract (documented on set_fault_schedule): a
+// zero effective loss rate burns no RNG draw, and a fault schedule whose
+// windows are inactive at query time is indistinguishable — draw for draw —
+// from no schedule at all.  Any nonzero loss rate consumes one extra draw
+// per exchange, which shifts the jitter stream and therefore the elapsed
+// sequence.  If this test breaks, every golden output built on "same seed,
+// faults on/off agree outside the windows" silently drifts.
+TEST(NetworkTest, RngStreamContract) {
+  auto elapsed_sequence = [](double loss_rate,
+                             const fault::FaultSchedule* schedule) {
+    Network::Params params;
+    params.loss_rate = loss_rate;
+    Network network{sim::Rng{42}, LatencyModel{}, params};
+    network.set_fault_schedule(schedule);
+    auth::AuthServer server{"auth"};
+    server.add_zone(tiny_zone());
+    Address addr = network.attach(server, Location{Region::kEU, 1.0});
+    NodeRef client{dns::Ipv4(10, 0, 0, 99), Location{Region::kNA, 2.0}};
+    auto query = dns::Message::make_query(
+        1, Name::from_string("www.example.org"), RRType::kA);
+    std::vector<sim::Duration> elapsed;
+    for (int i = 0; i < 50; ++i) {
+      elapsed.push_back(
+          network.query(client, addr, query, sim::at(i * sim::kSecond))
+              .elapsed);
+    }
+    return elapsed;
+  };
+
+  // An installed schedule whose only window never activates during the
+  // probed span (it starts at t = 1 h; queries stop at 50 s).
+  fault::FaultSchedule inactive;
+  fault::FaultEvent window;
+  window.start = sim::at(1 * sim::kHour);
+  window.end = sim::at(2 * sim::kHour);
+  window.kind = fault::FaultKind::kLoss;
+  window.rate = 0.5;
+  inactive.add(window);
+
+  auto baseline = elapsed_sequence(0.0, nullptr);
+  EXPECT_EQ(baseline, elapsed_sequence(0.0, &inactive))
+      << "inactive fault windows must not consume RNG draws";
+
+  // Nonzero loss burns one draw per exchange: the stream shifts even
+  // though a 1e-9 rate never actually loses a packet.
+  EXPECT_NE(baseline, elapsed_sequence(1e-9, nullptr))
+      << "nonzero loss rate must consume a draw per exchange";
 }
 
 TEST(AuthServerTest, RefusesForeignZone) {

@@ -94,7 +94,8 @@ OUTPUT_CALLEES = re.compile(
 )
 TIME_PARAM_NAME = re.compile(
     r"(^|_)(ttl|time|timeout|deadline|duration|interval|delay|expiry|"
-    r"latency|rtt)($|_)|_(us|ms|sec|seconds|micros|millis)$",
+    r"latency|rtt|outage|backoff|stale|horizon)($|_)|"
+    r"_(us|ms|sec|seconds|micros|millis)$",
     re.IGNORECASE,
 )
 RAW_INT_TYPE = re.compile(

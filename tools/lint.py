@@ -95,7 +95,8 @@ RULES = [
             r"\b(?:std::)?(?:u?int(?:8|16|32|64)_t|unsigned(?:\s+(?:int|long))?"
             r"|size_t|long(?:\s+long)?|int)\s+"
             r"(?:\w*(?:ttl|timeout|deadline|interval|delay|duration|expiry"
-            r"|latency|rtt)\w*|\w+_(?:us|ms|sec|secs|seconds|micros|millis))"
+            r"|latency|rtt|outage|backoff|stale|horizon)\w*"
+            r"|\w+_(?:us|ms|sec|secs|seconds|micros|millis))"
             r"\s*[,)=]",
             re.IGNORECASE,
         ),
