@@ -20,6 +20,7 @@
 #include "par/pool.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 
 namespace dnsttl::bench {
 
@@ -172,6 +173,81 @@ inline QuickMetric bench_cache_churn(std::uint64_t total_inserts) {
                         start);
 }
 
+namespace detail {
+
+/// Deterministic sub-second jitter for the dense-expiry duel: spreads an
+/// actor's next due time across one second of microseconds.
+inline std::int64_t dense_jitter_us(std::uint64_t actor, std::uint64_t round) {
+  return static_cast<std::int64_t>(((actor * 2654435761u) ^ (round * 40503u)) %
+                                   1'000'000u);
+}
+
+}  // namespace detail
+
+/// Dense-expiry scheduling, timer-wheel side: thousands of actors each hold
+/// exactly one pending timer about a second out, so whole cohorts land in
+/// the same wheel slot and fire batch-wise — the workload-engine shape
+/// (one arrival per stub).  Compare with sched_heap_dense below.
+inline QuickMetric bench_wheel_dense(std::uint64_t total_events) {
+  constexpr std::uint64_t kActors = 4096;
+  sim::TimerWheel wheel;
+  std::vector<std::uint64_t> rounds(kActors, 0);
+  std::uint64_t seq = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t actor = 0; actor < kActors; ++actor) {
+    wheel.schedule(sim::Time{} + sim::kSecond +
+                       sim::microseconds(detail::dense_jitter_us(actor, 0)),
+                   seq++, actor);
+  }
+  std::uint64_t fired = 0;
+  while (fired < total_events) {
+    const sim::TimerWheel::Entry entry = wheel.pop_head();
+    ++fired;
+    const std::uint64_t round = ++rounds[entry.payload];
+    wheel.schedule(entry.at + sim::kSecond +
+                       sim::microseconds(
+                           detail::dense_jitter_us(entry.payload, round)),
+                   seq++, entry.payload);
+  }
+  return detail::finish("sched_wheel_dense", "events/sec", fired, start);
+}
+
+/// Dense-expiry scheduling, slab-heap side: the historical object-per-actor
+/// pattern — every pending arrival is its own 4-ary-heap node plus an
+/// EventFn closure.  Same arrival process as sched_wheel_dense.
+inline QuickMetric bench_heap_dense(std::uint64_t total_events) {
+  constexpr std::uint64_t kActors = 4096;
+  sim::Simulation simulation;
+  std::vector<std::uint64_t> rounds(kActors, 0);
+  std::uint64_t fired = 0;
+  struct Actor {
+    sim::Simulation* simulation;
+    std::vector<std::uint64_t>* rounds;
+    std::uint64_t* fired;
+    std::uint64_t total;
+    std::uint64_t actor;
+    void operator()() const {
+      ++*fired;
+      const std::uint64_t round = ++(*rounds)[actor];
+      if (*fired + kActors <= total) {
+        simulation->schedule_after(
+            sim::kSecond +
+                sim::microseconds(detail::dense_jitter_us(actor, round)),
+            *this);
+      }
+    }
+  };
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t actor = 0; actor < kActors; ++actor) {
+    simulation.schedule_at(
+        sim::Time{} + sim::kSecond +
+            sim::microseconds(detail::dense_jitter_us(actor, 0)),
+        Actor{&simulation, &rounds, &fired, total_events, actor});
+  }
+  simulation.run();
+  return detail::finish("sched_heap_dense", "events/sec", fired, start);
+}
+
 /// Name parsing throughput (every query/record construction pays this).
 inline QuickMetric bench_name_parse(std::uint64_t total_parses) {
   const std::string inputs[4] = {
@@ -203,6 +279,8 @@ inline std::vector<QuickMetric> run_quick_suite(double scale) {
   std::vector<QuickMetric> metrics;
   metrics.push_back(bench_event_loop(n(4'000'000)));
   metrics.push_back(bench_event_cancel(n(2'000'000)));
+  metrics.push_back(bench_wheel_dense(n(4'000'000)));
+  metrics.push_back(bench_heap_dense(n(4'000'000)));
   metrics.push_back(bench_cache_lookup(n(8'000'000)));
   metrics.push_back(bench_cache_churn(n(2'000'000)));
   metrics.push_back(bench_name_parse(n(4'000'000)));

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "check/audit.h"
+
 namespace dnsttl::atlas {
 
 namespace {
@@ -149,15 +151,38 @@ Platform Platform::build(net::Network& network,
     }
     platform.probes_.push_back(std::move(probe));
   }
+  platform.vp_pool_.rebuild(platform.probes_);
   return platform;
 }
 
-std::size_t Platform::vp_count() const {
-  std::size_t count = 0;
-  for (const auto& probe : probes_) {
-    count += probe.resolvers.size();
+void VpPool::rebuild(const std::vector<Probe>& probes) {
+  probe_index_.clear();
+  resolver_.clear();
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    for (const net::Address resolver : probes[p].resolvers) {
+      probe_index_.push_back(static_cast<std::uint32_t>(p));
+      resolver_.push_back(resolver);
+    }
   }
-  return count;
+}
+
+void VpPool::validate(std::size_t probe_count) const {
+  constexpr const char* kWhat = "atlas::VpPool";
+  DNSTTL_AUDIT_CHECK(kWhat, probe_index_.size() == resolver_.size(),
+                     "SoA arrays out of step: " +
+                         std::to_string(probe_index_.size()) +
+                         " probe indices vs " +
+                         std::to_string(resolver_.size()) + " resolvers");
+  std::uint32_t last = 0;
+  for (std::size_t vp = 0; vp < probe_index_.size(); ++vp) {
+    DNSTTL_AUDIT_CHECK(kWhat, probe_index_[vp] < probe_count,
+                       "orphaned VP row " + std::to_string(vp) +
+                           ": probe index out of range");
+    DNSTTL_AUDIT_CHECK(kWhat, probe_index_[vp] >= last,
+                       "VP rows not probe-major at row " + std::to_string(vp));
+    last = probe_index_[vp];
+  }
+  check::count_audit();
 }
 
 std::string Platform::profile_of(net::Address address) const {

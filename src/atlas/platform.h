@@ -1,6 +1,8 @@
 #ifndef DNSTTL_ATLAS_PLATFORM_H
 #define DNSTTL_ATLAS_PLATFORM_H
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +60,37 @@ struct Probe {
   std::vector<net::Address> resolvers;
 };
 
+/// Structure-of-arrays view of the vantage points (probe × resolver
+/// pairs), flattened in probe-major, resolver-minor order — the iteration
+/// order every measurement uses.  Cohort engines (see docs/architecture.md
+/// §Workload engine) address a VP by its position in these parallel arrays
+/// instead of walking the nested Probe objects, so batch iteration over a
+/// wheel cohort touches contiguous memory.
+class VpPool {
+ public:
+  /// Flattens @p probes; called once at the end of Platform::build.
+  void rebuild(const std::vector<Probe>& probes);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return probe_index_.size();
+  }
+  /// Index into Platform::probes() of the probe owning VP @p vp.
+  [[nodiscard]] std::size_t probe_index(std::size_t vp) const {
+    return probe_index_[vp];
+  }
+  [[nodiscard]] net::Address resolver(std::size_t vp) const {
+    return resolver_[vp];
+  }
+
+  /// Deep audit: parallel arrays in step, probe indices in range and
+  /// probe-major monotone (no orphaned VP rows).  Throws check::AuditError.
+  void validate(std::size_t probe_count) const;
+
+ private:
+  std::vector<std::uint32_t> probe_index_;
+  std::vector<net::Address> resolver_;
+};
+
 /// The built platform: probes, the resolver population, forwarders and two
 /// public anycast resolver services (a Google-like capped child-centric one
 /// and an OpenDNS-like parent-centric/local-root one).
@@ -76,7 +109,10 @@ class Platform {
   }
 
   /// Total vantage points (sum of per-probe resolver lists).
-  std::size_t vp_count() const;
+  std::size_t vp_count() const { return vp_pool_.size(); }
+
+  /// SoA view of the vantage points, probe-major.
+  const VpPool& vp_pool() const noexcept { return vp_pool_; }
 
   net::Address google_anycast() const noexcept { return google_anycast_; }
   net::Address opendns_anycast() const noexcept { return opendns_anycast_; }
@@ -102,6 +138,7 @@ class Platform {
 
  private:
   std::vector<Probe> probes_;
+  VpPool vp_pool_;
   resolver::ResolverPopulation population_;
   std::vector<std::shared_ptr<resolver::Forwarder>> forwarders_;
   std::vector<std::shared_ptr<resolver::RecursiveResolver>> public_sites_;

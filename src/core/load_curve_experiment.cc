@@ -1,0 +1,292 @@
+#include "core/load_curve_experiment.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "check/audit.h"
+#include "core/hit_rate_model.h"
+#include "par/pool.h"
+#include "sim/rng.h"
+#include "sim/timer_wheel.h"
+
+namespace dnsttl::core {
+namespace {
+
+constexpr std::uint64_t kNlStream = 0x10adc0;
+constexpr std::uint64_t kStubStream = 0x10adc1;
+
+/// Per-shard accumulator for one phase: measured authoritative queries per
+/// TTL point, the TTL-independent client-query count, and the model
+/// prediction per TTL (per-cache closed form, summed in cache order so the
+/// double total is independent of job count).
+struct ShardTally {
+  std::vector<std::uint64_t> auth;       ///< per config.ttls index
+  std::vector<double> predicted;         ///< per config.ttls index
+  std::uint64_t client_queries = 0;
+
+  explicit ShardTally(std::size_t ttl_count)
+      : auth(ttl_count, 0), predicted(ttl_count, 0.0) {}
+};
+
+/// Draws one actor's demand rate in queries/day: Pareto across the
+/// population, capped (the §5 calibration shape).  Must be the actor's
+/// FIRST draw so the rate is a pure function of its forked stream.
+double draw_per_day(sim::Rng& rng, double xm, double alpha, double cap) {
+  const double per_day = rng.pareto(xm, alpha);
+  return per_day < cap ? per_day : cap;
+}
+
+/// Phase 1: independent per-resolver caches.  Each resolver's arrival
+/// stream is strictly increasing, so the TTL sweep is a scalar walk — no
+/// global event order is needed when caches do not interact.
+ShardTally run_nl_shard(const LoadCurveConfig& config, std::size_t shard,
+                        std::size_t shards, const sim::Rng& nl_rng) {
+  ShardTally tally(config.ttls.size());
+  const double horizon_s = sim::to_seconds(config.nl_duration);
+  std::vector<sim::Time> expiry(config.ttls.size());
+  for (std::size_t r = shard; r < config.nl_resolver_count; r += shards) {
+    sim::Rng actor = nl_rng.fork(r);
+    const double per_day =
+        draw_per_day(actor, config.nl_demand_xm_per_day,
+                     config.nl_demand_alpha, config.nl_demand_cap_per_day);
+    const double mean_gap_s = 86400.0 / per_day;
+    const double lambda = per_day / 86400.0;
+    for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+      expiry[ti] = sim::Time{};
+      tally.predicted[ti] +=
+          authoritative_rate(lambda, config.ttls[ti]) * horizon_s;
+    }
+    sim::Time at{};
+    for (;;) {
+      at = at + sim::approx_seconds(actor.exponential(mean_gap_s));
+      if (at >= sim::at(config.nl_duration)) {
+        break;
+      }
+      ++tally.client_queries;
+      for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+        if (at >= expiry[ti]) {
+          ++tally.auth[ti];
+          expiry[ti] = at + sim::seconds(config.ttls[ti].value());
+        }
+      }
+    }
+  }
+  return tally;
+}
+
+/// Phase 2: stubs share resolver caches, so arrivals at one cache must be
+/// replayed in global time order.  The shard owns every resolver with
+/// r % shards == shard plus all of their stubs (stub -> resolver is
+/// s % resolver_count, so cache sharing never crosses a shard), and drives
+/// them as a structure-of-arrays pool through one cohort timer wheel: one
+/// pending arrival per stub, payload = pool index.
+ShardTally run_stub_shard(const LoadCurveConfig& config, std::size_t shard,
+                          std::size_t shards, const sim::Rng& stub_rng) {
+  ShardTally tally(config.ttls.size());
+  const double horizon_s = sim::to_seconds(config.stub_duration);
+  const sim::Time end = sim::at(config.stub_duration);
+  const std::size_t resolver_count = config.stub_resolver_count;
+
+  // SoA stub pool, filled resolver-major (so per-cache demand sums and the
+  // wheel's initial seq order are fixed by the workload, not the machine).
+  std::vector<sim::Rng> rngs;
+  std::vector<double> mean_gap_s;
+  std::vector<std::uint32_t> cache_index;  ///< shard-local resolver slot
+  std::vector<double> cache_lambda;
+  sim::TimerWheel wheel;
+  std::uint64_t next_seq = 0;
+
+  for (std::size_t r = shard; r < resolver_count; r += shards) {
+    const auto local = static_cast<std::uint32_t>(cache_lambda.size());
+    cache_lambda.push_back(0.0);
+    for (std::size_t s = r; s < config.stub_count; s += resolver_count) {
+      sim::Rng actor = stub_rng.fork(s);
+      const double per_day = draw_per_day(
+          actor, config.stub_demand_xm_per_day, config.stub_demand_alpha,
+          config.stub_demand_cap_per_day);
+      cache_lambda[local] += per_day / 86400.0;
+      const double gap = actor.exponential(86400.0 / per_day);
+      const sim::Time first = sim::Time{} + sim::approx_seconds(gap);
+      if (first < end) {
+        wheel.schedule(first, next_seq++,
+                       static_cast<std::uint64_t>(rngs.size()));
+      }
+      rngs.push_back(actor);
+      mean_gap_s.push_back(86400.0 / per_day);
+      cache_index.push_back(local);
+    }
+  }
+  for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+    for (double lambda : cache_lambda) {
+      tally.predicted[ti] +=
+          authoritative_rate(lambda, config.ttls[ti]) * horizon_s;
+    }
+  }
+
+  // Replay: per-cache expiry per TTL point, one wheel pop per arrival.
+  std::vector<sim::Time> expiry(config.ttls.size() * cache_lambda.size(),
+                                sim::Time{});
+  std::uint64_t pops_since_audit = 0;
+  while (!wheel.empty()) {
+    const sim::TimerWheel::Entry entry = wheel.pop_head();
+    const auto stub = static_cast<std::size_t>(entry.payload);
+    DNSTTL_AUDIT_CHECK("core::LoadCurveExperiment", stub < rngs.size(),
+                       "fired entry references an orphaned stub index");
+    ++tally.client_queries;
+    const std::size_t base =
+        static_cast<std::size_t>(cache_index[stub]) * config.ttls.size();
+    for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+      if (entry.at >= expiry[base + ti]) {
+        ++tally.auth[ti];
+        expiry[base + ti] =
+            entry.at + sim::seconds(config.ttls[ti].value());
+      }
+    }
+    const sim::Time next =
+        entry.at + sim::approx_seconds(rngs[stub].exponential(
+                       mean_gap_s[stub]));
+    if (next < end) {
+      wheel.schedule(next, next_seq++, entry.payload);
+    }
+    if constexpr (check::kAuditEnabled) {
+      if (++pops_since_audit >= 4096) {
+        pops_since_audit = 0;
+        wheel.validate();
+      }
+    }
+  }
+  return tally;
+}
+
+/// Folds per-shard tallies strictly in shard order.
+void fold(const LoadCurveConfig& config, std::vector<ShardTally> tallies,
+          std::uint64_t& client_queries,
+          std::vector<std::uint64_t>& auth_out,
+          std::vector<std::uint64_t>& predicted_out) {
+  std::vector<double> predicted(config.ttls.size(), 0.0);
+  for (const ShardTally& tally : tallies) {
+    client_queries += tally.client_queries;
+    for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+      auth_out[ti] += tally.auth[ti];
+      predicted[ti] += tally.predicted[ti];
+    }
+  }
+  for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+    predicted_out[ti] =
+        static_cast<std::uint64_t>(std::llround(predicted[ti]));
+  }
+}
+
+}  // namespace
+
+void LoadCurveConfig::apply_scale(double scale) {
+  auto scaled = [scale](std::size_t n, std::size_t floor_at) {
+    const auto s = static_cast<std::size_t>(static_cast<double>(n) * scale);
+    return s < floor_at ? floor_at : s;
+  };
+  nl_resolver_count = scaled(nl_resolver_count, 200);
+  stub_count = scaled(stub_count, 1000);
+  stub_resolver_count = scaled(stub_resolver_count, 20);
+}
+
+LoadCurveResult run_load_curve_experiment(const LoadCurveConfig& config,
+                                          std::size_t jobs) {
+  LoadCurveResult result;
+  result.config = config;
+  result.points.resize(config.ttls.size());
+  for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+    result.points[ti].ttl = config.ttls[ti];
+  }
+
+  sim::Rng root(config.seed);
+  const sim::Rng nl_rng = root.fork(kNlStream);
+  const sim::Rng stub_rng = root.fork(kStubStream);
+
+  {
+    const std::size_t shards = par::shard_count_for(config.nl_resolver_count);
+    auto tallies = par::map_shards(shards, jobs, [&](std::size_t shard) {
+      return run_nl_shard(config, shard, shards, nl_rng);
+    });
+    std::vector<std::uint64_t> auth(config.ttls.size(), 0);
+    std::vector<std::uint64_t> predicted(config.ttls.size(), 0);
+    fold(config, std::move(tallies), result.nl_client_queries, auth,
+         predicted);
+    for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+      result.points[ti].nl_auth_queries = auth[ti];
+      result.points[ti].nl_predicted_queries = predicted[ti];
+    }
+  }
+  {
+    const std::size_t shards =
+        par::shard_count_for(config.stub_resolver_count);
+    auto tallies = par::map_shards(shards, jobs, [&](std::size_t shard) {
+      return run_stub_shard(config, shard, shards, stub_rng);
+    });
+    std::vector<std::uint64_t> auth(config.ttls.size(), 0);
+    std::vector<std::uint64_t> predicted(config.ttls.size(), 0);
+    fold(config, std::move(tallies), result.stub_client_queries, auth,
+         predicted);
+    for (std::size_t ti = 0; ti < config.ttls.size(); ++ti) {
+      result.points[ti].stub_auth_queries = auth[ti];
+      result.points[ti].stub_predicted_queries = predicted[ti];
+    }
+  }
+  return result;
+}
+
+namespace {
+
+long long whole_seconds(sim::Duration d) {
+  return static_cast<long long>(d / sim::kSecond);
+}
+
+/// Signed per-mille model error from two integer counts (no float in the
+/// rendered bytes).
+long long err_permille(std::uint64_t measured, std::uint64_t predicted) {
+  if (predicted == 0) {
+    return 0;
+  }
+  const auto m = static_cast<long long>(measured);
+  const auto p = static_cast<long long>(predicted);
+  return (1000 * (m - p) + (m >= p ? p / 2 : -(p / 2))) / p;
+}
+
+}  // namespace
+
+std::string LoadCurveResult::render() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                ".nl passive: %zu resolvers, %llds horizon, %llu client "
+                "queries\n",
+                config.nl_resolver_count, whole_seconds(config.nl_duration),
+                static_cast<unsigned long long>(nl_client_queries));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "atlas stubs: %zu stubs via %zu caches, %llds horizon, "
+                "%llu client queries\n",
+                config.stub_count, config.stub_resolver_count,
+                whole_seconds(config.stub_duration),
+                static_cast<unsigned long long>(stub_client_queries));
+  out += line;
+  std::snprintf(line, sizeof line, "%8s %10s %10s %6s %10s %10s %6s\n",
+                "ttl", "nl_auth", "nl_pred", "err%o", "stub_auth",
+                "stub_pred", "err%o");
+  out += line;
+  for (const LoadCurvePointResult& p : points) {
+    std::snprintf(line, sizeof line,
+                  "%8u %10llu %10llu %+6lld %10llu %10llu %+6lld\n",
+                  p.ttl.value(),
+                  static_cast<unsigned long long>(p.nl_auth_queries),
+                  static_cast<unsigned long long>(p.nl_predicted_queries),
+                  err_permille(p.nl_auth_queries, p.nl_predicted_queries),
+                  static_cast<unsigned long long>(p.stub_auth_queries),
+                  static_cast<unsigned long long>(p.stub_predicted_queries),
+                  err_permille(p.stub_auth_queries,
+                               p.stub_predicted_queries));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dnsttl::core

@@ -1,15 +1,145 @@
 #include "crawl/passive_workload.h"
 
 #include <algorithm>
-#include <functional>
 #include <map>
-#include <memory>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "check/audit.h"
 #include "resolver/population.h"
+#include "sim/timer_wheel.h"
 
 namespace dnsttl::crawl {
+namespace {
+
+/// Structure-of-arrays demand pool: per-resolver arrival state in parallel
+/// arrays, driven by a cohort timer wheel instead of one slab-heap node and
+/// EventFn closure per pending arrival (docs/architecture.md §Workload
+/// engine).  Each resolver holds exactly one pending "next query" entry;
+/// the payload is its pool index.  Sequence numbers come from
+/// Simulation::allocate_seq in the same order the object-per-actor code
+/// consumed them, so outputs at historical scales are byte-identical.
+class DemandPool final : public sim::CohortSource {
+ public:
+  DemandPool(sim::Simulation& simulation, sim::Rng gap_rng, sim::Time end)
+      : simulation_(simulation),
+        wheel_(simulation.now()),
+        gap_rng_(gap_rng),
+        end_(end) {}
+
+  void add(resolver::RecursiveResolver* resolver, double mean_gap_seconds) {
+    resolvers_.push_back(resolver);
+    mean_gap_seconds_.push_back(mean_gap_seconds);
+    counters_.push_back(0);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return resolvers_.size(); }
+  [[nodiscard]] std::size_t client_queries() const noexcept {
+    return client_queries_;
+  }
+
+  /// Draws the first arrival for every resolver in index order — the same
+  /// stream order the per-actor closures used.
+  void seed_arrivals() {
+    live_ = size();
+    for (std::size_t i = 0; i < size(); ++i) {
+      schedule_next(i, simulation_.now());
+    }
+  }
+
+  bool peek(sim::Time& at, std::uint64_t& seq) override {
+    if (wheel_.empty()) {
+      return false;
+    }
+    const sim::TimerWheel::Entry& head = wheel_.head();
+    at = head.at;
+    seq = head.seq;
+    return true;
+  }
+
+  void fire_until(sim::Time limit_at, std::uint64_t limit_seq) override {
+    while (!wheel_.empty()) {
+      const sim::TimerWheel::Entry& head = wheel_.head();
+      const bool before_limit =
+          head.at < limit_at || (head.at == limit_at && head.seq < limit_seq);
+      if (!before_limit || simulation_.heap_interrupts(head.at, head.seq)) {
+        break;
+      }
+      const sim::TimerWheel::Entry entry = wheel_.pop_head();
+      simulation_.advance_clock(entry.at);
+      const auto index = static_cast<std::size_t>(entry.payload);
+      DNSTTL_AUDIT_CHECK("crawl::DemandPool", index < size(),
+                         "fired entry references an orphaned resolver index");
+      dns::Name qname = dns::Name::from_string(
+          "u" + std::to_string(counters_[index]++) + "-r" +
+          std::to_string(index) + ".nl");
+      resolvers_[index]->resolve(
+          dns::Question{qname, dns::RRType::kA, dns::RClass::kIN}, entry.at);
+      ++client_queries_;
+      schedule_next(index, entry.at);
+      if constexpr (check::kAuditEnabled) {
+        if (++fires_since_audit_ >= kAuditInterval) {
+          fires_since_audit_ = 0;
+          validate();
+        }
+      }
+    }
+  }
+
+  /// Deep audit: SoA arrays in step, wheel/pool pending accounting in
+  /// agreement, and the wheel's own structural invariants.
+  void validate() const {
+    constexpr const char* kWhat = "crawl::DemandPool";
+    DNSTTL_AUDIT_CHECK(kWhat,
+                       mean_gap_seconds_.size() == resolvers_.size() &&
+                           counters_.size() == resolvers_.size(),
+                       "SoA arrays out of step");
+    DNSTTL_AUDIT_CHECK(kWhat, wheel_.pending() == live_,
+                       "wheel pending entries disagree with live-resolver "
+                       "accounting");
+    DNSTTL_AUDIT_CHECK(kWhat, live_ <= resolvers_.size(),
+                       "more live arrivals than resolvers in the pool");
+    wheel_.validate();
+    check::count_audit();
+  }
+
+ private:
+  // lint:allow(raw-time-param) fired-entry count between audits, not time.
+  static constexpr std::uint64_t kAuditInterval = 4096;
+
+  void schedule_next(std::size_t index, sim::Time from) {
+    const double gap = gap_rng_.exponential(mean_gap_seconds_[index]);
+    const sim::Time due = from + sim::approx_seconds(gap);
+    if (due >= end_) {
+      --live_;  // retires on first arrival past the horizon
+      return;
+    }
+    wheel_.schedule(due, simulation_.allocate_seq(), entry_payload(index));
+  }
+
+  static std::uint64_t entry_payload(std::size_t index) noexcept {
+    return static_cast<std::uint64_t>(index);
+  }
+
+  sim::Simulation& simulation_;
+  sim::TimerWheel wheel_;
+  sim::Rng gap_rng_;
+  sim::Time end_;
+
+  std::vector<resolver::RecursiveResolver*> resolvers_;
+  std::vector<double> mean_gap_seconds_;
+  std::vector<std::uint64_t> counters_;
+
+  std::size_t client_queries_ = 0;
+  /// Resolvers whose next arrival is still inside the horizon; equals the
+  /// wheel's pending count at every mutation boundary.
+  std::size_t live_ = 0;
+  std::uint64_t fires_since_audit_ = 0;
+};
+
+}  // namespace
 
 PassiveReport run_passive_nl(core::World& world, const PassiveConfig& config) {
   const auto nl = dns::Name::from_string("nl");
@@ -58,53 +188,26 @@ PassiveReport run_passive_nl(core::World& world, const PassiveConfig& config) {
 
   PassiveReport report;
 
-  // Poisson demand per resolver, rate Pareto-distributed across resolvers.
-  struct Demand {
-    resolver::RecursiveResolver* resolver;
-    double mean_gap_seconds;
-    std::uint64_t counter = 0;
-  };
-  auto demands = std::make_shared<std::vector<Demand>>();
-  demands->reserve(population.size());
+  // Poisson demand per resolver, rate Pareto-distributed across resolvers,
+  // held in a SoA pool driven by the cohort timer wheel: one pending
+  // arrival per resolver, no heap node or closure per event.
+  auto& simulation = world.simulation();
+  DemandPool pool(simulation, rng.fork(0xdeaadd), sim::at(config.duration));
   for (auto& member : population.members()) {
     double per_day = std::min(config.demand_cap_per_day,
                               rng.pareto(config.demand_xm_per_day,
                                          config.demand_alpha));
-    demands->push_back(Demand{member.resolver.get(), 86400.0 / per_day});
+    pool.add(member.resolver.get(), 86400.0 / per_day);
   }
 
-  auto& simulation = world.simulation();
-  auto rng_ptr = std::make_shared<sim::Rng>(rng.fork(0xdeaadd));
-  auto client_queries = std::make_shared<std::size_t>(0);
-
-  std::function<void(std::size_t)> schedule_next =
-      [&simulation, demands, rng_ptr, client_queries, &schedule_next,
-       end = sim::at(config.duration)](std::size_t index) {
-        auto& demand = (*demands)[index];
-        double gap = rng_ptr->exponential(demand.mean_gap_seconds);
-        sim::Time at = simulation.now() + sim::approx_seconds(gap);
-        if (at >= end) {
-          return;
-        }
-        simulation.schedule_at(at, [&simulation, demands, rng_ptr,
-                                    client_queries, &schedule_next, index] {
-          auto& d = (*demands)[index];
-          dns::Name qname = dns::Name::from_string(
-              "u" + std::to_string(d.counter++) + "-r" +
-              std::to_string(index) + ".nl");
-          d.resolver->resolve(
-              dns::Question{qname, dns::RRType::kA, dns::RClass::kIN},
-              simulation.now());
-          ++*client_queries;
-          schedule_next(index);
-        });
-      };
-
-  for (std::size_t i = 0; i < demands->size(); ++i) {
-    schedule_next(i);
-  }
+  simulation.attach_source(&pool);
+  const std::size_t audit_hook =
+      simulation.add_audit_hook([&pool] { pool.validate(); });
+  pool.seed_arrivals();
   simulation.run_until(sim::at(config.duration));
-  report.client_queries = *client_queries;
+  simulation.remove_audit_hook(audit_hook);
+  simulation.detach_source(&pool);
+  report.client_queries = pool.client_queries();
 
   // ENTRADA-style analysis over the two observed servers: group queries
   // for the four nameserver address records by (source, qname).

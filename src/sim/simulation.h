@@ -158,6 +158,36 @@ class EventFn {
   };
 };
 
+/// Batched event source driven by the Simulation run loop.
+///
+/// A source owns its own pending entries — typically a sim::TimerWheel over
+/// a structure-of-arrays pool — but draws sequence numbers from the
+/// simulation's global counter (allocate_seq / allocate_seq_block), so
+/// source entries and slab-heap events interleave into one strict
+/// (time, seq) total order.  The slab heap stays the scheduler for sparse,
+/// heterogeneous timers; sources take over the dense homogeneous hot path
+/// (one pending "next query" timer per stub) without a heap node per actor.
+class CohortSource {
+ public:
+  CohortSource() = default;
+  CohortSource(const CohortSource&) = delete;
+  CohortSource& operator=(const CohortSource&) = delete;
+  virtual ~CohortSource() = default;
+
+  /// Reports the earliest pending (time, seq), if any.
+  virtual bool peek(Time& at, std::uint64_t& seq) = 0;
+
+  /// Fires pending entries in (time, seq) order while they sort strictly
+  /// before (limit_at, limit_seq) AND the simulation's earliest slab-heap
+  /// event does not sort first — re-checked per entry through
+  /// Simulation::heap_interrupts, because a fired entry may schedule new
+  /// heap events.  Implementations call Simulation::advance_clock before
+  /// running each entry, and may schedule into the slab heap or back into
+  /// this source; scheduling into a *different* attached source from inside
+  /// fire_until is not supported.
+  virtual void fire_until(Time limit_at, std::uint64_t limit_seq) = 0;
+};
+
 /// Discrete-event simulation core: a virtual clock plus an event queue.
 ///
 /// All network transmission, cache expiry and measurement scheduling in the
@@ -211,12 +241,53 @@ class Simulation {
   /// Cancels a pending event; returns false if it already ran or is unknown.
   bool cancel(std::uint64_t event_id);
 
-  /// Runs until the queue is empty.
+  /// Runs until the queue (and every attached cohort source) is empty.
   void run();
 
   /// Runs events with time <= @p deadline, then sets now to the deadline.
+  /// Attached cohort sources fire interleaved with heap events in global
+  /// (time, seq) order.
   void run_until(Time deadline);
 
+  /// Attaches a cohort source for the duration of a run; the caller keeps
+  /// ownership and must detach before the source is destroyed.
+  void attach_source(CohortSource* source) { sources_.push_back(source); }
+  void detach_source(CohortSource* source);
+
+  /// Allocates one sequence number from the global schedule-order counter.
+  /// Cohort sources stamp their entries with these so they interleave with
+  /// slab-heap events deterministically.
+  std::uint64_t allocate_seq() noexcept { return next_seq_++; }
+
+  /// Reserves @p n consecutive sequence numbers, returning the first.
+  /// Engines that pre-plan an actor's whole firing series (one entry live
+  /// at a time) reserve its block up front and address it by round index.
+  std::uint64_t allocate_seq_block(std::uint64_t n) noexcept {
+    const std::uint64_t first = next_seq_;
+    next_seq_ += n;
+    return first;
+  }
+
+  /// Advances the virtual clock to @p t; cohort sources call this before
+  /// running each fired entry.  @p t must not precede now().
+  void advance_clock(Time t) {
+    if (t < now_) {
+      throw_clock_backwards();
+    }
+    now_ = t;
+  }
+
+  /// True when the earliest live slab-heap event sorts strictly before
+  /// (at, seq).  Cohort sources test this per entry inside fire_until and
+  /// yield back to the run loop when it fires.
+  bool heap_interrupts(Time at, std::uint64_t seq) {
+    prune_stale_front();
+    return !heap_.empty() &&
+           before(heap_.front(), Event{at, seq, 0, 0});
+  }
+
+  /// Pending slab-heap events (cohort-source entries are counted by their
+  /// owning engines, not here).
   std::size_t pending() const noexcept { return heap_.size() - cancelled_; }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
@@ -230,9 +301,20 @@ class Simulation {
   /// Registers a hook run with every periodic audit (audit builds only;
   /// a no-op invocation-wise otherwise).  Experiments register the caches
   /// of their resolver populations here so cross-structure state is audited
-  /// while the simulation runs, not just at test boundaries.
-  void add_audit_hook(std::function<void()> hook) {
+  /// while the simulation runs, not just at test boundaries.  Returns an id
+  /// for remove_audit_hook — engines whose pools outlive a single run must
+  /// deregister before the pool is destroyed.
+  std::size_t add_audit_hook(std::function<void()> hook) {
     audit_hooks_.push_back(std::move(hook));
+    return audit_hooks_.size() - 1;
+  }
+
+  /// Deregisters a hook returned by add_audit_hook (slot is retired, not
+  /// reused; ids stay stable).
+  void remove_audit_hook(std::size_t id) {
+    if (id < audit_hooks_.size()) {
+      audit_hooks_[id] = nullptr;
+    }
   }
 
   /// Sets how many processed events elapse between periodic audits.
@@ -292,8 +374,25 @@ class Simulation {
   }
 
   [[noreturn]] static void throw_scheduled_in_past();
+  [[noreturn]] static void throw_clock_backwards();
 
   bool step();
+  /// Pops cancelled leftovers off the heap front so (time, seq)
+  /// comparisons against cohort sources see a live event.
+  void prune_stale_front() {
+    while (!heap_.empty()) {
+      const Event& ev = heap_.front();
+      const Slot& slot = slots_[ev.slot];
+      if (slot.occupied && slot.generation == ev.generation) {
+        break;
+      }
+      heap_pop();
+      --cancelled_;
+    }
+  }
+  /// Run loop for the attached-source case: interleaves heap events and
+  /// source batches in global (time, seq) order up to @p deadline.
+  void run_mixed(Time deadline);
   void release_slot(std::uint32_t index);
   /// Self-validate plus registered hooks; called from step() every
   /// audit_interval_ events in audit builds.
@@ -308,6 +407,9 @@ class Simulation {
   std::vector<Event> heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
+  /// Attached cohort sources (non-owning); empty on the historical fast
+  /// path, which then compiles to the exact pre-source run loop.
+  std::vector<CohortSource*> sources_;
 
   // lint:allow(raw-time-param) the audit interval counts dispatched events,
   // not time.

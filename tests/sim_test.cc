@@ -8,6 +8,7 @@
 #include "sim/rng.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 
 namespace dnsttl::sim {
 namespace {
@@ -231,6 +232,280 @@ TEST(SimulationTest, RandomizedTraceMatchesOracle) {
     }
     EXPECT_EQ(fired, expected) << "round " << round;
   }
+}
+
+TEST(TimerWheelTest, FiresInTimeSeqOrderAcrossLevels) {
+  TimerWheel wheel;
+  // Entries spanning level 0 (seconds), level 1 (hours..days) and the far
+  // heap (> the ~12-day wheel span), plus an equal-time pair whose relative
+  // order must come from seq.
+  wheel.schedule(sim::at(30 * kDay), 0, 100);           // far heap
+  wheel.schedule(sim::at(3 * kSecond), 1, 101);         // level 0
+  wheel.schedule(sim::at(2 * kDay), 2, 102);            // level 1
+  wheel.schedule(sim::at(3 * kSecond + Duration(1)), 3, 103);
+  wheel.schedule(sim::at(3 * kSecond), 4, 104);         // equal time, later seq
+  wheel.schedule(sim::at(kHour), 5, 105);               // level 1
+  EXPECT_EQ(wheel.pending(), 6u);
+  wheel.validate();
+  std::vector<std::uint64_t> order;
+  while (!wheel.empty()) {
+    EXPECT_EQ(wheel.head().payload, wheel.head().payload);  // head is stable
+    order.push_back(wheel.pop_head().payload);
+    wheel.validate();
+  }
+  EXPECT_EQ(order,
+            (std::vector<std::uint64_t>{101, 104, 103, 105, 102, 100}));
+  EXPECT_EQ(wheel.fired(), 6u);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroGapRescheduleLandsBackInTheActiveTick) {
+  TimerWheel wheel;
+  wheel.schedule(sim::at(5 * kSecond), 0, 0);
+  wheel.schedule(sim::at(5 * kSecond + Duration(400)), 1, 1);
+  // Fire the first entry, then schedule into the still-active tick both
+  // before and after the remaining entry's position.
+  EXPECT_EQ(wheel.pop_head().payload, 0u);
+  wheel.schedule(sim::at(5 * kSecond + Duration(200)), 2, 2);
+  wheel.schedule(sim::at(5 * kSecond + Duration(600)), 3, 3);
+  wheel.validate();
+  EXPECT_EQ(wheel.pop_head().payload, 2u);
+  EXPECT_EQ(wheel.pop_head().payload, 1u);
+  // Fully drained tick: a same-tick schedule must still be accepted.
+  EXPECT_EQ(wheel.pop_head().payload, 3u);
+  wheel.schedule(sim::at(5 * kSecond + Duration(900)), 4, 4);
+  wheel.validate();
+  EXPECT_EQ(wheel.pop_head().payload, 4u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, RejectsSchedulingIntoFiredTick) {
+  TimerWheel wheel;
+  wheel.schedule(sim::at(10 * kSecond), 0, 0);
+  wheel.pop_head();
+  wheel.schedule(sim::at(10 * kSecond), 1, 1);  // same tick: still open
+  EXPECT_THROW(wheel.schedule(sim::at(3 * kSecond), 2, 2),
+               std::invalid_argument);
+  EXPECT_EQ(wheel.pending(), 1u);
+}
+
+// Differential oracle (ISSUE 6 satellite): the timer wheel must fire the
+// exact (time, seq) sequence the slab-heap scheduler fires for the same
+// trace — 5 fuzzed seeds x 10k events, with chained reschedules decided by
+// an identically seeded stream on both sides, times spanning all three
+// wheel levels at microsecond (sub-tick) granularity.
+TEST(TimerWheelTest, DifferentialOracleMatchesSlabHeap) {
+  constexpr int kSeeds = 5;
+  constexpr std::size_t kEvents = 10'000;
+  const std::size_t kInitial = kEvents / 2;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Rng trace_rng(0x77ee1000u + static_cast<std::uint64_t>(seed));
+    std::vector<std::int64_t> initial_us;
+    initial_us.reserve(kInitial);
+    for (std::size_t i = 0; i < kInitial; ++i) {
+      const double pick = trace_rng.uniform();
+      std::uint64_t us = 0;
+      if (pick < 0.70) {
+        us = trace_rng.uniform_int(0, 2'000'000'000);  // dense: 0..2000 s
+      } else if (pick < 0.90) {
+        us = trace_rng.uniform_int(0, 1'100'000'000'000);  // spans level 1
+      } else {
+        us = trace_rng.uniform_int(0, 3'456'000'000'000);  // up to 40 days
+      }
+      initial_us.push_back(static_cast<std::int64_t>(us));
+    }
+
+    const std::uint64_t chain_seed = 0xc4a11000u + static_cast<std::uint64_t>(seed);
+    std::vector<int> heap_fired;
+    {
+      Simulation simulation;
+      Rng chain_rng(chain_seed);
+      std::size_t scheduled = 0;
+      int next_token = 0;
+      std::function<void(int)> fire = [&](int token) {
+        heap_fired.push_back(token);
+        if (scheduled < kEvents && chain_rng.chance(0.5)) {
+          const auto gap = static_cast<std::int64_t>(
+              chain_rng.uniform_int(0, 3'000'000'000));  // 0..3000 s
+          const Time due = simulation.now() + Duration(gap);
+          const int t = next_token++;
+          ++scheduled;
+          simulation.schedule_at(due, [&fire, t] { fire(t); });
+        }
+      };
+      for (const std::int64_t us : initial_us) {
+        const int t = next_token++;
+        ++scheduled;
+        simulation.schedule_at(Time(us), [&fire, t] { fire(t); });
+      }
+      simulation.run();
+    }
+
+    std::vector<int> wheel_fired;
+    {
+      TimerWheel wheel;
+      Rng chain_rng(chain_seed);
+      std::uint64_t next_seq = 0;
+      std::size_t scheduled = 0;
+      int next_token = 0;
+      for (const std::int64_t us : initial_us) {
+        wheel.schedule(Time(us), next_seq++,
+                       static_cast<std::uint64_t>(next_token++));
+        ++scheduled;
+      }
+      std::size_t ops = 0;
+      while (!wheel.empty()) {
+        const TimerWheel::Entry entry = wheel.pop_head();
+        wheel_fired.push_back(static_cast<int>(entry.payload));
+        if (scheduled < kEvents && chain_rng.chance(0.5)) {
+          const auto gap = static_cast<std::int64_t>(
+              chain_rng.uniform_int(0, 3'000'000'000));
+          wheel.schedule(entry.at + Duration(gap), next_seq++,
+                         static_cast<std::uint64_t>(next_token++));
+          ++scheduled;
+        }
+        if (++ops % 1024 == 0) {
+          wheel.validate();
+        }
+      }
+      wheel.validate();
+      EXPECT_EQ(scheduled, wheel.fired());
+    }
+    ASSERT_EQ(wheel_fired.size(), heap_fired.size()) << "seed " << seed;
+    EXPECT_EQ(wheel_fired, heap_fired) << "seed " << seed;
+  }
+}
+
+/// Minimal cohort source for the interleaving tests: a TimerWheel whose
+/// entries invoke a caller-supplied callback — the same drain loop the
+/// production engines use.
+class WheelSource final : public CohortSource {
+ public:
+  WheelSource(Simulation& simulation,
+              std::function<void(const TimerWheel::Entry&)> on_fire)
+      : simulation_(simulation), on_fire_(std::move(on_fire)) {}
+
+  void add(Time due, std::uint64_t payload) {
+    wheel_.schedule(due, simulation_.allocate_seq(), payload);
+  }
+
+  /// Engine-style scheduling with a pre-reserved sequence number.
+  void add_at_seq(Time due, std::uint64_t seq, std::uint64_t payload) {
+    wheel_.schedule(due, seq, payload);
+  }
+
+  bool peek(Time& due, std::uint64_t& seq) override {
+    if (wheel_.empty()) {
+      return false;
+    }
+    const TimerWheel::Entry& entry = wheel_.head();
+    due = entry.at;
+    seq = entry.seq;
+    return true;
+  }
+
+  void fire_until(Time limit_at, std::uint64_t limit_seq) override {
+    while (!wheel_.empty()) {
+      const TimerWheel::Entry& head = wheel_.head();
+      const bool before_limit =
+          head.at < limit_at || (head.at == limit_at && head.seq < limit_seq);
+      if (!before_limit || simulation_.heap_interrupts(head.at, head.seq)) {
+        break;
+      }
+      const TimerWheel::Entry entry = wheel_.pop_head();
+      simulation_.advance_clock(entry.at);
+      on_fire_(entry);
+    }
+  }
+
+ private:
+  Simulation& simulation_;
+  TimerWheel wheel_;
+  std::function<void(const TimerWheel::Entry&)> on_fire_;
+};
+
+TEST(SimulationSourceTest, SourceEntriesInterleaveWithHeapEvents) {
+  Simulation simulation;
+  std::vector<int> order;
+  WheelSource source(simulation, [&](const TimerWheel::Entry& entry) {
+    order.push_back(static_cast<int>(entry.payload));
+  });
+  simulation.attach_source(&source);
+  simulation.schedule_at(sim::at(2 * kSecond), [&] { order.push_back(2); });
+  source.add(sim::at(kSecond), 1);
+  source.add(sim::at(3 * kSecond), 3);
+  simulation.schedule_at(sim::at(4 * kSecond), [&] { order.push_back(4); });
+  // Equal-time pair: allocation order (heap first here) must decide.
+  simulation.schedule_at(sim::at(5 * kSecond), [&] { order.push_back(5); });
+  source.add(sim::at(5 * kSecond), 6);
+  simulation.run();
+  simulation.detach_source(&source);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(simulation.now(), at(5 * kSecond));
+}
+
+TEST(SimulationSourceTest, HeapEventScheduledMidBatchInterruptsTheBatch) {
+  // A fired source entry schedules a slab-heap event *earlier* than the
+  // source's next entry; the batch must yield so the heap event runs in
+  // order.  This is the dynamic bound that fire_until re-checks per entry.
+  Simulation simulation;
+  std::vector<int> order;
+  WheelSource source(simulation, [&](const TimerWheel::Entry& entry) {
+    order.push_back(static_cast<int>(entry.payload));
+    if (entry.payload == 10) {
+      simulation.schedule_after(kSecond, [&] { order.push_back(11); });
+    }
+  });
+  simulation.attach_source(&source);
+  source.add(sim::at(10 * kSecond), 10);
+  source.add(sim::at(30 * kSecond), 30);
+  // Far heap event: without the dynamic re-check the source would fire 30
+  // right after 10, racing past the event at 11 s.
+  simulation.schedule_at(sim::at(40 * kSecond), [&] { order.push_back(40); });
+  simulation.run();
+  simulation.detach_source(&source);
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 30, 40}));
+}
+
+TEST(SimulationSourceTest, RunUntilStopsSourcesAtDeadline) {
+  Simulation simulation;
+  std::vector<int> order;
+  WheelSource source(simulation, [&](const TimerWheel::Entry& entry) {
+    order.push_back(static_cast<int>(entry.payload));
+  });
+  simulation.attach_source(&source);
+  for (int i = 1; i <= 6; ++i) {
+    source.add(sim::at(i * kMinute), static_cast<std::uint64_t>(i));
+  }
+  simulation.run_until(sim::at(3 * kMinute));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulation.now(), at(3 * kMinute));
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  simulation.detach_source(&source);
+}
+
+TEST(SimulationSourceTest, SeqBlockReservationInterleavesDeterministically) {
+  // An engine that pre-reserves a contiguous seq block fires its rounds in
+  // block order against later-allocated heap events.
+  Simulation simulation;
+  std::vector<int> order;
+  WheelSource source(simulation, [&](const TimerWheel::Entry& entry) {
+    order.push_back(static_cast<int>(entry.payload));
+  });
+  simulation.attach_source(&source);
+  const std::uint64_t base = simulation.allocate_seq_block(3);
+  EXPECT_EQ(simulation.allocate_seq(), base + 3);
+  // Heap event at the same timestamp as the block's second round.  Its seq
+  // is allocated *after* the block, so the block entry wins the tie even
+  // though the heap event was scheduled first in program order.
+  simulation.schedule_at(sim::at(2 * kSecond), [&] { order.push_back(99); });
+  source.add_at_seq(sim::at(kSecond), base + 0, 1);
+  source.add_at_seq(sim::at(2 * kSecond), base + 1, 2);
+  source.add_at_seq(sim::at(3 * kSecond), base + 2, 3);
+  simulation.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 99, 3}));
+  simulation.detach_source(&source);
 }
 
 TEST(TimeTest, FormatsHoursMinutesSeconds) {

@@ -40,6 +40,13 @@ analysis):
                          leak (results would depend on shard interleaving).
                          Make it const, thread_local, or shard-local state
                          threaded through the callback.
+                         The rule also flags static-storage POINTERS and
+                         REFERENCES into the SoA pools of the workload
+                         engine (VpPool, DemandPool, TimerWheel, *Pool)
+                         even when const-qualified: a cached pool alias or
+                         raw index captured in one shard dangles when
+                         another shard's pool rebuilds or compacts, so the
+                         constness of the alias does not make it safe.
 
 Suppression: `// analyze:allow(<rule>) <why>` on the offending line or the
 comment line directly above it.
@@ -313,11 +320,18 @@ def check_raw_time_param(root: dict, findings: list[Finding]) -> None:
 FUNCTION_KINDS = {"FunctionDecl", "CXXConstructorDecl", "CXXDestructorDecl",
                   "LambdaExpr"}
 
+# SoA pool types of the workload engine: static-storage aliases (pointers /
+# references) into these are flagged even when const — the alias itself can
+# dangle across another shard's pool rebuild, and a raw index cached next to
+# it goes stale the same way.
+SOA_POOL_TYPE = re.compile(r"\b(\w*Pool|TimerWheel|VpSchedule)\b")
+
 
 def check_shared_mutable_in_shard(root: dict, findings: list[Finding]) -> None:
     """Flags non-const static-storage variables in src/: with experiment
     drivers sharded over a par::Pool, any such variable is mutable state
-    shared across shard callbacks."""
+    shared across shard callbacks.  Static-storage aliases into SoA pools
+    are flagged regardless of constness."""
     def walk(node: dict, in_function: bool, file: str, line: int):
         loc = node.get("loc") or {}
         file = loc.get("file", file)
@@ -331,14 +345,26 @@ def check_shared_mutable_in_shard(root: dict, findings: list[Finding]) -> None:
             is_tls = bool(node.get("tls"))
             qual = node_type(node)
             is_const = qual.startswith("const ") or " const" in qual
-            if (in_src and is_static_storage and not is_tls and qual and
-                    not is_const):
-                findings.append(Finding(
-                    "shared-mutable-in-shard", file, line,
-                    f"`{node.get('name', '?')}` ({qual}) has static storage "
-                    "and is mutable: it is shared state reachable from "
-                    "par:: shard callbacks (data race + nondeterminism). "
-                    "Make it const, thread_local, or shard-local"))
+            is_pool_alias = (("*" in qual or "&" in qual) and
+                             SOA_POOL_TYPE.search(qual) is not None)
+            if in_src and is_static_storage and not is_tls and qual:
+                if not is_const:
+                    findings.append(Finding(
+                        "shared-mutable-in-shard", file, line,
+                        f"`{node.get('name', '?')}` ({qual}) has static "
+                        "storage and is mutable: it is shared state "
+                        "reachable from par:: shard callbacks (data race + "
+                        "nondeterminism). Make it const, thread_local, or "
+                        "shard-local"))
+                elif is_pool_alias:
+                    findings.append(Finding(
+                        "shared-mutable-in-shard", file, line,
+                        f"`{node.get('name', '?')}` ({qual}) is a "
+                        "static-storage alias into an SoA pool: the pointee "
+                        "is rebuilt/compacted per shard, so the alias (and "
+                        "any raw index cached with it) dangles across shard "
+                        "boundaries even though it is const. Thread the "
+                        "pool through the shard callback instead"))
         if kind in FUNCTION_KINDS:
             in_function = True
         for child in node.get("inner") or []:
@@ -659,6 +685,36 @@ SELFTEST_CASES = [
                  {"kind": "VarDecl", "name": "stats",
                   "storageClass": "static", "tls": "dynamic",
                   "type": {"qualType": "dnsttl::check::AuditStats"}}]}]},
+        [],
+    ),
+    (
+        "shared-mutable-in-shard fires on a const static alias into an "
+        "SoA pool",
+        {"kind": "FunctionDecl", "name": "helper",
+         "loc": {"file": "src/core/x.cc", "line": 64},
+         "inner": [
+             {"kind": "VarDecl", "name": "cached_pool",
+              "storageClass": "static",
+              "type": {"qualType": "const dnsttl::atlas::VpPool *"}}]},
+        ["shared-mutable-in-shard"],
+    ),
+    (
+        "shared-mutable-in-shard fires on a namespace-scope wheel reference",
+        {"kind": "NamespaceDecl", "name": "core",
+         "loc": {"file": "src/core/x.cc", "line": 65},
+         "inner": [
+             {"kind": "VarDecl", "name": "g_wheel",
+              "type": {"qualType": "const dnsttl::sim::TimerWheel &"}}]},
+        ["shared-mutable-in-shard"],
+    ),
+    (
+        "shared-mutable-in-shard silent on a const alias to a non-pool type",
+        {"kind": "FunctionDecl", "name": "helper",
+         "loc": {"file": "src/core/x.cc", "line": 66},
+         "inner": [
+             {"kind": "VarDecl", "name": "kName",
+              "storageClass": "static",
+              "type": {"qualType": "const char *const"}}]},
         [],
     ),
     (
