@@ -1,0 +1,80 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/index.h"
+#include "analysis/rules.h"
+
+namespace dnsttl::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slashes(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+}  // namespace
+
+Findings analyze_source(const std::string& rel_path,
+                        const std::string& source) {
+  FileIndex index(rel_path, source);
+  return run_rules(index, slashes(rel_path));
+}
+
+std::vector<std::string> collect_sources(const std::string& root,
+                                         const std::vector<std::string>& paths,
+                                         std::string* error) {
+  std::vector<std::string> out;
+  const fs::path root_path(root);
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file(ec) && source_extension(it->path())) {
+          out.push_back(
+              slashes(fs::relative(it->path(), root_path, ec).string()));
+        }
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      out.push_back(slashes(fs::relative(abs, root_path, ec).string()));
+    } else if (error != nullptr && error->empty()) {
+      *error = "no such file or directory: " + abs.string();
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Findings analyze_paths(const std::string& root,
+                       const std::vector<std::string>& rel_paths) {
+  Findings all;
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(std::filesystem::path(root) / rel,
+                     std::ios::in | std::ios::binary);
+    if (!in) {
+      all.push_back({"analyzer-io", rel, 0,
+                     "could not read file for analysis", rel});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Findings file_findings = analyze_source(rel, buffer.str());
+    all.insert(all.end(), file_findings.begin(), file_findings.end());
+  }
+  return all;
+}
+
+}  // namespace dnsttl::analysis

@@ -1,0 +1,31 @@
+#ifndef DNSTTL_ANALYSIS_ANALYZER_H
+#define DNSTTL_ANALYSIS_ANALYZER_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+
+namespace dnsttl::analysis {
+
+/// Analyzes one source string as if it lived at `rel_path` (repo-relative,
+/// forward slashes).  This is the entry the selftest and the fixture tests
+/// use; path-scoped rules see exactly the given path.
+Findings analyze_source(const std::string& rel_path,
+                        const std::string& source);
+
+/// Recursively collects .cc/.h files under each of `paths` (files are
+/// taken as-is), resolved against `root`, sorted for determinism.
+/// Returned paths are root-relative with forward slashes.
+std::vector<std::string> collect_sources(const std::string& root,
+                                         const std::vector<std::string>& paths,
+                                         std::string* error);
+
+/// Reads and analyzes every collected file.  IO errors append a synthetic
+/// `analyzer-io` finding so a vanished file can never silently pass.
+Findings analyze_paths(const std::string& root,
+                       const std::vector<std::string>& rel_paths);
+
+}  // namespace dnsttl::analysis
+
+#endif  // DNSTTL_ANALYSIS_ANALYZER_H

@@ -1,0 +1,228 @@
+#include "analysis/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace dnsttl::analysis {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Longest-match punctuator table.  Only operators the rules care to see as
+// single tokens need to be here; anything else lexes one character at a
+// time, which is harmless.
+constexpr std::array<std::string_view, 26> kPuncts3 = {
+    "<<=", ">>=", "...", "->*", "<=>",
+    // 2-char from here on; scanned after the 3-char ones miss.
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  TokenList run() {
+    TokenList out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start(out)) {
+        out.push_back(preproc());
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          out.push_back(line_comment());
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          out.push_back(block_comment());
+          continue;
+        }
+      }
+      if (c == '"') {
+        out.push_back(quoted('"', TokenKind::kString));
+        continue;
+      }
+      if (c == '\'' && !(digit_left(out))) {
+        out.push_back(quoted('\'', TokenKind::kChar));
+        continue;
+      }
+      if (c == 'R' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '"') {
+        out.push_back(raw_string());
+        continue;
+      }
+      if (ident_start(c)) {
+        out.push_back(identifier());
+        continue;
+      }
+      if (digit(c) || (c == '.' && pos_ + 1 < src_.size() &&
+                       digit(src_[pos_ + 1]))) {
+        out.push_back(number());
+        continue;
+      }
+      out.push_back(punct());
+    }
+    return out;
+  }
+
+ private:
+  // A '#' only opens a preprocessor line when nothing but whitespace
+  // precedes it on its line — which, given the whitespace skipping above,
+  // means the previous token (if any) sits on an earlier line.
+  bool at_line_start(const TokenList& out) const {
+    return out.empty() || out.back().line < line_ ||
+           // A preceding trivia token that itself ended this line counts.
+           false;
+  }
+
+  // Digit separator guard: '4'000'000' — a single-quote directly after an
+  // alnum inside a number is a separator, not a char literal.  The number
+  // lexer consumes separators itself; this guard covers the (impossible in
+  // practice) stray case where run() sees the quote first.
+  bool digit_left(const TokenList& out) const {
+    return !out.empty() && out.back().kind == TokenKind::kNumber &&
+           pos_ > 0 && ident_char(src_[pos_ - 1]);
+  }
+
+  Token preproc() {
+    const std::size_t start_line = line_;
+    std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        // Backslash continuation keeps the directive going.
+        std::size_t back = pos_;
+        while (back > begin && (src_[back - 1] == '\r')) --back;
+        if (back > begin && src_[back - 1] == '\\') {
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      ++pos_;
+    }
+    return {TokenKind::kPreproc,
+            std::string(src_.substr(begin, pos_ - begin)), start_line};
+  }
+
+  Token line_comment() {
+    const std::size_t start_line = line_;
+    std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    return {TokenKind::kComment,
+            std::string(src_.substr(begin, pos_ - begin)), start_line};
+  }
+
+  Token block_comment() {
+    const std::size_t start_line = line_;
+    std::size_t begin = pos_;
+    pos_ += 2;
+    while (pos_ + 1 < src_.size() &&
+           !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = pos_ + 2 <= src_.size() ? pos_ + 2 : src_.size();
+    return {TokenKind::kComment,
+            std::string(src_.substr(begin, pos_ - begin)), start_line};
+  }
+
+  Token quoted(char delim, TokenKind kind) {
+    const std::size_t start_line = line_;
+    std::size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != delim) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') ++line_;  // unterminated literal: stay sane
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;
+    return {kind, std::string(src_.substr(begin, pos_ - begin)), start_line};
+  }
+
+  Token raw_string() {
+    const std::size_t start_line = line_;
+    std::size_t begin = pos_;
+    pos_ += 2;  // R"
+    std::size_t delim_begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    std::string closer = ")";
+    closer += std::string(src_.substr(delim_begin, pos_ - delim_begin));
+    closer += '"';
+    while (pos_ < src_.size() &&
+           src_.compare(pos_, closer.size(), closer) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = pos_ + closer.size() <= src_.size() ? pos_ + closer.size()
+                                               : src_.size();
+    return {TokenKind::kString,
+            std::string(src_.substr(begin, pos_ - begin)), start_line};
+  }
+
+  Token identifier() {
+    std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    return {TokenKind::kIdentifier,
+            std::string(src_.substr(begin, pos_ - begin)), line_};
+  }
+
+  Token number() {
+    std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        // Exponent signs: 1e-9, 0x1p+3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            pos_ + 1 < src_.size() &&
+            (src_[pos_ + 1] == '+' || src_[pos_ + 1] == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return {TokenKind::kNumber,
+            std::string(src_.substr(begin, pos_ - begin)), line_};
+  }
+
+  Token punct() {
+    for (std::string_view op : kPuncts3) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        pos_ += op.size();
+        return {TokenKind::kPunct, std::string(op), line_};
+      }
+    }
+    Token t{TokenKind::kPunct, std::string(src_.substr(pos_, 1)), line_};
+    ++pos_;
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+TokenList lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace dnsttl::analysis

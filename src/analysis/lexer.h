@@ -1,0 +1,23 @@
+#ifndef DNSTTL_ANALYSIS_LEXER_H
+#define DNSTTL_ANALYSIS_LEXER_H
+
+#include <string_view>
+
+#include "analysis/token.h"
+
+namespace dnsttl::analysis {
+
+/// Tokenizes one C++ translation unit (or header) into a flat token list.
+/// The lexer is deliberately approximate where full fidelity needs a
+/// preprocessor — it never expands macros — but it is exact about the things
+/// the rules depend on: string/char/raw-string literals never leak their
+/// contents into the code stream, comments survive as trivia (the
+/// suppression scanner needs them), preprocessor lines (with backslash
+/// continuations) collapse into single kPreproc tokens, and multi-character
+/// punctuators lex longest-match so `::`, `->`, `&&`, `<<` are single
+/// tokens.
+TokenList lex(std::string_view source);
+
+}  // namespace dnsttl::analysis
+
+#endif  // DNSTTL_ANALYSIS_LEXER_H

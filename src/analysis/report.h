@@ -1,0 +1,36 @@
+#ifndef DNSTTL_ANALYSIS_REPORT_H
+#define DNSTTL_ANALYSIS_REPORT_H
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/finding.h"
+
+namespace dnsttl::analysis {
+
+/// Machine-readable findings report.  Deterministic: findings are emitted
+/// in (file, line, rule) order, keys in a fixed order, no timestamps.
+std::string findings_to_json(const Findings& findings);
+
+/// Loads a baseline previously written by findings_to_json (or
+/// `dnsttl_analyze --write-baseline`).  Returns false and sets `error`
+/// on malformed input.  Only rule/file/excerpt are required per entry —
+/// line numbers in baselines are informational and may drift.
+bool baseline_from_json(const std::string& text, Findings* out,
+                        std::string* error);
+
+/// Result of gating current findings against a committed baseline.
+struct BaselineDiff {
+  Findings fresh;        // findings with no matching baseline entry: FAIL
+  std::size_t matched = 0;      // findings covered by the baseline
+  std::size_t stale_count = 0;  // baseline entries nothing matched (fixed debt)
+};
+
+/// Multiset match on Finding::key() — (rule, file, excerpt) — so edits
+/// that only shift line numbers neither hide nor resurrect findings.
+BaselineDiff diff_against_baseline(const Findings& current,
+                                   const Findings& baseline);
+
+}  // namespace dnsttl::analysis
+
+#endif  // DNSTTL_ANALYSIS_REPORT_H

@@ -1,0 +1,30 @@
+#ifndef DNSTTL_ANALYSIS_RULES_H
+#define DNSTTL_ANALYSIS_RULES_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/index.h"
+
+namespace dnsttl::analysis {
+
+/// Rule metadata for --list-rules and the analyze.py delegation handshake.
+struct RuleInfo {
+  const char* name;
+  const char* contract;  // which repo contract the rule enforces
+  const char* summary;
+};
+
+const std::vector<RuleInfo>& rule_infos();
+
+/// Runs every rule over one indexed file.  `rel_path` is the repo-relative
+/// path with forward slashes; path-scoped rules (raw-time-param headers
+/// only, unit-float-cast stats exemption) key on it.  Suppressions
+/// (`lint:allow`/`analyze:allow`) are already applied: suppressed findings
+/// never come back.
+Findings run_rules(const FileIndex& index, const std::string& rel_path);
+
+}  // namespace dnsttl::analysis
+
+#endif  // DNSTTL_ANALYSIS_RULES_H

@@ -1,0 +1,17 @@
+#ifndef DNSTTL_ANALYSIS_SELFTEST_H
+#define DNSTTL_ANALYSIS_SELFTEST_H
+
+#include <iosfwd>
+
+namespace dnsttl::analysis {
+
+/// Runs the embedded rule-engine selftest (one hostile and one clean
+/// miniature source per rule, plus suppression and baseline round-trip
+/// cases).  Prints one line per case to `out`; returns the number of
+/// failing cases (0 = all green).  Needs no filesystem and no compiler —
+/// the analysis-selftest ctest runs it in every tree.
+int selftest(std::ostream& out);
+
+}  // namespace dnsttl::analysis
+
+#endif  // DNSTTL_ANALYSIS_SELFTEST_H

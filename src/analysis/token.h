@@ -1,0 +1,46 @@
+#ifndef DNSTTL_ANALYSIS_TOKEN_H
+#define DNSTTL_ANALYSIS_TOKEN_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dnsttl::analysis {
+
+/// Lexical token classes.  Comments and preprocessor lines are kept in the
+/// stream as trivia tokens: the suppression scanner reads allow-comments out
+/// of kComment tokens, and rules skip trivia via TokenStream::next_code().
+enum class TokenKind {
+  kIdentifier,  // identifiers AND keywords (rules match on spelling)
+  kNumber,
+  kString,      // "..." including raw strings, text is the full literal
+  kChar,        // '...'
+  kPunct,       // operators/punctuators, longest-match ("::", "->", "&&"...)
+  kComment,     // // and /* */ bodies, text includes the delimiters
+  kPreproc,     // a whole preprocessor line (with continuations)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the token's first character
+
+  bool is(TokenKind k, const char* spelling) const {
+    return kind == k && text == spelling;
+  }
+  bool ident(const char* spelling) const {
+    return is(TokenKind::kIdentifier, spelling);
+  }
+  bool punct(const char* spelling) const {
+    return is(TokenKind::kPunct, spelling);
+  }
+  bool is_trivia() const {
+    return kind == TokenKind::kComment || kind == TokenKind::kPreproc;
+  }
+};
+
+using TokenList = std::vector<Token>;
+
+}  // namespace dnsttl::analysis
+
+#endif  // DNSTTL_ANALYSIS_TOKEN_H

@@ -1,0 +1,26 @@
+// analyze-as: src/cache/fixture.h
+// True positives: raw integer time/TTL parameters and members in a public
+// header push the unit into comments instead of the type system.
+
+namespace dnsttl::cache {
+
+class Shelf {
+ public:
+  void insert(const dns::Name& name, std::uint32_t ttl);  // expect: raw-time-param
+  void configure(std::size_t capacity,
+                 std::uint64_t refresh_interval_ms);  // expect: raw-time-param
+
+  struct Stats {
+    std::int64_t serve_stale_horizon = 0;  // expect: raw-time-param
+    std::uint64_t refresh_count = 0;
+  };
+};
+
+// True negatives: strong types, counters, and pointer/reference parameters
+// (out-params with unit-typed pointees are someone else's problem).
+void insert_typed(const dns::Name& name, dns::Ttl ttl);
+void shift(sim::Duration delay);
+void bump(std::uint64_t timeout_count);
+void observe(const sim::Duration& rtt);
+
+}  // namespace dnsttl::cache

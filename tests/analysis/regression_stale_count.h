@@ -1,0 +1,22 @@
+// analyze-as: src/analysis/fixture.h
+// Regression pin: the first violation dnsttl_analyze found in this repo's
+// own sources.  src/analysis/report.h declared `std::size_t stale;` in
+// BaselineDiff — a raw integer field named with a time word ("stale" as in
+// stale-serving horizons), when it is actually a count of unmatched
+// baseline entries.  The fix renamed it `stale_count`, making the counter
+// nature explicit.  This fixture keeps both spellings under the analyzer
+// forever: the original must fire, the fix must stay silent.
+
+namespace dnsttl::analysis {
+
+struct BaselineDiffAsFound {
+  std::size_t matched = 0;
+  std::size_t stale = 0;  // expect: raw-time-param
+};
+
+struct BaselineDiffAsFixed {
+  std::size_t matched = 0;
+  std::size_t stale_count = 0;
+};
+
+}  // namespace dnsttl::analysis

@@ -1,0 +1,30 @@
+// analyze-as: src/net/fixture.cc
+// True positive: the draw runs before the cheap gate, so an inactive window
+// (loss == 0) still burns a draw and desynchronizes the RNG stream.
+
+namespace dnsttl::net {
+
+bool drop_wrong(sim::Rng& rng, double loss) {
+  if (rng.chance(loss) && loss > 0.0) {  // expect: rng-gated-draw
+    return true;
+  }
+  return false;
+}
+
+// True negatives: gate-before-draw (the repo idiom), and draw-only
+// conditions (nothing to reorder).
+bool drop_right(sim::Rng& rng, double loss) {
+  if (loss > 0.0 && rng.chance(loss)) {
+    return true;
+  }
+  return false;
+}
+
+bool drop_unconditional(sim::Rng& rng) {
+  if (rng.chance(0.5) && rng.chance(0.5)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dnsttl::net

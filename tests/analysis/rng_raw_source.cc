@@ -1,0 +1,26 @@
+// analyze-as: src/core/fixture.cc
+// True positives: every non-sim::Rng randomness source is a contract break.
+#include <random>
+
+namespace dnsttl::core {
+
+int libc_draw() {
+  return rand() % 6;  // expect: rng-raw-source
+}
+
+int engine_draw() {
+  std::mt19937 gen(42);  // expect: rng-raw-source
+  return static_cast<int>(gen());
+}
+
+int device_draw() {
+  std::random_device rd;  // expect: rng-raw-source
+  return static_cast<int>(rd());
+}
+
+// True negatives: the approved accessors, and identifiers that merely look
+// like the libc names (member access, qualified calls).
+double approved(sim::Rng& rng) { return rng.uniform(0.0, 1.0); }
+double member_named_rand(const Sampler& s) { return s.rand(); }
+
+}  // namespace dnsttl::core

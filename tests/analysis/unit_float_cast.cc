@@ -1,0 +1,29 @@
+// analyze-as: src/core/fixture.cc
+// True positive: casting a unit-typed value to float outside src/stats/
+// silently drops the unit (microseconds? seconds? the double won't say).
+
+namespace dnsttl::core {
+
+double leak(sim::Duration elapsed) {
+  return static_cast<double>(elapsed);  // expect: unit-float-cast
+}
+
+double leak_local() {
+  sim::Duration window = sim::kSecond;
+  return static_cast<double>(window);  // expect: unit-float-cast
+}
+
+// True negatives: the sanctioned escape hatches keep the unit explicit.
+double hatch(sim::Duration elapsed) {
+  return static_cast<double>(elapsed.count());
+}
+
+double hatch_named(sim::Duration elapsed) {
+  return sim::to_milliseconds(elapsed);
+}
+
+double not_a_unit(std::uint64_t queries) {
+  return static_cast<double>(queries);
+}
+
+}  // namespace dnsttl::core

@@ -1,0 +1,11 @@
+// analyze-as: src/stats/fixture.cc
+// Pure true-negative: src/stats/ IS the sanctioned float layer, so the same
+// cast that fires in src/core/ is silent here.
+
+namespace dnsttl::stats {
+
+double scale(sim::Duration elapsed) {
+  return static_cast<double>(elapsed);
+}
+
+}  // namespace dnsttl::stats

@@ -1,0 +1,33 @@
+// analyze-as: src/core/fixture.cc
+// True positive: iterating an unordered container straight into an output
+// path makes the report depend on libstdc++ hash order.
+#include <ostream>
+#include <unordered_map>
+
+namespace dnsttl::core {
+
+void render_histogram(std::ostream& os) {
+  std::unordered_map<int, int> hits;
+  for (const auto& [k, v] : hits) {  // expect: unordered-output-flow
+    os << k << " " << v << "\n";
+  }
+}
+
+// True negatives: order-insensitive aggregation, and ordered iteration
+// feeding output.
+int total_hits() {
+  std::unordered_map<int, int> hits;
+  int total = 0;
+  for (const auto& [k, v] : hits) {
+    total += v;
+  }
+  return total;
+}
+
+void render_sorted(std::ostream& os, const std::vector<int>& sorted) {
+  for (int v : sorted) {
+    os << v << "\n";
+  }
+}
+
+}  // namespace dnsttl::core

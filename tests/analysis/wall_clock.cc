@@ -1,0 +1,20 @@
+// analyze-as: src/core/fixture.cc
+// True positives: wall-clock reads break replay determinism.
+#include <chrono>
+#include <ctime>
+
+namespace dnsttl::core {
+
+long libc_clock() {
+  return time(nullptr);  // expect: wall-clock
+}
+
+auto chrono_clock() {
+  return std::chrono::steady_clock::now();  // expect: wall-clock
+}
+
+// True negatives: simulated time and members that happen to be named time().
+sim::Time sim_time(const sim::Simulation& sim) { return sim.now(); }
+sim::Time event_time(const Event& e) { return e.time(); }
+
+}  // namespace dnsttl::core

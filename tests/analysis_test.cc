@@ -1,0 +1,134 @@
+// Fixture corpus driver for the self-hosted contract analyzer.
+//
+// Each file in tests/analysis/ declares the repo path it should be analyzed
+// as (`// analyze-as: ...`, line 1) and marks every line the analyzer must
+// flag with `// expect: <rule>`.  The driver runs the real rule engine over
+// the fixture text and demands the (line, rule) sets match exactly — so a
+// fixture catches false negatives AND false positives in one pass.  A
+// corpus-completeness test fails if some registered rule has no firing
+// fixture, so new rules cannot land untested.
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/rules.h"
+#include "analysis/selftest.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using dnsttl::analysis::Finding;
+using dnsttl::analysis::Findings;
+
+struct Fixture {
+  std::string file;          // fixture file name (for messages)
+  std::string analyze_as;    // pretend repo path
+  std::string source;
+  std::multiset<std::pair<std::size_t, std::string>> expected;  // (line, rule)
+};
+
+std::vector<Fixture> load_fixtures() {
+  std::vector<Fixture> fixtures;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(DNSTTL_ANALYSIS_FIXTURES)) {
+    const std::string ext = entry.path().extension().string();
+    if (entry.is_regular_file() && (ext == ".cc" || ext == ".h")) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    std::ifstream in(p);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Fixture f;
+    f.file = p.filename().string();
+    f.source = buffer.str();
+
+    std::istringstream lines(f.source);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (lineno == 1) {
+        const std::string tag = "// analyze-as: ";
+        auto at = line.find(tag);
+        if (at != std::string::npos) {
+          f.analyze_as = line.substr(at + tag.size());
+          while (!f.analyze_as.empty() &&
+                 (f.analyze_as.back() == '\r' || f.analyze_as.back() == ' ')) {
+            f.analyze_as.pop_back();
+          }
+        }
+      }
+      const std::string marker = "// expect: ";
+      auto at = line.find(marker);
+      if (at != std::string::npos) {
+        std::string rule = line.substr(at + marker.size());
+        auto end = rule.find_first_of(" \t\r");
+        if (end != std::string::npos) rule.resize(end);
+        f.expected.emplace(lineno, rule);
+      }
+    }
+    fixtures.push_back(std::move(f));
+  }
+  return fixtures;
+}
+
+std::string render(const std::multiset<std::pair<std::size_t, std::string>>& s) {
+  std::string out;
+  for (const auto& [line, rule] : s) {
+    if (!out.empty()) out += ", ";
+    out += rule + "@" + std::to_string(line);
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+TEST(AnalysisFixtures, EveryFixtureMatchesItsMarkers) {
+  const std::vector<Fixture> fixtures = load_fixtures();
+  ASSERT_FALSE(fixtures.empty()) << "no fixtures under "
+                                 << DNSTTL_ANALYSIS_FIXTURES;
+  for (const Fixture& f : fixtures) {
+    ASSERT_FALSE(f.analyze_as.empty())
+        << f.file << ": first line must be `// analyze-as: <repo path>`";
+    const Findings findings =
+        dnsttl::analysis::analyze_source(f.analyze_as, f.source);
+    std::multiset<std::pair<std::size_t, std::string>> got;
+    for (const Finding& finding : findings) {
+      got.emplace(finding.line, finding.rule);
+    }
+    EXPECT_EQ(got, f.expected)
+        << f.file << " (as " << f.analyze_as << "): expected "
+        << render(f.expected) << " but the analyzer reported " << render(got);
+  }
+}
+
+TEST(AnalysisFixtures, CorpusExercisesEveryRule) {
+  std::set<std::string> fired;
+  for (const Fixture& f : load_fixtures()) {
+    for (const auto& [line, rule] : f.expected) {
+      fired.insert(rule);
+    }
+  }
+  for (const auto& info : dnsttl::analysis::rule_infos()) {
+    EXPECT_TRUE(fired.count(info.name) != 0)
+        << "rule `" << info.name
+        << "` has no true-positive fixture in tests/analysis/";
+  }
+}
+
+TEST(AnalysisFixtures, SelftestIsGreen) {
+  std::ostringstream out;
+  const int failures = dnsttl::analysis::selftest(out);
+  EXPECT_EQ(failures, 0) << out.str();
+}
+
+}  // namespace

@@ -59,8 +59,15 @@ Engines, in preference order:
          clang -Xclang -ast-dump=json -fsyntax-only <original flags>
      and the JSON tree walked directly.  This is the documented fallback
      for machines without the python bindings.
-  3. Neither present: the tool prints `analyze: SKIP (...)` and exits 0 so
-     pipelines stay green on minimal containers; install clang to arm it.
+  3. Neither present: the tool names the AST-only rules it is skipping
+     (unit-arith, nodiscard-validator) and DELEGATES the overlapping rules
+     (unordered-output-flow, raw-time-param, shared-mutable-in-shard,
+     unit-float-cast) to the self-hosted C++ analyzer — the built
+     `dnsttl_analyze` binary (searched under build*/tools/, or given via
+     --analyzer-bin), which enforces them plus its rng-stream/determinism
+     rules against the committed baseline.  Only when that binary is not
+     built either does the tool print a SKIP listing every unchecked rule
+     and exit 0.
 
 `--selftest` runs the rule engine against embedded miniature ASTs (the
 JSON shapes clang emits) and needs no compiler at all; the analyze-smoke
@@ -752,11 +759,61 @@ def selftest() -> int:
 # --------------------------------------------------------------------------
 
 
+# Rules only the AST engines can check (cross-TU types, attributes).
+AST_ONLY_RULES = ("unit-arith", "nodiscard-validator")
+# Rules the self-hosted C++ analyzer (tools/dnsttl_analyze, built by the
+# normal CMake tree) also implements; on clang-less containers we hand these
+# to it instead of skipping them.
+DELEGATED_RULES = ("unordered-output-flow", "raw-time-param",
+                   "shared-mutable-in-shard", "unit-float-cast")
+
+
+def find_analyzer_bin(repo: Path, explicit: str | None) -> Path | None:
+    """Locates the built dnsttl_analyze binary (any build tree)."""
+    if explicit:
+        path = Path(explicit)
+        return path if path.exists() else None
+    for tree in sorted(repo.glob("build*")):
+        candidate = tree / "tools" / "dnsttl_analyze"
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def delegate_to_cpp_analyzer(repo: Path, explicit: str | None) -> int:
+    """No AST engine: name what is skipped, run dnsttl_analyze for the rest.
+
+    The C++ analyzer runs its full rule set (the delegated four plus its
+    rng-stream/determinism rules) against the committed baseline, so the
+    overlapping contracts stay enforced even where clang cannot run.
+    """
+    binary = find_analyzer_bin(repo, explicit)
+    skipped = ", ".join(AST_ONLY_RULES)
+    if binary is None:
+        print("analyze: SKIP rules "
+              f"{skipped}, {', '.join(DELEGATED_RULES)} "
+              "(no libclang python bindings, no clang binary on PATH, and "
+              "no built dnsttl_analyze — build the tree or install clang)")
+        return 0
+    print(f"analyze: no libclang/clang — AST-only rules skipped: {skipped}")
+    print(f"analyze: delegating {', '.join(DELEGATED_RULES)} to {binary}")
+    sys.stdout.flush()
+    baseline = repo / "tools" / "analysis_baseline.json"
+    cmd = [str(binary), "--root", str(repo), "src"]
+    if baseline.exists():
+        cmd += ["--baseline", str(baseline)]
+    return subprocess.call(cmd)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="AST-grade unit-safety analyzer (see module docstring)")
     parser.add_argument("--compdb", default="build",
                         help="directory containing compile_commands.json")
+    parser.add_argument("--analyzer-bin", default=None,
+                        help="path to the built dnsttl_analyze binary used "
+                             "for rule delegation when clang is absent "
+                             "(default: search build*/tools/)")
     parser.add_argument("--selftest", action="store_true",
                         help="run the embedded rule-engine selftest only")
     parser.add_argument("--smoke", action="store_true",
@@ -774,9 +831,7 @@ def main() -> int:
     engine = try_libclang()
     clang = shutil.which("clang") or shutil.which("clang++")
     if engine is None and clang is None:
-        print("analyze: SKIP (no libclang python bindings and no clang "
-              "binary on PATH; install clang to enable AST analysis)")
-        return 0
+        return delegate_to_cpp_analyzer(repo, args.analyzer_bin)
 
     entries = load_compdb(repo / args.compdb)
     if entries is None:

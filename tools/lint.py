@@ -9,33 +9,23 @@ style rules the reviews kept re-litigating.  Run from anywhere:
 
 Rules (all scoped to src/ unless stated otherwise):
 
-  rand            libc rand()/srand()/random() and std::random_device —
-                  simulation randomness must flow from the seeded PRNG.
-  wall-clock      time(), clock(), gettimeofday(), std::chrono system/steady
-                  clocks — simulated time comes from sim::Simulation::now().
-  unordered-iter  range-for over a std::unordered_{map,set} member feeding
-                  output: iteration order is libstdc++-version-dependent.
-                  (Heuristic: flags ranged iteration over identifiers
-                  declared as unordered containers in the same file.)
   pointer-print   printing an address (%p, or streaming a non-char pointer)
                   — addresses differ run to run under ASLR.
   raw-new         raw new/delete in src/ — ownership goes through
                   containers/smart pointers.  Placement new is allowed.
   std-map-hot     std::map in src/cache or src/sim — the hot paths use the
                   open-addressing table / slab by design (see PR 1).
-  raw-time-param  a raw-integer parameter with a time-ish name (ttl, timeout,
-                  deadline, ...) in a public header (src/**/*.h): new APIs
-                  must take sim::Duration / sim::Time / dns::Ttl.  Regex
-                  backstop for the AST rule of the same name in
-                  tools/analyze.py, so the contract holds even on machines
-                  without clang.
-  shared-mutable-in-shard
-                  a `static` variable that is neither const nor thread_local:
-                  shards run src/ code concurrently on a par::Pool, so any
-                  static mutable is shared state reachable from par::
-                  callbacks — a data race and a determinism leak.  Regex
-                  backstop (statics only; tools/analyze.py also catches
-                  namespace-scope mutables without the `static` keyword).
+
+This file is the regex/style layer of the three-layer stack described in
+docs/architecture.md §Static analysis.  The determinism and unit-safety
+rules that used to live here (rand, wall-clock, unordered-iter,
+raw-time-param, shared-mutable-in-shard) moved to the self-hosted C++
+analyzer — tools/dnsttl_analyze, built by the normal CMake tree and run by
+`ctest -L analysis` in every build — which checks them token/scope-aware
+instead of line-by-line.  They are deliberately NOT duplicated here: one
+rule, one owner, one report.  Existing `// lint:allow(<rule>)` suppressions
+for the moved rules keep working — dnsttl_analyze honours both the
+lint:allow and analyze:allow spellings.
 
 Suppression: append `// lint:allow(<rule>) <justification>` to the offending
 line, or put it on a comment line directly above (the suppression then covers
@@ -57,20 +47,9 @@ LINE_COMMENT_RE = re.compile(r"//.*")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
 
+# Determinism/unit-safety rules moved to tools/dnsttl_analyze (see module
+# docstring); only the plain style rules remain regex-owned.
 RULES = [
-    (
-        "rand",
-        re.compile(r"\b(?:rand|srand|random)\s*\(|std::random_device"),
-        None,
-    ),
-    (
-        "wall-clock",
-        re.compile(
-            r"\b(?:time|clock|gettimeofday|clock_gettime)\s*\(|"
-            r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
-        ),
-        None,
-    ),
     (
         "pointer-print",
         re.compile(r"%p\b"),
@@ -86,44 +65,7 @@ RULES = [
         re.compile(r"\bstd::(?:multi)?map\s*<"),
         ("src/cache", "src/sim"),
     ),
-    # Headers only (see the .h check in lint_file): a raw integer parameter
-    # whose name says it carries time.  The unit belongs in the type, not
-    # the name — take sim::Duration / sim::Time / dns::Ttl.
-    (
-        "raw-time-param",
-        re.compile(
-            r"\b(?:std::)?(?:u?int(?:8|16|32|64)_t|unsigned(?:\s+(?:int|long))?"
-            r"|size_t|long(?:\s+long)?|int)\s+"
-            r"(?:\w*(?:ttl|timeout|deadline|interval|delay|duration|expiry"
-            r"|latency|rtt|outage|backoff|stale|horizon)\w*"
-            r"|\w+_(?:us|ms|sec|secs|seconds|micros|millis))"
-            r"\s*[,)=]",
-            re.IGNORECASE,
-        ),
-        None,
-    ),
-    # A static variable declaration (name followed by = ; or {, so member
-    # and file-scope *function* declarations, whose name is followed by a
-    # parenthesis, never match) that is not const/constexpr/thread_local.
-    (
-        "shared-mutable-in-shard",
-        re.compile(
-            r"^\s*(?:inline\s+)?static\s+"
-            r"(?!const\b|constexpr\b|thread_local\b)"
-            r"(?!.*\bthread_local\b)"
-            r"[A-Za-z_][\w:<>,&*\s]*?\s[A-Za-z_]\w*\s*[=;{]"
-        ),
-        None,
-    ),
 ]
-
-UNORDERED_DECL_RE = re.compile(
-    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?\b(\w+)\s*[;{=]"
-)
-RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*(\w+)\s*\)")
-OUTPUT_HINT_RE = re.compile(
-    r"std::cout|std::cerr|printf|fprintf|<<|\.write\(|to_string|render|report"
-)
 
 
 def strip_noncode(line: str) -> str:
@@ -136,12 +78,6 @@ def strip_noncode(line: str) -> str:
 def lint_file(path: Path, rel: str, errors: list[str]) -> None:
     text = path.read_text(encoding="utf-8", errors="replace")
     lines = text.splitlines()
-
-    # Pass 1: gather names declared as unordered containers in this file.
-    unordered_names: set[str] = set()
-    for line in lines:
-        for match in UNORDERED_DECL_RE.finditer(line):
-            unordered_names.add(match.group(1))
 
     in_block_comment = False
     pending_allow = None  # allow from a standalone comment line above
@@ -189,8 +125,6 @@ def lint_file(path: Path, rel: str, errors: list[str]) -> None:
         for rule, pattern, scope in RULES:
             if scope is not None and not rel.startswith(scope):
                 continue
-            if rule == "raw-time-param" and not rel.endswith(".h"):
-                continue  # public-header contract; .cc internals may stage raw ints
             match = pattern.search(code)
             if not match:
                 continue
@@ -203,23 +137,6 @@ def lint_file(path: Path, rel: str, errors: list[str]) -> None:
                 "forbidden in deterministic sources "
                 "(suppress with `// lint:allow(" + rule + ") <why>`)"
             )
-
-        # unordered-iter: a range-for over a known unordered container,
-        # where nearby lines look like they feed output.
-        for match in RANGE_FOR_RE.finditer(code):
-            if match.group(1) not in unordered_names:
-                continue
-            if allowed_rule == "unordered-iter":
-                continue
-            window = "\n".join(lines[number - 1 : number + 4])
-            if OUTPUT_HINT_RE.search(window):
-                errors.append(
-                    f"{rel}:{number}: [unordered-iter] iteration over "
-                    f"unordered container `{match.group(1)}` appears to feed "
-                    "output; iteration order is not stable across libstdc++ "
-                    "versions (sort first, or "
-                    "`// lint:allow(unordered-iter) <why>`)"
-                )
 
 
 def main() -> int:
