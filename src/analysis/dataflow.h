@@ -1,0 +1,31 @@
+#ifndef DNSTTL_ANALYSIS_DATAFLOW_H
+#define DNSTTL_ANALYSIS_DATAFLOW_H
+
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/finding.h"
+#include "analysis/summary.h"
+
+namespace dnsttl::analysis {
+
+/// Propagation depth bound for every interprocedural walk.  Chains longer
+/// than this are assumed intentional plumbing; the bound also caps the cost
+/// of the worklist passes to O(edges * depth).
+constexpr std::size_t kMaxCallDepth = 4;
+
+struct DataflowResult {
+  Findings findings;    // visible interprocedural findings
+  Findings suppressed;  // would-fire findings silenced by an allow comment
+};
+
+/// The interprocedural pass: links the per-TU summaries into a call graph
+/// and runs the four cross-function rules (rng-escape, shard-escape,
+/// unordered-output-flow-ip, raw-time-flow).  Deterministic: findings come
+/// out in (file order, function order, call order); no iteration over
+/// unordered state.
+DataflowResult run_dataflow(const std::vector<FileSummary>& files);
+
+}  // namespace dnsttl::analysis
+
+#endif  // DNSTTL_ANALYSIS_DATAFLOW_H

@@ -466,13 +466,18 @@ void FileIndex::build_suppressions(const TokenList& all) {
     harvest(t.text, rules);
     if (rules.empty()) continue;
     allow_[t.line].insert(rules.begin(), rules.end());
+    std::vector<std::size_t> covered = {t.line};
     if (last_code_line != t.line) {
       // Comment-only line: the allow also covers the next code line.
       for (std::size_t n = i + 1; n < all.size(); ++n) {
         if (all[n].kind == TokenKind::kComment) continue;
         allow_[all[n].line].insert(rules.begin(), rules.end());
+        covered.push_back(all[n].line);
         break;
       }
+    }
+    for (const std::string& rule : rules) {
+      allow_sites_.push_back({t.line, rule, covered});
     }
   }
 }

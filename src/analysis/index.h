@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/summary.h"
 #include "analysis/token.h"
 
 namespace dnsttl::analysis {
@@ -93,6 +94,14 @@ class FileIndex {
   /// `// analyze:allow(rule)` on that line or a comment line directly above.
   bool suppressed(std::size_t line, std::string_view rule) const;
 
+  /// The whole suppression table (line -> allowed rules) and the allow
+  /// comments as sites — the interprocedural pass suppresses against the
+  /// former, the stale-suppression rule audits the latter.
+  const std::map<std::size_t, std::set<std::string>>& allow_lines() const {
+    return allow_;
+  }
+  const std::vector<AllowSite>& allow_sites() const { return allow_sites_; }
+
  private:
   void build_matches();
   void build_scopes();
@@ -108,6 +117,7 @@ class FileIndex {
   std::set<std::string> unordered_names_;
   std::map<std::string, std::string> unit_typed_;
   std::map<std::size_t, std::set<std::string>> allow_;  // line -> rules
+  std::vector<AllowSite> allow_sites_;
 };
 
 }  // namespace dnsttl::analysis

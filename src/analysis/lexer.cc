@@ -55,16 +55,16 @@ class Lexer {
           continue;
         }
       }
+      if (const std::size_t quote_at = raw_string_quote(); quote_at != 0) {
+        out.push_back(raw_string(quote_at));
+        continue;
+      }
       if (c == '"') {
         out.push_back(quoted('"', TokenKind::kString));
         continue;
       }
       if (c == '\'' && !(digit_left(out))) {
         out.push_back(quoted('\'', TokenKind::kChar));
-        continue;
-      }
-      if (c == 'R' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '"') {
-        out.push_back(raw_string());
         continue;
       }
       if (ident_start(c)) {
@@ -124,7 +124,21 @@ class Lexer {
   Token line_comment() {
     const std::size_t start_line = line_;
     std::size_t begin = pos_;
-    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        // A backslash (modulo trailing '\r') splices the next line into
+        // the comment, exactly like [lex.phases] phase 2 does.
+        std::size_t back = pos_;
+        while (back > begin && src_[back - 1] == '\r') --back;
+        if (back > begin && src_[back - 1] == '\\') {
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      ++pos_;
+    }
     return {TokenKind::kComment,
             std::string(src_.substr(begin, pos_ - begin)), start_line};
   }
@@ -156,10 +170,24 @@ class Lexer {
     return {kind, std::string(src_.substr(begin, pos_ - begin)), start_line};
   }
 
-  Token raw_string() {
+  // Offset of the '"' when pos_ sits on a raw-string literal (with any
+  // encoding prefix: R" u8R" uR" LR" UR"), 0 otherwise.  The quote is part
+  // of the match, so identifiers like `u8Radius` cannot trigger it.
+  std::size_t raw_string_quote() const {
+    static constexpr std::array<std::string_view, 5> kRawOpeners = {
+        "R\"", "u8R\"", "uR\"", "LR\"", "UR\""};
+    for (std::string_view opener : kRawOpeners) {
+      if (src_.compare(pos_, opener.size(), opener) == 0) {
+        return opener.size() - 1;
+      }
+    }
+    return 0;
+  }
+
+  Token raw_string(std::size_t quote_at) {
     const std::size_t start_line = line_;
     std::size_t begin = pos_;
-    pos_ += 2;  // R"
+    pos_ += quote_at + 1;  // past the '"'
     std::size_t delim_begin = pos_;
     while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
     std::string closer = ")";

@@ -1,7 +1,10 @@
 #include "analysis/report.h"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
+
+#include "analysis/rules.h"
 
 namespace dnsttl::analysis {
 namespace {
@@ -286,6 +289,77 @@ BaselineDiff diff_against_baseline(const Findings& current,
     diff.stale_count += remaining;
   }
   return diff;
+}
+
+std::string findings_to_sarif(const Findings& findings) {
+  Findings sorted = findings;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"dnsttl_analyze\",\n"
+      "          \"informationUri\": "
+      "\"docs/architecture.md\",\n"
+      "          \"rules\": [";
+  const auto& infos = rule_infos();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "            {\"id\": \"" + escape(infos[i].name) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           escape(infos[i].summary) +
+           "\"}, \"properties\": {\"contract\": \"" +
+           escape(infos[i].contract) + "\"}}";
+  }
+  out += infos.empty() ? "]\n" : "\n          ]\n";
+  out +=
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Finding& f = sorted[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "        {\"ruleId\": \"" + escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           escape(f.file) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(f.line == 0 ? 1 : f.line) + "}}}]}";
+  }
+  out += sorted.empty() ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+bool update_baseline_file(const std::string& path, const Findings& findings,
+                          std::string* error) {
+  std::ofstream out(path, std::ios::out | std::ios::binary |
+                              std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "could not open for writing: " + path;
+    return false;
+  }
+  out << findings_to_json(findings);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dnsttl::analysis

@@ -31,6 +31,19 @@ struct BaselineDiff {
 BaselineDiff diff_against_baseline(const Findings& current,
                                    const Findings& baseline);
 
+/// SARIF 2.1.0 report for CI PR annotations: one run, one result per
+/// finding, rule metadata from rule_infos().  Deterministic: findings are
+/// emitted in (file, line, rule) order, rules in registration order, no
+/// timestamps or absolute paths.
+std::string findings_to_sarif(const Findings& findings);
+
+/// Rewrites the baseline file at `path` from `findings` (sorted, stable
+/// key order — exactly the findings_to_json format, so --write-baseline,
+/// --update-baseline, and the gate all read/write one representation).
+/// Returns false and sets `error` on IO failure.
+bool update_baseline_file(const std::string& path, const Findings& findings,
+                          std::string* error);
+
 }  // namespace dnsttl::analysis
 
 #endif  // DNSTTL_ANALYSIS_REPORT_H

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <set>
 #include <string>
+#include <utility>
+
+#include "analysis/callgraph.h"
 
 namespace dnsttl::analysis {
 namespace {
@@ -12,26 +14,8 @@ namespace {
 using std::size_t;
 
 // ------------------------------------------------------------------ helpers
-
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return s;
-}
-
-bool rng_ish(const std::string& name) {
-  return lower(name).find("rng") != std::string::npos;
-}
-
-const std::set<std::string>& draw_names() {
-  static const std::set<std::string> kDraws = {
-      "next",   "uniform",   "uniform_int", "chance",        "exponential",
-      "normal", "lognormal", "pareto",      "weighted_index"};
-  return kDraws;
-}
-
-bool member_access(const Token& t) { return t.punct(".") || t.punct("->"); }
+// The lexical vocabulary (what an RNG/draw/shard entry/output sink looks
+// like) lives in callgraph.h, shared with the summary extraction pass.
 
 std::string make_excerpt(const FileIndex& ix, size_t from, size_t to) {
   std::string out;
@@ -47,98 +31,25 @@ std::string make_excerpt(const FileIndex& ix, size_t from, size_t to) {
   return out;
 }
 
-void add(Findings& out, const FileIndex& ix, const std::string& rel,
-         const char* rule, size_t line, std::string message,
-         std::string excerpt) {
-  if (ix.suppressed(line, rule)) return;
-  out.push_back({rule, rel, line, std::move(message), std::move(excerpt)});
-}
+/// Finding sink: applies the suppression table, and keeps the silenced
+/// findings around so the stale-suppression audit can tell a used allow
+/// from a dead one.
+struct Sink {
+  const FileIndex& ix;
+  const std::string& rel;
+  Findings& out;
+  Findings* suppressed;
 
-/// Top-level token positions of [begin, end): nested ()[]{} extents hopped,
-/// the open/close markers themselves kept.
-std::vector<size_t> top_level(const FileIndex& ix, size_t begin, size_t end) {
-  std::vector<size_t> top;
-  for (size_t j = begin; j < end; ++j) {
-    const Token& t = ix.code()[j];
-    top.push_back(j);
-    if (t.punct("(") || t.punct("[") || t.punct("{")) {
-      size_t m = ix.match(j);
-      if (m == kNpos || m >= end) break;
-      top.push_back(m);
-      j = m;
+  void add(const char* rule, size_t line, std::string message,
+           std::string excerpt) const {
+    Finding f{rule, rel, line, std::move(message), std::move(excerpt)};
+    if (ix.suppressed(line, rule)) {
+      if (suppressed != nullptr) suppressed->push_back(std::move(f));
+      return;
     }
+    out.push_back(std::move(f));
   }
-  return top;
-}
-
-/// Names declared anywhere in the file with an Rng-flavoured type (local
-/// declarations and function/lambda parameters).  Lets the draw detector
-/// recognise `sim::Rng bad = nl_rng; bad.uniform();` even though "bad"
-/// itself does not look rng-ish.
-std::set<std::string> rng_typed_names(const FileIndex& ix) {
-  std::set<std::string> out;
-  for (const VarDecl& d : ix.var_decls()) {
-    if (d.type_text.find("Rng") != std::string::npos) out.insert(d.name);
-  }
-  for (const Scope& s : ix.scopes()) {
-    if (s.params_open == kNpos) continue;
-    for (const Param& p : ix.parse_params(s.params_open)) {
-      if (!p.name.empty() && p.type_text.find("Rng") != std::string::npos) {
-        out.insert(p.name);
-      }
-    }
-  }
-  return out;
-}
-
-/// A draw site: `<chain> .|-> <draw-name> (` where the postfix chain
-/// mentions an RNG (by name, or by declared type via `rng_typed`).
-/// Returns the chain-head identifier via `head`.
-bool draw_site_at(const FileIndex& ix, size_t i, std::string* head,
-                  const std::set<std::string>* rng_typed = nullptr) {
-  const TokenList& code = ix.code();
-  if (i + 1 >= code.size() || i == 0) return false;
-  if (code[i].kind != TokenKind::kIdentifier) return false;
-  if (draw_names().count(code[i].text) == 0) return false;
-  if (!code[i + 1].punct("(")) return false;
-  if (!member_access(code[i - 1])) return false;
-
-  // Walk the postfix chain backwards: ident, ., ->, (), [] links.
-  bool chain_has_rng = false;
-  std::string chain_head;
-  size_t k = i - 1;  // at the '.'/'->'
-  while (k > 0) {
-    --k;
-    const Token& t = code[k];
-    if (t.punct(")") || t.punct("]")) {
-      size_t m = ix.match(k);
-      if (m == kNpos || m == 0) break;
-      k = m;
-      continue;
-    }
-    if (t.kind == TokenKind::kIdentifier) {
-      chain_head = t.text;
-      if (rng_ish(t.text) ||
-          (rng_typed != nullptr && rng_typed->count(t.text) != 0)) {
-        chain_has_rng = true;
-      }
-      // Keep walking only if another chain link precedes this identifier.
-      if (k == 0 || (!member_access(code[k - 1]) && !code[k - 1].punct("::"))) {
-        break;
-      }
-      continue;
-    }
-    if (member_access(t) || t.punct("::")) continue;
-    if (t.ident("this")) {
-      chain_head = "this";
-      break;
-    }
-    break;
-  }
-  if (!chain_has_rng && !rng_ish(code[i].text)) return false;
-  if (head != nullptr) *head = chain_head;
-  return true;
-}
+};
 
 bool path_has_component(const std::string& rel, const char* component) {
   std::string needle = std::string("/") + component + "/";
@@ -148,8 +59,7 @@ bool path_has_component(const std::string& rel, const char* component) {
 
 // ------------------------------------------------------- rng-raw-source
 
-void rule_rng_raw_source(const FileIndex& ix, const std::string& rel,
-                         Findings& out) {
+void rule_rng_raw_source(const FileIndex& ix, const Sink& sink) {
   static const std::set<std::string> kLibc = {"rand", "srand", "random",
                                               "drand48", "lrand48"};
   static const std::set<std::string> kStd = {
@@ -165,29 +75,28 @@ void rule_rng_raw_source(const FileIndex& ix, const std::string& rel,
     if (t.kind != TokenKind::kIdentifier) continue;
     if (kLibc.count(t.text) != 0 && i + 1 < code.size() &&
         code[i + 1].punct("(") &&
-        (i == 0 || (!member_access(code[i - 1]) &&
+        (i == 0 || (!is_member_access(code[i - 1]) &&
                     !code[i - 1].punct("::")))) {
-      add(out, ix, rel, "rng-raw-source", t.line,
-          "`" + t.text + "()` bypasses the seeded sim::Rng; every draw "
-          "must flow through an approved Rng accessor so runs replay "
-          "byte-identically",
-          make_excerpt(ix, i, i + 4));
+      sink.add("rng-raw-source", t.line,
+               "`" + t.text + "()` bypasses the seeded sim::Rng; every draw "
+               "must flow through an approved Rng accessor so runs replay "
+               "byte-identically",
+               make_excerpt(ix, i, i + 4));
       continue;
     }
     if (kStd.count(t.text) != 0 && i >= 2 && code[i - 1].punct("::") &&
         code[i - 2].ident("std")) {
-      add(out, ix, rel, "rng-raw-source", t.line,
-          "`std::" + t.text + "` bypasses the seeded sim::Rng; every draw "
-          "must flow through an approved Rng accessor",
-          make_excerpt(ix, i - 2, i + 3));
+      sink.add("rng-raw-source", t.line,
+               "`std::" + t.text + "` bypasses the seeded sim::Rng; every "
+               "draw must flow through an approved Rng accessor",
+               make_excerpt(ix, i - 2, i + 3));
     }
   }
 }
 
 // ----------------------------------------------------------- wall-clock
 
-void rule_wall_clock(const FileIndex& ix, const std::string& rel,
-                     Findings& out) {
+void rule_wall_clock(const FileIndex& ix, const Sink& sink) {
   static const std::set<std::string> kLibc = {
       "time", "clock", "gettimeofday", "clock_gettime", "localtime",
       "gmtime"};
@@ -199,32 +108,29 @@ void rule_wall_clock(const FileIndex& ix, const std::string& rel,
     if (t.kind != TokenKind::kIdentifier) continue;
     if (kLibc.count(t.text) != 0 && i + 1 < code.size() &&
         code[i + 1].punct("(") &&
-        (i == 0 || (!member_access(code[i - 1]) &&
+        (i == 0 || (!is_member_access(code[i - 1]) &&
                     !code[i - 1].punct("::")))) {
-      add(out, ix, rel, "wall-clock", t.line,
-          "`" + t.text + "()` reads the wall clock; simulated time comes "
-          "from sim::Simulation::now() so replays are deterministic",
-          make_excerpt(ix, i, i + 4));
+      sink.add("wall-clock", t.line,
+               "`" + t.text + "()` reads the wall clock; simulated time "
+               "comes from sim::Simulation::now() so replays are "
+               "deterministic",
+               make_excerpt(ix, i, i + 4));
       continue;
     }
     if (kChrono.count(t.text) != 0 && i >= 4 && code[i - 1].punct("::") &&
         code[i - 2].ident("chrono") && code[i - 3].punct("::") &&
         code[i - 4].ident("std")) {
-      add(out, ix, rel, "wall-clock", t.line,
-          "`std::chrono::" + t.text + "` reads the wall clock; simulated "
-          "time comes from sim::Simulation::now()",
-          make_excerpt(ix, i - 4, i + 1));
+      sink.add("wall-clock", t.line,
+               "`std::chrono::" + t.text + "` reads the wall clock; "
+               "simulated time comes from sim::Simulation::now()",
+               make_excerpt(ix, i - 4, i + 1));
     }
   }
 }
 
 // ------------------------------------------------- unordered-output-flow
 
-void rule_unordered_output_flow(const FileIndex& ix, const std::string& rel,
-                                Findings& out) {
-  static const std::set<std::string> kOutputCallees = {
-      "printf",  "fprintf", "render",      "report",        "format",
-      "to_string", "write", "schedule_at", "schedule_after"};
+void rule_unordered_output_flow(const FileIndex& ix, const Sink& sink) {
   const TokenList& code = ix.code();
   for (size_t i = 0; i + 1 < code.size(); ++i) {
     if (!code[i].ident("for") || !code[i + 1].punct("(")) continue;
@@ -233,7 +139,7 @@ void rule_unordered_output_flow(const FileIndex& ix, const std::string& rel,
     if (close == kNpos) continue;
 
     // Range-for: a top-level ':' inside the parens.
-    std::vector<size_t> top = top_level(ix, open + 1, close);
+    std::vector<size_t> top = top_level_positions(ix, open + 1, close);
     size_t colon = kNpos;
     for (size_t k : top) {
       if (code[k].punct(":")) {
@@ -276,19 +182,19 @@ void rule_unordered_output_flow(const FileIndex& ix, const std::string& rel,
         hit = true;
         what = "operator<<";
       } else if (t.kind == TokenKind::kIdentifier &&
-                 kOutputCallees.count(t.text) != 0 && k + 1 < code.size() &&
-                 code[k + 1].punct("(")) {
+                 output_callee_names().count(t.text) != 0 &&
+                 k + 1 < code.size() && code[k + 1].punct("(")) {
         hit = true;
         what = t.text + "()";
       }
       if (hit) {
-        add(out, ix, rel, "unordered-output-flow", code[i].line,
-            "range-for over an unordered container reaches `" + what +
-                "` (line " + std::to_string(t.line) +
-                "); iteration order is hash/libstdc++-dependent and breaks "
-                "the byte-identical-output contract — sort into a vector "
-                "first",
-            make_excerpt(ix, i, close + 1));
+        sink.add("unordered-output-flow", code[i].line,
+                 "range-for over an unordered container reaches `" + what +
+                     "` (line " + std::to_string(t.line) +
+                     "); iteration order is hash/libstdc++-dependent and "
+                     "breaks the byte-identical-output contract — sort into "
+                     "a vector first",
+                 make_excerpt(ix, i, close + 1));
         break;
       }
     }
@@ -297,49 +203,28 @@ void rule_unordered_output_flow(const FileIndex& ix, const std::string& rel,
 
 // ---------------------------------------------- shared-mutable-in-shard
 
-bool pool_type(const std::string& type_text) {
-  // Word-wise: any type word ending in "Pool", or the wheel/schedule SoA
-  // types whose indices dangle across shard rebuilds.
-  size_t begin = 0;
-  while (begin <= type_text.size()) {
-    size_t end = type_text.find(' ', begin);
-    if (end == std::string::npos) end = type_text.size();
-    std::string word = type_text.substr(begin, end - begin);
-    if (!word.empty()) {
-      if (word.size() >= 4 &&
-          word.compare(word.size() - 4, 4, "Pool") == 0) {
-        return true;
-      }
-      if (word == "TimerWheel" || word == "VpSchedule") return true;
-    }
-    if (end == type_text.size()) break;
-    begin = end + 1;
-  }
-  return false;
-}
-
-void rule_shared_mutable(const FileIndex& ix, const std::string& rel,
-                         Findings& out) {
+void rule_shared_mutable(const FileIndex& ix, const Sink& sink) {
   for (const VarDecl& d : ix.var_decls()) {
     const bool static_storage =
         d.scope == ScopeKind::kNamespace || d.static_kw;
     if (!static_storage || d.is_thread_local) continue;
-    if (d.ptr_or_ref && pool_type(d.type_text)) {
-      add(out, ix, rel, "shared-mutable-in-shard", d.line,
-          "`" + d.name + "` (" + d.type_text + ") is a static-storage "
-          "alias into an SoA pool: the pointee is rebuilt/compacted per "
-          "shard, so the alias dangles across shard boundaries even though "
-          "it is const — thread the pool through the shard callback",
-          d.type_text + " " + d.name);
+    if (d.ptr_or_ref && pool_type_text(d.type_text)) {
+      sink.add("shared-mutable-in-shard", d.line,
+               "`" + d.name + "` (" + d.type_text + ") is a static-storage "
+               "alias into an SoA pool: the pointee is rebuilt/compacted "
+               "per shard, so the alias dangles across shard boundaries "
+               "even though it is const — thread the pool through the "
+               "shard callback",
+               d.type_text + " " + d.name);
       continue;
     }
     if (d.is_const) continue;
-    add(out, ix, rel, "shared-mutable-in-shard", d.line,
-        "`" + d.name + "` (" + d.type_text + ") has static storage and is "
-        "mutable: shards run this code concurrently on the par:: pool, so "
-        "it is shared state — a data race and a determinism leak; make it "
-        "const, thread_local, or shard-local",
-        d.type_text + " " + d.name);
+    sink.add("shared-mutable-in-shard", d.line,
+             "`" + d.name + "` (" + d.type_text + ") has static storage and "
+             "is mutable: shards run this code concurrently on the par:: "
+             "pool, so it is shared state — a data race and a determinism "
+             "leak; make it const, thread_local, or shard-local",
+             d.type_text + " " + d.name);
   }
 }
 
@@ -352,7 +237,7 @@ bool time_ish_name(const std::string& name) {
       "outage", "backoff", "stale",   "horizon"};
   static const std::set<std::string> kSuffixes = {
       "us", "ms", "sec", "secs", "seconds", "micros", "millis"};
-  std::string low = lower(name);
+  std::string low = lower_ascii(name);
   std::vector<std::string> segments;
   size_t begin = 0;
   while (begin <= low.size()) {
@@ -373,32 +258,8 @@ bool time_ish_name(const std::string& name) {
   return segments.size() >= 2 && kSuffixes.count(segments.back()) != 0;
 }
 
-bool raw_int_type(const std::string& type_text) {
-  static const std::set<std::string> kIntWords = {
-      "int",      "long",     "short",    "unsigned", "signed",
-      "size_t",   "int8_t",   "int16_t",  "int32_t",  "int64_t",
-      "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "uint_fast8_t",
-      "uint_fast16_t", "uint_fast32_t", "uint_fast64_t", "ptrdiff_t"};
-  bool any = false;
-  size_t begin = 0;
-  while (begin <= type_text.size()) {
-    size_t end = type_text.find(' ', begin);
-    if (end == std::string::npos) end = type_text.size();
-    std::string word = type_text.substr(begin, end - begin);
-    if (!word.empty() && word != "std" && word != "::" && word != "const" &&
-        word != "constexpr" && word != "inline" && word != "static" &&
-        word != "volatile") {
-      if (kIntWords.count(word) == 0) return false;
-      any = true;
-    }
-    if (end == type_text.size()) break;
-    begin = end + 1;
-  }
-  return any;
-}
-
 void rule_raw_time_param(const FileIndex& ix, const std::string& rel,
-                         Findings& out) {
+                         const Sink& sink) {
   if (rel.size() < 2 || rel.compare(rel.size() - 2, 2, ".h") != 0) return;
   const TokenList& code = ix.code();
   for (size_t i = 1; i < code.size(); ++i) {
@@ -417,12 +278,12 @@ void rule_raw_time_param(const FileIndex& ix, const std::string& rel,
     for (const Param& p : ix.parse_params(i)) {
       if (p.name.empty() || p.ptr_or_ref) continue;
       if (!time_ish_name(p.name)) continue;
-      if (!raw_int_type(p.type_text)) continue;
-      add(out, ix, rel, "raw-time-param", p.line,
-          "public-header parameter `" + p.name + "` carries time as a raw "
-          "`" + p.type_text + "`; take sim::Duration, sim::Time, or "
-          "dns::Ttl so the unit lives in the type",
-          prev.text + "(... " + p.type_text + " " + p.name + " ...)");
+      if (!raw_int_type_text(p.type_text)) continue;
+      sink.add("raw-time-param", p.line,
+               "public-header parameter `" + p.name + "` carries time as a "
+               "raw `" + p.type_text + "`; take sim::Duration, sim::Time, "
+               "or dns::Ttl so the unit lives in the type",
+               prev.text + "(... " + p.type_text + " " + p.name + " ...)");
     }
   }
   // Data members too: a raw-int field named like a time quantity leaks the
@@ -430,35 +291,19 @@ void rule_raw_time_param(const FileIndex& ix, const std::string& rel,
   for (const VarDecl& d : ix.var_decls()) {
     if (d.scope != ScopeKind::kClass || d.ptr_or_ref) continue;
     if (!time_ish_name(d.name)) continue;
-    if (!raw_int_type(d.type_text)) continue;
-    add(out, ix, rel, "raw-time-param", d.line,
-        "public-header member `" + d.name + "` carries time as a raw `" +
-            d.type_text + "`; use sim::Duration, sim::Time, or dns::Ttl so "
-            "the unit lives in the type",
-        d.type_text + " " + d.name);
+    if (!raw_int_type_text(d.type_text)) continue;
+    sink.add("raw-time-param", d.line,
+             "public-header member `" + d.name + "` carries time as a raw `" +
+                 d.type_text + "`; use sim::Duration, sim::Time, or "
+                 "dns::Ttl so the unit lives in the type",
+             d.type_text + " " + d.name);
   }
 }
 
 // ------------------------------------------------------- unit-float-cast
 
-bool unit_typed_text(const std::string& type_text) {
-  std::string prev;
-  size_t begin = 0;
-  while (begin <= type_text.size()) {
-    size_t end = type_text.find(' ', begin);
-    if (end == std::string::npos) end = type_text.size();
-    std::string word = type_text.substr(begin, end - begin);
-    if (word == "Duration" || word == "SimTime" || word == "Ttl") return true;
-    if (word == "Time" && prev == "::") return true;
-    if (!word.empty()) prev = word;
-    if (end == type_text.size()) break;
-    begin = end + 1;
-  }
-  return false;
-}
-
 void rule_unit_float_cast(const FileIndex& ix, const std::string& rel,
-                          Findings& out) {
+                          const Sink& sink) {
   if (path_has_component(rel, "stats")) return;  // sanctioned float layer
   static const std::set<std::string> kEscapes = {
       "count",      "value",           "ticks",
@@ -473,7 +318,7 @@ void rule_unit_float_cast(const FileIndex& ix, const std::string& rel,
   for (const Scope& s : ix.scopes()) {
     if (s.params_open == kNpos) continue;
     for (const Param& p : ix.parse_params(s.params_open)) {
-      if (!p.name.empty() && unit_typed_text(p.type_text)) {
+      if (!p.name.empty() && unit_type_text(p.type_text)) {
         unit_names.insert(p.name);
       }
     }
@@ -520,19 +365,19 @@ void rule_unit_float_cast(const FileIndex& ix, const std::string& rel,
       }
     }
     if (has_unit && !has_escape) {
-      add(out, ix, rel, "unit-float-cast", code[i].line,
-          "cast of unit-typed `" + unit_name + "` to " + dest + " outside "
-          "src/stats/; use sim::to_seconds()/to_milliseconds() or keep "
-          "float conversions in the stats layer",
-          make_excerpt(ix, i, close + 1));
+      sink.add("unit-float-cast", code[i].line,
+               "cast of unit-typed `" + unit_name + "` to " + dest +
+                   " outside src/stats/; use sim::to_seconds()/"
+                   "to_milliseconds() or keep float conversions in the "
+                   "stats layer",
+               make_excerpt(ix, i, close + 1));
     }
   }
 }
 
 // -------------------------------------------------------- rng-gated-draw
 
-void rule_rng_gated_draw(const FileIndex& ix, const std::string& rel,
-                         Findings& out) {
+void rule_rng_gated_draw(const FileIndex& ix, const Sink& sink) {
   const std::set<std::string> rng_typed = rng_typed_names(ix);
   const TokenList& code = ix.code();
   for (size_t i = 0; i + 1 < code.size(); ++i) {
@@ -545,7 +390,7 @@ void rule_rng_gated_draw(const FileIndex& ix, const std::string& rel,
     // Split the condition on top-level '&&'.
     std::vector<std::pair<size_t, size_t>> operands;
     size_t begin = open + 1;
-    for (size_t k : top_level(ix, open + 1, close)) {
+    for (size_t k : top_level_positions(ix, open + 1, close)) {
       if (code[k].punct("&&")) {
         operands.emplace_back(begin, k);
         begin = k + 1;
@@ -572,11 +417,12 @@ void rule_rng_gated_draw(const FileIndex& ix, const std::string& rel,
         if (!has_draw[m]) later_gate = true;
       }
       if (!later_gate) continue;
-      add(out, ix, rel, "rng-gated-draw", code[draw_at[n]].line,
-          "RNG draw runs before a cheaper gate in the same `&&` chain: an "
-          "inactive window / zero rate must burn no draw (RNG-stream "
-          "contract) — reorder so the predicate short-circuits first",
-          make_excerpt(ix, open + 1, close));
+      sink.add("rng-gated-draw", code[draw_at[n]].line,
+               "RNG draw runs before a cheaper gate in the same `&&` chain: "
+               "an inactive window / zero rate must burn no draw "
+               "(RNG-stream contract) — reorder so the predicate "
+               "short-circuits first",
+               make_excerpt(ix, open + 1, close));
       break;
     }
   }
@@ -584,72 +430,20 @@ void rule_rng_gated_draw(const FileIndex& ix, const std::string& rel,
 
 // ------------------------------------------------------ rng-fork-in-shard
 
-void collect_lambda_bodies(const FileIndex& ix, size_t begin, size_t end,
-                           std::vector<std::pair<size_t, size_t>>& bodies) {
+void rule_rng_fork_in_shard(const FileIndex& ix, const Sink& sink) {
   const TokenList& code = ix.code();
-  for (size_t j = begin; j < end; ++j) {
-    if (!code[j].punct("[")) continue;
-    size_t m = ix.match(j);
-    if (m == kNpos || m + 1 >= end) continue;
-    size_t k = m + 1;
-    if (code[k].punct("(")) {
-      size_t pc = ix.match(k);
-      if (pc == kNpos) continue;
-      k = pc + 1;
-    }
-    // Skip specifiers / trailing return, bounded.
-    size_t guard = 0;
-    while (k < end && !code[k].punct("{") && guard++ < 12) ++k;
-    if (k >= end || !code[k].punct("{")) continue;
-    size_t body_close = ix.match(k);
-    if (body_close == kNpos) continue;
-    bodies.emplace_back(k + 1, body_close);
-  }
-}
-
-void rule_rng_fork_in_shard(const FileIndex& ix, const std::string& rel,
-                            Findings& out) {
-  static const std::set<std::string> kShardEntries = {
-      "parallel_for_shards", "map_shards",           "ordered_reduce",
-      "run_sharded_script",  "run_bailiwick_sharded", "crawl_sharded",
-      "run_controlled_ttl_set"};
-  const TokenList& code = ix.code();
-  std::vector<std::pair<size_t, size_t>> bodies;
-  for (size_t i = 0; i + 1 < code.size(); ++i) {
-    if (code[i].kind == TokenKind::kIdentifier &&
-        kShardEntries.count(code[i].text) != 0 && code[i + 1].punct("(")) {
-      size_t close = ix.match(i + 1);
-      if (close != kNpos) collect_lambda_bodies(ix, i + 2, close, bodies);
-    }
-    // Lambdas bound to ShardScript/EnvFactory variables are shard bodies
-    // too: `ShardScript script = [...](...) { ... };`
-    if ((code[i].ident("ShardScript") || code[i].ident("EnvFactory")) &&
-        i + 3 < code.size() &&
-        code[i + 1].kind == TokenKind::kIdentifier &&
-        code[i + 2].punct("=") && code[i + 3].punct("[")) {
-      size_t stmt_end = i + 3;
-      while (stmt_end < code.size() && !code[stmt_end].punct(";")) {
-        if (code[stmt_end].punct("{")) {
-          size_t m = ix.match(stmt_end);
-          if (m == kNpos) break;
-          stmt_end = m;
-        }
-        ++stmt_end;
-      }
-      collect_lambda_bodies(ix, i + 3, stmt_end, bodies);
-    }
-  }
-
   const std::set<std::string> rng_typed = rng_typed_names(ix);
-  for (const auto& [body_begin, body_end] : bodies) {
+  for (size_t open : shard_body_opens(ix)) {
+    const size_t body_begin = open + 1;
+    const size_t body_end = ix.match(open);
+    if (body_end == kNpos) continue;
     // Locally-bound names: lambda parameters + declarations in the body.
     // An Rng declared IN the body only counts as bound when its initializer
     // went through fork(): `sim::Rng a = src.fork(shard)` is the contract,
     // `sim::Rng a = src` is just a renamed capture of a shared stream.
     std::set<std::string> bound;
-    // The body's scope (a kLambda scope opening at body_begin - 1).
     for (const Scope& s : ix.scopes()) {
-      if (s.open == body_begin - 1 && s.params_open != kNpos) {
+      if (s.open == open && s.params_open != kNpos) {
         for (const Param& p : ix.parse_params(s.params_open)) {
           if (!p.name.empty()) bound.insert(p.name);
         }
@@ -675,13 +469,13 @@ void rule_rng_fork_in_shard(const FileIndex& ix, const std::string& rel,
       std::string head;
       if (!draw_site_at(ix, j, &head, &rng_typed)) continue;
       if (!head.empty() && bound.count(head) != 0) continue;
-      add(out, ix, rel, "rng-fork-in-shard", code[j].line,
-          "shard body draws from a captured RNG stream (`" +
-              (head.empty() ? std::string("<expr>") : head) +
-              "`): every shard must draw from its own forked stream "
-              "(rng.fork(shard)) or one threaded through the callback, or "
-              "results depend on shard interleaving",
-          make_excerpt(ix, j > 3 ? j - 3 : 0, j + 3));
+      sink.add("rng-fork-in-shard", code[j].line,
+               "shard body draws from a captured RNG stream (`" +
+                   (head.empty() ? std::string("<expr>") : head) +
+                   "`): every shard must draw from its own forked stream "
+                   "(rng.fork(shard)) or one threaded through the callback, "
+                   "or results depend on shard interleaving",
+               make_excerpt(ix, j > 3 ? j - 3 : 0, j + 3));
     }
   }
 }
@@ -699,34 +493,51 @@ const std::vector<RuleInfo>& rule_infos() {
       {"rng-fork-in-shard", "rng-stream",
        "par:: shard bodies draw only from forked or threaded-through RNG "
        "streams, never captured ones"},
+      {"rng-escape", "rng-stream",
+       "shard bodies must not pass an unforked RNG by mutable reference "
+       "into callees that draw from it (interprocedural)"},
       {"shared-mutable-in-shard", "shard-purity",
        "no mutable static-storage state (or SoA-pool aliases, even const) "
        "reachable from par:: shard bodies"},
+      {"shard-escape", "shard-purity",
+       "no reference/pointer to shard-local state stored or returned past "
+       "the shard body (interprocedural)"},
       {"unordered-output-flow", "determinism",
        "no range-for over unordered containers feeding render()/output/"
        "scheduling paths"},
+      {"unordered-output-flow-ip", "determinism",
+       "no range-for over unordered containers reaching an output sink "
+       "through a call chain (interprocedural, depth <= 4)"},
       {"wall-clock", "determinism",
        "no wall-clock reads; simulated time comes from "
        "sim::Simulation::now()"},
       {"raw-time-param", "unit-safety",
        "public-header parameters carry time as sim::Duration/sim::Time/"
        "dns::Ttl, not raw integers"},
+      {"raw-time-flow", "unit-safety",
+       "no raw integer literal/local crossing a call boundary into a "
+       "Duration/Ttl construction site (interprocedural)"},
       {"unit-float-cast", "unit-safety",
        "no float casts of unit-typed values outside src/stats/"},
+      {"stale-suppression", "hygiene",
+       "every lint:allow/analyze:allow names a rule that still fires on "
+       "the covered line; dead allows must be deleted"},
   };
   return kInfos;
 }
 
-Findings run_rules(const FileIndex& ix, const std::string& rel_path) {
+Findings run_rules(const FileIndex& ix, const std::string& rel_path,
+                   Findings* suppressed) {
   Findings out;
-  rule_rng_raw_source(ix, rel_path, out);
-  rule_wall_clock(ix, rel_path, out);
-  rule_unordered_output_flow(ix, rel_path, out);
-  rule_shared_mutable(ix, rel_path, out);
-  rule_raw_time_param(ix, rel_path, out);
-  rule_unit_float_cast(ix, rel_path, out);
-  rule_rng_gated_draw(ix, rel_path, out);
-  rule_rng_fork_in_shard(ix, rel_path, out);
+  const Sink sink{ix, rel_path, out, suppressed};
+  rule_rng_raw_source(ix, sink);
+  rule_wall_clock(ix, sink);
+  rule_unordered_output_flow(ix, sink);
+  rule_shared_mutable(ix, sink);
+  rule_raw_time_param(ix, rel_path, sink);
+  rule_unit_float_cast(ix, rel_path, sink);
+  rule_rng_gated_draw(ix, sink);
+  rule_rng_fork_in_shard(ix, sink);
   return out;
 }
 

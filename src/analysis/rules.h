@@ -18,12 +18,15 @@ struct RuleInfo {
 
 const std::vector<RuleInfo>& rule_infos();
 
-/// Runs every rule over one indexed file.  `rel_path` is the repo-relative
-/// path with forward slashes; path-scoped rules (raw-time-param headers
-/// only, unit-float-cast stats exemption) key on it.  Suppressions
-/// (`lint:allow`/`analyze:allow`) are already applied: suppressed findings
-/// never come back.
-Findings run_rules(const FileIndex& index, const std::string& rel_path);
+/// Runs every intraprocedural rule over one indexed file.  `rel_path` is
+/// the repo-relative path with forward slashes; path-scoped rules
+/// (raw-time-param headers only, unit-float-cast stats exemption) key on
+/// it.  Suppressions (`lint:allow`/`analyze:allow`) are already applied:
+/// suppressed findings never come back — but when `suppressed` is non-null
+/// the silenced findings are appended there, so the stale-suppression
+/// audit can tell a used allow from a dead one.
+Findings run_rules(const FileIndex& index, const std::string& rel_path,
+                   Findings* suppressed = nullptr);
 
 }  // namespace dnsttl::analysis
 

@@ -215,7 +215,105 @@ const std::vector<Case>& cases() {
        "// analyze:allow(wall-clock) wrong rule name\n"
        "unsigned long g_count = 0;\n"
        "}\n",
-       {"shared-mutable-in-shard"}},
+       // The mutable still fires, and the wall-clock allow is dead weight:
+       // the stale-suppression audit flags it.
+       {"shared-mutable-in-shard", "stale-suppression"}},
+      {"rng-escape fires when a shard body passes an unforked stream down",
+       "src/core/x.cc",
+       "void spin(sim::Rng& rng) { rng.uniform(); }\n"
+       "void f(sim::Rng& rng, std::size_t shards, std::size_t jobs) {\n"
+       "  par::map_shards(shards, jobs, [&](std::size_t shard) {\n"
+       "    spin(rng);\n"
+       "    return shard;\n"
+       "  });\n"
+       "}\n",
+       {"rng-escape"}},
+      {"rng-escape silent when the shard forks before the call",
+       "src/core/x.cc",
+       "void spin(sim::Rng& rng) { rng.uniform(); }\n"
+       "void f(const sim::Rng& rng, std::size_t shards, std::size_t jobs) {\n"
+       "  par::map_shards(shards, jobs, [&](std::size_t shard) {\n"
+       "    sim::Rng mine = rng.fork(shard);\n"
+       "    spin(mine);\n"
+       "    return shard;\n"
+       "  });\n"
+       "}\n",
+       {}},
+      {"shard-escape fires when a callee stores a pointer to shard state",
+       "src/core/x.cc",
+       "class Registry {\n"
+       " public:\n"
+       "  void stash(const int* slot) { slots_.push_back(slot); }\n"
+       " private:\n"
+       "  std::vector<const int*> slots_;\n"
+       "};\n"
+       "void f(Registry& reg, std::size_t shards, std::size_t jobs) {\n"
+       "  par::map_shards(shards, jobs, [&](std::size_t shard) {\n"
+       "    int tally = int(shard);\n"
+       "    reg.stash(&tally);\n"
+       "    return shard;\n"
+       "  });\n"
+       "}\n",
+       {"shard-escape"}},
+      {"shard-escape silent for value parameters",
+       "src/core/x.cc",
+       "int twice(int v) { return v + v; }\n"
+       "void f(std::size_t shards, std::size_t jobs) {\n"
+       "  par::map_shards(shards, jobs, [&](std::size_t shard) {\n"
+       "    int tally = int(shard);\n"
+       "    return twice(tally);\n"
+       "  });\n"
+       "}\n",
+       {}},
+      {"unordered-output-flow-ip fires through a call chain",
+       "src/core/x.cc",
+       "void emit(std::ostream& os, int k) { os << k; }\n"
+       "void f(std::ostream& os) {\n"
+       "  std::unordered_map<int, int> hits;\n"
+       "  for (const auto& [k, v] : hits) {\n"
+       "    emit(os, k);\n"
+       "  }\n"
+       "}\n",
+       {"unordered-output-flow-ip"}},
+      {"unordered-output-flow-ip silent when the callee only aggregates",
+       "src/core/x.cc",
+       "int bump(int total, int v) { return total + v; }\n"
+       "int f() {\n"
+       "  std::unordered_map<int, int> hits;\n"
+       "  int total = 0;\n"
+       "  for (const auto& [k, v] : hits) {\n"
+       "    total = bump(total, v);\n"
+       "  }\n"
+       "  return total;\n"
+       "}\n",
+       {}},
+      {"raw-time-flow fires when a raw count crosses into a Duration ctor",
+       "src/core/x.cc",
+       "void arm(Timer& t, std::uint64_t delay_us) {\n"
+       "  t.set(sim::Duration::micros(delay_us));\n"
+       "}\n"
+       "void f(Timer& t) {\n"
+       "  std::uint64_t lease = 5'000'000;\n"
+       "  arm(t, lease);\n"
+       "}\n",
+       {"raw-time-flow"}},
+      {"raw-time-flow silent when the boundary takes the strong type",
+       "src/core/x.cc",
+       "void arm(Timer& t, sim::Duration delay) { t.set(delay); }\n"
+       "void f(Timer& t) {\n"
+       "  arm(t, sim::Duration::micros(5'000'000));\n"
+       "}\n",
+       {}},
+      {"stale-suppression fires on an allow whose rule never fires",
+       "src/core/x.cc",
+       "// analyze:allow(wall-clock) leftover from an old refactor\n"
+       "int f() { return 1; }\n",
+       {"stale-suppression"}},
+      {"stale-suppression ignores rules owned by other tools",
+       "src/core/x.cc",
+       "// lint:allow(raw-new) lint.py owns this rule\n"
+       "int f() { return 1; }\n",
+       {}},
   };
   return kCases;
 }

@@ -116,7 +116,6 @@ class VpSchedule final : public sim::CohortSource {
   }
 
  private:
-  // lint:allow(raw-time-param) fired-entry count between audits, not time.
   static constexpr std::uint64_t kAuditInterval = 4096;
 
   void fire_round(std::size_t vp, sim::Time at) {

@@ -59,7 +59,6 @@ struct OutagePointResult {
 
   std::uint64_t auth_queries = 0;   ///< load on the child nameserver
   std::uint64_t resurrections = 0;  ///< RFC 8767 expired-entry refreshes
-  // lint:allow(raw-time-param) event counter, not a time quantity
   std::uint64_t backoffs = 0;       ///< servers benched by the resolver
   // lint:allow(raw-time-param) event counter, not a time quantity
   std::uint64_t outage_timeouts = 0;  ///< exchanges killed by kOutage

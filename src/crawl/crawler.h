@@ -14,8 +14,6 @@ namespace dnsttl::crawl {
 struct TypeTally {
   std::size_t records = 0;
   std::size_t unique_values = 0;
-  // lint:allow(raw-time-param) a count of domains whose TTL is zero, not a
-  // time value itself.
   std::size_t ttl_zero_domain_count = 0;  ///< Table 8's per-type domain counts
   stats::Cdf ttl_cdf;                ///< Figure 9's curves
 

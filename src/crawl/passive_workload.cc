@@ -106,7 +106,6 @@ class DemandPool final : public sim::CohortSource {
   }
 
  private:
-  // lint:allow(raw-time-param) fired-entry count between audits, not time.
   static constexpr std::uint64_t kAuditInterval = 4096;
 
   void schedule_next(std::size_t index, sim::Time from) {

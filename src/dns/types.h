@@ -66,8 +66,6 @@ std::string_view to_string(Section section);
 RRType rrtype_from_string(std::string_view text);
 
 /// Maximum sensible TTL in seconds: RFC 2181 §8 caps TTLs at 2^31 - 1.
-// lint:allow(raw-time-param) this constant IS the raw clamp bound the Ttl
-// strong type is built from; it cannot itself be a Ttl.
 inline constexpr std::uint32_t kMaxTtlSeconds = 0x7fffffff;
 
 /// Cache time-to-live: whole seconds, 31-bit per RFC 2181 §8.

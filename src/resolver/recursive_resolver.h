@@ -56,7 +56,6 @@ class RecursiveResolver : public net::DnsNode {
     std::uint64_t stale_refresh_answers = 0;  ///< stale served inside the
                                               ///< RFC 8767 refresh window,
                                               ///< upstream not retried
-    // lint:allow(raw-time-param) event counter, not a time quantity
     std::uint64_t backoffs = 0;  ///< servers benched after repeat timeouts
     std::uint64_t prefetches = 0;
     std::uint64_t tcp_retries = 0;
@@ -202,7 +201,6 @@ class RecursiveResolver : public net::DnsNode {
   struct ServerHealth {
     double srtt_ms = 10.0;  ///< optimistic default so new servers get tried
     bool srtt_seeded = false;      ///< first sample replaces the default
-    // lint:allow(raw-time-param) a count of timeouts, not a time quantity
     int consecutive_timeouts = 0;  ///< reset by any successful exchange
     // lint:allow(raw-time-param) a count of doublings, not a time quantity
     int backoff_level = 0;         ///< doublings applied so far

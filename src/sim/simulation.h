@@ -411,8 +411,6 @@ class Simulation {
   /// path, which then compiles to the exact pre-source run loop.
   std::vector<CohortSource*> sources_;
 
-  // lint:allow(raw-time-param) the audit interval counts dispatched events,
-  // not time.
   static constexpr std::uint64_t kDefaultAuditInterval = 1024;
   std::vector<std::function<void()>> audit_hooks_;
   // lint:allow(raw-time-param) event count, not a time value.

@@ -275,8 +275,6 @@ constexpr Duration days(F) = delete;
       static_cast<std::int64_t>(static_cast<double>(d.count()) * factor));
 }
 
-// lint:allow(raw-time-param) conversion boundary: these produce doubles for
-// the stats layer and are the sanctioned Duration→float escape hatch.
 [[nodiscard]] constexpr double to_milliseconds(Duration d) {
   return static_cast<double>(d.count()) /
          static_cast<double>(kMillisecond.count());

@@ -1,0 +1,23 @@
+// analyze-as: src/core/lexer_hardening.cc
+// Hardened-lexer pinning: everything below is quoted or commented out, so
+// the analyzer must report nothing at all.  If raw-string prefixes, custom
+// delimiters, digit separators, or comment line splices regress, the quoted
+// calls below leak into the token stream and rng/wall-clock rules fire.
+
+namespace dnsttl::core {
+
+inline constexpr const char* kPlain = R"(rand() time(nullptr) srand(1))";
+inline constexpr const char* kDelim = u8R"x(std::random_device entropy; ")x";
+inline constexpr const wchar_t* kWide = LR"(clock() gettimeofday(&tv, 0))";
+inline constexpr const char16_t* kU16 = uR"(std::mt19937 gen(42);)";
+inline constexpr const char32_t* kU32 = UR"(time(nullptr))";
+
+// A line splice keeps this comment going, so the next line is comment too \
+rand(); std::random_device entropy; long long t = time(nullptr);
+
+inline constexpr long long kBigTick = 1'000'000;
+inline constexpr unsigned kMask = 0xFF'FF;
+
+inline long long scaled() { return kBigTick / 1'000; }
+
+}  // namespace dnsttl::core

@@ -1,0 +1,19 @@
+// analyze-as: src/core/raw_time_flow_ok.cc
+// Clean: the helper takes sim::Duration, so call sites must name the unit;
+// a digit-separated literal inside a unit factory is sanctioned, and a raw
+// integer that never reaches a unit-constructing callee is none of this
+// rule's business.
+
+namespace dnsttl::core {
+
+void arm_refresh(sim::TimerWheel& wheel, sim::Duration delay) {
+  wheel.schedule_after(delay);
+}
+
+void configure(sim::TimerWheel& wheel) {
+  arm_refresh(wheel, sim::Duration::micros(30'000'000));
+  std::uint64_t spins = 1'000;
+  wheel.rotate(spins);
+}
+
+}  // namespace dnsttl::core

@@ -1,0 +1,20 @@
+// analyze-as: src/core/rng_escape.cc
+// Interprocedural rng-escape: the shard body itself never draws, so the
+// intraprocedural rng-gated-draw rule sees nothing — the violation only
+// appears once jitter()'s summary (draws from its rng parameter) is linked
+// into the shard body's call site.
+
+namespace dnsttl::core {
+
+void jitter(sim::Rng& rng, std::vector<double>& out) {
+  out.push_back(rng.uniform());
+}
+
+void run(sim::Rng& rng, std::size_t shards, std::size_t jobs) {
+  std::vector<double> samples;
+  par::parallel_for_shards(shards, jobs, [&](std::size_t shard) {
+    jitter(rng, samples);  // expect: rng-escape
+  });
+}
+
+}  // namespace dnsttl::core

@@ -1,0 +1,32 @@
+// analyze-as: src/core/shard_escape.cc
+// Interprocedural shard-escape: a shard body leaks the address of one of
+// its locals past the shard's lifetime — once through a callee that stores
+// its pointer parameter (SlotBoard::pin), once by assigning into captured
+// state.  Both pointers dangle after map_shards() joins.
+
+namespace dnsttl::core {
+
+class SlotBoard {
+ public:
+  void pin(const std::uint64_t* slot) { pinned_.push_back(slot); }
+
+ private:
+  std::vector<const std::uint64_t*> pinned_;
+};
+
+void run(SlotBoard& board, std::size_t shards, std::size_t jobs) {
+  par::parallel_for_shards(shards, jobs, [&](std::size_t shard) {
+    std::uint64_t tally = shard;
+    board.pin(&tally);  // expect: shard-escape
+  });
+}
+
+void run_captured(const std::uint64_t*& keep, std::size_t shards,
+                  std::size_t jobs) {
+  par::parallel_for_shards(shards, jobs, [&](std::size_t shard) {
+    std::uint64_t tally = shard;
+    keep = &tally;  // expect: shard-escape
+  });
+}
+
+}  // namespace dnsttl::core

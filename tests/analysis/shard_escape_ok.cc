@@ -1,0 +1,23 @@
+// analyze-as: src/core/shard_escape_ok.cc
+// No escape: the shard body only passes its local by value, and the object
+// it calls into is itself shard-local, so nothing outlives the shard.
+
+namespace dnsttl::core {
+
+class Tally {
+ public:
+  void add(std::uint64_t v) { total_ += v; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+void run(std::size_t shards, std::size_t jobs) {
+  par::parallel_for_shards(shards, jobs, [&](std::size_t shard) {
+    std::uint64_t tally = shard;
+    Tally board;
+    board.add(tally);
+  });
+}
+
+}  // namespace dnsttl::core

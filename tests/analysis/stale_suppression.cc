@@ -1,0 +1,18 @@
+// analyze-as: src/core/stale_suppression.cc
+// Suppression hygiene: an allow comment whose rule no longer fires on the
+// covered line is itself flagged, a suppression that still earns its keep
+// is not, and allows naming rules outside this analyzer (lint.py's
+// raw-new) are ignored entirely.
+
+namespace dnsttl::core {
+
+// analyze:allow(wall-clock) the clock read moved out long ago  // expect: stale-suppression
+inline int answer() { return 42; }
+
+// lint:allow(shared-mutable-in-shard) documented debt, still real
+unsigned long g_live_tally = 0;
+
+// lint:allow(raw-new) audited by lint.py, not dnsttl_analyze
+inline int other() { return 7; }
+
+}  // namespace dnsttl::core

@@ -9,7 +9,7 @@ unsigned long g_same_line = 0;  // lint:allow(shared-mutable-in-shard) test tall
 // analyze:allow(shared-mutable-in-shard) documented debt, tracked in ROADMAP
 unsigned long g_line_above = 0;
 
-// analyze:allow(wall-clock) names the WRONG rule, so this still fires
+// analyze:allow(wall-clock) names the WRONG rule (dead allow)  // expect: stale-suppression
 unsigned long g_wrong_rule = 0;  // expect: shared-mutable-in-shard
 
 }  // namespace dnsttl::core

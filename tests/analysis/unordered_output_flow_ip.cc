@@ -1,0 +1,20 @@
+// analyze-as: src/core/unordered_output_flow_ip.cc
+// Interprocedural unordered-output-flow: the unordered loop body contains
+// no `<<` of its own — it calls a helper, and the helper streams.  The
+// intraprocedural rule only sees the call; the -ip variant follows the
+// call edge to emit_row()'s writes-output summary.
+
+namespace dnsttl::core {
+
+void emit_row(std::ostream& os, const std::string& key, int hits) {
+  os << key << "=" << hits << "\n";
+}
+
+void dump(std::ostream& os) {
+  std::unordered_map<std::string, int> hits;
+  for (const auto& [key, value] : hits) {
+    emit_row(os, key, value);  // expect: unordered-output-flow-ip
+  }
+}
+
+}  // namespace dnsttl::core

@@ -1,0 +1,30 @@
+// analyze-as: src/core/unordered_output_flow_ip_ok.cc
+// Two clean shapes: aggregating (not emitting) inside the unordered loop is
+// fine, and emitting from an ordered container after a sort is fine even
+// though the helper still streams.
+
+namespace dnsttl::core {
+
+void emit_row(std::ostream& os, const std::string& key, int hits) {
+  os << key << "=" << hits << "\n";
+}
+
+void bump(std::uint64_t& total, int v) { total += static_cast<std::uint64_t>(v); }
+
+void tally(std::uint64_t& total) {
+  std::unordered_map<std::string, int> hits;
+  for (const auto& [key, value] : hits) {
+    bump(total, value);
+  }
+}
+
+void dump_sorted(std::ostream& os) {
+  std::unordered_map<std::string, int> hits;
+  std::vector<std::pair<std::string, int>> rows(hits.begin(), hits.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [key, value] : rows) {
+    emit_row(os, key, value);
+  }
+}
+
+}  // namespace dnsttl::core

@@ -19,8 +19,11 @@
 #include <gtest/gtest.h>
 
 #include "analysis/analyzer.h"
+#include "analysis/index.h"
+#include "analysis/report.h"
 #include "analysis/rules.h"
 #include "analysis/selftest.h"
+#include "par/pool.h"
 
 namespace {
 
@@ -129,6 +132,197 @@ TEST(AnalysisFixtures, SelftestIsGreen) {
   std::ostringstream out;
   const int failures = dnsttl::analysis::selftest(out);
   EXPECT_EQ(failures, 0) << out.str();
+}
+
+// ----------------------------------------------------------------------
+// Interprocedural engine: the properties the fixture corpus cannot state.
+
+/// Phase 1 only — lexical indexing plus the intraprocedural rules, no call
+/// graph.  This is exactly what the analyzer was before the dataflow engine.
+Findings intraprocedural_only(const std::string& rel,
+                              const std::string& source) {
+  const dnsttl::analysis::FileIndex index(rel, source);
+  return dnsttl::analysis::run_rules(index, rel);
+}
+
+TEST(AnalysisInterprocedural, IpFixturesAreInvisibleToTheIntraEngine) {
+  // Each interprocedural rule must have a true-positive fixture that the
+  // intraprocedural engine provably misses: phase 1 alone reports nothing,
+  // the full pipeline reports the rule.  That is the whole point of the
+  // call graph — these are not restatements of existing rules.
+  const std::map<std::string, std::string> ip_fixture_rule = {
+      {"rng_escape.cc", "rng-escape"},
+      {"shard_escape.cc", "shard-escape"},
+      {"unordered_output_flow_ip.cc", "unordered-output-flow-ip"},
+      {"raw_time_flow.cc", "raw-time-flow"},
+  };
+  std::size_t seen = 0;
+  for (const Fixture& f : load_fixtures()) {
+    const auto it = ip_fixture_rule.find(f.file);
+    if (it == ip_fixture_rule.end()) continue;
+    ++seen;
+    const Findings intra = intraprocedural_only(f.analyze_as, f.source);
+    EXPECT_TRUE(intra.empty())
+        << f.file << ": the intraprocedural engine unexpectedly reported "
+        << intra.front().to_string();
+    const Findings full =
+        dnsttl::analysis::analyze_source(f.analyze_as, f.source);
+    bool fired = false;
+    for (const Finding& finding : full) fired |= finding.rule == it->second;
+    EXPECT_TRUE(fired) << f.file << ": full pipeline never reported "
+                       << it->second;
+  }
+  EXPECT_EQ(seen, ip_fixture_rule.size())
+      << "an interprocedural fixture file went missing from tests/analysis/";
+}
+
+TEST(AnalysisInterprocedural, CallGraphLinksAcrossTranslationUnits) {
+  const std::string helper_tu =
+      "namespace dnsttl::core {\n"
+      "void jitter(sim::Rng& rng, std::vector<double>& out) {\n"
+      "  out.push_back(rng.uniform());\n"
+      "}\n"
+      "}  // namespace dnsttl::core\n";
+  const std::string shard_tu =
+      "namespace dnsttl::core {\n"
+      "void run(sim::Rng& rng, std::size_t shards, std::size_t jobs) {\n"
+      "  std::vector<double> samples;\n"
+      "  par::parallel_for_shards(shards, jobs, [&](std::size_t shard) {\n"
+      "    jitter(rng, samples);\n"
+      "  });\n"
+      "}\n"
+      "}  // namespace dnsttl::core\n";
+
+  // The shard TU alone cannot resolve jitter(): no finding.
+  const Findings alone =
+      dnsttl::analysis::analyze_source("src/core/shard_tu.cc", shard_tu);
+  EXPECT_TRUE(alone.empty())
+      << "unresolved call flagged: " << alone.front().to_string();
+
+  // Linked with the defining TU, the draw inside jitter() surfaces at the
+  // shard body's call site — in the *other* file.
+  const Findings linked = dnsttl::analysis::analyze_sources(
+      {{"src/core/helper_tu.cc", helper_tu},
+       {"src/core/shard_tu.cc", shard_tu}});
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_EQ(linked[0].rule, "rng-escape");
+  EXPECT_EQ(linked[0].file, "src/core/shard_tu.cc");
+  EXPECT_EQ(linked[0].line, 5u);
+}
+
+TEST(AnalysisInterprocedural, DataflowTerminatesAndSeesThroughCycles) {
+  // ping/pong forward the stream to each other forever and pong draws; the
+  // visited-set guard must terminate AND still find the draw.  ying/yang
+  // form the same cycle without a draw: completing at all proves
+  // termination, staying silent proves the cycle is not a false positive.
+  const std::string source =
+      "namespace dnsttl::core {\n"
+      "void ping(sim::Rng& r) { pong(r); }\n"
+      "void pong(sim::Rng& r) { ping(r); r.uniform(); }\n"
+      "void ying(sim::Rng& r) { yang(r); }\n"
+      "void yang(sim::Rng& r) { ying(r); }\n"
+      "void run(sim::Rng& rng, std::size_t shards, std::size_t jobs) {\n"
+      "  par::parallel_for_shards(shards, jobs, [&](std::size_t shard) {\n"
+      "    ying(rng);\n"
+      "    ping(rng);\n"
+      "  });\n"
+      "}\n"
+      "}  // namespace dnsttl::core\n";
+  const Findings findings =
+      dnsttl::analysis::analyze_source("src/core/cycles.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng-escape");
+  EXPECT_EQ(findings[0].line, 9u);  // ping(rng), not ying(rng)
+}
+
+TEST(AnalysisInterprocedural, TaintPropagationStopsAtTheDepthCap) {
+  // w6 wraps its raw integer into a Duration; w5..w1 forward.  Unit-flow
+  // taint runs kMaxCallDepth (4) propagation rounds, and the functions are
+  // declared against propagation order (w1 first) so each round moves the
+  // taint exactly one level: it reaches w2 and must stop there.  A literal
+  // into w2 fires; the same literal into w1 is beyond the horizon.
+  const std::string source =
+      "namespace dnsttl::core {\n"
+      "void w1(std::uint64_t raw_us) { w2(raw_us); }\n"
+      "void w2(std::uint64_t raw_us) { w3(raw_us); }\n"
+      "void w3(std::uint64_t raw_us) { w4(raw_us); }\n"
+      "void w4(std::uint64_t raw_us) { w5(raw_us); }\n"
+      "void w5(std::uint64_t raw_us) { w6(raw_us); }\n"
+      "void w6(std::uint64_t raw_us) {\n"
+      "  sim::Duration span = sim::Duration::micros(raw_us);\n"
+      "}\n"
+      "void caller() {\n"
+      "  w2(1'000'000);\n"
+      "  w1(2'000'000);\n"
+      "}\n"
+      "}  // namespace dnsttl::core\n";
+  const Findings findings =
+      dnsttl::analysis::analyze_source("src/core/depth.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-time-flow");
+  EXPECT_EQ(findings[0].line, 11u);  // w2(1'000'000), not w1(2'000'000)
+}
+
+// ----------------------------------------------------------------------
+// Baseline and sharding plumbing.
+
+TEST(AnalysisBaseline, UpdateBaselineRoundTrips) {
+  Findings current;
+  current.push_back(
+      {"wall-clock", "src/core/x.cc", 12, "message one", "time(nullptr)"});
+  current.push_back(
+      {"rng-escape", "src/core/y.cc", 3, "message two", "spin(rng)"});
+
+  const fs::path path =
+      fs::temp_directory_path() / "dnsttl_baseline_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(
+      dnsttl::analysis::update_baseline_file(path.string(), current, &error))
+      << error;
+
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Findings reloaded;
+  ASSERT_TRUE(
+      dnsttl::analysis::baseline_from_json(buffer.str(), &reloaded, &error))
+      << error;
+
+  const auto diff = dnsttl::analysis::diff_against_baseline(current, reloaded);
+  EXPECT_TRUE(diff.fresh.empty());
+  EXPECT_EQ(diff.matched, current.size());
+  EXPECT_EQ(diff.stale_count, 0u);
+  fs::remove(path);
+
+  // IO failure is reported, not swallowed.
+  EXPECT_FALSE(dnsttl::analysis::update_baseline_file(
+      (fs::temp_directory_path() / "no-such-dir" / "b.json").string(), current,
+      &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AnalysisSharding, RealRepoReportIsIdenticalAcrossJobCounts) {
+  // The acceptance bar for --jobs: the report over this repo's own sources
+  // is byte-identical serial, at a fixed worker count, and at whatever the
+  // host advertises.  The shard split is a pure function of the workload,
+  // so this holds on any machine.
+  std::string error;
+  const std::vector<std::string> sources = dnsttl::analysis::collect_sources(
+      DNSTTL_REPO_ROOT, {"src", "tools"}, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_FALSE(sources.empty());
+
+  const Findings serial =
+      dnsttl::analysis::analyze_paths(DNSTTL_REPO_ROOT, sources, 1);
+  const Findings four =
+      dnsttl::analysis::analyze_paths(DNSTTL_REPO_ROOT, sources, 4);
+  const Findings host = dnsttl::analysis::analyze_paths(
+      DNSTTL_REPO_ROOT, sources, dnsttl::par::hardware_jobs());
+
+  EXPECT_EQ(dnsttl::analysis::findings_to_json(serial),
+            dnsttl::analysis::findings_to_json(four));
+  EXPECT_EQ(dnsttl::analysis::findings_to_json(serial),
+            dnsttl::analysis::findings_to_json(host));
 }
 
 }  // namespace

@@ -10,13 +10,17 @@
 //   dnsttl_analyze [--root DIR] [paths...]      analyze (default: src)
 //                  [--baseline FILE]            fail only on NEW findings
 //                  [--write-baseline FILE]      snapshot current findings
+//                  [--update-baseline]          rewrite tools/analysis_baseline.json
 //                  [--json FILE|-]              machine-readable findings
+//                  [--sarif FILE|-]             SARIF 2.1.0 (CI annotations)
+//                  [--jobs N]                   phase-1 worker threads
 //                  [--selftest]                 embedded rule-engine selftest
 //                  [--list-rules]               rule/contract table
 //
 // Exit codes: 0 clean (or all findings matched the baseline), 1 new
 // findings (or selftest failures), 2 usage / IO error.
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,6 +32,7 @@
 #include "analysis/report.h"
 #include "analysis/rules.h"
 #include "analysis/selftest.h"
+#include "par/pool.h"
 
 namespace {
 
@@ -37,7 +42,8 @@ using dnsttl::analysis::Findings;
 
 int usage(std::ostream& out, int code) {
   out << "usage: dnsttl_analyze [--root DIR] [paths...] [--baseline FILE]\n"
-         "                      [--write-baseline FILE] [--json FILE|-]\n"
+         "                      [--write-baseline FILE] [--update-baseline]\n"
+         "                      [--json FILE|-] [--sarif FILE|-] [--jobs N]\n"
          "                      [--selftest] [--list-rules]\n";
   return code;
 }
@@ -72,6 +78,9 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string write_baseline_path;
   std::string json_path;
+  std::string sarif_path;
+  std::size_t jobs = dnsttl::par::default_jobs();
+  bool update_baseline = false;
   bool run_selftest = false;
   bool list_rules = false;
   std::vector<std::string> paths;
@@ -101,6 +110,22 @@ int main(int argc, char** argv) {
       const char* v = next("--json");
       if (v == nullptr) return usage(std::cerr, 2);
       json_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = next("--sarif");
+      if (v == nullptr) return usage(std::cerr, 2);
+      sarif_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = next("--jobs");
+      if (v == nullptr) return usage(std::cerr, 2);
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 1) {
+        std::cerr << "dnsttl_analyze: --jobs needs a positive integer\n";
+        return usage(std::cerr, 2);
+      }
+      jobs = static_cast<std::size_t>(parsed);
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg == "--selftest") {
       run_selftest = true;
     } else if (arg == "--list-rules") {
@@ -140,7 +165,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const Findings findings = dnsttl::analysis::analyze_paths(root, sources);
+  const Findings findings =
+      dnsttl::analysis::analyze_paths(root, sources, jobs);
 
   if (!json_path.empty()) {
     const std::string json = dnsttl::analysis::findings_to_json(findings);
@@ -150,6 +176,25 @@ int main(int argc, char** argv) {
       std::cerr << "dnsttl_analyze: " << error << "\n";
       return 2;
     }
+  }
+  if (!sarif_path.empty()) {
+    const std::string sarif = dnsttl::analysis::findings_to_sarif(findings);
+    if (sarif_path == "-") {
+      std::cout << sarif;
+    } else if (!write_file(sarif_path, sarif, &error)) {
+      std::cerr << "dnsttl_analyze: " << error << "\n";
+      return 2;
+    }
+  }
+  if (update_baseline) {
+    const std::string path = root + "/tools/analysis_baseline.json";
+    if (!dnsttl::analysis::update_baseline_file(path, findings, &error)) {
+      std::cerr << "dnsttl_analyze: " << error << "\n";
+      return 2;
+    }
+    std::cout << "dnsttl_analyze: rewrote baseline (" << findings.size()
+              << " findings) at " << path << "\n";
+    return 0;
   }
   if (!write_baseline_path.empty()) {
     const std::string json = dnsttl::analysis::findings_to_json(findings);
