@@ -1,0 +1,193 @@
+// Bulk-resolution-engine duel: the ZDNS-style batch scheduler
+// (crawl::crawl_engine) against the nested-call reference driver
+// (crawl::crawl_nested) on the four crawl-layer workload cores — the
+// five-list Table 5 crawl, the bailiwick tallies behind Tables 3/4, the
+// Table 9 wild populations, and the Table 6/7 DMap classification.  Each
+// workload runs both drivers on identical (params, rng-fork) inputs,
+// checks the reports agree field by field (the same equivalence the
+// crawl_engine_test proves exhaustively), and reports domains/sec for
+// both sides plus the aggregate speedup into BENCH_crawl_engine.json.
+//
+// Unlike the 16 experiment binaries this output contains wall-clock
+// timings, so it is a perf artifact (like bench_micro_library), not part
+// of the byte-identical experiment suite.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "crawl/engine.h"
+#include "stats/table.h"
+
+using namespace dnsttl;
+
+namespace {
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Field-digest equality between the two drivers' reports: population
+/// shape, every bailiwick counter, and per-type record/unique counts.
+/// (crawl_engine_test additionally proves TTL-sample and CDF identity.)
+bool same_report(const crawl::CrawlReport& a, const crawl::CrawlReport& b) {
+  if (a.domains != b.domains || a.responsive != b.responsive) {
+    return false;
+  }
+  const auto& ba = a.bailiwick;
+  const auto& bb = b.bailiwick;
+  if (ba.responsive != bb.responsive || ba.cname != bb.cname ||
+      ba.soa != bb.soa || ba.respond_ns != bb.respond_ns ||
+      ba.out_only != bb.out_only || ba.in_only != bb.in_only ||
+      ba.mixed != bb.mixed) {
+    return false;
+  }
+  for (auto type : crawl::TypeTallyTable::kSlots) {
+    const auto* ta = a.by_type.find(type);
+    const auto* tb = b.by_type.find(type);
+    if ((ta == nullptr) != (tb == nullptr)) {
+      return false;
+    }
+    if (ta != nullptr && (ta->records != tb->records ||
+                          ta->unique_values != tb->unique_values ||
+                          ta->ttl_zero_domain_count !=
+                              tb->ttl_zero_domain_count)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Workload {
+  std::string name;
+  std::vector<crawl::ListParams> lists;
+  bool collect_content = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Bulk resolution engine",
+                      "batch scheduler vs nested-call driver");
+
+  auto scaled = [&](std::size_t full) {
+    return std::max<std::size_t>(
+        1000, static_cast<std::size_t>(static_cast<double>(full) * args.scale));
+  };
+
+  // The four crawl-layer workload cores.  Sizes keep the nested driver —
+  // a full recursive resolution per (domain, type) — in the seconds range
+  // at --full; the engine side is two orders of magnitude cheaper.
+  std::vector<Workload> workloads;
+  workloads.push_back({"table5_lists",
+                       {crawl::alexa_params(scaled(8000)),
+                        crawl::majestic_params(scaled(8000)),
+                        crawl::umbrella_params(scaled(8000))},
+                       false});
+  workloads.push_back(
+      {"bailiwick", {crawl::alexa_params(scaled(6000)), crawl::root_params()},
+       false});
+  workloads.push_back(
+      {"table9_wild", {crawl::nl_params(scaled(10000)), crawl::root_params()},
+       false});
+  workloads.push_back({"dmap", {crawl::nl_params(scaled(8000))}, true});
+
+  sim::Rng rng(args.seed);
+  bench::JsonReport json("crawl_engine", args);
+  stats::TablePrinter table({"workload", "domains", "nested s", "engine s",
+                             "speedup", "hw"});
+
+  auto total_start = std::chrono::steady_clock::now();
+  std::uint64_t stream = 0;
+  std::size_t total_domains = 0;
+  double nested_total = 0.0;
+  double engine_total = 0.0;
+  std::size_t high_water = 0;
+  bool diverged = false;
+
+  for (const auto& workload : workloads) {
+    double nested_wall = 0.0;
+    double engine_wall = 0.0;
+    std::size_t domains = 0;
+    for (const auto& params : workload.lists) {
+      const sim::Rng list_rng = rng.fork(stream++);
+
+      auto nested_start = std::chrono::steady_clock::now();
+      auto nested =
+          crawl::crawl_nested(params, list_rng, workload.collect_content);
+      nested_wall += elapsed_seconds(nested_start);
+
+      crawl::EngineOptions options;
+      options.jobs = args.jobs;
+      options.collect_content = workload.collect_content;
+      auto engine_start = std::chrono::steady_clock::now();
+      auto engine = crawl::crawl_engine(params, list_rng, options);
+      engine_wall += elapsed_seconds(engine_start);
+
+      domains += engine.stats.resolutions;
+      high_water =
+          std::max(high_water, engine.stats.in_flight_high_water);
+      if (nested.harvest_mismatches != 0 ||
+          !same_report(nested.report, engine.report)) {
+        std::fprintf(stderr,
+                     "DIVERGED: %s/%s — engine and nested driver disagree\n",
+                     workload.name.c_str(), params.name.c_str());
+        diverged = true;
+      }
+    }
+    total_domains += domains;
+    nested_total += nested_wall;
+    engine_total += engine_wall;
+    json.add_metric(workload.name + "_nested", "domains/sec", domains,
+                    nested_wall,
+                    nested_wall > 0
+                        ? static_cast<double>(domains) / nested_wall
+                        : 0.0);
+    json.add_metric(workload.name + "_engine", "domains/sec", domains,
+                    engine_wall,
+                    engine_wall > 0
+                        ? static_cast<double>(domains) / engine_wall
+                        : 0.0);
+    table.add_row({workload.name, std::to_string(domains),
+                   stats::fmt("%.3f", nested_wall),
+                   stats::fmt("%.3f", engine_wall),
+                   stats::fmt("%.1fx", engine_wall > 0
+                                           ? nested_wall / engine_wall
+                                           : 0.0),
+                   std::to_string(high_water)});
+  }
+
+  json.add_metric("aggregate_nested", "domains/sec", total_domains,
+                  nested_total,
+                  nested_total > 0
+                      ? static_cast<double>(total_domains) / nested_total
+                      : 0.0);
+  json.add_metric("aggregate_engine", "domains/sec", total_domains,
+                  engine_total,
+                  engine_total > 0
+                      ? static_cast<double>(total_domains) / engine_total
+                      : 0.0);
+  // Deterministic (min(max_in_flight, largest shard)); tracked so a
+  // scheduler change that silently serializes admission shows up.
+  json.add_metric("in_flight_high_water", "tasks", high_water, 0.0,
+                  static_cast<double>(high_water));
+
+  std::printf("%s\n", table.render().c_str());
+  const double speedup =
+      engine_total > 0 ? nested_total / engine_total : 0.0;
+  std::printf("aggregate: %zu domains  nested %.3fs  engine %.3fs  "
+              "speedup %.1fx\n",
+              total_domains, nested_total, engine_total, speedup);
+  std::printf("reports: %s\n",
+              diverged ? "DIVERGED (drivers disagree)" : "identical");
+
+  if (!args.json_path.empty()) {
+    json.write(args.json_path, elapsed_seconds(total_start));
+  }
+  return diverged ? 1 : 0;
+}

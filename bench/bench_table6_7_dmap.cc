@@ -4,7 +4,7 @@
 
 #include "bench_common.h"
 #include "crawl/dmap.h"
-#include "crawl/population_generator.h"
+#include "crawl/engine.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   sim::Rng rng(args.seed);
   auto params = crawl::nl_params(std::max<std::size_t>(
       5000, static_cast<std::size_t>(500000 * args.scale)));
-  auto population = crawl::generate_population(params, rng);
-  auto report = crawl::classify_content(population);
+  crawl::EngineOptions options;
+  options.jobs = args.jobs;
+  options.collect_content = true;  // DMap classification rides the crawl
+  auto report = crawl::crawl_engine(params, rng.fork(0), options).dmap;
 
   stats::TablePrinter table6({"Categories", "#", "share"});
   const auto classes = {crawl::ContentClass::kPlaceholder,

@@ -43,9 +43,8 @@ int main(int argc, char** argv) {
                     dns::RRType::kMX, dns::RRType::kDNSKEY}) {
     std::vector<std::string> cells{std::string(dns::to_string(type))};
     for (const auto& report : reports) {
-      auto it = report.by_type.find(type);
-      std::size_t count =
-          it == report.by_type.end() ? 0 : it->second.ttl_zero_domain_count;
+      const auto* tally = report.by_type.find(type);
+      std::size_t count = tally == nullptr ? 0 : tally->ttl_zero_domain_count;
       grand_total += count;
       cells.push_back(std::to_string(count));
     }

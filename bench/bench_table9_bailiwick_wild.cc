@@ -5,8 +5,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "crawl/crawler.h"
-#include "par/pool.h"
+#include "crawl/engine.h"
 #include "stats/table.h"
 
 using namespace dnsttl;
@@ -17,6 +16,8 @@ int main(int argc, char** argv) {
 
   sim::Rng rng(args.seed);
   auto scaled = [&](std::size_t full) {
+    // Streaming engine: --scale 100 crawls 10M-domain top lists without
+    // ever materializing the population (memory is the tally footprint).
     return std::max<std::size_t>(2000,
                                  static_cast<std::size_t>(static_cast<double>(full) * args.scale));
   };
@@ -28,12 +29,12 @@ int main(int argc, char** argv) {
       crawl::root_params(),
   };
 
+  crawl::EngineOptions options;
+  options.jobs = args.jobs;
   std::vector<crawl::CrawlReport> reports;
-  for (const auto& params : lists) {
-    auto population = crawl::generate_population(params, rng);
-    reports.push_back(crawl::crawl_sharded(
-        params.name, population, par::shard_count_for(population.size()),
-        args.jobs));
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    reports.push_back(
+        crawl::crawl_engine(lists[i], rng.fork(i), options).report);
   }
 
   stats::TablePrinter table({"", "Alexa", "Majestic", "Umbre.", ".nl",

@@ -480,6 +480,51 @@ void rule_rng_fork_in_shard(const FileIndex& ix, const Sink& sink) {
   }
 }
 
+// ------------------------------------------------------ task-state-escape
+
+/// Resumable-task purity: a struct with a `phase` member (or Phase-typed
+/// member) is a suspended computation — the bulk resolution engine parks it
+/// between scheduler waves, and other tasks retire/admit (compacting the
+/// shard's SoA pools) while it sleeps.  A raw pointer or reference member
+/// into a pool type therefore dangles across the suspension point even
+/// though it was valid when the step stored it.  Task state must hold
+/// indices or values; the pool is re-derived from the shard context each
+/// step.  Same type vocabulary as shared-mutable-in-shard (the PR 8 escape
+/// machinery's pool_type_text).
+void rule_task_state_escape(const FileIndex& ix, const Sink& sink) {
+  const std::vector<Scope>& scopes = ix.scopes();
+  for (size_t si = 0; si < scopes.size(); ++si) {
+    const Scope& s = scopes[si];
+    if (s.kind != ScopeKind::kClass || s.close == kNpos) continue;
+    // Direct members only (innermost scope is this class): nested enums
+    // and structs keep their own membership.
+    bool resumable = false;
+    for (const VarDecl& d : ix.var_decls()) {
+      if (d.scope != ScopeKind::kClass) continue;
+      if (ix.innermost_scope(d.name_idx) != si) continue;
+      if (d.name == "phase" ||
+          d.type_text.find("Phase") != std::string::npos) {
+        resumable = true;
+        break;
+      }
+    }
+    if (!resumable) continue;
+    for (const VarDecl& d : ix.var_decls()) {
+      if (d.scope != ScopeKind::kClass) continue;
+      if (ix.innermost_scope(d.name_idx) != si) continue;
+      if (!d.ptr_or_ref || !pool_type_text(d.type_text)) continue;
+      sink.add("task-state-escape", d.line,
+               "`" + d.name + "` (" + d.type_text + ") aliases an SoA pool "
+               "from inside a resumable task (the struct has a phase "
+               "member, so it suspends between steps): the pool compacts "
+               "as sibling tasks retire, dangling this member across the "
+               "suspension point — store an index and re-derive the alias "
+               "each step",
+               d.type_text + " " + d.name);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_infos() {
@@ -502,6 +547,10 @@ const std::vector<RuleInfo>& rule_infos() {
       {"shard-escape", "shard-purity",
        "no reference/pointer to shard-local state stored or returned past "
        "the shard body (interprocedural)"},
+      {"task-state-escape", "shard-purity",
+       "resumable-task structs (phase-tagged, suspended between scheduler "
+       "steps) hold no raw pointers/references into SoA pools — indices "
+       "only"},
       {"unordered-output-flow", "determinism",
        "no range-for over unordered containers feeding render()/output/"
        "scheduling paths"},
@@ -538,6 +587,7 @@ Findings run_rules(const FileIndex& ix, const std::string& rel_path,
   rule_unit_float_cast(ix, rel_path, sink);
   rule_rng_gated_draw(ix, sink);
   rule_rng_fork_in_shard(ix, sink);
+  rule_task_state_escape(ix, sink);
   return out;
 }
 

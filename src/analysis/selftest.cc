@@ -304,6 +304,29 @@ const std::vector<Case>& cases() {
        "  arm(t, sim::Duration::micros(5'000'000));\n"
        "}\n",
        {}},
+      {"task-state-escape fires on a pool alias in a phase-tagged struct",
+       "src/crawl/x.h",
+       "namespace dnsttl::crawl {\n"
+       "struct ResolutionTask {\n"
+       "  enum class Phase { kSetup, kDone };\n"
+       "  Phase phase = Phase::kSetup;\n"
+       "  const TaskPool* pool = nullptr;\n"
+       "};\n"
+       "}\n",
+       {"task-state-escape"}},
+      {"task-state-escape silent for index members and phaseless structs",
+       "src/crawl/x.h",
+       "namespace dnsttl::crawl {\n"
+       "struct ResolutionTask {\n"
+       "  enum class Phase { kSetup, kDone };\n"
+       "  Phase phase = Phase::kSetup;\n"
+       "  std::size_t slot = 0;\n"
+       "};\n"
+       "struct ShardContext {\n"
+       "  const TaskPool* pool = nullptr;\n"
+       "};\n"
+       "}\n",
+       {}},
       {"stale-suppression fires on an allow whose rule never fires",
        "src/core/x.cc",
        "// analyze:allow(wall-clock) leftover from an old refactor\n"

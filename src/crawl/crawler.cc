@@ -1,9 +1,10 @@
 #include "crawl/crawler.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
-#include <set>
 
+#include "crawl/tabulate.h"
 #include "par/pool.h"
 
 namespace dnsttl::crawl {
@@ -16,70 +17,76 @@ bool ends_with(const std::string& value, const std::string& suffix) {
              0;
 }
 
-/// One slice's tallies before unique-value counting: the report plus the
-/// raw per-type value sets (sets must survive the fold so cross-shard
-/// duplicates collapse exactly as in a serial crawl).
-struct PartialCrawl {
-  CrawlReport report;
-  std::map<dns::RRType, std::set<std::string>> uniques;
-};
-
 PartialCrawl tabulate_slice(const std::vector<GeneratedDomain>& population,
                             std::size_t begin, std::size_t end) {
   PartialCrawl partial;
-  auto& report = partial.report;
-
   for (std::size_t i = begin; i < end; ++i) {
-    const auto& domain = population[i];
-    if (!domain.responsive) continue;
-    ++report.responsive;
-    ++report.bailiwick.responsive;
-
-    switch (domain.ns_answer) {
-      case NsAnswerKind::kCname:
-        ++report.bailiwick.cname;
-        break;
-      case NsAnswerKind::kSoa:
-        ++report.bailiwick.soa;
-        break;
-      case NsAnswerKind::kNsRecords: {
-        bool has_ns = false;
-        for (const auto& record : domain.records) {
-          if (record.type == dns::RRType::kNS) {
-            has_ns = true;
-            break;
-          }
-        }
-        if (has_ns) {
-          ++report.bailiwick.respond_ns;
-          switch (classify_bailiwick(domain)) {
-            case 0:
-              ++report.bailiwick.out_only;
-              break;
-            case 1:
-              ++report.bailiwick.in_only;
-              break;
-            default:
-              ++report.bailiwick.mixed;
-          }
-        }
-        break;
-      }
-    }
-
-    std::set<dns::RRType> ttl_zero_seen;
-    for (const auto& record : domain.records) {
-      auto& tally = report.by_type[record.type];
-      ++tally.records;
-      tally.ttl_cdf.add(static_cast<double>(record.ttl.value()));
-      partial.uniques[record.type].insert(record.value);
-      if (record.ttl == dns::Ttl{} && !ttl_zero_seen.contains(record.type)) {
-        ttl_zero_seen.insert(record.type);
-        ++tally.ttl_zero_domain_count;
-      }
-    }
+    tabulate_domain(population[i], partial);
   }
   return partial;
+}
+
+}  // namespace
+
+void tabulate_domain(const GeneratedDomain& domain, PartialCrawl& partial) {
+  tabulate_domain(domain, domain.records, partial);
+}
+
+void tabulate_domain(const GeneratedDomain& domain,
+                     const std::vector<HarvestedRecord>& harvested,
+                     PartialCrawl& partial) {
+  auto& report = partial.report;
+  if (!domain.responsive) return;
+  ++report.responsive;
+  ++report.bailiwick.responsive;
+
+  switch (domain.ns_answer) {
+    case NsAnswerKind::kCname:
+      ++report.bailiwick.cname;
+      break;
+    case NsAnswerKind::kSoa:
+      ++report.bailiwick.soa;
+      break;
+    case NsAnswerKind::kNsRecords: {
+      bool has_ns = false;
+      for (const auto& record : harvested) {
+        if (record.type == dns::RRType::kNS) {
+          has_ns = true;
+          break;
+        }
+      }
+      if (has_ns) {
+        ++report.bailiwick.respond_ns;
+        switch (classify_bailiwick(domain)) {
+          case 0:
+            ++report.bailiwick.out_only;
+            break;
+          case 1:
+            ++report.bailiwick.in_only;
+            break;
+          default:
+            ++report.bailiwick.mixed;
+        }
+      }
+      break;
+    }
+  }
+
+  // Per-domain TTL=0 dedup as a slot bitmask instead of a heap-allocated
+  // std::set — this runs once per record of every domain crawled.
+  std::uint32_t ttl_zero_seen = 0;
+  for (const auto& record : harvested) {
+    const std::size_t slot = TypeTallyTable::slot_of(record.type);
+    auto& tally = report.by_type[record.type];
+    ++tally.records;
+    tally.ttl_cdf.add(static_cast<double>(record.ttl.value()));
+    partial.uniques[slot].insert(record.value);
+    const std::uint32_t bit = std::uint32_t{1} << slot;
+    if (record.ttl == dns::Ttl{} && (ttl_zero_seen & bit) == 0) {
+      ttl_zero_seen |= bit;
+      ++tally.ttl_zero_domain_count;
+    }
+  }
 }
 
 CrawlReport finalize_crawl(const std::string& list, std::size_t domains,
@@ -88,7 +95,8 @@ CrawlReport finalize_crawl(const std::string& list, std::size_t domains,
   report.list = list;
   report.domains = domains;
 
-  std::map<dns::RRType, std::set<std::string>> uniques;
+  std::array<std::unordered_set<std::string>, TypeTallyTable::kSlots.size()>
+      uniques;
   for (auto& partial : partials) {
     report.responsive += partial.report.responsive;
     auto& b = report.bailiwick;
@@ -101,23 +109,24 @@ CrawlReport finalize_crawl(const std::string& list, std::size_t domains,
     b.in_only += pb.in_only;
     b.mixed += pb.mixed;
 
-    for (auto& [type, tally] : partial.report.by_type) {
-      auto& merged = report.by_type[type];
+    for (std::size_t slot = 0; slot < TypeTallyTable::kSlots.size(); ++slot) {
+      if (!partial.report.by_type.slot_used(slot)) continue;
+      auto& tally = partial.report.by_type.slot(slot);
+      report.by_type.mark_used(slot);
+      auto& merged = report.by_type.slot(slot);
       merged.records += tally.records;
       merged.ttl_zero_domain_count += tally.ttl_zero_domain_count;
       merged.ttl_cdf.add_all(tally.ttl_cdf.sorted_samples());
-    }
-    for (auto& [type, values] : partial.uniques) {
-      uniques[type].merge(values);
+      uniques[slot].merge(partial.uniques[slot]);
     }
   }
-  for (auto& [type, tally] : report.by_type) {
-    tally.unique_values = uniques[type].size();
+  for (std::size_t slot = 0; slot < TypeTallyTable::kSlots.size(); ++slot) {
+    if (report.by_type.slot_used(slot)) {
+      report.by_type.slot(slot).unique_values = uniques[slot].size();
+    }
   }
   return report;
 }
-
-}  // namespace
 
 int classify_bailiwick(const GeneratedDomain& domain) {
   bool any_in = false;

@@ -1,8 +1,11 @@
 #ifndef DNSTTL_CRAWL_CRAWLER_H
 #define DNSTTL_CRAWL_CRAWLER_H
 
-#include <map>
+#include <array>
+#include <cstddef>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crawl/population_generator.h"
@@ -25,6 +28,106 @@ struct TypeTally {
   }
 };
 
+/// Flat per-type tally table: one fixed slot per record type a crawl can
+/// harvest, in ascending RRType order.  Replaces the former
+/// std::map<dns::RRType, TypeTally> on the tabulation hot path — slot
+/// lookup is a switch instead of a tree walk — while iteration still
+/// visits touched slots in RRType order, so rendered tables are
+/// byte-identical to the map-backed output.
+class TypeTallyTable {
+ public:
+  /// Every type the generator or a live crawl can produce, ascending.
+  static constexpr std::array<dns::RRType, 8> kSlots = {
+      dns::RRType::kA,     dns::RRType::kNS,  dns::RRType::kCNAME,
+      dns::RRType::kSOA,   dns::RRType::kMX,  dns::RRType::kTXT,
+      dns::RRType::kAAAA,  dns::RRType::kDNSKEY};
+
+  /// Map-style access: touching a slot makes it visible to iteration,
+  /// exactly as operator[] inserted a key into the old map.
+  TypeTally& operator[](dns::RRType type) {
+    const std::size_t slot = slot_of(type);
+    used_[slot] = true;
+    return tallies_[slot];
+  }
+
+  /// nullptr when the crawl never saw this type (the old map.find == end).
+  const TypeTally* find(dns::RRType type) const {
+    const std::size_t slot = slot_of(type);
+    return used_[slot] ? &tallies_[slot] : nullptr;
+  }
+
+  const TypeTally& at(dns::RRType type) const {
+    const TypeTally* tally = find(type);
+    if (tally == nullptr) {
+      throw std::out_of_range("TypeTallyTable::at: type never tallied");
+    }
+    return *tally;
+  }
+
+  std::size_t size() const {
+    std::size_t count = 0;
+    for (bool used : used_) count += used;
+    return count;
+  }
+
+  /// Iterates touched slots in ascending RRType order (the map's order).
+  class const_iterator {
+   public:
+    const_iterator(const TypeTallyTable* table, std::size_t slot)
+        : table_(table), slot_(slot) {
+      skip_unused();
+    }
+    std::pair<dns::RRType, const TypeTally&> operator*() const {
+      return {kSlots[slot_], table_->tallies_[slot_]};
+    }
+    const_iterator& operator++() {
+      ++slot_;
+      skip_unused();
+      return *this;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return slot_ != other.slot_;
+    }
+    bool operator==(const const_iterator& other) const {
+      return slot_ == other.slot_;
+    }
+
+   private:
+    void skip_unused() {
+      while (slot_ < kSlots.size() && !table_->used_[slot_]) ++slot_;
+    }
+    const TypeTallyTable* table_;
+    std::size_t slot_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, kSlots.size()); }
+
+  /// Mutable slot access by index for fold loops; pairs with kSlots.
+  TypeTally& slot(std::size_t index) { return tallies_[index]; }
+  bool slot_used(std::size_t index) const { return used_[index]; }
+  void mark_used(std::size_t index) { used_[index] = true; }
+
+  static std::size_t slot_of(dns::RRType type) {
+    switch (type) {
+      case dns::RRType::kA: return 0;
+      case dns::RRType::kNS: return 1;
+      case dns::RRType::kCNAME: return 2;
+      case dns::RRType::kSOA: return 3;
+      case dns::RRType::kMX: return 4;
+      case dns::RRType::kTXT: return 5;
+      case dns::RRType::kAAAA: return 6;
+      case dns::RRType::kDNSKEY: return 7;
+      default:
+        throw std::out_of_range("TypeTallyTable: type outside crawl slots");
+    }
+  }
+
+ private:
+  std::array<TypeTally, kSlots.size()> tallies_{};
+  std::array<bool, kSlots.size()> used_{};
+};
+
 /// Bailiwick classification of NS-responding domains — a Table 9 column.
 struct BailiwickTally {
   std::size_t responsive = 0;
@@ -41,7 +144,7 @@ struct CrawlReport {
   std::string list;
   std::size_t domains = 0;
   std::size_t responsive = 0;
-  std::map<dns::RRType, TypeTally> by_type;
+  TypeTallyTable by_type;
   BailiwickTally bailiwick;
 
   double responsive_ratio() const {

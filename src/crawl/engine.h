@@ -1,0 +1,80 @@
+#ifndef DNSTTL_CRAWL_ENGINE_H
+#define DNSTTL_CRAWL_ENGINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crawl/crawler.h"
+#include "crawl/dmap.h"
+#include "crawl/population_generator.h"
+#include "crawl/tabulate.h"
+#include "sim/rng.h"
+
+namespace dnsttl::crawl {
+
+/// Counters the bulk resolution engine (and its nested reference driver)
+/// report alongside the crawl itself — BENCH_crawl_engine.json's columns.
+struct EngineStats {
+  std::size_t resolutions = 0;  ///< domains fully resolved (incl. dead ones)
+  std::size_t queries = 0;      ///< per-type harvest queries answered
+  std::size_t steps = 0;        ///< scheduler micro-steps executed
+  /// Highest number of simultaneously live resolution tasks observed in
+  /// any one shard's scheduler.
+  std::size_t in_flight_high_water = 0;
+  std::size_t shards = 0;
+};
+
+struct EngineOptions {
+  std::size_t shard_count = 0;  ///< 0: par::shard_count_for(domain count)
+  std::size_t jobs = 1;
+  /// Per-shard admission window: how many resolutions one scheduler keeps
+  /// in flight at once before admitting more from its domain range.
+  std::size_t max_in_flight = 512;
+  bool collect_content = false;  ///< also run the DMap streaming hook
+};
+
+struct EngineResult {
+  CrawlReport report;
+  DmapReport dmap;  ///< populated only when options.collect_content
+  EngineStats stats;
+};
+
+/// Bulk resolution engine: crawls the list described by @p params without
+/// ever materializing its population.  Each shard owns a contiguous domain
+/// range and an SoA pool of resumable resolution tasks; a batch scheduler
+/// advances every live task one protocol step per wave (NS answer, then one
+/// record type per step), admitting new domains as finished ones retire.
+/// Domain @p i is drawn from `list_rng.fork(i)`, so any shard regenerates
+/// exactly its own slice; partial tallies fold in shard order through
+/// finalize_crawl().  Output is therefore a pure function of
+/// (params, list_rng, shard_count) — identical at any --jobs.
+EngineResult crawl_engine(const ListParams& params, const sim::Rng& list_rng,
+                          const EngineOptions& options = {});
+
+/// What the nested reference driver measured while harvesting.
+struct NestedResult {
+  CrawlReport report;
+  DmapReport dmap;  ///< populated only when @p collect_content
+  std::size_t queries = 0;
+  /// Wire answers that disagreed with the collapsed tabulation input —
+  /// must be zero; non-zero means the drivers' collapse semantics diverged
+  /// from the authoritative RRset semantics.
+  std::size_t harvest_mismatches = 0;
+};
+
+/// Nested reference driver: materializes the same forked population
+/// (generate_population_forked over a copy of @p list_rng), then crawls it
+/// the pre-engine way — each domain is stood up as a zone on a live
+/// authoritative server and every record type is fetched with a
+/// dns::Message through the simulator's network, wire codec round-trip
+/// included (the harvest path verify_population_live() uses).  The
+/// verified harvest is tabulated through the same collapse rule as the
+/// engine, so reports are field-identical on the same (params, list_rng);
+/// the engine's speedup is measured against this driver.
+NestedResult crawl_nested(const ListParams& params, const sim::Rng& list_rng,
+                          bool collect_content = false);
+
+}  // namespace dnsttl::crawl
+
+#endif  // DNSTTL_CRAWL_ENGINE_H

@@ -1,64 +1,11 @@
 #include "crawl/live_check.h"
 
-#include <functional>
 #include <map>
 #include <set>
 
+#include "crawl/materialize.h"
+
 namespace dnsttl::crawl {
-
-namespace {
-
-/// Deterministic value→address mappings so both sides of the check derive
-/// addresses from the same opaque record values.
-dns::Ipv4 ipv4_for(const std::string& value) {
-  auto h = static_cast<std::uint32_t>(std::hash<std::string>{}(value));
-  return dns::Ipv4{0x0a000000u | (h & 0x00ffffffu)};  // 10.x.y.z
-}
-
-dns::Ipv6 ipv6_for(const std::string& value) {
-  auto h = std::hash<std::string>{}(value);
-  std::array<std::uint8_t, 16> octets{};
-  octets[0] = 0x20;
-  octets[1] = 0x01;
-  for (int i = 0; i < 8; ++i) {
-    octets[static_cast<std::size_t>(8 + i)] =
-        static_cast<std::uint8_t>(h >> (i * 8));
-  }
-  return dns::Ipv6{octets};
-}
-
-dns::Rdata materialize(const HarvestedRecord& record,
-                       const dns::Name& owner) {
-  switch (record.type) {
-    case dns::RRType::kA:
-      return dns::ARdata{ipv4_for(record.value)};
-    case dns::RRType::kAAAA:
-      return dns::AaaaRdata{ipv6_for(record.value)};
-    case dns::RRType::kNS:
-      return dns::NsRdata{dns::Name::from_string(record.value)};
-    case dns::RRType::kMX:
-      return dns::MxRdata{10, dns::Name::from_string(record.value)};
-    case dns::RRType::kCNAME:
-      return dns::CnameRdata{dns::Name::from_string(record.value)};
-    case dns::RRType::kDNSKEY: {
-      dns::DnskeyRdata key;
-      key.public_key = record.value;
-      return key;
-    }
-    default:
-      (void)owner;
-      return dns::TxtRdata{record.value};
-  }
-}
-
-dns::Name owner_for(const GeneratedDomain& domain, dns::RRType type) {
-  auto base = dns::Name::from_string(domain.name);
-  // CNAMEs cannot coexist with other data at a node; crawlers harvest them
-  // from www-style aliases.
-  return type == dns::RRType::kCNAME ? base.prepend("alias") : base;
-}
-
-}  // namespace
 
 LiveCheckReport verify_population_live(
     core::World& world, const std::vector<GeneratedDomain>& population,
@@ -86,9 +33,9 @@ LiveCheckReport verify_population_live(
     auto zone = std::make_shared<dns::Zone>(origin);
     zone->add(dns::make_soa(origin, dns::Ttl{3600}, origin.prepend("ns1"), 1));
     for (const auto& record : domain.records) {
-      zone->add(dns::ResourceRecord{owner_for(domain, record.type),
+      zone->add(dns::ResourceRecord{harvest_owner(origin, record.type),
                                     dns::RClass::kIN, record.ttl,
-                                    materialize(record, origin)});
+                                    materialize(record)});
     }
     server.add_zone(zone);
     ++report.domains_checked;
@@ -99,7 +46,7 @@ LiveCheckReport verify_population_live(
       expected[record.type].push_back(&record);
     }
     for (const auto& [type, records] : expected) {
-      auto query = dns::Message::make_query(1, owner_for(domain, type), type);
+      auto query = dns::Message::make_query(1, harvest_owner(origin, type), type);
       query.add_edns();
       auto outcome = world.network().query(client, address, query, sim::Time{});
       ++report.records_checked;
@@ -121,7 +68,7 @@ LiveCheckReport verify_population_live(
         // record's materialization.
         bool matched = false;
         for (const auto* record : records) {
-          if (rr.rdata == materialize(*record, origin)) {
+          if (rr.rdata == materialize(*record)) {
             matched = true;
             break;
           }

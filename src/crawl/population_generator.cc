@@ -237,137 +237,165 @@ TtlDist class_ttl(ContentClass content, dns::RRType type) {
 
 }  // namespace
 
-std::vector<GeneratedDomain> generate_population(const ListParams& params,
-                                                 sim::Rng& rng) {
-  std::vector<GeneratedDomain> population;
-  population.reserve(params.domains);
-
+std::string list_suffix(const ListParams& params) {
   std::string suffix;
   for (char c : params.name) {
     if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
       suffix += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     }
   }
+  return suffix;
+}
 
+void generate_domain(const ListParams& params, const std::string& suffix,
+                     std::size_t index, sim::Rng& rng,
+                     GeneratedDomain& domain) {
+  domain.records.clear();
+  domain.content = ContentClass::kUnclassified;
+  domain.ns_answer = NsAnswerKind::kNsRecords;
+  domain.name.clear();
+  domain.name += 'd';
+  domain.name += std::to_string(index);
+  domain.name += '.';
+  domain.name += suffix;
+  domain.parent_ns_ttl = params.registry_ns_ttl;
+  domain.responsive = rng.chance(params.responsive);
+  if (!domain.responsive) {
+    return;
+  }
+
+  // Content class (only meaningful for .nl).
+  if (params.classified_fraction > 0.0 &&
+      rng.chance(params.classified_fraction)) {
+    double roll = rng.uniform();
+    domain.content = roll < params.placeholder_share
+                         ? ContentClass::kPlaceholder
+                         : (roll < params.placeholder_share +
+                                       params.ecommerce_share
+                                ? ContentClass::kEcommerce
+                                : ContentClass::kParking);
+  }
+
+  auto ttl_for = [&](dns::RRType type, const TtlDist& list_dist) {
+    if (domain.content != ContentClass::kUnclassified) {
+      return class_ttl(domain.content, type).sample(rng);
+    }
+    return list_dist.sample(rng);
+  };
+
+  // NS answer behavior.
+  double roll = rng.uniform();
+  if (roll < params.cname_answer) {
+    domain.ns_answer = NsAnswerKind::kCname;
+  } else if (roll < params.cname_answer + params.soa_answer) {
+    domain.ns_answer = NsAnswerKind::kSoa;
+  } else {
+    domain.ns_answer = NsAnswerKind::kNsRecords;
+  }
+
+  std::size_t provider = sample_provider(params, rng);
+  std::string provider_tag = "provider" + std::to_string(provider);
+
+  if (domain.ns_answer == NsAnswerKind::kNsRecords) {
+    auto ns_count = rng.uniform_int(
+        static_cast<std::uint64_t>(params.ns_min),
+        static_cast<std::uint64_t>(params.ns_max));
+    dns::Ttl ns_ttl = ttl_for(dns::RRType::kNS, params.ns_ttl);
+
+    double bw = rng.uniform();
+    bool all_out = bw < params.out_only;
+    bool all_in = !all_out && bw < params.out_only + params.in_only;
+    for (std::size_t i = 0; i < ns_count; ++i) {
+      bool in_bailiwick = all_in || (!all_out && i % 2 == 1);
+      std::string target =
+          in_bailiwick ? "ns" + std::to_string(i + 1) + "." + domain.name
+                       : "ns" + std::to_string(i + 1) + "." + provider_tag +
+                             ".example";
+      domain.records.push_back(
+          HarvestedRecord{dns::RRType::kNS, ns_ttl, std::move(target)});
+    }
+  }
+
+  auto add_addresses = [&](dns::RRType type, const TtlDist& dist,
+                           double presence) {
+    if (!rng.chance(presence)) return;
+    dns::Ttl ttl = ttl_for(type, dist);
+    std::size_t count = rng.chance(0.3) ? 2 : 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string value =
+          rng.chance(params.a_shared)
+              ? provider_tag + "-ip" +
+                    std::to_string(rng.uniform_int(
+                        0, params.provider_ip_pool - 1)) +
+                    (type == dns::RRType::kAAAA ? "-v6" : "")
+              : domain.name + "-ip" + std::to_string(i) +
+                    (type == dns::RRType::kAAAA ? "-v6" : "");
+      domain.records.push_back(HarvestedRecord{type, ttl, std::move(value)});
+    }
+  };
+  add_addresses(dns::RRType::kA, params.a_ttl, params.a_presence);
+  add_addresses(dns::RRType::kAAAA, params.aaaa_ttl, params.aaaa_presence);
+
+  if (rng.chance(params.mx_presence)) {
+    dns::Ttl ttl = ttl_for(dns::RRType::kMX, params.mx_ttl);
+    std::size_t count = rng.chance(0.5) ? 2 : 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string value = rng.chance(params.mx_shared)
+                              ? "mx" + std::to_string(i) + "." +
+                                    provider_tag + ".example"
+                              : "mail" + std::to_string(i) + "." +
+                                    domain.name;
+      domain.records.push_back(
+          HarvestedRecord{dns::RRType::kMX, ttl, std::move(value)});
+    }
+  }
+
+  if (rng.chance(params.dnskey_presence)) {
+    dns::Ttl ttl = ttl_for(dns::RRType::kDNSKEY, params.dnskey_ttl);
+    std::size_t keys = rng.chance(params.dnskey_two_keys) ? 2 : 1;
+    for (std::size_t i = 0; i < keys; ++i) {
+      std::string value = rng.chance(params.dnskey_shared)
+                              ? "key-" + provider_tag + "-" +
+                                    std::to_string(i)
+                              : "key-" + domain.name + "-" +
+                                    std::to_string(i);
+      domain.records.push_back(
+          HarvestedRecord{dns::RRType::kDNSKEY, ttl, std::move(value)});
+    }
+  }
+
+  if (rng.chance(params.cname_rr_presence)) {
+    dns::Ttl ttl = params.cname_ttl.sample(rng);
+    std::string value = rng.chance(params.cname_shared)
+                            ? "edge." + provider_tag + ".example"
+                            : "www." + domain.name;
+    domain.records.push_back(
+        HarvestedRecord{dns::RRType::kCNAME, ttl, std::move(value)});
+  }
+}
+
+std::vector<GeneratedDomain> generate_population(const ListParams& params,
+                                                 sim::Rng& rng) {
+  std::vector<GeneratedDomain> population;
+  population.reserve(params.domains);
+  const std::string suffix = list_suffix(params);
   for (std::size_t d = 0; d < params.domains; ++d) {
     GeneratedDomain domain;
-    domain.name = "d" + std::to_string(d) + "." + suffix;
-    domain.parent_ns_ttl = params.registry_ns_ttl;
-    domain.responsive = rng.chance(params.responsive);
-    if (!domain.responsive) {
-      population.push_back(std::move(domain));
-      continue;
-    }
+    generate_domain(params, suffix, d, rng, domain);
+    population.push_back(std::move(domain));
+  }
+  return population;
+}
 
-    // Content class (only meaningful for .nl).
-    if (params.classified_fraction > 0.0 &&
-        rng.chance(params.classified_fraction)) {
-      double roll = rng.uniform();
-      domain.content = roll < params.placeholder_share
-                           ? ContentClass::kPlaceholder
-                           : (roll < params.placeholder_share +
-                                         params.ecommerce_share
-                                  ? ContentClass::kEcommerce
-                                  : ContentClass::kParking);
-    }
-
-    auto ttl_for = [&](dns::RRType type, const TtlDist& list_dist) {
-      if (domain.content != ContentClass::kUnclassified) {
-        return class_ttl(domain.content, type).sample(rng);
-      }
-      return list_dist.sample(rng);
-    };
-
-    // NS answer behavior.
-    double roll = rng.uniform();
-    if (roll < params.cname_answer) {
-      domain.ns_answer = NsAnswerKind::kCname;
-    } else if (roll < params.cname_answer + params.soa_answer) {
-      domain.ns_answer = NsAnswerKind::kSoa;
-    } else {
-      domain.ns_answer = NsAnswerKind::kNsRecords;
-    }
-
-    std::size_t provider = sample_provider(params, rng);
-    std::string provider_tag = "provider" + std::to_string(provider);
-
-    if (domain.ns_answer == NsAnswerKind::kNsRecords) {
-      auto ns_count = rng.uniform_int(
-          static_cast<std::uint64_t>(params.ns_min),
-          static_cast<std::uint64_t>(params.ns_max));
-      dns::Ttl ns_ttl = ttl_for(dns::RRType::kNS, params.ns_ttl);
-
-      double bw = rng.uniform();
-      bool all_out = bw < params.out_only;
-      bool all_in = !all_out && bw < params.out_only + params.in_only;
-      for (std::size_t i = 0; i < ns_count; ++i) {
-        bool in_bailiwick = all_in || (!all_out && i % 2 == 1);
-        std::string target =
-            in_bailiwick ? "ns" + std::to_string(i + 1) + "." + domain.name
-                         : "ns" + std::to_string(i + 1) + "." + provider_tag +
-                               ".example";
-        domain.records.push_back(
-            HarvestedRecord{dns::RRType::kNS, ns_ttl, std::move(target)});
-      }
-    }
-
-    auto add_addresses = [&](dns::RRType type, const TtlDist& dist,
-                             double presence) {
-      if (!rng.chance(presence)) return;
-      dns::Ttl ttl = ttl_for(type, dist);
-      std::size_t count = rng.chance(0.3) ? 2 : 1;
-      for (std::size_t i = 0; i < count; ++i) {
-        std::string value =
-            rng.chance(params.a_shared)
-                ? provider_tag + "-ip" +
-                      std::to_string(rng.uniform_int(
-                          0, params.provider_ip_pool - 1)) +
-                      (type == dns::RRType::kAAAA ? "-v6" : "")
-                : domain.name + "-ip" + std::to_string(i) +
-                      (type == dns::RRType::kAAAA ? "-v6" : "");
-        domain.records.push_back(HarvestedRecord{type, ttl, std::move(value)});
-      }
-    };
-    add_addresses(dns::RRType::kA, params.a_ttl, params.a_presence);
-    add_addresses(dns::RRType::kAAAA, params.aaaa_ttl, params.aaaa_presence);
-
-    if (rng.chance(params.mx_presence)) {
-      dns::Ttl ttl = ttl_for(dns::RRType::kMX, params.mx_ttl);
-      std::size_t count = rng.chance(0.5) ? 2 : 1;
-      for (std::size_t i = 0; i < count; ++i) {
-        std::string value = rng.chance(params.mx_shared)
-                                ? "mx" + std::to_string(i) + "." +
-                                      provider_tag + ".example"
-                                : "mail" + std::to_string(i) + "." +
-                                      domain.name;
-        domain.records.push_back(
-            HarvestedRecord{dns::RRType::kMX, ttl, std::move(value)});
-      }
-    }
-
-    if (rng.chance(params.dnskey_presence)) {
-      dns::Ttl ttl = ttl_for(dns::RRType::kDNSKEY, params.dnskey_ttl);
-      std::size_t keys = rng.chance(params.dnskey_two_keys) ? 2 : 1;
-      for (std::size_t i = 0; i < keys; ++i) {
-        std::string value = rng.chance(params.dnskey_shared)
-                                ? "key-" + provider_tag + "-" +
-                                      std::to_string(i)
-                                : "key-" + domain.name + "-" +
-                                      std::to_string(i);
-        domain.records.push_back(
-            HarvestedRecord{dns::RRType::kDNSKEY, ttl, std::move(value)});
-      }
-    }
-
-    if (rng.chance(params.cname_rr_presence)) {
-      dns::Ttl ttl = params.cname_ttl.sample(rng);
-      std::string value = rng.chance(params.cname_shared)
-                              ? "edge." + provider_tag + ".example"
-                              : "www." + domain.name;
-      domain.records.push_back(
-          HarvestedRecord{dns::RRType::kCNAME, ttl, std::move(value)});
-    }
-
+std::vector<GeneratedDomain> generate_population_forked(
+    const ListParams& params, sim::Rng& rng) {
+  std::vector<GeneratedDomain> population;
+  population.reserve(params.domains);
+  const std::string suffix = list_suffix(params);
+  for (std::size_t d = 0; d < params.domains; ++d) {
+    sim::Rng domain_rng = rng.fork(static_cast<std::uint64_t>(d));
+    GeneratedDomain domain;
+    generate_domain(params, suffix, d, domain_rng, domain);
     population.push_back(std::move(domain));
   }
   return population;

@@ -134,9 +134,33 @@ ListParams umbrella_params(std::size_t domains = 100000);
 ListParams nl_params(std::size_t domains = 500000);
 ListParams root_params();  ///< 1535 responsive TLDs, fixed small size
 
+/// Lowercased alphanumeric form of the list name, used as the synthetic
+/// TLD of its domains ("Alexa" → "alexa", ".nl" → "nl").
+std::string list_suffix(const ListParams& params);
+
+/// Generates domain @p index of the list into @p domain (which is reset
+/// first, retaining its buffers), consuming draws from @p rng in the exact
+/// order the serial generator always has.  With the shared list stream this
+/// reproduces generate_population() element-for-element; with a per-domain
+/// forked stream (`rng.fork(index)`) the domain becomes a pure function of
+/// (params, seed, index), which is what lets the bulk resolution engine
+/// generate shards independently and stream populations it never
+/// materializes.
+void generate_domain(const ListParams& params, const std::string& suffix,
+                     std::size_t index, sim::Rng& rng,
+                     GeneratedDomain& domain);
+
 /// Generates the synthetic population for one list.
 std::vector<GeneratedDomain> generate_population(const ListParams& params,
                                                  sim::Rng& rng);
+
+/// Forked-stream variant: domain i is drawn from `rng.fork(i)`, so any
+/// contiguous slice can be regenerated independently of the rest of the
+/// list.  This is the population discipline of the bulk resolution engine;
+/// it draws different (equally calibrated) populations than the serial
+/// shared-stream generator.
+std::vector<GeneratedDomain> generate_population_forked(
+    const ListParams& params, sim::Rng& rng);
 
 }  // namespace dnsttl::crawl
 

@@ -623,176 +623,219 @@ dns::Name name_suffix(const dns::Name& name, std::size_t label_count) {
 
 }  // namespace
 
-dns::Message RecursiveResolver::resolve_iterative(
-    const dns::Question& question, sim::Time now, Context& ctx) {
-  dns::Question current = question;
-  std::vector<dns::ResourceRecord> chain;  // CNAME prefix records
-  dns::Name minimized_zone;  // zone the reveal counter applies to
-  std::size_t reveal = 1;    // labels revealed past that zone (RFC 7816)
+RecursiveResolver::Resolution RecursiveResolver::begin_resolution(
+    const dns::Question& question, sim::Time now) {
+  Resolution task;
+  task.original = question;
+  task.current = question;
+  task.start = now;
+  return task;
+}
 
-  for (int iteration = 0; iteration < config_.max_iterations; ++iteration) {
+bool RecursiveResolver::step(Resolution& task, Context& ctx) {
+  if (task.phase == Resolution::Phase::kDone) {
+    return false;
+  }
+  const dns::Question& question = task.original;
+  const sim::Time now = task.start;
+
+  auto finish = [&](dns::Message response) {
+    task.response = std::move(response);
+    task.phase = Resolution::Phase::kDone;
+    return false;
+  };
+  // The old inner loop's `continue`: move to the next candidate, or give
+  // up once the attempt budget is spent without progress.
+  auto next_attempt = [&] {
+    if (++task.attempt >= config_.max_server_attempts) {
+      return finish(servfail(question));
+    }
+    return true;
+  };
+  // The old inner loop's progressed-`break`: queue the next referral step.
+  auto next_iteration = [&] {
+    task.progressed = true;
+    ++task.iteration;
+    task.phase = Resolution::Phase::kSetup;
+    return true;
+  };
+
+  if (task.phase == Resolution::Phase::kSetup) {
+    if (task.iteration >= config_.max_iterations) {
+      return finish(servfail(question));
+    }
     // A sub-question may be answerable from data cached moments ago.
-    if (iteration > 0 || ctx.depth > 0) {
-      if (auto cached = answer_from_cache(current, now + ctx.elapsed)) {
-        chain.insert(chain.end(), cached->answers.begin(),
-                     cached->answers.end());
-        return positive_response(question, std::move(chain), false);
+    if (task.iteration > 0 || ctx.depth > 0) {
+      if (auto cached = answer_from_cache(task.current, now + ctx.elapsed)) {
+        task.chain.insert(task.chain.end(), cached->answers.begin(),
+                          cached->answers.end());
+        return finish(
+            positive_response(question, std::move(task.chain), false));
       }
     }
 
-    std::vector<ServerCandidate> servers;
-    dns::Name zone = find_servers(current.qname, now, ctx, servers);
-    if (servers.empty()) {
-      return servfail(question);
+    task.servers.clear();
+    task.zone = find_servers(task.current.qname, now, ctx, task.servers);
+    if (task.servers.empty()) {
+      return finish(servfail(question));
     }
 
     // QNAME minimization (RFC 7816): expose only zone-depth + reveal
     // labels, asking NS until the final zone is reached.
-    dns::Question wire = current;
+    task.wire = task.current;
     if (config_.qname_minimization) {
-      if (zone != minimized_zone) {
-        minimized_zone = zone;
-        reveal = 1;
+      if (task.zone != task.minimized_zone) {
+        task.minimized_zone = task.zone;
+        task.reveal = 1;
       }
-      std::size_t zone_depth = zone.label_count();
-      if (current.qname.label_count() > zone_depth + reveal) {
-        wire = dns::Question{name_suffix(current.qname, zone_depth + reveal),
-                             dns::RRType::kNS, dns::RClass::kIN};
+      std::size_t zone_depth = task.zone.label_count();
+      if (task.current.qname.label_count() > zone_depth + task.reveal) {
+        task.wire =
+            dns::Question{name_suffix(task.current.qname,
+                                      zone_depth + task.reveal),
+                          dns::RRType::kNS, dns::RClass::kIN};
       }
     }
-    const bool minimized =
-        wire.qname != current.qname || wire.qtype != current.qtype;
-
-    bool progressed = false;
-    for (int attempt = 0; attempt < config_.max_server_attempts; ++attempt) {
-      // Walk the candidate list; a single-server zone gets plain
-      // retransmissions to the same address.
-      const ServerCandidate& server =
-          servers[static_cast<std::size_t>(attempt) % servers.size()];
-      dns::Message query = dns::Message::make_query(
-          next_id_++, wire.qname, wire.qtype, false);
-      query.add_edns();  // modern resolvers advertise a large UDP payload
-      auto outcome =
-          network_.query(self_, server.address, query, now + ctx.elapsed);
-      ctx.elapsed += outcome.elapsed;
-      ++ctx.upstream_queries;
-      ++stats_.upstream_queries;
-      record_exchange(server.address, outcome.elapsed,
-                      outcome.response.has_value(), now + ctx.elapsed);
-      if (!outcome.response) {
-        // Timeout: fall through to the next candidate (server
-        // re-selection); the health record above may have benched this
-        // one, in which case later rotate() calls route around it.
-        continue;
-      }
-      dns::Message response = std::move(*outcome.response);
-      if (response.flags.tc) {
-        // Truncated over UDP: retry the same server over TCP (RFC 1035
-        // §4.2.2), paying the handshake.
-        auto tcp_outcome =
-            network_.query(self_, server.address, query, now + ctx.elapsed,
-                           net::Network::Transport::kTcp);
-        ctx.elapsed += tcp_outcome.elapsed;
-        ++ctx.upstream_queries;
-        ++stats_.upstream_queries;
-        ++stats_.tcp_retries;
-        if (!tcp_outcome.response) {
-          continue;
-        }
-        response = std::move(*tcp_outcome.response);
-      }
-      const sim::Time t = now + ctx.elapsed;
-
-      if (response.flags.rcode != dns::Rcode::kNoError &&
-          response.flags.rcode != dns::Rcode::kNXDomain) {
-        continue;  // REFUSED/SERVFAIL from upstream: next server
-      }
-
-      auto cut = ingest_response(response, zone, t);
-
-      if (config_.sticky && response.flags.aa) {
-        sticky_pins_.emplace(zone, server);
-      }
-
-      if (response.flags.rcode == dns::Rcode::kNXDomain) {
-        // For a minimized query this is still conclusive: a missing
-        // ancestor means every name below it is missing too (RFC 8020).
-        cache_negative(response, minimized ? wire : current, t);
-        dns::Message negative = servfail(question);
-        negative.flags.rcode = dns::Rcode::kNXDomain;
-        negative.answers = chain;  // CNAME prefix stays visible
-        return negative;
-      }
-
-      if (minimized && response.flags.aa) {
-        // The partial name exists (NS answer for a hosted child zone, or
-        // NODATA for an empty non-terminal): reveal one more label.
-        ++reveal;
-        progressed = true;
-        break;
-      }
-
-      if (!response.answers.empty()) {
-        if (auto direct = response.answer_rrset(current.qname, current.qtype)) {
-          if (config_.validate_dnssec && response.flags.aa &&
-              !validate_answer(response, current, now, ctx)) {
-            continue;  // bogus: try another server
-          }
-          // Include any same-response CNAME chain ahead of the match.
-          chain.insert(chain.end(), response.answers.begin(),
-                       response.answers.end());
-          return positive_response(question, std::move(chain), true);
-        }
-        if (current.qtype != dns::RRType::kCNAME) {
-          if (auto cname =
-                  response.answer_rrset(current.qname, dns::RRType::kCNAME)) {
-            // Follow the chain: collect every CNAME + look for the target.
-            chain.insert(chain.end(), response.answers.begin(),
-                         response.answers.end());
-            dns::Name target =
-                std::get<dns::CnameRdata>(cname->rdatas().front()).target;
-            // The final answer may already be in this response.
-            for (const auto& rr : response.answers) {
-              if (rr.type() == current.qtype && rr.name == target) {
-                return positive_response(question, std::move(chain), true);
-              }
-            }
-            current.qname = target;
-            progressed = true;
-            break;
-          }
-        }
-        continue;  // answers that do not match the question: lame
-      }
-
-      if (response.flags.aa) {
-        // Authoritative NODATA.
-        cache_negative(response, current, t);
-        dns::Message nodata = positive_response(question, chain, true);
-        return nodata;
-      }
-
-      if (cut && cut->is_strict_subdomain_of(zone) &&
-          current.qname.is_subdomain_of(*cut)) {
-        if (config_.centricity == Centricity::kParentCentric) {
-          if (auto answer = answer_from_referral(current, response)) {
-            ++stats_.referral_answers;
-            chain.insert(chain.end(), answer->answers.begin(),
-                         answer->answers.end());
-            return positive_response(question, std::move(chain), false);
-          }
-        }
-        progressed = true;  // descend to the child zone
-        break;
-      }
-      // Lame referral: try the next server.
-    }
-
-    if (!progressed) {
-      return servfail(question);
-    }
+    task.minimized = task.wire.qname != task.current.qname ||
+                     task.wire.qtype != task.current.qtype;
+    task.progressed = false;
+    task.attempt = 0;
+    task.phase = Resolution::Phase::kAttempt;
+    // Fall through: the referral step's outcome is this pending query.
   }
-  return servfail(question);
+
+  // One server attempt.  Walking the candidate list attempt by attempt
+  // re-creates the old retransmission pattern: a single-server zone gets
+  // plain retransmissions to the same address.
+  const ServerCandidate& server =
+      task.servers[static_cast<std::size_t>(task.attempt) %
+                   task.servers.size()];
+  dns::Message query = dns::Message::make_query(
+      next_id_++, task.wire.qname, task.wire.qtype, false);
+  query.add_edns();  // modern resolvers advertise a large UDP payload
+  auto outcome =
+      network_.query(self_, server.address, query, now + ctx.elapsed);
+  ctx.elapsed += outcome.elapsed;
+  ++ctx.upstream_queries;
+  ++stats_.upstream_queries;
+  record_exchange(server.address, outcome.elapsed,
+                  outcome.response.has_value(), now + ctx.elapsed);
+  if (!outcome.response) {
+    // Timeout: fall through to the next candidate (server re-selection);
+    // the health record above may have benched this one, in which case
+    // later rotate() calls route around it.
+    return next_attempt();
+  }
+  dns::Message response = std::move(*outcome.response);
+  if (response.flags.tc) {
+    // Truncated over UDP: retry the same server over TCP (RFC 1035
+    // §4.2.2), paying the handshake.
+    auto tcp_outcome =
+        network_.query(self_, server.address, query, now + ctx.elapsed,
+                       net::Network::Transport::kTcp);
+    ctx.elapsed += tcp_outcome.elapsed;
+    ++ctx.upstream_queries;
+    ++stats_.upstream_queries;
+    ++stats_.tcp_retries;
+    if (!tcp_outcome.response) {
+      return next_attempt();
+    }
+    response = std::move(*tcp_outcome.response);
+  }
+  const sim::Time t = now + ctx.elapsed;
+
+  if (response.flags.rcode != dns::Rcode::kNoError &&
+      response.flags.rcode != dns::Rcode::kNXDomain) {
+    return next_attempt();  // REFUSED/SERVFAIL from upstream: next server
+  }
+
+  auto cut = ingest_response(response, task.zone, t);
+
+  if (config_.sticky && response.flags.aa) {
+    sticky_pins_.emplace(task.zone, server);
+  }
+
+  if (response.flags.rcode == dns::Rcode::kNXDomain) {
+    // For a minimized query this is still conclusive: a missing ancestor
+    // means every name below it is missing too (RFC 8020).
+    cache_negative(response, task.minimized ? task.wire : task.current, t);
+    dns::Message negative = servfail(question);
+    negative.flags.rcode = dns::Rcode::kNXDomain;
+    negative.answers = task.chain;  // CNAME prefix stays visible
+    return finish(std::move(negative));
+  }
+
+  if (task.minimized && response.flags.aa) {
+    // The partial name exists (NS answer for a hosted child zone, or
+    // NODATA for an empty non-terminal): reveal one more label.
+    ++task.reveal;
+    return next_iteration();
+  }
+
+  if (!response.answers.empty()) {
+    if (auto direct =
+            response.answer_rrset(task.current.qname, task.current.qtype)) {
+      if (config_.validate_dnssec && response.flags.aa &&
+          !validate_answer(response, task.current, now, ctx)) {
+        return next_attempt();  // bogus: try another server
+      }
+      // Include any same-response CNAME chain ahead of the match.
+      task.chain.insert(task.chain.end(), response.answers.begin(),
+                        response.answers.end());
+      return finish(
+          positive_response(question, std::move(task.chain), true));
+    }
+    if (task.current.qtype != dns::RRType::kCNAME) {
+      if (auto cname = response.answer_rrset(task.current.qname,
+                                             dns::RRType::kCNAME)) {
+        // Follow the chain: collect every CNAME + look for the target.
+        task.chain.insert(task.chain.end(), response.answers.begin(),
+                          response.answers.end());
+        dns::Name target =
+            std::get<dns::CnameRdata>(cname->rdatas().front()).target;
+        // The final answer may already be in this response.
+        for (const auto& rr : response.answers) {
+          if (rr.type() == task.current.qtype && rr.name == target) {
+            return finish(
+                positive_response(question, std::move(task.chain), true));
+          }
+        }
+        task.current.qname = target;
+        return next_iteration();
+      }
+    }
+    return next_attempt();  // answers that do not match the question: lame
+  }
+
+  if (response.flags.aa) {
+    // Authoritative NODATA.
+    cache_negative(response, task.current, t);
+    return finish(positive_response(question, task.chain, true));
+  }
+
+  if (cut && cut->is_strict_subdomain_of(task.zone) &&
+      task.current.qname.is_subdomain_of(*cut)) {
+    if (config_.centricity == Centricity::kParentCentric) {
+      if (auto answer = answer_from_referral(task.current, response)) {
+        ++stats_.referral_answers;
+        task.chain.insert(task.chain.end(), answer->answers.begin(),
+                          answer->answers.end());
+        return finish(
+            positive_response(question, std::move(task.chain), false));
+      }
+    }
+    return next_iteration();  // descend to the child zone
+  }
+  // Lame referral: try the next server.
+  return next_attempt();
+}
+
+dns::Message RecursiveResolver::resolve_iterative(
+    const dns::Question& question, sim::Time now, Context& ctx) {
+  Resolution task = begin_resolution(question, now);
+  while (step(task, ctx)) {
+  }
+  return std::move(*task.response);
 }
 
 bool RecursiveResolver::validate_answer(const dns::Message& response,

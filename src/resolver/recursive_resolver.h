@@ -109,6 +109,38 @@ class RecursiveResolver : public net::DnsNode {
     net::Address address;
   };
 
+  /// One in-flight resolution as a resumable task: everything the iterative
+  /// loop used to keep in locals, lifted into a small state machine so a
+  /// scheduler can advance many resolutions in interleaved steps (the bulk
+  /// resolution engine's discipline) while the nested driver simply loops
+  /// step() to completion.
+  ///
+  /// The tag is the pending work: kSetup re-checks the cache and walks the
+  /// referral ladder to the next server set (the "next referral step");
+  /// kAttempt holds a pending upstream query against servers[attempt];
+  /// kDone carries the finished response.  Credibility context — the CNAME
+  /// chain gathered so far, the zone the candidates answer for, and the
+  /// QNAME-minimization reveal state — rides in the task, not the stack.
+  struct Resolution {
+    enum class Phase : std::uint8_t { kSetup, kAttempt, kDone };
+
+    dns::Question original;  ///< the client question (response is for this)
+    dns::Question current;   ///< follows CNAME chains
+    sim::Time start{};       ///< virtual time the resolution began
+    std::vector<dns::ResourceRecord> chain;  ///< CNAME prefix records
+    dns::Name minimized_zone;  ///< zone the reveal counter applies to
+    std::size_t reveal = 1;  ///< labels revealed past that zone (RFC 7816)
+    int iteration = 0;
+    int attempt = 0;
+    std::vector<ServerCandidate> servers;
+    dns::Name zone;       ///< zone the candidate servers answer for
+    dns::Question wire;   ///< the (possibly minimized) question on the wire
+    bool minimized = false;
+    bool progressed = false;
+    Phase phase = Phase::kSetup;
+    std::optional<dns::Message> response;  ///< set when phase == kDone
+  };
+
   /// Cache-only answer if the policy allows it (credibility threshold
   /// depends on centricity).  Chases cached CNAME chains.
   std::optional<dns::Message> answer_from_cache(const dns::Question& question,
@@ -118,7 +150,18 @@ class RecursiveResolver : public net::DnsNode {
   std::optional<dns::Message> answer_from_local_root(
       const dns::Question& question);
 
-  /// Core iterative loop.
+  /// Starts a resumable resolution of @p question.
+  Resolution begin_resolution(const dns::Question& question, sim::Time now);
+
+  /// Advances @p task by one step: a kSetup task walks to its next server
+  /// set and falls through into its first attempt; a kAttempt task performs
+  /// exactly one server attempt (one upstream exchange, plus the RFC 1035
+  /// §4.2.2 TCP retry when the UDP answer was truncated).  Sub-resolutions
+  /// a step needs (out-of-bailiwick NS addresses, DNSKEY fetches) run
+  /// nested within the step.  Returns false once task.response is ready.
+  bool step(Resolution& task, Context& ctx);
+
+  /// Core iterative loop: drives one resolution task to completion.
   dns::Message resolve_iterative(const dns::Question& question, sim::Time now,
                                  Context& ctx);
 

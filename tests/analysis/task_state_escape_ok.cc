@@ -1,0 +1,24 @@
+// analyze-as: src/crawl/task_state_escape_ok.h
+// The compliant shapes: a resumable task that stores only indices and
+// values (the pool is re-derived from the shard context each step), and a
+// non-resumable shard context that may hold the pool alias because it
+// never suspends — it lives exactly as long as the shard body.
+
+namespace dnsttl::crawl {
+
+struct HarvestTask {
+  enum class Phase : std::uint8_t { kNsProbe, kHarvest, kDone };
+
+  Phase phase = Phase::kNsProbe;
+  std::size_t domain_index = 0;  // index, not alias: survives compaction
+  std::size_t cursor = 0;
+  std::uint32_t harvested_mask = 0;
+};
+
+struct ShardContext {
+  const DomainPool* domains = nullptr;  // no phase member: never suspends
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+}  // namespace dnsttl::crawl
