@@ -171,8 +171,23 @@ inline void print_header(const char* id, const char* title) {
   std::printf("==========================================================\n");
 }
 
-/// Peak resident set size of this process in bytes (Linux ru_maxrss is KiB).
+/// Peak resident set size of this process in bytes.  Prefers VmHWM from
+/// /proc/self/status: ru_maxrss is copied across fork() and NOT reset by
+/// execve(), so a small benchmark spawned from a large parent (the
+/// bench_compare.py gate) would otherwise report the parent's footprint.
+/// VmHWM is per-mm and starts fresh at exec.
 inline std::uint64_t peak_rss_bytes() {
+  if (std::FILE* status = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, status) != nullptr) {
+      unsigned long long kib = 0;
+      if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) {
+        std::fclose(status);
+        return static_cast<std::uint64_t>(kib) * 1024;
+      }
+    }
+    std::fclose(status);
+  }
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) {
     return 0;

@@ -1,0 +1,11 @@
+/// Fuzz target: cache snapshot codec (restore -> audit -> re-snapshot).
+#include <cstddef>
+#include <cstdint>
+
+#include "harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  dnsttl::fuzz::run_cache_snapshot_input(data, size);
+  return 0;
+}

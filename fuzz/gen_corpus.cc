@@ -11,11 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "dns/master_file.h"
 #include "dns/message.h"
 #include "dns/rr.h"
 #include "dns/wire.h"
 #include "dns/zone.h"
+#include "sim/time.h"
 
 namespace {
 
@@ -140,6 +142,81 @@ std::vector<std::string> master_file_seeds() {
   return seeds;
 }
 
+std::vector<std::vector<std::uint8_t>> cache_snapshot_seeds() {
+  using namespace dnsttl;
+  using cache::Cache;
+  using cache::Credibility;
+  using dnsttl::dns::Rcode;
+  using dnsttl::dns::Ttl;
+  std::vector<std::vector<std::uint8_t>> seeds;
+
+  const auto a_set = [](const std::string& owner, Ttl ttl,
+                        std::uint8_t last) {
+    dns::RRset set(Name::from_string(owner), dns::RClass::kIN, ttl);
+    set.add(dns::ARdata{dns::Ipv4(192, 0, 2, last)});
+    return set;
+  };
+  const auto ns_set = [](const std::string& owner, Ttl ttl,
+                         const std::string& target) {
+    dns::RRset set(Name::from_string(owner), dns::RClass::kIN, ttl);
+    set.add(dns::NsRdata{Name::from_string(target)});
+    return set;
+  };
+
+  // Seed 0: the empty image — header + checksum only, the minimal accept.
+  seeds.push_back(Cache{}.snapshot());
+
+  // Seed 1: a bounded LFU cache exercising every record shape the format
+  // has: NS-linked glue, positives at distinct credibilities, negatives of
+  // both RFC 2308 types, and a non-trivial recency chain.
+  {
+    Cache::Config config;
+    config.max_entries = 64;
+    config.policy = cache::EvictionPolicy::kLfu;
+    config.serve_stale = true;
+    config.stale_window = 2 * sim::kDay;
+    config.min_ttl = Ttl{5};
+    Cache cache(config);
+    cache.insert(ns_set("seed.example", Ttl{86400}, "ns1.seed.example"),
+                 Credibility::kGlue, sim::Time{});
+    cache.insert(a_set("ns1.seed.example", Ttl{3600}, 1), Credibility::kGlue,
+                 sim::Time{}, Name::from_string("seed.example"));
+    cache.insert(a_set("x.org", Ttl{300}, 2), Credibility::kAuthAnswer,
+                 sim::at(1 * sim::kSecond));
+    cache.insert(a_set("y.org", Ttl{30}, 3), Credibility::kNonAuthAnswer,
+                 sim::at(2 * sim::kSecond));
+    cache.insert_negative(Name::from_string("nx.org"), RRType::kAAAA,
+                          Rcode::kNXDomain, Ttl{900},
+                          sim::at(3 * sim::kSecond));
+    cache.insert_negative(Name::from_string("nodata.org"), RRType::kA,
+                          Rcode::kNoError, Ttl{60}, sim::at(4 * sim::kSecond));
+    cache.lookup(Name::from_string("x.org"), RRType::kA,
+                 sim::at(5 * sim::kSecond));
+    cache.lookup_negative(Name::from_string("nx.org"), RRType::kAAAA,
+                          sim::at(6 * sim::kSecond));
+    seeds.push_back(cache.snapshot());
+  }
+
+  // Seed 2: a tight LRU cache that has already evicted, so the image
+  // carries a mid-churn tick and a full table.
+  {
+    Cache::Config config;
+    config.max_entries = 4;
+    config.policy = cache::EvictionPolicy::kLru;
+    Cache cache(config);
+    for (int i = 0; i < 8; ++i) {
+      cache.insert(a_set("lru" + std::to_string(i) + ".example", Ttl{120},
+                         static_cast<std::uint8_t>(10 + i)),
+                   Credibility::kAuthAnswer, sim::at(i * sim::kSecond));
+    }
+    cache.lookup(Name::from_string("lru4.example"), RRType::kA,
+                 sim::at(9 * sim::kSecond));
+    seeds.push_back(cache.snapshot());
+  }
+
+  return seeds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,8 +227,10 @@ int main(int argc, char** argv) {
   const std::filesystem::path root(argv[1]);
   const std::filesystem::path messages = root / "message";
   const std::filesystem::path zones = root / "master_file";
+  const std::filesystem::path snapshots = root / "cache_snapshot";
   std::filesystem::create_directories(messages);
   std::filesystem::create_directories(zones);
+  std::filesystem::create_directories(snapshots);
 
   int index = 0;
   for (const Message& message : message_seeds()) {
@@ -165,6 +244,13 @@ int main(int argc, char** argv) {
     char stem[32];
     std::snprintf(stem, sizeof stem, "seed%02d.txt", index++);
     write_file(zones / stem, zone);
+  }
+
+  index = 0;
+  for (const std::vector<std::uint8_t>& image : cache_snapshot_seeds()) {
+    char stem[32];
+    std::snprintf(stem, sizeof stem, "seed%02d.bin", index++);
+    write_file(snapshots / stem, image);
   }
 
   std::fprintf(stderr, "corpus written under %s\n", root.c_str());

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "cache/cache.h"
 #include "dns/master_file.h"
 #include "dns/message.h"
 #include "dns/wire.h"
@@ -85,6 +86,29 @@ void run_fault_schedule_input(const std::uint8_t* data, std::size_t size) {
   } catch (const std::exception& error) {
     harness_violation("fuzz_fault_schedule",
                       "round-trip/audit of accepted schedule", error);
+  }
+}
+
+void run_cache_snapshot_input(const std::uint8_t* data, std::size_t size) {
+  cache::Cache cache;
+  try {
+    cache.restore(std::span(data, size));
+  } catch (const cache::SnapshotError&) {
+    return;  // corrupt image correctly rejected
+  }
+  // The image was accepted: the rebuilt cache must pass the deep audit and
+  // serialize back to the identical bytes (restore accepts only canonical
+  // images, so snapshot ∘ restore is the identity).
+  try {
+    cache.validate();
+    const std::vector<std::uint8_t> again = cache.snapshot();
+    if (again.size() != size ||
+        !std::equal(again.begin(), again.end(), data)) {
+      throw std::logic_error("accepted image is not a snapshot fixpoint");
+    }
+  } catch (const std::exception& error) {
+    harness_violation("fuzz_cache_snapshot", "audit/fixpoint of accepted image",
+                      error);
   }
 }
 

@@ -28,6 +28,15 @@ void run_master_file_input(const std::uint8_t* data, std::size_t size);
 /// rejection channel and is swallowed; anything else is a finding.
 void run_fault_schedule_input(const std::uint8_t* data, std::size_t size);
 
+/// One fuzz iteration against the cache snapshot codec.  Feeds @p data to
+/// cache::Cache::restore; on an accepted image, runs the full structural
+/// audit and requires re-snapshotting to reproduce the input byte-for-byte
+/// (the canonical-image fixpoint restore() documents).
+/// cache::SnapshotError is the codec's documented rejection channel and is
+/// swallowed; anything else — UB, audit failure, a non-canonical image
+/// surviving — is a finding.
+void run_cache_snapshot_input(const std::uint8_t* data, std::size_t size);
+
 }  // namespace dnsttl::fuzz
 
 #endif  // DNSTTL_FUZZ_HARNESS_H

@@ -19,6 +19,18 @@ std::string_view to_string(Credibility credibility) {
   return "credibility?";
 }
 
+std::string_view to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kLfu:
+      return "lfu";
+    case EvictionPolicy::kTtlAware:
+      return "ttl-aware";
+  }
+  return "policy?";
+}
+
 // ------------------------------------------------------------------ Table
 
 template <typename V>
@@ -71,6 +83,71 @@ const V* Cache::Table<V>::find(std::uint64_t hash, const dns::Name& name,
 }
 
 template <typename V>
+std::size_t Cache::Table<V>::find_slot(std::uint64_t hash,
+                                       const dns::Name& name,
+                                       dns::RRType type) const {
+  if (size_ == 0) {
+    return kNil;
+  }
+  bool found = false;
+  std::size_t index = probe(hash, name, type, found);
+  return found ? index : kNil;
+}
+
+template <typename V>
+void Cache::Table<V>::link_front(std::size_t slot) {
+  chain_prev_[slot] = kNil;
+  chain_next_[slot] = head_;
+  if (head_ != kNil) {
+    chain_prev_[head_] = slot;
+  }
+  head_ = slot;
+  if (tail_ == kNil) {
+    tail_ = slot;
+  }
+}
+
+template <typename V>
+void Cache::Table<V>::link_back(std::size_t slot) {
+  chain_next_[slot] = kNil;
+  chain_prev_[slot] = tail_;
+  if (tail_ != kNil) {
+    chain_next_[tail_] = slot;
+  }
+  tail_ = slot;
+  if (head_ == kNil) {
+    head_ = slot;
+  }
+}
+
+template <typename V>
+void Cache::Table<V>::unlink(std::size_t slot) {
+  std::size_t toward_head = chain_prev_[slot];
+  std::size_t toward_tail = chain_next_[slot];
+  if (toward_head != kNil) {
+    chain_next_[toward_head] = toward_tail;
+  } else {
+    head_ = toward_tail;
+  }
+  if (toward_tail != kNil) {
+    chain_prev_[toward_tail] = toward_head;
+  } else {
+    tail_ = toward_head;
+  }
+  chain_prev_[slot] = kNil;
+  chain_next_[slot] = kNil;
+}
+
+template <typename V>
+void Cache::Table<V>::touch(std::size_t slot) {
+  if (head_ == slot) {
+    return;
+  }
+  unlink(slot);
+  link_front(slot);
+}
+
+template <typename V>
 void Cache::Table<V>::grow() {
   std::size_t new_capacity = items_.empty() ? 16 : items_.size() * 2;
   // If growth is driven by tombstones rather than live items, rehashing in
@@ -80,11 +157,20 @@ void Cache::Table<V>::grow() {
   }
   std::vector<Item> old_items = std::move(items_);
   std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+  std::vector<std::size_t> old_next = std::move(chain_next_);
+  std::size_t old_head = head_;
   items_.clear();
   items_.resize(new_capacity);
   ctrl_.assign(new_capacity, kEmpty);
+  chain_prev_.assign(new_capacity, kNil);
+  chain_next_.assign(new_capacity, kNil);
+  head_ = kNil;
+  tail_ = kNil;
   used_ = size_;
   std::size_t mask = new_capacity - 1;
+  // Rehash, remembering where each old slot landed so the recency chain can
+  // be rebuilt in its exact pre-rehash order.
+  std::vector<std::size_t> relocated(old_items.size(), kNil);
   for (std::size_t i = 0; i < old_items.size(); ++i) {
     if (old_ctrl[i] != kFull) {
       continue;
@@ -95,12 +181,16 @@ void Cache::Table<V>::grow() {
     }
     items_[index] = std::move(old_items[i]);
     ctrl_[index] = kFull;
+    relocated[i] = index;
+  }
+  for (std::size_t i = old_head; i != kNil; i = old_next[i]) {
+    link_back(relocated[i]);
   }
 }
 
 template <typename V>
-V& Cache::Table<V>::put(std::uint64_t hash, const dns::Name& name,
-                        dns::RRType type, V value) {
+std::size_t Cache::Table<V>::put(std::uint64_t hash, const dns::Name& name,
+                                 dns::RRType type, V value) {
   if (items_.empty() || (used_ + 1) * 8 > items_.size() * 7) {
     grow();
   }
@@ -116,9 +206,12 @@ V& Cache::Table<V>::put(std::uint64_t hash, const dns::Name& name,
     item.hash = hash;
     item.name = name;
     item.type = type;
+    link_front(index);
+  } else {
+    touch(index);
   }
   item.value = std::move(value);
-  return item.value;
+  return index;
 }
 
 template <typename V>
@@ -132,6 +225,7 @@ bool Cache::Table<V>::erase(std::uint64_t hash, const dns::Name& name,
   if (!found) {
     return false;
   }
+  unlink(index);
   items_[index] = Item{};  // release Name/RRset memory now
   ctrl_[index] = kTombstone;
   --size_;
@@ -142,6 +236,10 @@ template <typename V>
 void Cache::Table<V>::clear() {
   items_.clear();
   ctrl_.clear();
+  chain_prev_.clear();
+  chain_next_.clear();
+  head_ = kNil;
+  tail_ = kNil;
   size_ = 0;
   used_ = 0;
 }
@@ -196,6 +294,48 @@ void Cache::Table<V>::validate(const char* what) const {
                            ") unreachable by probing (probe returned " +
                            std::to_string(at) + ")");
   }
+  // Recency chain <-> slot consistency: the chain visits every live slot
+  // exactly once, links are symmetric, and dead slots are unlinked.
+  DNSTTL_AUDIT_CHECK(what,
+                     chain_prev_.size() == capacity &&
+                         chain_next_.size() == capacity,
+                     "recency chain arrays out of step with capacity");
+  DNSTTL_AUDIT_CHECK(what, (head_ == kNil) == (size_ == 0),
+                     "chain head/emptiness disagreement");
+  DNSTTL_AUDIT_CHECK(what, (tail_ == kNil) == (size_ == 0),
+                     "chain tail/emptiness disagreement");
+  std::vector<std::uint8_t> seen(capacity, 0);
+  std::size_t visited = 0;
+  std::size_t prev = kNil;
+  for (std::size_t i = head_; i != kNil; i = chain_next_[i]) {
+    DNSTTL_AUDIT_CHECK(what, i < capacity,
+                       "recency chain index out of range: " +
+                           std::to_string(i));
+    DNSTTL_AUDIT_CHECK(what, ctrl_[i] == kFull,
+                       "recency chain visits dead slot " + std::to_string(i));
+    DNSTTL_AUDIT_CHECK(what, seen[i] == 0,
+                       "recency chain visits slot " + std::to_string(i) +
+                           " twice (cycle)");
+    seen[i] = 1;
+    DNSTTL_AUDIT_CHECK(what, chain_prev_[i] == prev,
+                       "recency chain prev/next asymmetry at slot " +
+                           std::to_string(i));
+    prev = i;
+    ++visited;
+  }
+  DNSTTL_AUDIT_CHECK(what, tail_ == prev,
+                     "recency chain tail does not terminate the walk");
+  DNSTTL_AUDIT_CHECK(what, visited == size_,
+                     "recency chain covers " + std::to_string(visited) +
+                         " slots vs " + std::to_string(size_) + " live items");
+  for (std::size_t i = 0; i < capacity; ++i) {
+    if (ctrl_[i] != kFull) {
+      DNSTTL_AUDIT_CHECK(what,
+                         chain_prev_[i] == kNil && chain_next_[i] == kNil,
+                         "dead slot " + std::to_string(i) +
+                             " still linked into the recency chain");
+    }
+  }
 }
 
 // ------------------------------------------------------------------ Cache
@@ -206,12 +346,13 @@ void Cache::validate() const {
   negatives_.validate("cache::Cache::negatives");
 
   // Expiry-heap coverage: every indexed entry must have a heap record with
-  // exactly its (key, expiry) so lazy purging is guaranteed to visit it.
+  // exactly its (key, expiry, stamp) so lazy purging is guaranteed to visit
+  // it and TTL-aware victim selection always finds a valid top.
   auto coverage = [](const ExpiryHeap& heap) {
-    std::vector<std::pair<std::uint64_t, sim::Time>> recs;
+    std::vector<std::tuple<std::uint64_t, sim::Time, std::uint64_t>> recs;
     recs.reserve(heap.container().size());
     for (const ExpiryRec& rec : heap.container()) {
-      recs.emplace_back(key_hash(rec.name, rec.type), rec.at);
+      recs.emplace_back(key_hash(rec.name, rec.type), rec.at, rec.stamp);
     }
     std::sort(recs.begin(), recs.end());
     return recs;
@@ -239,20 +380,60 @@ void Cache::validate() const {
         "expiry arithmetic broken for " + item.name.to_string());
     DNSTTL_AUDIT_CHECK(
         kWhat,
-        std::binary_search(
-            positive_recs.begin(), positive_recs.end(),
-            std::make_pair(key_hash(item.name, item.type), entry.expires)),
+        std::binary_search(positive_recs.begin(), positive_recs.end(),
+                           std::make_tuple(key_hash(item.name, item.type),
+                                           entry.expires, entry.stamp)),
         "no expiry-heap record covers " + item.name.to_string());
   });
   negatives_.for_each([&](const Table<NegativeEntry>::Item& item) {
     DNSTTL_AUDIT_CHECK(
         kWhat,
-        std::binary_search(
-            negative_recs.begin(), negative_recs.end(),
-            std::make_pair(key_hash(item.name, item.type),
-                           item.value.expires)),
+        std::binary_search(negative_recs.begin(), negative_recs.end(),
+                           std::make_tuple(key_hash(item.name, item.type),
+                                           item.value.expires,
+                                           item.value.stamp)),
         "no negative-expiry record covers " + item.name.to_string());
   });
+
+  // Frequency-counter and touch-clock invariants, plus strict recency order
+  // along the chain (head = most recent; touches are unique clock draws, so
+  // the order is strictly decreasing).
+  auto check_chain = [&](const auto& table, const char* which) {
+    bool first = true;
+    std::uint64_t newer = 0;
+    for (std::size_t i = table.head(); i != kNil; i = table.less_recent(i)) {
+      const auto& value = table.at(i).value;
+      DNSTTL_AUDIT_CHECK(kWhat, value.freq >= 1,
+                         std::string(which) +
+                             ": stored entry with zero frequency at " +
+                             table.at(i).name.to_string());
+      DNSTTL_AUDIT_CHECK(kWhat,
+                         value.last_touch <= tick_ && value.stamp <= tick_,
+                         std::string(which) +
+                             ": touch/stamp ahead of the logical clock at " +
+                             table.at(i).name.to_string());
+      DNSTTL_AUDIT_CHECK(kWhat, value.stamp <= value.last_touch,
+                         std::string(which) +
+                             ": stamp newer than last touch at " +
+                             table.at(i).name.to_string());
+      DNSTTL_AUDIT_CHECK(kWhat, first || value.last_touch < newer,
+                         std::string(which) +
+                             ": recency chain out of touch order at " +
+                             table.at(i).name.to_string());
+      newer = value.last_touch;
+      first = false;
+    }
+  };
+  check_chain(entries_, "entries");
+  check_chain(negatives_, "negatives");
+
+  const std::size_t resident = entries_.size() + negatives_.size();
+  DNSTTL_AUDIT_CHECK(kWhat,
+                     config_.max_entries == 0 ||
+                         resident <= config_.max_entries,
+                     "combined population exceeds max_entries");
+  DNSTTL_AUDIT_CHECK(kWhat, stats_.high_water >= resident,
+                     "high-water mark below current population");
   check::count_audit();
 }
 
@@ -287,15 +468,168 @@ void Cache::compact_heap(ExpiryHeap& heap, const Table<V>& table) {
   std::vector<ExpiryRec> recs;
   recs.reserve(table.size());
   table.for_each([&recs](const auto& item) {
-    recs.push_back(ExpiryRec{item.value.expires, item.name, item.type});
+    recs.push_back(ExpiryRec{item.value.expires, item.name, item.type,
+                             item.value.stamp});
   });
   heap = ExpiryHeap(LaterExpiry{}, std::move(recs));
+}
+
+void Cache::maybe_halve() {
+  if (config_.policy != EvictionPolicy::kLfu ||
+      config_.lfu_halving_period == 0 ||
+      tick_ % config_.lfu_halving_period != 0) {
+    return;
+  }
+  auto decay = [](auto& item) {
+    std::uint8_t f = item.value.freq;
+    item.value.freq = static_cast<std::uint8_t>(f < 2 ? 1 : f >> 1);
+  };
+  entries_.for_each_mut(decay);
+  negatives_.for_each_mut(decay);
+}
+
+void Cache::enforce_capacity() {
+  if (config_.max_entries != 0) {
+    std::size_t resident = entries_.size() + negatives_.size();
+    while (resident > config_.max_entries) {
+      evict_one();
+      std::size_t after = entries_.size() + negatives_.size();
+      if (after == resident) {
+        break;  // defensive: no victim found (cannot happen when over budget)
+      }
+      resident = after;
+    }
+  }
+  const std::uint64_t resident =
+      static_cast<std::uint64_t>(entries_.size() + negatives_.size());
+  if (resident > stats_.high_water) {
+    stats_.high_water = resident;
+  }
+}
+
+void Cache::evict_one() {
+  bool from_positive = false;
+  dns::Name victim_name;
+  dns::RRType victim_type{};
+  switch (config_.policy) {
+    case EvictionPolicy::kLru: {
+      const std::size_t p = entries_.tail();
+      const std::size_t n = negatives_.tail();
+      if (p == kNil && n == kNil) {
+        return;
+      }
+      from_positive =
+          n == kNil || (p != kNil && entries_.at(p).value.last_touch <
+                                         negatives_.at(n).value.last_touch);
+      if (from_positive) {
+        victim_name = entries_.at(p).name;
+        victim_type = entries_.at(p).type;
+      } else {
+        victim_name = negatives_.at(n).name;
+        victim_type = negatives_.at(n).type;
+      }
+      break;
+    }
+    case EvictionPolicy::kLfu: {
+      // Walk each chain from the cold end.  The chain is touch-ordered, so
+      // the first frequency-1 slot seen is the global (freq, recency)
+      // minimum and the walk can stop there — on skewed workloads the tail
+      // is dominated by once-touched entries and this is near-O(1).
+      auto coldest = [](const auto& table) {
+        std::size_t best = kNil;
+        std::uint8_t best_freq = 255;
+        for (std::size_t i = table.tail(); i != kNil;
+             i = table.more_recent(i)) {
+          const std::uint8_t f = table.at(i).value.freq;
+          if (best == kNil || f < best_freq) {
+            best = i;
+            best_freq = f;
+          }
+          if (best_freq == 1) {
+            break;
+          }
+        }
+        return best;
+      };
+      const std::size_t p = coldest(entries_);
+      const std::size_t n = coldest(negatives_);
+      if (p == kNil && n == kNil) {
+        return;
+      }
+      if (p == kNil) {
+        from_positive = false;
+      } else if (n == kNil) {
+        from_positive = true;
+      } else {
+        const Entry& pe = entries_.at(p).value;
+        const NegativeEntry& ne = negatives_.at(n).value;
+        from_positive = pe.freq < ne.freq ||
+                        (pe.freq == ne.freq && pe.last_touch < ne.last_touch);
+      }
+      if (from_positive) {
+        victim_name = entries_.at(p).name;
+        victim_type = entries_.at(p).type;
+      } else {
+        victim_name = negatives_.at(n).name;
+        victim_type = negatives_.at(n).type;
+      }
+      break;
+    }
+    case EvictionPolicy::kTtlAware: {
+      // Lazily discard heap records whose entry was refreshed or removed
+      // (stamp mismatch); the surviving tops are the true soonest expiries.
+      auto valid_top = [](ExpiryHeap& heap, auto& table) -> const ExpiryRec* {
+        while (!heap.empty()) {
+          const ExpiryRec& rec = heap.top();
+          const auto* value =
+              table.find(key_hash(rec.name, rec.type), rec.name, rec.type);
+          if (value != nullptr && value->expires == rec.at &&
+              value->stamp == rec.stamp) {
+            return &rec;
+          }
+          heap.pop();
+        }
+        return nullptr;
+      };
+      const ExpiryRec* p = valid_top(expiry_, entries_);
+      const ExpiryRec* n = valid_top(negative_expiry_, negatives_);
+      if (p == nullptr && n == nullptr) {
+        return;
+      }
+      from_positive =
+          n == nullptr ||
+          (p != nullptr &&
+           (p->at < n->at || (p->at == n->at && p->stamp < n->stamp)));
+      const ExpiryRec* chosen = from_positive ? p : n;
+      victim_name = chosen->name;
+      victim_type = chosen->type;
+      // Consume the record now; the entry it covers is going away.
+      if (from_positive) {
+        expiry_.pop();
+      } else {
+        negative_expiry_.pop();
+      }
+      break;
+    }
+  }
+  const std::uint64_t hash = key_hash(victim_name, victim_type);
+  if (from_positive) {
+    entries_.erase(hash, victim_name, victim_type);
+    ++stats_.evicted_positive;
+  } else {
+    negatives_.erase(hash, victim_name, victim_type);
+    ++stats_.evicted_negative;
+  }
+  ++stats_.capacity_evictions;
 }
 
 bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
                    sim::Time now, std::optional<dns::Name> linked_ns_owner) {
   std::uint64_t hash = key_hash(rrset.name(), rrset.type());
-  Entry* existing = entries_.find(hash, rrset.name(), rrset.type());
+  const std::size_t existing_slot =
+      entries_.find_slot(hash, rrset.name(), rrset.type());
+  const Entry* existing =
+      existing_slot == kNil ? nullptr : &entries_.at(existing_slot).value;
   if (existing != nullptr && entry_live(*existing, now) &&
       !ns_link_broken(*existing, now)) {
     int have = static_cast<int>(existing->credibility);
@@ -343,13 +677,23 @@ bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
       entry.linked_ns_owner.reset();  // no live covering NS: unlinked
     }
   }
+  // A refresh of live data inherits (and bumps) its popularity; everything
+  // else starts at frequency 1.
+  if (existing != nullptr && entry_live(*existing, now)) {
+    entry.freq = bump_freq(existing->freq);
+  }
+  entry.stamp = bump_tick();
+  entry.last_touch = entry.stamp;
   sim::Time expires = entry.expires;
+  std::uint64_t stamp = entry.stamp;
   entries_.put(hash, rrset.name(), rrset.type(), std::move(entry));
-  expiry_.push(ExpiryRec{expires, rrset.name(), rrset.type()});
+  expiry_.push(ExpiryRec{expires, rrset.name(), rrset.type(), stamp});
   compact_heap(expiry_, entries_);
   ++stats_.inserts;
   // Fresh positive data supersedes any negative entry.
   negatives_.erase(hash, rrset.name(), rrset.type());
+  maybe_halve();
+  enforce_capacity();
   if constexpr (check::kAuditEnabled) {
     validate();
   }
@@ -358,12 +702,22 @@ bool Cache::insert(const dns::RRset& rrset, Credibility credibility,
 
 void Cache::insert_negative(const dns::Name& name, dns::RRType type,
                             dns::Rcode rcode, dns::Ttl ttl, sim::Time now) {
+  std::uint64_t hash = key_hash(name, type);
   dns::Ttl effective = clamp_ttl(ttl);
   sim::Time expires = now + sim::seconds(effective.value());
-  negatives_.put(key_hash(name, type), name, type,
-                 NegativeEntry{rcode, expires});
-  negative_expiry_.push(ExpiryRec{expires, name, type});
+  NegativeEntry entry{rcode, expires};
+  const NegativeEntry* existing = negatives_.find(hash, name, type);
+  if (existing != nullptr && existing->expires > now) {
+    entry.freq = bump_freq(existing->freq);
+  }
+  entry.stamp = bump_tick();
+  entry.last_touch = entry.stamp;
+  std::uint64_t stamp = entry.stamp;
+  negatives_.put(hash, name, type, entry);
+  negative_expiry_.push(ExpiryRec{expires, name, type, stamp});
   compact_heap(negative_expiry_, negatives_);
+  maybe_halve();
+  enforce_capacity();
   if constexpr (check::kAuditEnabled) {
     validate();
   }
@@ -371,21 +725,22 @@ void Cache::insert_negative(const dns::Name& name, dns::RRType type,
 
 std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
                                       sim::Time now, bool allow_stale) {
-  const Entry* entry = entries_.find(key_hash(name, type), name, type);
-  if (entry == nullptr) {
+  const std::size_t slot = entries_.find_slot(key_hash(name, type), name, type);
+  if (slot == kNil) {
     ++stats_.misses;
     return std::nullopt;
   }
-  if (ns_link_broken(*entry, now)) {
+  Entry& entry = entries_.at(slot).value;
+  if (ns_link_broken(entry, now)) {
     // In-bailiwick policy: glue dies with its NS record (§4.2).
     ++stats_.ns_linked_drops;
     ++stats_.misses;
     return std::nullopt;
   }
-  if (!entry_live(*entry, now)) {
+  if (!entry_live(entry, now)) {
     bool within_stale_window =
         config_.serve_stale && allow_stale &&
-        now < entry->expires + config_.stale_window;
+        now < entry.expires + config_.stale_window;
     if (!within_stale_window) {
       ++stats_.expired;
       ++stats_.misses;
@@ -393,23 +748,31 @@ std::optional<CacheHit> Cache::lookup(const dns::Name& name, dns::RRType type,
     }
     ++stats_.stale_serves;
     ++stats_.hits;
+    entry.last_touch = bump_tick();
+    entry.freq = bump_freq(entry.freq);
+    entries_.touch(slot);
     CacheHit hit;
-    hit.rrset = entry->rrset;
+    hit.rrset = entry.rrset;
     // RFC 8767: stale answers are served with a short fixed TTL.
     hit.rrset.set_ttl(dns::Ttl{30});
-    hit.credibility = entry->credibility;
+    hit.credibility = entry.credibility;
     hit.stale = true;
-    hit.original_ttl = entry->original_ttl;
-    hit.stale_for = now - entry->expires;
+    hit.original_ttl = entry.original_ttl;
+    hit.stale_for = now - entry.expires;
+    maybe_halve();
     return hit;
   }
   ++stats_.hits;
+  entry.last_touch = bump_tick();
+  entry.freq = bump_freq(entry.freq);
+  entries_.touch(slot);
   CacheHit hit;
-  hit.rrset = entry->rrset;
+  hit.rrset = entry.rrset;
   hit.rrset.set_ttl(
-      dns::Ttl::of_seconds((entry->expires - now) / sim::kSecond));
-  hit.credibility = entry->credibility;
-  hit.original_ttl = entry->original_ttl;
+      dns::Ttl::of_seconds((entry.expires - now) / sim::kSecond));
+  hit.credibility = entry.credibility;
+  hit.original_ttl = entry.original_ttl;
+  maybe_halve();
   return hit;
 }
 
@@ -432,14 +795,23 @@ std::optional<CacheHit> Cache::peek(const dns::Name& name, dns::RRType type,
 std::optional<NegativeHit> Cache::lookup_negative(const dns::Name& name,
                                                   dns::RRType type,
                                                   sim::Time now) {
-  const NegativeEntry* entry =
-      negatives_.find(key_hash(name, type), name, type);
-  if (entry == nullptr || entry->expires <= now) {
+  const std::size_t slot =
+      negatives_.find_slot(key_hash(name, type), name, type);
+  if (slot == kNil) {
     return std::nullopt;
   }
-  return NegativeHit{
-      entry->rcode,
-      dns::Ttl::of_seconds((entry->expires - now) / sim::kSecond)};
+  NegativeEntry& entry = negatives_.at(slot).value;
+  if (entry.expires <= now) {
+    return std::nullopt;
+  }
+  entry.last_touch = bump_tick();
+  entry.freq = bump_freq(entry.freq);
+  negatives_.touch(slot);
+  NegativeHit hit{
+      entry.rcode,
+      dns::Ttl::of_seconds((entry.expires - now) / sim::kSecond)};
+  maybe_halve();
+  return hit;
 }
 
 bool Cache::evict(const dns::Name& name, dns::RRType type) {
@@ -578,5 +950,10 @@ std::optional<dns::Ttl> Cache::remaining_ttl(const dns::Name& name,
   }
   return hit->rrset.ttl();
 }
+
+// The table's out-of-line members live in this TU; snapshot.cc links
+// against these instantiations.
+template class Cache::Table<Cache::Entry>;
+template class Cache::Table<Cache::NegativeEntry>;
 
 }  // namespace dnsttl::cache

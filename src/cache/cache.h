@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,27 @@ enum class Credibility : std::uint8_t {
 
 std::string_view to_string(Credibility credibility);
 
+/// Victim-selection rule for capacity-bounded caches (max_entries > 0).
+/// All three are fully deterministic: every touch (insert, hit, stale
+/// serve, negative hit) draws a unique value from a per-cache logical
+/// clock, so there are never ties to break arbitrarily.
+enum class EvictionPolicy : std::uint8_t {
+  kLru = 0,       ///< least recently touched entry goes first
+  kLfu = 1,       ///< lowest (frequency, recency); 8-bit saturating counters
+                  ///< with periodic halving so old popularity decays
+  kTtlAware = 2,  ///< soonest-to-expire entry goes first (expiry heaps)
+};
+
+std::string_view to_string(EvictionPolicy policy);
+
+/// Thrown by Cache::restore() on malformed, truncated or corrupt snapshot
+/// input.  Mirrors dns::WireError: hostile bytes are a documented rejection,
+/// never UB.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// What a cache lookup returns on a hit.
 struct CacheHit {
   dns::RRset rrset;           ///< TTL field = remaining seconds at lookup
@@ -47,7 +70,8 @@ struct NegativeHit {
 };
 
 /// TTL-driven DNS cache with credibility ranks, TTL clamping, optional
-/// NS-linked glue expiry and optional serve-stale.
+/// NS-linked glue expiry, optional serve-stale, optional capacity bounds
+/// with pluggable eviction, and deterministic snapshot/restore.
 ///
 /// The index is an open-addressing hash table keyed on the Name's cached
 /// 64-bit hash mixed with the record type — a probe is a couple of integer
@@ -55,6 +79,18 @@ struct NegativeHit {
 /// a red-black tree doing label-by-label canonical comparisons at every
 /// node.  Expiry is tracked lazily in a min-heap so purge_expired() costs
 /// O(expired · log n) instead of a full O(entries) sweep.
+///
+/// Capacity: when config.max_entries > 0 the positive and negative tables
+/// share one budget; any insert that pushes the combined population over
+/// the limit evicts victims chosen by config.policy until it fits.  An
+/// intrusive doubly-linked recency chain threaded through the table slots
+/// makes the LRU victim O(1); the LFU walk starts at the cold end of that
+/// chain and stops at the first frequency-1 entry, so on skewed workloads
+/// it is near-O(1) too; TTL-aware victims come straight off the expiry
+/// heaps.  The touch sequence a mutation performs is: bump the logical
+/// clock, stamp the entry, move it to the chain head, apply the periodic
+/// LFU halving, then enforce capacity — the differential oracle in
+/// tests/cache_model_test.cc mirrors exactly this order.
 ///
 /// The `link_glue_to_ns` knob reproduces the paper's §4.2 finding: for
 /// in-bailiwick servers most resolvers tie the glue A record's lifetime to
@@ -76,6 +112,14 @@ class Cache {
     /// overridden by child authoritative data; the parent's copy rules
     /// until it expires.
     bool prefer_parent_delegation = false;
+    /// Combined positive+negative capacity; 0 = unbounded (the historical
+    /// behavior — no eviction, no recency bookkeeping observable).
+    std::size_t max_entries = 0;
+    EvictionPolicy policy = EvictionPolicy::kLru;
+    /// Every this-many clock ticks the LFU counters decay to max(1, f/2),
+    /// so ancient popularity cannot pin an entry forever.  0 disables
+    /// halving.  Only consulted when policy == kLfu.
+    std::uint64_t lfu_halving_period = 1024;
   };
 
   struct Stats {
@@ -90,6 +134,13 @@ class Cache {
     std::uint64_t resurrections = 0;
     std::uint64_t inserts = 0;
     std::uint64_t downgrades_refused = 0;  ///< less-credible insert ignored
+    /// Capacity-eviction accounting (max_entries > 0 only).
+    std::uint64_t capacity_evictions = 0;  ///< total victims, either table
+    std::uint64_t evicted_positive = 0;
+    std::uint64_t evicted_negative = 0;
+    /// Peak combined population observed at rest (after any eviction), so
+    /// bounded caches report at most max_entries.
+    std::uint64_t high_water = 0;
   };
 
   Cache() = default;
@@ -112,7 +163,7 @@ class Cache {
   std::optional<CacheHit> lookup(const dns::Name& name, dns::RRType type,
                                  sim::Time now, bool allow_stale = false);
 
-  /// Peeks without touching statistics (used by analyzers/tests).
+  /// Peeks without touching statistics or recency state (analyzers/tests).
   std::optional<CacheHit> peek(const dns::Name& name, dns::RRType type,
                                sim::Time now) const;
 
@@ -127,8 +178,11 @@ class Cache {
 
   void clear();
   std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t negative_size() const noexcept { return negatives_.size(); }
   const Stats& stats() const noexcept { return stats_; }
   const Config& config() const noexcept { return config_; }
+  /// The logical touch clock (test hook; every insert/hit advances it).
+  std::uint64_t tick() const noexcept { return tick_; }
 
   /// Remaining TTL of an entry in whole seconds, or nullopt (test hook).
   std::optional<dns::Ttl> remaining_ttl(const dns::Name& name,
@@ -141,19 +195,38 @@ class Cache {
   /// then type.
   std::string dump(sim::Time now) const;
 
+  /// Serializes the complete cache state — config, both tables, recency
+  /// order, frequency counters, expiry deadlines and the logical clock —
+  /// into a versioned, length-prefixed little-endian image ending in an
+  /// FNV-1a checksum.  Canonical: equal states produce equal bytes, and
+  /// snapshot(restore(image)) == image for every accepted image.  Runtime
+  /// stats are deliberately excluded (they describe behavior, not state).
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Rebuilds the cache from @p image, replacing all current state and
+  /// resetting stats.  Input is fully validated — magic, version, checksum,
+  /// counts, canonical record/name encodings, TTL clamps, expiry
+  /// arithmetic, recency ordering, capacity bound — and corrupt input
+  /// throws SnapshotError leaving the cache unchanged.
+  void restore(std::span<const std::uint8_t> image);
+
   /// Deep structural audit: probe-chain/tombstone agreement and live-entry
-  /// accounting in both index tables, per-entry TTL-clamp and expiry
-  /// arithmetic, stored-Name integrity, and expiry-heap coverage of every
-  /// indexed entry.  Deliberately time-free: the resolver legitimately
-  /// inserts on shifted virtual clocks during sub-resolutions, so mutation
-  /// monotonicity is not a cache invariant (the purge deadline guarantee is
-  /// asserted at the purge_expired boundary instead).  Throws
-  /// check::AuditError on violation.  Compiled in every build; invoked
-  /// automatically at mutation boundaries only when built with
-  /// DNSTTL_AUDIT=ON.
+  /// accounting in both index tables, recency-chain <-> slot consistency
+  /// and strict touch-order monotonicity, frequency-counter invariants,
+  /// per-entry TTL-clamp and expiry arithmetic, stored-Name integrity,
+  /// expiry-heap coverage of every indexed entry, and the capacity bound.
+  /// Deliberately time-free: the resolver legitimately inserts on shifted
+  /// virtual clocks during sub-resolutions, so mutation monotonicity is not
+  /// a cache invariant (the purge deadline guarantee is asserted at the
+  /// purge_expired boundary instead).  Throws check::AuditError on
+  /// violation.  Compiled in every build; invoked automatically at mutation
+  /// boundaries only when built with DNSTTL_AUDIT=ON.
   void validate() const;
 
  private:
+  /// Sentinel slot index ("no slot" / chain end).
+  static constexpr std::size_t kNil = static_cast<std::size_t>(-1);
+
   struct Entry {
     dns::RRset rrset;
     Credibility credibility = Credibility::kGlue;
@@ -165,10 +238,20 @@ class Cache {
     /// is later replaced (even by identical data), the link is considered
     /// broken: the address must be re-learned with the fresh delegation.
     sim::Time linked_ns_inserted{};
+    /// Logical-clock value of the most recent touch (LRU/LFU recency).
+    std::uint64_t last_touch = 0;
+    /// Logical-clock value of the insert/refresh that created this entry
+    /// instance; identifies the matching expiry-heap record.
+    std::uint64_t stamp = 0;
+    /// Saturating touch counter for LFU (>= 1 for every stored entry).
+    std::uint8_t freq = 1;
   };
   struct NegativeEntry {
     dns::Rcode rcode = dns::Rcode::kNXDomain;
     sim::Time expires{};
+    std::uint64_t last_touch = 0;
+    std::uint64_t stamp = 0;
+    std::uint8_t freq = 1;
   };
 
   /// Mixes the Name's cached hash with the record type into a table hash.
@@ -186,6 +269,12 @@ class Cache {
   /// probing and tombstone deletion.  Keys carry their full 64-bit hash so
   /// probes compare integers before touching the Name bytes, and rehashing
   /// never recomputes a hash.
+  ///
+  /// A doubly-linked recency chain is threaded through the slots (parallel
+  /// prev/next index arrays): head = most recently touched, tail = least.
+  /// put() links/moves the slot to the head, erase() unlinks, grow()
+  /// preserves the order across the rehash.  When the cache is unbounded
+  /// the chain is maintained but never observed.
   template <typename V>
   class Table {
    public:
@@ -199,22 +288,53 @@ class Cache {
     V* find(std::uint64_t hash, const dns::Name& name, dns::RRType type);
     const V* find(std::uint64_t hash, const dns::Name& name,
                   dns::RRType type) const;
-    /// Inserts or overwrites; returns the stored value slot.
-    V& put(std::uint64_t hash, const dns::Name& name, dns::RRType type,
-           V value);
+    /// Slot of the live item for the key, or kNil.
+    std::size_t find_slot(std::uint64_t hash, const dns::Name& name,
+                          dns::RRType type) const;
+    /// Inserts or overwrites, moving the slot to the chain head; returns
+    /// the slot index.
+    std::size_t put(std::uint64_t hash, const dns::Name& name, dns::RRType type,
+                    V value);
     bool erase(std::uint64_t hash, const dns::Name& name, dns::RRType type);
     void clear();
     std::size_t size() const noexcept { return size_; }
 
+    Item& at(std::size_t slot) noexcept { return items_[slot]; }
+    const Item& at(std::size_t slot) const noexcept { return items_[slot]; }
+
+    /// Recency chain access: head = most recent, tail = least recent.
+    std::size_t head() const noexcept { return head_; }
+    std::size_t tail() const noexcept { return tail_; }
+    std::size_t more_recent(std::size_t slot) const noexcept {
+      return chain_prev_[slot];
+    }
+    std::size_t less_recent(std::size_t slot) const noexcept {
+      return chain_next_[slot];
+    }
+    /// Moves @p slot to the chain head (most recent).
+    void touch(std::size_t slot);
+
     /// Structural audit of the open-addressing layout: control bytes vs
     /// live/used accounting, power-of-two capacity with a guaranteed empty
-    /// slot, stored-hash agreement with key_hash, Name integrity, and
-    /// probe-chain reachability of every live item across tombstones.
+    /// slot, stored-hash agreement with key_hash, Name integrity,
+    /// probe-chain reachability of every live item across tombstones, and
+    /// recency-chain <-> slot consistency (every live slot on the chain
+    /// exactly once, links symmetric, dead slots unlinked).
     void validate(const char* what) const;
 
     /// Invokes @p fn for every live item, in unspecified order.
     template <typename Fn>
     void for_each(Fn&& fn) const {
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (ctrl_[i] == kFull) {
+          fn(items_[i]);
+        }
+      }
+    }
+
+    /// Mutable variant (LFU halving), same unspecified order.
+    template <typename Fn>
+    void for_each_mut(Fn&& fn) {
       for (std::size_t i = 0; i < items_.size(); ++i) {
         if (ctrl_[i] == kFull) {
           fn(items_[i]);
@@ -228,23 +348,39 @@ class Cache {
     std::size_t probe(std::uint64_t hash, const dns::Name& name,
                       dns::RRType type, bool& found) const;
     void grow();
+    void link_front(std::size_t slot);
+    void link_back(std::size_t slot);
+    void unlink(std::size_t slot);
 
     std::vector<std::uint8_t> ctrl_;
     std::vector<Item> items_;
+    /// Intrusive recency chain, parallel to items_: toward the head (more
+    /// recent) and toward the tail (less recent); kNil-terminated.
+    std::vector<std::size_t> chain_prev_;
+    std::vector<std::size_t> chain_next_;
+    std::size_t head_ = kNil;
+    std::size_t tail_ = kNil;
     std::size_t size_ = 0;  ///< live items
     std::size_t used_ = 0;  ///< live items + tombstones
   };
 
   /// One pending expiry deadline; stale records (entry refreshed, evicted
-  /// or already purged) are skipped when popped.
+  /// or already purged) are skipped when popped.  The stamp ties a record
+  /// to the exact entry instance that pushed it, and breaks ordering ties
+  /// between equal deadlines so TTL-aware victim selection is
+  /// deterministic.
   struct ExpiryRec {
     sim::Time at{};
     dns::Name name;
     dns::RRType type{};
+    std::uint64_t stamp = 0;
   };
   struct LaterExpiry {
     bool operator()(const ExpiryRec& a, const ExpiryRec& b) const noexcept {
-      return a.at > b.at;
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.stamp > b.stamp;
     }
   };
   /// priority_queue with audit access to the underlying container, so
@@ -264,12 +400,28 @@ class Cache {
   template <typename V>
   static void compact_heap(ExpiryHeap& heap, const Table<V>& table);
 
+  /// Advances the logical clock by one touch and returns the new value.
+  std::uint64_t bump_tick() noexcept { return ++tick_; }
+  /// Applies the periodic LFU decay if this tick lands on the period.
+  void maybe_halve();
+  /// Saturating frequency bump.
+  static std::uint8_t bump_freq(std::uint8_t freq) noexcept {
+    return freq < 255 ? static_cast<std::uint8_t>(freq + 1) : freq;
+  }
+  /// Evicts victims per config.policy until the combined population fits
+  /// max_entries, then records the high-water mark.
+  void enforce_capacity();
+  void evict_one();
+
   Config config_;
   Stats stats_;
   Table<Entry> entries_;
   Table<NegativeEntry> negatives_;
   ExpiryHeap expiry_;
   ExpiryHeap negative_expiry_;
+  /// Logical touch clock: unique, monotonically increasing stamp source for
+  /// recency, frequency tie-breaks and expiry-record identity.
+  std::uint64_t tick_ = 0;
 };
 
 }  // namespace dnsttl::cache

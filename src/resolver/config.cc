@@ -18,6 +18,10 @@ std::string ResolverConfig::describe() const {
   if (min_ttl > dns::Ttl{}) {
     out += " min_ttl=" + std::to_string(min_ttl.value());
   }
+  if (cache_max_entries != 0) {
+    out += " cache=" + std::to_string(cache_max_entries) + "/" +
+           std::string(cache::to_string(cache_eviction));
+  }
   if (link_glue_to_ns) out += " linked-glue";
   if (sticky) out += " sticky";
   if (serve_stale) out += " serve-stale";

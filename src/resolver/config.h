@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "cache/cache.h"
 #include "dns/types.h"
 #include "sim/time.h"
 
@@ -62,6 +63,16 @@ struct ResolverConfig {
   /// a down server with one full resolution timeout per client.  Zero
   /// disables the suppression window.
   sim::Duration stale_refresh = 30 * sim::kSecond;
+
+  /// Combined positive+negative cache capacity in entries; 0 = unbounded
+  /// (the historical default — no eviction ever fires).  Production
+  /// resolvers run bounded: BIND's max-cache-size, Unbound's msg/rrset
+  /// cache slabs.  A per-resolver knob like centricity/stickiness, so a
+  /// population can mix cache sizes the way it mixes policies.
+  std::size_t cache_max_entries = 0;
+
+  /// Victim-selection rule when the cache is capacity-bounded.
+  cache::EvictionPolicy cache_eviction = cache::EvictionPolicy::kLru;
 
   /// RFC 7706 / LocalRoot: mirror the root zone locally; root-zone lookups
   /// are answered from the mirror with full (undecremented) TTLs and emit

@@ -50,6 +50,8 @@ RecursiveResolver::RecursiveResolver(std::string ident, ResolverConfig config,
   cache_config.replace_same_credibility = config_.link_glue_to_ns;
   cache_config.prefer_parent_delegation =
       config_.centricity == Centricity::kParentCentric;
+  cache_config.max_entries = config_.cache_max_entries;
+  cache_config.policy = config_.cache_eviction;
   cache_ = cache::Cache(cache_config);
 }
 

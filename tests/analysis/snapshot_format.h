@@ -1,0 +1,22 @@
+// analyze-as: src/cache/snapshot_format.h
+// True positives: a snapshot-header mirror struct that spells its time
+// fields as raw integers.  The real src/cache snapshot codec keeps these
+// unit-typed (dns::Ttl, sim::Duration); this fixture pins the rule that
+// would catch the tempting raw-field shortcut when serializing.
+
+namespace dnsttl::cache {
+
+struct SnapshotHeader {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint32_t max_ttl = 0;             // expect: raw-time-param
+  std::uint32_t min_ttl = 0;             // expect: raw-time-param
+  std::int64_t stale_window = 0;         // expect: raw-time-param
+  std::uint64_t max_entries = 0;
+  std::uint64_t lfu_halving_period = 0;
+};
+
+void write_header(std::vector<std::uint8_t>& out,
+                  std::uint32_t record_ttl);  // expect: raw-time-param
+
+}  // namespace dnsttl::cache

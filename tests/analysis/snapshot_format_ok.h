@@ -1,0 +1,25 @@
+// analyze-as: src/cache/snapshot_format_ok.h
+// True negatives: the corrected twin of snapshot_format.h.  Unit-bearing
+// fields use the strong types; the remaining raw integers are genuinely
+// unitless (logical clock ticks, counters, sizes) and must stay clean.
+
+namespace dnsttl::cache {
+
+struct SnapshotHeader {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  dns::Ttl max_ttl{};
+  dns::Ttl min_ttl{};
+  sim::Duration stale_window{};
+  std::uint64_t max_entries = 0;
+  std::uint64_t lfu_halving_period = 0;
+  std::uint64_t tick = 0;
+  std::uint64_t positive_count = 0;
+  std::uint64_t negative_count = 0;
+};
+
+void write_header(std::vector<std::uint8_t>& out, dns::Ttl record_ttl);
+void write_entry(std::vector<std::uint8_t>& out, std::uint64_t last_touch,
+                 std::uint8_t freq);
+
+}  // namespace dnsttl::cache

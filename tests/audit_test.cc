@@ -219,6 +219,100 @@ TEST(CacheAudit, TombstoneChurnKeepsProbeChainsReachable) {
   }
 }
 
+TEST(CacheAudit, BoundedChurnStaysConsistentUnderEveryPolicy) {
+  // The bounded cache threads a recency chain through the open-addressing
+  // slots and keeps per-entry frequency counters; validate() re-walks the
+  // chain against the tables and re-checks touch-order monotonicity and
+  // freq >= 1 after every halving.  Churn a tiny cache (capacity 12, far
+  // below the 300-name pool) through mixed traffic under each policy so
+  // eviction runs constantly while the chain is audited mid-stream.
+  for (const auto policy :
+       {cache::EvictionPolicy::kLru, cache::EvictionPolicy::kLfu,
+        cache::EvictionPolicy::kTtlAware}) {
+    cache::Cache::Config config;
+    config.max_entries = 12;
+    config.policy = policy;
+    config.lfu_halving_period = 64;  // force several decay sweeps
+    cache::Cache cache(config);
+    Lcg rng(0xb0b + static_cast<std::uint64_t>(policy));
+    sim::Time now{};
+
+    for (int op = 0; op < 3000; ++op) {
+      now += sim::seconds(static_cast<std::int64_t>(rng.below(3)));
+      const Name name = numbered_name(rng.below(300));
+      switch (rng.below(8)) {
+        case 0:
+        case 1:
+        case 2: {  // positive insert — each one may evict
+          dns::RRset rrset(name, dns::RClass::kIN,
+                           dns::Ttl::of_seconds(
+                               static_cast<std::int64_t>(rng.below(120) + 1)));
+          rrset.add(dns::ARdata{
+              dns::Ipv4{static_cast<std::uint32_t>(rng.next())}});
+          cache.insert(rrset, cache::Credibility::kAuthAnswer, now);
+          break;
+        }
+        case 3:  // negative insert competes for the same capacity
+          cache.insert_negative(name, RRType::kAAAA, dns::Rcode::kNXDomain,
+                                dns::Ttl::of_seconds(static_cast<std::int64_t>(
+                                    rng.below(60) + 1)),
+                                now);
+          break;
+        case 4:
+        case 5:  // hits bump freq and rewire the chain head
+          cache.lookup(name, RRType::kA, now);
+          break;
+        case 6:
+          cache.lookup_negative(name, RRType::kAAAA, now);
+          break;
+        case 7:
+          cache.purge_expired(now);
+          break;
+      }
+      ASSERT_LE(cache.size() + cache.negative_size(), config.max_entries)
+          << cache::to_string(policy) << " op " << op;
+      if (op % 64 == 0) {
+        EXPECT_NO_THROW(cache.validate())
+            << cache::to_string(policy) << " op " << op;
+      }
+    }
+    EXPECT_NO_THROW(cache.validate()) << cache::to_string(policy);
+    EXPECT_GT(cache.stats().capacity_evictions, 0u)
+        << cache::to_string(policy);
+  }
+}
+
+TEST(CacheAudit, SnapshotRestoreRoundTripValidatesMidChurn) {
+  // Snapshot/restore must hand back a structure the deep audit accepts at
+  // any point in a churn stream, and the restored copy must keep passing
+  // audits as churn continues.
+  cache::Cache::Config config;
+  config.max_entries = 16;
+  config.policy = cache::EvictionPolicy::kLfu;
+  config.lfu_halving_period = 32;
+  cache::Cache cache(config);
+  Lcg rng(0x5a95);
+  sim::Time now{};
+
+  for (int op = 0; op < 1200; ++op) {
+    now += sim::seconds(static_cast<std::int64_t>(rng.below(2) + 1));
+    const Name name = numbered_name(rng.below(64));
+    dns::RRset rrset(name, dns::RClass::kIN,
+                     dns::Ttl::of_seconds(
+                         static_cast<std::int64_t>(rng.below(90) + 1)));
+    rrset.add(dns::ARdata{dns::Ipv4{static_cast<std::uint32_t>(rng.next())}});
+    cache.insert(rrset, cache::Credibility::kAuthAnswer, now);
+    cache.lookup(numbered_name(rng.below(64)), RRType::kA, now);
+    if (op % 200 == 199) {
+      cache::Cache restored;
+      ASSERT_NO_THROW(restored.restore(cache.snapshot())) << "op " << op;
+      EXPECT_NO_THROW(restored.validate()) << "op " << op;
+      cache = std::move(restored);  // keep churning the restored copy
+    }
+  }
+  EXPECT_NO_THROW(cache.validate());
+}
+
 TEST(CacheAudit, SimulationHookAuditsCacheDuringRun) {
   // The intended wiring: an experiment registers its caches as audit hooks
   // so cross-structure state is checked while events drain.

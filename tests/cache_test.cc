@@ -294,5 +294,291 @@ INSTANTIATE_TEST_SUITE_P(
                       ClampCase{dns::Ttl{604800}, dns::Ttl{86400}, dns::Ttl{30}},
                       ClampCase{dns::Ttl{1}, dns::Ttl{1}, dns::Ttl{1}}));
 
+// ---------------------------------------------------------------------------
+// Eviction policies: direct behavioral checks (the differential oracle in
+// cache_model_test.cc proves trace equivalence at scale).
+
+TEST(CacheEvictionTest, LruEvictsLeastRecentlyTouched) {
+  Cache::Config config;
+  config.max_entries = 2;
+  config.policy = EvictionPolicy::kLru;
+  Cache cache(config);
+  cache.insert(make_a_set("a.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::Time{});
+  cache.insert(make_a_set("b.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::Time{});
+  // Touch a.org so b.org becomes the cold tail.
+  EXPECT_TRUE(cache.lookup(Name::from_string("a.org"), RRType::kA,
+                           sim::at(1 * kSecond)));
+  cache.insert(make_a_set("c.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(2 * kSecond));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.peek(Name::from_string("a.org"), RRType::kA,
+                         sim::at(2 * kSecond)));
+  EXPECT_FALSE(cache.peek(Name::from_string("b.org"), RRType::kA,
+                          sim::at(2 * kSecond)));
+  EXPECT_EQ(cache.stats().capacity_evictions, 1u);
+  EXPECT_EQ(cache.stats().evicted_positive, 1u);
+  EXPECT_EQ(cache.stats().high_water, 2u);
+}
+
+TEST(CacheEvictionTest, LfuKeepsTheHotEntry) {
+  Cache::Config config;
+  config.max_entries = 2;
+  config.policy = EvictionPolicy::kLfu;
+  Cache cache(config);
+  cache.insert(make_a_set("hot.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::Time{});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cache.lookup(Name::from_string("hot.org"), RRType::kA,
+                             sim::at(1 * kSecond)));
+  }
+  // cold.org is touched after hot.org's last hit — LRU would sacrifice
+  // hot.org — but its frequency is 1, so LFU picks it instead.
+  cache.insert(make_a_set("cold.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(2 * kSecond));
+  cache.insert(make_a_set("new.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(3 * kSecond));
+  EXPECT_TRUE(cache.peek(Name::from_string("hot.org"), RRType::kA,
+                         sim::at(3 * kSecond)));
+  EXPECT_FALSE(cache.peek(Name::from_string("cold.org"), RRType::kA,
+                          sim::at(3 * kSecond)));
+  EXPECT_TRUE(cache.peek(Name::from_string("new.org"), RRType::kA,
+                         sim::at(3 * kSecond)));
+}
+
+// LFU admission is deterministic TinyLFU-style: a newcomer whose frequency
+// is the unique minimum is itself the victim — everything resident is
+// provably hotter, so the cache declines to churn.
+TEST(CacheEvictionTest, LfuDeclinesUniquelyColdNewcomer) {
+  Cache::Config config;
+  config.max_entries = 2;
+  config.policy = EvictionPolicy::kLfu;
+  Cache cache(config);
+  cache.insert(make_a_set("a.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::Time{});
+  cache.insert(make_a_set("b.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::Time{});
+  cache.lookup(Name::from_string("a.org"), RRType::kA, sim::at(1 * kSecond));
+  cache.lookup(Name::from_string("b.org"), RRType::kA, sim::at(1 * kSecond));
+  cache.insert(make_a_set("new.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(2 * kSecond));
+  EXPECT_FALSE(cache.peek(Name::from_string("new.org"), RRType::kA,
+                          sim::at(2 * kSecond)));
+  EXPECT_TRUE(cache.peek(Name::from_string("a.org"), RRType::kA,
+                         sim::at(2 * kSecond)));
+  EXPECT_TRUE(cache.peek(Name::from_string("b.org"), RRType::kA,
+                         sim::at(2 * kSecond)));
+}
+
+TEST(CacheEvictionTest, TtlAwareEvictsSoonestToExpire) {
+  Cache::Config config;
+  config.max_entries = 2;
+  config.policy = EvictionPolicy::kTtlAware;
+  Cache cache(config);
+  cache.insert(make_a_set("short.org", dns::Ttl{30}), Credibility::kAuthAnswer,
+               sim::Time{});
+  cache.insert(make_a_set("long.org", dns::Ttl{3600}), Credibility::kAuthAnswer,
+               sim::Time{});
+  // short.org is the most recently touched — LRU would keep it, but it
+  // expires first, so the TTL-aware policy sacrifices it.
+  EXPECT_TRUE(cache.lookup(Name::from_string("short.org"), RRType::kA,
+                           sim::at(1 * kSecond)));
+  cache.insert(make_a_set("new.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(2 * kSecond));
+  EXPECT_FALSE(cache.peek(Name::from_string("short.org"), RRType::kA,
+                          sim::at(2 * kSecond)));
+  EXPECT_TRUE(cache.peek(Name::from_string("long.org"), RRType::kA,
+                         sim::at(2 * kSecond)));
+}
+
+TEST(CacheEvictionTest, EvictionSpansNegativeTable) {
+  Cache::Config config;
+  config.max_entries = 2;
+  config.policy = EvictionPolicy::kLru;
+  Cache cache(config);
+  cache.insert_negative(Name::from_string("nx.org"), RRType::kA,
+                        dns::Rcode::kNXDomain, dns::Ttl{300}, sim::Time{});
+  cache.insert(make_a_set("a.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(1 * kSecond));
+  cache.insert(make_a_set("b.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(2 * kSecond));
+  // The negative entry is the coldest: it crosses tables to get evicted.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.negative_size(), 0u);
+  EXPECT_EQ(cache.stats().evicted_negative, 1u);
+}
+
+TEST(CacheEvictionTest, UnboundedCacheNeverEvicts) {
+  Cache cache;  // max_entries = 0
+  for (int i = 0; i < 500; ++i) {
+    cache.insert(make_a_set("u" + std::to_string(i) + ".org", dns::Ttl{300}),
+                 Credibility::kAuthAnswer, sim::Time{});
+  }
+  EXPECT_EQ(cache.size(), 500u);
+  EXPECT_EQ(cache.stats().capacity_evictions, 0u);
+  EXPECT_EQ(cache.stats().high_water, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot/restore: round-trip identity and corrupt-input rejection.
+
+/// Same FNV-1a the snapshot writer uses, for re-sealing deliberately
+/// corrupted images so parsing proceeds past the whole-image checksum.
+std::uint64_t test_fnv1a(const std::vector<std::uint8_t>& bytes,
+                         std::size_t count) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void reseal(std::vector<std::uint8_t>& image) {
+  const std::size_t body = image.size() - 8;
+  const std::uint64_t sum = test_fnv1a(image, body);
+  for (int i = 0; i < 8; ++i) {
+    image[body + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((sum >> (8 * i)) & 0xff);
+  }
+}
+
+/// A populated cache exercising every serialized feature: bounded config,
+/// NS-linked glue, negatives, mixed credibilities, touched recency order.
+Cache make_populated_cache() {
+  Cache::Config config;
+  config.max_entries = 64;
+  config.policy = EvictionPolicy::kLfu;
+  config.serve_stale = true;
+  config.stale_window = 2 * sim::kDay;
+  config.min_ttl = dns::Ttl{5};
+  Cache cache(config);
+  cache.insert(make_ns_set("snap.example", dns::Ttl{86400}, "ns1.snap.example"),
+               Credibility::kGlue, sim::Time{});
+  cache.insert(make_a_set("ns1.snap.example", dns::Ttl{3600}, "5.6.7.8"),
+               Credibility::kGlue, sim::Time{},
+               Name::from_string("snap.example"));
+  cache.insert(make_a_set("x.org", dns::Ttl{300}), Credibility::kAuthAnswer,
+               sim::at(1 * kSecond));
+  cache.insert(make_a_set("y.org", dns::Ttl{30}, "9.9.9.9"),
+               Credibility::kNonAuthAnswer, sim::at(2 * kSecond));
+  cache.insert_negative(Name::from_string("nx.org"), RRType::kAAAA,
+                        dns::Rcode::kNXDomain, dns::Ttl{900},
+                        sim::at(3 * kSecond));
+  cache.insert_negative(Name::from_string("nodata.org"), RRType::kA,
+                        dns::Rcode::kNoError, dns::Ttl{60},
+                        sim::at(4 * kSecond));
+  // Touch entries out of insert order so the chain is non-trivial.
+  cache.lookup(Name::from_string("x.org"), RRType::kA, sim::at(5 * kSecond));
+  cache.lookup(Name::from_string("ns1.snap.example"), RRType::kA,
+               sim::at(6 * kSecond));
+  cache.lookup_negative(Name::from_string("nx.org"), RRType::kAAAA,
+                        sim::at(7 * kSecond));
+  return cache;
+}
+
+TEST(CacheSnapshotTest, RoundTripsByteIdentically) {
+  Cache original = make_populated_cache();
+  const std::vector<std::uint8_t> image = original.snapshot();
+  Cache restored;
+  restored.restore(image);
+  EXPECT_EQ(restored.snapshot(), image);
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.negative_size(), original.negative_size());
+  EXPECT_EQ(restored.tick(), original.tick());
+  EXPECT_EQ(restored.dump(sim::at(8 * kSecond)),
+            original.dump(sim::at(8 * kSecond)));
+  restored.validate();
+}
+
+TEST(CacheSnapshotTest, EmptyCacheRoundTrips) {
+  Cache cache;
+  const auto image = cache.snapshot();
+  Cache restored;
+  restored.restore(image);
+  EXPECT_EQ(restored.snapshot(), image);
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(CacheSnapshotTest, RestoredCacheEvictsLikeTheOriginal) {
+  // The recency chain and frequency counters must survive the round trip:
+  // drive the original and the restored copy with identical traffic and
+  // demand identical victims.
+  Cache original = make_populated_cache();
+  Cache restored;
+  restored.restore(original.snapshot());
+  for (int i = 0; i < 80; ++i) {
+    const auto set = make_a_set("churn" + std::to_string(i) + ".org",
+                                dns::Ttl{120});
+    const auto now = sim::at((10 + i) * kSecond);
+    original.insert(set, Credibility::kAuthAnswer, now);
+    restored.insert(set, Credibility::kAuthAnswer, now);
+    ASSERT_EQ(original.size(), restored.size()) << "churn step " << i;
+    ASSERT_EQ(original.negative_size(), restored.negative_size());
+    ASSERT_EQ(original.stats().evicted_positive,
+              restored.stats().evicted_positive);
+  }
+  EXPECT_EQ(original.dump(sim::at(95 * kSecond)),
+            restored.dump(sim::at(95 * kSecond)));
+}
+
+TEST(CacheSnapshotTest, RejectsEveryTruncation) {
+  const auto image = make_populated_cache().snapshot();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    std::vector<std::uint8_t> cut(image.begin(),
+                                  image.begin() + static_cast<long>(len));
+    Cache cache;
+    EXPECT_THROW(cache.restore(cut), SnapshotError) << "prefix " << len;
+  }
+}
+
+TEST(CacheSnapshotTest, RejectsEverySingleByteFlip) {
+  const auto image = make_populated_cache().snapshot();
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::vector<std::uint8_t> bad = image;
+    bad[i] ^= 0xff;
+    Cache cache;
+    EXPECT_THROW(cache.restore(bad), SnapshotError) << "byte " << i;
+  }
+}
+
+TEST(CacheSnapshotTest, RejectsVersionBumpEvenResealed) {
+  auto image = make_populated_cache().snapshot();
+  image[4] = 2;  // version field (after the u32 magic)
+  reseal(image);
+  Cache cache;
+  EXPECT_THROW(cache.restore(image), SnapshotError);
+}
+
+TEST(CacheSnapshotTest, RejectsTrailingGarbageEvenResealed) {
+  auto image = make_populated_cache().snapshot();
+  image.insert(image.end() - 8, 0x00);
+  reseal(image);
+  Cache cache;
+  EXPECT_THROW(cache.restore(image), SnapshotError);
+}
+
+TEST(CacheSnapshotTest, FailedRestoreLeavesCacheUnchanged) {
+  Cache cache = make_populated_cache();
+  const auto before = cache.snapshot();
+  auto bad = before;
+  bad[bad.size() / 2] ^= 0x01;
+  EXPECT_THROW(cache.restore(bad), SnapshotError);
+  EXPECT_EQ(cache.snapshot(), before);
+  cache.validate();
+}
+
+TEST(CacheSnapshotTest, RestoreResetsRuntimeStats) {
+  Cache original = make_populated_cache();
+  Cache restored;
+  restored.restore(original.snapshot());
+  EXPECT_EQ(restored.stats().hits, 0u);
+  EXPECT_EQ(restored.stats().inserts, 0u);
+  EXPECT_EQ(restored.stats().high_water,
+            static_cast<std::uint64_t>(restored.size() +
+                                       restored.negative_size()));
+}
+
 }  // namespace
 }  // namespace dnsttl::cache

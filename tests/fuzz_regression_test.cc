@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/cache.h"
+#include "dns/name.h"
+#include "dns/rr.h"
 #include "harness.h"
+#include "sim/time.h"
 
 namespace {
 
@@ -139,6 +143,66 @@ TEST(FuzzRegression, MasterFileHostileInputsRejectCleanly) {
   replay_master_file("@ IN TXT \"unterminated\n");
   replay_master_file("$INCLUDE /etc/passwd\n");
   replay_master_file(std::string(100000, '('));
+}
+
+void replay_cache_snapshot(const std::vector<std::uint8_t>& image) {
+  ASSERT_NO_THROW(
+      dnsttl::fuzz::run_cache_snapshot_input(image.data(), image.size()));
+}
+
+std::vector<std::uint8_t> populated_snapshot_image() {
+  using dnsttl::cache::Cache;
+  using dnsttl::cache::Credibility;
+  using dnsttl::dns::Name;
+  namespace dns = dnsttl::dns;
+  namespace sim = dnsttl::sim;
+  Cache::Config config;
+  config.max_entries = 8;
+  config.policy = dnsttl::cache::EvictionPolicy::kTtlAware;
+  Cache cache(config);
+  dns::RRset glue(Name::from_string("ns.pin.example"), dns::RClass::kIN,
+                  dns::Ttl{3600});
+  glue.add(dns::ARdata{dns::Ipv4(203, 0, 113, 1)});
+  cache.insert(glue, Credibility::kGlue, sim::Time{},
+               Name::from_string("pin.example"));
+  dns::RRset leaf(Name::from_string("a.pin.example"), dns::RClass::kIN,
+                  dns::Ttl{60});
+  leaf.add(dns::ARdata{dns::Ipv4(203, 0, 113, 2)});
+  cache.insert(leaf, Credibility::kAuthAnswer, sim::at(1 * sim::kSecond));
+  cache.insert_negative(Name::from_string("nx.pin.example"), dns::RRType::kA,
+                        dns::Rcode::kNXDomain, dns::Ttl{300},
+                        sim::at(2 * sim::kSecond));
+  return cache.snapshot();
+}
+
+// Bug class found during restore() bring-up (not by the fuzzer — by the
+// round-trip property test): restore built each entry, moved it into the
+// table, then pushed its expiry record using a Name REFERENCE into the
+// moved-from entry — a dangling read that corrupted the rebuilt heap for
+// any image with positive entries.  Replaying a populated image through the
+// harness (restore -> validate -> re-snapshot fixpoint) pins the class.
+TEST(FuzzRegression, CacheSnapshotRestoreDoesNotDangleIntoMovedEntries) {
+  replay_cache_snapshot(populated_snapshot_image());
+}
+
+// The snapshot fuzzer has produced no other crasher yet; hostile images
+// must reject as SnapshotError (which the harness swallows), never any
+// other way.  Truncations, bit flips, a version bump, and junk.
+TEST(FuzzRegression, CacheSnapshotHostileImagesRejectCleanly) {
+  const std::vector<std::uint8_t> image = populated_snapshot_image();
+  for (std::size_t len = 0; len < image.size(); len += 7) {
+    replay_cache_snapshot({image.begin(), image.begin() + len});
+  }
+  for (std::size_t i = 0; i < image.size(); i += 3) {
+    std::vector<std::uint8_t> flipped = image;
+    flipped[i] ^= 0xff;
+    replay_cache_snapshot(flipped);
+  }
+  std::vector<std::uint8_t> bumped = image;
+  bumped[4] = 0x02;  // version field
+  replay_cache_snapshot(bumped);
+  replay_cache_snapshot(std::vector<std::uint8_t>(4096, 0xa5));
+  replay_cache_snapshot({});
 }
 
 }  // namespace

@@ -16,6 +16,7 @@ subsystems this PR series hardens — fail the run when breached:
 
     src/fault      the fault-injection subsystem
     src/resolver   retry/backoff/serve-stale logic
+    src/cache      bounded eviction + snapshot codec (PR 10)
 
 Floors are deliberately per-subsystem, not global: a global number lets a
 well-covered hot path subsidize an untested one.
@@ -38,6 +39,7 @@ from pathlib import Path
 DEFAULT_FLOORS = {
     "src/fault": 90.0,
     "src/resolver": 80.0,
+    "src/cache": 90.0,
 }
 
 
@@ -84,7 +86,8 @@ def main() -> int:
     parser.add_argument("--floor", action="append", type=parse_floor,
                         metavar="PREFIX=PCT", default=None,
                         help="per-subsystem line floor; repeatable "
-                             "(default: src/fault=90 src/resolver=80)")
+                             "(default: src/fault=90 src/resolver=80 "
+                             "src/cache=90)")
     parser.add_argument("--json", default=None,
                         help="also write per-file coverage JSON here")
     args = parser.parse_args()
